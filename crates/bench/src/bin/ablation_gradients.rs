@@ -1,0 +1,13 @@
+//! Ablation bench: clean-only vs perturbed-only vs dual-pass gradients.
+
+use berry_bench::{print_header, rng_from_env, scale_from_env};
+use berry_core::experiment::ablation::{format_ablation, gradient_ablation};
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rng = rng_from_env();
+    print_header("Ablation — gradient composition of Algorithm 1 line 19", scale);
+    println!("training three policies ({scale:?} scale)...");
+    let rows = gradient_ablation(scale, 0.005, &mut rng).expect("ablation study");
+    println!("{}", format_ablation(&rows));
+}

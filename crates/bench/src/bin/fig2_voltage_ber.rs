@@ -1,0 +1,17 @@
+//! Regenerates Fig. 2: bit-error rate and SRAM energy/access vs voltage.
+
+use berry_bench::{print_header, scale_from_env};
+use berry_core::experiment::hardware::{fig2_default_voltages, fig2_voltage_sweep};
+
+fn main() {
+    let scale = scale_from_env();
+    print_header("Fig. 2 — Low-voltage operation, energy and bit errors", scale);
+    let rows = fig2_voltage_sweep(&fig2_default_voltages()).expect("voltage sweep");
+    println!("{:>10} {:>14} {:>18}", "V (Vmin)", "BER (%)", "SRAM nJ/access");
+    for r in rows {
+        println!(
+            "{:>10.2} {:>14.3e} {:>18.2}",
+            r.voltage_norm, r.ber_percent, r.sram_energy_nj
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 6 (and the Fig. 1 chain): voltage -> heatsink ->
+//! acceleration -> safe velocity.
+
+use berry_bench::{print_header, scale_from_env};
+use berry_core::experiment::hardware::{fig6_cyber_physical_chain, fig6_default_voltages};
+use berry_uav::platform::UavPlatform;
+
+fn main() {
+    let scale = scale_from_env();
+    print_header("Fig. 6 — Low operating voltage brings system benefits", scale);
+    for platform in [UavPlatform::crazyflie(), UavPlatform::dji_tello()] {
+        println!("--- {} ---", platform.name());
+        let rows = fig6_cyber_physical_chain(&platform, &fig6_default_voltages())
+            .expect("cyber-physical sweep");
+        println!(
+            "{:>9} {:>8} {:>12} {:>11} {:>11} {:>10} {:>12}",
+            "V (Vmin)", "TDP (W)", "heatsink g", "payload g", "a (m/s^2)", "v_max m/s", "v_mission"
+        );
+        for r in rows {
+            println!(
+                "{:>9.2} {:>8.2} {:>12.2} {:>11.2} {:>11.2} {:>10.2} {:>12.2}",
+                r.voltage_norm,
+                r.tdp_w,
+                r.heatsink_mass_g,
+                r.payload_g,
+                r.acceleration_ms2,
+                r.max_safe_velocity_ms,
+                r.mission_velocity_ms
+            );
+        }
+        println!();
+    }
+}

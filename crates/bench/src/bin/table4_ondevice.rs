@@ -1,0 +1,28 @@
+//! Regenerates Table IV: on-device error-aware robust learning.
+
+use berry_bench::{print_header, rng_from_env, scale_from_env};
+use berry_core::experiment::ondevice::{
+    format_table4, table4_ondevice_study, OndeviceStudyConfig,
+};
+use berry_core::experiment::ExperimentScale;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rng = rng_from_env();
+    print_header("Table IV — On-device error-aware robust learning", scale);
+    let study = match scale {
+        ExperimentScale::Smoke => OndeviceStudyConfig {
+            voltages_norm: vec![0.77],
+            learning_steps: vec![200],
+            ..OndeviceStudyConfig::default()
+        },
+        ExperimentScale::Quick => OndeviceStudyConfig {
+            learning_steps: vec![2_000, 4_000],
+            ..OndeviceStudyConfig::default()
+        },
+        ExperimentScale::Paper => OndeviceStudyConfig::default(),
+    };
+    println!("running on-device and offline BERRY training ({scale:?} scale)...");
+    let rows = table4_ondevice_study(&study, scale, &mut rng).expect("table 4 study");
+    println!("{}", format_table4(&rows));
+}

@@ -1,0 +1,81 @@
+//! Shared plumbing for the table/figure harness binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the BERRY
+//! paper.  They all accept two environment variables:
+//!
+//! * `BERRY_SCALE` — `smoke`, `quick` (default) or `paper`, controlling how
+//!   much training and how many fault maps are used;
+//! * `BERRY_SEED` — the RNG seed (default 2023, the paper's year).
+//!
+//! Run, for example:
+//!
+//! ```text
+//! BERRY_SCALE=quick cargo run --release -p berry-bench --bin table1_robustness
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use berry_core::experiment::ExperimentScale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default RNG seed for the harnesses.
+pub const DEFAULT_SEED: u64 = 2023;
+
+/// Reads the experiment scale from `BERRY_SCALE` (default: `quick`).
+pub fn scale_from_env() -> ExperimentScale {
+    match std::env::var("BERRY_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
+        "smoke" => ExperimentScale::Smoke,
+        "paper" | "full" => ExperimentScale::Paper,
+        _ => ExperimentScale::Quick,
+    }
+}
+
+/// Reads the RNG seed from `BERRY_SEED` (default: [`DEFAULT_SEED`]).
+pub fn seed_from_env() -> u64 {
+    std::env::var("BERRY_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Builds the seeded RNG the harnesses use.
+pub fn rng_from_env() -> StdRng {
+    StdRng::seed_from_u64(seed_from_env())
+}
+
+/// Prints a standard harness header naming the artefact being regenerated.
+pub fn print_header(artefact: &str, scale: ExperimentScale) {
+    println!("=== BERRY reproduction: {artefact} ===");
+    println!("scale: {scale:?}  (set BERRY_SCALE=smoke|quick|paper)");
+    println!("seed:  {}  (set BERRY_SEED=<u64>)", seed_from_env());
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // The test environment does not set BERRY_SCALE, so the default wins
+        // (if a caller did set it, the parse still returns a valid scale).
+        let scale = scale_from_env();
+        assert!(matches!(
+            scale,
+            ExperimentScale::Quick | ExperimentScale::Smoke | ExperimentScale::Paper
+        ));
+    }
+
+    #[test]
+    fn seed_defaults_to_2023() {
+        if std::env::var("BERRY_SEED").is_err() {
+            assert_eq!(seed_from_env(), DEFAULT_SEED);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type unifying every substrate the BERRY pipeline touches.
+
+use std::fmt;
+
+/// Errors produced by the BERRY training, evaluation and experiment code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// An error from the neural-network substrate.
+    Nn(berry_nn::NnError),
+    /// An error from the bit-error fault models.
+    Faults(berry_faults::FaultError),
+    /// An error from the hardware (accelerator) models.
+    Hw(berry_hw::HwError),
+    /// An error from the RL substrate.
+    Rl(berry_rl::RlError),
+    /// An error from the UAV simulator or flight models.
+    Uav(berry_uav::UavError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Nn(e) => write!(f, "neural-network error: {e}"),
+            CoreError::Faults(e) => write!(f, "fault-model error: {e}"),
+            CoreError::Hw(e) => write!(f, "hardware-model error: {e}"),
+            CoreError::Rl(e) => write!(f, "reinforcement-learning error: {e}"),
+            CoreError::Uav(e) => write!(f, "UAV-simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<berry_nn::NnError> for CoreError {
+    fn from(e: berry_nn::NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<berry_faults::FaultError> for CoreError {
+    fn from(e: berry_faults::FaultError) -> Self {
+        CoreError::Faults(e)
+    }
+}
+
+impl From<berry_hw::HwError> for CoreError {
+    fn from(e: berry_hw::HwError) -> Self {
+        CoreError::Hw(e)
+    }
+}
+
+impl From<berry_rl::RlError> for CoreError {
+    fn from(e: berry_rl::RlError) -> Self {
+        CoreError::Rl(e)
+    }
+}
+
+impl From<berry_uav::UavError> for CoreError {
+    fn from(e: berry_uav::UavError) -> Self {
+        CoreError::Uav(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants: Vec<CoreError> = vec![
+            CoreError::InvalidConfig("x".into()),
+            berry_nn::NnError::InvalidArgument("a".into()).into(),
+            berry_faults::FaultError::InvalidGeometry("b".into()).into(),
+            berry_hw::HwError::InvalidParameter("c".into()).into(),
+            berry_rl::RlError::InvalidConfig("d".into()).into(),
+            berry_uav::UavError::InvalidConfig("e".into()).into(),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,442 @@
+//! Fault-averaged policy evaluation and the mission-level pipeline.
+//!
+//! The paper's evaluation protocol (Section V-A): "For each case, we
+//! evaluate 500 different fault maps and report the average quantity for all
+//! metrics."  [`evaluate_under_faults`] implements that protocol — draw a
+//! fault map, perturb the quantized policy, run greedy navigation episodes,
+//! repeat, and average.  [`evaluate_mission`] then chains the result through
+//! the accelerator energy model and the cyber-physical flight model to
+//! produce the quality-of-flight rows of Table II / Fig. 5 / Fig. 7.
+
+use crate::error::CoreError;
+use crate::perturb::NetworkPerturber;
+use crate::Result;
+use berry_faults::chip::ChipProfile;
+use berry_hw::accelerator::{Accelerator, ProcessingReport};
+use berry_hw::workload::NetworkWorkload;
+use berry_nn::network::Sequential;
+use berry_rl::env::Environment;
+use berry_rl::eval::{evaluate_policy, EvalStats};
+use berry_uav::flight::{compute_power_w, FlightEnergyModel, QualityOfFlight};
+use berry_uav::physics::{FlightPhysics, PhysicsConfig};
+use berry_uav::platform::UavPlatform;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How much evaluation to do per operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvaluationConfig {
+    /// Number of independent fault maps (the paper uses 500).
+    pub fault_maps: usize,
+    /// Greedy episodes evaluated per fault map.
+    pub episodes_per_map: usize,
+    /// Step limit per episode.
+    pub max_steps: usize,
+    /// Quantization width for deployment (8 in the paper).
+    pub quant_bits: u8,
+}
+
+impl Default for FaultEvaluationConfig {
+    fn default() -> Self {
+        Self {
+            fault_maps: 20,
+            episodes_per_map: 5,
+            max_steps: 60,
+            quant_bits: 8,
+        }
+    }
+}
+
+impl FaultEvaluationConfig {
+    /// A minimal configuration for unit tests.
+    pub fn smoke_test() -> Self {
+        Self {
+            fault_maps: 3,
+            episodes_per_map: 2,
+            max_steps: 30,
+            quant_bits: 8,
+        }
+    }
+
+    /// The paper's full protocol: 500 fault maps per operating point.
+    pub fn paper_scale() -> Self {
+        Self {
+            fault_maps: 500,
+            episodes_per_map: 2,
+            max_steps: 60,
+            quant_bits: 8,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for zero counts or an invalid
+    /// quantization width.
+    pub fn validate(&self) -> Result<()> {
+        if self.fault_maps == 0 || self.episodes_per_map == 0 || self.max_steps == 0 {
+            return Err(CoreError::InvalidConfig(
+                "fault_maps, episodes_per_map and max_steps must be positive".into(),
+            ));
+        }
+        if self.quant_bits == 0 || self.quant_bits > 8 {
+            return Err(CoreError::InvalidConfig(
+                "quant_bits must be in 1..=8".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a policy with *no* bit errors (quantization noise only).
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid or quantization fails.
+pub fn evaluate_error_free<E: Environment, R: Rng>(
+    policy: &Sequential,
+    env: &mut E,
+    config: &FaultEvaluationConfig,
+    rng: &mut R,
+) -> Result<EvalStats> {
+    config.validate()?;
+    let perturber = NetworkPerturber::new(config.quant_bits)?;
+    let mut quantized = perturber.quantized_copy(policy)?;
+    let episodes = config.fault_maps * config.episodes_per_map;
+    Ok(evaluate_policy(
+        &mut quantized,
+        env,
+        episodes,
+        config.max_steps,
+        rng,
+    ))
+}
+
+/// Evaluates a policy under bit errors at an explicit bit-error rate,
+/// averaging over `config.fault_maps` independent fault maps.
+///
+/// # Errors
+///
+/// Returns an error if the configuration or rate is invalid.
+pub fn evaluate_under_faults<E: Environment, R: Rng>(
+    policy: &Sequential,
+    env: &mut E,
+    chip: &ChipProfile,
+    ber: f64,
+    config: &FaultEvaluationConfig,
+    rng: &mut R,
+) -> Result<EvalStats> {
+    config.validate()?;
+    let perturber = NetworkPerturber::new(config.quant_bits)?;
+    let mut combined = EvalStats::empty();
+    for _ in 0..config.fault_maps {
+        let map = perturber.sample_fault_map(policy, chip, ber, rng)?;
+        let mut perturbed = perturber.perturb_with_map(policy, &map)?;
+        let stats = evaluate_policy(
+            &mut perturbed,
+            env,
+            config.episodes_per_map,
+            config.max_steps,
+            rng,
+        );
+        combined = combined.merge(&stats);
+    }
+    Ok(combined)
+}
+
+/// Evaluates a policy at an operating voltage on a given chip (the BER is
+/// read off the chip's voltage curve).
+///
+/// # Errors
+///
+/// Returns an error for out-of-range voltages or invalid configurations.
+pub fn evaluate_at_voltage<E: Environment, R: Rng>(
+    policy: &Sequential,
+    env: &mut E,
+    chip: &ChipProfile,
+    voltage_norm: f64,
+    config: &FaultEvaluationConfig,
+    rng: &mut R,
+) -> Result<EvalStats> {
+    let ber = chip.ber_at_voltage(voltage_norm)?;
+    evaluate_under_faults(policy, env, chip, ber, config, rng)
+}
+
+/// Everything the mission-level tables report about one operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionEvaluation {
+    /// Normalized operating voltage (Vmin units).
+    pub voltage_norm: f64,
+    /// Bit error rate (fraction) at that voltage on the evaluation chip.
+    pub ber: f64,
+    /// Navigation statistics under bit errors (averaged over fault maps).
+    pub navigation: EvalStats,
+    /// Accelerator latency/energy/thermal figures at that voltage.
+    pub processing: ProcessingReport,
+    /// Mission-level quality-of-flight metrics.
+    pub quality_of_flight: QualityOfFlight,
+}
+
+/// The fixed context a mission evaluation runs in: platform, accelerator,
+/// policy workload and chip.
+#[derive(Debug, Clone)]
+pub struct MissionContext {
+    /// The UAV platform flying the mission.
+    pub platform: UavPlatform,
+    /// The accelerator running the policy.
+    pub accelerator: Accelerator,
+    /// The deployed policy's hardware workload (C3F2 or C5F4).
+    pub workload: NetworkWorkload,
+    /// The chip whose fault behaviour is being modelled.
+    pub chip: ChipProfile,
+    /// Flight-physics constants.
+    pub physics: PhysicsConfig,
+}
+
+impl MissionContext {
+    /// The default context of the paper's main experiments: Crazyflie +
+    /// C3F2 + the generic random-fault chip.
+    pub fn crazyflie_c3f2() -> Self {
+        Self {
+            platform: UavPlatform::crazyflie(),
+            accelerator: Accelerator::default_edge_accelerator(),
+            workload: NetworkWorkload::c3f2(),
+            chip: ChipProfile::generic(),
+            physics: PhysicsConfig::default(),
+        }
+    }
+
+    /// The DJI Tello + C3F2 context of the paper's Fig. 7 (top).
+    pub fn tello_c3f2() -> Self {
+        Self {
+            platform: UavPlatform::dji_tello(),
+            ..Self::crazyflie_c3f2()
+        }
+    }
+
+    /// The DJI Tello + C5F4 context of the paper's Fig. 7 (bottom row).
+    pub fn tello_c5f4() -> Self {
+        Self {
+            platform: UavPlatform::dji_tello(),
+            workload: NetworkWorkload::c5f4(),
+            ..Self::crazyflie_c3f2()
+        }
+    }
+
+    /// Ratio between this context's policy MACs and the reference C3F2
+    /// policy (used to scale compute power).
+    pub fn policy_mac_ratio(&self) -> f64 {
+        self.workload.total_macs() as f64 / NetworkWorkload::c3f2().total_macs() as f64
+    }
+}
+
+/// Runs the full mission-level evaluation of a policy at one voltage.
+///
+/// The navigation success rate and successful-trajectory length come from
+/// fault-averaged greedy rollouts; the processing figures from the
+/// accelerator model; the heatsink mass feeds the flight-physics chain; and
+/// the flight model turns it all into flight time, flight energy and
+/// missions per battery charge.
+///
+/// # Errors
+///
+/// Returns an error for invalid voltages or configurations.
+pub fn evaluate_mission<E: Environment, R: Rng>(
+    policy: &Sequential,
+    env: &mut E,
+    context: &MissionContext,
+    voltage_norm: f64,
+    config: &FaultEvaluationConfig,
+    rng: &mut R,
+) -> Result<MissionEvaluation> {
+    let ber = context.chip.ber_at_voltage(voltage_norm)?;
+    let navigation = evaluate_under_faults(policy, env, &context.chip, ber, config, rng)?;
+    let processing = context.accelerator.evaluate(&context.workload, voltage_norm)?;
+
+    let physics = FlightPhysics::new(context.platform.clone(), context.physics)?;
+    let condition = physics.condition(processing.heatsink_mass_g)?;
+    let compute_w = compute_power_w(
+        &context.platform,
+        context.policy_mac_ratio(),
+        processing.savings_vs_nominal,
+    )?;
+
+    // Flight distance: average successful trajectory; if no episode succeeded
+    // at this operating point fall back to the average attempted trajectory
+    // (the UAV still burns that energy before crashing or being recovered).
+    let mut distance = navigation.mean_success_distance;
+    if distance <= 0.0 {
+        distance = navigation.mean_distance.max(1.0);
+    }
+    let flight_model = FlightEnergyModel::new(context.platform.clone());
+    let quality_of_flight =
+        flight_model.quality_of_flight(&condition, navigation.success_rate, distance, compute_w)?;
+
+    Ok(MissionEvaluation {
+        voltage_norm,
+        ber,
+        navigation,
+        processing,
+        quality_of_flight,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berry_nn::tensor::Tensor;
+    use berry_rl::env::{StepOutcome, TerminalKind};
+    use berry_rl::policy::QNetworkSpec;
+    use rand::SeedableRng;
+
+    /// A tiny environment whose success depends on the policy's weights:
+    /// the agent succeeds when the Q-network prefers action 0 for a fixed
+    /// observation, so bit errors that change the argmax cause failures.
+    struct ArgmaxEnv;
+
+    impl Environment for ArgmaxEnv {
+        fn reset(&mut self, _rng: &mut dyn rand::RngCore) -> Tensor {
+            Tensor::from_vec(vec![4], vec![0.4, -0.2, 0.7, -0.5]).unwrap()
+        }
+
+        fn step(&mut self, action: usize, _rng: &mut dyn rand::RngCore) -> StepOutcome {
+            let success = action == 0;
+            StepOutcome {
+                observation: Tensor::zeros(&[4]),
+                reward: if success { 1.0 } else { -1.0 },
+                terminal: Some(if success {
+                    TerminalKind::Goal
+                } else {
+                    TerminalKind::Collision
+                }),
+                distance_travelled: 14.9,
+            }
+        }
+
+        fn num_actions(&self) -> usize {
+            4
+        }
+
+        fn observation_shape(&self) -> Vec<usize> {
+            vec![4]
+        }
+    }
+
+    fn aligned_policy(seed: u64) -> Sequential {
+        // Train-free construction: search seeds until the fresh policy
+        // already prefers action 0 on the fixed observation, so the
+        // error-free success rate is 1.0.
+        let mut seed = seed;
+        loop {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut net = QNetworkSpec::mlp(vec![16]).build(&[4], 4, &mut rng).unwrap();
+            let obs = Tensor::from_vec(vec![1, 4], vec![0.4, -0.2, 0.7, -0.5]).unwrap();
+            if net.forward(&obs).argmax() == Some(0) {
+                return net;
+            }
+            seed += 1;
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(FaultEvaluationConfig::default().validate().is_ok());
+        assert!(FaultEvaluationConfig {
+            fault_maps: 0,
+            ..FaultEvaluationConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultEvaluationConfig {
+            quant_bits: 12,
+            ..FaultEvaluationConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert_eq!(FaultEvaluationConfig::paper_scale().fault_maps, 500);
+    }
+
+    #[test]
+    fn error_free_evaluation_of_aligned_policy_succeeds() {
+        let policy = aligned_policy(0);
+        let mut env = ArgmaxEnv;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let stats = evaluate_error_free(
+            &policy,
+            &mut env,
+            &FaultEvaluationConfig::smoke_test(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(stats.success_rate, 1.0);
+    }
+
+    #[test]
+    fn success_rate_degrades_with_bit_error_rate() {
+        let policy = aligned_policy(10);
+        let mut env = ArgmaxEnv;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = FaultEvaluationConfig {
+            fault_maps: 30,
+            episodes_per_map: 1,
+            max_steps: 5,
+            quant_bits: 8,
+        };
+        let chip = ChipProfile::generic();
+        let low = evaluate_under_faults(&policy, &mut env, &chip, 1e-4, &cfg, &mut rng).unwrap();
+        let high = evaluate_under_faults(&policy, &mut env, &chip, 0.08, &cfg, &mut rng).unwrap();
+        assert!(
+            low.success_rate >= high.success_rate,
+            "low-BER {} vs high-BER {}",
+            low.success_rate,
+            high.success_rate
+        );
+        assert!(high.success_rate < 1.0);
+        assert_eq!(low.episodes, 30);
+    }
+
+    #[test]
+    fn evaluate_at_voltage_uses_the_chip_curve() {
+        let policy = aligned_policy(20);
+        let mut env = ArgmaxEnv;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = FaultEvaluationConfig::smoke_test();
+        let chip = ChipProfile::generic();
+        // At Vmin there are no bit errors, so this equals error-free deployment.
+        let stats = evaluate_at_voltage(&policy, &mut env, &chip, 1.0, &cfg, &mut rng).unwrap();
+        assert_eq!(stats.success_rate, 1.0);
+        assert!(evaluate_at_voltage(&policy, &mut env, &chip, 3.0, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn mission_evaluation_produces_consistent_report() {
+        let policy = aligned_policy(30);
+        let mut env = ArgmaxEnv;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let context = MissionContext::crazyflie_c3f2();
+        let cfg = FaultEvaluationConfig::smoke_test();
+        let mission =
+            evaluate_mission(&policy, &mut env, &context, 0.80, &cfg, &mut rng).unwrap();
+        assert_eq!(mission.voltage_norm, 0.80);
+        assert!(mission.ber > 0.0);
+        assert!(mission.processing.savings_vs_nominal > 1.0);
+        assert!(mission.quality_of_flight.flight_energy_j > 0.0);
+        assert!(mission.quality_of_flight.num_missions > 0.0);
+        // Success rate flows through unchanged.
+        assert!(
+            (mission.quality_of_flight.success_rate - mission.navigation.success_rate).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn mission_context_policy_ratios() {
+        assert!((MissionContext::crazyflie_c3f2().policy_mac_ratio() - 1.0).abs() < 1e-12);
+        assert!(MissionContext::tello_c5f4().policy_mac_ratio() > 1.0);
+        assert_eq!(
+            MissionContext::tello_c3f2().platform.name(),
+            "DJI Tello"
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Generalization experiments: paper Fig. 5 (environments), Fig. 7 (UAV
+//! platforms and policy architectures) and Table III (profiled chips).
+
+use crate::evaluate::{evaluate_mission, evaluate_under_faults, MissionContext};
+use crate::experiment::{format_table, train_policy_pair, ExperimentScale, PolicyPair};
+use crate::Result;
+use berry_faults::chip::ChipProfile;
+use berry_rl::policy::QNetworkSpec;
+use berry_uav::env::NavigationEnv;
+use berry_uav::world::ObstacleDensity;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One (environment, scheme) row of the Fig. 5 study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Obstacle density of the environment.
+    pub density: String,
+    /// "Classical" or "BERRY".
+    pub scheme: String,
+    /// Success rate (percent) at p = 0.01 %.
+    pub success_pct_low_ber: f64,
+    /// Success rate (percent) at p = 0.1 %.
+    pub success_pct_high_ber: f64,
+    /// Single-mission flight energy (J) at the scheme's best low-voltage
+    /// operating point.
+    pub flight_energy_j: f64,
+    /// Missions per battery charge at that operating point.
+    pub num_missions: f64,
+}
+
+/// Runs the Fig. 5 environment study: trains a Classical/BERRY pair per
+/// obstacle density and evaluates robustness and mission efficiency.
+///
+/// # Errors
+///
+/// Returns an error if training or evaluation fails.
+pub fn fig5_environment_study<R: Rng>(
+    scale: ExperimentScale,
+    rng: &mut R,
+) -> Result<Vec<Fig5Row>> {
+    let eval_cfg = scale.evaluation_config();
+    let context = MissionContext::crazyflie_c3f2();
+    let mut rows = Vec::new();
+    for density in ObstacleDensity::all() {
+        let env_cfg = scale.navigation_config(density);
+        let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, rng)?;
+        // Operating points: the paper finds sparse environments tolerate a
+        // lower voltage (0.76 Vmin) than dense ones (0.80 Vmin).
+        let eval_voltage = match density {
+            ObstacleDensity::Sparse => 0.76,
+            ObstacleDensity::Medium => 0.77,
+            ObstacleDensity::Dense => 0.80,
+        };
+        for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
+            let mut env = NavigationEnv::new(env_cfg.clone())?;
+            let low = evaluate_under_faults(policy, &mut env, &context.chip, 1e-4, &eval_cfg, rng)?;
+            let high =
+                evaluate_under_faults(policy, &mut env, &context.chip, 1e-3, &eval_cfg, rng)?;
+            let mission =
+                evaluate_mission(policy, &mut env, &context, eval_voltage, &eval_cfg, rng)?;
+            rows.push(Fig5Row {
+                density: density.label().to_string(),
+                scheme: name.to_string(),
+                success_pct_low_ber: low.success_rate * 100.0,
+                success_pct_high_ber: high.success_rate * 100.0,
+                flight_energy_j: mission.quality_of_flight.flight_energy_j,
+                num_missions: mission.quality_of_flight.num_missions,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Formats the Fig. 5 study as a table.
+pub fn format_fig5(rows: &[Fig5Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.density.clone(),
+                r.scheme.clone(),
+                format!("{:.1}", r.success_pct_low_ber),
+                format!("{:.1}", r.success_pct_high_ber),
+                format!("{:.1}", r.flight_energy_j),
+                format!("{:.1}", r.num_missions),
+            ]
+        })
+        .collect();
+    format_table(
+        &[
+            "Environment",
+            "Scheme",
+            "Succ% p=0.01",
+            "Succ% p=0.1",
+            "E_flight (J)",
+            "Missions",
+        ],
+        &body,
+    )
+}
+
+/// One row of the Fig. 7 platform/architecture study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// UAV platform name.
+    pub platform: String,
+    /// Policy architecture name.
+    pub policy: String,
+    /// Rotor share of total power at nominal voltage (percent).
+    pub rotor_power_pct: f64,
+    /// Compute share of total power at nominal voltage (percent).
+    pub compute_power_pct: f64,
+    /// BERRY flight-energy saving vs nominal operation (percent, positive =
+    /// saving).
+    pub flight_energy_saving_pct: f64,
+    /// BERRY missions improvement vs nominal operation (percent).
+    pub missions_improvement_pct: f64,
+}
+
+/// Runs the Fig. 7 platform/architecture study.
+///
+/// # Errors
+///
+/// Returns an error if training or evaluation fails.
+pub fn fig7_platform_study<R: Rng>(scale: ExperimentScale, rng: &mut R) -> Result<Vec<Fig7Row>> {
+    let eval_cfg = scale.evaluation_config();
+    // (context, policy architecture used for *navigation training*)
+    let cases: Vec<(MissionContext, QNetworkSpec)> = vec![
+        (MissionContext::crazyflie_c3f2(), scale.default_policy()),
+        (MissionContext::tello_c3f2(), scale.default_policy()),
+        (
+            MissionContext::tello_c5f4(),
+            match scale {
+                ExperimentScale::Smoke => scale.default_policy(),
+                _ => QNetworkSpec::C5F4,
+            },
+        ),
+    ];
+    let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
+    let mut rows = Vec::new();
+    for (context, spec) in cases {
+        let pair = train_policy_pair(&env_cfg, &spec, scale, rng)?;
+        let nominal_v = context.accelerator.domain().nominal_voltage_norm();
+        let mut env = NavigationEnv::new(env_cfg.clone())?;
+        let nominal = evaluate_mission(&pair.berry, &mut env, &context, nominal_v, &eval_cfg, rng)?;
+        let low = evaluate_mission(&pair.berry, &mut env, &context, 0.77, &eval_cfg, rng)?;
+        let rotor_w = nominal.quality_of_flight.rotor_power_w;
+        let compute_w = nominal.quality_of_flight.compute_power_w;
+        let total = rotor_w + compute_w;
+        rows.push(Fig7Row {
+            platform: context.platform.name().to_string(),
+            policy: context.workload.name().to_string(),
+            rotor_power_pct: 100.0 * rotor_w / total,
+            compute_power_pct: 100.0 * compute_w / total,
+            flight_energy_saving_pct: -100.0
+                * low
+                    .quality_of_flight
+                    .flight_energy_change_vs(&nominal.quality_of_flight),
+            missions_improvement_pct: 100.0
+                * low
+                    .quality_of_flight
+                    .missions_change_vs(&nominal.quality_of_flight),
+        });
+    }
+    Ok(rows)
+}
+
+/// Formats the Fig. 7 table like the paper's inset table.
+pub fn format_fig7(rows: &[Fig7Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                r.policy.clone(),
+                format!("{:.1}%", r.rotor_power_pct),
+                format!("{:.1}%", r.compute_power_pct),
+                format!("{:.2}%", r.flight_energy_saving_pct),
+                format!("{:.2}%", r.missions_improvement_pct),
+            ]
+        })
+        .collect();
+    format_table(
+        &[
+            "UAV",
+            "Policy",
+            "Rotor Power",
+            "Compute Power",
+            "Flight Energy Saving",
+            "#Missions Gain",
+        ],
+        &body,
+    )
+}
+
+/// One row of the Table III profiled-chip study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Chip profile name.
+    pub chip: String,
+    /// Bit error rate (percent) evaluated.
+    pub ber_percent: f64,
+    /// Success rate of the BERRY policy (percent).
+    pub success_pct: f64,
+    /// Flight energy (J) at the voltage matching this BER.
+    pub flight_energy_j: f64,
+}
+
+/// Runs the Table III chip-generalization study: a BERRY policy trained at
+/// p = 0.5 % on the generic chip is evaluated on other chips' fault
+/// patterns at rates both below and above the training rate.
+///
+/// # Errors
+///
+/// Returns an error if evaluation fails.
+pub fn table3_chip_study<R: Rng>(
+    pair: &PolicyPair,
+    scale: ExperimentScale,
+    rng: &mut R,
+) -> Result<Vec<Table3Row>> {
+    let eval_cfg = scale.evaluation_config();
+    // Paper Table III: chip 1 (random) at p = 0.16 % / 0.74 %, chip 2
+    // (column-aligned) at p = 0.067 % / 0.32 %.
+    let cases = [
+        (ChipProfile::chip1_random(), 0.16),
+        (ChipProfile::chip1_random(), 0.74),
+        (ChipProfile::chip2_column_aligned(), 0.067),
+        (ChipProfile::chip2_column_aligned(), 0.32),
+    ];
+    let mut rows = Vec::new();
+    for (chip, ber_pct) in cases {
+        let context = MissionContext {
+            chip: chip.clone(),
+            ..MissionContext::crazyflie_c3f2()
+        };
+        let mut env = NavigationEnv::new(pair.env_config.clone())?;
+        let voltage = chip.ber_model().min_voltage_for_ber(ber_pct / 100.0)?.max(0.62);
+        let mission = evaluate_mission(&pair.berry, &mut env, &context, voltage, &eval_cfg, rng)?;
+        rows.push(Table3Row {
+            chip: chip.name().to_string(),
+            ber_percent: ber_pct,
+            success_pct: mission.navigation.success_rate * 100.0,
+            flight_energy_j: mission.quality_of_flight.flight_energy_j,
+        });
+    }
+    Ok(rows)
+}
+
+/// Formats Table III.
+pub fn format_table3(rows: &[Table3Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.chip.clone(),
+                format!("{:.3}", r.ber_percent),
+                format!("{:.1}", r.success_pct),
+                format!("{:.1}", r.flight_energy_j),
+            ]
+        })
+        .collect();
+    format_table(&["Chip", "BER %", "Success %", "E_flight (J)"], &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig5_covers_three_environments_and_two_schemes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let rows = fig5_environment_study(ExperimentScale::Smoke, &mut rng).unwrap();
+        assert_eq!(rows.len(), 6);
+        for density in ["sparse", "medium", "dense"] {
+            assert_eq!(rows.iter().filter(|r| r.density == density).count(), 2);
+        }
+        assert!(rows.iter().all(|r| r.flight_energy_j > 0.0));
+        let text = format_fig5(&rows);
+        assert!(text.contains("Environment"));
+    }
+
+    #[test]
+    fn fig7_reports_power_shares_that_sum_to_100() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let rows = fig7_platform_study(ExperimentScale::Smoke, &mut rng).unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!((r.rotor_power_pct + r.compute_power_pct - 100.0).abs() < 1e-9);
+        }
+        // The Tello's rotor share exceeds the Crazyflie's (paper Fig. 7).
+        let cf = rows.iter().find(|r| r.platform.contains("Crazyflie")).unwrap();
+        let tello = rows
+            .iter()
+            .find(|r| r.platform.contains("Tello") && r.policy == "C3F2")
+            .unwrap();
+        assert!(tello.rotor_power_pct > cf.rotor_power_pct);
+        let text = format_fig7(&rows);
+        assert!(text.contains("Rotor Power"));
+    }
+
+    #[test]
+    fn table3_evaluates_both_profiled_chips() {
+        let scale = ExperimentScale::Smoke;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
+        let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap();
+        let rows = table3_chip_study(&pair, scale, &mut rng).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.chip.contains("chip1")));
+        assert!(rows.iter().any(|r| r.chip.contains("chip2")));
+        let text = format_table3(&rows);
+        assert!(text.contains("Chip"));
+    }
+}

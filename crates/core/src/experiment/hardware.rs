@@ -1,0 +1,153 @@
+//! Hardware-only experiments: paper Fig. 2 (voltage → BER / SRAM energy)
+//! and Figs. 1 & 6 (the cyber-physical voltage → velocity chain).
+//!
+//! These sweeps involve no learning, so they run in milliseconds at any
+//! scale and are also exercised directly by the Criterion benches.
+
+use crate::Result;
+use berry_faults::ber::VoltageBerModel;
+use berry_hw::accelerator::Accelerator;
+use berry_hw::workload::NetworkWorkload;
+use berry_uav::physics::{FlightPhysics, PhysicsConfig};
+use berry_uav::platform::UavPlatform;
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 2 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Normalized operating voltage (Vmin units).
+    pub voltage_norm: f64,
+    /// Bit error rate in percent.
+    pub ber_percent: f64,
+    /// SRAM energy per access in nanojoules.
+    pub sram_energy_nj: f64,
+}
+
+/// Regenerates the Fig. 2 curve over a voltage sweep.
+///
+/// # Errors
+///
+/// Returns an error if a voltage falls outside the supported model range.
+pub fn fig2_voltage_sweep(voltages_norm: &[f64]) -> Result<Vec<Fig2Row>> {
+    let ber_model = VoltageBerModel::from_table2();
+    let accel = Accelerator::default_edge_accelerator();
+    let mut rows = Vec::with_capacity(voltages_norm.len());
+    for &v in voltages_norm {
+        rows.push(Fig2Row {
+            voltage_norm: v,
+            ber_percent: ber_model.ber_percent(v)?,
+            sram_energy_nj: accel.sram().energy_per_access_j(v)? * 1.0e9,
+        });
+    }
+    Ok(rows)
+}
+
+/// The default voltage grid used for Fig. 2 (0.64–1.0 Vmin, the range the
+/// paper's figure covers).
+pub fn fig2_default_voltages() -> Vec<f64> {
+    (0..=18).map(|i| 0.64 + i as f64 * 0.02).collect()
+}
+
+/// One point of the Fig. 6 / Fig. 1 cyber-physical chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Normalized operating voltage (Vmin units).
+    pub voltage_norm: f64,
+    /// Thermal design power at this voltage (watts).
+    pub tdp_w: f64,
+    /// Required heatsink mass (grams).
+    pub heatsink_mass_g: f64,
+    /// Total payload carried (grams).
+    pub payload_g: f64,
+    /// Achievable acceleration (m/s²).
+    pub acceleration_ms2: f64,
+    /// Maximum safe velocity (m/s).
+    pub max_safe_velocity_ms: f64,
+    /// Average mission velocity (m/s).
+    pub mission_velocity_ms: f64,
+}
+
+/// Regenerates the Fig. 6 chain for a platform over a voltage sweep.
+///
+/// # Errors
+///
+/// Returns an error for out-of-range voltages or an overloaded platform.
+pub fn fig6_cyber_physical_chain(
+    platform: &UavPlatform,
+    voltages_norm: &[f64],
+) -> Result<Vec<Fig6Row>> {
+    let accel = Accelerator::default_edge_accelerator();
+    let physics = FlightPhysics::new(platform.clone(), PhysicsConfig::default())?;
+    let workload = NetworkWorkload::c3f2();
+    let mut rows = Vec::with_capacity(voltages_norm.len());
+    for &v in voltages_norm {
+        let report = accel.evaluate(&workload, v)?;
+        let condition = physics.condition(report.heatsink_mass_g)?;
+        rows.push(Fig6Row {
+            voltage_norm: v,
+            tdp_w: report.tdp_w,
+            heatsink_mass_g: report.heatsink_mass_g,
+            payload_g: condition.payload_g,
+            acceleration_ms2: condition.acceleration_ms2,
+            max_safe_velocity_ms: condition.max_safe_velocity_ms,
+            mission_velocity_ms: condition.mission_velocity_ms,
+        });
+    }
+    Ok(rows)
+}
+
+/// The default voltage grid for Fig. 6 (0.70–1.43 Vmin, i.e. up to the 1 V
+/// nominal point of a 0.70 V-Vmin part).
+pub fn fig6_default_voltages() -> Vec<f64> {
+    (0..=10).map(|i| 0.70 + i as f64 * 0.073).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_ber_grows_and_energy_falls_as_voltage_drops() {
+        let rows = fig2_voltage_sweep(&fig2_default_voltages()).unwrap();
+        assert!(rows.len() > 10);
+        for pair in rows.windows(2) {
+            // Voltage increases along the sweep.
+            assert!(pair[1].voltage_norm > pair[0].voltage_norm);
+            // BER decreases (or stays zero), SRAM energy increases.
+            assert!(pair[1].ber_percent <= pair[0].ber_percent + 1e-12);
+            assert!(pair[1].sram_energy_nj >= pair[0].sram_energy_nj - 1e-12);
+        }
+        // End points bracket the paper's reported magnitudes.
+        assert!(rows.first().unwrap().ber_percent > 1.0);
+        assert!(rows.last().unwrap().ber_percent < 1e-6);
+    }
+
+    #[test]
+    fn fig6_lower_voltage_means_lighter_and_faster() {
+        let rows =
+            fig6_cyber_physical_chain(&UavPlatform::crazyflie(), &fig6_default_voltages()).unwrap();
+        let first = rows.first().unwrap(); // lowest voltage
+        let last = rows.last().unwrap(); // highest voltage (≈ 1 V nominal)
+        assert!(first.heatsink_mass_g < last.heatsink_mass_g);
+        assert!(first.tdp_w < last.tdp_w);
+        assert!(first.acceleration_ms2 > last.acceleration_ms2);
+        assert!(first.max_safe_velocity_ms > last.max_safe_velocity_ms);
+        // Paper Fig. 6 anchors: ~1.2 g heatsink near 0.79 Vmin and ~3.3 g near 1.28 Vmin.
+        let near_079 = rows
+            .iter()
+            .min_by(|a, b| {
+                (a.voltage_norm - 0.79)
+                    .abs()
+                    .partial_cmp(&(b.voltage_norm - 0.79).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        assert!((near_079.heatsink_mass_g - 1.22).abs() < 0.35);
+    }
+
+    #[test]
+    fn fig6_out_of_range_voltage_is_rejected() {
+        assert!(fig6_cyber_physical_chain(&UavPlatform::crazyflie(), &[3.0]).is_err());
+        assert!(fig2_voltage_sweep(&[0.1]).is_err());
+    }
+}

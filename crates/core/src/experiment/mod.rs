@@ -1,0 +1,280 @@
+//! Experiment runners: one module per table / figure of the paper.
+//!
+//! | Paper artefact | Module | What it sweeps |
+//! |---|---|---|
+//! | Fig. 2 | [`hardware`] | voltage → bit-error rate and SRAM energy |
+//! | Fig. 6 / Fig. 1 | [`hardware`] | voltage → heatsink → acceleration → velocity chain |
+//! | Table I | [`robustness`] | success rate vs bit-error rate, Classical vs BERRY |
+//! | Fig. 3 | [`robustness`] | success rate *and* flight energy vs bit-error rate |
+//! | Table II | [`voltage`] | full voltage sweep of processing + quality-of-flight |
+//! | Fig. 5 | [`generalization`] | sparse / medium / dense environments |
+//! | Fig. 7 | [`generalization`] | Crazyflie vs Tello, C3F2 vs C5F4 |
+//! | Table III | [`generalization`] | profiled chips (random / column-aligned) |
+//! | Table IV | [`ondevice`] | on-device robust learning |
+//! | (design ablation) | [`ablation`] | clean-only vs perturbed-only vs dual-pass gradients |
+//!
+//! Every experiment accepts an [`ExperimentScale`]; `Smoke` keeps unit tests
+//! fast, `Quick` regenerates recognizable trends in a couple of minutes on a
+//! laptop, and `Paper` approaches the paper's statistical protocol (500
+//! fault maps per point).
+
+pub mod ablation;
+pub mod generalization;
+pub mod hardware;
+pub mod ondevice;
+pub mod robustness;
+pub mod voltage;
+
+use crate::evaluate::FaultEvaluationConfig;
+use crate::robust::{train_berry, BerryConfig, LearningMode};
+use crate::Result;
+use berry_nn::network::Sequential;
+use berry_rl::dqn::DqnConfig;
+use berry_rl::policy::QNetworkSpec;
+use berry_rl::schedule::EpsilonSchedule;
+use berry_rl::trainer::{train_classical, TrainerConfig};
+use berry_uav::env::{NavigationConfig, NavigationEnv};
+use berry_uav::world::ObstacleDensity;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How much compute an experiment run spends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    /// Minimal: tiny MLP policies, a handful of episodes and fault maps.
+    /// Only checks that the pipeline runs end to end (unit tests).
+    Smoke,
+    /// Small convolutional policies on a reduced arena; regenerates the
+    /// qualitative trends of every table in minutes.
+    Quick,
+    /// The paper's protocol: full-size arena, C3F2/C5F4 policies and 500
+    /// fault maps per operating point.  Expect hours of CPU time.
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Training configuration for this scale.
+    pub fn trainer_config(self) -> TrainerConfig {
+        match self {
+            ExperimentScale::Smoke => TrainerConfig {
+                episodes: 40,
+                max_steps_per_episode: 25,
+                buffer_capacity: 4_000,
+                learning_starts: 64,
+                train_every: 1,
+                epsilon: EpsilonSchedule::new(1.0, 0.1, 500).expect("valid"),
+                dqn: DqnConfig {
+                    batch_size: 16,
+                    target_sync_every: 100,
+                    ..DqnConfig::default()
+                },
+            },
+            ExperimentScale::Quick => TrainerConfig {
+                episodes: 220,
+                max_steps_per_episode: 40,
+                buffer_capacity: 20_000,
+                learning_starts: 256,
+                train_every: 2,
+                epsilon: EpsilonSchedule::new(1.0, 0.05, 3_000).expect("valid"),
+                dqn: DqnConfig {
+                    batch_size: 32,
+                    target_sync_every: 250,
+                    ..DqnConfig::default()
+                },
+            },
+            ExperimentScale::Paper => TrainerConfig {
+                episodes: 1_500,
+                max_steps_per_episode: 60,
+                buffer_capacity: 100_000,
+                learning_starts: 1_000,
+                train_every: 2,
+                epsilon: EpsilonSchedule::new(1.0, 0.05, 20_000).expect("valid"),
+                dqn: DqnConfig {
+                    batch_size: 32,
+                    target_sync_every: 500,
+                    ..DqnConfig::default()
+                },
+            },
+        }
+    }
+
+    /// Navigation-environment configuration for this scale.
+    pub fn navigation_config(self, density: ObstacleDensity) -> NavigationConfig {
+        match self {
+            ExperimentScale::Smoke => NavigationConfig {
+                density,
+                ..NavigationConfig::smoke_test()
+            },
+            ExperimentScale::Quick => NavigationConfig {
+                arena_size_m: 16.0,
+                max_steps: 45,
+                density,
+                ..NavigationConfig::default()
+            },
+            ExperimentScale::Paper => NavigationConfig::with_density(density),
+        }
+    }
+
+    /// Policy architecture used when an experiment does not explicitly sweep
+    /// architectures.
+    pub fn default_policy(self) -> QNetworkSpec {
+        match self {
+            ExperimentScale::Smoke => QNetworkSpec::mlp(vec![32]),
+            ExperimentScale::Quick | ExperimentScale::Paper => QNetworkSpec::C3F2,
+        }
+    }
+
+    /// Fault-evaluation protocol for this scale.
+    pub fn evaluation_config(self) -> FaultEvaluationConfig {
+        match self {
+            ExperimentScale::Smoke => FaultEvaluationConfig::smoke_test(),
+            ExperimentScale::Quick => FaultEvaluationConfig {
+                fault_maps: 25,
+                episodes_per_map: 2,
+                max_steps: 45,
+                quant_bits: 8,
+            },
+            ExperimentScale::Paper => FaultEvaluationConfig::paper_scale(),
+        }
+    }
+
+    /// The bit-error rate injected during BERRY training at this scale
+    /// (the paper trains at p = 0.5 %).
+    pub fn train_ber(self) -> f64 {
+        0.005
+    }
+}
+
+/// A pair of policies trained on the same task: the classical DQN baseline
+/// and the BERRY error-aware policy.
+#[derive(Debug, Clone)]
+pub struct PolicyPair {
+    /// Classically trained policy (no error injection).
+    pub classical: Sequential,
+    /// BERRY error-aware policy (offline dual-pass training).
+    pub berry: Sequential,
+    /// The architecture both policies share.
+    pub spec: QNetworkSpec,
+    /// The environment configuration they were trained on.
+    pub env_config: NavigationConfig,
+}
+
+/// Trains the Classical / BERRY policy pair used by most experiments.
+///
+/// # Errors
+///
+/// Returns an error if environment construction or training fails.
+pub fn train_policy_pair<R: Rng>(
+    env_config: &NavigationConfig,
+    spec: &QNetworkSpec,
+    scale: ExperimentScale,
+    rng: &mut R,
+) -> Result<PolicyPair> {
+    let trainer = scale.trainer_config();
+
+    let mut env = NavigationEnv::new(env_config.clone())?;
+    let (classical_agent, _report) = train_classical(&mut env, spec, &trainer, rng)?;
+
+    let berry_config = BerryConfig {
+        trainer,
+        mode: LearningMode::offline(scale.train_ber()),
+        ..BerryConfig::default()
+    };
+    let mut env = NavigationEnv::new(env_config.clone())?;
+    let berry_outcome = train_berry(&mut env, spec, &berry_config, rng)?;
+
+    Ok(PolicyPair {
+        classical: classical_agent.q_net().clone(),
+        berry: berry_outcome.agent.q_net().clone(),
+        spec: spec.clone(),
+        env_config: env_config.clone(),
+    })
+}
+
+/// Renders rows of `(label, values…)` as a fixed-width text table — the
+/// harness binaries print these to mirror the paper's tables.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scales_produce_valid_configurations() {
+        for scale in [
+            ExperimentScale::Smoke,
+            ExperimentScale::Quick,
+            ExperimentScale::Paper,
+        ] {
+            assert!(scale.trainer_config().validate().is_ok());
+            assert!(scale
+                .navigation_config(ObstacleDensity::Medium)
+                .validate()
+                .is_ok());
+            assert!(scale.evaluation_config().validate().is_ok());
+            assert!(scale.train_ber() > 0.0 && scale.train_ber() < 0.1);
+        }
+        assert_eq!(ExperimentScale::Smoke.default_policy().name(), "MLP");
+        assert_eq!(ExperimentScale::Paper.default_policy().name(), "C3F2");
+    }
+
+    #[test]
+    fn smoke_policy_pair_trains_end_to_end() {
+        let scale = ExperimentScale::Smoke;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
+        let pair =
+            train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap();
+        assert_eq!(pair.classical.param_count(), pair.berry.param_count());
+        // The two training procedures produce genuinely different policies.
+        assert_ne!(pair.classical.to_flat_weights(), pair.berry.to_flat_weights());
+    }
+
+    #[test]
+    fn format_table_aligns_columns() {
+        let table = format_table(
+            &["Voltage", "Success"],
+            &[
+                vec!["1.00".to_string(), "88.4".to_string()],
+                vec!["0.77".to_string(), "88.6".to_string()],
+            ],
+        );
+        assert!(table.contains("| Voltage | Success |"));
+        assert!(table.lines().count() == 4);
+        for line in table.lines() {
+            assert!(line.starts_with('|') && line.ends_with('|'));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Robustness experiments: paper Table I and Fig. 3.
+//!
+//! Table I reports the navigation success rate of the classical DQN policy
+//! and the BERRY policy at increasing bit-error rates; Fig. 3 extends the
+//! same sweep with the mission-level flight energy, showing that robustness
+//! to higher error rates is what unlocks the energy-optimal low-voltage
+//! operating points.
+
+use crate::evaluate::{evaluate_error_free, evaluate_mission, evaluate_under_faults, MissionContext};
+use crate::experiment::{format_table, ExperimentScale, PolicyPair};
+use crate::Result;
+use berry_uav::env::NavigationEnv;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The bit-error rates (in percent) of the paper's Table I columns.
+pub const TABLE1_BER_PERCENTS: [f64; 5] = [0.01, 0.05, 0.1, 0.5, 1.0];
+
+/// One (scheme, bit-error-rate) cell of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// "Classical" or "BERRY".
+    pub scheme: String,
+    /// Error-free success rate in percent.
+    pub error_free_success_pct: f64,
+    /// Success rate (percent) at each of [`TABLE1_BER_PERCENTS`].
+    pub success_pct_at_ber: Vec<f64>,
+}
+
+/// Runs the Table I robustness comparison for an already-trained policy
+/// pair.
+///
+/// # Errors
+///
+/// Returns an error if evaluation fails.
+pub fn table1_robustness<R: Rng>(
+    pair: &PolicyPair,
+    scale: ExperimentScale,
+    rng: &mut R,
+) -> Result<Vec<Table1Row>> {
+    let eval_cfg = scale.evaluation_config();
+    let context = MissionContext::crazyflie_c3f2();
+    let mut rows = Vec::with_capacity(2);
+    for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
+        let mut env = NavigationEnv::new(pair.env_config.clone())?;
+        let error_free = evaluate_error_free(policy, &mut env, &eval_cfg, rng)?;
+        let mut success_pct_at_ber = Vec::with_capacity(TABLE1_BER_PERCENTS.len());
+        for &ber_pct in &TABLE1_BER_PERCENTS {
+            let stats = evaluate_under_faults(
+                policy,
+                &mut env,
+                &context.chip,
+                ber_pct / 100.0,
+                &eval_cfg,
+                rng,
+            )?;
+            success_pct_at_ber.push(stats.success_rate * 100.0);
+        }
+        rows.push(Table1Row {
+            scheme: name.to_string(),
+            error_free_success_pct: error_free.success_rate * 100.0,
+            success_pct_at_ber,
+        });
+    }
+    Ok(rows)
+}
+
+/// Formats Table I like the paper.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut headers = vec!["Scheme".to_string(), "Error-Free %".to_string()];
+    headers.extend(TABLE1_BER_PERCENTS.iter().map(|p| format!("p={p}%")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![
+                r.scheme.clone(),
+                format!("{:.1}", r.error_free_success_pct),
+            ];
+            cells.extend(r.success_pct_at_ber.iter().map(|v| format!("{v:.1}")));
+            cells
+        })
+        .collect();
+    format_table(&header_refs, &body)
+}
+
+/// One point of the Fig. 3 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// "Classical" or "BERRY".
+    pub scheme: String,
+    /// Bit error rate in percent.
+    pub ber_percent: f64,
+    /// Flight success rate in percent.
+    pub success_pct: f64,
+    /// Single-mission flight energy in joules (at the voltage whose BER
+    /// equals `ber_percent` on the evaluation chip, clamped to the model's
+    /// minimum supported voltage).
+    pub flight_energy_j: f64,
+}
+
+/// Runs the Fig. 3 sweep: success rate and flight energy vs bit-error rate.
+///
+/// # Errors
+///
+/// Returns an error if evaluation fails.
+pub fn fig3_ber_sweep<R: Rng>(
+    pair: &PolicyPair,
+    ber_percents: &[f64],
+    scale: ExperimentScale,
+    rng: &mut R,
+) -> Result<Vec<Fig3Row>> {
+    let eval_cfg = scale.evaluation_config();
+    let context = MissionContext::crazyflie_c3f2();
+    let mut rows = Vec::new();
+    for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
+        for &ber_pct in ber_percents {
+            let mut env = NavigationEnv::new(pair.env_config.clone())?;
+            // Find the voltage whose BER matches this point, so that the
+            // mission model charges the right processing/heatsink cost.
+            let voltage = context
+                .chip
+                .ber_model()
+                .min_voltage_for_ber(ber_pct / 100.0)?
+                .max(0.62);
+            let mission =
+                evaluate_mission(policy, &mut env, &context, voltage, &eval_cfg, rng)?;
+            rows.push(Fig3Row {
+                scheme: name.to_string(),
+                ber_percent: ber_pct,
+                success_pct: mission.navigation.success_rate * 100.0,
+                flight_energy_j: mission.quality_of_flight.flight_energy_j,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// The default bit-error-rate grid of Fig. 3 (10⁻³ % … 1 %).
+pub fn fig3_default_ber_percents() -> Vec<f64> {
+    vec![0.001, 0.01, 0.05, 0.1, 0.5, 1.0]
+}
+
+/// Formats the Fig. 3 series as a table.
+pub fn format_fig3(rows: &[Fig3Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.3}", r.ber_percent),
+                format!("{:.1}", r.success_pct),
+                format!("{:.1}", r.flight_energy_j),
+            ]
+        })
+        .collect();
+    format_table(
+        &["Scheme", "BER %", "Success %", "Flight Energy (J)"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::train_policy_pair;
+    use berry_uav::world::ObstacleDensity;
+    use rand::SeedableRng;
+
+    fn smoke_pair(seed: u64) -> PolicyPair {
+        let scale = ExperimentScale::Smoke;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
+        train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn table1_has_two_schemes_and_all_ber_columns() {
+        let pair = smoke_pair(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let rows = table1_robustness(&pair, ExperimentScale::Smoke, &mut rng).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.success_pct_at_ber.len(), TABLE1_BER_PERCENTS.len());
+            for v in &row.success_pct_at_ber {
+                assert!((0.0..=100.0).contains(v));
+            }
+        }
+        let text = format_table1(&rows);
+        assert!(text.contains("BERRY"));
+        assert!(text.contains("p=0.5%"));
+    }
+
+    #[test]
+    fn fig3_rows_cover_both_schemes_and_all_points() {
+        let pair = smoke_pair(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let points = vec![0.01, 0.5];
+        let rows = fig3_ber_sweep(&pair, &points, ExperimentScale::Smoke, &mut rng).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.flight_energy_j > 0.0));
+        let text = format_fig3(&rows);
+        assert!(text.contains("Flight Energy"));
+        assert_eq!(fig3_default_ber_percents().len(), 6);
+    }
+}

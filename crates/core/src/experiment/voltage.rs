@@ -1,0 +1,208 @@
+//! The Table II voltage sweep: operating and system efficiency.
+//!
+//! For every operating voltage the paper reports bit-error rate, processing
+//! energy savings, navigation success rate, flight distance, flight time,
+//! flight energy (with its saving vs 1 V) and the number of missions per
+//! battery charge (with its improvement vs 1 V).  This module regenerates
+//! that table for a trained BERRY policy.
+
+use crate::evaluate::{evaluate_mission, MissionContext, MissionEvaluation};
+use crate::experiment::{format_table, ExperimentScale, PolicyPair};
+use crate::Result;
+use berry_uav::env::NavigationEnv;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The normalized voltages of the paper's Table II rows (plus the nominal
+/// 1 V point expressed as 1.43 Vmin for a 0.70 V-Vmin part).
+pub fn table2_default_voltages() -> Vec<f64> {
+    vec![
+        1.4286, 0.86, 0.84, 0.83, 0.81, 0.80, 0.79, 0.77, 0.76, 0.74, 0.73, 0.71, 0.68, 0.64,
+    ]
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Normalized operating voltage (Vmin units).
+    pub voltage_norm: f64,
+    /// Bit error rate in percent.
+    pub ber_percent: f64,
+    /// Processing energy savings vs nominal 1 V operation.
+    pub energy_savings: f64,
+    /// Navigation success rate in percent.
+    pub success_pct: f64,
+    /// Flight distance in metres.
+    pub flight_distance_m: f64,
+    /// Flight time in seconds.
+    pub flight_time_s: f64,
+    /// Flight energy in joules.
+    pub flight_energy_j: f64,
+    /// Flight-energy change vs the nominal row (negative = saving).
+    pub flight_energy_change: f64,
+    /// Number of missions per battery charge.
+    pub num_missions: f64,
+    /// Missions change vs the nominal row (positive = improvement).
+    pub missions_change: f64,
+}
+
+/// Runs the Table II voltage sweep for the BERRY policy of `pair`.
+///
+/// The first voltage in `voltages_norm` is treated as the baseline row
+/// (nominal operation) against which the percentage changes are computed.
+///
+/// # Errors
+///
+/// Returns an error if evaluation fails or the voltage list is empty.
+pub fn table2_voltage_sweep<R: Rng>(
+    pair: &PolicyPair,
+    context: &MissionContext,
+    voltages_norm: &[f64],
+    scale: ExperimentScale,
+    rng: &mut R,
+) -> Result<Vec<Table2Row>> {
+    if voltages_norm.is_empty() {
+        return Err(crate::CoreError::InvalidConfig(
+            "table 2 needs at least one voltage".into(),
+        ));
+    }
+    let eval_cfg = scale.evaluation_config();
+    let mut missions: Vec<MissionEvaluation> = Vec::with_capacity(voltages_norm.len());
+    for &v in voltages_norm {
+        let mut env = NavigationEnv::new(pair.env_config.clone())?;
+        missions.push(evaluate_mission(
+            &pair.berry,
+            &mut env,
+            context,
+            v,
+            &eval_cfg,
+            rng,
+        )?);
+    }
+    let baseline = missions[0].quality_of_flight;
+    Ok(missions
+        .into_iter()
+        .map(|m| Table2Row {
+            voltage_norm: m.voltage_norm,
+            ber_percent: m.ber * 100.0,
+            energy_savings: m.processing.savings_vs_nominal,
+            success_pct: m.navigation.success_rate * 100.0,
+            flight_distance_m: m.quality_of_flight.flight_distance_m,
+            flight_time_s: m.quality_of_flight.flight_time_s,
+            flight_energy_j: m.quality_of_flight.flight_energy_j,
+            flight_energy_change: m.quality_of_flight.flight_energy_change_vs(&baseline),
+            num_missions: m.quality_of_flight.num_missions,
+            missions_change: m.quality_of_flight.missions_change_vs(&baseline),
+        })
+        .collect())
+}
+
+/// Finds the row with the lowest flight energy — the "optimal voltage" the
+/// paper highlights (0.77 Vmin for the Crazyflie / medium environment).
+pub fn optimal_row(rows: &[Table2Row]) -> Option<&Table2Row> {
+    rows.iter().min_by(|a, b| {
+        a.flight_energy_j
+            .partial_cmp(&b.flight_energy_j)
+            .expect("flight energies are finite")
+    })
+}
+
+/// Formats Table II like the paper.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.voltage_norm),
+                format!("{:.3e}", r.ber_percent),
+                format!("{:.2}x", r.energy_savings),
+                format!("{:.1}", r.success_pct),
+                format!("{:.2}", r.flight_distance_m),
+                format!("{:.2}", r.flight_time_s),
+                format!("{:.2}", r.flight_energy_j),
+                format!("{:+.2}%", r.flight_energy_change * 100.0),
+                format!("{:.2}", r.num_missions),
+                format!("{:+.2}%", r.missions_change * 100.0),
+            ]
+        })
+        .collect();
+    format_table(
+        &[
+            "V (Vmin)",
+            "BER %",
+            "E Savings",
+            "Success %",
+            "Dist (m)",
+            "Time (s)",
+            "E_flight (J)",
+            "dE_flight",
+            "Missions",
+            "dMissions",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::train_policy_pair;
+    use berry_uav::world::ObstacleDensity;
+    use rand::SeedableRng;
+
+    #[test]
+    fn voltage_sweep_produces_one_row_per_voltage() {
+        let scale = ExperimentScale::Smoke;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
+        let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap();
+        let voltages = vec![1.4286, 0.80, 0.70];
+        let rows = table2_voltage_sweep(
+            &pair,
+            &MissionContext::crazyflie_c3f2(),
+            &voltages,
+            scale,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        // The baseline row has zero change by definition.
+        assert!(rows[0].flight_energy_change.abs() < 1e-12);
+        assert!(rows[0].missions_change.abs() < 1e-12);
+        // BER grows as voltage drops.
+        assert!(rows[2].ber_percent > rows[1].ber_percent);
+        assert!(rows[1].ber_percent > rows[0].ber_percent);
+        // Energy savings grow as voltage drops.
+        assert!(rows[2].energy_savings > rows[1].energy_savings);
+        let text = format_table2(&rows);
+        assert!(text.contains("E_flight"));
+        assert!(optimal_row(&rows).is_some());
+    }
+
+    #[test]
+    fn empty_voltage_list_is_rejected() {
+        let scale = ExperimentScale::Smoke;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
+        let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap();
+        assert!(table2_voltage_sweep(
+            &pair,
+            &MissionContext::crazyflie_c3f2(),
+            &[],
+            scale,
+            &mut rng
+        )
+        .is_err());
+        assert!(optimal_row(&[]).is_none());
+    }
+
+    #[test]
+    fn default_voltages_match_paper_rows() {
+        let v = table2_default_voltages();
+        assert_eq!(v.len(), 14);
+        assert!(v.contains(&0.77));
+        assert!(v.contains(&0.64));
+        // First entry is the nominal 1 V point.
+        assert!(v[0] > 1.4);
+    }
+}

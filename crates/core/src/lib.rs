@@ -1,0 +1,71 @@
+//! # berry-core
+//!
+//! BERRY: **B**it **E**rror **R**obustness for Energy-Efficient
+//! **R**einforcement-Learning-Based Autonomous S**y**stems — a Rust
+//! reproduction of the DAC 2023 paper.
+//!
+//! Low-voltage operation of the on-board accelerator saves a quadratic
+//! amount of compute energy and, through the thermal → payload → velocity
+//! chain, a significant amount of *flight* energy — but it also flips bits
+//! in the SRAM holding the navigation policy's quantized weights, which
+//! wrecks the mission success rate of a classically trained DQN.  BERRY
+//! fixes this with *error-aware training*: every optimizer step combines the
+//! gradient of the clean Q-network with the gradient computed through a
+//! bit-error-perturbed copy of the network (the paper's Algorithm 1), either
+//! offline with random fault maps (generalizing across chips and voltages)
+//! or on-device against the deployed chip's actual fault pattern.
+//!
+//! The crate is organized as:
+//!
+//! * [`perturb`] — quantize a policy, inject a fault map into its bytes and
+//!   dequantize it back (the `BErr_p(θ)` operator of Algorithm 1 line 15),
+//! * [`robust`] — the BERRY trainer (offline and on-device modes) built on
+//!   the classical DQN substrate from `berry-rl`,
+//! * [`evaluate`] — fault-map-averaged policy evaluation and the full
+//!   mission-level (quality-of-flight) evaluation pipeline,
+//! * [`scenario`] — the 72-scenario evaluation grid of the paper's
+//!   Section V,
+//! * [`experiment`] — one module per table/figure of the paper's evaluation,
+//!   each regenerating its rows from scratch.
+//!
+//! ## Example: robust offline training on the navigation task
+//!
+//! ```no_run
+//! use berry_core::robust::{train_berry, BerryConfig, LearningMode};
+//! use berry_rl::policy::QNetworkSpec;
+//! use berry_rl::trainer::TrainerConfig;
+//! use berry_uav::env::{NavigationConfig, NavigationEnv};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), berry_core::CoreError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut env = NavigationEnv::new(NavigationConfig::default())?;
+//! let config = BerryConfig {
+//!     trainer: TrainerConfig::default(),
+//!     mode: LearningMode::offline(0.005),
+//!     ..BerryConfig::default()
+//! };
+//! let outcome = train_berry(&mut env, &QNetworkSpec::C3F2, &config, &mut rng)?;
+//! println!("trained for {} steps", outcome.report.total_train_steps);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod evaluate;
+pub mod experiment;
+pub mod perturb;
+pub mod robust;
+pub mod scenario;
+
+pub use error::CoreError;
+pub use evaluate::{FaultEvaluationConfig, MissionEvaluation};
+pub use perturb::NetworkPerturber;
+pub use robust::{train_berry, BerryConfig, BerryOutcome, LearningMode};
+pub use scenario::Scenario;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,284 @@
+//! The `BErr_p(θ)` operator: quantize, inject bit errors, dequantize.
+//!
+//! Algorithm 1 line 15 of the paper perturbs the Q-network and target-
+//! network parameters by injecting bit errors "following per-layer 8-bit
+//! quantization with rounding".  [`NetworkPerturber`] implements exactly
+//! that: every parameter tensor is quantized to signed 8-bit integers with a
+//! per-tensor scale, the resulting byte image (laid out tensor after tensor)
+//! is exposed to a [`FaultMap`] drawn from a [`ChipProfile`], and the
+//! perturbed bytes are dequantized back into a *copy* of the network, so the
+//! clean weights are never touched.
+
+use crate::error::CoreError;
+use crate::Result;
+use berry_faults::chip::ChipProfile;
+use berry_faults::fault_map::FaultMap;
+use berry_nn::network::Sequential;
+use berry_nn::quant::QuantizedNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Quantizes networks and injects bit-error fault maps into them.
+///
+/// # Examples
+///
+/// ```
+/// use berry_core::perturb::NetworkPerturber;
+/// use berry_faults::chip::ChipProfile;
+/// use berry_rl::policy::QNetworkSpec;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), berry_core::CoreError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = QNetworkSpec::mlp(vec![16]).build(&[4], 3, &mut rng)?;
+/// let perturber = NetworkPerturber::new(8)?;
+/// let chip = ChipProfile::generic();
+/// let map = perturber.sample_fault_map(&net, &chip, 0.01, &mut rng)?;
+/// let perturbed = perturber.perturb_with_map(&net, &map)?;
+/// assert_ne!(perturbed.to_flat_weights(), net.to_flat_weights());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkPerturber {
+    bits: u8,
+}
+
+impl NetworkPerturber {
+    /// Creates a perturber operating at the given quantization width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `bits` is zero or above 8.
+    pub fn new(bits: u8) -> Result<Self> {
+        if bits == 0 || bits > 8 {
+            return Err(CoreError::InvalidConfig(format!(
+                "quantization width must be in 1..=8, got {bits}"
+            )));
+        }
+        Ok(Self { bits })
+    }
+
+    /// The quantization width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of SRAM bits the network's parameters occupy under this
+    /// perturber's quantization (each parameter is stored in one byte, of
+    /// which the low `bits` carry information — fault maps are drawn over
+    /// the full byte image to stay faithful to an 8-bit word layout).
+    pub fn memory_bits(&self, net: &Sequential) -> usize {
+        net.param_count() * 8
+    }
+
+    /// Draws a fault map over the network's quantized parameter memory at
+    /// bit-error rate `ber` (a fraction) using the chip's spatial pattern
+    /// and flip bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is not a valid probability.
+    pub fn sample_fault_map<R: rand::Rng + ?Sized>(
+        &self,
+        net: &Sequential,
+        chip: &ChipProfile,
+        ber: f64,
+        rng: &mut R,
+    ) -> Result<FaultMap> {
+        Ok(chip.fault_map_at_ber(rng, self.memory_bits(net), ber)?)
+    }
+
+    /// Draws a fault map at the bit-error rate implied by a normalized
+    /// operating voltage on the given chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range voltages.
+    pub fn sample_fault_map_at_voltage<R: rand::Rng + ?Sized>(
+        &self,
+        net: &Sequential,
+        chip: &ChipProfile,
+        voltage_norm: f64,
+        rng: &mut R,
+    ) -> Result<FaultMap> {
+        Ok(chip.fault_map_at_voltage(rng, self.memory_bits(net), voltage_norm)?)
+    }
+
+    /// Returns a copy of `net` whose quantized parameters have the fault map
+    /// applied (the perturbed parameters `˜θ` of Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if quantization fails.
+    pub fn perturb_with_map(&self, net: &Sequential, map: &FaultMap) -> Result<Sequential> {
+        let mut quantized = QuantizedNetwork::from_network(net, self.bits)?;
+        let mut bit_offset = 0usize;
+        for tensor in quantized.tensors_mut() {
+            let tensor_bits = tensor.len() * 8;
+            let window = map.window(bit_offset, tensor_bits);
+            window.apply(tensor.bytes_mut());
+            bit_offset += tensor_bits;
+        }
+        let mut perturbed = net.clone();
+        quantized.write_to_network(&mut perturbed)?;
+        Ok(perturbed)
+    }
+
+    /// Convenience: draw a fresh fault map at rate `ber` and apply it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is invalid or quantization fails.
+    pub fn perturb_random<R: rand::Rng + ?Sized>(
+        &self,
+        net: &Sequential,
+        chip: &ChipProfile,
+        ber: f64,
+        rng: &mut R,
+    ) -> Result<Sequential> {
+        let map = self.sample_fault_map(net, chip, ber, rng)?;
+        self.perturb_with_map(net, &map)
+    }
+
+    /// Returns a copy of `net` that has been quantized and dequantized with
+    /// *no* bit errors — the quantization noise floor used for error-free
+    /// deployment numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if quantization fails.
+    pub fn quantized_copy(&self, net: &Sequential) -> Result<Sequential> {
+        let quantized = QuantizedNetwork::from_network(net, self.bits)?;
+        let mut copy = net.clone();
+        quantized.write_to_network(&mut copy)?;
+        Ok(copy)
+    }
+}
+
+impl Default for NetworkPerturber {
+    fn default() -> Self {
+        Self { bits: 8 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berry_rl::policy::QNetworkSpec;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn test_net(seed: u64) -> Sequential {
+        let mut r = rng(seed);
+        QNetworkSpec::mlp(vec![32, 16]).build(&[8], 5, &mut r).unwrap()
+    }
+
+    #[test]
+    fn invalid_bit_widths_are_rejected() {
+        assert!(NetworkPerturber::new(0).is_err());
+        assert!(NetworkPerturber::new(9).is_err());
+        assert_eq!(NetworkPerturber::new(8).unwrap().bits(), 8);
+        assert_eq!(NetworkPerturber::default().bits(), 8);
+    }
+
+    #[test]
+    fn memory_bits_counts_one_byte_per_parameter() {
+        let net = test_net(1);
+        let p = NetworkPerturber::new(8).unwrap();
+        assert_eq!(p.memory_bits(&net), net.param_count() * 8);
+    }
+
+    #[test]
+    fn zero_ber_perturbation_equals_quantized_copy() {
+        let net = test_net(2);
+        let p = NetworkPerturber::new(8).unwrap();
+        let chip = ChipProfile::generic();
+        let mut r = rng(3);
+        let perturbed = p.perturb_random(&net, &chip, 0.0, &mut r).unwrap();
+        let quantized = p.quantized_copy(&net).unwrap();
+        assert_eq!(perturbed.to_flat_weights(), quantized.to_flat_weights());
+        // Quantization alone stays close to the original weights.
+        for (a, b) in net
+            .to_flat_weights()
+            .iter()
+            .zip(quantized.to_flat_weights().iter())
+        {
+            assert!((a - b).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn perturbation_does_not_touch_the_original_network() {
+        let net = test_net(4);
+        let before = net.to_flat_weights();
+        let p = NetworkPerturber::new(8).unwrap();
+        let chip = ChipProfile::generic();
+        let mut r = rng(5);
+        let _perturbed = p.perturb_random(&net, &chip, 0.05, &mut r).unwrap();
+        assert_eq!(net.to_flat_weights(), before);
+    }
+
+    #[test]
+    fn higher_ber_causes_larger_weight_deviation() {
+        let net = test_net(6);
+        let p = NetworkPerturber::new(8).unwrap();
+        let chip = ChipProfile::generic();
+        let mut r = rng(7);
+        let deviation = |ber: f64, r: &mut rand::rngs::StdRng| {
+            let perturbed = p.perturb_random(&net, &chip, ber, r).unwrap();
+            perturbed
+                .to_flat_weights()
+                .iter()
+                .zip(net.to_flat_weights())
+                .map(|(a, b)| (a - b).abs() as f64)
+                .sum::<f64>()
+        };
+        let low: f64 = (0..5).map(|_| deviation(0.001, &mut r)).sum();
+        let high: f64 = (0..5).map(|_| deviation(0.05, &mut r)).sum();
+        assert!(high > low, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn same_fault_map_gives_identical_perturbations() {
+        let net = test_net(8);
+        let p = NetworkPerturber::new(8).unwrap();
+        let chip = ChipProfile::generic();
+        let mut r = rng(9);
+        let map = p.sample_fault_map(&net, &chip, 0.02, &mut r).unwrap();
+        let a = p.perturb_with_map(&net, &map).unwrap();
+        let b = p.perturb_with_map(&net, &map).unwrap();
+        assert_eq!(a.to_flat_weights(), b.to_flat_weights());
+    }
+
+    #[test]
+    fn perturbed_network_still_runs_forward() {
+        let net = test_net(10);
+        let p = NetworkPerturber::new(8).unwrap();
+        let chip = ChipProfile::chip2_column_aligned();
+        let mut r = rng(11);
+        let mut perturbed = p.perturb_random(&net, &chip, 0.1, &mut r).unwrap();
+        let x = berry_nn::tensor::Tensor::zeros(&[1, 8]);
+        let y = perturbed.forward(&x);
+        assert_eq!(y.shape(), &[1, 5]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn voltage_based_sampling_follows_the_chip_curve() {
+        let net = test_net(12);
+        let p = NetworkPerturber::new(8).unwrap();
+        let chip = ChipProfile::generic();
+        let mut r = rng(13);
+        let at_vmin = p
+            .sample_fault_map_at_voltage(&net, &chip, 1.0, &mut r)
+            .unwrap();
+        assert!(at_vmin.is_empty());
+        let low = p
+            .sample_fault_map_at_voltage(&net, &chip, 0.68, &mut r)
+            .unwrap();
+        assert!(!low.is_empty());
+    }
+}

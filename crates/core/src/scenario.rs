@@ -1,0 +1,144 @@
+//! The 72-scenario evaluation grid of the paper's Section V.
+//!
+//! "We evaluate BERRY on 72 UAV deployment scenarios and show that BERRY
+//! generalizes across UAVs, environments, voltages, and bit error patterns."
+//! The grid enumerated here spans: 3 obstacle densities × 2 UAV platforms ×
+//! 2 policy architectures × 2 learning modes × 3 chip fault profiles = 72
+//! deployment scenarios.
+
+use berry_faults::chip::ChipProfile;
+use berry_rl::policy::QNetworkSpec;
+use berry_uav::platform::UavPlatform;
+use berry_uav::world::ObstacleDensity;
+use serde::{Deserialize, Serialize};
+
+/// Which learning paradigm a scenario uses (offline vs on-device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioMode {
+    /// Offline error-aware learning with random fault maps.
+    Offline,
+    /// On-device error-aware learning against the deployed chip's faults.
+    OnDevice,
+}
+
+impl ScenarioMode {
+    /// Both modes.
+    pub fn all() -> [ScenarioMode; 2] {
+        [ScenarioMode::Offline, ScenarioMode::OnDevice]
+    }
+
+    /// Short label used in scenario identifiers.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioMode::Offline => "offline",
+            ScenarioMode::OnDevice => "ondevice",
+        }
+    }
+}
+
+/// One deployment scenario of the 72-scenario grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Obstacle density of the navigation environment.
+    pub density: ObstacleDensity,
+    /// Name of the UAV platform.
+    pub platform: String,
+    /// Name of the policy architecture.
+    pub policy: String,
+    /// Learning mode.
+    pub mode: ScenarioMode,
+    /// Name of the chip fault profile.
+    pub chip: String,
+}
+
+impl Scenario {
+    /// A unique, filesystem-friendly identifier for the scenario.
+    pub fn id(&self) -> String {
+        format!(
+            "{}_{}_{}_{}_{}",
+            self.density.label(),
+            self.platform.to_lowercase().replace([' ', '.'], "-"),
+            self.policy.to_lowercase(),
+            self.mode.label(),
+            self.chip
+        )
+    }
+
+    /// The full 72-scenario grid.
+    pub fn grid() -> Vec<Scenario> {
+        let mut scenarios = Vec::with_capacity(72);
+        for density in ObstacleDensity::all() {
+            for platform in UavPlatform::all_builtin() {
+                for policy in [QNetworkSpec::C3F2, QNetworkSpec::C5F4] {
+                    for mode in ScenarioMode::all() {
+                        for chip in ChipProfile::all_builtin() {
+                            scenarios.push(Scenario {
+                                density,
+                                platform: platform.name().to_string(),
+                                policy: policy.name().to_string(),
+                                mode,
+                                chip: chip.name().to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} obstacles / {} / {} / {} learning / {}",
+            self.density, self.platform, self.policy, self.mode.label(), self.chip
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grid_has_exactly_72_scenarios() {
+        let grid = Scenario::grid();
+        assert_eq!(grid.len(), 72);
+    }
+
+    #[test]
+    fn scenario_ids_are_unique() {
+        let grid = Scenario::grid();
+        let ids: HashSet<String> = grid.iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), grid.len());
+    }
+
+    #[test]
+    fn grid_covers_every_axis_value() {
+        let grid = Scenario::grid();
+        for density in ObstacleDensity::all() {
+            assert!(grid.iter().any(|s| s.density == density));
+        }
+        for mode in ScenarioMode::all() {
+            assert!(grid.iter().any(|s| s.mode == mode));
+        }
+        assert!(grid.iter().any(|s| s.platform.contains("Crazyflie")));
+        assert!(grid.iter().any(|s| s.platform.contains("Tello")));
+        assert!(grid.iter().any(|s| s.policy == "C3F2"));
+        assert!(grid.iter().any(|s| s.policy == "C5F4"));
+        assert!(grid.iter().any(|s| s.chip.contains("column-aligned")));
+    }
+
+    #[test]
+    fn display_and_labels_are_informative() {
+        let s = &Scenario::grid()[0];
+        let text = s.to_string();
+        assert!(text.contains("obstacles"));
+        assert!(!s.id().contains(' '));
+        assert_eq!(ScenarioMode::Offline.label(), "offline");
+        assert_eq!(ScenarioMode::OnDevice.label(), "ondevice");
+    }
+}

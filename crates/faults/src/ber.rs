@@ -1,0 +1,322 @@
+//! Voltage → bit-error-rate model.
+//!
+//! The paper characterizes a 14 nm FinFET SRAM whose bit-error rate grows
+//! exponentially (super-exponentially, in fact) as the supply voltage is
+//! lowered toward the near-threshold region (Fig. 2), and reports concrete
+//! (voltage, BER) operating points in Table II.  [`VoltageBerModel`] fits
+//! `log10(BER)` with a quadratic in the normalized voltage through three of
+//! those anchor points, which reproduces every Table II row to within a few
+//! percent.
+
+use crate::error::FaultError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Anchor points taken from Table II of the paper:
+/// `(voltage in Vmin units, bit error rate in %)`.
+pub const TABLE2_ANCHORS: [(f64, f64); 3] = [(0.86, 1.96e-6), (0.77, 2.47e-2), (0.64, 20.36)];
+
+/// The voltage (in Vmin units) at and above which the model reports zero
+/// bit errors.  Vmin is *defined* in the paper as the lowest voltage with no
+/// observed bit errors, so the curve is clamped to zero at `1.0`.
+pub const ERROR_FREE_VOLTAGE: f64 = 1.0;
+
+/// Lowest normalized voltage the model accepts.
+pub const MIN_SUPPORTED_VOLTAGE: f64 = 0.5;
+
+/// Highest normalized voltage the model accepts (nominal 1 V operation for a
+/// chip whose Vmin is around 0.7 V corresponds to roughly 1.43 Vmin).
+pub const MAX_SUPPORTED_VOLTAGE: f64 = 1.6;
+
+/// An analytic voltage → bit-error-rate curve.
+///
+/// Voltages are expressed in units of `Vmin`, the lowest voltage at which the
+/// characterized SRAM shows no bit errors.  Bit error rates are returned as
+/// *fractions* (not percent) to avoid unit mistakes in downstream code; use
+/// [`VoltageBerModel::ber_percent`] when formatting results like the paper.
+///
+/// # Examples
+///
+/// ```
+/// use berry_faults::ber::VoltageBerModel;
+///
+/// # fn main() -> Result<(), berry_faults::FaultError> {
+/// let model = VoltageBerModel::from_table2();
+/// // At 0.77 Vmin the paper reports p = 2.47e-2 %.
+/// let p = model.ber_percent(0.77)?;
+/// assert!((p - 2.47e-2).abs() / 2.47e-2 < 0.05);
+/// // At (or above) Vmin there are no bit errors.
+/// assert_eq!(model.ber_fraction(1.0)?, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltageBerModel {
+    /// Coefficients of `log10(p%) = a + b·v + c·v²`.
+    coeff_a: f64,
+    coeff_b: f64,
+    coeff_c: f64,
+    /// Voltage at and above which the BER is reported as exactly zero.
+    error_free_voltage: f64,
+}
+
+impl VoltageBerModel {
+    /// Builds the model through three `(voltage, ber_percent)` anchor
+    /// points using Lagrange interpolation of `log10(ber_percent)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidGeometry`] if any two anchor voltages
+    /// coincide, or [`FaultError::InvalidProbability`] if an anchor BER is
+    /// not strictly positive and at most 100 %.
+    pub fn from_anchors(anchors: [(f64, f64); 3], error_free_voltage: f64) -> Result<Self> {
+        for (_, p) in &anchors {
+            if *p <= 0.0 || *p > 100.0 {
+                return Err(FaultError::InvalidProbability {
+                    name: "anchor ber_percent",
+                    value: *p,
+                });
+            }
+        }
+        let (x0, y0) = (anchors[0].0, anchors[0].1.log10());
+        let (x1, y1) = (anchors[1].0, anchors[1].1.log10());
+        let (x2, y2) = (anchors[2].0, anchors[2].1.log10());
+        let d0 = (x0 - x1) * (x0 - x2);
+        let d1 = (x1 - x0) * (x1 - x2);
+        let d2 = (x2 - x0) * (x2 - x1);
+        if d0 == 0.0 || d1 == 0.0 || d2 == 0.0 {
+            return Err(FaultError::InvalidGeometry(
+                "anchor voltages must be distinct".into(),
+            ));
+        }
+        // Expand the Lagrange basis polynomials into a + b·v + c·v².
+        let c = y0 / d0 + y1 / d1 + y2 / d2;
+        let b = -(y0 * (x1 + x2) / d0 + y1 * (x0 + x2) / d1 + y2 * (x0 + x1) / d2);
+        let a = y0 * x1 * x2 / d0 + y1 * x0 * x2 / d1 + y2 * x0 * x1 / d2;
+        Ok(Self {
+            coeff_a: a,
+            coeff_b: b,
+            coeff_c: c,
+            error_free_voltage,
+        })
+    }
+
+    /// The model calibrated to the paper's Table II operating points.
+    pub fn from_table2() -> Self {
+        Self::from_anchors(TABLE2_ANCHORS, ERROR_FREE_VOLTAGE)
+            .expect("table 2 anchors are valid by construction")
+    }
+
+    /// Validates that a normalized voltage lies in the supported range.
+    fn check_voltage(voltage: f64) -> Result<()> {
+        if !(MIN_SUPPORTED_VOLTAGE..=MAX_SUPPORTED_VOLTAGE).contains(&voltage)
+            || !voltage.is_finite()
+        {
+            return Err(FaultError::InvalidVoltage { voltage });
+        }
+        Ok(())
+    }
+
+    /// Bit error rate in percent at the given normalized voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidVoltage`] if `voltage` lies outside
+    /// `[MIN_SUPPORTED_VOLTAGE, MAX_SUPPORTED_VOLTAGE]`.
+    pub fn ber_percent(&self, voltage: f64) -> Result<f64> {
+        Self::check_voltage(voltage)?;
+        if voltage >= self.error_free_voltage {
+            return Ok(0.0);
+        }
+        let log_p = self.coeff_a + self.coeff_b * voltage + self.coeff_c * voltage * voltage;
+        Ok(10f64.powf(log_p).min(100.0))
+    }
+
+    /// Bit error rate as a fraction in `[0, 1]` at the given normalized
+    /// voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidVoltage`] for out-of-range voltages.
+    pub fn ber_fraction(&self, voltage: f64) -> Result<f64> {
+        Ok(self.ber_percent(voltage)? / 100.0)
+    }
+
+    /// The lowest normalized voltage whose BER does not exceed
+    /// `max_ber_fraction`, found by bisection over the supported range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidProbability`] if `max_ber_fraction` is
+    /// outside `[0, 1]`.
+    pub fn min_voltage_for_ber(&self, max_ber_fraction: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&max_ber_fraction) {
+            return Err(FaultError::InvalidProbability {
+                name: "max_ber_fraction",
+                value: max_ber_fraction,
+            });
+        }
+        let mut lo = MIN_SUPPORTED_VOLTAGE;
+        let mut hi = self.error_free_voltage;
+        // BER is monotonically decreasing in voltage over the supported range.
+        if self.ber_fraction(lo)? <= max_ber_fraction {
+            return Ok(lo);
+        }
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.ber_fraction(mid)? <= max_ber_fraction {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+
+    /// The voltage at and above which the model reports zero errors.
+    pub fn error_free_voltage(&self) -> f64 {
+        self.error_free_voltage
+    }
+}
+
+impl Default for VoltageBerModel {
+    fn default() -> Self {
+        Self::from_table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Every operating point from Table II of the paper:
+    /// (normalized voltage, bit error rate in %).
+    const TABLE2_ALL: [(f64, f64); 13] = [
+        (0.86, 1.96e-6),
+        (0.84, 1.38e-5),
+        (0.83, 8.23e-5),
+        (0.81, 4.22e-4),
+        (0.80, 1.87e-3),
+        (0.79, 7.25e-3),
+        (0.77, 2.47e-2),
+        (0.76, 7.49e-2),
+        (0.74, 2.03e-1),
+        (0.73, 4.98e-1),
+        (0.71, 1.11),
+        (0.68, 5.80),
+        (0.64, 20.36),
+    ];
+
+    #[test]
+    fn anchors_are_reproduced_exactly() {
+        let m = VoltageBerModel::from_table2();
+        for (v, p) in TABLE2_ANCHORS {
+            let got = m.ber_percent(v).unwrap();
+            assert!((got - p).abs() / p < 1e-6, "at {v}: {got} vs {p}");
+        }
+    }
+
+    #[test]
+    fn table2_rows_are_within_an_order_of_magnitude() {
+        // The quadratic log-fit should track the measured curve closely; we
+        // allow a generous factor because the paper's own numbers come from
+        // a measured chip, but the *trend* must hold tightly.
+        let m = VoltageBerModel::from_table2();
+        for (v, p) in TABLE2_ALL {
+            let got = m.ber_percent(v).unwrap();
+            let ratio = got / p;
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "at {v}: model {got} vs paper {p} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn ber_is_monotonically_decreasing_in_voltage() {
+        let m = VoltageBerModel::from_table2();
+        let mut prev = f64::INFINITY;
+        let mut v = 0.62;
+        while v <= 1.0 {
+            let p = m.ber_percent(v).unwrap();
+            assert!(p <= prev + 1e-12, "BER increased at {v}");
+            prev = p;
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn no_errors_at_or_above_vmin() {
+        let m = VoltageBerModel::from_table2();
+        assert_eq!(m.ber_percent(1.0).unwrap(), 0.0);
+        assert_eq!(m.ber_percent(1.3).unwrap(), 0.0);
+        assert_eq!(m.error_free_voltage(), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_voltage_is_rejected() {
+        let m = VoltageBerModel::from_table2();
+        assert!(m.ber_percent(0.1).is_err());
+        assert!(m.ber_percent(2.0).is_err());
+        assert!(m.ber_percent(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn min_voltage_for_ber_inverts_the_curve() {
+        let m = VoltageBerModel::from_table2();
+        for target in [1e-6, 1e-4, 1e-3, 0.01, 0.1] {
+            let v = m.min_voltage_for_ber(target).unwrap();
+            let p = m.ber_fraction(v).unwrap();
+            assert!(p <= target * 1.01 + 1e-15, "v={v} p={p} target={target}");
+            // A slightly lower voltage must exceed the target (tightness).
+            if v > MIN_SUPPORTED_VOLTAGE + 0.02 {
+                let p_lower = m.ber_fraction(v - 0.01).unwrap();
+                assert!(p_lower > target, "bound is not tight at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_voltage_rejects_bad_probability() {
+        let m = VoltageBerModel::from_table2();
+        assert!(m.min_voltage_for_ber(-0.1).is_err());
+        assert!(m.min_voltage_for_ber(1.5).is_err());
+    }
+
+    #[test]
+    fn duplicate_anchor_voltages_are_rejected() {
+        let res = VoltageBerModel::from_anchors([(0.8, 1.0), (0.8, 2.0), (0.7, 3.0)], 1.0);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn non_positive_anchor_ber_is_rejected() {
+        let res = VoltageBerModel::from_anchors([(0.8, 0.0), (0.7, 2.0), (0.6, 3.0)], 1.0);
+        assert!(res.is_err());
+        let res = VoltageBerModel::from_anchors([(0.8, 101.0), (0.7, 2.0), (0.6, 3.0)], 1.0);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn default_is_table2() {
+        assert_eq!(VoltageBerModel::default(), VoltageBerModel::from_table2());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ber_fraction_is_a_valid_probability(v in 0.55f64..1.5) {
+            let m = VoltageBerModel::from_table2();
+            let p = m.ber_fraction(v).unwrap();
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn prop_percent_and_fraction_agree(v in 0.55f64..1.5) {
+            let m = VoltageBerModel::from_table2();
+            let pct = m.ber_percent(v).unwrap();
+            let frac = m.ber_fraction(v).unwrap();
+            prop_assert!((pct / 100.0 - frac).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the `berry-faults` crate.
+
+use std::fmt;
+
+/// Errors produced by fault-model construction and fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A probability argument was outside `[0, 1]`.
+    InvalidProbability {
+        /// The parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A voltage argument was outside the model's supported range.
+    InvalidVoltage {
+        /// The offending normalized voltage (in units of Vmin).
+        voltage: f64,
+    },
+    /// A size or geometry argument was invalid (for example zero bits).
+    InvalidGeometry(String),
+    /// A fault map was applied to a memory of a different size.
+    MemorySizeMismatch {
+        /// Bits covered by the fault map.
+        map_bits: usize,
+        /// Bits available in the target memory.
+        memory_bits: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidProbability { name, value } => {
+                write!(f, "probability `{name}` must lie in [0, 1], got {value}")
+            }
+            FaultError::InvalidVoltage { voltage } => {
+                write!(f, "normalized voltage {voltage} is outside the supported range")
+            }
+            FaultError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            FaultError::MemorySizeMismatch {
+                map_bits,
+                memory_bits,
+            } => write!(
+                f,
+                "fault map covers {map_bits} bits but the memory holds {memory_bits} bits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            FaultError::InvalidProbability {
+                name: "p",
+                value: 1.5,
+            },
+            FaultError::InvalidVoltage { voltage: -1.0 },
+            FaultError::InvalidGeometry("zero bits".into()),
+            FaultError::MemorySizeMismatch {
+                map_bits: 8,
+                memory_bits: 16,
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultError>();
+    }
+}

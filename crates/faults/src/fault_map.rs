@@ -1,0 +1,425 @@
+//! Persistent fault maps: which bit cells are broken and what they read as.
+//!
+//! At a given supply voltage, low-voltage bit errors are *persistent*: the
+//! same cells misbehave across reads and writes (paper Section II-B), so
+//! redundancy in time does not help and standard ECC is overwhelmed when
+//! multiple bits per word fail.  A [`FaultMap`] is one concrete draw of
+//! faulty cells — an unordered set of bit indices, each with a stuck-at
+//! value — that can be applied repeatedly to a byte-addressable memory
+//! image (the quantized weight buffers of a policy network).
+
+use crate::error::FaultError;
+use crate::pattern::ErrorPattern;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// The value a faulty bit cell reads as, regardless of what was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StuckValue {
+    /// The cell always reads 0 (a stored 1 suffers a 1→0 flip).
+    Zero,
+    /// The cell always reads 1 (a stored 0 suffers a 0→1 flip).
+    One,
+}
+
+impl StuckValue {
+    /// The bit value this fault forces.
+    pub fn as_bit(self) -> u8 {
+        match self {
+            StuckValue::Zero => 0,
+            StuckValue::One => 1,
+        }
+    }
+}
+
+/// A single faulty bit cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitFault {
+    /// Flat bit index into the memory (`byte_index * 8 + bit_in_byte`).
+    pub bit_index: usize,
+    /// The value the cell is stuck at.
+    pub stuck: StuckValue,
+}
+
+/// A persistent set of faulty bit cells over a memory of `total_bits` bits.
+///
+/// # Examples
+///
+/// ```
+/// use berry_faults::fault_map::{FaultMap, StuckValue};
+/// use berry_faults::pattern::ErrorPattern;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), berry_faults::FaultError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let map = FaultMap::generate(&mut rng, 800, 0.05, &ErrorPattern::UniformRandom, 0.5)?;
+/// let mut memory = vec![0xFFu8; 100];
+/// map.apply(&mut memory);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultMap {
+    faults: Vec<BitFault>,
+    total_bits: usize,
+}
+
+impl FaultMap {
+    /// Creates a fault map from an explicit list of faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidGeometry`] if any fault index is out of
+    /// range of `total_bits`.
+    pub fn from_faults(faults: Vec<BitFault>, total_bits: usize) -> Result<Self> {
+        if let Some(bad) = faults.iter().find(|f| f.bit_index >= total_bits) {
+            return Err(FaultError::InvalidGeometry(format!(
+                "fault at bit {} exceeds memory of {} bits",
+                bad.bit_index, total_bits
+            )));
+        }
+        Ok(Self { faults, total_bits })
+    }
+
+    /// An empty fault map (error-free memory) of the given size.
+    pub fn error_free(total_bits: usize) -> Self {
+        Self {
+            faults: Vec::new(),
+            total_bits,
+        }
+    }
+
+    /// Draws a fault map for a memory of `total_bits` bits at bit-error rate
+    /// `ber` (fraction in `[0, 1]`) with the given spatial pattern.
+    ///
+    /// `stuck_at_one_bias` is the probability that a faulty cell is stuck at
+    /// 1 rather than 0; `0.5` models the unbiased random chip of the paper's
+    /// Fig. 2 and values above `0.5` model the column-aligned chip with a
+    /// bias towards 0→1 flips (Table III).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` or `stuck_at_one_bias` is not a valid
+    /// probability, or if the pattern's parameters are invalid.
+    pub fn generate<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        total_bits: usize,
+        ber: f64,
+        pattern: &ErrorPattern,
+        stuck_at_one_bias: f64,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&stuck_at_one_bias) || !stuck_at_one_bias.is_finite() {
+            return Err(FaultError::InvalidProbability {
+                name: "stuck_at_one_bias",
+                value: stuck_at_one_bias,
+            });
+        }
+        let indices = pattern.sample_fault_indices(rng, total_bits, ber)?;
+        let faults = indices
+            .into_iter()
+            .map(|bit_index| BitFault {
+                bit_index,
+                stuck: if rng.gen_bool(stuck_at_one_bias) {
+                    StuckValue::One
+                } else {
+                    StuckValue::Zero
+                },
+            })
+            .collect();
+        Ok(Self { faults, total_bits })
+    }
+
+    /// Number of faulty bit cells.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the map contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Size of the covered memory in bits.
+    pub fn total_bits(&self) -> usize {
+        self.total_bits
+    }
+
+    /// The realized bit error rate of this particular draw (fraction).
+    pub fn realized_ber(&self) -> f64 {
+        if self.total_bits == 0 {
+            0.0
+        } else {
+            self.faults.len() as f64 / self.total_bits as f64
+        }
+    }
+
+    /// The individual faults.
+    pub fn faults(&self) -> &[BitFault] {
+        &self.faults
+    }
+
+    /// Fraction of faults stuck at 1 (returns 0.5 for an empty map so the
+    /// statistic stays well-defined).
+    pub fn stuck_at_one_fraction(&self) -> f64 {
+        if self.faults.is_empty() {
+            return 0.5;
+        }
+        self.faults
+            .iter()
+            .filter(|f| f.stuck == StuckValue::One)
+            .count() as f64
+            / self.faults.len() as f64
+    }
+
+    /// Applies the fault map to a memory image, forcing each faulty bit to
+    /// its stuck value.  Returns the number of bits whose value actually
+    /// changed (a stuck-at-0 cell holding a 0 is faulty but invisible).
+    ///
+    /// Bits beyond `memory.len() * 8` are ignored, which lets one fault map
+    /// drawn for the full parameter memory be applied to a prefix when only
+    /// part of the model lives in the faulty SRAM.
+    pub fn apply(&self, memory: &mut [u8]) -> usize {
+        let memory_bits = memory.len() * 8;
+        let mut changed = 0usize;
+        for fault in &self.faults {
+            if fault.bit_index >= memory_bits {
+                continue;
+            }
+            let byte = fault.bit_index / 8;
+            let bit = fault.bit_index % 8;
+            let mask = 1u8 << bit;
+            let current = (memory[byte] >> bit) & 1;
+            let target = fault.stuck.as_bit();
+            if current != target {
+                memory[byte] ^= mask;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Applies the fault map, requiring the memory to be exactly the size
+    /// the map was drawn for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::MemorySizeMismatch`] if the sizes differ.
+    pub fn apply_strict(&self, memory: &mut [u8]) -> Result<usize> {
+        let memory_bits = memory.len() * 8;
+        if memory_bits != self.total_bits {
+            return Err(FaultError::MemorySizeMismatch {
+                map_bits: self.total_bits,
+                memory_bits,
+            });
+        }
+        Ok(self.apply(memory))
+    }
+
+    /// Restricts the map to the first `bits` bits (used to slice a
+    /// whole-model fault map into per-layer segments).
+    pub fn truncated(&self, bits: usize) -> FaultMap {
+        FaultMap {
+            faults: self
+                .faults
+                .iter()
+                .copied()
+                .filter(|f| f.bit_index < bits)
+                .collect(),
+            total_bits: bits.min(self.total_bits),
+        }
+    }
+
+    /// Returns the sub-map covering bit indices `[start, start + bits)`,
+    /// re-based so its indices start at zero.
+    pub fn window(&self, start: usize, bits: usize) -> FaultMap {
+        FaultMap {
+            faults: self
+                .faults
+                .iter()
+                .filter(|f| f.bit_index >= start && f.bit_index < start + bits)
+                .map(|f| BitFault {
+                    bit_index: f.bit_index - start,
+                    stuck: f.stuck,
+                })
+                .collect(),
+            total_bits: bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn error_free_map_changes_nothing() {
+        let map = FaultMap::error_free(64);
+        let mut memory = vec![0xA5u8; 8];
+        let before = memory.clone();
+        assert_eq!(map.apply(&mut memory), 0);
+        assert_eq!(memory, before);
+        assert!(map.is_empty());
+        assert_eq!(map.realized_ber(), 0.0);
+    }
+
+    #[test]
+    fn stuck_at_values_are_forced() {
+        let map = FaultMap::from_faults(
+            vec![
+                BitFault {
+                    bit_index: 0,
+                    stuck: StuckValue::One,
+                },
+                BitFault {
+                    bit_index: 9,
+                    stuck: StuckValue::Zero,
+                },
+            ],
+            16,
+        )
+        .unwrap();
+        let mut memory = vec![0b0000_0000u8, 0b0000_0010u8];
+        let changed = map.apply(&mut memory);
+        assert_eq!(changed, 2);
+        assert_eq!(memory[0], 0b0000_0001);
+        assert_eq!(memory[1], 0b0000_0000);
+        // Applying again is idempotent: the cells are already stuck.
+        let changed_again = map.apply(&mut memory);
+        assert_eq!(changed_again, 0);
+    }
+
+    #[test]
+    fn faults_beyond_memory_bounds_are_rejected_at_construction() {
+        let res = FaultMap::from_faults(
+            vec![BitFault {
+                bit_index: 100,
+                stuck: StuckValue::One,
+            }],
+            64,
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn apply_strict_checks_size() {
+        let map = FaultMap::error_free(64);
+        let mut small = vec![0u8; 4];
+        assert!(map.apply_strict(&mut small).is_err());
+        let mut right = vec![0u8; 8];
+        assert_eq!(map.apply_strict(&mut right).unwrap(), 0);
+    }
+
+    #[test]
+    fn generate_respects_bias() {
+        let mut r = rng(1);
+        let map = FaultMap::generate(&mut r, 100_000, 0.05, &ErrorPattern::UniformRandom, 0.9)
+            .unwrap();
+        assert!(map.len() > 1000);
+        assert!(map.stuck_at_one_fraction() > 0.8);
+        let map0 = FaultMap::generate(&mut r, 100_000, 0.05, &ErrorPattern::UniformRandom, 0.0)
+            .unwrap();
+        assert_eq!(map0.stuck_at_one_fraction(), 0.0);
+    }
+
+    #[test]
+    fn generate_rejects_invalid_bias() {
+        let mut r = rng(2);
+        assert!(
+            FaultMap::generate(&mut r, 100, 0.1, &ErrorPattern::UniformRandom, 1.5).is_err()
+        );
+    }
+
+    #[test]
+    fn realized_ber_tracks_requested_rate() {
+        let mut r = rng(3);
+        let map =
+            FaultMap::generate(&mut r, 500_000, 0.02, &ErrorPattern::UniformRandom, 0.5).unwrap();
+        assert!((map.realized_ber() / 0.02 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn truncated_and_window_restrict_indices() {
+        let map = FaultMap::from_faults(
+            vec![
+                BitFault {
+                    bit_index: 3,
+                    stuck: StuckValue::One,
+                },
+                BitFault {
+                    bit_index: 12,
+                    stuck: StuckValue::Zero,
+                },
+                BitFault {
+                    bit_index: 27,
+                    stuck: StuckValue::One,
+                },
+            ],
+            32,
+        )
+        .unwrap();
+        let t = map.truncated(16);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_bits(), 16);
+        let w = map.window(8, 8);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.faults()[0].bit_index, 4);
+        assert_eq!(w.total_bits(), 8);
+    }
+
+    #[test]
+    fn persistent_across_rewrites() {
+        // The same map applied after a memory rewrite hits the same cells —
+        // this is what distinguishes low-voltage errors from transient ones.
+        let mut r = rng(4);
+        let map =
+            FaultMap::generate(&mut r, 8 * 64, 0.1, &ErrorPattern::UniformRandom, 0.5).unwrap();
+        let mut mem1 = vec![0x00u8; 64];
+        let mut mem2 = vec![0xFFu8; 64];
+        map.apply(&mut mem1);
+        map.apply(&mut mem2);
+        for fault in map.faults() {
+            let byte = fault.bit_index / 8;
+            let bit = fault.bit_index % 8;
+            assert_eq!((mem1[byte] >> bit) & 1, fault.stuck.as_bit());
+            assert_eq!((mem2[byte] >> bit) & 1, fault.stuck.as_bit());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_apply_changes_at_most_len_bits(seed in 0u64..200, bytes in 1usize..64, ber in 0.0f64..0.5) {
+            let mut r = rng(seed);
+            let map = FaultMap::generate(&mut r, bytes * 8, ber, &ErrorPattern::UniformRandom, 0.5).unwrap();
+            let mut memory = vec![0u8; bytes];
+            let changed = map.apply(&mut memory);
+            prop_assert!(changed <= map.len());
+        }
+
+        #[test]
+        fn prop_apply_is_idempotent(seed in 0u64..200, bytes in 1usize..64, ber in 0.0f64..0.5) {
+            let mut r = rng(seed);
+            let map = FaultMap::generate(&mut r, bytes * 8, ber, &ErrorPattern::UniformRandom, 0.3).unwrap();
+            let mut memory: Vec<u8> = (0..bytes).map(|i| (i * 37) as u8).collect();
+            map.apply(&mut memory);
+            let snapshot = memory.clone();
+            map.apply(&mut memory);
+            prop_assert_eq!(memory, snapshot);
+        }
+
+        #[test]
+        fn prop_window_preserves_fault_count(seed in 0u64..100, bits in 16usize..512) {
+            let mut r = rng(seed);
+            let map = FaultMap::generate(&mut r, bits, 0.2, &ErrorPattern::UniformRandom, 0.5).unwrap();
+            let half = bits / 2;
+            let lo = map.window(0, half);
+            let hi = map.window(half, bits - half);
+            prop_assert_eq!(lo.len() + hi.len(), map.len());
+        }
+    }
+}

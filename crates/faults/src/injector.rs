@@ -1,0 +1,328 @@
+//! High-level injection driver tying a chip profile to an operating point.
+//!
+//! [`BitErrorInjector`] is the object the BERRY trainer and evaluator hold:
+//! it knows which chip is being modelled and at what voltage (or explicit
+//! bit-error rate) it runs, and can either reuse one persistent fault map
+//! (on-device learning, inference on a specific chip) or draw a fresh map on
+//! every call (offline learning with random bit flips, evaluation over many
+//! chips).
+
+use crate::chip::ChipProfile;
+use crate::error::FaultError;
+use crate::fault_map::FaultMap;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// How bit errors are chosen at injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectionMode {
+    /// Draw a fresh fault map on every injection (offline learning:
+    /// "learn with injected random bit-flips", generalizes across chips).
+    FreshEachTime,
+    /// Draw one fault map up front and reuse it (on-device learning and
+    /// deployment: "learn with actual low-voltage bit-flips" of a specific
+    /// chip).
+    Persistent,
+}
+
+/// The operating point an injector models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OperatingPoint {
+    /// A normalized supply voltage (in Vmin units); the BER follows the
+    /// chip's voltage curve.
+    Voltage(f64),
+    /// An explicit bit error rate (fraction in `[0, 1]`), bypassing the
+    /// voltage curve.
+    BitErrorRate(f64),
+}
+
+impl OperatingPoint {
+    /// Resolves the operating point to a bit error rate for a given chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range voltages or probabilities.
+    pub fn ber(&self, chip: &ChipProfile) -> Result<f64> {
+        match *self {
+            OperatingPoint::Voltage(v) => chip.ber_at_voltage(v),
+            OperatingPoint::BitErrorRate(p) => {
+                if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                    Err(FaultError::InvalidProbability {
+                        name: "bit_error_rate",
+                        value: p,
+                    })
+                } else {
+                    Ok(p)
+                }
+            }
+        }
+    }
+}
+
+/// Injects low-voltage bit errors into byte memories on behalf of the BERRY
+/// trainer and evaluator.
+///
+/// # Examples
+///
+/// ```
+/// use berry_faults::injector::{BitErrorInjector, InjectionMode, OperatingPoint};
+/// use berry_faults::chip::ChipProfile;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), berry_faults::FaultError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut injector = BitErrorInjector::new(
+///     ChipProfile::generic(),
+///     OperatingPoint::BitErrorRate(0.01),
+///     InjectionMode::Persistent,
+///     8 * 1024,
+/// );
+/// let mut memory = vec![0u8; 1024];
+/// injector.inject(&mut rng, &mut memory)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitErrorInjector {
+    chip: ChipProfile,
+    operating_point: OperatingPoint,
+    mode: InjectionMode,
+    total_bits: usize,
+    persistent_map: Option<FaultMap>,
+    injection_count: u64,
+}
+
+impl BitErrorInjector {
+    /// Creates an injector for a memory of `total_bits` bits.
+    pub fn new(
+        chip: ChipProfile,
+        operating_point: OperatingPoint,
+        mode: InjectionMode,
+        total_bits: usize,
+    ) -> Self {
+        Self {
+            chip,
+            operating_point,
+            mode,
+            total_bits,
+            persistent_map: None,
+            injection_count: 0,
+        }
+    }
+
+    /// The chip being modelled.
+    pub fn chip(&self) -> &ChipProfile {
+        &self.chip
+    }
+
+    /// The configured operating point.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.operating_point
+    }
+
+    /// The injection mode.
+    pub fn mode(&self) -> InjectionMode {
+        self.mode
+    }
+
+    /// The memory size (bits) this injector covers.
+    pub fn total_bits(&self) -> usize {
+        self.total_bits
+    }
+
+    /// Number of `inject` calls performed so far.
+    pub fn injection_count(&self) -> u64 {
+        self.injection_count
+    }
+
+    /// The bit error rate the injector currently targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the operating point is invalid for the chip.
+    pub fn target_ber(&self) -> Result<f64> {
+        self.operating_point.ber(&self.chip)
+    }
+
+    /// Changes the operating point (e.g. on a voltage sweep), discarding any
+    /// persistent fault map so the next injection redraws it.
+    pub fn set_operating_point(&mut self, op: OperatingPoint) {
+        self.operating_point = op;
+        self.persistent_map = None;
+    }
+
+    /// Returns the persistent fault map, drawing it first if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fault-map generation fails.
+    pub fn persistent_map<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) -> Result<&FaultMap> {
+        if self.persistent_map.is_none() {
+            let ber = self.operating_point.ber(&self.chip)?;
+            let map = FaultMap::generate(
+                rng,
+                self.total_bits,
+                ber,
+                self.chip.pattern(),
+                self.chip.stuck_at_one_bias(),
+            )?;
+            self.persistent_map = Some(map);
+        }
+        Ok(self.persistent_map.as_ref().expect("just inserted"))
+    }
+
+    /// Forces a particular persistent fault map (used by tests and by the
+    /// evaluator when the same physical chip must be shared between learning
+    /// and deployment).
+    pub fn set_persistent_map(&mut self, map: FaultMap) {
+        self.persistent_map = Some(map);
+    }
+
+    /// Injects bit errors into `memory`, returning the number of bits that
+    /// changed.
+    ///
+    /// In [`InjectionMode::FreshEachTime`] a new fault map is drawn per
+    /// call; in [`InjectionMode::Persistent`] the same map is reused (drawn
+    /// lazily on the first call).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fault-map generation fails.
+    pub fn inject<R: rand::Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        memory: &mut [u8],
+    ) -> Result<usize> {
+        self.injection_count += 1;
+        match self.mode {
+            InjectionMode::FreshEachTime => {
+                let ber = self.operating_point.ber(&self.chip)?;
+                let map = FaultMap::generate(
+                    rng,
+                    self.total_bits,
+                    ber,
+                    self.chip.pattern(),
+                    self.chip.stuck_at_one_bias(),
+                )?;
+                Ok(map.apply(memory))
+            }
+            InjectionMode::Persistent => {
+                let map = self.persistent_map(rng)?;
+                Ok(map.apply(memory))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn persistent_mode_reuses_the_same_map() {
+        let mut inj = BitErrorInjector::new(
+            ChipProfile::generic(),
+            OperatingPoint::BitErrorRate(0.05),
+            InjectionMode::Persistent,
+            8 * 256,
+        );
+        let mut r = rng(1);
+        let mut mem1 = vec![0u8; 256];
+        let mut mem2 = vec![0u8; 256];
+        inj.inject(&mut r, &mut mem1).unwrap();
+        inj.inject(&mut r, &mut mem2).unwrap();
+        assert_eq!(mem1, mem2, "persistent injection must be repeatable");
+        assert_eq!(inj.injection_count(), 2);
+    }
+
+    #[test]
+    fn fresh_mode_draws_different_maps() {
+        let mut inj = BitErrorInjector::new(
+            ChipProfile::generic(),
+            OperatingPoint::BitErrorRate(0.05),
+            InjectionMode::FreshEachTime,
+            8 * 256,
+        );
+        let mut r = rng(2);
+        let mut mem1 = vec![0u8; 256];
+        let mut mem2 = vec![0u8; 256];
+        inj.inject(&mut r, &mut mem1).unwrap();
+        inj.inject(&mut r, &mut mem2).unwrap();
+        assert_ne!(mem1, mem2, "fresh injection should differ between draws");
+    }
+
+    #[test]
+    fn voltage_operating_point_uses_chip_curve() {
+        let chip = ChipProfile::generic();
+        let op = OperatingPoint::Voltage(0.77);
+        let ber = op.ber(&chip).unwrap();
+        let direct = chip.ber_at_voltage(0.77).unwrap();
+        assert_eq!(ber, direct);
+    }
+
+    #[test]
+    fn invalid_explicit_ber_is_rejected() {
+        let chip = ChipProfile::generic();
+        assert!(OperatingPoint::BitErrorRate(1.5).ber(&chip).is_err());
+        assert!(OperatingPoint::BitErrorRate(f64::NAN).ber(&chip).is_err());
+    }
+
+    #[test]
+    fn set_operating_point_resets_persistent_map() {
+        let mut inj = BitErrorInjector::new(
+            ChipProfile::generic(),
+            OperatingPoint::BitErrorRate(0.05),
+            InjectionMode::Persistent,
+            8 * 128,
+        );
+        let mut r = rng(3);
+        let map1 = inj.persistent_map(&mut r).unwrap().clone();
+        inj.set_operating_point(OperatingPoint::BitErrorRate(0.2));
+        let map2 = inj.persistent_map(&mut r).unwrap().clone();
+        assert!(map2.len() > map1.len());
+        assert_eq!(inj.target_ber().unwrap(), 0.2);
+    }
+
+    #[test]
+    fn set_persistent_map_is_used_verbatim() {
+        let mut inj = BitErrorInjector::new(
+            ChipProfile::generic(),
+            OperatingPoint::BitErrorRate(0.0),
+            InjectionMode::Persistent,
+            16,
+        );
+        let map = FaultMap::from_faults(
+            vec![crate::fault_map::BitFault {
+                bit_index: 0,
+                stuck: crate::fault_map::StuckValue::One,
+            }],
+            16,
+        )
+        .unwrap();
+        inj.set_persistent_map(map);
+        let mut r = rng(4);
+        let mut mem = vec![0u8; 2];
+        let changed = inj.inject(&mut r, &mut mem).unwrap();
+        assert_eq!(changed, 1);
+        assert_eq!(mem[0] & 1, 1);
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let inj = BitErrorInjector::new(
+            ChipProfile::chip2_column_aligned(),
+            OperatingPoint::Voltage(0.8),
+            InjectionMode::FreshEachTime,
+            1024,
+        );
+        assert_eq!(inj.total_bits(), 1024);
+        assert_eq!(inj.mode(), InjectionMode::FreshEachTime);
+        assert_eq!(inj.chip().name(), "chip2-column-aligned");
+        assert!(matches!(inj.operating_point(), OperatingPoint::Voltage(v) if v == 0.8));
+    }
+}

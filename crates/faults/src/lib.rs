@@ -1,0 +1,69 @@
+//! # berry-faults
+//!
+//! Models of low-voltage-induced SRAM bit errors for the BERRY reproduction
+//! (bit-error-robust reinforcement learning for autonomous systems,
+//! DAC 2023).
+//!
+//! Lowering an accelerator's supply voltage toward near-threshold ranges
+//! exponentially increases the number of faulty SRAM bit cells (paper
+//! Fig. 2).  The faults are *persistent* — the same cells fail across reads
+//! and writes at a given voltage — and their locations are random and
+//! independent across chips and arrays, sometimes with structure such as
+//! column alignment and a bias toward 0→1 flips (paper Table III).
+//!
+//! This crate provides:
+//!
+//! * [`ber::VoltageBerModel`] — an analytic voltage → bit-error-rate curve
+//!   calibrated to the operating points reported in the paper's Table II,
+//! * [`pattern::ErrorPattern`] — spatial fault distributions
+//!   (uniform-random and column-aligned),
+//! * [`fault_map::FaultMap`] — a concrete, persistent set of faulty bit
+//!   cells with stuck-at values, applicable to any byte-addressable memory
+//!   image (e.g. the quantized weight buffers from `berry-nn`),
+//! * [`chip::ChipProfile`] — a named combination of BER curve, spatial
+//!   pattern and flip bias modelling one physical test chip,
+//! * [`injector::BitErrorInjector`] — convenience wrapper tying a chip and
+//!   an operating voltage to repeatable fault-map draws.
+//!
+//! All randomness flows through caller-supplied [`rand::Rng`] instances so
+//! every experiment is reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use berry_faults::chip::ChipProfile;
+//! use berry_faults::fault_map::FaultMap;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), berry_faults::FaultError> {
+//! let chip = ChipProfile::generic();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // A 1 KiB memory at 1 % bit error rate.
+//! let map = FaultMap::generate(&mut rng, 8 * 1024, 0.01, chip.pattern(), chip.stuck_at_one_bias())?;
+//! let mut memory = vec![0u8; 1024];
+//! let changed = map.apply(&mut memory);
+//! assert!(changed > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod chip;
+pub mod error;
+pub mod fault_map;
+pub mod injector;
+pub mod pattern;
+pub mod sampling;
+
+pub use ber::VoltageBerModel;
+pub use chip::ChipProfile;
+pub use error::FaultError;
+pub use fault_map::{BitFault, FaultMap, StuckValue};
+pub use injector::BitErrorInjector;
+pub use pattern::ErrorPattern;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FaultError>;

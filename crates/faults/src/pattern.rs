@@ -1,0 +1,299 @@
+//! Spatial distributions of faulty SRAM cells.
+//!
+//! The paper evaluates two profiled chips (Table III): one whose faulty
+//! cells are spread uniformly at random across the array, and one whose
+//! faults are aligned to a subset of weak columns with a bias toward 0→1
+//! flips.  [`ErrorPattern`] captures the spatial part of that difference;
+//! the flip-direction bias lives in [`crate::chip::ChipProfile`].
+
+use crate::error::FaultError;
+use crate::sampling::{sample_binomial, sample_distinct_indices};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Default number of bit columns in the modelled SRAM array cross-section
+/// (matches the 500-column segment shown in the paper's Fig. 2).
+pub const DEFAULT_ARRAY_COLUMNS: usize = 500;
+
+/// Spatial distribution of faulty bit cells over a memory of `total_bits`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ErrorPattern {
+    /// Every bit cell fails independently with the same probability.
+    UniformRandom,
+    /// Failures concentrate in a random subset of "weak" columns of the
+    /// array; within a weak column cells fail with an elevated probability
+    /// such that the *overall* bit error rate still equals the requested
+    /// rate.
+    ColumnAligned {
+        /// Number of bit columns the memory is (logically) arranged into.
+        array_columns: usize,
+        /// Fraction of columns that are weak, in `(0, 1]`.
+        weak_column_fraction: f64,
+    },
+}
+
+impl ErrorPattern {
+    /// A column-aligned pattern with the paper's default array geometry and
+    /// 10 % weak columns.
+    pub fn column_aligned_default() -> Self {
+        ErrorPattern::ColumnAligned {
+            array_columns: DEFAULT_ARRAY_COLUMNS,
+            weak_column_fraction: 0.1,
+        }
+    }
+
+    /// Validates the pattern's own parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidGeometry`] or
+    /// [`FaultError::InvalidProbability`] for out-of-range parameters.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            ErrorPattern::UniformRandom => Ok(()),
+            ErrorPattern::ColumnAligned {
+                array_columns,
+                weak_column_fraction,
+            } => {
+                if *array_columns == 0 {
+                    return Err(FaultError::InvalidGeometry(
+                        "array_columns must be positive".into(),
+                    ));
+                }
+                if !(*weak_column_fraction > 0.0 && *weak_column_fraction <= 1.0) {
+                    return Err(FaultError::InvalidProbability {
+                        name: "weak_column_fraction",
+                        value: *weak_column_fraction,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Draws the faulty bit indices for a memory of `total_bits` bits at
+    /// bit-error rate `ber` (a fraction in `[0, 1]`).
+    ///
+    /// The returned indices are distinct and strictly less than
+    /// `total_bits`; their expected count is `ber * total_bits` for every
+    /// pattern (column alignment redistributes *where* faults land, not how
+    /// many there are).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidProbability`] if `ber` is outside
+    /// `[0, 1]`, or a geometry error if the pattern is invalid.
+    pub fn sample_fault_indices<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        total_bits: usize,
+        ber: f64,
+    ) -> Result<Vec<usize>> {
+        if !(0.0..=1.0).contains(&ber) || !ber.is_finite() {
+            return Err(FaultError::InvalidProbability {
+                name: "ber",
+                value: ber,
+            });
+        }
+        self.validate()?;
+        if total_bits == 0 || ber == 0.0 {
+            return Ok(Vec::new());
+        }
+        match self {
+            ErrorPattern::UniformRandom => {
+                let count = sample_binomial(rng, total_bits, ber);
+                Ok(sample_distinct_indices(rng, total_bits, count))
+            }
+            ErrorPattern::ColumnAligned {
+                array_columns,
+                weak_column_fraction,
+            } => {
+                let columns = (*array_columns).min(total_bits);
+                let weak_count = ((columns as f64 * weak_column_fraction).ceil() as usize)
+                    .clamp(1, columns);
+                let weak_columns = sample_distinct_indices(rng, columns, weak_count);
+                // Bits whose (index mod columns) falls in a weak column are
+                // eligible; the per-eligible-bit probability is raised so the
+                // overall rate stays `ber` (capped at 1).
+                let eligible_fraction = weak_count as f64 / columns as f64;
+                let p_eligible = (ber / eligible_fraction).min(1.0);
+                let rows = total_bits.div_ceil(columns);
+                let mut out = Vec::new();
+                for &col in &weak_columns {
+                    // Number of bits in this column.
+                    let bits_in_column = (0..rows)
+                        .map(|r| r * columns + col)
+                        .filter(|&idx| idx < total_bits)
+                        .count();
+                    let count = sample_binomial(rng, bits_in_column, p_eligible);
+                    let rows_hit = sample_distinct_indices(rng, bits_in_column, count);
+                    for row in rows_hit {
+                        let idx = row * columns + col;
+                        if idx < total_bits {
+                            out.push(idx);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Short human-readable name of the pattern.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorPattern::UniformRandom => "uniform-random",
+            ErrorPattern::ColumnAligned { .. } => "column-aligned",
+        }
+    }
+}
+
+impl Default for ErrorPattern {
+    fn default() -> Self {
+        ErrorPattern::UniformRandom
+    }
+}
+
+impl std::fmt::Display for ErrorPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_rate_matches_request() {
+        let mut r = rng(1);
+        let pattern = ErrorPattern::UniformRandom;
+        let total_bits = 200_000;
+        let ber = 0.01;
+        let mut counts = 0usize;
+        let reps = 20;
+        for _ in 0..reps {
+            counts += pattern
+                .sample_fault_indices(&mut r, total_bits, ber)
+                .unwrap()
+                .len();
+        }
+        let mean = counts as f64 / reps as f64;
+        let expected = total_bits as f64 * ber;
+        assert!((mean / expected - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn column_aligned_rate_matches_request() {
+        let mut r = rng(2);
+        let pattern = ErrorPattern::column_aligned_default();
+        let total_bits = 200_000;
+        let ber = 0.005;
+        let mut counts = 0usize;
+        let reps = 20;
+        for _ in 0..reps {
+            counts += pattern
+                .sample_fault_indices(&mut r, total_bits, ber)
+                .unwrap()
+                .len();
+        }
+        let mean = counts as f64 / reps as f64;
+        let expected = total_bits as f64 * ber;
+        assert!((mean / expected - 1.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn column_aligned_faults_land_in_few_columns() {
+        let mut r = rng(3);
+        let pattern = ErrorPattern::ColumnAligned {
+            array_columns: 100,
+            weak_column_fraction: 0.05,
+        };
+        let indices = pattern.sample_fault_indices(&mut r, 100_000, 0.01).unwrap();
+        let columns: HashSet<usize> = indices.iter().map(|i| i % 100).collect();
+        assert!(!indices.is_empty());
+        assert!(columns.len() <= 5, "faults spread over {} columns", columns.len());
+    }
+
+    #[test]
+    fn uniform_faults_spread_across_columns() {
+        let mut r = rng(4);
+        let indices = ErrorPattern::UniformRandom
+            .sample_fault_indices(&mut r, 100_000, 0.01)
+            .unwrap();
+        let columns: HashSet<usize> = indices.iter().map(|i| i % 100).collect();
+        assert!(columns.len() > 50, "only {} columns hit", columns.len());
+    }
+
+    #[test]
+    fn zero_rate_or_zero_bits_yields_no_faults() {
+        let mut r = rng(5);
+        assert!(ErrorPattern::UniformRandom
+            .sample_fault_indices(&mut r, 0, 0.5)
+            .unwrap()
+            .is_empty());
+        assert!(ErrorPattern::UniformRandom
+            .sample_fault_indices(&mut r, 1000, 0.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut r = rng(6);
+        assert!(ErrorPattern::UniformRandom
+            .sample_fault_indices(&mut r, 10, 1.5)
+            .is_err());
+        assert!(ErrorPattern::UniformRandom
+            .sample_fault_indices(&mut r, 10, f64::NAN)
+            .is_err());
+        let bad = ErrorPattern::ColumnAligned {
+            array_columns: 0,
+            weak_column_fraction: 0.1,
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = ErrorPattern::ColumnAligned {
+            array_columns: 10,
+            weak_column_fraction: 0.0,
+        };
+        assert!(bad2.validate().is_err());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(ErrorPattern::UniformRandom.name(), "uniform-random");
+        assert_eq!(
+            ErrorPattern::column_aligned_default().to_string(),
+            "column-aligned"
+        );
+        assert_eq!(ErrorPattern::default(), ErrorPattern::UniformRandom);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_indices_are_distinct_and_in_range(
+            seed in 0u64..500,
+            total_bits in 1usize..20_000,
+            ber in 0.0f64..0.3,
+            column in proptest::bool::ANY,
+        ) {
+            let mut r = rng(seed);
+            let pattern = if column {
+                ErrorPattern::ColumnAligned { array_columns: 64, weak_column_fraction: 0.2 }
+            } else {
+                ErrorPattern::UniformRandom
+            };
+            let indices = pattern.sample_fault_indices(&mut r, total_bits, ber).unwrap();
+            let set: HashSet<_> = indices.iter().collect();
+            prop_assert_eq!(set.len(), indices.len());
+            prop_assert!(indices.iter().all(|&i| i < total_bits));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Random-sampling helpers used by fault-map generation.
+//!
+//! Fault maps over realistic weight memories cover hundreds of thousands of
+//! bits, and the evaluation protocol draws hundreds of independent maps per
+//! operating point, so per-bit Bernoulli sampling is too slow.  These
+//! helpers draw the *number* of faulty cells from the appropriate binomial
+//! distribution (with Poisson / normal approximations in the regimes where
+//! they are accurate) and then place that many faults uniformly without
+//! replacement.
+
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Draws a sample from `Binomial(n, p)`.
+///
+/// Uses the exact Bernoulli-sum construction for small `n`, a Poisson
+/// approximation when `p` is very small and a normal approximation when the
+/// variance is large; the returned value is always clamped into `[0, n]`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `p` is outside `[0, 1]`.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> usize {
+    debug_assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let nf = n as f64;
+    let mean = nf * p;
+    let var = nf * p * (1.0 - p);
+    if n <= 1024 {
+        // Exact.
+        let mut count = 0usize;
+        for _ in 0..n {
+            if rng.gen_bool(p) {
+                count += 1;
+            }
+        }
+        count
+    } else if mean < 30.0 {
+        // Poisson approximation (Knuth's algorithm is fine for small means).
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut prod: f64 = 1.0;
+        loop {
+            prod *= rng.gen::<f64>();
+            if prod <= l {
+                break;
+            }
+            k += 1;
+            if k > n {
+                break;
+            }
+        }
+        k.min(n)
+    } else {
+        // Normal approximation with continuity correction.
+        let z = standard_normal(rng);
+        let sample = mean + z * var.sqrt() + 0.5;
+        sample.clamp(0.0, nf) as usize
+    }
+}
+
+/// Draws a standard-normal value using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Chooses `count` distinct values uniformly from `0..n`.
+///
+/// Uses rejection sampling when `count` is small relative to `n` and a
+/// partial Fisher–Yates shuffle otherwise, so it stays efficient across the
+/// whole range of bit error rates (10⁻⁵ % up to tens of percent).
+///
+/// # Panics
+///
+/// Panics if `count > n`.
+pub fn sample_distinct_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, count: usize) -> Vec<usize> {
+    assert!(count <= n, "cannot draw {count} distinct values from 0..{n}");
+    if count == 0 {
+        return Vec::new();
+    }
+    if count * 3 < n {
+        // Sparse: rejection sampling with a hash set.
+        let mut chosen = HashSet::with_capacity(count * 2);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let idx = rng.gen_range(0..n);
+            if chosen.insert(idx) {
+                out.push(idx);
+            }
+        }
+        out
+    } else {
+        // Dense: partial Fisher–Yates over the full index range.
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..n);
+            indices.swap(i, j);
+        }
+        indices.truncate(count);
+        indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng(1);
+        assert_eq!(sample_binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut r, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut r, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn binomial_mean_is_close_exact_regime() {
+        let mut r = rng(2);
+        let n = 500;
+        let p = 0.2;
+        let trials = 400;
+        let mean: f64 = (0..trials)
+            .map(|_| sample_binomial(&mut r, n, p) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_is_close_poisson_regime() {
+        let mut r = rng(3);
+        let n = 1_000_000;
+        let p = 1e-5;
+        let trials = 300;
+        let mean: f64 = (0..trials)
+            .map(|_| sample_binomial(&mut r, n, p) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 10.0).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_is_close_normal_regime() {
+        let mut r = rng(4);
+        let n = 200_000;
+        let p = 0.01;
+        let trials = 300;
+        let mean: f64 = (0..trials)
+            .map(|_| sample_binomial(&mut r, n, p) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean / 2000.0 - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_never_exceeds_n() {
+        let mut r = rng(5);
+        for _ in 0..100 {
+            assert!(sample_binomial(&mut r, 2000, 0.99) <= 2000);
+        }
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_in_range() {
+        let mut r = rng(6);
+        for &(n, count) in &[(100usize, 5usize), (100, 90), (10_000, 100), (64, 64)] {
+            let idx = sample_distinct_indices(&mut r, n, count);
+            assert_eq!(idx.len(), count);
+            let set: HashSet<_> = idx.iter().collect();
+            assert_eq!(set.len(), count, "duplicates for n={n} count={count}");
+            assert!(idx.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_zero_count_is_empty() {
+        let mut r = rng(7);
+        assert!(sample_distinct_indices(&mut r, 10, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn distinct_indices_rejects_overdraw() {
+        let mut r = rng(8);
+        let _ = sample_distinct_indices(&mut r, 3, 4);
+    }
+
+    #[test]
+    fn standard_normal_has_unit_scale() {
+        let mut r = rng(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Accelerator façade: latency, energy, power and thermal numbers for one
+//! policy network at one operating voltage.
+
+use crate::dvfs::VoltageDomain;
+use crate::energy::ProcessingEnergyModel;
+use crate::error::HwError;
+use crate::sram::SramModel;
+use crate::systolic::SystolicArray;
+use crate::thermal::HeatsinkModel;
+use crate::workload::NetworkWorkload;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Everything the mission-level models need to know about running one
+/// inference at one operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessingReport {
+    /// Normalized operating voltage (Vmin units).
+    pub voltage_norm: f64,
+    /// Clock frequency at this voltage, in hertz.
+    pub frequency_hz: f64,
+    /// Inference latency in seconds.
+    pub latency_s: f64,
+    /// Processing energy per inference in joules.
+    pub energy_per_inference_j: f64,
+    /// Average processing power while inferring back-to-back, in watts.
+    pub compute_power_w: f64,
+    /// Energy-saving factor relative to nominal (1 V) operation.
+    pub savings_vs_nominal: f64,
+    /// Energy-saving factor relative to Vmin operation.
+    pub savings_vs_vmin: f64,
+    /// Thermal design power at this voltage, in watts.
+    pub tdp_w: f64,
+    /// Heatsink mass required for that TDP, in grams.
+    pub heatsink_mass_g: f64,
+    /// Average systolic-array utilization for this workload.
+    pub utilization: f64,
+}
+
+/// The modelled on-board accelerator: systolic array + SRAM + DVFS + thermal.
+///
+/// # Examples
+///
+/// ```
+/// use berry_hw::accelerator::Accelerator;
+/// use berry_hw::workload::NetworkWorkload;
+///
+/// # fn main() -> Result<(), berry_hw::HwError> {
+/// let accel = Accelerator::default_edge_accelerator();
+/// let report = accel.evaluate(&NetworkWorkload::c3f2(), 0.77)?;
+/// assert!(report.savings_vs_nominal > 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    array: SystolicArray,
+    energy_model: ProcessingEnergyModel,
+    thermal: HeatsinkModel,
+}
+
+impl Accelerator {
+    /// Creates an accelerator from its component models.
+    pub fn new(
+        array: SystolicArray,
+        energy_model: ProcessingEnergyModel,
+        thermal: HeatsinkModel,
+    ) -> Self {
+        Self {
+            array,
+            energy_model,
+            thermal,
+        }
+    }
+
+    /// The default edge-accelerator configuration used throughout the
+    /// reproduction: 16×16 systolic array, 2 MiB SRAM, 800 MHz nominal
+    /// clock, 1 pJ/MAC at 1 V and a micro-UAV heatsink model.
+    pub fn default_edge_accelerator() -> Self {
+        Self::new(
+            SystolicArray::default_16x16(),
+            ProcessingEnergyModel::default_14nm(),
+            HeatsinkModel::default_microuav(),
+        )
+    }
+
+    /// The systolic-array model.
+    pub fn array(&self) -> &SystolicArray {
+        &self.array
+    }
+
+    /// The processing-energy model.
+    pub fn energy_model(&self) -> &ProcessingEnergyModel {
+        &self.energy_model
+    }
+
+    /// The thermal/heatsink model.
+    pub fn thermal(&self) -> &HeatsinkModel {
+        &self.thermal
+    }
+
+    /// The voltage domain shared by the component models.
+    pub fn domain(&self) -> &VoltageDomain {
+        self.energy_model.domain()
+    }
+
+    /// The SRAM model.
+    pub fn sram(&self) -> &SramModel {
+        self.energy_model.sram()
+    }
+
+    /// Evaluates one inference of `workload` at a normalized voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages, or
+    /// [`HwError::InvalidWorkload`] if the policy does not fit in the
+    /// modelled SRAM.
+    pub fn evaluate(&self, workload: &NetworkWorkload, voltage_norm: f64) -> Result<ProcessingReport> {
+        if !self.sram().fits(workload.param_bytes(8) as usize) {
+            return Err(HwError::InvalidWorkload(format!(
+                "policy `{}` ({} bytes) does not fit in the {} byte SRAM",
+                workload.name(),
+                workload.param_bytes(8),
+                self.sram().capacity_bytes()
+            )));
+        }
+        let frequency_hz = self.domain().frequency_hz(voltage_norm)?;
+        let cycles = self.array.network_cycles(workload);
+        let latency_s = cycles as f64 / frequency_hz;
+        let energy_per_inference_j = self
+            .energy_model
+            .energy_per_inference_j(workload, voltage_norm)?;
+        let compute_power_w = energy_per_inference_j / latency_s;
+        let tdp_w = self.thermal.tdp_w(voltage_norm)?;
+        Ok(ProcessingReport {
+            voltage_norm,
+            frequency_hz,
+            latency_s,
+            energy_per_inference_j,
+            compute_power_w,
+            savings_vs_nominal: self.energy_model.savings_vs_nominal(workload, voltage_norm)?,
+            savings_vs_vmin: self.energy_model.savings_vs_vmin(workload, voltage_norm)?,
+            tdp_w,
+            heatsink_mass_g: self.thermal.heatsink_mass_g(tdp_w)?,
+            utilization: self.array.utilization(workload),
+        })
+    }
+
+    /// Evaluates a sweep of voltages, returning one report per point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered.
+    pub fn sweep(
+        &self,
+        workload: &NetworkWorkload,
+        voltages_norm: &[f64],
+    ) -> Result<Vec<ProcessingReport>> {
+        voltages_norm
+            .iter()
+            .map(|&v| self.evaluate(workload, v))
+            .collect()
+    }
+}
+
+impl Default for Accelerator {
+    fn default() -> Self {
+        Self::default_edge_accelerator()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let accel = Accelerator::default_edge_accelerator();
+        let w = NetworkWorkload::c3f2();
+        let r = accel.evaluate(&w, 0.8).unwrap();
+        assert!(r.latency_s > 0.0);
+        assert!(r.energy_per_inference_j > 0.0);
+        assert!((r.compute_power_w - r.energy_per_inference_j / r.latency_s).abs() < 1e-12);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        assert!(r.heatsink_mass_g > 0.0);
+    }
+
+    #[test]
+    fn lower_voltage_saves_energy_but_costs_latency() {
+        let accel = Accelerator::default_edge_accelerator();
+        let w = NetworkWorkload::c3f2();
+        let nominal = accel.evaluate(&w, accel.domain().nominal_voltage_norm()).unwrap();
+        let low = accel.evaluate(&w, 0.72).unwrap();
+        assert!(low.energy_per_inference_j < nominal.energy_per_inference_j);
+        assert!(low.latency_s > nominal.latency_s);
+        assert!(low.tdp_w < nominal.tdp_w);
+        assert!(low.heatsink_mass_g < nominal.heatsink_mass_g);
+    }
+
+    #[test]
+    fn sweep_matches_individual_evaluations() {
+        let accel = Accelerator::default_edge_accelerator();
+        let w = NetworkWorkload::c3f2();
+        let vs = [0.7, 0.8, 0.9, 1.0];
+        let sweep = accel.sweep(&w, &vs).unwrap();
+        assert_eq!(sweep.len(), 4);
+        for (r, &v) in sweep.iter().zip(vs.iter()) {
+            assert_eq!(r.voltage_norm, v);
+            let single = accel.evaluate(&w, v).unwrap();
+            assert_eq!(r.energy_per_inference_j, single.energy_per_inference_j);
+        }
+    }
+
+    #[test]
+    fn oversized_policy_is_rejected() {
+        use crate::workload::LayerWorkload;
+        let accel = Accelerator::default_edge_accelerator();
+        let huge = NetworkWorkload::new(
+            "huge",
+            vec![LayerWorkload::dense("fc", 10_000, 10_000)],
+        )
+        .unwrap();
+        assert!(accel.evaluate(&huge, 1.0).is_err());
+    }
+
+    #[test]
+    fn savings_at_077_match_headline_number() {
+        let accel = Accelerator::default_edge_accelerator();
+        let r = accel.evaluate(&NetworkWorkload::c3f2(), 0.77).unwrap();
+        // Paper headline: 3.43x processing energy reduction at 0.77 Vmin.
+        assert!((r.savings_vs_nominal - 3.43).abs() < 0.2, "{}", r.savings_vs_nominal);
+    }
+
+    #[test]
+    fn real_time_control_is_feasible_across_the_sweep() {
+        // The navigation policy must keep up with a 10-30 Hz control loop
+        // even at the lowest evaluated voltage.
+        let accel = Accelerator::default_edge_accelerator();
+        let r = accel.evaluate(&NetworkWorkload::c5f4(), 0.64).unwrap();
+        assert!(r.latency_s < 0.033, "latency {} s", r.latency_s);
+    }
+}

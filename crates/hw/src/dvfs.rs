@@ -1,0 +1,260 @@
+//! Voltage domains and voltage–frequency scaling.
+//!
+//! The paper scales the accelerator frequency together with the supply
+//! voltage "based on measured results on a deep-learning accelerator"
+//! (their reference [30]).  Near- and super-threshold CMOS frequency is well
+//! approximated as affine in the supply voltage, which is what
+//! [`VoltageDomain::frequency_hz`] implements.  All BERRY-facing interfaces
+//! use voltages normalized to `Vmin` (the lowest error-free voltage of the
+//! SRAM) so that the fault models and the energy models agree on what
+//! "0.77 Vmin" means.
+
+use crate::error::HwError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Lowest normalized voltage the hardware models accept.
+pub const MIN_VOLTAGE_NORM: f64 = 0.5;
+
+/// Highest normalized voltage the hardware models accept.
+pub const MAX_VOLTAGE_NORM: f64 = 1.6;
+
+/// A chip voltage domain: Vmin, the nominal supply and frequency scaling.
+///
+/// # Examples
+///
+/// ```
+/// use berry_hw::dvfs::VoltageDomain;
+///
+/// # fn main() -> Result<(), berry_hw::HwError> {
+/// let domain = VoltageDomain::default_14nm();
+/// // Nominal 1 V operation corresponds to ~1.43 Vmin for a 0.70 V Vmin part.
+/// assert!((domain.nominal_voltage_norm() - 1.0 / 0.70).abs() < 1e-9);
+/// let f_low = domain.frequency_hz(0.77)?;
+/// let f_nom = domain.frequency_hz(domain.nominal_voltage_norm())?;
+/// assert!(f_low < f_nom);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltageDomain {
+    vmin_volts: f64,
+    nominal_volts: f64,
+    /// Frequency at the nominal supply voltage.
+    nominal_frequency_hz: f64,
+    /// Fraction of the nominal frequency still available at Vmin (affine
+    /// scaling between the two points, clamped below Vmin).
+    frequency_fraction_at_vmin: f64,
+}
+
+impl VoltageDomain {
+    /// Creates a voltage domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidParameter`] if any voltage or frequency is
+    /// not strictly positive, or if `nominal_volts < vmin_volts`.
+    pub fn new(
+        vmin_volts: f64,
+        nominal_volts: f64,
+        nominal_frequency_hz: f64,
+        frequency_fraction_at_vmin: f64,
+    ) -> Result<Self> {
+        if vmin_volts <= 0.0 || nominal_volts <= 0.0 || nominal_frequency_hz <= 0.0 {
+            return Err(HwError::InvalidParameter(
+                "voltages and frequency must be strictly positive".into(),
+            ));
+        }
+        if nominal_volts < vmin_volts {
+            return Err(HwError::InvalidParameter(format!(
+                "nominal voltage {nominal_volts} V must not be below Vmin {vmin_volts} V"
+            )));
+        }
+        if !(0.0..=1.0).contains(&frequency_fraction_at_vmin) {
+            return Err(HwError::InvalidParameter(
+                "frequency_fraction_at_vmin must lie in [0, 1]".into(),
+            ));
+        }
+        Ok(Self {
+            vmin_volts,
+            nominal_volts,
+            nominal_frequency_hz,
+            frequency_fraction_at_vmin,
+        })
+    }
+
+    /// The default domain used throughout the reproduction: a 14 nm part
+    /// with `Vmin = 0.70 V`, nominal `1.0 V` supply and an 800 MHz nominal
+    /// clock that drops to 55 % at Vmin.
+    ///
+    /// The 0.70 V Vmin is chosen so that the quadratic dynamic-energy ratio
+    /// between 1 V and Vmin is `(1.0/0.70)² ≈ 2.04×`, matching the paper's
+    /// reported 2.04×/3.43× split between Vmin- and 1 V-relative savings at
+    /// 0.77 Vmin.
+    pub fn default_14nm() -> Self {
+        Self::new(0.70, 1.0, 800.0e6, 0.55).expect("constants are valid")
+    }
+
+    /// Vmin in volts.
+    pub fn vmin_volts(&self) -> f64 {
+        self.vmin_volts
+    }
+
+    /// Nominal supply in volts.
+    pub fn nominal_volts(&self) -> f64 {
+        self.nominal_volts
+    }
+
+    /// Nominal supply expressed in Vmin units.
+    pub fn nominal_voltage_norm(&self) -> f64 {
+        self.nominal_volts / self.vmin_volts
+    }
+
+    /// Converts a normalized voltage (Vmin units) to absolute volts.
+    pub fn to_volts(&self, voltage_norm: f64) -> f64 {
+        voltage_norm * self.vmin_volts
+    }
+
+    /// Converts absolute volts to the normalized (Vmin-relative) voltage.
+    pub fn to_norm(&self, volts: f64) -> f64 {
+        volts / self.vmin_volts
+    }
+
+    /// Validates that a normalized voltage is inside the supported range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] otherwise.
+    pub fn check_voltage(&self, voltage_norm: f64) -> Result<()> {
+        if !(MIN_VOLTAGE_NORM..=MAX_VOLTAGE_NORM).contains(&voltage_norm)
+            || !voltage_norm.is_finite()
+        {
+            return Err(HwError::VoltageOutOfRange {
+                voltage: voltage_norm,
+                min: MIN_VOLTAGE_NORM,
+                max: MAX_VOLTAGE_NORM,
+            });
+        }
+        Ok(())
+    }
+
+    /// Clock frequency at the given normalized voltage.
+    ///
+    /// Affine between `(Vmin, fraction·f_nom)` and `(V_nom, f_nom)`, and
+    /// extrapolated with the same slope outside that interval (clamped to
+    /// stay strictly positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn frequency_hz(&self, voltage_norm: f64) -> Result<f64> {
+        self.check_voltage(voltage_norm)?;
+        let v = self.to_volts(voltage_norm);
+        let f_vmin = self.frequency_fraction_at_vmin * self.nominal_frequency_hz;
+        let slope = (self.nominal_frequency_hz - f_vmin) / (self.nominal_volts - self.vmin_volts);
+        let f = f_vmin + slope * (v - self.vmin_volts);
+        Ok(f.max(0.05 * self.nominal_frequency_hz))
+    }
+
+    /// Dynamic-energy scaling factor relative to nominal-voltage operation:
+    /// `(V / V_nom)²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn energy_scale_vs_nominal(&self, voltage_norm: f64) -> Result<f64> {
+        self.check_voltage(voltage_norm)?;
+        let v = self.to_volts(voltage_norm);
+        Ok((v / self.nominal_volts).powi(2))
+    }
+
+    /// Energy-saving factor of running at `voltage_norm` instead of the
+    /// nominal supply (the "Energy Savings" column of the paper's Table II).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn energy_savings_vs_nominal(&self, voltage_norm: f64) -> Result<f64> {
+        Ok(1.0 / self.energy_scale_vs_nominal(voltage_norm)?)
+    }
+}
+
+impl Default for VoltageDomain {
+    fn default() -> Self {
+        Self::default_14nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_domain_matches_paper_energy_ratios() {
+        let d = VoltageDomain::default_14nm();
+        // Table II: 0.77 Vmin gives 3.43x savings vs 1 V.
+        let savings = d.energy_savings_vs_nominal(0.77).unwrap();
+        assert!((savings - 3.43).abs() < 0.15, "savings {savings}");
+        // 0.64 Vmin gives 4.93x.
+        let savings_064 = d.energy_savings_vs_nominal(0.64).unwrap();
+        assert!((savings_064 - 4.93).abs() < 0.2, "savings {savings_064}");
+        // 0.86 Vmin gives 2.77x.
+        let savings_086 = d.energy_savings_vs_nominal(0.86).unwrap();
+        assert!((savings_086 - 2.77).abs() < 0.15, "savings {savings_086}");
+        // And Vmin itself gives ~2.04x.
+        let savings_vmin = d.energy_savings_vs_nominal(1.0).unwrap();
+        assert!((savings_vmin - 2.04).abs() < 0.1, "savings {savings_vmin}");
+    }
+
+    #[test]
+    fn frequency_decreases_with_voltage() {
+        let d = VoltageDomain::default_14nm();
+        let f_nom = d.frequency_hz(d.nominal_voltage_norm()).unwrap();
+        let f_low = d.frequency_hz(0.7).unwrap();
+        assert!(f_low < f_nom);
+        assert!(f_low > 0.0);
+        assert!((f_nom - 800.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn volts_norm_round_trip() {
+        let d = VoltageDomain::default_14nm();
+        let v = d.to_volts(0.8);
+        assert!((d.to_norm(v) - 0.8).abs() < 1e-12);
+        assert!((v - 0.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert!(VoltageDomain::new(0.0, 1.0, 1e6, 0.5).is_err());
+        assert!(VoltageDomain::new(0.7, 0.5, 1e6, 0.5).is_err());
+        assert!(VoltageDomain::new(0.7, 1.0, 0.0, 0.5).is_err());
+        assert!(VoltageDomain::new(0.7, 1.0, 1e6, 1.5).is_err());
+    }
+
+    #[test]
+    fn out_of_range_voltage_rejected() {
+        let d = VoltageDomain::default_14nm();
+        assert!(d.frequency_hz(0.2).is_err());
+        assert!(d.energy_scale_vs_nominal(3.0).is_err());
+        assert!(d.check_voltage(f64::NAN).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_energy_savings_monotone_in_voltage(v1 in 0.6f64..1.4, v2 in 0.6f64..1.4) {
+            let d = VoltageDomain::default_14nm();
+            let (lo, hi) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+            let s_lo = d.energy_savings_vs_nominal(lo).unwrap();
+            let s_hi = d.energy_savings_vs_nominal(hi).unwrap();
+            prop_assert!(s_lo >= s_hi - 1e-12);
+        }
+
+        #[test]
+        fn prop_frequency_positive(v in 0.55f64..1.5) {
+            let d = VoltageDomain::default_14nm();
+            prop_assert!(d.frequency_hz(v).unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Processing-energy model: joules per inference as a function of voltage.
+//!
+//! Dynamic CMOS energy scales with the square of the supply voltage, which
+//! is the entire premise of the paper's "quadratic relation between energy
+//! and operating voltage".  The model here charges every MAC a fixed energy
+//! at the nominal supply, scales it by `(V/V_nom)²`, and adds the SRAM
+//! traffic energy from [`crate::sram::SramModel`]; the resulting
+//! savings-vs-1 V factors reproduce the paper's Table II column
+//! (2.77× at 0.86 Vmin … 4.93× at 0.64 Vmin) to within a few percent.
+
+use crate::dvfs::VoltageDomain;
+use crate::error::HwError;
+use crate::sram::SramModel;
+use crate::workload::NetworkWorkload;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Per-inference processing-energy model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessingEnergyModel {
+    /// Energy of one 8-bit MAC at the nominal supply voltage, in joules.
+    mac_energy_at_nominal_j: f64,
+    /// SRAM model used for weight/activation traffic.
+    sram: SramModel,
+    /// Voltage domain (Vmin, nominal voltage, frequency scaling).
+    domain: VoltageDomain,
+}
+
+impl ProcessingEnergyModel {
+    /// Creates a processing-energy model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidParameter`] if the MAC energy is not
+    /// strictly positive.
+    pub fn new(
+        mac_energy_at_nominal_j: f64,
+        sram: SramModel,
+        domain: VoltageDomain,
+    ) -> Result<Self> {
+        if mac_energy_at_nominal_j <= 0.0 {
+            return Err(HwError::InvalidParameter(
+                "MAC energy must be strictly positive".into(),
+            ));
+        }
+        Ok(Self {
+            mac_energy_at_nominal_j,
+            sram,
+            domain,
+        })
+    }
+
+    /// Default model: 1 pJ per 8-bit MAC at 1 V (a typical 14 nm edge
+    /// accelerator figure), the default SRAM and voltage domain.
+    pub fn default_14nm() -> Self {
+        Self::new(1.0e-12, SramModel::default_14nm(), VoltageDomain::default_14nm())
+            .expect("constants are valid")
+    }
+
+    /// The voltage domain used by this model.
+    pub fn domain(&self) -> &VoltageDomain {
+        &self.domain
+    }
+
+    /// The SRAM model used by this model.
+    pub fn sram(&self) -> &SramModel {
+        &self.sram
+    }
+
+    /// Compute (MAC) energy for one inference at a normalized voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn compute_energy_j(&self, workload: &NetworkWorkload, voltage_norm: f64) -> Result<f64> {
+        let scale = self.domain.energy_scale_vs_nominal(voltage_norm)?;
+        Ok(workload.total_macs() as f64 * self.mac_energy_at_nominal_j * scale)
+    }
+
+    /// SRAM traffic energy for one inference at a normalized voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn sram_energy_j(&self, workload: &NetworkWorkload, voltage_norm: f64) -> Result<f64> {
+        self.sram
+            .energy_for_bytes_j(workload.total_sram_bytes() as usize, voltage_norm)
+    }
+
+    /// Total processing energy for one inference at a normalized voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn energy_per_inference_j(
+        &self,
+        workload: &NetworkWorkload,
+        voltage_norm: f64,
+    ) -> Result<f64> {
+        Ok(self.compute_energy_j(workload, voltage_norm)?
+            + self.sram_energy_j(workload, voltage_norm)?)
+    }
+
+    /// Energy-saving factor relative to nominal-voltage operation
+    /// (the paper's Table II "Energy Savings" column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn savings_vs_nominal(
+        &self,
+        workload: &NetworkWorkload,
+        voltage_norm: f64,
+    ) -> Result<f64> {
+        let nominal = self.energy_per_inference_j(workload, self.domain.nominal_voltage_norm())?;
+        let at_v = self.energy_per_inference_j(workload, voltage_norm)?;
+        Ok(nominal / at_v)
+    }
+
+    /// Energy-saving factor relative to Vmin operation (the parenthesised
+    /// numbers in the paper's Section V-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn savings_vs_vmin(&self, workload: &NetworkWorkload, voltage_norm: f64) -> Result<f64> {
+        let vmin = self.energy_per_inference_j(workload, 1.0)?;
+        let at_v = self.energy_per_inference_j(workload, voltage_norm)?;
+        Ok(vmin / at_v)
+    }
+}
+
+impl Default for ProcessingEnergyModel {
+    fn default() -> Self {
+        Self::default_14nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Table II "Energy Savings" column: (normalized voltage, savings vs 1 V).
+    const TABLE2_SAVINGS: [(f64, f64); 8] = [
+        (0.86, 2.77),
+        (0.84, 2.87),
+        (0.83, 2.97),
+        (0.81, 3.07),
+        (0.80, 3.18),
+        (0.77, 3.43),
+        (0.68, 4.42),
+        (0.64, 4.93),
+    ];
+
+    #[test]
+    fn savings_reproduce_table2_column() {
+        let m = ProcessingEnergyModel::default_14nm();
+        let w = NetworkWorkload::c3f2();
+        for (v, expected) in TABLE2_SAVINGS {
+            let got = m.savings_vs_nominal(&w, v).unwrap();
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 0.06, "at {v}: model {got} vs paper {expected}");
+        }
+    }
+
+    #[test]
+    fn savings_vs_vmin_is_smaller_than_vs_nominal() {
+        let m = ProcessingEnergyModel::default_14nm();
+        let w = NetworkWorkload::c3f2();
+        let vs_nom = m.savings_vs_nominal(&w, 0.77).unwrap();
+        let vs_vmin = m.savings_vs_vmin(&w, 0.77).unwrap();
+        assert!(vs_vmin < vs_nom);
+        // Paper reports 3.43x vs 1 V and ~2x vs Vmin at 0.77 Vmin; a pure
+        // quadratic model lands at 1/0.77^2 ~= 1.7x, so accept that band.
+        assert!(vs_vmin > 1.4 && vs_vmin < 2.2, "vs_vmin {vs_vmin}");
+    }
+
+    #[test]
+    fn energy_components_are_positive_and_additive() {
+        let m = ProcessingEnergyModel::default_14nm();
+        let w = NetworkWorkload::c3f2();
+        let c = m.compute_energy_j(&w, 0.9).unwrap();
+        let s = m.sram_energy_j(&w, 0.9).unwrap();
+        let total = m.energy_per_inference_j(&w, 0.9).unwrap();
+        assert!(c > 0.0 && s > 0.0);
+        assert!((total - (c + s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bigger_network_costs_more_energy() {
+        let m = ProcessingEnergyModel::default_14nm();
+        let e3 = m
+            .energy_per_inference_j(&NetworkWorkload::c3f2(), 1.0)
+            .unwrap();
+        let e5 = m
+            .energy_per_inference_j(&NetworkWorkload::c5f4(), 1.0)
+            .unwrap();
+        assert!(e5 > e3);
+    }
+
+    #[test]
+    fn invalid_mac_energy_rejected() {
+        assert!(ProcessingEnergyModel::new(
+            0.0,
+            SramModel::default_14nm(),
+            VoltageDomain::default_14nm()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn energy_per_inference_magnitude_is_sensible() {
+        // A ~1 MB, ~25 MMAC policy at 1 pJ/MAC plus SRAM traffic should land
+        // in the low-millijoule-per-inference range; at the 10-30 Hz control
+        // rates UAV navigation uses this is a few tens of milliwatts,
+        // consistent with the 64 mW visual navigation engine the paper cites.
+        let m = ProcessingEnergyModel::default_14nm();
+        let w = NetworkWorkload::c3f2();
+        let e = m
+            .energy_per_inference_j(&w, m.domain().nominal_voltage_norm())
+            .unwrap();
+        assert!(e > 1.0e-5 && e < 5.0e-3, "energy {e} J");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_savings_at_least_one_below_nominal(v in 0.6f64..1.42) {
+            let m = ProcessingEnergyModel::default_14nm();
+            let w = NetworkWorkload::c3f2();
+            prop_assert!(m.savings_vs_nominal(&w, v).unwrap() >= 0.99);
+        }
+
+        #[test]
+        fn prop_energy_monotone_in_voltage(v1 in 0.6f64..1.4, v2 in 0.6f64..1.4) {
+            let m = ProcessingEnergyModel::default_14nm();
+            let w = NetworkWorkload::c3f2();
+            let (lo, hi) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+            let e_lo = m.energy_per_inference_j(&w, lo).unwrap();
+            let e_hi = m.energy_per_inference_j(&w, hi).unwrap();
+            prop_assert!(e_lo <= e_hi + 1e-15);
+        }
+    }
+}

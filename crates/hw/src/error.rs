@@ -1,0 +1,63 @@
+//! Error types for the `berry-hw` crate.
+
+use std::fmt;
+
+/// Errors produced by the hardware models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// A voltage was outside the supported operating range.
+    VoltageOutOfRange {
+        /// The offending normalized voltage (Vmin units).
+        voltage: f64,
+        /// Lowest supported voltage.
+        min: f64,
+        /// Highest supported voltage.
+        max: f64,
+    },
+    /// A model parameter was invalid (zero array size, negative energy, …).
+    InvalidParameter(String),
+    /// A workload was empty or inconsistent.
+    InvalidWorkload(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::VoltageOutOfRange { voltage, min, max } => write!(
+                f,
+                "normalized voltage {voltage} is outside the supported range [{min}, {max}]"
+            ),
+            HwError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            HwError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants = vec![
+            HwError::VoltageOutOfRange {
+                voltage: 0.1,
+                min: 0.6,
+                max: 1.5,
+            },
+            HwError::InvalidParameter("x".into()),
+            HwError::InvalidWorkload("empty".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+    }
+}

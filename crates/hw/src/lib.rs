@@ -1,0 +1,63 @@
+//! # berry-hw
+//!
+//! Analytic models of the on-board neural-network accelerator used by the
+//! BERRY reproduction (DAC 2023).
+//!
+//! The paper evaluates processing performance and energy with the
+//! SCALE-Sim systolic-array simulator and the Accelergy energy estimator,
+//! plus measured voltage–frequency scaling from a 12 nm SoC.  This crate
+//! replaces that tool-chain with calibrated analytic models that expose the
+//! same quantities the mission-level analysis needs:
+//!
+//! * [`dvfs`] — supply-voltage operating points and voltage–frequency
+//!   scaling,
+//! * [`sram`] — SRAM access energy as a function of voltage (paper Fig. 2),
+//! * [`systolic`] — cycle counts for dense/convolution layers on a
+//!   weight-stationary systolic array (SCALE-Sim-like analytic model),
+//! * [`workload`] — per-layer and per-network MAC / memory-traffic
+//!   descriptions, with the paper's C3F2 and C5F4 policies built in,
+//! * [`energy`] — processing energy per inference and the energy-saving
+//!   factor relative to nominal 1 V operation (paper Table II),
+//! * [`thermal`] — thermal design power and the heatsink weight it implies
+//!   (paper Fig. 6a),
+//! * [`accelerator`] — a façade combining all of the above.
+//!
+//! Voltages are expressed in units of the chip's `Vmin` (the lowest
+//! error-free voltage) to stay consistent with `berry-faults`; conversions
+//! from absolute volts are provided by [`dvfs::VoltageDomain`].
+//!
+//! ## Example
+//!
+//! ```
+//! use berry_hw::accelerator::Accelerator;
+//! use berry_hw::workload::NetworkWorkload;
+//!
+//! # fn main() -> Result<(), berry_hw::HwError> {
+//! let accel = Accelerator::default_edge_accelerator();
+//! let policy = NetworkWorkload::c3f2();
+//! let nominal = accel.evaluate(&policy, accel.domain().nominal_voltage_norm())?;
+//! let low = accel.evaluate(&policy, 0.77)?;
+//! assert!(low.energy_per_inference_j < nominal.energy_per_inference_j);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod dvfs;
+pub mod energy;
+pub mod error;
+pub mod sram;
+pub mod systolic;
+pub mod thermal;
+pub mod workload;
+
+pub use accelerator::{Accelerator, ProcessingReport};
+pub use dvfs::VoltageDomain;
+pub use error::HwError;
+pub use workload::NetworkWorkload;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HwError>;

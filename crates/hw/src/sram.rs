@@ -1,0 +1,210 @@
+//! SRAM access-energy model (paper Fig. 2, right axis).
+//!
+//! The characterized 14 nm FinFET SRAM's energy per access drops roughly
+//! quadratically with the supply voltage — from about 3.5 nJ near 0.85 Vmin
+//! to about 2.0 nJ near 0.65 Vmin in the paper's figure.  [`SramModel`]
+//! reproduces that curve and keeps track of the array geometry so the
+//! accelerator model can convert weight/activation traffic into energy.
+
+use crate::dvfs::VoltageDomain;
+use crate::error::HwError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Energy and geometry model of the accelerator's on-chip SRAM.
+///
+/// # Examples
+///
+/// ```
+/// use berry_hw::sram::SramModel;
+///
+/// # fn main() -> Result<(), berry_hw::HwError> {
+/// let sram = SramModel::default_14nm();
+/// let high = sram.energy_per_access_j(0.85)?;
+/// let low = sram.energy_per_access_j(0.65)?;
+/// assert!(low < high);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    /// Energy of one access at 1.0 Vmin, in joules.
+    energy_per_access_at_vmin_j: f64,
+    /// Bytes transferred per access (word width).
+    bytes_per_access: usize,
+    /// Total capacity in bytes.
+    capacity_bytes: usize,
+    /// Static (leakage) power at Vmin in watts; scales linearly with voltage.
+    leakage_power_at_vmin_w: f64,
+}
+
+impl SramModel {
+    /// Creates an SRAM model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidParameter`] for non-positive energies or a
+    /// zero word width / capacity.
+    pub fn new(
+        energy_per_access_at_vmin_j: f64,
+        bytes_per_access: usize,
+        capacity_bytes: usize,
+        leakage_power_at_vmin_w: f64,
+    ) -> Result<Self> {
+        if energy_per_access_at_vmin_j <= 0.0 {
+            return Err(HwError::InvalidParameter(
+                "energy per access must be strictly positive".into(),
+            ));
+        }
+        if bytes_per_access == 0 || capacity_bytes == 0 {
+            return Err(HwError::InvalidParameter(
+                "word width and capacity must be positive".into(),
+            ));
+        }
+        if leakage_power_at_vmin_w < 0.0 {
+            return Err(HwError::InvalidParameter(
+                "leakage power must be non-negative".into(),
+            ));
+        }
+        Ok(Self {
+            energy_per_access_at_vmin_j,
+            bytes_per_access,
+            capacity_bytes,
+            leakage_power_at_vmin_w,
+        })
+    }
+
+    /// The default model calibrated to the paper's Fig. 2: ≈3.5 nJ per
+    /// access near 0.85 Vmin (so ≈4.8 nJ at Vmin with quadratic scaling),
+    /// 8-byte words and a 4 MiB weight/activation buffer — comfortably
+    /// larger than the 1.1 MB C3F2 and 2.1 MB C5F4 policies the paper
+    /// deploys.
+    pub fn default_14nm() -> Self {
+        Self::new(4.8e-9, 8, 4 * 1024 * 1024, 1.0e-3).expect("constants are valid")
+    }
+
+    /// Energy of a single access at the given normalized voltage (quadratic
+    /// in voltage, anchored at Vmin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn energy_per_access_j(&self, voltage_norm: f64) -> Result<f64> {
+        VoltageDomain::default_14nm().check_voltage(voltage_norm)?;
+        Ok(self.energy_per_access_at_vmin_j * voltage_norm * voltage_norm)
+    }
+
+    /// Energy to move `bytes` bytes through the SRAM at the given voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn energy_for_bytes_j(&self, bytes: usize, voltage_norm: f64) -> Result<f64> {
+        let accesses = bytes.div_ceil(self.bytes_per_access);
+        Ok(accesses as f64 * self.energy_per_access_j(voltage_norm)?)
+    }
+
+    /// Leakage power at the given voltage (linear in voltage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::VoltageOutOfRange`] for out-of-range voltages.
+    pub fn leakage_power_w(&self, voltage_norm: f64) -> Result<f64> {
+        VoltageDomain::default_14nm().check_voltage(voltage_norm)?;
+        Ok(self.leakage_power_at_vmin_w * voltage_norm)
+    }
+
+    /// Word width in bytes.
+    pub fn bytes_per_access(&self) -> usize {
+        self.bytes_per_access
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Whether a model of `param_bytes` parameters fits entirely on chip.
+    pub fn fits(&self, param_bytes: usize) -> bool {
+        param_bytes <= self.capacity_bytes
+    }
+
+    /// Total number of bit cells (used to size fault maps).
+    pub fn total_bits(&self) -> usize {
+        self.capacity_bytes * 8
+    }
+}
+
+impl Default for SramModel {
+    fn default() -> Self {
+        Self::default_14nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn energy_matches_fig2_range() {
+        let sram = SramModel::default_14nm();
+        let e_085 = sram.energy_per_access_j(0.85).unwrap();
+        let e_065 = sram.energy_per_access_j(0.65).unwrap();
+        // Paper Fig. 2: ~3.5 nJ near the top of the range, ~2.0 nJ at the bottom.
+        assert!((e_085 * 1e9 - 3.5).abs() < 0.3, "{}", e_085 * 1e9);
+        assert!((e_065 * 1e9 - 2.0).abs() < 0.3, "{}", e_065 * 1e9);
+    }
+
+    #[test]
+    fn energy_for_bytes_rounds_up_to_words() {
+        let sram = SramModel::default_14nm();
+        let one_word = sram.energy_for_bytes_j(1, 1.0).unwrap();
+        let full_word = sram.energy_for_bytes_j(8, 1.0).unwrap();
+        assert_eq!(one_word, full_word);
+        let two_words = sram.energy_for_bytes_j(9, 1.0).unwrap();
+        assert!((two_words - 2.0 * one_word).abs() < 1e-18);
+    }
+
+    #[test]
+    fn capacity_checks() {
+        let sram = SramModel::default_14nm();
+        assert!(sram.fits(1_100_000)); // C3F2: 1.1 MB
+        assert!(!sram.fits(10 * 1024 * 1024));
+        assert_eq!(sram.total_bits(), sram.capacity_bytes() * 8);
+        assert_eq!(sram.bytes_per_access(), 8);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SramModel::new(0.0, 8, 1024, 0.0).is_err());
+        assert!(SramModel::new(1e-9, 0, 1024, 0.0).is_err());
+        assert!(SramModel::new(1e-9, 8, 0, 0.0).is_err());
+        assert!(SramModel::new(1e-9, 8, 1024, -1.0).is_err());
+    }
+
+    #[test]
+    fn leakage_scales_linearly() {
+        let sram = SramModel::default_14nm();
+        let p1 = sram.leakage_power_w(1.0).unwrap();
+        let p2 = sram.leakage_power_w(0.5).unwrap();
+        assert!((p2 / p1 - 0.5).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_energy_monotone_in_voltage(v1 in 0.6f64..1.4, v2 in 0.6f64..1.4) {
+            let sram = SramModel::default_14nm();
+            let (lo, hi) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+            prop_assert!(sram.energy_per_access_j(lo).unwrap() <= sram.energy_per_access_j(hi).unwrap() + 1e-18);
+        }
+
+        #[test]
+        fn prop_energy_for_bytes_additive(bytes in 1usize..10_000) {
+            let sram = SramModel::default_14nm();
+            let whole = sram.energy_for_bytes_j(bytes * 8, 0.9).unwrap();
+            let per_word = sram.energy_per_access_j(0.9).unwrap();
+            prop_assert!((whole - bytes as f64 * per_word).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Analytic systolic-array latency model (SCALE-Sim-style).
+//!
+//! The paper assumes "the underlying systolic array-based architecture with
+//! on-chip SRAM" and uses SCALE-Sim to obtain cycle counts.  This module
+//! reproduces the first-order analytic model SCALE-Sim itself documents for
+//! an output-stationary dataflow: the layer's GEMM is tiled over the
+//! `rows × cols` PE array, each tile costs `rows + cols + accumulation − 1`
+//! cycles of fill/drain plus one cycle per accumulation step, and tiles are
+//! processed back-to-back.
+
+use crate::error::HwError;
+use crate::workload::{LayerWorkload, NetworkWorkload};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A square (or rectangular) systolic array of multiply–accumulate units.
+///
+/// # Examples
+///
+/// ```
+/// use berry_hw::systolic::SystolicArray;
+/// use berry_hw::workload::LayerWorkload;
+///
+/// # fn main() -> Result<(), berry_hw::HwError> {
+/// let array = SystolicArray::new(16, 16)?;
+/// let layer = LayerWorkload::dense("fc", 512, 128);
+/// let cycles = array.layer_cycles(&layer);
+/// assert!(cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates an array with the given PE grid dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidParameter`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(HwError::InvalidParameter(
+                "systolic array dimensions must be positive".into(),
+            ));
+        }
+        Ok(Self { rows, cols })
+    }
+
+    /// The 16×16 array used as the default edge-accelerator configuration.
+    pub fn default_16x16() -> Self {
+        Self::new(16, 16).expect("static dimensions are valid")
+    }
+
+    /// Number of PE rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of PE columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total processing elements.
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Maps a layer onto an `M × K × N` GEMM:
+    /// convolutions use the im2col view (`M` = output pixels,
+    /// `K` = in_channels·k², `N` = out_channels) and dense layers are a
+    /// single matrix–vector product.
+    fn gemm_dims(layer: &LayerWorkload) -> (u64, u64, u64) {
+        match layer.kind {
+            crate::workload::LayerKind::Conv => {
+                // The stored aggregates satisfy
+                //   macs         = out_px · out_ch · in_ch · k²
+                //   weight_bytes = out_ch · in_ch · k²
+                //   output_bytes = out_ch · out_px
+                // from which the im2col GEMM dimensions are recovered.
+                let out_px = (layer.macs / layer.weight_bytes.max(1)).max(1);
+                let out_ch = (layer.output_bytes / out_px).max(1);
+                let k_dim = (layer.weight_bytes / out_ch).max(1);
+                (out_px, k_dim, out_ch)
+            }
+            crate::workload::LayerKind::Dense => {
+                (1, layer.input_bytes.max(1), layer.output_bytes.max(1))
+            }
+        }
+    }
+
+    /// Cycle count for one inference of a single layer (output-stationary
+    /// analytic model).
+    pub fn layer_cycles(&self, layer: &LayerWorkload) -> u64 {
+        let (m, k, n) = Self::gemm_dims(layer);
+        let rows = self.rows as u64;
+        let cols = self.cols as u64;
+        // Tiles of the output matrix.
+        let row_tiles = m.div_ceil(rows);
+        let col_tiles = n.div_ceil(cols);
+        let fill_drain = rows + cols - 1;
+        // Each tile streams K accumulation steps plus fill/drain.
+        let per_tile = k + fill_drain;
+        row_tiles * col_tiles * per_tile
+    }
+
+    /// Cycle count for one inference of an entire network.
+    pub fn network_cycles(&self, workload: &NetworkWorkload) -> u64 {
+        workload.layers().iter().map(|l| self.layer_cycles(l)).sum()
+    }
+
+    /// Average PE utilization over one network inference
+    /// (`useful MACs / (PEs × cycles)`), in `[0, 1]`.
+    pub fn utilization(&self, workload: &NetworkWorkload) -> f64 {
+        let cycles = self.network_cycles(workload);
+        if cycles == 0 {
+            return 0.0;
+        }
+        let ideal = workload.total_macs() as f64 / self.num_pes() as f64;
+        (ideal / cycles as f64).min(1.0)
+    }
+}
+
+impl Default for SystolicArray {
+    fn default() -> Self {
+        Self::default_16x16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::LayerWorkload;
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(SystolicArray::new(0, 16).is_err());
+        assert!(SystolicArray::new(16, 0).is_err());
+        let a = SystolicArray::new(8, 32).unwrap();
+        assert_eq!(a.rows(), 8);
+        assert_eq!(a.cols(), 32);
+        assert_eq!(a.num_pes(), 256);
+    }
+
+    #[test]
+    fn dense_layer_cycles_scale_with_size() {
+        let a = SystolicArray::default_16x16();
+        let small = a.layer_cycles(&LayerWorkload::dense("s", 64, 16));
+        let large = a.layer_cycles(&LayerWorkload::dense("l", 1024, 256));
+        assert!(large > small * 4, "{small} vs {large}");
+    }
+
+    #[test]
+    fn bigger_array_is_never_slower() {
+        let small = SystolicArray::new(8, 8).unwrap();
+        let big = SystolicArray::new(32, 32).unwrap();
+        let w = NetworkWorkload::c3f2();
+        assert!(big.network_cycles(&w) <= small.network_cycles(&w));
+    }
+
+    #[test]
+    fn network_cycles_is_sum_of_layers() {
+        let a = SystolicArray::default_16x16();
+        let w = NetworkWorkload::c3f2();
+        let total: u64 = w.layers().iter().map(|l| a.layer_cycles(l)).sum();
+        assert_eq!(a.network_cycles(&w), total);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let a = SystolicArray::default_16x16();
+        for w in [NetworkWorkload::c3f2(), NetworkWorkload::c5f4()] {
+            let u = a.utilization(&w);
+            assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        }
+    }
+
+    #[test]
+    fn c5f4_costs_more_cycles_than_c3f2() {
+        let a = SystolicArray::default_16x16();
+        assert!(a.network_cycles(&NetworkWorkload::c5f4()) > a.network_cycles(&NetworkWorkload::c3f2()));
+    }
+
+    #[test]
+    fn latency_is_reasonable_for_realtime_control() {
+        // At 800 MHz the C3F2 policy should comfortably run at the tens-of-Hz
+        // control rates UAV navigation needs (paper deploys it in real time).
+        let a = SystolicArray::default_16x16();
+        let cycles = a.network_cycles(&NetworkWorkload::c3f2());
+        let latency_s = cycles as f64 / 800.0e6;
+        assert!(latency_s < 0.05, "latency {latency_s} s");
+    }
+}

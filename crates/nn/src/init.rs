@@ -1,0 +1,74 @@
+//! Weight-initialization schemes.
+//!
+//! The BERRY policies (C3F2 and C5F4 convolutional Q-networks) use
+//! He/Kaiming initialization for ReLU layers and Xavier/Glorot for linear
+//! output heads; both are provided here as free functions over [`Tensor`].
+
+use crate::tensor::Tensor;
+
+/// He (Kaiming) normal initialization: `std = sqrt(2 / fan_in)`.
+///
+/// Appropriate for layers followed by a ReLU non-linearity.
+///
+/// # Examples
+///
+/// ```
+/// use berry_nn::init::he_normal;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let w = he_normal(&[16, 8], 8, &mut rng);
+/// assert_eq!(w.shape(), &[16, 8]);
+/// ```
+pub fn he_normal<R: rand::Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::rand_normal(shape, 0.0, std, rng)
+}
+
+/// Xavier (Glorot) uniform initialization over
+/// `[-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out))]`.
+///
+/// Appropriate for linear output heads (e.g. the Q-value head of a DQN).
+pub fn xavier_uniform<R: rand::Rng + ?Sized>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_std_tracks_fan_in() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = he_normal(&[20_000], 50, &mut rng);
+        let mean = w.mean();
+        let var = w.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.len() as f32;
+        let expected_var = 2.0 / 50.0;
+        assert!((var - expected_var).abs() < 0.2 * expected_var, "var {var}");
+    }
+
+    #[test]
+    fn xavier_uniform_respects_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let w = xavier_uniform(&[1000], 30, 10, &mut rng);
+        let bound = (6.0f32 / 40.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= bound));
+        // Values should actually spread out, not collapse to zero.
+        assert!(w.abs_max() > 0.5 * bound);
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_divide_by_zero() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let w = he_normal(&[4], 0, &mut rng);
+        assert!(w.data().iter().all(|v| v.is_finite()));
+        let x = xavier_uniform(&[4], 0, 0, &mut rng);
+        assert!(x.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,293 @@
+//! Fully-connected (dense) layer.
+
+use super::Layer;
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A fully-connected layer computing `y = x · Wᵀ + b` on batched inputs.
+///
+/// * weights have shape `[out_features, in_features]`,
+/// * bias has shape `[out_features]`,
+/// * inputs have shape `[batch, in_features]` and outputs `[batch, out_features]`.
+///
+/// # Examples
+///
+/// ```
+/// use berry_nn::layer::{Dense, Layer};
+/// use berry_nn::tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), berry_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut layer = Dense::new(3, 2, &mut rng);
+/// let x = Tensor::from_vec(vec![4, 3], vec![0.1; 12])?;
+/// let y = layer.forward(&x);
+/// assert_eq!(y.shape(), &[4, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_features` or `out_features` is zero.
+    pub fn new<R: rand::Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        assert!(in_features > 0, "in_features must be positive");
+        assert!(out_features > 0, "out_features must be positive");
+        let weight = init::he_normal(&[out_features, in_features], in_features, rng);
+        Self {
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            bias: Tensor::zeros(&[out_features]),
+            weight,
+            cached_input: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Creates a dense layer with Xavier-uniform weights (appropriate for an
+    /// output head that is not followed by a ReLU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_features` or `out_features` is zero.
+    pub fn new_xavier<R: rand::Rng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_features > 0, "in_features must be positive");
+        assert!(out_features > 0, "out_features must be positive");
+        let weight = init::xavier_uniform(
+            &[out_features, in_features],
+            in_features,
+            out_features,
+            rng,
+        );
+        Self {
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            bias: Tensor::zeros(&[out_features]),
+            weight,
+            cached_input: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Borrow of the weight tensor (`[out_features, in_features]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Borrow of the bias tensor (`[out_features]`).
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 2, "Dense expects [batch, features] input");
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "Dense input feature mismatch"
+        );
+        let batch = input.shape()[0];
+        let wt = self.weight.transpose().expect("weight is rank 2");
+        let mut out = input.matmul(&wt).expect("checked dims");
+        for n in 0..batch {
+            for o in 0..self.out_features {
+                *out.at2_mut(n, o) += self.bias.data()[o];
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward on Dense");
+        assert_eq!(grad_output.rank(), 2, "Dense gradient must be rank 2");
+        assert_eq!(grad_output.shape()[0], input.shape()[0]);
+        assert_eq!(grad_output.shape()[1], self.out_features);
+
+        // grad_w += dyᵀ · x   ([out, batch] x [batch, in] -> [out, in])
+        let dyt = grad_output.transpose().expect("rank 2");
+        let gw = dyt.matmul(input).expect("checked dims");
+        self.grad_weight
+            .add_scaled(&gw, 1.0)
+            .expect("gradient shapes match");
+
+        // grad_b += column sums of dy
+        let batch = grad_output.shape()[0];
+        for n in 0..batch {
+            for o in 0..self.out_features {
+                self.grad_bias.data_mut()[o] += grad_output.at2(n, o);
+            }
+        }
+
+        // dx = dy · W   ([batch, out] x [out, in] -> [batch, in])
+        grad_output.matmul(&self.weight).expect("checked dims")
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_weight, &mut self.grad_bias]
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut r = rng();
+        let mut layer = Dense::new(4, 3, &mut r);
+        // Zero the weights so output equals the bias.
+        layer.params_mut()[0].fill(0.0);
+        layer.params_mut()[1].data_mut()[1] = 2.5;
+        let x = Tensor::ones(&[2, 4]);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.at2(0, 1), 2.5);
+        assert_eq!(y.at2(1, 0), 0.0);
+    }
+
+    #[test]
+    fn param_count_matches_dimensions() {
+        let mut r = rng();
+        let layer = Dense::new(10, 7, &mut r);
+        assert_eq!(layer.param_count(), 10 * 7 + 7);
+        assert_eq!(layer.in_features(), 10);
+        assert_eq!(layer.out_features(), 7);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut layer = Dense::new(3, 2, &mut r);
+        let x = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut r);
+        // Loss = sum(forward(x)) so dL/dy = ones.
+        let y = layer.forward(&x);
+        let base_loss: f32 = y.sum();
+        layer.backward(&Tensor::ones(&[2, 2]));
+        let analytic = layer.grads()[0].clone();
+
+        let eps = 1e-3;
+        let mut max_err = 0.0f32;
+        for idx in 0..layer.weight.len() {
+            let mut perturbed = layer.clone();
+            perturbed.params_mut()[0].data_mut()[idx] += eps;
+            let y2 = perturbed.forward(&x);
+            let num = (y2.sum() - base_loss) / eps;
+            let ana = analytic.data()[idx];
+            max_err = max_err.max((num - ana).abs());
+        }
+        assert!(max_err < 1e-2, "max finite-difference error {max_err}");
+    }
+
+    #[test]
+    fn bias_gradient_is_batch_sum() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 2, &mut r);
+        let x = Tensor::rand_uniform(&[5, 2], -1.0, 1.0, &mut r);
+        layer.forward(&x);
+        let dy = Tensor::ones(&[5, 2]);
+        layer.backward(&dy);
+        let gb = layer.grads()[1].clone();
+        assert!((gb.data()[0] - 5.0).abs() < 1e-5);
+        assert!((gb.data()[1] - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 2, &mut r);
+        let x = Tensor::ones(&[1, 2]);
+        layer.forward(&x);
+        layer.backward(&Tensor::ones(&[1, 2]));
+        let g1 = layer.grads()[0].clone();
+        layer.forward(&x);
+        layer.backward(&Tensor::ones(&[1, 2]));
+        let g2 = layer.grads()[0].clone();
+        for (a, b) in g1.data().iter().zip(g2.data().iter()) {
+            assert!((b - 2.0 * a).abs() < 1e-5);
+        }
+        layer.zero_grad();
+        assert!(layer.grads()[0].data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn input_gradient_shape_matches_input() {
+        let mut r = rng();
+        let mut layer = Dense::new(6, 4, &mut r);
+        let x = Tensor::rand_uniform(&[3, 6], -1.0, 1.0, &mut r);
+        layer.forward(&x);
+        let gx = layer.backward(&Tensor::ones(&[3, 4]));
+        assert_eq!(gx.shape(), &[3, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in_features must be positive")]
+    fn zero_in_features_panics() {
+        let mut r = rng();
+        let _ = Dense::new(0, 4, &mut r);
+    }
+}

@@ -1,0 +1,409 @@
+//! Neural-network layers with explicit forward and backward passes.
+//!
+//! Each layer caches whatever it needs from its most recent forward pass so
+//! that a subsequent [`Layer::backward`] call can produce parameter gradients
+//! and the gradient with respect to the layer input.  Gradients accumulate
+//! until [`Layer::zero_grad`] is called, which is what lets the BERRY
+//! trainer *average* the clean-pass and perturbed-pass gradients (Algorithm 1
+//! line 19) simply by running two backward passes before one optimizer step.
+
+mod conv;
+mod dense;
+
+pub use conv::Conv2d;
+pub use dense::Dense;
+
+use crate::tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers operate on *batched* inputs: dense layers expect `[batch, features]`
+/// tensors and convolutions expect `[batch, channels, height, width]`.
+pub trait Layer: Send {
+    /// Runs the forward pass, caching anything needed by [`Layer::backward`].
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Runs the backward pass for the most recent forward input, accumulating
+    /// parameter gradients and returning the gradient with respect to the
+    /// layer input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before any forward pass.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Borrowed views of the layer's trainable parameters (possibly empty).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable views of the layer's trainable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Borrowed views of the accumulated parameter gradients, in the same
+    /// order as [`Layer::params`].
+    fn grads(&self) -> Vec<&Tensor>;
+
+    /// Mutable views of the accumulated parameter gradients, in the same
+    /// order as [`Layer::params`] (empty for parameter-free layers).
+    fn grads_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Resets all accumulated gradients to zero.
+    fn zero_grad(&mut self);
+
+    /// Human-readable layer name used in summaries.
+    fn name(&self) -> &'static str;
+
+    /// Total number of trainable scalar parameters.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Clones the layer into a boxed trait object (parameters and gradients
+    /// included), enabling target-network copies and perturbed snapshots.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Rectified linear unit activation, applied element-wise.
+///
+/// # Examples
+///
+/// ```
+/// use berry_nn::layer::{Layer, Relu};
+/// use berry_nn::tensor::Tensor;
+/// # fn main() -> Result<(), berry_nn::NnError> {
+/// let mut relu = Relu::new();
+/// let x = Tensor::from_vec(vec![1, 3], vec![-1.0, 0.0, 2.0])?;
+/// let y = relu.forward(&x);
+/// assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a new ReLU activation layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let out = input.mul(&mask).expect("mask shares input shape");
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("backward called before forward on Relu");
+        grad_output
+            .mul(mask)
+            .expect("gradient must share the forward shape")
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Leaky rectified linear unit with configurable negative slope.
+#[derive(Debug, Clone)]
+pub struct LeakyRelu {
+    slope: f32,
+    mask: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative-side slope.
+    pub fn new(slope: f32) -> Self {
+        Self { slope, mask: None }
+    }
+
+    /// The configured negative-side slope.
+    pub fn slope(&self) -> f32 {
+        self.slope
+    }
+}
+
+impl Default for LeakyRelu {
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let slope = self.slope;
+        let mask = input.map(|v| if v > 0.0 { 1.0 } else { slope });
+        let out = input.mul(&mask).expect("mask shares input shape");
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("backward called before forward on LeakyRelu");
+        grad_output
+            .mul(mask)
+            .expect("gradient must share the forward shape")
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "LeakyRelu"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Hyperbolic-tangent activation, applied element-wise.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a new tanh activation layer.
+    pub fn new() -> Self {
+        Self { output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self
+            .output
+            .as_ref()
+            .expect("backward called before forward on Tanh");
+        let deriv = out.map(|y| 1.0 - y * y);
+        grad_output
+            .mul(&deriv)
+            .expect("gradient must share the forward shape")
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Flattens `[batch, ...]` inputs into `[batch, features]`, remembering the
+/// original shape so the gradient can be restored on the backward pass.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a new flatten layer.
+    pub fn new() -> Self {
+        Self { input_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert!(
+            !shape.is_empty(),
+            "Flatten requires an input with at least one dimension"
+        );
+        let batch = shape[0];
+        let features: usize = shape[1..].iter().product();
+        self.input_shape = Some(shape);
+        input
+            .reshape(&[batch, features])
+            .expect("flatten preserves element count")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .as_ref()
+            .expect("backward called before forward on Flatten");
+        grad_output
+            .reshape(shape)
+            .expect("flatten gradient preserves element count")
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_and_backward() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![1, 4], vec![-2.0, -0.5, 0.5, 2.0]).unwrap();
+        let y = relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 2.0]);
+        let g = Tensor::ones(&[1, 4]);
+        let gx = relu.backward(&g);
+        assert_eq!(gx.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_passes_scaled_negatives() {
+        let mut l = LeakyRelu::new(0.1);
+        let x = Tensor::from_vec(vec![1, 2], vec![-1.0, 1.0]).unwrap();
+        let y = l.forward(&x);
+        assert!((y.data()[0] + 0.1).abs() < 1e-6);
+        assert!((y.data()[1] - 1.0).abs() < 1e-6);
+        let gx = l.backward(&Tensor::ones(&[1, 2]));
+        assert!((gx.data()[0] - 0.1).abs() < 1e-6);
+        assert!((gx.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_analytic_derivative() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![1, 3], vec![-1.0, 0.0, 0.5]).unwrap();
+        let y = t.forward(&x);
+        let gx = t.backward(&Tensor::ones(&[1, 3]));
+        for (out, grad) in y.data().iter().zip(gx.data().iter()) {
+            assert!((grad - (1.0 - out * out)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn flatten_round_trips_gradient_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[2, 48]);
+        let gx = f.backward(&Tensor::ones(&[2, 48]));
+        assert_eq!(gx.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn activations_have_no_parameters() {
+        let relu = Relu::new();
+        assert_eq!(relu.param_count(), 0);
+        assert!(relu.params().is_empty());
+        assert!(relu.grads().is_empty());
+        let tanh = Tanh::new();
+        assert_eq!(tanh.param_count(), 0);
+        let flat = Flatten::new();
+        assert_eq!(flat.param_count(), 0);
+    }
+
+    #[test]
+    fn boxed_layer_clone_is_independent() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, -1.0]).unwrap();
+        relu.forward(&x);
+        let boxed: Box<dyn Layer> = Box::new(relu);
+        let mut cloned = boxed.clone();
+        // The clone can run its own forward/backward without touching the original.
+        let y = cloned.forward(&x);
+        assert_eq!(y.data(), &[1.0, 0.0]);
+    }
+}

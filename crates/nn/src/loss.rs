@@ -1,0 +1,212 @@
+//! Loss functions returning both the scalar loss and its gradient.
+//!
+//! The DQN temporal-difference update minimizes the squared (or Huber)
+//! difference between predicted Q-values and Bellman targets; both losses
+//! here return the gradient with respect to the *prediction*, averaged over
+//! the batch, ready to feed into [`crate::network::Sequential::backward`].
+
+use crate::tensor::Tensor;
+
+/// Mean-squared-error loss.
+///
+/// Returns `(loss, grad)` where `loss = mean((pred - target)²)` and
+/// `grad = 2 (pred − target) / N` with `N` the number of elements.
+///
+/// # Panics
+///
+/// Panics if the prediction and target shapes differ.
+///
+/// # Examples
+///
+/// ```
+/// use berry_nn::loss::mse_loss;
+/// use berry_nn::tensor::Tensor;
+/// # fn main() -> Result<(), berry_nn::NnError> {
+/// let pred = Tensor::from_vec(vec![1, 2], vec![1.0, 3.0])?;
+/// let target = Tensor::from_vec(vec![1, 2], vec![0.0, 3.0])?;
+/// let (loss, grad) = mse_loss(&pred, &target);
+/// assert!((loss - 0.5).abs() < 1e-6);
+/// assert_eq!(grad.shape(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "mse_loss requires matching shapes"
+    );
+    let n = pred.len().max(1) as f32;
+    let diff = pred.sub(target).expect("shapes already checked");
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Huber (smooth-L1) loss with threshold `delta`.
+///
+/// Quadratic for residuals smaller than `delta`, linear beyond — the
+/// standard DQN stabilizer against exploding TD errors, which matters even
+/// more under bit-error perturbed targets.
+///
+/// Returns `(loss, grad)` with both averaged over the number of elements.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or `delta` is not strictly positive.
+pub fn huber_loss(pred: &Tensor, target: &Tensor, delta: f32) -> (f32, Tensor) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "huber_loss requires matching shapes"
+    );
+    assert!(delta > 0.0, "huber delta must be positive");
+    let n = pred.len().max(1) as f32;
+    let diff = pred.sub(target).expect("shapes already checked");
+    let mut loss = 0.0f32;
+    let grad_data: Vec<f32> = diff
+        .data()
+        .iter()
+        .map(|&d| {
+            if d.abs() <= delta {
+                loss += 0.5 * d * d;
+                d / n
+            } else {
+                loss += delta * (d.abs() - 0.5 * delta);
+                delta * d.signum() / n
+            }
+        })
+        .collect();
+    let grad = Tensor::from_vec(pred.shape().to_vec(), grad_data)
+        .expect("gradient shares prediction shape");
+    (loss / n, grad)
+}
+
+/// Masked mean-squared-error: only elements where `mask` is non-zero
+/// contribute to the loss and gradient.
+///
+/// This is how per-action TD errors are applied in a DQN — the network
+/// outputs Q-values for every action but only the taken action's Q-value has
+/// a target.
+///
+/// # Panics
+///
+/// Panics if the three shapes are not identical.
+pub fn masked_mse_loss(pred: &Tensor, target: &Tensor, mask: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape());
+    assert_eq!(pred.shape(), mask.shape());
+    let active = mask.data().iter().filter(|&&m| m != 0.0).count().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad_data: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(target.data().iter())
+        .zip(mask.data().iter())
+        .map(|((&p, &t), &m)| {
+            if m != 0.0 {
+                let d = p - t;
+                loss += d * d;
+                2.0 * d / active
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let grad =
+        Tensor::from_vec(pred.shape().to_vec(), grad_data).expect("gradient shares pred shape");
+    (loss / active, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mse_of_equal_tensors_is_zero() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let (loss, grad) = mse_loss(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let pred = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        let target = Tensor::from_vec(vec![2], vec![0.0, 0.0]).unwrap();
+        let (loss, grad) = mse_loss(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert!((grad.data()[0] - 1.0).abs() < 1e-6);
+        assert!((grad.data()[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_equals_mse_for_small_residuals() {
+        let pred = Tensor::from_vec(vec![2], vec![0.1, -0.2]).unwrap();
+        let target = Tensor::zeros(&[2]);
+        let (h, _) = huber_loss(&pred, &target, 1.0);
+        // Huber uses 0.5 d² so compare against half the MSE.
+        let (m, _) = mse_loss(&pred, &target);
+        assert!((h - 0.5 * m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_gradient_is_clipped_for_large_residuals() {
+        let pred = Tensor::from_vec(vec![2], vec![10.0, -10.0]).unwrap();
+        let target = Tensor::zeros(&[2]);
+        let (_, grad) = huber_loss(&pred, &target, 1.0);
+        assert!((grad.data()[0] - 0.5).abs() < 1e-6);
+        assert!((grad.data()[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "huber delta must be positive")]
+    fn huber_rejects_non_positive_delta() {
+        let a = Tensor::zeros(&[1]);
+        let _ = huber_loss(&a, &a, 0.0);
+    }
+
+    #[test]
+    fn masked_mse_ignores_unmasked_entries() {
+        let pred = Tensor::from_vec(vec![1, 3], vec![1.0, 5.0, 2.0]).unwrap();
+        let target = Tensor::from_vec(vec![1, 3], vec![0.0, 0.0, 2.0]).unwrap();
+        let mask = Tensor::from_vec(vec![1, 3], vec![1.0, 0.0, 1.0]).unwrap();
+        let (loss, grad) = masked_mse_loss(&pred, &target, &mask);
+        // Only the first and third entries count: (1² + 0²)/2 = 0.5
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert_eq!(grad.data()[1], 0.0);
+        assert!(grad.data()[0] > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mse_is_nonnegative(values in proptest::collection::vec(-50.0f32..50.0, 1..32)) {
+            let n = values.len();
+            let pred = Tensor::from_vec(vec![n], values).unwrap();
+            let target = Tensor::zeros(&[n]);
+            let (loss, _) = mse_loss(&pred, &target);
+            prop_assert!(loss >= 0.0);
+        }
+
+        #[test]
+        fn prop_huber_never_exceeds_mse_scale(values in proptest::collection::vec(-50.0f32..50.0, 1..32)) {
+            let n = values.len();
+            let pred = Tensor::from_vec(vec![n], values).unwrap();
+            let target = Tensor::zeros(&[n]);
+            let (h, _) = huber_loss(&pred, &target, 1.0);
+            let (m, _) = mse_loss(&pred, &target);
+            // Huber (with 0.5 factor) is always ≤ half of MSE.
+            prop_assert!(h <= 0.5 * m + 1e-4);
+        }
+
+        #[test]
+        fn prop_huber_gradient_bounded_by_delta(values in proptest::collection::vec(-100.0f32..100.0, 1..32), delta in 0.1f32..5.0) {
+            let n = values.len();
+            let pred = Tensor::from_vec(vec![n], values).unwrap();
+            let target = Tensor::zeros(&[n]);
+            let (_, grad) = huber_loss(&pred, &target, delta);
+            let bound = delta / n as f32 + 1e-6;
+            prop_assert!(grad.data().iter().all(|g| g.abs() <= bound));
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Sequential composition of layers into a trainable network.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// A feed-forward network: an ordered stack of [`Layer`]s.
+///
+/// `Sequential` is the model type used for both the Q-network and the target
+/// network in the BERRY DQN, and for the bit-error-perturbed snapshots the
+/// robust trainer builds each step.  Cloning a `Sequential` deep-copies every
+/// layer (parameters and gradients), which is exactly what target-network
+/// synchronization and perturbation snapshots need.
+///
+/// # Examples
+///
+/// ```
+/// use berry_nn::network::Sequential;
+/// use berry_nn::layer::{Dense, Relu};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 16, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Dense::new(16, 2, &mut rng));
+/// assert_eq!(net.param_count(), 4 * 16 + 16 + 16 * 2 + 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the network.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers (including parameter-free activations).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network contains no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs a forward pass through every layer, caching activations for a
+    /// subsequent [`Sequential::backward`] call.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Runs a backward pass, accumulating parameter gradients in every layer
+    /// and returning the gradient with respect to the network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Sequential::forward`].
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Resets every layer's accumulated gradients to zero.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Borrowed views of every trainable parameter tensor, layer by layer.
+    pub fn params(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Mutable views of every trainable parameter tensor, layer by layer.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Borrowed views of every accumulated gradient tensor, matching the
+    /// order of [`Sequential::params`].
+    pub fn grads(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.grads()).collect()
+    }
+
+    /// Mutable views of every accumulated gradient tensor, matching the
+    /// order of [`Sequential::params`].
+    pub fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(|l| l.grads_mut()).collect()
+    }
+
+    /// Accumulates `scale ×` the gradients of `source` into this network's
+    /// gradients.
+    ///
+    /// This is the glue for BERRY's dual-pass update (Algorithm 1 line 19):
+    /// the perturbed pass runs on a *copy* of the Q-network whose quantized
+    /// weights have bit errors injected, and its gradients `˜∆` are then
+    /// added onto the clean gradients `∆` accumulated here before a single
+    /// optimizer step applies `θ ← θ − α(∆ + ˜∆)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the two networks do not share an identical
+    /// parameter structure.
+    pub fn add_gradients_from(&mut self, source: &Sequential, scale: f32) -> Result<()> {
+        let src: Vec<Tensor> = source.grads().into_iter().cloned().collect();
+        let dst = self.grads_mut();
+        if src.len() != dst.len() {
+            return Err(NnError::InvalidArgument(format!(
+                "gradient tensor count mismatch: {} vs {}",
+                dst.len(),
+                src.len()
+            )));
+        }
+        for (d, s) in dst.into_iter().zip(src.iter()) {
+            d.add_scaled(s, scale)?;
+        }
+        Ok(())
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Approximate in-memory size of the parameters in bytes, assuming the
+    /// given bit width per parameter (8 for the quantized deployment the
+    /// paper assumes, 32 for the training representation).
+    pub fn param_bytes(&self, bits_per_param: usize) -> usize {
+        (self.param_count() * bits_per_param).div_ceil(8)
+    }
+
+    /// Copies all parameter values from `source` into `self`.
+    ///
+    /// This is the target-network synchronization step (`θ⁻ ← θ`, Algorithm 1
+    /// line 21).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the two networks do not have an
+    /// identical parameter structure.
+    pub fn copy_params_from(&mut self, source: &Sequential) -> Result<()> {
+        let src: Vec<Tensor> = source.params().into_iter().cloned().collect();
+        let dst = self.params_mut();
+        if src.len() != dst.len() {
+            return Err(NnError::InvalidArgument(format!(
+                "parameter tensor count mismatch: {} vs {}",
+                dst.len(),
+                src.len()
+            )));
+        }
+        for (d, s) in dst.into_iter().zip(src.iter()) {
+            if d.shape() != s.shape() {
+                return Err(NnError::ShapeMismatch {
+                    left: d.shape().to_vec(),
+                    right: s.shape().to_vec(),
+                });
+            }
+            d.data_mut().copy_from_slice(s.data());
+        }
+        Ok(())
+    }
+
+    /// Serializes all parameters into a single flat `f32` buffer
+    /// (layer order, row-major within each tensor).
+    pub fn to_flat_weights(&self) -> Vec<f32> {
+        self.params()
+            .iter()
+            .flat_map(|p| p.data().iter().copied())
+            .collect()
+    }
+
+    /// Restores parameters from a flat buffer produced by
+    /// [`Sequential::to_flat_weights`] on a structurally identical network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeDataMismatch`] if the buffer length does not
+    /// match the network's parameter count.
+    pub fn load_flat_weights(&mut self, weights: &[f32]) -> Result<()> {
+        if weights.len() != self.param_count() {
+            return Err(NnError::ShapeDataMismatch {
+                expected: self.param_count(),
+                actual: weights.len(),
+            });
+        }
+        let mut offset = 0usize;
+        for p in self.params_mut() {
+            let n = p.len();
+            p.data_mut().copy_from_slice(&weights[offset..offset + n]);
+            offset += n;
+        }
+        Ok(())
+    }
+
+    /// A short human-readable summary: layer names and parameter counts.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>2}: {:<10} params={}\n",
+                i,
+                layer.name(),
+                layer.param_count()
+            ));
+        }
+        out.push_str(&format!("total params: {}", self.param_count()));
+        out
+    }
+
+    /// Names of the layers in order (useful for diagnostics and tests).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layer_names())
+            .field("param_count", &self.param_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Dense, Flatten, Relu};
+    use crate::loss::mse_loss;
+    use crate::optim::{Optimizer, Sgd};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn small_mlp(seed: u64) -> Sequential {
+        let mut r = rng(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 8, &mut r));
+        net.push(Relu::new());
+        net.push(Dense::new(8, 2, &mut r));
+        net
+    }
+
+    #[test]
+    fn forward_through_conv_stack_has_expected_shape() {
+        let mut r = rng(0);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(2, 4, 3, 1, 1, &mut r));
+        net.push(Relu::new());
+        net.push(Conv2d::new(4, 8, 3, 2, 1, &mut r));
+        net.push(Relu::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(8 * 5 * 5, 16, &mut r));
+        net.push(Relu::new());
+        net.push(Dense::new(16, 25, &mut r));
+        let x = Tensor::zeros(&[3, 2, 9, 9]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[3, 25]);
+    }
+
+    #[test]
+    fn param_count_and_bytes() {
+        let net = small_mlp(1);
+        assert_eq!(net.param_count(), 3 * 8 + 8 + 8 * 2 + 2);
+        assert_eq!(net.param_bytes(8), net.param_count());
+        assert_eq!(net.param_bytes(32), net.param_count() * 4);
+    }
+
+    #[test]
+    fn copy_params_from_synchronizes_networks() {
+        let mut a = small_mlp(2);
+        let mut b = small_mlp(3);
+        assert_ne!(a.to_flat_weights(), b.to_flat_weights());
+        b.copy_params_from(&a).unwrap();
+        assert_eq!(a.to_flat_weights(), b.to_flat_weights());
+        // and the copy is deep: training `a` further does not change `b`.
+        let x = Tensor::ones(&[1, 3]);
+        let y = Tensor::ones(&[1, 2]);
+        let mut opt = Sgd::new(0.1);
+        let pred = a.forward(&x);
+        let (_, grad) = mse_loss(&pred, &y);
+        a.backward(&grad);
+        opt.step(&mut a);
+        assert_ne!(a.to_flat_weights(), b.to_flat_weights());
+    }
+
+    #[test]
+    fn copy_params_from_rejects_structural_mismatch() {
+        let mut a = small_mlp(4);
+        let mut r = rng(5);
+        let mut b = Sequential::new();
+        b.push(Dense::new(3, 4, &mut r));
+        assert!(a.copy_params_from(&b).is_err());
+    }
+
+    #[test]
+    fn flat_weights_round_trip() {
+        let mut a = small_mlp(6);
+        let w = a.to_flat_weights();
+        let mut b = small_mlp(7);
+        b.load_flat_weights(&w).unwrap();
+        assert_eq!(a.to_flat_weights(), b.to_flat_weights());
+        // identical inputs now produce identical outputs
+        let x = Tensor::from_vec(vec![1, 3], vec![0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(a.forward(&x).data(), b.forward(&x).data());
+        assert!(b.load_flat_weights(&w[..3]).is_err());
+    }
+
+    #[test]
+    fn cloned_network_is_independent() {
+        let mut a = small_mlp(8);
+        let b = a.clone();
+        let x = Tensor::ones(&[1, 3]);
+        let y = Tensor::zeros(&[1, 2]);
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..5 {
+            let pred = a.forward(&x);
+            let (_, grad) = mse_loss(&pred, &y);
+            a.backward(&grad);
+            opt.step(&mut a);
+            a.zero_grad();
+        }
+        assert_ne!(a.to_flat_weights(), b.to_flat_weights());
+    }
+
+    #[test]
+    fn backward_produces_input_gradient_of_input_shape() {
+        let mut net = small_mlp(9);
+        let x = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng(10));
+        let y = net.forward(&x);
+        let g = net.backward(&Tensor::ones(y.shape()));
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn summary_lists_layers_and_total() {
+        let net = small_mlp(11);
+        let s = net.summary();
+        assert!(s.contains("Dense"));
+        assert!(s.contains("Relu"));
+        assert!(s.contains("total params"));
+        assert_eq!(net.layer_names(), vec!["Dense", "Relu", "Dense"]);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let net = small_mlp(12);
+        let dbg = format!("{net:?}");
+        assert!(dbg.contains("Sequential"));
+        assert!(dbg.contains("param_count"));
+    }
+
+    #[test]
+    fn add_gradients_from_sums_per_parameter() {
+        let mut a = small_mlp(20);
+        let mut b = a.clone();
+        let x = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng(21));
+        let target = Tensor::zeros(&[2, 2]);
+        let pred_a = a.forward(&x);
+        let (_, grad_a) = mse_loss(&pred_a, &target);
+        a.backward(&grad_a);
+        let pred_b = b.forward(&x);
+        let (_, grad_b) = mse_loss(&pred_b, &target);
+        b.backward(&grad_b);
+        // a and b are identical networks on identical data, so summing b's
+        // gradients into a's must exactly double them.
+        let before: Vec<f32> = a.grads().iter().flat_map(|g| g.data().to_vec()).collect();
+        a.add_gradients_from(&b, 1.0).unwrap();
+        let after: Vec<f32> = a.grads().iter().flat_map(|g| g.data().to_vec()).collect();
+        for (x1, x2) in before.iter().zip(after.iter()) {
+            assert!((x2 - 2.0 * x1).abs() < 1e-6);
+        }
+        // Structural mismatch is rejected.
+        let mut r = rng(22);
+        let mut other = Sequential::new();
+        other.push(Dense::new(3, 4, &mut r));
+        assert!(a.add_gradients_from(&other, 1.0).is_err());
+    }
+
+    #[test]
+    fn gradient_check_through_whole_network() {
+        let mut net = small_mlp(13);
+        let x = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng(14));
+        let target = Tensor::zeros(&[2, 2]);
+        let pred = net.forward(&x);
+        let (loss0, grad) = mse_loss(&pred, &target);
+        net.backward(&grad);
+        let analytic: Vec<f32> = net.grads().iter().flat_map(|g| g.data().to_vec()).collect();
+        let weights = net.to_flat_weights();
+
+        let eps = 1e-3;
+        let mut max_err = 0.0f32;
+        for idx in (0..weights.len()).step_by(5) {
+            let mut w2 = weights.clone();
+            w2[idx] += eps;
+            let mut net2 = small_mlp(13);
+            net2.load_flat_weights(&w2).unwrap();
+            let pred2 = net2.forward(&x);
+            let (loss2, _) = mse_loss(&pred2, &target);
+            let numeric = (loss2 - loss0) / eps;
+            max_err = max_err.max((numeric - analytic[idx]).abs());
+        }
+        assert!(max_err < 2e-2, "gradient check error {max_err}");
+    }
+}

@@ -1,0 +1,384 @@
+//! Per-layer symmetric fixed-point quantization.
+//!
+//! The paper's fault model (Section IV, "Fault injection") injects bit
+//! errors "following per-layer 8-bit quantization with rounding" into the
+//! parameters held in on-chip SRAM.  This module provides that integer view:
+//! every parameter tensor is quantized independently with a symmetric scale
+//! `s = max|w| / (2^{bits-1} - 1)`, stored as raw two's-complement bytes so
+//! that the `berry-faults` crate can flip individual bits, and dequantized
+//! back into `f32` weights for inference or the perturbed training pass.
+
+use crate::error::NnError;
+use crate::network::Sequential;
+use crate::tensor::Tensor;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported quantization width in bits.
+pub const MAX_BITS: u8 = 8;
+
+/// A quantized view of a single parameter tensor.
+///
+/// Values are stored as the two's-complement byte pattern of the signed
+/// quantized integer, so external code (the bit-error injector) can operate
+/// on raw bytes without any unsafe casting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    shape: Vec<usize>,
+    scale: f32,
+    bits: u8,
+    values: Vec<u8>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor with a symmetric per-tensor scale and rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArgument`] if `bits` is zero or greater
+    /// than [`MAX_BITS`].
+    pub fn quantize(tensor: &Tensor, bits: u8) -> Result<Self> {
+        if bits == 0 || bits > MAX_BITS {
+            return Err(NnError::InvalidArgument(format!(
+                "quantization width must be in 1..={MAX_BITS}, got {bits}"
+            )));
+        }
+        let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+        let abs_max = tensor.abs_max();
+        // An all-zero tensor carries no information, so its scale is zero and
+        // bit errors in its (all-zero) payload dequantize back to zero.  This
+        // mirrors range-based quantization, where the stored range of a
+        // constant-zero tensor collapses.
+        let scale = if abs_max > 0.0 { abs_max / qmax } else { 0.0 };
+        let values = tensor
+            .data()
+            .iter()
+            .map(|&w| {
+                if scale == 0.0 {
+                    return 0u8;
+                }
+                let q = (w / scale).round().clamp(-qmax, qmax) as i8;
+                q as u8
+            })
+            .collect();
+        Ok(Self {
+            shape: tensor.shape().to_vec(),
+            scale,
+            bits,
+            values,
+        })
+    }
+
+    /// Reconstructs the floating-point tensor from the quantized bytes.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self
+            .values
+            .iter()
+            .map(|&b| (b as i8) as f32 * self.scale)
+            .collect();
+        Tensor::from_vec(self.shape.clone(), data)
+            .expect("quantized tensor preserves element count")
+    }
+
+    /// The quantization scale (`f32` per integer step).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The quantization width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Shape of the original tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of quantized values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the tensor holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of bits occupied in the (modelled) SRAM.
+    pub fn total_bits(&self) -> usize {
+        self.values.len() * self.bits as usize
+    }
+
+    /// Immutable view of the raw two's-complement bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.values
+    }
+
+    /// Mutable view of the raw two's-complement bytes — the surface into
+    /// which low-voltage bit errors are injected.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.values
+    }
+
+    /// Maximum absolute quantization error for the given source tensor, in
+    /// the original floating-point units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` has a different number of elements.
+    pub fn max_error(&self, original: &Tensor) -> f32 {
+        assert_eq!(original.len(), self.len());
+        let deq = self.dequantize();
+        deq.data()
+            .iter()
+            .zip(original.data().iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+/// A quantized snapshot of every parameter tensor in a network.
+///
+/// # Examples
+///
+/// ```
+/// use berry_nn::network::Sequential;
+/// use berry_nn::layer::Dense;
+/// use berry_nn::quant::QuantizedNetwork;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), berry_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 2, &mut rng));
+/// let snapshot = QuantizedNetwork::from_network(&net, 8)?;
+/// let mut copy = net.clone();
+/// snapshot.write_to_network(&mut copy)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedNetwork {
+    tensors: Vec<QuantizedTensor>,
+    bits: u8,
+}
+
+impl QuantizedNetwork {
+    /// Quantizes every parameter tensor of `net` at the given bit width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArgument`] if the bit width is unsupported.
+    pub fn from_network(net: &Sequential, bits: u8) -> Result<Self> {
+        let tensors = net
+            .params()
+            .iter()
+            .map(|p| QuantizedTensor::quantize(p, bits))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { tensors, bits })
+    }
+
+    /// Writes the (possibly perturbed) quantized values back into `net`,
+    /// replacing its floating-point parameters with their dequantized
+    /// counterparts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `net` does not structurally match the snapshot.
+    pub fn write_to_network(&self, net: &mut Sequential) -> Result<()> {
+        let params = net.params_mut();
+        if params.len() != self.tensors.len() {
+            return Err(NnError::InvalidArgument(format!(
+                "network has {} parameter tensors, snapshot has {}",
+                params.len(),
+                self.tensors.len()
+            )));
+        }
+        for (p, q) in params.into_iter().zip(self.tensors.iter()) {
+            if p.shape() != q.shape() {
+                return Err(NnError::ShapeMismatch {
+                    left: p.shape().to_vec(),
+                    right: q.shape().to_vec(),
+                });
+            }
+            let deq = q.dequantize();
+            p.data_mut().copy_from_slice(deq.data());
+        }
+        Ok(())
+    }
+
+    /// The per-tensor quantized views.
+    pub fn tensors(&self) -> &[QuantizedTensor] {
+        &self.tensors
+    }
+
+    /// Mutable access to the per-tensor quantized views (for fault
+    /// injection).
+    pub fn tensors_mut(&mut self) -> &mut [QuantizedTensor] {
+        &mut self.tensors
+    }
+
+    /// The quantization width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Total number of parameter bits held in the modelled SRAM.
+    pub fn total_bits(&self) -> usize {
+        self.tensors.iter().map(|t| t.total_bits()).sum()
+    }
+
+    /// Total number of quantized parameter values.
+    pub fn total_values(&self) -> usize {
+        self.tensors.iter().map(|t| t.len()).sum()
+    }
+}
+
+/// Quantizes and immediately dequantizes a network's parameters in place,
+/// returning the number of parameter tensors processed.
+///
+/// This emulates running inference from quantized weights *without* bit
+/// errors, i.e. the pure quantization noise floor of the deployment.
+///
+/// # Errors
+///
+/// Returns an error if the bit width is unsupported.
+pub fn quantize_dequantize_in_place(net: &mut Sequential, bits: u8) -> Result<usize> {
+    let snapshot = QuantizedNetwork::from_network(net, bits)?;
+    snapshot.write_to_network(net)?;
+    Ok(snapshot.tensors().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Relu};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn small_net(seed: u64) -> Sequential {
+        let mut r = rng(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(6, 12, &mut r));
+        net.push(Relu::new());
+        net.push(Dense::new(12, 4, &mut r));
+        net
+    }
+
+    #[test]
+    fn quantize_round_trip_error_is_bounded_by_half_scale() {
+        let mut r = rng(1);
+        let t = Tensor::rand_uniform(&[64], -2.0, 2.0, &mut r);
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        let err = q.max_error(&t);
+        assert!(err <= q.scale() * 0.5 + 1e-6, "error {err} vs scale {}", q.scale());
+    }
+
+    #[test]
+    fn lower_bit_widths_have_larger_error() {
+        let mut r = rng(2);
+        let t = Tensor::rand_uniform(&[256], -1.0, 1.0, &mut r);
+        let q8 = QuantizedTensor::quantize(&t, 8).unwrap();
+        let q4 = QuantizedTensor::quantize(&t, 4).unwrap();
+        assert!(q4.max_error(&t) > q8.max_error(&t));
+        assert_eq!(q8.bits(), 8);
+        assert_eq!(q4.bits(), 4);
+    }
+
+    #[test]
+    fn rejects_unsupported_bit_widths() {
+        let t = Tensor::ones(&[4]);
+        assert!(QuantizedTensor::quantize(&t, 0).is_err());
+        assert!(QuantizedTensor::quantize(&t, 9).is_err());
+    }
+
+    #[test]
+    fn all_zero_tensor_quantizes_to_zero_bytes() {
+        let t = Tensor::zeros(&[10]);
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        assert!(q.bytes().iter().all(|&b| b == 0));
+        assert_eq!(q.dequantize().data(), t.data());
+    }
+
+    #[test]
+    fn extreme_value_maps_to_qmax() {
+        let t = Tensor::from_vec(vec![2], vec![1.0, -1.0]).unwrap();
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        assert_eq!(q.bytes()[0] as i8, 127);
+        assert_eq!(q.bytes()[1] as i8, -127);
+    }
+
+    #[test]
+    fn byte_mutation_changes_dequantized_value() {
+        let t = Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
+        let mut q = QuantizedTensor::quantize(&t, 8).unwrap();
+        let before = q.dequantize();
+        // Flip the most significant bit of the first value.
+        q.bytes_mut()[0] ^= 0x80;
+        let after = q.dequantize();
+        assert_ne!(before.data()[0], after.data()[0]);
+        assert_eq!(before.data()[1], after.data()[1]);
+    }
+
+    #[test]
+    fn network_snapshot_round_trip_is_close() {
+        let net = small_net(3);
+        let snapshot = QuantizedNetwork::from_network(&net, 8).unwrap();
+        let mut copy = net.clone();
+        snapshot.write_to_network(&mut copy).unwrap();
+        for (a, b) in net.to_flat_weights().iter().zip(copy.to_flat_weights().iter()) {
+            assert!((a - b).abs() < 0.02, "{a} vs {b}");
+        }
+        assert_eq!(snapshot.total_values(), net.param_count());
+        assert_eq!(snapshot.total_bits(), net.param_count() * 8);
+    }
+
+    #[test]
+    fn write_to_mismatched_network_fails() {
+        let net = small_net(4);
+        let snapshot = QuantizedNetwork::from_network(&net, 8).unwrap();
+        let mut other = Sequential::new();
+        let mut r = rng(5);
+        other.push(Dense::new(3, 3, &mut r));
+        assert!(snapshot.write_to_network(&mut other).is_err());
+    }
+
+    #[test]
+    fn quantize_dequantize_in_place_keeps_behaviour_close() {
+        let mut net = small_net(6);
+        let x = Tensor::rand_uniform(&[1, 6], -1.0, 1.0, &mut rng(7));
+        let before = net.forward(&x);
+        let count = quantize_dequantize_in_place(&mut net, 8).unwrap();
+        assert_eq!(count, 4); // two dense layers x (weight, bias)
+        let after = net.forward(&x);
+        for (a, b) in before.data().iter().zip(after.data().iter()) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantization_error_bounded(values in proptest::collection::vec(-10.0f32..10.0, 1..128), bits in 2u8..=8) {
+            let n = values.len();
+            let t = Tensor::from_vec(vec![n], values).unwrap();
+            let q = QuantizedTensor::quantize(&t, bits).unwrap();
+            // Symmetric quantization with rounding: error is at most half a step.
+            prop_assert!(q.max_error(&t) <= 0.5 * q.scale() + 1e-5);
+        }
+
+        #[test]
+        fn prop_dequantized_values_do_not_exceed_original_range(values in proptest::collection::vec(-10.0f32..10.0, 1..128)) {
+            let n = values.len();
+            let t = Tensor::from_vec(vec![n], values).unwrap();
+            let q = QuantizedTensor::quantize(&t, 8).unwrap();
+            let deq = q.dequantize();
+            let bound = t.abs_max() + 1e-5;
+            prop_assert!(deq.data().iter().all(|v| v.abs() <= bound));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The episodic environment interface and the transition record.
+//!
+//! The paper models the navigation task as an MDP `M = (S, A, P, R, γ)`
+//! whose agent observes tuples `(sᵢ, aᵢ, sᵢ₊₁, rᵢ)` (Section II-A).  The
+//! [`Environment`] trait is the minimal interface the UAV simulator needs to
+//! expose for both the classical DQN baseline and BERRY's robust trainer;
+//! observations are `berry_nn` tensors so they can feed the convolutional
+//! policies directly.
+
+use berry_nn::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Why an episode ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TerminalKind {
+    /// The agent reached the goal — a successful mission.
+    Goal,
+    /// The agent collided with an obstacle or the arena boundary.
+    Collision,
+    /// The episode hit the step limit without reaching the goal.
+    Timeout,
+}
+
+impl TerminalKind {
+    /// Whether this terminal state counts as a successful mission.
+    pub fn is_success(self) -> bool {
+        matches!(self, TerminalKind::Goal)
+    }
+}
+
+/// The result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The next observation.
+    pub observation: Tensor,
+    /// The immediate reward.
+    pub reward: f32,
+    /// `Some` if the episode ended on this step.
+    pub terminal: Option<TerminalKind>,
+    /// Distance (metres, or environment units) travelled during this step —
+    /// used by the quality-of-flight model to turn trajectories into flight
+    /// time and energy.
+    pub distance_travelled: f64,
+}
+
+impl StepOutcome {
+    /// Whether the episode ended on this step.
+    pub fn is_terminal(&self) -> bool {
+        self.terminal.is_some()
+    }
+}
+
+/// One experience-replay transition `(s, a, r, s', done)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State before the action.
+    pub state: Tensor,
+    /// The action taken.
+    pub action: usize,
+    /// The immediate reward.
+    pub reward: f32,
+    /// State after the action.
+    pub next_state: Tensor,
+    /// Whether the episode terminated after this transition (the Bellman
+    /// target then omits the bootstrap term).
+    pub done: bool,
+}
+
+/// An episodic Markov decision process with tensor observations and a
+/// discrete action space.
+///
+/// All randomness is drawn from the caller-provided generator so that
+/// training and evaluation runs are reproducible.
+pub trait Environment {
+    /// Resets the environment to a new episode and returns the initial
+    /// observation.
+    fn reset(&mut self, rng: &mut dyn rand::RngCore) -> Tensor;
+
+    /// Applies `action` and advances one step.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= num_actions()` or if called
+    /// after the episode terminated without an intervening reset.
+    fn step(&mut self, action: usize, rng: &mut dyn rand::RngCore) -> StepOutcome;
+
+    /// Size of the discrete action space.
+    fn num_actions(&self) -> usize;
+
+    /// Shape of the observations this environment produces.
+    fn observation_shape(&self) -> Vec<usize>;
+
+    /// A short human-readable name (used in reports and tables).
+    fn name(&self) -> String {
+        "environment".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_kind_success_classification() {
+        assert!(TerminalKind::Goal.is_success());
+        assert!(!TerminalKind::Collision.is_success());
+        assert!(!TerminalKind::Timeout.is_success());
+    }
+
+    #[test]
+    fn step_outcome_terminal_detection() {
+        let outcome = StepOutcome {
+            observation: Tensor::zeros(&[2]),
+            reward: 1.0,
+            terminal: Some(TerminalKind::Goal),
+            distance_travelled: 0.5,
+        };
+        assert!(outcome.is_terminal());
+        let ongoing = StepOutcome {
+            observation: Tensor::zeros(&[2]),
+            reward: 0.0,
+            terminal: None,
+            distance_travelled: 0.5,
+        };
+        assert!(!ongoing.is_terminal());
+    }
+
+    #[test]
+    fn transition_holds_its_fields() {
+        let t = Transition {
+            state: Tensor::zeros(&[3]),
+            action: 2,
+            reward: -1.0,
+            next_state: Tensor::ones(&[3]),
+            done: true,
+        };
+        assert_eq!(t.action, 2);
+        assert!(t.done);
+        assert_eq!(t.next_state.data(), &[1.0, 1.0, 1.0]);
+    }
+}

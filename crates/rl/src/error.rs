@@ -1,0 +1,106 @@
+//! Error types for the `berry-rl` crate.
+
+use std::fmt;
+
+/// Errors produced by agents, buffers and training loops.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RlError {
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// An observation's shape did not match what the agent was built for.
+    ObservationShapeMismatch {
+        /// Shape the agent expects.
+        expected: Vec<usize>,
+        /// Shape that was provided.
+        actual: Vec<usize>,
+    },
+    /// An action index was outside the environment's action space.
+    InvalidAction {
+        /// The offending action.
+        action: usize,
+        /// Number of valid actions.
+        num_actions: usize,
+    },
+    /// Not enough transitions are stored to sample the requested batch.
+    NotEnoughSamples {
+        /// Requested batch size.
+        requested: usize,
+        /// Transitions currently available.
+        available: usize,
+    },
+    /// An error bubbled up from the neural-network substrate.
+    Network(String),
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RlError::ObservationShapeMismatch { expected, actual } => write!(
+                f,
+                "observation shape {actual:?} does not match the expected {expected:?}"
+            ),
+            RlError::InvalidAction {
+                action,
+                num_actions,
+            } => write!(f, "action {action} is outside the 0..{num_actions} range"),
+            RlError::NotEnoughSamples {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot sample a batch of {requested} from {available} stored transitions"
+            ),
+            RlError::Network(msg) => write!(f, "network error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RlError {}
+
+impl From<berry_nn::NnError> for RlError {
+    fn from(err: berry_nn::NnError) -> Self {
+        RlError::Network(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            RlError::InvalidConfig("x".into()),
+            RlError::ObservationShapeMismatch {
+                expected: vec![2],
+                actual: vec![3],
+            },
+            RlError::InvalidAction {
+                action: 7,
+                num_actions: 5,
+            },
+            RlError::NotEnoughSamples {
+                requested: 32,
+                available: 4,
+            },
+            RlError::Network("boom".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn nn_errors_convert() {
+        let nn_err = berry_nn::NnError::InvalidArgument("bad".into());
+        let rl_err: RlError = nn_err.into();
+        assert!(matches!(rl_err, RlError::Network(_)));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RlError>();
+    }
+}

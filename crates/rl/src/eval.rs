@@ -1,0 +1,253 @@
+//! Greedy-policy evaluation: success rate and trajectory statistics.
+//!
+//! The paper's mission-level metrics all start from greedy rollouts of a
+//! trained (and possibly bit-error-perturbed) policy: the success rate is
+//! the fraction of trials that reach the goal, and the average trajectory
+//! length feeds the flight-time / flight-energy models.  [`evaluate_policy`]
+//! produces exactly those statistics.
+
+use crate::env::{Environment, TerminalKind};
+use berry_nn::network::Sequential;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a batch of greedy evaluation episodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Number of episodes evaluated.
+    pub episodes: usize,
+    /// Fraction of episodes that reached the goal.
+    pub success_rate: f64,
+    /// Fraction of episodes that ended in a collision.
+    pub collision_rate: f64,
+    /// Fraction of episodes that timed out.
+    pub timeout_rate: f64,
+    /// Mean undiscounted return.
+    pub mean_return: f64,
+    /// Mean number of steps per episode.
+    pub mean_steps: f64,
+    /// Mean distance travelled per episode (environment units / metres).
+    pub mean_distance: f64,
+    /// Mean distance travelled over *successful* episodes only (the paper's
+    /// "flight distance" column considers completed missions).
+    pub mean_success_distance: f64,
+}
+
+impl EvalStats {
+    /// Statistics representing "no episodes evaluated".
+    pub fn empty() -> Self {
+        Self {
+            episodes: 0,
+            success_rate: 0.0,
+            collision_rate: 0.0,
+            timeout_rate: 0.0,
+            mean_return: 0.0,
+            mean_steps: 0.0,
+            mean_distance: 0.0,
+            mean_success_distance: 0.0,
+        }
+    }
+
+    /// Merges two statistics blocks, weighting by episode counts.
+    pub fn merge(&self, other: &EvalStats) -> EvalStats {
+        let n1 = self.episodes as f64;
+        let n2 = other.episodes as f64;
+        let n = n1 + n2;
+        if n == 0.0 {
+            return EvalStats::empty();
+        }
+        let w = |a: f64, b: f64| (a * n1 + b * n2) / n;
+        // Success-weighted distance needs success counts, not episode counts.
+        let s1 = self.success_rate * n1;
+        let s2 = other.success_rate * n2;
+        let mean_success_distance = if s1 + s2 > 0.0 {
+            (self.mean_success_distance * s1 + other.mean_success_distance * s2) / (s1 + s2)
+        } else {
+            0.0
+        };
+        EvalStats {
+            episodes: self.episodes + other.episodes,
+            success_rate: w(self.success_rate, other.success_rate),
+            collision_rate: w(self.collision_rate, other.collision_rate),
+            timeout_rate: w(self.timeout_rate, other.timeout_rate),
+            mean_return: w(self.mean_return, other.mean_return),
+            mean_steps: w(self.mean_steps, other.mean_steps),
+            mean_distance: w(self.mean_distance, other.mean_distance),
+            mean_success_distance,
+        }
+    }
+}
+
+/// Runs `episodes` greedy rollouts of `policy` on `env`.
+///
+/// The policy network is used directly (rather than a [`crate::DqnAgent`])
+/// so that bit-error-perturbed copies of a network can be evaluated without
+/// touching the agent that owns the clean weights.
+pub fn evaluate_policy<E: Environment, R: Rng>(
+    policy: &mut Sequential,
+    env: &mut E,
+    episodes: usize,
+    max_steps: usize,
+    rng: &mut R,
+) -> EvalStats {
+    if episodes == 0 {
+        return EvalStats::empty();
+    }
+    let obs_shape = env.observation_shape();
+    let per_obs: usize = obs_shape.iter().product();
+    let mut batched_shape = Vec::with_capacity(obs_shape.len() + 1);
+    batched_shape.push(1);
+    batched_shape.extend_from_slice(&obs_shape);
+
+    let mut successes = 0usize;
+    let mut collisions = 0usize;
+    let mut timeouts = 0usize;
+    let mut total_return = 0.0f64;
+    let mut total_steps = 0usize;
+    let mut total_distance = 0.0f64;
+    let mut success_distance = 0.0f64;
+
+    for _ in 0..episodes {
+        let mut obs = env.reset(rng);
+        let mut episode_distance = 0.0f64;
+        let mut terminal: Option<TerminalKind> = None;
+        for _ in 0..max_steps {
+            debug_assert_eq!(obs.len(), per_obs);
+            let batched = obs
+                .reshape(&batched_shape)
+                .expect("observation matches the environment shape");
+            let q = policy.forward(&batched);
+            let action = q.argmax().expect("non-empty action space");
+            let outcome = env.step(action, rng);
+            total_return += outcome.reward as f64;
+            episode_distance += outcome.distance_travelled;
+            total_steps += 1;
+            obs = outcome.observation;
+            if let Some(t) = outcome.terminal {
+                terminal = Some(t);
+                break;
+            }
+        }
+        total_distance += episode_distance;
+        match terminal {
+            Some(TerminalKind::Goal) => {
+                successes += 1;
+                success_distance += episode_distance;
+            }
+            Some(TerminalKind::Collision) => collisions += 1,
+            _ => timeouts += 1,
+        }
+    }
+
+    let n = episodes as f64;
+    EvalStats {
+        episodes,
+        success_rate: successes as f64 / n,
+        collision_rate: collisions as f64 / n,
+        timeout_rate: timeouts as f64 / n,
+        mean_return: total_return / n,
+        mean_steps: total_steps as f64 / n,
+        mean_distance: total_distance / n,
+        mean_success_distance: if successes > 0 {
+            success_distance / successes as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::StepOutcome;
+    use crate::policy::QNetworkSpec;
+    use berry_nn::tensor::Tensor;
+    use rand::SeedableRng;
+
+    /// An environment that succeeds if and only if the policy picks action 0
+    /// on the first step.
+    struct FirstActionMatters;
+
+    impl Environment for FirstActionMatters {
+        fn reset(&mut self, _rng: &mut dyn rand::RngCore) -> Tensor {
+            Tensor::from_vec(vec![2], vec![1.0, -1.0]).unwrap()
+        }
+
+        fn step(&mut self, action: usize, _rng: &mut dyn rand::RngCore) -> StepOutcome {
+            let success = action == 0;
+            StepOutcome {
+                observation: Tensor::zeros(&[2]),
+                reward: if success { 1.0 } else { -1.0 },
+                terminal: Some(if success {
+                    TerminalKind::Goal
+                } else {
+                    TerminalKind::Collision
+                }),
+                distance_travelled: 2.0,
+            }
+        }
+
+        fn num_actions(&self) -> usize {
+            2
+        }
+
+        fn observation_shape(&self) -> Vec<usize> {
+            vec![2]
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_for_a_deterministic_policy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut policy = QNetworkSpec::mlp(vec![8]).build(&[2], 2, &mut rng).unwrap();
+        let mut env = FirstActionMatters;
+        let stats1 = evaluate_policy(&mut policy, &mut env, 10, 5, &mut rng);
+        let stats2 = evaluate_policy(&mut policy, &mut env, 10, 5, &mut rng);
+        assert_eq!(stats1.success_rate, stats2.success_rate);
+        // Every episode terminates on the first step either way.
+        assert_eq!(stats1.mean_steps, 1.0);
+        assert_eq!(stats1.mean_distance, 2.0);
+        assert!((stats1.success_rate + stats1.collision_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_episodes_yields_empty_stats() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut policy = QNetworkSpec::mlp(vec![4]).build(&[2], 2, &mut rng).unwrap();
+        let mut env = FirstActionMatters;
+        let stats = evaluate_policy(&mut policy, &mut env, 0, 5, &mut rng);
+        assert_eq!(stats, EvalStats::empty());
+    }
+
+    #[test]
+    fn merge_weights_by_episode_count() {
+        let a = EvalStats {
+            episodes: 10,
+            success_rate: 1.0,
+            collision_rate: 0.0,
+            timeout_rate: 0.0,
+            mean_return: 1.0,
+            mean_steps: 5.0,
+            mean_distance: 10.0,
+            mean_success_distance: 10.0,
+        };
+        let b = EvalStats {
+            episodes: 30,
+            success_rate: 0.0,
+            collision_rate: 1.0,
+            timeout_rate: 0.0,
+            mean_return: -1.0,
+            mean_steps: 3.0,
+            mean_distance: 6.0,
+            mean_success_distance: 0.0,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.episodes, 40);
+        assert!((m.success_rate - 0.25).abs() < 1e-12);
+        assert!((m.mean_steps - 3.5).abs() < 1e-12);
+        // Success distance only averages over the 10 successful episodes.
+        assert!((m.mean_success_distance - 10.0).abs() < 1e-12);
+        let empty = EvalStats::empty().merge(&EvalStats::empty());
+        assert_eq!(empty.episodes, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Q-network architectures: the paper's C3F2 and C5F4 policies plus an MLP.
+//!
+//! The paper's autonomy policies are convolutional Q-networks named after
+//! their layer counts: **C3F2** (3 convolution + 2 fully-connected layers,
+//! the default navigation policy) and **C5F4** (5 convolution + 4
+//! fully-connected layers, ≈2× the parameters, evaluated in Fig. 7).  The
+//! reproduction's simulator feeds them a compact `[channels, 9, 9]`
+//! perception patch instead of the paper's full camera frames, so the
+//! builders below size every layer from the requested input shape.
+
+use crate::error::RlError;
+use crate::Result;
+use berry_nn::layer::{Conv2d, Dense, Flatten, Relu};
+use berry_nn::network::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// A description of a Q-network architecture that can be instantiated for
+/// any observation shape and action count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QNetworkSpec {
+    /// A multi-layer perceptron over flat observations (fast; used by unit
+    /// tests and ablations).
+    Mlp {
+        /// Hidden-layer widths.
+        hidden: Vec<usize>,
+    },
+    /// The paper's C3F2 policy: 3 convolutions + 2 fully-connected layers.
+    C3F2,
+    /// The paper's C5F4 policy: 5 convolutions + 4 fully-connected layers.
+    C5F4,
+}
+
+impl QNetworkSpec {
+    /// Convenience constructor for an MLP spec.
+    pub fn mlp(hidden: Vec<usize>) -> Self {
+        QNetworkSpec::Mlp { hidden }
+    }
+
+    /// Short name used in tables and file names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QNetworkSpec::Mlp { .. } => "MLP",
+            QNetworkSpec::C3F2 => "C3F2",
+            QNetworkSpec::C5F4 => "C5F4",
+        }
+    }
+
+    /// Builds the network for the given observation shape and action count.
+    ///
+    /// Convolutional specs require a `[channels, height, width]` observation
+    /// shape; the MLP accepts any shape and flattens it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] if the observation shape is
+    /// incompatible with the spec or `num_actions` is zero.
+    pub fn build<R: rand::Rng + ?Sized>(
+        &self,
+        observation_shape: &[usize],
+        num_actions: usize,
+        rng: &mut R,
+    ) -> Result<Sequential> {
+        if num_actions == 0 {
+            return Err(RlError::InvalidConfig(
+                "num_actions must be positive".into(),
+            ));
+        }
+        if observation_shape.is_empty() || observation_shape.iter().any(|&d| d == 0) {
+            return Err(RlError::InvalidConfig(format!(
+                "observation shape {observation_shape:?} must be non-empty with positive dims"
+            )));
+        }
+        match self {
+            QNetworkSpec::Mlp { hidden } => {
+                let input: usize = observation_shape.iter().product();
+                let mut net = Sequential::new();
+                net.push(Flatten::new());
+                let mut prev = input;
+                for &width in hidden {
+                    if width == 0 {
+                        return Err(RlError::InvalidConfig(
+                            "hidden layer widths must be positive".into(),
+                        ));
+                    }
+                    net.push(Dense::new(prev, width, rng));
+                    net.push(Relu::new());
+                    prev = width;
+                }
+                net.push(Dense::new_xavier(prev, num_actions, rng));
+                Ok(net)
+            }
+            QNetworkSpec::C3F2 => {
+                let (c, h, w) = Self::require_chw(observation_shape)?;
+                let mut net = Sequential::new();
+                // conv1: stride 1, conv2: stride 2 (downsample), conv3: stride 1.
+                net.push(Conv2d::new(c, 8, 3, 1, 1, rng));
+                net.push(Relu::new());
+                net.push(Conv2d::new(8, 16, 3, 2, 1, rng));
+                net.push(Relu::new());
+                net.push(Conv2d::new(16, 16, 3, 1, 1, rng));
+                net.push(Relu::new());
+                net.push(Flatten::new());
+                let (h2, w2) = (conv_out(h, 3, 2, 1), conv_out(w, 3, 2, 1));
+                net.push(Dense::new(16 * h2 * w2, 64, rng));
+                net.push(Relu::new());
+                net.push(Dense::new_xavier(64, num_actions, rng));
+                Ok(net)
+            }
+            QNetworkSpec::C5F4 => {
+                let (c, h, w) = Self::require_chw(observation_shape)?;
+                let mut net = Sequential::new();
+                net.push(Conv2d::new(c, 8, 3, 1, 1, rng));
+                net.push(Relu::new());
+                net.push(Conv2d::new(8, 16, 3, 2, 1, rng));
+                net.push(Relu::new());
+                net.push(Conv2d::new(16, 16, 3, 1, 1, rng));
+                net.push(Relu::new());
+                net.push(Conv2d::new(16, 24, 3, 1, 1, rng));
+                net.push(Relu::new());
+                net.push(Conv2d::new(24, 24, 3, 1, 1, rng));
+                net.push(Relu::new());
+                net.push(Flatten::new());
+                let (h2, w2) = (conv_out(h, 3, 2, 1), conv_out(w, 3, 2, 1));
+                net.push(Dense::new(24 * h2 * w2, 96, rng));
+                net.push(Relu::new());
+                net.push(Dense::new(96, 64, rng));
+                net.push(Relu::new());
+                net.push(Dense::new(64, 32, rng));
+                net.push(Relu::new());
+                net.push(Dense::new_xavier(32, num_actions, rng));
+                Ok(net)
+            }
+        }
+    }
+
+    fn require_chw(shape: &[usize]) -> Result<(usize, usize, usize)> {
+        if shape.len() != 3 {
+            return Err(RlError::InvalidConfig(format!(
+                "convolutional policies need a [channels, height, width] observation, got {shape:?}"
+            )));
+        }
+        Ok((shape[0], shape[1], shape[2]))
+    }
+}
+
+/// Output spatial size of a convolution.
+fn conv_out(size: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (size + 2 * padding - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berry_nn::tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn mlp_builds_and_produces_action_values() {
+        let mut r = rng(1);
+        let mut net = QNetworkSpec::mlp(vec![16, 16])
+            .build(&[6], 4, &mut r)
+            .unwrap();
+        let obs = Tensor::zeros(&[1, 6]);
+        let q = net.forward(&obs);
+        assert_eq!(q.shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn c3f2_builds_for_2x9x9_observations() {
+        let mut r = rng(2);
+        let mut net = QNetworkSpec::C3F2.build(&[2, 9, 9], 25, &mut r).unwrap();
+        let obs = Tensor::zeros(&[3, 2, 9, 9]);
+        let q = net.forward(&obs);
+        assert_eq!(q.shape(), &[3, 25]);
+        // 3 convs + 2 dense = 5 parameterized layers.
+        let dense_and_conv = net
+            .layer_names()
+            .iter()
+            .filter(|n| **n == "Dense" || **n == "Conv2d")
+            .count();
+        assert_eq!(dense_and_conv, 5);
+    }
+
+    #[test]
+    fn c5f4_has_more_parameters_than_c3f2() {
+        let mut r = rng(3);
+        let c3 = QNetworkSpec::C3F2.build(&[2, 9, 9], 25, &mut r).unwrap();
+        let c5 = QNetworkSpec::C5F4.build(&[2, 9, 9], 25, &mut r).unwrap();
+        assert!(c5.param_count() > c3.param_count());
+        let dense_and_conv = c5
+            .layer_names()
+            .iter()
+            .filter(|n| **n == "Dense" || **n == "Conv2d")
+            .count();
+        assert_eq!(dense_and_conv, 9);
+    }
+
+    #[test]
+    fn c5f4_forward_shape() {
+        let mut r = rng(4);
+        let mut net = QNetworkSpec::C5F4.build(&[2, 9, 9], 25, &mut r).unwrap();
+        let obs = Tensor::zeros(&[1, 2, 9, 9]);
+        assert_eq!(net.forward(&obs).shape(), &[1, 25]);
+    }
+
+    #[test]
+    fn conv_specs_reject_flat_observations() {
+        let mut r = rng(5);
+        assert!(QNetworkSpec::C3F2.build(&[10], 5, &mut r).is_err());
+        assert!(QNetworkSpec::C5F4.build(&[2, 9], 5, &mut r).is_err());
+    }
+
+    #[test]
+    fn invalid_action_or_shape_is_rejected() {
+        let mut r = rng(6);
+        assert!(QNetworkSpec::C3F2.build(&[2, 9, 9], 0, &mut r).is_err());
+        assert!(QNetworkSpec::mlp(vec![8]).build(&[], 4, &mut r).is_err());
+        assert!(QNetworkSpec::mlp(vec![0]).build(&[4], 4, &mut r).is_err());
+        assert!(QNetworkSpec::mlp(vec![8]).build(&[0], 4, &mut r).is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(QNetworkSpec::C3F2.name(), "C3F2");
+        assert_eq!(QNetworkSpec::C5F4.name(), "C5F4");
+        assert_eq!(QNetworkSpec::mlp(vec![1]).name(), "MLP");
+    }
+
+    #[test]
+    fn builds_are_deterministic_given_the_same_seed() {
+        let mut r1 = rng(7);
+        let mut r2 = rng(7);
+        let a = QNetworkSpec::C3F2.build(&[2, 9, 9], 25, &mut r1).unwrap();
+        let b = QNetworkSpec::C3F2.build(&[2, 9, 9], 25, &mut r2).unwrap();
+        assert_eq!(a.to_flat_weights(), b.to_flat_weights());
+    }
+}

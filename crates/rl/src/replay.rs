@@ -1,0 +1,196 @@
+//! Uniform experience-replay buffer (Algorithm 1 lines 8–10).
+
+use crate::env::Transition;
+use crate::error::RlError;
+use crate::Result;
+use rand::Rng;
+
+/// A fixed-capacity ring buffer of transitions with uniform sampling.
+///
+/// # Examples
+///
+/// ```
+/// use berry_rl::replay::ReplayBuffer;
+/// use berry_rl::env::Transition;
+/// use berry_nn::tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), berry_rl::RlError> {
+/// let mut buffer = ReplayBuffer::new(100)?;
+/// for i in 0..10 {
+///     buffer.push(Transition {
+///         state: Tensor::zeros(&[2]),
+///         action: i % 3,
+///         reward: 0.0,
+///         next_state: Tensor::zeros(&[2]),
+///         done: false,
+///     });
+/// }
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let batch = buffer.sample(4, &mut rng)?;
+/// assert_eq!(batch.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    storage: Vec<Transition>,
+    next_slot: usize,
+    total_pushed: u64,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(RlError::InvalidConfig(
+                "replay buffer capacity must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            capacity,
+            storage: Vec::with_capacity(capacity.min(4096)),
+            next_slot: 0,
+            total_pushed: 0,
+        })
+    }
+
+    /// Adds a transition, evicting the oldest one once the buffer is full.
+    pub fn push(&mut self, transition: Transition) {
+        if self.storage.len() < self.capacity {
+            self.storage.push(transition);
+        } else {
+            self.storage[self.next_slot] = transition;
+        }
+        self.next_slot = (self.next_slot + 1) % self.capacity;
+        self.total_pushed += 1;
+    }
+
+    /// Number of transitions currently stored.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// The buffer's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of transitions ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Samples `batch_size` transitions uniformly with replacement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::NotEnoughSamples`] if the buffer holds fewer than
+    /// `batch_size` transitions (sampling with replacement from a nearly
+    /// empty buffer would produce degenerate, highly correlated batches).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Transition>> {
+        if self.storage.len() < batch_size {
+            return Err(RlError::NotEnoughSamples {
+                requested: batch_size,
+                available: self.storage.len(),
+            });
+        }
+        Ok((0..batch_size)
+            .map(|_| self.storage[rng.gen_range(0..self.storage.len())].clone())
+            .collect())
+    }
+
+    /// Removes every stored transition (used when switching from offline to
+    /// on-device learning so stale error-free experience does not dominate).
+    pub fn clear(&mut self) {
+        self.storage.clear();
+        self.next_slot = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berry_nn::tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn transition(tag: f32) -> Transition {
+        Transition {
+            state: Tensor::full(&[1], tag),
+            action: 0,
+            reward: tag,
+            next_state: Tensor::full(&[1], tag + 0.5),
+            done: false,
+        }
+    }
+
+    #[test]
+    fn capacity_must_be_positive() {
+        assert!(ReplayBuffer::new(0).is_err());
+        assert!(ReplayBuffer::new(1).is_ok());
+    }
+
+    #[test]
+    fn push_evicts_oldest_when_full() {
+        let mut buf = ReplayBuffer::new(3).unwrap();
+        for i in 0..5 {
+            buf.push(transition(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.total_pushed(), 5);
+        // Oldest two (0.0, 1.0) are gone; rewards present are 2,3,4.
+        let rewards: Vec<f32> = buf.storage.iter().map(|t| t.reward).collect();
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0) && rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sample_requires_enough_transitions() {
+        let mut buf = ReplayBuffer::new(10).unwrap();
+        buf.push(transition(1.0));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(matches!(
+            buf.sample(4, &mut rng),
+            Err(RlError::NotEnoughSamples { .. })
+        ));
+        for i in 0..4 {
+            buf.push(transition(i as f32));
+        }
+        assert_eq!(buf.sample(4, &mut rng).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn sample_draws_only_stored_transitions() {
+        let mut buf = ReplayBuffer::new(8).unwrap();
+        for i in 0..8 {
+            buf.push(transition(i as f32));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..4 {
+            let batch = buf.sample(8, &mut rng).unwrap();
+            assert!(batch.iter().all(|t| (0.0..8.0).contains(&t.reward)));
+        }
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut buf = ReplayBuffer::new(4).unwrap();
+        buf.push(transition(1.0));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), 4);
+    }
+}

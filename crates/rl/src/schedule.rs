@@ -1,0 +1,160 @@
+//! Exploration schedules for ε-greedy action selection (Algorithm 1 line 6).
+
+use crate::error::RlError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A linearly decaying ε-greedy exploration schedule.
+///
+/// ε starts at `start`, decays linearly over `decay_steps` environment
+/// steps and stays at `end` afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use berry_rl::schedule::EpsilonSchedule;
+/// # fn main() -> Result<(), berry_rl::RlError> {
+/// let schedule = EpsilonSchedule::new(1.0, 0.05, 1000)?;
+/// assert_eq!(schedule.value(0), 1.0);
+/// assert!(schedule.value(500) < 1.0);
+/// assert_eq!(schedule.value(10_000), 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    start: f32,
+    end: f32,
+    decay_steps: u64,
+}
+
+impl EpsilonSchedule {
+    /// Creates a schedule decaying from `start` to `end` over `decay_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] if either endpoint is outside
+    /// `[0, 1]`, if `end > start`, or if `decay_steps` is zero.
+    pub fn new(start: f32, end: f32, decay_steps: u64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&start) || !(0.0..=1.0).contains(&end) {
+            return Err(RlError::InvalidConfig(
+                "epsilon endpoints must lie in [0, 1]".into(),
+            ));
+        }
+        if end > start {
+            return Err(RlError::InvalidConfig(
+                "epsilon must decay: end must not exceed start".into(),
+            ));
+        }
+        if decay_steps == 0 {
+            return Err(RlError::InvalidConfig(
+                "decay_steps must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            start,
+            end,
+            decay_steps,
+        })
+    }
+
+    /// A constant schedule (useful for pure evaluation or pure exploration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] if `epsilon` is outside `[0, 1]`.
+    pub fn constant(epsilon: f32) -> Result<Self> {
+        Self::new(epsilon, epsilon, 1)
+    }
+
+    /// ε at a given global step.
+    pub fn value(&self, step: u64) -> f32 {
+        if step >= self.decay_steps {
+            return self.end;
+        }
+        let frac = step as f32 / self.decay_steps as f32;
+        self.start + (self.end - self.start) * frac
+    }
+
+    /// The initial ε.
+    pub fn start(&self) -> f32 {
+        self.start
+    }
+
+    /// The final ε.
+    pub fn end(&self) -> f32 {
+        self.end
+    }
+
+    /// Number of steps over which ε decays.
+    pub fn decay_steps(&self) -> u64 {
+        self.decay_steps
+    }
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        Self::new(1.0, 0.05, 20_000).expect("default constants are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decays_linearly_then_clamps() {
+        let s = EpsilonSchedule::new(1.0, 0.0, 100).unwrap();
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(50) - 0.5).abs() < 1e-6);
+        assert_eq!(s.value(100), 0.0);
+        assert_eq!(s.value(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn constant_schedule_never_changes() {
+        let s = EpsilonSchedule::constant(0.3).unwrap();
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(999), 0.3);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(EpsilonSchedule::new(1.5, 0.0, 10).is_err());
+        assert!(EpsilonSchedule::new(0.5, -0.1, 10).is_err());
+        assert!(EpsilonSchedule::new(0.1, 0.5, 10).is_err());
+        assert!(EpsilonSchedule::new(1.0, 0.1, 0).is_err());
+        assert!(EpsilonSchedule::constant(2.0).is_err());
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = EpsilonSchedule::new(0.9, 0.1, 500).unwrap();
+        assert_eq!(s.start(), 0.9);
+        assert_eq!(s.end(), 0.1);
+        assert_eq!(s.decay_steps(), 500);
+    }
+
+    #[test]
+    fn default_is_valid_and_decaying() {
+        let s = EpsilonSchedule::default();
+        assert!(s.value(0) > s.value(s.decay_steps()));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_value_always_between_end_and_start(step in 0u64..1_000_000) {
+            let s = EpsilonSchedule::new(0.8, 0.02, 10_000).unwrap();
+            let v = s.value(step);
+            prop_assert!(v >= 0.02 - 1e-6 && v <= 0.8 + 1e-6);
+        }
+
+        #[test]
+        fn prop_value_is_monotone_nonincreasing(a in 0u64..100_000, b in 0u64..100_000) {
+            let s = EpsilonSchedule::new(1.0, 0.05, 30_000).unwrap();
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(s.value(lo) >= s.value(hi) - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! The autonomous-navigation MDP (paper Section V-A).
+//!
+//! "We adopt the autonomous navigation task (e.g., package delivery), where
+//! the UAV is initialized at a start location and navigates across the
+//! environment to reach the destination without colliding with obstacles.
+//! We use a perception-based probabilistic action space A with 25 actions."
+//!
+//! [`NavigationEnv`] realizes that task on the 2-D obstacle worlds of
+//! [`crate::world`]: the 25 actions form a 5×5 grid of planar velocity
+//! commands, each step integrates the command over one control period with
+//! swept collision checking, and episodes terminate on goal arrival,
+//! collision or timeout.  The environment implements
+//! [`berry_rl::Environment`], so both the classical DQN baseline and the
+//! BERRY robust trainer run on it unchanged.
+
+use crate::error::UavError;
+use crate::perception::PerceptionConfig;
+use crate::world::{ObstacleDensity, ObstacleWorld, Point};
+use crate::Result;
+use berry_nn::tensor::Tensor;
+use berry_rl::env::{Environment, StepOutcome, TerminalKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of discrete actions (a 5×5 grid of velocity commands).
+pub const NUM_ACTIONS: usize = 25;
+
+/// The per-axis command levels of the 5×5 action grid, as fractions of the
+/// maximum step length.
+pub const ACTION_LEVELS: [f64; 5] = [-1.0, -0.5, 0.0, 0.5, 1.0];
+
+/// Configuration of the navigation task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NavigationConfig {
+    /// Arena side length in metres.
+    pub arena_size_m: f64,
+    /// Obstacle density level.
+    pub density: ObstacleDensity,
+    /// Maximum displacement per step at full command (metres).
+    pub max_step_m: f64,
+    /// UAV collision radius (metres).
+    pub uav_radius_m: f64,
+    /// Distance to the goal below which the mission counts as completed.
+    pub goal_radius_m: f64,
+    /// Maximum steps per episode before a timeout.
+    pub max_steps: usize,
+    /// Whether a fresh world is generated on every reset (true, the paper's
+    /// randomized evaluation protocol) or the same world is reused (false,
+    /// useful for debugging).
+    pub randomize_world: bool,
+    /// Perception (observation) parameters.
+    pub perception: PerceptionConfig,
+    /// Reward granted for reaching the goal.
+    pub goal_reward: f32,
+    /// Penalty (negative reward) for a collision.
+    pub collision_penalty: f32,
+    /// Per-step time penalty encouraging short paths.
+    pub step_penalty: f32,
+    /// Scale of the progress-toward-goal shaping term.
+    pub progress_scale: f32,
+}
+
+impl Default for NavigationConfig {
+    fn default() -> Self {
+        Self {
+            arena_size_m: 20.0,
+            density: ObstacleDensity::Medium,
+            max_step_m: 1.0,
+            uav_radius_m: 0.15,
+            goal_radius_m: 1.0,
+            max_steps: 60,
+            randomize_world: true,
+            perception: PerceptionConfig::default(),
+            goal_reward: 10.0,
+            collision_penalty: 10.0,
+            step_penalty: 0.05,
+            progress_scale: 1.0,
+        }
+    }
+}
+
+impl NavigationConfig {
+    /// The default task at a given obstacle density.
+    pub fn with_density(density: ObstacleDensity) -> Self {
+        Self {
+            density,
+            ..Self::default()
+        }
+    }
+
+    /// A reduced-size task (smaller arena, shorter episodes, 5×5 perception
+    /// window) that trains in seconds — used by unit and integration tests.
+    pub fn smoke_test() -> Self {
+        Self {
+            arena_size_m: 10.0,
+            density: ObstacleDensity::Sparse,
+            max_step_m: 1.0,
+            max_steps: 30,
+            perception: PerceptionConfig {
+                window: 5,
+                cell_size_m: 1.0,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidConfig`] for non-positive geometry or
+    /// reward-scale parameters.
+    pub fn validate(&self) -> Result<()> {
+        self.perception.validate()?;
+        if self.max_step_m <= 0.0 || self.uav_radius_m <= 0.0 || self.goal_radius_m <= 0.0 {
+            return Err(UavError::InvalidConfig(
+                "step length, UAV radius and goal radius must be strictly positive".into(),
+            ));
+        }
+        if self.max_steps == 0 {
+            return Err(UavError::InvalidConfig("max_steps must be positive".into()));
+        }
+        if !(8.0..=200.0).contains(&self.arena_size_m) {
+            return Err(UavError::InvalidConfig(format!(
+                "arena size must lie in [8, 200] m, got {}",
+                self.arena_size_m
+            )));
+        }
+        Ok(())
+    }
+
+    /// Decodes an action index into a displacement `(dx, dy)` in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action >= NUM_ACTIONS`.
+    pub fn action_displacement(&self, action: usize) -> (f64, f64) {
+        assert!(action < NUM_ACTIONS, "action {action} out of range");
+        let dx = ACTION_LEVELS[action % 5] * self.max_step_m;
+        let dy = ACTION_LEVELS[action / 5] * self.max_step_m;
+        (dx, dy)
+    }
+}
+
+/// The autonomous-navigation environment.
+#[derive(Debug, Clone)]
+pub struct NavigationEnv {
+    config: NavigationConfig,
+    world: Option<ObstacleWorld>,
+    position: Point,
+    goal_distance: f64,
+    steps: usize,
+    episode_distance: f64,
+    episodes_started: u64,
+    done: bool,
+}
+
+impl NavigationEnv {
+    /// Creates a navigation environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: NavigationConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            world: None,
+            position: Point::new(0.0, 0.0),
+            goal_distance: 0.0,
+            steps: 0,
+            episode_distance: 0.0,
+            episodes_started: 0,
+            done: true,
+        })
+    }
+
+    /// Creates an environment that always replays one fixed world (useful
+    /// for debugging and for visualizing a single mission).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidConfig`] if the configuration is invalid.
+    pub fn with_fixed_world(config: NavigationConfig, world: ObstacleWorld) -> Result<Self> {
+        let mut env = Self::new(NavigationConfig {
+            randomize_world: false,
+            ..config
+        })?;
+        env.world = Some(world);
+        Ok(env)
+    }
+
+    /// The task configuration.
+    pub fn config(&self) -> &NavigationConfig {
+        &self.config
+    }
+
+    /// The current world, if an episode has started.
+    pub fn world(&self) -> Option<&ObstacleWorld> {
+        self.world.as_ref()
+    }
+
+    /// The UAV's current position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Distance flown so far in the current episode (metres).
+    pub fn episode_distance(&self) -> f64 {
+        self.episode_distance
+    }
+
+    /// Number of episodes started since construction.
+    pub fn episodes_started(&self) -> u64 {
+        self.episodes_started
+    }
+
+    fn observe(&self) -> Tensor {
+        let world = self.world.as_ref().expect("reset before observing");
+        self.config
+            .perception
+            .observe(world, &self.position, &world.goal())
+    }
+}
+
+impl Environment for NavigationEnv {
+    fn reset(&mut self, rng: &mut dyn rand::RngCore) -> Tensor {
+        if self.config.randomize_world || self.world.is_none() {
+            // Regenerate until a world is produced (generation only fails for
+            // pathological configurations, which validate() already rejects).
+            let world = ObstacleWorld::generate(self.config.arena_size_m, self.config.density, rng)
+                .expect("validated configuration generates worlds");
+            self.world = Some(world);
+        }
+        let world = self.world.as_ref().expect("world just ensured");
+        self.position = world.start();
+        self.goal_distance = world.start_goal_distance();
+        self.steps = 0;
+        self.episode_distance = 0.0;
+        self.episodes_started += 1;
+        self.done = false;
+        self.observe()
+    }
+
+    fn step(&mut self, action: usize, rng: &mut dyn rand::RngCore) -> StepOutcome {
+        assert!(!self.done, "step called on a finished episode; call reset");
+        assert!(action < NUM_ACTIONS, "action {action} out of range");
+        let world = self.world.clone().expect("reset before stepping");
+        let (mut dx, mut dy) = self.config.action_displacement(action);
+        // A small amount of actuation noise keeps the MDP mildly stochastic,
+        // mirroring the wind/dynamics variability of the AirSim simulation.
+        let noise = self.config.max_step_m * 0.02;
+        dx += rng.gen_range(-noise..=noise);
+        dy += rng.gen_range(-noise..=noise);
+
+        let from = self.position;
+        let to = Point::new(from.x + dx, from.y + dy);
+        let step_distance = from.distance_to(&to);
+        self.steps += 1;
+        self.episode_distance += step_distance;
+
+        let collided = world.segment_collides(&from, &to, self.config.uav_radius_m, 0.1);
+        self.position = to;
+
+        let new_goal_distance = self.position.distance_to(&world.goal());
+        let progress = (self.goal_distance - new_goal_distance) as f32;
+        self.goal_distance = new_goal_distance;
+
+        let mut reward = self.config.progress_scale * progress - self.config.step_penalty;
+        let terminal = if collided {
+            reward -= self.config.collision_penalty;
+            Some(TerminalKind::Collision)
+        } else if new_goal_distance <= self.config.goal_radius_m {
+            reward += self.config.goal_reward;
+            Some(TerminalKind::Goal)
+        } else if self.steps >= self.config.max_steps {
+            Some(TerminalKind::Timeout)
+        } else {
+            None
+        };
+        if terminal.is_some() {
+            self.done = true;
+        }
+
+        StepOutcome {
+            observation: self.observe(),
+            reward,
+            terminal,
+            distance_travelled: step_distance,
+        }
+    }
+
+    fn num_actions(&self) -> usize {
+        NUM_ACTIONS
+    }
+
+    fn observation_shape(&self) -> Vec<usize> {
+        self.config.perception.observation_shape()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "navigation-{}-{}m",
+            self.config.density.label(),
+            self.config.arena_size_m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn reset_produces_observation_of_configured_shape() {
+        let mut env = NavigationEnv::new(NavigationConfig::default()).unwrap();
+        let mut r = rng(1);
+        let obs = env.reset(&mut r);
+        assert_eq!(obs.shape(), &[2, 9, 9]);
+        assert_eq!(env.num_actions(), 25);
+        assert_eq!(env.observation_shape(), vec![2, 9, 9]);
+        assert!(env.name().contains("medium"));
+    }
+
+    #[test]
+    fn action_grid_covers_25_displacements() {
+        let cfg = NavigationConfig::default();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..NUM_ACTIONS {
+            let (dx, dy) = cfg.action_displacement(a);
+            assert!(dx.abs() <= cfg.max_step_m + 1e-9);
+            assert!(dy.abs() <= cfg.max_step_m + 1e-9);
+            seen.insert(((dx * 10.0) as i64, (dy * 10.0) as i64));
+        }
+        assert_eq!(seen.len(), 25);
+        // Action 12 (centre of the grid) is "hover".
+        let (dx, dy) = cfg.action_displacement(12);
+        assert_eq!((dx, dy), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_action_panics() {
+        let cfg = NavigationConfig::default();
+        let _ = cfg.action_displacement(25);
+    }
+
+    #[test]
+    fn moving_toward_goal_earns_positive_shaping() {
+        let mut env = NavigationEnv::new(NavigationConfig {
+            randomize_world: true,
+            ..NavigationConfig::default()
+        })
+        .unwrap();
+        let mut r = rng(2);
+        env.reset(&mut r);
+        // The goal lies to the +x side of the start by construction, so the
+        // full-speed +x action (index 2 of the middle row = action 14) should
+        // give positive progress reward on the first step.
+        let outcome = env.step(14, &mut r);
+        assert!(
+            outcome.reward > -0.5,
+            "expected progress-ish reward, got {}",
+            outcome.reward
+        );
+        assert!(outcome.distance_travelled > 0.5);
+        assert!(env.episode_distance() > 0.0);
+    }
+
+    #[test]
+    fn leaving_the_arena_is_a_collision() {
+        let mut env = NavigationEnv::new(NavigationConfig::default()).unwrap();
+        let mut r = rng(3);
+        env.reset(&mut r);
+        // Drive straight left (-x) repeatedly; the start sits 2.5 m from the
+        // left wall so a few steps suffice.
+        let mut terminal = None;
+        for _ in 0..6 {
+            let outcome = env.step(10, &mut r); // dy = 0, dx = -1.0
+            if outcome.terminal.is_some() {
+                terminal = outcome.terminal;
+                break;
+            }
+        }
+        assert_eq!(terminal, Some(TerminalKind::Collision));
+    }
+
+    #[test]
+    fn hovering_times_out() {
+        let cfg = NavigationConfig {
+            max_steps: 10,
+            ..NavigationConfig::default()
+        };
+        let mut env = NavigationEnv::new(cfg).unwrap();
+        let mut r = rng(4);
+        env.reset(&mut r);
+        let mut last = None;
+        for _ in 0..10 {
+            let outcome = env.step(12, &mut r); // hover
+            last = outcome.terminal;
+            if last.is_some() {
+                break;
+            }
+        }
+        assert_eq!(last, Some(TerminalKind::Timeout));
+    }
+
+    #[test]
+    #[should_panic(expected = "finished episode")]
+    fn stepping_after_terminal_panics() {
+        let cfg = NavigationConfig {
+            max_steps: 1,
+            ..NavigationConfig::default()
+        };
+        let mut env = NavigationEnv::new(cfg).unwrap();
+        let mut r = rng(5);
+        env.reset(&mut r);
+        env.step(12, &mut r);
+        env.step(12, &mut r);
+    }
+
+    #[test]
+    fn fixed_world_is_reused_across_resets() {
+        let mut r = rng(6);
+        let world = ObstacleWorld::generate(20.0, ObstacleDensity::Sparse, &mut r).unwrap();
+        let mut env =
+            NavigationEnv::with_fixed_world(NavigationConfig::default(), world.clone()).unwrap();
+        env.reset(&mut r);
+        let start1 = env.position();
+        env.reset(&mut r);
+        let start2 = env.position();
+        assert_eq!(start1, start2);
+        assert_eq!(env.world().unwrap().goal(), world.goal());
+        assert_eq!(env.episodes_started(), 2);
+    }
+
+    #[test]
+    fn randomized_worlds_differ_between_resets() {
+        let mut env = NavigationEnv::new(NavigationConfig::default()).unwrap();
+        let mut r = rng(7);
+        env.reset(&mut r);
+        let w1 = env.world().unwrap().clone();
+        env.reset(&mut r);
+        let w2 = env.world().unwrap().clone();
+        assert_ne!(w1, w2);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(NavigationEnv::new(NavigationConfig {
+            max_step_m: 0.0,
+            ..NavigationConfig::default()
+        })
+        .is_err());
+        assert!(NavigationEnv::new(NavigationConfig {
+            max_steps: 0,
+            ..NavigationConfig::default()
+        })
+        .is_err());
+        assert!(NavigationEnv::new(NavigationConfig {
+            arena_size_m: 1.0,
+            ..NavigationConfig::default()
+        })
+        .is_err());
+        assert!(NavigationConfig::smoke_test().validate().is_ok());
+    }
+
+    #[test]
+    fn smoke_test_config_uses_small_window() {
+        let cfg = NavigationConfig::smoke_test();
+        assert_eq!(cfg.perception.window, 5);
+        let env = NavigationEnv::new(cfg).unwrap();
+        assert_eq!(env.observation_shape(), vec![2, 5, 5]);
+    }
+}

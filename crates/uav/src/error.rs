@@ -1,0 +1,82 @@
+//! Error types for the `berry-uav` crate.
+
+use std::fmt;
+
+/// Errors produced by the UAV simulator and flight models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UavError {
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// The payload (heatsink + other cargo) exceeds what the platform can
+    /// lift, or the thrust-to-weight ratio is insufficient to hover.
+    PayloadTooHeavy {
+        /// Total payload requested in grams.
+        payload_g: f64,
+        /// Maximum payload the platform supports in grams.
+        max_payload_g: f64,
+    },
+    /// A physical quantity left its valid domain (negative time, zero
+    /// velocity, …).
+    InvalidPhysics(String),
+    /// World generation could not place the requested obstacles.
+    WorldGeneration(String),
+}
+
+impl fmt::Display for UavError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UavError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            UavError::PayloadTooHeavy {
+                payload_g,
+                max_payload_g,
+            } => write!(
+                f,
+                "payload of {payload_g:.2} g exceeds the platform maximum of {max_payload_g:.2} g"
+            ),
+            UavError::InvalidPhysics(msg) => write!(f, "invalid physics: {msg}"),
+            UavError::WorldGeneration(msg) => write!(f, "world generation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UavError {}
+
+impl From<berry_hw::HwError> for UavError {
+    fn from(err: berry_hw::HwError) -> Self {
+        UavError::InvalidPhysics(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            UavError::InvalidConfig("x".into()),
+            UavError::PayloadTooHeavy {
+                payload_g: 20.0,
+                max_payload_g: 15.0,
+            },
+            UavError::InvalidPhysics("negative time".into()),
+            UavError::WorldGeneration("too dense".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn hw_errors_convert() {
+        let hw = berry_hw::HwError::InvalidParameter("p".into());
+        let uav: UavError = hw.into();
+        assert!(matches!(uav, UavError::InvalidPhysics(_)));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UavError>();
+    }
+}

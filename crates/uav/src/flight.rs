@@ -1,0 +1,350 @@
+//! Flight time, flight energy and missions-per-battery (paper Table II).
+//!
+//! Given a trajectory length from the navigation simulator, the flight
+//! condition from [`crate::physics`] and the processing power of the
+//! accelerator at the chosen voltage, this module produces the paper's
+//! mission-level quality-of-flight metrics:
+//!
+//! * **flight time** — trajectory length divided by the mission velocity,
+//! * **flight energy** — (rotor power + compute power) × flight time, with
+//!   rotor power dominating (≈93–97 % depending on the platform, Fig. 7),
+//! * **number of missions** — how many missions a single battery charge
+//!   completes, `N = SR · E_battery / E_flight` (paper Section V-B).
+
+use crate::error::UavError;
+use crate::physics::FlightCondition;
+use crate::platform::UavPlatform;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Mission-level quality-of-flight metrics for one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityOfFlight {
+    /// Mission success rate in `[0, 1]`.
+    pub success_rate: f64,
+    /// Average flight distance of a successful mission (metres).
+    pub flight_distance_m: f64,
+    /// Average single-mission flight time (seconds).
+    pub flight_time_s: f64,
+    /// Average single-mission flight energy (joules).
+    pub flight_energy_j: f64,
+    /// Average rotor power during the mission (watts).
+    pub rotor_power_w: f64,
+    /// Average compute power during the mission (watts).
+    pub compute_power_w: f64,
+    /// Number of successful missions completed on one battery charge.
+    pub num_missions: f64,
+}
+
+impl QualityOfFlight {
+    /// Relative change of single-mission flight energy versus a baseline
+    /// (negative = saving), e.g. the paper's "-15.62 %" at 0.77 Vmin.
+    pub fn flight_energy_change_vs(&self, baseline: &QualityOfFlight) -> f64 {
+        (self.flight_energy_j - baseline.flight_energy_j) / baseline.flight_energy_j
+    }
+
+    /// Relative change of the number of missions versus a baseline
+    /// (positive = improvement), e.g. the paper's "+18.51 %".
+    pub fn missions_change_vs(&self, baseline: &QualityOfFlight) -> f64 {
+        (self.num_missions - baseline.num_missions) / baseline.num_missions
+    }
+}
+
+/// Computes quality-of-flight metrics for a platform.
+///
+/// # Examples
+///
+/// ```
+/// use berry_uav::flight::FlightEnergyModel;
+/// use berry_uav::physics::{FlightPhysics, PhysicsConfig};
+/// use berry_uav::platform::UavPlatform;
+///
+/// # fn main() -> Result<(), berry_uav::UavError> {
+/// let platform = UavPlatform::crazyflie();
+/// let physics = FlightPhysics::new(platform.clone(), PhysicsConfig::default())?;
+/// let model = FlightEnergyModel::new(platform);
+/// let condition = physics.condition(4.1)?;
+/// let qof = model.quality_of_flight(&condition, 0.884, 14.89, 0.5)?;
+/// assert!(qof.flight_energy_j > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightEnergyModel {
+    platform: UavPlatform,
+}
+
+impl FlightEnergyModel {
+    /// Creates a flight-energy model for a platform.
+    pub fn new(platform: UavPlatform) -> Self {
+        Self { platform }
+    }
+
+    /// The platform this model describes.
+    pub fn platform(&self) -> &UavPlatform {
+        &self.platform
+    }
+
+    /// Single-mission flight time for a trajectory of `distance_m` metres
+    /// flown at the condition's mission velocity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidPhysics`] for non-positive distances or
+    /// velocities.
+    pub fn flight_time_s(&self, condition: &FlightCondition, distance_m: f64) -> Result<f64> {
+        if distance_m <= 0.0 || !distance_m.is_finite() {
+            return Err(UavError::InvalidPhysics(format!(
+                "flight distance must be strictly positive, got {distance_m}"
+            )));
+        }
+        if condition.mission_velocity_ms <= 0.0 {
+            return Err(UavError::InvalidPhysics(
+                "mission velocity must be strictly positive".into(),
+            ));
+        }
+        Ok(distance_m / condition.mission_velocity_ms)
+    }
+
+    /// Single-mission flight energy: `(P_rotor + P_compute) × t_flight`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidPhysics`] for invalid distances or a
+    /// negative compute power.
+    pub fn flight_energy_j(
+        &self,
+        condition: &FlightCondition,
+        distance_m: f64,
+        compute_power_w: f64,
+    ) -> Result<f64> {
+        if compute_power_w < 0.0 || !compute_power_w.is_finite() {
+            return Err(UavError::InvalidPhysics(
+                "compute power must be non-negative".into(),
+            ));
+        }
+        let time = self.flight_time_s(condition, distance_m)?;
+        Ok((condition.rotor_power_w + compute_power_w) * time)
+    }
+
+    /// Full quality-of-flight block for one operating point.
+    ///
+    /// `success_rate` is the evaluated mission success rate, `distance_m`
+    /// the average successful-trajectory length and `compute_power_w` the
+    /// accelerator + companion-computer power at the chosen voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidPhysics`] for out-of-range inputs.
+    pub fn quality_of_flight(
+        &self,
+        condition: &FlightCondition,
+        success_rate: f64,
+        distance_m: f64,
+        compute_power_w: f64,
+    ) -> Result<QualityOfFlight> {
+        if !(0.0..=1.0).contains(&success_rate) || !success_rate.is_finite() {
+            return Err(UavError::InvalidPhysics(format!(
+                "success rate must lie in [0, 1], got {success_rate}"
+            )));
+        }
+        let flight_time_s = self.flight_time_s(condition, distance_m)?;
+        let flight_energy_j = self.flight_energy_j(condition, distance_m, compute_power_w)?;
+        let num_missions = success_rate * self.platform.battery_energy_j() / flight_energy_j;
+        Ok(QualityOfFlight {
+            success_rate,
+            flight_distance_m: distance_m,
+            flight_time_s,
+            flight_energy_j,
+            rotor_power_w: condition.rotor_power_w,
+            compute_power_w,
+            num_missions,
+        })
+    }
+}
+
+/// Scales the platform's nominal compute power to another policy and
+/// operating voltage.
+///
+/// The platform's [`UavPlatform::compute_power_nominal_w`] is defined for
+/// the reference C3F2 policy at nominal (1 V) supply; a bigger policy draws
+/// proportionally more (scaled by its MAC ratio) and a lower voltage draws
+/// quadratically less (the `energy_savings_vs_nominal` factor from
+/// `berry-hw`).
+///
+/// # Errors
+///
+/// Returns [`UavError::InvalidPhysics`] if the ratio or savings factor is
+/// not strictly positive.
+pub fn compute_power_w(
+    platform: &UavPlatform,
+    policy_mac_ratio: f64,
+    energy_savings_vs_nominal: f64,
+) -> Result<f64> {
+    if policy_mac_ratio <= 0.0 || !policy_mac_ratio.is_finite() {
+        return Err(UavError::InvalidPhysics(
+            "policy MAC ratio must be strictly positive".into(),
+        ));
+    }
+    if energy_savings_vs_nominal <= 0.0 || !energy_savings_vs_nominal.is_finite() {
+        return Err(UavError::InvalidPhysics(
+            "energy savings factor must be strictly positive".into(),
+        ));
+    }
+    Ok(platform.compute_power_nominal_w() * policy_mac_ratio / energy_savings_vs_nominal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physics::{FlightPhysics, PhysicsConfig};
+    use proptest::prelude::*;
+
+    fn crazyflie_setup() -> (FlightEnergyModel, FlightPhysics) {
+        let platform = UavPlatform::crazyflie();
+        (
+            FlightEnergyModel::new(platform.clone()),
+            FlightPhysics::new(platform, PhysicsConfig::default()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn nominal_crazyflie_mission_matches_table2_scale() {
+        // Paper Table II at 1 V: 14.89 m, 6.81 s, 53.19 J, 55.35 missions at
+        // a success rate of 88.4 %.
+        let (model, physics) = crazyflie_setup();
+        let condition = physics.condition(4.1).unwrap();
+        let qof = model
+            .quality_of_flight(&condition, 0.884, 14.89, 0.5)
+            .unwrap();
+        assert!((qof.flight_time_s - 6.81).abs() < 0.7, "time {}", qof.flight_time_s);
+        assert!(
+            (qof.flight_energy_j - 53.19).abs() < 6.0,
+            "energy {}",
+            qof.flight_energy_j
+        );
+        assert!(
+            (qof.num_missions - 55.35).abs() < 7.0,
+            "missions {}",
+            qof.num_missions
+        );
+    }
+
+    #[test]
+    fn lower_voltage_condition_saves_flight_energy() {
+        // Lighter heatsink + lower compute power = less flight energy and
+        // more missions, the core Fig. 1 / Table II trend.
+        let (model, physics) = crazyflie_setup();
+        let nominal = physics.condition(4.1).unwrap();
+        let low_v = physics.condition(1.2).unwrap();
+        let qof_nominal = model
+            .quality_of_flight(&nominal, 0.884, 14.89, 0.5)
+            .unwrap();
+        let qof_low = model
+            .quality_of_flight(&low_v, 0.884, 14.91, 0.5 / 3.43)
+            .unwrap();
+        let energy_change = qof_low.flight_energy_change_vs(&qof_nominal);
+        let missions_change = qof_low.missions_change_vs(&qof_nominal);
+        assert!(energy_change < -0.05, "energy change {energy_change}");
+        assert!(missions_change > 0.05, "missions change {missions_change}");
+        // The magnitude should be in the paper's ballpark (roughly 10-25 %).
+        assert!(energy_change > -0.35, "energy change {energy_change}");
+    }
+
+    #[test]
+    fn longer_detours_cost_energy() {
+        let (model, physics) = crazyflie_setup();
+        let condition = physics.condition(2.0).unwrap();
+        let short = model
+            .quality_of_flight(&condition, 0.8, 15.0, 0.3)
+            .unwrap();
+        let long = model
+            .quality_of_flight(&condition, 0.8, 20.0, 0.3)
+            .unwrap();
+        assert!(long.flight_energy_j > short.flight_energy_j);
+        assert!(long.num_missions < short.num_missions);
+    }
+
+    #[test]
+    fn lower_success_rate_means_fewer_missions() {
+        let (model, physics) = crazyflie_setup();
+        let condition = physics.condition(2.0).unwrap();
+        let high = model
+            .quality_of_flight(&condition, 0.9, 15.0, 0.3)
+            .unwrap();
+        let low = model
+            .quality_of_flight(&condition, 0.5, 15.0, 0.3)
+            .unwrap();
+        assert!(low.num_missions < high.num_missions);
+        assert_eq!(low.flight_energy_j, high.flight_energy_j);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let (model, physics) = crazyflie_setup();
+        let condition = physics.condition(2.0).unwrap();
+        assert!(model.flight_time_s(&condition, 0.0).is_err());
+        assert!(model.flight_energy_j(&condition, 10.0, -1.0).is_err());
+        assert!(model
+            .quality_of_flight(&condition, 1.5, 10.0, 0.3)
+            .is_err());
+        assert!(model
+            .quality_of_flight(&condition, 0.5, f64::NAN, 0.3)
+            .is_err());
+    }
+
+    #[test]
+    fn compute_power_scales_with_policy_and_voltage() {
+        let platform = UavPlatform::dji_tello();
+        let c3f2_at_nominal = compute_power_w(&platform, 1.0, 1.0).unwrap();
+        assert!((c3f2_at_nominal - 0.55).abs() < 1e-9);
+        let c5f4_at_nominal = compute_power_w(&platform, 1.5, 1.0).unwrap();
+        assert!(c5f4_at_nominal > c3f2_at_nominal);
+        let c3f2_low_v = compute_power_w(&platform, 1.0, 3.43).unwrap();
+        assert!((c3f2_low_v - 0.55 / 3.43).abs() < 1e-9);
+        assert!(compute_power_w(&platform, 0.0, 1.0).is_err());
+        assert!(compute_power_w(&platform, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn fig7_compute_power_shares_are_reproduced() {
+        // Crazyflie ~6.5 % compute share, Tello ~2.8 % with the same policy.
+        let (model_cf, physics_cf) = crazyflie_setup();
+        let cond_cf = physics_cf.condition(4.1).unwrap();
+        let qof_cf = model_cf
+            .quality_of_flight(&cond_cf, 0.88, 14.89, 0.5)
+            .unwrap();
+        let share_cf = qof_cf.compute_power_w / (qof_cf.compute_power_w + qof_cf.rotor_power_w);
+        assert!((share_cf - 0.065).abs() < 0.02, "crazyflie share {share_cf}");
+
+        let platform_t = UavPlatform::dji_tello();
+        let model_t = FlightEnergyModel::new(platform_t.clone());
+        let physics_t = FlightPhysics::new(platform_t, PhysicsConfig::default()).unwrap();
+        let cond_t = physics_t.condition(4.1).unwrap();
+        let qof_t = model_t
+            .quality_of_flight(&cond_t, 0.85, 14.89, 0.55)
+            .unwrap();
+        let share_t = qof_t.compute_power_w / (qof_t.compute_power_w + qof_t.rotor_power_w);
+        assert!((share_t - 0.028).abs() < 0.015, "tello share {share_t}");
+        assert!(share_cf > share_t);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_num_missions_scales_linearly_with_success_rate(sr in 0.05f64..1.0) {
+            let (model, physics) = crazyflie_setup();
+            let condition = physics.condition(2.0).unwrap();
+            let base = model.quality_of_flight(&condition, 1.0, 15.0, 0.3).unwrap();
+            let scaled = model.quality_of_flight(&condition, sr, 15.0, 0.3).unwrap();
+            prop_assert!((scaled.num_missions - sr * base.num_missions).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_flight_energy_positive(distance in 1.0f64..100.0, compute in 0.0f64..2.0) {
+            let (model, physics) = crazyflie_setup();
+            let condition = physics.condition(2.0).unwrap();
+            let e = model.flight_energy_j(&condition, distance, compute).unwrap();
+            prop_assert!(e > 0.0);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # berry-uav
+//!
+//! UAV navigation simulator and cyber-physical quality-of-flight models for
+//! the BERRY reproduction (DAC 2023).
+//!
+//! The paper evaluates its bit-error-robust RL policies on an Unreal
+//! Engine + AirSim simulation of Crazyflie and DJI Tello quadrotors flying
+//! point-to-point navigation ("package delivery") missions through
+//! environments of varying obstacle density, and then maps the resulting
+//! trajectories into flight time, flight energy and missions-per-battery
+//! using a voltage-aware cyber-physical model (Figs. 1 and 6).  This crate
+//! rebuilds that whole stack in plain Rust:
+//!
+//! * [`platform`] — quadrotor platform models (Crazyflie 2.1, DJI Tello):
+//!   mass, thrust, battery, rotor and compute power,
+//! * [`world`] — procedurally generated 2-D obstacle courses at the paper's
+//!   three difficulty levels (sparse / medium / dense),
+//! * [`perception`] — the local occupancy + goal-compass observation the
+//!   C3F2/C5F4 policies consume,
+//! * [`env`] — [`env::NavigationEnv`], an episodic MDP with the paper's
+//!   25-action probabilistic action space, implementing
+//!   [`berry_rl::Environment`],
+//! * [`physics`] — the voltage → heatsink mass → payload → acceleration →
+//!   safe-velocity chain (paper Fig. 6),
+//! * [`flight`] — flight time / flight energy / number-of-missions
+//!   quality-of-flight metrics (paper Table II).
+//!
+//! ## Example
+//!
+//! ```
+//! use berry_uav::env::{NavigationEnv, NavigationConfig};
+//! use berry_uav::world::ObstacleDensity;
+//! use berry_rl::Environment;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), berry_uav::UavError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut env = NavigationEnv::new(NavigationConfig::with_density(ObstacleDensity::Medium))?;
+//! let obs = env.reset(&mut rng);
+//! assert_eq!(obs.shape(), &[2, 9, 9]);
+//! assert_eq!(env.num_actions(), 25);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod error;
+pub mod flight;
+pub mod perception;
+pub mod physics;
+pub mod platform;
+pub mod world;
+
+pub use env::{NavigationConfig, NavigationEnv};
+pub use error::UavError;
+pub use flight::{FlightEnergyModel, QualityOfFlight};
+pub use physics::{FlightCondition, FlightPhysics};
+pub use platform::UavPlatform;
+pub use world::{ObstacleDensity, ObstacleWorld};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, UavError>;

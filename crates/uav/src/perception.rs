@@ -1,0 +1,237 @@
+//! Perception model: the observation tensor fed to the Q-network policies.
+//!
+//! The paper's policies consume a "perception-based probabilistic action
+//! space" driven by on-board depth sensing.  The reproduction's simulator
+//! distils that to a two-channel local view that keeps the policy fully
+//! convolutional:
+//!
+//! * **channel 0 — occupancy**: a `window × window` grid of cells centred on
+//!   the UAV (cell side [`PerceptionConfig::cell_size_m`]); a cell reads 1.0
+//!   if any obstacle or the arena boundary overlaps it, else 0.0;
+//! * **channel 1 — goal compass**: each cell holds the cosine of the angle
+//!   between the cell's offset from the UAV and the direction to the goal,
+//!   and the centre cell holds the normalized distance to the goal, giving
+//!   the network both heading and progress information.
+
+use crate::error::UavError;
+use crate::world::{ObstacleWorld, Point};
+use crate::Result;
+use berry_nn::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the perception model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionConfig {
+    /// Number of cells per side of the (square, odd-sized) local window.
+    pub window: usize,
+    /// Side length of one occupancy cell in metres.
+    pub cell_size_m: f64,
+}
+
+impl Default for PerceptionConfig {
+    fn default() -> Self {
+        Self {
+            window: 9,
+            cell_size_m: 0.75,
+        }
+    }
+}
+
+impl PerceptionConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidConfig`] if the window is even, smaller
+    /// than 3 or the cell size is not strictly positive.
+    pub fn validate(&self) -> Result<()> {
+        if self.window < 3 || self.window % 2 == 0 {
+            return Err(UavError::InvalidConfig(format!(
+                "perception window must be an odd number >= 3, got {}",
+                self.window
+            )));
+        }
+        if self.cell_size_m <= 0.0 || !self.cell_size_m.is_finite() {
+            return Err(UavError::InvalidConfig(
+                "perception cell size must be strictly positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The shape of the observation tensors this configuration produces.
+    pub fn observation_shape(&self) -> Vec<usize> {
+        vec![2, self.window, self.window]
+    }
+
+    /// Builds the observation for a UAV at `position` heading to `goal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call
+    /// [`PerceptionConfig::validate`] when accepting external input.
+    pub fn observe(&self, world: &ObstacleWorld, position: &Point, goal: &Point) -> Tensor {
+        self.validate().expect("perception config must be valid");
+        let w = self.window;
+        let half = (w / 2) as isize;
+        let mut data = vec![0.0f32; 2 * w * w];
+
+        let goal_dx = goal.x - position.x;
+        let goal_dy = goal.y - position.y;
+        let goal_dist = (goal_dx * goal_dx + goal_dy * goal_dy).sqrt();
+        let arena = world.arena_size_m();
+
+        for row in 0..w {
+            for col in 0..w {
+                // Row 0 is "ahead in +y"; columns increase with +x.
+                let off_x = (col as isize - half) as f64 * self.cell_size_m;
+                let off_y = (half - row as isize) as f64 * self.cell_size_m;
+                let cell_center = Point::new(position.x + off_x, position.y + off_y);
+
+                // Channel 0: occupancy.
+                let occupied = world.cell_occupied(&cell_center, self.cell_size_m);
+                data[row * w + col] = if occupied { 1.0 } else { 0.0 };
+
+                // Channel 1: goal compass.
+                let idx = w * w + row * w + col;
+                if row == w / 2 && col == w / 2 {
+                    data[idx] = (goal_dist / arena).min(1.0) as f32;
+                } else if goal_dist > 1e-9 {
+                    let off_norm = (off_x * off_x + off_y * off_y).sqrt();
+                    let cosine = (off_x * goal_dx + off_y * goal_dy) / (off_norm * goal_dist);
+                    data[idx] = cosine as f32;
+                }
+            }
+        }
+        Tensor::from_vec(vec![2, w, w], data).expect("shape matches buffer size")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{Obstacle, ObstacleDensity};
+
+    fn empty_world(_seed: u64) -> ObstacleWorld {
+        ObstacleWorld::with_obstacles(
+            20.0,
+            Vec::new(),
+            Point::new(2.0, 10.0),
+            Point::new(18.0, 10.0),
+            ObstacleDensity::Sparse,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn observation_shape_matches_config() {
+        let cfg = PerceptionConfig::default();
+        assert_eq!(cfg.observation_shape(), vec![2, 9, 9]);
+        let small = PerceptionConfig {
+            window: 5,
+            cell_size_m: 1.0,
+        };
+        assert_eq!(small.observation_shape(), vec![2, 5, 5]);
+    }
+
+    #[test]
+    fn occupancy_channel_marks_obstacles() {
+        // One obstacle directly to the right of the UAV.
+        let position = Point::new(10.0, 10.0);
+        let goal = Point::new(18.0, 10.0);
+        let world = ObstacleWorld::with_obstacles(
+            20.0,
+            vec![Obstacle {
+                center: Point::new(11.5, 10.0),
+                radius: 0.5,
+            }],
+            Point::new(2.0, 10.0),
+            goal,
+            ObstacleDensity::Sparse,
+        )
+        .unwrap();
+        let cfg = PerceptionConfig::default();
+        let obs = cfg.observe(&world, &position, &goal);
+        // Cell two columns to the right of centre (offset +1.5 m) is occupied.
+        let w = 9;
+        let center = w / 2;
+        let idx = center * w + (center + 2);
+        assert_eq!(obs.data()[idx], 1.0);
+        // Centre cell itself is free.
+        assert_eq!(obs.data()[center * w + center], 0.0);
+    }
+
+    #[test]
+    fn goal_compass_points_toward_goal() {
+        let world = empty_world(2);
+        let cfg = PerceptionConfig::default();
+        let position = Point::new(10.0, 10.0);
+        let goal = Point::new(16.0, 10.0); // due +x
+        let obs = cfg.observe(&world, &position, &goal);
+        let w = 9;
+        let compass = &obs.data()[w * w..];
+        let center = w / 2;
+        // Cell to the right of centre has cosine ~ +1, to the left ~ -1.
+        let right = compass[center * w + (center + 1)];
+        let left = compass[center * w + (center - 1)];
+        assert!(right > 0.9, "right {right}");
+        assert!(left < -0.9, "left {left}");
+        // Cell straight above is orthogonal to the goal direction.
+        let up = compass[(center - 1) * w + center];
+        assert!(up.abs() < 0.1, "up {up}");
+    }
+
+    #[test]
+    fn center_cell_encodes_normalized_goal_distance() {
+        let world = empty_world(3);
+        let cfg = PerceptionConfig::default();
+        let position = Point::new(5.0, 10.0);
+        let goal = Point::new(15.0, 10.0);
+        let obs = cfg.observe(&world, &position, &goal);
+        let w = 9;
+        let center = w / 2;
+        let val = obs.data()[w * w + center * w + center];
+        assert!((val - 0.5).abs() < 1e-6, "distance encoding {val}");
+    }
+
+    #[test]
+    fn observations_near_walls_show_occupied_cells() {
+        let world = empty_world(4);
+        let cfg = PerceptionConfig::default();
+        let position = Point::new(0.5, 10.0);
+        let goal = Point::new(18.0, 10.0);
+        let obs = cfg.observe(&world, &position, &goal);
+        // The leftmost column of the occupancy channel lies outside the arena.
+        let w = 9;
+        let mut left_column_occupied = 0;
+        for row in 0..w {
+            if obs.data()[row * w] == 1.0 {
+                left_column_occupied += 1;
+            }
+        }
+        assert_eq!(left_column_occupied, w);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(PerceptionConfig {
+            window: 4,
+            cell_size_m: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(PerceptionConfig {
+            window: 1,
+            cell_size_m: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(PerceptionConfig {
+            window: 9,
+            cell_size_m: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(PerceptionConfig::default().validate().is_ok());
+    }
+}

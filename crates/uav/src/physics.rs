@@ -1,0 +1,281 @@
+//! The cyber-physical voltage → velocity chain (paper Figs. 1 and 6).
+//!
+//! Lowering the on-board processor's voltage lowers its thermal design
+//! power, which shrinks the heatsink the UAV must carry.  A lighter UAV
+//! accelerates harder, and a more agile UAV can fly faster while still
+//! being able to stop within its sensing range when an obstacle appears —
+//! the "safe velocity" bound of visual performance models.  This module
+//! implements exactly that chain:
+//!
+//! 1. heatsink mass ← TDP ← voltage (from `berry-hw`'s thermal model),
+//! 2. acceleration `a = T_max / m − g` from the total mass,
+//! 3. maximum safe velocity `v = √(2 · a · d_stop)` for stopping distance
+//!    `d_stop`,
+//! 4. an average mission velocity proportional to the safe velocity.
+
+use crate::error::UavError;
+use crate::platform::{UavPlatform, GRAVITY_MS2};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the physics chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicsConfig {
+    /// Distance within which the UAV must be able to stop (metres); set by
+    /// the sensing range.  Calibrated to 1.95 m so that the paper's Fig. 6c
+    /// operating points (4.91 m/s at 6.17 m/s², 5.43 m/s at 7.56 m/s²) are
+    /// reproduced.
+    pub stop_distance_m: f64,
+    /// Ratio between the average velocity actually sustained over a mission
+    /// (hover segments, turns, acceleration phases) and the maximum safe
+    /// velocity.  Calibrated so the Crazyflie's 14.89 m nominal mission takes
+    /// ≈6.8 s as in Table II.
+    pub velocity_efficiency: f64,
+}
+
+impl Default for PhysicsConfig {
+    fn default() -> Self {
+        Self {
+            stop_distance_m: 1.95,
+            velocity_efficiency: 0.385,
+        }
+    }
+}
+
+impl PhysicsConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidConfig`] for non-positive constants or an
+    /// efficiency above 1.
+    pub fn validate(&self) -> Result<()> {
+        if self.stop_distance_m <= 0.0 || !self.stop_distance_m.is_finite() {
+            return Err(UavError::InvalidConfig(
+                "stop distance must be strictly positive".into(),
+            ));
+        }
+        if !(self.velocity_efficiency > 0.0 && self.velocity_efficiency <= 1.0) {
+            return Err(UavError::InvalidConfig(
+                "velocity efficiency must lie in (0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The flight condition implied by one operating voltage: masses,
+/// acceleration and velocities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlightCondition {
+    /// Heatsink mass carried at this operating point (grams).
+    pub heatsink_mass_g: f64,
+    /// Total payload (heatsink + fixed payload) in grams.
+    pub payload_g: f64,
+    /// Total UAV mass in kilograms.
+    pub total_mass_kg: f64,
+    /// Available forward acceleration (m/s²).
+    pub acceleration_ms2: f64,
+    /// Maximum safe velocity (m/s) given the stopping-distance constraint.
+    pub max_safe_velocity_ms: f64,
+    /// Average velocity sustained over a mission (m/s).
+    pub mission_velocity_ms: f64,
+    /// Hover/rotor power at this mass (watts).
+    pub rotor_power_w: f64,
+}
+
+/// Computes [`FlightCondition`]s for a platform.
+///
+/// # Examples
+///
+/// ```
+/// use berry_uav::physics::{FlightPhysics, PhysicsConfig};
+/// use berry_uav::platform::UavPlatform;
+///
+/// # fn main() -> Result<(), berry_uav::UavError> {
+/// let physics = FlightPhysics::new(UavPlatform::crazyflie(), PhysicsConfig::default())?;
+/// let heavy = physics.condition(4.0)?;
+/// let light = physics.condition(1.2)?;
+/// assert!(light.max_safe_velocity_ms > heavy.max_safe_velocity_ms);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightPhysics {
+    platform: UavPlatform,
+    config: PhysicsConfig,
+}
+
+impl FlightPhysics {
+    /// Creates a physics model for a platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(platform: UavPlatform, config: PhysicsConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { platform, config })
+    }
+
+    /// The platform this model describes.
+    pub fn platform(&self) -> &UavPlatform {
+        &self.platform
+    }
+
+    /// The physics constants in use.
+    pub fn config(&self) -> &PhysicsConfig {
+        &self.config
+    }
+
+    /// The flight condition when carrying `heatsink_mass_g` grams of
+    /// heatsink on top of the platform's fixed payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::PayloadTooHeavy`] if the payload exceeds the
+    /// platform limit, or [`UavError::InvalidPhysics`] if the thrust cannot
+    /// sustain a positive forward acceleration at that mass.
+    pub fn condition(&self, heatsink_mass_g: f64) -> Result<FlightCondition> {
+        if heatsink_mass_g < 0.0 || !heatsink_mass_g.is_finite() {
+            return Err(UavError::InvalidPhysics(format!(
+                "heatsink mass must be a non-negative finite number, got {heatsink_mass_g}"
+            )));
+        }
+        let payload_g = heatsink_mass_g + self.platform.base_payload_g();
+        let total_mass_kg = self.platform.total_mass_kg(payload_g)?;
+        let acceleration_ms2 = self.platform.max_thrust_n() / total_mass_kg - GRAVITY_MS2;
+        if acceleration_ms2 <= 0.0 {
+            return Err(UavError::InvalidPhysics(format!(
+                "thrust {} N cannot accelerate a {total_mass_kg} kg vehicle",
+                self.platform.max_thrust_n()
+            )));
+        }
+        let max_safe_velocity_ms = (2.0 * acceleration_ms2 * self.config.stop_distance_m).sqrt();
+        let mission_velocity_ms = self.config.velocity_efficiency * max_safe_velocity_ms;
+        Ok(FlightCondition {
+            heatsink_mass_g,
+            payload_g,
+            total_mass_kg,
+            acceleration_ms2,
+            max_safe_velocity_ms,
+            mission_velocity_ms,
+            rotor_power_w: self.platform.rotor_power_w(total_mass_kg),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn crazyflie_physics() -> FlightPhysics {
+        FlightPhysics::new(UavPlatform::crazyflie(), PhysicsConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn fig6c_velocity_anchors_are_reproduced() {
+        // Paper Fig. 6c: 4.91 m/s at 6.17 m/s² and 5.43 m/s at 7.56 m/s².
+        let d = PhysicsConfig::default().stop_distance_m;
+        let v1 = (2.0f64 * 6.17 * d).sqrt();
+        let v2 = (2.0f64 * 7.56 * d).sqrt();
+        assert!((v1 - 4.91).abs() < 0.1, "v1 {v1}");
+        assert!((v2 - 5.43).abs() < 0.1, "v2 {v2}");
+    }
+
+    #[test]
+    fn lighter_heatsink_means_faster_flight() {
+        let physics = crazyflie_physics();
+        let heavy = physics.condition(4.1).unwrap();
+        let light = physics.condition(1.2).unwrap();
+        assert!(light.total_mass_kg < heavy.total_mass_kg);
+        assert!(light.acceleration_ms2 > heavy.acceleration_ms2);
+        assert!(light.max_safe_velocity_ms > heavy.max_safe_velocity_ms);
+        assert!(light.mission_velocity_ms > heavy.mission_velocity_ms);
+        assert!(light.rotor_power_w < heavy.rotor_power_w);
+    }
+
+    #[test]
+    fn crazyflie_nominal_mission_velocity_matches_table2() {
+        // At 1 V the Crazyflie carries a ~4.1 g heatsink; Table II reports a
+        // 14.89 m mission flown in 6.81 s, i.e. ~2.19 m/s average velocity.
+        let physics = crazyflie_physics();
+        let c = physics.condition(4.1).unwrap();
+        assert!(
+            (c.mission_velocity_ms - 2.19).abs() < 0.25,
+            "mission velocity {}",
+            c.mission_velocity_ms
+        );
+    }
+
+    #[test]
+    fn excessive_payload_or_mass_is_rejected() {
+        let physics = crazyflie_physics();
+        assert!(matches!(
+            physics.condition(30.0),
+            Err(UavError::PayloadTooHeavy { .. })
+        ));
+        assert!(physics.condition(-1.0).is_err());
+        assert!(physics.condition(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn underpowered_platform_is_detected() {
+        // A platform whose thrust barely exceeds its own weight cannot carry
+        // any meaningful payload.
+        let weak = UavPlatform::new("weak", 100.0, 0.0, 50.0, 1000.0, 1.0, 500.0, 0.5, 300.0)
+            .unwrap();
+        let physics = FlightPhysics::new(weak, PhysicsConfig::default()).unwrap();
+        assert!(matches!(
+            physics.condition(10.0),
+            Err(UavError::InvalidPhysics(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_physics_config_is_rejected() {
+        assert!(FlightPhysics::new(
+            UavPlatform::crazyflie(),
+            PhysicsConfig {
+                stop_distance_m: 0.0,
+                velocity_efficiency: 0.4
+            }
+        )
+        .is_err());
+        assert!(FlightPhysics::new(
+            UavPlatform::crazyflie(),
+            PhysicsConfig {
+                stop_distance_m: 2.0,
+                velocity_efficiency: 1.5
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tello_is_less_sensitive_to_heatsink_mass_than_crazyflie() {
+        // The Tello's larger frame means the same heatsink change shifts its
+        // velocity much less — the reason BERRY's mission-level gains are
+        // smaller on the Tello (paper Fig. 7).
+        let cf = crazyflie_physics();
+        let tello =
+            FlightPhysics::new(UavPlatform::dji_tello(), PhysicsConfig::default()).unwrap();
+        let cf_gain = cf.condition(1.2).unwrap().mission_velocity_ms
+            / cf.condition(4.1).unwrap().mission_velocity_ms;
+        let tello_gain = tello.condition(1.2).unwrap().mission_velocity_ms
+            / tello.condition(4.1).unwrap().mission_velocity_ms;
+        assert!(cf_gain > tello_gain, "cf {cf_gain} vs tello {tello_gain}");
+        assert!(tello_gain > 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_velocity_monotone_in_heatsink_mass(m1 in 0.0f64..8.0, m2 in 0.0f64..8.0) {
+            let physics = crazyflie_physics();
+            let (lo, hi) = if m1 < m2 { (m1, m2) } else { (m2, m1) };
+            let c_lo = physics.condition(lo).unwrap();
+            let c_hi = physics.condition(hi).unwrap();
+            prop_assert!(c_lo.max_safe_velocity_ms >= c_hi.max_safe_velocity_ms - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Quadrotor platform models.
+//!
+//! The paper deploys its policies on two physical UAVs: the Bitcraze
+//! **Crazyflie 2.1** nano-quadrotor (27 g take-off weight, 15 g maximum
+//! payload, 250 mAh battery, ~7 min flight time) and the **DJI Tello**
+//! micro-quadrotor (80 g, 1100 mAh, ~13 min).  [`UavPlatform`] captures the
+//! handful of parameters the mission-level analysis needs: masses, thrust,
+//! battery energy, rotor power scaling and the power drawn by the on-board
+//! compute at nominal voltage.
+
+use crate::error::UavError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Standard gravity used throughout the flight models (m/s²).
+pub const GRAVITY_MS2: f64 = 9.81;
+
+/// A quadrotor platform's physical and electrical parameters.
+///
+/// # Examples
+///
+/// ```
+/// use berry_uav::platform::UavPlatform;
+/// let cf = UavPlatform::crazyflie();
+/// let tello = UavPlatform::dji_tello();
+/// assert!(tello.airframe_mass_g() > cf.airframe_mass_g());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UavPlatform {
+    name: String,
+    /// Mass of the airframe including its own battery and stock electronics,
+    /// excluding any mission payload (grams).
+    airframe_mass_g: f64,
+    /// Fixed mission payload other than the heatsink (compute board, camera
+    /// mounts), in grams.
+    base_payload_g: f64,
+    /// Maximum payload the platform can lift (grams).
+    max_payload_g: f64,
+    /// Usable battery energy (joules).
+    battery_energy_j: f64,
+    /// Maximum collective thrust (newtons).
+    max_thrust_n: f64,
+    /// Rotor (propulsion) power coefficient `c` such that hover power is
+    /// `c · m^1.5` with `m` the total mass in kilograms.
+    rotor_power_coeff: f64,
+    /// Power drawn by the on-board compute running the reference C3F2 policy
+    /// at nominal (1 V) supply, in watts.
+    compute_power_nominal_w: f64,
+    /// Manufacturer-quoted maximum hover time on a full charge (seconds).
+    max_flight_time_s: f64,
+}
+
+impl UavPlatform {
+    /// Creates a platform from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidConfig`] if any mass, energy, thrust or
+    /// power parameter is not strictly positive (base payload may be zero).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        airframe_mass_g: f64,
+        base_payload_g: f64,
+        max_payload_g: f64,
+        battery_energy_j: f64,
+        max_thrust_n: f64,
+        rotor_power_coeff: f64,
+        compute_power_nominal_w: f64,
+        max_flight_time_s: f64,
+    ) -> Result<Self> {
+        let positives = [
+            ("airframe_mass_g", airframe_mass_g),
+            ("max_payload_g", max_payload_g),
+            ("battery_energy_j", battery_energy_j),
+            ("max_thrust_n", max_thrust_n),
+            ("rotor_power_coeff", rotor_power_coeff),
+            ("compute_power_nominal_w", compute_power_nominal_w),
+            ("max_flight_time_s", max_flight_time_s),
+        ];
+        for (field, value) in positives {
+            if value <= 0.0 || !value.is_finite() {
+                return Err(UavError::InvalidConfig(format!(
+                    "{field} must be strictly positive, got {value}"
+                )));
+            }
+        }
+        if base_payload_g < 0.0 {
+            return Err(UavError::InvalidConfig(
+                "base_payload_g must be non-negative".into(),
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            airframe_mass_g,
+            base_payload_g,
+            max_payload_g,
+            battery_energy_j,
+            max_thrust_n,
+            rotor_power_coeff,
+            compute_power_nominal_w,
+            max_flight_time_s,
+        })
+    }
+
+    /// The Bitcraze Crazyflie 2.1 nano-UAV (paper Section V-A): 27 g
+    /// take-off weight, 15 g maximum payload, 250 mAh battery (≈3.3 kJ),
+    /// ≈7 min hover time.  The compute board draws ≈0.5 W at nominal
+    /// voltage, matching the paper's 6.5 % compute-power share (Fig. 7).
+    pub fn crazyflie() -> Self {
+        Self::new(
+            "Crazyflie 2.1",
+            27.0,
+            1.0,
+            15.0,
+            3330.0,
+            0.58,
+            1285.0,
+            0.50,
+            7.0 * 60.0,
+        )
+        .expect("static constants are valid")
+    }
+
+    /// The DJI Tello micro-UAV (paper Section V-D): 80 g take-off weight,
+    /// 1100 mAh battery (≈15 kJ), ≈13 min flight time.  Rotor power
+    /// dominates (97.2 % of total per Fig. 7), so the compute board's
+    /// nominal 0.55 W is a much smaller share than on the Crazyflie.
+    pub fn dji_tello() -> Self {
+        Self::new(
+            "DJI Tello",
+            80.0,
+            1.0,
+            30.0,
+            15_048.0,
+            1.60,
+            853.0,
+            0.55,
+            13.0 * 60.0,
+        )
+        .expect("static constants are valid")
+    }
+
+    /// All built-in platforms (used by the scenario grid).
+    pub fn all_builtin() -> Vec<UavPlatform> {
+        vec![Self::crazyflie(), Self::dji_tello()]
+    }
+
+    /// The platform's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Airframe mass (grams), excluding mission payload.
+    pub fn airframe_mass_g(&self) -> f64 {
+        self.airframe_mass_g
+    }
+
+    /// Fixed non-heatsink payload (grams).
+    pub fn base_payload_g(&self) -> f64 {
+        self.base_payload_g
+    }
+
+    /// Maximum payload (grams).
+    pub fn max_payload_g(&self) -> f64 {
+        self.max_payload_g
+    }
+
+    /// Usable battery energy (joules).
+    pub fn battery_energy_j(&self) -> f64 {
+        self.battery_energy_j
+    }
+
+    /// Maximum collective thrust (newtons).
+    pub fn max_thrust_n(&self) -> f64 {
+        self.max_thrust_n
+    }
+
+    /// Rotor power coefficient (`W / kg^1.5`).
+    pub fn rotor_power_coeff(&self) -> f64 {
+        self.rotor_power_coeff
+    }
+
+    /// Compute power at nominal voltage running the reference policy (watts).
+    pub fn compute_power_nominal_w(&self) -> f64 {
+        self.compute_power_nominal_w
+    }
+
+    /// Manufacturer-quoted maximum flight time (seconds).
+    pub fn max_flight_time_s(&self) -> f64 {
+        self.max_flight_time_s
+    }
+
+    /// Total mass in kilograms when carrying `payload_g` grams of payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::PayloadTooHeavy`] if the payload exceeds the
+    /// platform's maximum.
+    pub fn total_mass_kg(&self, payload_g: f64) -> Result<f64> {
+        if payload_g > self.max_payload_g {
+            return Err(UavError::PayloadTooHeavy {
+                payload_g,
+                max_payload_g: self.max_payload_g,
+            });
+        }
+        Ok((self.airframe_mass_g + payload_g) / 1000.0)
+    }
+
+    /// Hover (rotor) power in watts for a given total mass in kilograms
+    /// (`P = c · m^1.5`, the standard momentum-theory scaling).
+    pub fn rotor_power_w(&self, total_mass_kg: f64) -> f64 {
+        self.rotor_power_coeff * total_mass_kg.powf(1.5)
+    }
+
+    /// Fraction of total (rotor + compute) power consumed by the rotors at
+    /// nominal voltage with the given payload — the "Rotor Power" column of
+    /// the paper's Fig. 7 table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::PayloadTooHeavy`] if the payload exceeds the
+    /// platform's maximum.
+    pub fn rotor_power_fraction(&self, payload_g: f64) -> Result<f64> {
+        let rotor = self.rotor_power_w(self.total_mass_kg(payload_g)?);
+        Ok(rotor / (rotor + self.compute_power_nominal_w))
+    }
+}
+
+impl std::fmt::Display for UavPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} g airframe, {} J battery)",
+            self.name, self.airframe_mass_g, self.battery_energy_j
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crazyflie_matches_published_specs() {
+        let cf = UavPlatform::crazyflie();
+        assert_eq!(cf.airframe_mass_g(), 27.0);
+        assert_eq!(cf.max_payload_g(), 15.0);
+        // 250 mAh at 3.7 V is about 3.3 kJ.
+        assert!((cf.battery_energy_j() - 3330.0).abs() < 1.0);
+        assert!((cf.max_flight_time_s() - 420.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tello_matches_published_specs() {
+        let t = UavPlatform::dji_tello();
+        assert_eq!(t.airframe_mass_g(), 80.0);
+        assert!((t.max_flight_time_s() - 780.0).abs() < 1.0);
+        assert!(t.battery_energy_j() > UavPlatform::crazyflie().battery_energy_j());
+    }
+
+    #[test]
+    fn hover_power_is_consistent_with_flight_time() {
+        // Battery energy divided by hover power should roughly equal the
+        // quoted maximum flight time for both platforms.
+        for p in UavPlatform::all_builtin() {
+            let mass = p.total_mass_kg(p.base_payload_g()).unwrap();
+            let hover_w = p.rotor_power_w(mass);
+            let endurance_s = p.battery_energy_j() / hover_w;
+            let ratio = endurance_s / p.max_flight_time_s();
+            assert!(
+                (0.7..1.4).contains(&ratio),
+                "{}: endurance {endurance_s:.0} s vs quoted {:.0} s",
+                p.name(),
+                p.max_flight_time_s()
+            );
+        }
+    }
+
+    #[test]
+    fn rotor_power_fraction_matches_fig7() {
+        // Paper Fig. 7: Crazyflie rotors take 93.5 % of power, Tello 97.2 %.
+        let cf = UavPlatform::crazyflie().rotor_power_fraction(5.0).unwrap();
+        assert!((cf - 0.935).abs() < 0.03, "Crazyflie fraction {cf}");
+        let tello = UavPlatform::dji_tello().rotor_power_fraction(5.0).unwrap();
+        assert!((tello - 0.972).abs() < 0.02, "Tello fraction {tello}");
+        assert!(tello > cf);
+    }
+
+    #[test]
+    fn payload_limit_is_enforced() {
+        let cf = UavPlatform::crazyflie();
+        assert!(cf.total_mass_kg(10.0).is_ok());
+        assert!(matches!(
+            cf.total_mass_kg(20.0),
+            Err(UavError::PayloadTooHeavy { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(UavPlatform::new("x", 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0).is_err());
+        assert!(UavPlatform::new("x", 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0).is_err());
+        assert!(UavPlatform::new("x", 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn display_includes_name() {
+        assert!(UavPlatform::crazyflie().to_string().contains("Crazyflie"));
+    }
+
+    #[test]
+    fn heavier_mass_needs_more_rotor_power() {
+        let cf = UavPlatform::crazyflie();
+        assert!(cf.rotor_power_w(0.035) > cf.rotor_power_w(0.030));
+    }
+}

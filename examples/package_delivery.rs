@@ -1,0 +1,78 @@
+//! Package delivery mission: the paper's motivating scenario.
+//!
+//! A Crazyflie nano-UAV flies point-to-point "package delivery" missions
+//! through a cluttered environment.  This example trains a BERRY policy,
+//! then compares the full mission-level quality-of-flight (flight time,
+//! flight energy, missions per battery charge) at nominal 1 V operation and
+//! at the paper's highlighted 0.77 Vmin low-voltage operating point.
+//!
+//! ```text
+//! cargo run --release --example package_delivery
+//! ```
+
+use berry_core::evaluate::{evaluate_mission, MissionContext};
+use berry_core::experiment::{train_policy_pair, ExperimentScale};
+use berry_uav::env::NavigationEnv;
+use berry_uav::world::ObstacleDensity;
+use rand::SeedableRng;
+
+fn scale_from_env() -> ExperimentScale {
+    match std::env::var("BERRY_SCALE").unwrap_or_default().as_str() {
+        "quick" => ExperimentScale::Quick,
+        "paper" => ExperimentScale::Paper,
+        _ => ExperimentScale::Smoke,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let context = MissionContext::crazyflie_c3f2();
+
+    println!("Package delivery on {} ({scale:?} scale)", context.platform.name());
+    let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
+    println!("training BERRY policy...");
+    let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng)?;
+
+    let eval_cfg = scale.evaluation_config();
+    let nominal_voltage = context.accelerator.domain().nominal_voltage_norm();
+    let mut rows = Vec::new();
+    for (label, voltage) in [("1 V nominal", nominal_voltage), ("0.77 Vmin", 0.77)] {
+        let mut env = NavigationEnv::new(env_cfg.clone())?;
+        let mission = evaluate_mission(&pair.berry, &mut env, &context, voltage, &eval_cfg, &mut rng)?;
+        println!(
+            "\n  operating point: {label} ({:.2} Vmin, BER {:.3e} %)",
+            mission.voltage_norm,
+            mission.ber * 100.0
+        );
+        println!(
+            "    processing energy savings : {:.2}x vs 1 V",
+            mission.processing.savings_vs_nominal
+        );
+        println!(
+            "    heatsink mass             : {:.2} g",
+            mission.processing.heatsink_mass_g
+        );
+        println!(
+            "    mission success rate      : {:.1} %",
+            mission.navigation.success_rate * 100.0
+        );
+        println!(
+            "    flight time / energy      : {:.2} s / {:.2} J",
+            mission.quality_of_flight.flight_time_s, mission.quality_of_flight.flight_energy_j
+        );
+        println!(
+            "    missions per charge       : {:.1}",
+            mission.quality_of_flight.num_missions
+        );
+        rows.push(mission.quality_of_flight);
+    }
+    if rows.len() == 2 {
+        println!(
+            "\nlow-voltage operation changes flight energy by {:+.1} % and missions by {:+.1} %",
+            rows[1].flight_energy_change_vs(&rows[0]) * 100.0,
+            rows[1].missions_change_vs(&rows[0]) * 100.0
+        );
+    }
+    Ok(())
+}

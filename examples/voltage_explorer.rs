@@ -1,0 +1,58 @@
+//! Voltage explorer: sweep the operating voltage of a trained BERRY policy
+//! and locate the energy-optimal point (the paper's Table II analysis).
+//!
+//! ```text
+//! cargo run --release --example voltage_explorer
+//! ```
+
+use berry_core::evaluate::MissionContext;
+use berry_core::experiment::voltage::{format_table2, optimal_row, table2_voltage_sweep};
+use berry_core::experiment::{train_policy_pair, ExperimentScale};
+use berry_uav::world::ObstacleDensity;
+use rand::SeedableRng;
+
+fn scale_from_env() -> ExperimentScale {
+    match std::env::var("BERRY_SCALE").unwrap_or_default().as_str() {
+        "quick" => ExperimentScale::Quick,
+        "paper" => ExperimentScale::Paper,
+        _ => ExperimentScale::Smoke,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let context = MissionContext::crazyflie_c3f2();
+
+    println!("Voltage explorer ({scale:?} scale)");
+    let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
+    println!("training BERRY policy...");
+    let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng)?;
+
+    // Nominal point first (it becomes the baseline row), then a descent
+    // toward the near-threshold region.
+    let voltages = vec![
+        context.accelerator.domain().nominal_voltage_norm(),
+        0.86,
+        0.80,
+        0.77,
+        0.73,
+        0.68,
+        0.64,
+    ];
+    let rows = table2_voltage_sweep(&pair, &context, &voltages, scale, &mut rng)?;
+    println!("{}", format_table2(&rows));
+    if let Some(best) = optimal_row(&rows) {
+        println!(
+            "energy-optimal operating point: {:.2} Vmin — {:+.1} % flight energy, {:+.1} % missions, {:.2}x processing savings",
+            best.voltage_norm,
+            best.flight_energy_change * 100.0,
+            best.missions_change * 100.0,
+            best.energy_savings
+        );
+        println!(
+            "(the paper finds the optimum at 0.77 Vmin for the Crazyflie in the medium environment)"
+        );
+    }
+    Ok(())
+}

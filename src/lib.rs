@@ -1,0 +1,36 @@
+//! # berry-suite
+//!
+//! Umbrella crate of the BERRY reproduction workspace.  It simply re-exports
+//! the individual crates so that the examples and integration tests (and any
+//! downstream experiment script) can depend on one name:
+//!
+//! * [`nn`] — tensor / neural-network substrate,
+//! * [`faults`] — low-voltage SRAM bit-error models,
+//! * [`hw`] — accelerator latency/energy/thermal models,
+//! * [`rl`] — DQN reinforcement-learning substrate,
+//! * [`uav`] — UAV navigation simulator and quality-of-flight models,
+//! * [`core`] — the BERRY robust-learning framework and experiment suite.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use berry_core as core;
+pub use berry_faults as faults;
+pub use berry_hw as hw;
+pub use berry_nn as nn;
+pub use berry_rl as rl;
+pub use berry_uav as uav;
+
+/// The version of the reproduction workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration tests: train → quantize → inject faults → fly →
+//! cost the mission, across every crate in the workspace.
+
+use berry_core::evaluate::{
+    evaluate_error_free, evaluate_mission, evaluate_under_faults, FaultEvaluationConfig,
+    MissionContext,
+};
+use berry_core::experiment::{train_policy_pair, ExperimentScale};
+use berry_core::robust::{train_berry_with_fault_map, BerryConfig, LearningMode};
+use berry_faults::chip::ChipProfile;
+use berry_rl::policy::QNetworkSpec;
+use berry_uav::env::{NavigationConfig, NavigationEnv};
+use berry_uav::world::ObstacleDensity;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn classical_and_berry_policies_train_and_evaluate_end_to_end() {
+    let scale = ExperimentScale::Smoke;
+    let mut rng = rng(1);
+    let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
+    let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng)
+        .expect("training succeeds");
+
+    let eval_cfg = FaultEvaluationConfig::smoke_test();
+    let chip = ChipProfile::generic();
+    for policy in [&pair.classical, &pair.berry] {
+        let mut env = NavigationEnv::new(env_cfg.clone()).unwrap();
+        let clean = evaluate_error_free(policy, &mut env, &eval_cfg, &mut rng).unwrap();
+        let faulty =
+            evaluate_under_faults(policy, &mut env, &chip, 0.01, &eval_cfg, &mut rng).unwrap();
+        for stats in [&clean, &faulty] {
+            assert!((0.0..=1.0).contains(&stats.success_rate));
+            assert!(
+                (stats.success_rate + stats.collision_rate + stats.timeout_rate - 1.0).abs()
+                    < 1e-9
+            );
+            assert!(stats.mean_distance >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn full_mission_pipeline_produces_paper_shaped_tradeoffs() {
+    // At very low voltage the processing savings are larger but the BER is
+    // enormous; at nominal voltage there are no bit errors but the UAV drags
+    // a heavy heatsink around.  The pipeline must reproduce both ends.
+    let scale = ExperimentScale::Smoke;
+    let mut rng = rng(2);
+    let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
+    let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap();
+    let context = MissionContext::crazyflie_c3f2();
+    let eval_cfg = FaultEvaluationConfig::smoke_test();
+
+    let nominal_v = context.accelerator.domain().nominal_voltage_norm();
+    let mut env = NavigationEnv::new(env_cfg.clone()).unwrap();
+    let nominal =
+        evaluate_mission(&pair.berry, &mut env, &context, nominal_v, &eval_cfg, &mut rng).unwrap();
+    let low =
+        evaluate_mission(&pair.berry, &mut env, &context, 0.70, &eval_cfg, &mut rng).unwrap();
+
+    // Bit errors appear only below Vmin.
+    assert_eq!(nominal.ber, 0.0);
+    assert!(low.ber > 0.0);
+    // Processing savings and heatsink mass move the right way.
+    assert!(low.processing.savings_vs_nominal > 2.0);
+    assert!(low.processing.heatsink_mass_g < nominal.processing.heatsink_mass_g);
+    // The flight-physics chain makes the lighter UAV faster.
+    assert!(
+        low.quality_of_flight.flight_time_s / low.quality_of_flight.flight_distance_m
+            <= nominal.quality_of_flight.flight_time_s
+                / nominal.quality_of_flight.flight_distance_m
+            + 1e-9
+    );
+}
+
+#[test]
+fn ondevice_learning_produces_and_reuses_a_chip_fault_map() {
+    let scale = ExperimentScale::Smoke;
+    let mut rng = rng(3);
+    let env_cfg = NavigationConfig {
+        density: ObstacleDensity::Sparse,
+        ..NavigationConfig::smoke_test()
+    };
+    let config = BerryConfig {
+        trainer: scale.trainer_config(),
+        mode: LearningMode::on_device(0.70),
+        ..BerryConfig::default()
+    };
+    let mut env = NavigationEnv::new(env_cfg).unwrap();
+    let outcome = train_berry_with_fault_map(
+        &mut env,
+        &QNetworkSpec::mlp(vec![32]),
+        &config,
+        &mut rng,
+    )
+    .unwrap();
+    let map = outcome.ondevice_fault_map.expect("persistent map");
+    // 0.70 Vmin sits deep in the error-prone region, so the map is non-empty
+    // and covers exactly the quantized parameter memory.
+    assert!(!map.is_empty());
+    assert_eq!(map.total_bits(), outcome.agent.q_net().param_count() * 8);
+}
+
+#[test]
+fn training_is_reproducible_for_a_fixed_seed() {
+    let scale = ExperimentScale::Smoke;
+    let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
+    let run = |seed: u64| {
+        let mut rng = rng(seed);
+        let pair =
+            train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap();
+        pair.berry.to_flat_weights()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
