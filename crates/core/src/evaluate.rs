@@ -20,7 +20,9 @@ use berry_rl::eval::{evaluate_policy, EvalStats};
 use berry_uav::flight::{compute_power_w, FlightEnergyModel, QualityOfFlight};
 use berry_uav::physics::{FlightPhysics, PhysicsConfig};
 use berry_uav::platform::UavPlatform;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// How much evaluation to do per operating point.
@@ -113,34 +115,140 @@ pub fn evaluate_error_free<E: Environment, R: Rng>(
     ))
 }
 
+/// Derives the RNG seed of fault map `map_index` from an evaluation's base
+/// seed (a SplitMix64-style mix, so neighbouring indices produce unrelated
+/// streams).
+///
+/// Both the parallel and the serial evaluation paths seed each per-map RNG
+/// with exactly this function, which is what makes their statistics
+/// bitwise identical for a given base seed.
+#[must_use]
+pub fn fault_map_seed(base_seed: u64, map_index: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(map_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Evaluates a policy under bit errors at an explicit bit-error rate,
 /// averaging over `config.fault_maps` independent fault maps.
+///
+/// The per-fault-map work — sampling the map, perturbing the quantized
+/// policy and rolling out greedy episodes — fans out across CPU cores.
+/// Each map's RNG is seeded from a base seed drawn once from `rng` (see
+/// [`fault_map_seed`]), and the per-map statistics are merged in map order,
+/// so the result is independent of the worker count and identical to the
+/// serial reference path ([`evaluate_under_faults_serial`]).
 ///
 /// # Errors
 ///
 /// Returns an error if the configuration or rate is invalid.
-pub fn evaluate_under_faults<E: Environment, R: Rng>(
+pub fn evaluate_under_faults<E, R>(
+    policy: &Sequential,
+    env: &E,
+    chip: &ChipProfile,
+    ber: f64,
+    config: &FaultEvaluationConfig,
+    rng: &mut R,
+) -> Result<EvalStats>
+where
+    E: Environment + Clone + Sync,
+    R: Rng,
+{
+    let base_seed = rng.next_u64();
+    evaluate_under_faults_seeded(policy, env, chip, ber, config, base_seed)
+}
+
+/// The parallel fault-map evaluation path, with an explicit base seed.
+///
+/// # Errors
+///
+/// Returns an error if the configuration or rate is invalid.
+pub fn evaluate_under_faults_seeded<E>(
+    policy: &Sequential,
+    env: &E,
+    chip: &ChipProfile,
+    ber: f64,
+    config: &FaultEvaluationConfig,
+    base_seed: u64,
+) -> Result<EvalStats>
+where
+    E: Environment + Clone + Sync,
+{
+    config.validate()?;
+    let perturber = NetworkPerturber::new(config.quant_bits)?;
+    let per_map: Vec<Result<EvalStats>> = (0..config.fault_maps)
+        .into_par_iter()
+        .map(|map_index| {
+            let mut map_rng = StdRng::seed_from_u64(fault_map_seed(base_seed, map_index as u64));
+            let mut map_env = env.clone();
+            evaluate_one_fault_map(policy, &mut map_env, chip, ber, config, &perturber, &mut map_rng)
+        })
+        .collect();
+    merge_in_order(per_map)
+}
+
+/// The serial reference implementation of the fault-map evaluation
+/// protocol.
+///
+/// Uses the same per-map seeding ([`fault_map_seed`]) and the same in-order
+/// merge as [`evaluate_under_faults_seeded`], so for any base seed the two
+/// return bitwise-identical statistics; the determinism test in
+/// `tests/parallel_determinism.rs` pins that equivalence.
+///
+/// # Errors
+///
+/// Returns an error if the configuration or rate is invalid.
+pub fn evaluate_under_faults_serial<E: Environment + Clone>(
+    policy: &Sequential,
+    env: &E,
+    chip: &ChipProfile,
+    ber: f64,
+    config: &FaultEvaluationConfig,
+    base_seed: u64,
+) -> Result<EvalStats> {
+    config.validate()?;
+    let perturber = NetworkPerturber::new(config.quant_bits)?;
+    let per_map: Vec<Result<EvalStats>> = (0..config.fault_maps)
+        .map(|map_index| {
+            let mut map_rng = StdRng::seed_from_u64(fault_map_seed(base_seed, map_index as u64));
+            let mut map_env = env.clone();
+            evaluate_one_fault_map(policy, &mut map_env, chip, ber, config, &perturber, &mut map_rng)
+        })
+        .collect();
+    merge_in_order(per_map)
+}
+
+/// Samples one fault map, perturbs the policy and rolls out the configured
+/// number of greedy episodes.
+fn evaluate_one_fault_map<E: Environment>(
     policy: &Sequential,
     env: &mut E,
     chip: &ChipProfile,
     ber: f64,
     config: &FaultEvaluationConfig,
-    rng: &mut R,
+    perturber: &NetworkPerturber,
+    rng: &mut StdRng,
 ) -> Result<EvalStats> {
-    config.validate()?;
-    let perturber = NetworkPerturber::new(config.quant_bits)?;
+    let map = perturber.sample_fault_map(policy, chip, ber, rng)?;
+    let mut perturbed = perturber.perturb_with_map(policy, &map)?;
+    Ok(evaluate_policy(
+        &mut perturbed,
+        env,
+        config.episodes_per_map,
+        config.max_steps,
+        rng,
+    ))
+}
+
+/// Merges per-map statistics strictly in map order so the aggregate is
+/// independent of evaluation order and worker count.
+fn merge_in_order(per_map: Vec<Result<EvalStats>>) -> Result<EvalStats> {
     let mut combined = EvalStats::empty();
-    for _ in 0..config.fault_maps {
-        let map = perturber.sample_fault_map(policy, chip, ber, rng)?;
-        let mut perturbed = perturber.perturb_with_map(policy, &map)?;
-        let stats = evaluate_policy(
-            &mut perturbed,
-            env,
-            config.episodes_per_map,
-            config.max_steps,
-            rng,
-        );
-        combined = combined.merge(&stats);
+    for stats in per_map {
+        combined = combined.merge(&stats?);
     }
     Ok(combined)
 }
@@ -151,14 +259,18 @@ pub fn evaluate_under_faults<E: Environment, R: Rng>(
 /// # Errors
 ///
 /// Returns an error for out-of-range voltages or invalid configurations.
-pub fn evaluate_at_voltage<E: Environment, R: Rng>(
+pub fn evaluate_at_voltage<E, R>(
     policy: &Sequential,
-    env: &mut E,
+    env: &E,
     chip: &ChipProfile,
     voltage_norm: f64,
     config: &FaultEvaluationConfig,
     rng: &mut R,
-) -> Result<EvalStats> {
+) -> Result<EvalStats>
+where
+    E: Environment + Clone + Sync,
+    R: Rng,
+{
     let ber = chip.ber_at_voltage(voltage_norm)?;
     evaluate_under_faults(policy, env, chip, ber, config, rng)
 }
@@ -242,16 +354,43 @@ impl MissionContext {
 /// # Errors
 ///
 /// Returns an error for invalid voltages or configurations.
-pub fn evaluate_mission<E: Environment, R: Rng>(
+pub fn evaluate_mission<E, R>(
     policy: &Sequential,
-    env: &mut E,
+    env: &E,
     context: &MissionContext,
     voltage_norm: f64,
     config: &FaultEvaluationConfig,
     rng: &mut R,
-) -> Result<MissionEvaluation> {
+) -> Result<MissionEvaluation>
+where
+    E: Environment + Clone + Sync,
+    R: Rng,
+{
+    let base_seed = rng.next_u64();
+    evaluate_mission_seeded(policy, env, context, voltage_norm, config, base_seed)
+}
+
+/// [`evaluate_mission`] with an explicit base seed for the fault-map
+/// averaging, so sweep runners can fan out whole operating points across
+/// cores while every point keeps its own deterministic stream.
+///
+/// # Errors
+///
+/// Returns an error for invalid voltages or configurations.
+pub fn evaluate_mission_seeded<E>(
+    policy: &Sequential,
+    env: &E,
+    context: &MissionContext,
+    voltage_norm: f64,
+    config: &FaultEvaluationConfig,
+    base_seed: u64,
+) -> Result<MissionEvaluation>
+where
+    E: Environment + Clone + Sync,
+{
     let ber = context.chip.ber_at_voltage(voltage_norm)?;
-    let navigation = evaluate_under_faults(policy, env, &context.chip, ber, config, rng)?;
+    let navigation =
+        evaluate_under_faults_seeded(policy, env, &context.chip, ber, config, base_seed)?;
     let processing = context.accelerator.evaluate(&context.workload, voltage_norm)?;
 
     let physics = FlightPhysics::new(context.platform.clone(), context.physics)?;
@@ -293,6 +432,7 @@ mod tests {
     /// A tiny environment whose success depends on the policy's weights:
     /// the agent succeeds when the Q-network prefers action 0 for a fixed
     /// observation, so bit errors that change the argmax cause failures.
+    #[derive(Clone)]
     struct ArgmaxEnv;
 
     impl Environment for ArgmaxEnv {
@@ -375,7 +515,7 @@ mod tests {
     #[test]
     fn success_rate_degrades_with_bit_error_rate() {
         let policy = aligned_policy(10);
-        let mut env = ArgmaxEnv;
+        let env = ArgmaxEnv;
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let cfg = FaultEvaluationConfig {
             fault_maps: 30,
@@ -384,8 +524,8 @@ mod tests {
             quant_bits: 8,
         };
         let chip = ChipProfile::generic();
-        let low = evaluate_under_faults(&policy, &mut env, &chip, 1e-4, &cfg, &mut rng).unwrap();
-        let high = evaluate_under_faults(&policy, &mut env, &chip, 0.08, &cfg, &mut rng).unwrap();
+        let low = evaluate_under_faults(&policy, &env, &chip, 1e-4, &cfg, &mut rng).unwrap();
+        let high = evaluate_under_faults(&policy, &env, &chip, 0.08, &cfg, &mut rng).unwrap();
         assert!(
             low.success_rate >= high.success_rate,
             "low-BER {} vs high-BER {}",
@@ -399,25 +539,25 @@ mod tests {
     #[test]
     fn evaluate_at_voltage_uses_the_chip_curve() {
         let policy = aligned_policy(20);
-        let mut env = ArgmaxEnv;
+        let env = ArgmaxEnv;
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let cfg = FaultEvaluationConfig::smoke_test();
         let chip = ChipProfile::generic();
         // At Vmin there are no bit errors, so this equals error-free deployment.
-        let stats = evaluate_at_voltage(&policy, &mut env, &chip, 1.0, &cfg, &mut rng).unwrap();
+        let stats = evaluate_at_voltage(&policy, &env, &chip, 1.0, &cfg, &mut rng).unwrap();
         assert_eq!(stats.success_rate, 1.0);
-        assert!(evaluate_at_voltage(&policy, &mut env, &chip, 3.0, &cfg, &mut rng).is_err());
+        assert!(evaluate_at_voltage(&policy, &env, &chip, 3.0, &cfg, &mut rng).is_err());
     }
 
     #[test]
     fn mission_evaluation_produces_consistent_report() {
         let policy = aligned_policy(30);
-        let mut env = ArgmaxEnv;
+        let env = ArgmaxEnv;
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let context = MissionContext::crazyflie_c3f2();
         let cfg = FaultEvaluationConfig::smoke_test();
         let mission =
-            evaluate_mission(&policy, &mut env, &context, 0.80, &cfg, &mut rng).unwrap();
+            evaluate_mission(&policy, &env, &context, 0.80, &cfg, &mut rng).unwrap();
         assert_eq!(mission.voltage_norm, 0.80);
         assert!(mission.ber > 0.0);
         assert!(mission.processing.savings_vs_nominal > 1.0);

@@ -118,7 +118,7 @@ fn train_perturbed_only<E: Environment, R: Rng>(
                     .trainer
                     .learning_starts
                     .max(config.trainer.dqn.batch_size);
-            if ready && env_steps % config.trainer.train_every as u64 == 0 {
+            if ready && env_steps.is_multiple_of(config.trainer.train_every as u64) {
                 let batch = buffer.sample(config.trainer.dqn.batch_size, rng)?;
                 let map = perturber.sample_fault_map(agent.q_net(), &chip, train_ber, rng)?;
                 let mut q_perturbed = perturber.perturb_with_map(agent.q_net(), &map)?;
@@ -196,7 +196,7 @@ pub fn gradient_ablation<R: Rng>(
         };
         let mut env = NavigationEnv::new(env_cfg.clone())?;
         let clean = evaluate_error_free(&policy, &mut env, &eval_cfg, rng)?;
-        let faulty = evaluate_under_faults(&policy, &mut env, &chip, eval_ber, &eval_cfg, rng)?;
+        let faulty = evaluate_under_faults(&policy, &env, &chip, eval_ber, &eval_cfg, rng)?;
         rows.push(AblationRow {
             mode: mode.label().to_string(),
             error_free_success_pct: clean.success_rate * 100.0,

@@ -1,7 +1,9 @@
 //! Generalization experiments: paper Fig. 5 (environments), Fig. 7 (UAV
 //! platforms and policy architectures) and Table III (profiled chips).
 
-use crate::evaluate::{evaluate_mission, evaluate_under_faults, MissionContext};
+use crate::evaluate::{
+    evaluate_mission, evaluate_mission_seeded, evaluate_under_faults, MissionContext,
+};
 use crate::experiment::{format_table, train_policy_pair, ExperimentScale, PolicyPair};
 use crate::Result;
 use berry_faults::chip::ChipProfile;
@@ -9,6 +11,7 @@ use berry_rl::policy::QNetworkSpec;
 use berry_uav::env::NavigationEnv;
 use berry_uav::world::ObstacleDensity;
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One (environment, scheme) row of the Fig. 5 study.
@@ -53,12 +56,12 @@ pub fn fig5_environment_study<R: Rng>(
             ObstacleDensity::Dense => 0.80,
         };
         for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
-            let mut env = NavigationEnv::new(env_cfg.clone())?;
-            let low = evaluate_under_faults(policy, &mut env, &context.chip, 1e-4, &eval_cfg, rng)?;
+            let env = NavigationEnv::new(env_cfg.clone())?;
+            let low = evaluate_under_faults(policy, &env, &context.chip, 1e-4, &eval_cfg, rng)?;
             let high =
-                evaluate_under_faults(policy, &mut env, &context.chip, 1e-3, &eval_cfg, rng)?;
+                evaluate_under_faults(policy, &env, &context.chip, 1e-3, &eval_cfg, rng)?;
             let mission =
-                evaluate_mission(policy, &mut env, &context, eval_voltage, &eval_cfg, rng)?;
+                evaluate_mission(policy, &env, &context, eval_voltage, &eval_cfg, rng)?;
             rows.push(Fig5Row {
                 density: density.label().to_string(),
                 scheme: name.to_string(),
@@ -142,9 +145,9 @@ pub fn fig7_platform_study<R: Rng>(scale: ExperimentScale, rng: &mut R) -> Resul
     for (context, spec) in cases {
         let pair = train_policy_pair(&env_cfg, &spec, scale, rng)?;
         let nominal_v = context.accelerator.domain().nominal_voltage_norm();
-        let mut env = NavigationEnv::new(env_cfg.clone())?;
-        let nominal = evaluate_mission(&pair.berry, &mut env, &context, nominal_v, &eval_cfg, rng)?;
-        let low = evaluate_mission(&pair.berry, &mut env, &context, 0.77, &eval_cfg, rng)?;
+        let env = NavigationEnv::new(env_cfg.clone())?;
+        let nominal = evaluate_mission(&pair.berry, &env, &context, nominal_v, &eval_cfg, rng)?;
+        let low = evaluate_mission(&pair.berry, &env, &context, 0.77, &eval_cfg, rng)?;
         let rotor_w = nominal.quality_of_flight.rotor_power_w;
         let compute_w = nominal.quality_of_flight.compute_power_w;
         let total = rotor_w + compute_w;
@@ -228,23 +231,29 @@ pub fn table3_chip_study<R: Rng>(
         (ChipProfile::chip2_column_aligned(), 0.067),
         (ChipProfile::chip2_column_aligned(), 0.32),
     ];
-    let mut rows = Vec::new();
-    for (chip, ber_pct) in cases {
-        let context = MissionContext {
-            chip: chip.clone(),
-            ..MissionContext::crazyflie_c3f2()
-        };
-        let mut env = NavigationEnv::new(pair.env_config.clone())?;
-        let voltage = chip.ber_model().min_voltage_for_ber(ber_pct / 100.0)?.max(0.62);
-        let mission = evaluate_mission(&pair.berry, &mut env, &context, voltage, &eval_cfg, rng)?;
-        rows.push(Table3Row {
-            chip: chip.name().to_string(),
-            ber_percent: ber_pct,
-            success_pct: mission.navigation.success_rate * 100.0,
-            flight_energy_j: mission.quality_of_flight.flight_energy_j,
-        });
-    }
-    Ok(rows)
+    let env_proto = NavigationEnv::new(pair.env_config.clone())?;
+    let seeded: Vec<((ChipProfile, f64), u64)> = cases
+        .into_iter()
+        .map(|case| (case, rng.next_u64()))
+        .collect();
+    seeded
+        .into_par_iter()
+        .map(|((chip, ber_pct), seed)| {
+            let context = MissionContext {
+                chip: chip.clone(),
+                ..MissionContext::crazyflie_c3f2()
+            };
+            let voltage = chip.ber_model().min_voltage_for_ber(ber_pct / 100.0)?.max(0.62);
+            let mission =
+                evaluate_mission_seeded(&pair.berry, &env_proto, &context, voltage, &eval_cfg, seed)?;
+            Ok(Table3Row {
+                chip: chip.name().to_string(),
+                ber_percent: ber_pct,
+                success_pct: mission.navigation.success_rate * 100.0,
+                flight_energy_j: mission.quality_of_flight.flight_energy_j,
+            })
+        })
+        .collect()
 }
 
 /// Formats Table III.

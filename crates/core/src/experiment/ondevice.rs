@@ -101,10 +101,10 @@ pub fn table4_ondevice_study<R: Rng>(
             };
             let mut env = NavigationEnv::new(env_cfg.clone())?;
             let outcome = train_berry_with_fault_map(&mut env, &spec, &config, rng)?;
-            let mut env = NavigationEnv::new(env_cfg.clone())?;
+            let env = NavigationEnv::new(env_cfg.clone())?;
             let mission = evaluate_mission(
                 outcome.agent.q_net(),
-                &mut env,
+                &env,
                 &context,
                 voltage,
                 &eval_cfg,
@@ -133,10 +133,10 @@ pub fn table4_ondevice_study<R: Rng>(
     let mut env = NavigationEnv::new(env_cfg.clone())?;
     let offline = train_berry_with_fault_map(&mut env, &spec, &offline_config, rng)?;
     for &voltage in &study.voltages_norm {
-        let mut env = NavigationEnv::new(env_cfg.clone())?;
+        let env = NavigationEnv::new(env_cfg.clone())?;
         let mission = evaluate_mission(
             offline.agent.q_net(),
-            &mut env,
+            &env,
             &context,
             voltage,
             &eval_cfg,

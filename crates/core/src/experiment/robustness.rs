@@ -6,11 +6,14 @@
 //! to higher error rates is what unlocks the energy-optimal low-voltage
 //! operating points.
 
-use crate::evaluate::{evaluate_error_free, evaluate_mission, evaluate_under_faults, MissionContext};
+use crate::evaluate::{
+    evaluate_error_free, evaluate_mission_seeded, evaluate_under_faults_seeded, MissionContext,
+};
 use crate::experiment::{format_table, ExperimentScale, PolicyPair};
 use crate::Result;
 use berry_uav::env::NavigationEnv;
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The bit-error rates (in percent) of the paper's Table I columns.
@@ -30,6 +33,11 @@ pub struct Table1Row {
 /// Runs the Table I robustness comparison for an already-trained policy
 /// pair.
 ///
+/// The per-BER columns of each scheme fan out across cores (and each
+/// column's fault-map averaging fans out further); per-column seeds are
+/// drawn from `rng` up front in a fixed order, so the table is identical
+/// for any worker count.
+///
 /// # Errors
 ///
 /// Returns an error if evaluation fails.
@@ -40,22 +48,29 @@ pub fn table1_robustness<R: Rng>(
 ) -> Result<Vec<Table1Row>> {
     let eval_cfg = scale.evaluation_config();
     let context = MissionContext::crazyflie_c3f2();
+    let env_proto = NavigationEnv::new(pair.env_config.clone())?;
     let mut rows = Vec::with_capacity(2);
     for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
-        let mut env = NavigationEnv::new(pair.env_config.clone())?;
+        let mut env = env_proto.clone();
         let error_free = evaluate_error_free(policy, &mut env, &eval_cfg, rng)?;
-        let mut success_pct_at_ber = Vec::with_capacity(TABLE1_BER_PERCENTS.len());
-        for &ber_pct in &TABLE1_BER_PERCENTS {
-            let stats = evaluate_under_faults(
-                policy,
-                &mut env,
-                &context.chip,
-                ber_pct / 100.0,
-                &eval_cfg,
-                rng,
-            )?;
-            success_pct_at_ber.push(stats.success_rate * 100.0);
-        }
+        let points: Vec<(f64, u64)> = TABLE1_BER_PERCENTS
+            .iter()
+            .map(|&ber_pct| (ber_pct, rng.next_u64()))
+            .collect();
+        let success_pct_at_ber = points
+            .into_par_iter()
+            .map(|(ber_pct, seed)| {
+                evaluate_under_faults_seeded(
+                    policy,
+                    &env_proto,
+                    &context.chip,
+                    ber_pct / 100.0,
+                    &eval_cfg,
+                    seed,
+                )
+                .map(|stats| stats.success_rate * 100.0)
+            })
+            .collect::<Result<Vec<f64>>>()?;
         rows.push(Table1Row {
             scheme: name.to_string(),
             error_free_success_pct: error_free.success_rate * 100.0,
@@ -101,6 +116,10 @@ pub struct Fig3Row {
 
 /// Runs the Fig. 3 sweep: success rate and flight energy vs bit-error rate.
 ///
+/// All (scheme, BER) points fan out across cores; per-point seeds are drawn
+/// from `rng` up front in sweep order, so the series is identical for any
+/// worker count.
+///
 /// # Errors
 ///
 /// Returns an error if evaluation fails.
@@ -112,10 +131,18 @@ pub fn fig3_ber_sweep<R: Rng>(
 ) -> Result<Vec<Fig3Row>> {
     let eval_cfg = scale.evaluation_config();
     let context = MissionContext::crazyflie_c3f2();
-    let mut rows = Vec::new();
-    for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
-        for &ber_pct in ber_percents {
-            let mut env = NavigationEnv::new(pair.env_config.clone())?;
+    let env_proto = NavigationEnv::new(pair.env_config.clone())?;
+    let points: Vec<(&str, &berry_nn::network::Sequential, f64, u64)> =
+        [("Classical", &pair.classical), ("BERRY", &pair.berry)]
+            .into_iter()
+            .flat_map(|(name, policy)| {
+                ber_percents.iter().map(move |&ber_pct| (name, policy, ber_pct))
+            })
+            .map(|(name, policy, ber_pct)| (name, policy, ber_pct, rng.next_u64()))
+            .collect();
+    points
+        .into_par_iter()
+        .map(|(name, policy, ber_pct, seed)| {
             // Find the voltage whose BER matches this point, so that the
             // mission model charges the right processing/heatsink cost.
             let voltage = context
@@ -124,16 +151,15 @@ pub fn fig3_ber_sweep<R: Rng>(
                 .min_voltage_for_ber(ber_pct / 100.0)?
                 .max(0.62);
             let mission =
-                evaluate_mission(policy, &mut env, &context, voltage, &eval_cfg, rng)?;
-            rows.push(Fig3Row {
+                evaluate_mission_seeded(policy, &env_proto, &context, voltage, &eval_cfg, seed)?;
+            Ok(Fig3Row {
                 scheme: name.to_string(),
                 ber_percent: ber_pct,
                 success_pct: mission.navigation.success_rate * 100.0,
                 flight_energy_j: mission.quality_of_flight.flight_energy_j,
-            });
-        }
-    }
-    Ok(rows)
+            })
+        })
+        .collect()
 }
 
 /// The default bit-error-rate grid of Fig. 3 (10⁻³ % … 1 %).

@@ -6,11 +6,12 @@
 //! battery charge (with its improvement vs 1 V).  This module regenerates
 //! that table for a trained BERRY policy.
 
-use crate::evaluate::{evaluate_mission, MissionContext, MissionEvaluation};
+use crate::evaluate::{evaluate_mission_seeded, MissionContext, MissionEvaluation};
 use crate::experiment::{format_table, ExperimentScale, PolicyPair};
 use crate::Result;
 use berry_uav::env::NavigationEnv;
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The normalized voltages of the paper's Table II rows (plus the nominal
@@ -67,18 +68,19 @@ pub fn table2_voltage_sweep<R: Rng>(
         ));
     }
     let eval_cfg = scale.evaluation_config();
-    let mut missions: Vec<MissionEvaluation> = Vec::with_capacity(voltages_norm.len());
-    for &v in voltages_norm {
-        let mut env = NavigationEnv::new(pair.env_config.clone())?;
-        missions.push(evaluate_mission(
-            &pair.berry,
-            &mut env,
-            context,
-            v,
-            &eval_cfg,
-            rng,
-        )?);
-    }
+    let env_proto = NavigationEnv::new(pair.env_config.clone())?;
+    // One seed per voltage row, drawn in row order so the table is
+    // identical for any worker count.
+    let points: Vec<(f64, u64)> = voltages_norm
+        .iter()
+        .map(|&v| (v, rng.next_u64()))
+        .collect();
+    let missions: Vec<MissionEvaluation> = points
+        .into_par_iter()
+        .map(|(v, seed)| {
+            evaluate_mission_seeded(&pair.berry, &env_proto, context, v, &eval_cfg, seed)
+        })
+        .collect::<Result<Vec<MissionEvaluation>>>()?;
     let baseline = missions[0].quality_of_flight;
     Ok(missions
         .into_iter()

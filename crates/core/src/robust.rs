@@ -307,7 +307,7 @@ fn run_berry_loop<E: Environment, R: Rng>(
                     .trainer
                     .learning_starts
                     .max(config.trainer.dqn.batch_size);
-            if ready && env_steps % config.trainer.train_every as u64 == 0 {
+            if ready && env_steps.is_multiple_of(config.trainer.train_every as u64) {
                 let batch = buffer.sample(config.trainer.dqn.batch_size, rng)?;
                 let fault_map = match (&config.mode, &persistent_map) {
                     (LearningMode::Offline { train_ber }, _) => {

@@ -16,9 +16,10 @@ use serde::{Deserialize, Serialize};
 pub const DEFAULT_ARRAY_COLUMNS: usize = 500;
 
 /// Spatial distribution of faulty bit cells over a memory of `total_bits`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum ErrorPattern {
     /// Every bit cell fails independently with the same probability.
+    #[default]
     UniformRandom,
     /// Failures concentrate in a random subset of "weak" columns of the
     /// array; within a weak column cells fail with an elevated probability
@@ -145,12 +146,6 @@ impl ErrorPattern {
             ErrorPattern::UniformRandom => "uniform-random",
             ErrorPattern::ColumnAligned { .. } => "column-aligned",
         }
-    }
-}
-
-impl Default for ErrorPattern {
-    fn default() -> Self {
-        ErrorPattern::UniformRandom
     }
 }
 

@@ -19,7 +19,12 @@ use crate::tensor::Tensor;
 ///
 /// Layers operate on *batched* inputs: dense layers expect `[batch, features]`
 /// tensors and convolutions expect `[batch, channels, height, width]`.
-pub trait Layer: Send {
+///
+/// `Send + Sync` is part of the contract so whole networks can be shared
+/// by reference across the data-parallel fault-map evaluation workers;
+/// layers are plain buffers of `f32`, so every implementation satisfies it
+/// automatically.
+pub trait Layer: Send + Sync {
     /// Runs the forward pass, caching anything needed by [`Layer::backward`].
     fn forward(&mut self, input: &Tensor) -> Tensor;
 

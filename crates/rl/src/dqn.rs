@@ -370,7 +370,7 @@ impl DqnAgent {
 
     fn register_step(&mut self) {
         self.train_steps += 1;
-        if self.train_steps % self.config.target_sync_every == 0 {
+        if self.train_steps.is_multiple_of(self.config.target_sync_every) {
             self.sync_target();
         }
     }

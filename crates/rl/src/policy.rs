@@ -65,7 +65,7 @@ impl QNetworkSpec {
                 "num_actions must be positive".into(),
             ));
         }
-        if observation_shape.is_empty() || observation_shape.iter().any(|&d| d == 0) {
+        if observation_shape.is_empty() || observation_shape.contains(&0) {
             return Err(RlError::InvalidConfig(format!(
                 "observation shape {observation_shape:?} must be non-empty with positive dims"
             )));

@@ -147,7 +147,7 @@ mod tests {
         fn prop_value_always_between_end_and_start(step in 0u64..1_000_000) {
             let s = EpsilonSchedule::new(0.8, 0.02, 10_000).unwrap();
             let v = s.value(step);
-            prop_assert!(v >= 0.02 - 1e-6 && v <= 0.8 + 1e-6);
+            prop_assert!((0.02 - 1e-6..=0.8 + 1e-6).contains(&v));
         }
 
         #[test]

@@ -150,7 +150,7 @@ fn run_training_episode<E: Environment, R: Rng>(
         steps += 1;
 
         if buffer.len() >= config.learning_starts.max(config.dqn.batch_size)
-            && *env_steps % config.train_every as u64 == 0
+            && (*env_steps).is_multiple_of(config.train_every as u64)
         {
             let batch = buffer.sample(config.dqn.batch_size, rng)?;
             losses.push(agent.train_on_batch(&batch)?);

@@ -45,7 +45,7 @@ impl PerceptionConfig {
     /// Returns [`UavError::InvalidConfig`] if the window is even, smaller
     /// than 3 or the cell size is not strictly positive.
     pub fn validate(&self) -> Result<()> {
-        if self.window < 3 || self.window % 2 == 0 {
+        if self.window < 3 || self.window.is_multiple_of(2) {
             return Err(UavError::InvalidConfig(format!(
                 "perception window must be an odd number >= 3, got {}",
                 self.window

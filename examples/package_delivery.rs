@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nominal_voltage = context.accelerator.domain().nominal_voltage_norm();
     let mut rows = Vec::new();
     for (label, voltage) in [("1 V nominal", nominal_voltage), ("0.77 Vmin", 0.77)] {
-        let mut env = NavigationEnv::new(env_cfg.clone())?;
-        let mission = evaluate_mission(&pair.berry, &mut env, &context, voltage, &eval_cfg, &mut rng)?;
+        let env = NavigationEnv::new(env_cfg.clone())?;
+        let mission = evaluate_mission(&pair.berry, &env, &context, voltage, &eval_cfg, &mut rng)?;
         println!(
             "\n  operating point: {label} ({:.2} Vmin, BER {:.3e} %)",
             mission.voltage_norm,

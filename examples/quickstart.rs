@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
         let mut env = NavigationEnv::new(env_cfg.clone())?;
         let clean = evaluate_error_free(policy, &mut env, &eval_cfg, &mut rng)?;
-        let faulty = evaluate_under_faults(policy, &mut env, &chip, 0.005, &eval_cfg, &mut rng)?;
+        let faulty = evaluate_under_faults(policy, &env, &chip, 0.005, &eval_cfg, &mut rng)?;
         println!(
             "   {name:<10} error-free success {:>5.1} %   under faults {:>5.1} %",
             clean.success_rate * 100.0,

@@ -31,7 +31,7 @@ fn classical_and_berry_policies_train_and_evaluate_end_to_end() {
         let mut env = NavigationEnv::new(env_cfg.clone()).unwrap();
         let clean = evaluate_error_free(policy, &mut env, &eval_cfg, &mut rng).unwrap();
         let faulty =
-            evaluate_under_faults(policy, &mut env, &chip, 0.01, &eval_cfg, &mut rng).unwrap();
+            evaluate_under_faults(policy, &env, &chip, 0.01, &eval_cfg, &mut rng).unwrap();
         for stats in [&clean, &faulty] {
             assert!((0.0..=1.0).contains(&stats.success_rate));
             assert!(
@@ -56,11 +56,11 @@ fn full_mission_pipeline_produces_paper_shaped_tradeoffs() {
     let eval_cfg = FaultEvaluationConfig::smoke_test();
 
     let nominal_v = context.accelerator.domain().nominal_voltage_norm();
-    let mut env = NavigationEnv::new(env_cfg.clone()).unwrap();
+    let env = NavigationEnv::new(env_cfg.clone()).unwrap();
     let nominal =
-        evaluate_mission(&pair.berry, &mut env, &context, nominal_v, &eval_cfg, &mut rng).unwrap();
+        evaluate_mission(&pair.berry, &env, &context, nominal_v, &eval_cfg, &mut rng).unwrap();
     let low =
-        evaluate_mission(&pair.berry, &mut env, &context, 0.70, &eval_cfg, &mut rng).unwrap();
+        evaluate_mission(&pair.berry, &env, &context, 0.70, &eval_cfg, &mut rng).unwrap();
 
     // Bit errors appear only below Vmin.
     assert_eq!(nominal.ber, 0.0);

@@ -1,0 +1,207 @@
+//! Offline shim for the subset of the `criterion` API used by this
+//! workspace.
+//!
+//! Implements a simple wall-clock benchmark runner behind criterion's API
+//! shape (`Criterion`, `benchmark_group`, `bench_function`, the
+//! `criterion_group!` / `criterion_main!` macros). Each benchmark is warmed
+//! up for `warm_up_time`, then timed in batches until `measurement_time`
+//! elapses, and the mean time per iteration is printed. No statistics,
+//! outlier analysis, or HTML reports — just honest timings suitable for
+//! spotting order-of-magnitude regressions in an offline environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal number of samples (kept for API compatibility; the
+    /// shim times in batches bounded by `measurement_time`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets how long each benchmark is timed.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let warm_up = self.warm_up_time;
+        let measurement = self.measurement_time;
+        run_benchmark(id, warm_up, measurement, f);
+        self
+    }
+
+    /// Prints the closing summary (no-op in the shim).
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full_id,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `body` `self.iterations` times and records the elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, warm_up: Duration, measurement: Duration, mut f: F) {
+    // Warm-up: find an iteration count that takes a meaningful slice of
+    // time, doubling from 1.
+    let mut iterations: u64 = 1;
+    let warm_up_start = Instant::now();
+    loop {
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if warm_up_start.elapsed() >= warm_up {
+            break;
+        }
+        if bencher.elapsed < Duration::from_millis(10) {
+            iterations = iterations.saturating_mul(2);
+        }
+    }
+
+    // Measurement: run timed batches until the measurement window closes.
+    let mut total_iterations: u64 = 0;
+    let mut total_elapsed = Duration::ZERO;
+    let measurement_start = Instant::now();
+    loop {
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        total_iterations += iterations;
+        total_elapsed += bencher.elapsed;
+        if measurement_start.elapsed() >= measurement {
+            break;
+        }
+    }
+
+    let mean_ns = if total_iterations == 0 {
+        0.0
+    } else {
+        total_elapsed.as_nanos() as f64 / total_iterations as f64
+    };
+    println!("{id:<50} {:>14}/iter  ({total_iterations} iterations)", format_ns(mean_ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}

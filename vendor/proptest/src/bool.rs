@@ -1,0 +1,20 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The strategy behind [`ANY`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// Generates `true` and `false` with equal probability.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline shim for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! Property tests here are deterministic randomized tests: every
+//! `proptest!` block runs its body for [`ProptestConfig::cases`] cases with
+//! inputs sampled from the bound strategies, using an RNG seeded from the
+//! test's name — so failures reproduce exactly across runs and machines.
+//! The shim supports range strategies over the primitive numeric types,
+//! `proptest::collection::vec`, `proptest::bool::ANY`, `prop_assert!` /
+//! `prop_assert_eq!` and `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!
+//! What it deliberately does **not** do (relative to real proptest):
+//! shrinking of failing inputs, persistence of failure seeds, and the
+//! combinator/`prop_map` strategy algebra — none of which the workspace's
+//! tests use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a property; behaves like `assert!` (the shim has no shrinking,
+/// so failing the assertion fails the test at the current case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality of a property; behaves like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(bindings) { body }` item in turn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                )*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,42 @@
+//! The [`Strategy`] trait and its implementations for primitive ranges.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of a type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy producing one fixed value (mirrors `proptest::strategy::Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}

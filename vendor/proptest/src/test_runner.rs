@@ -1,0 +1,38 @@
+//! Test-runner configuration and deterministic seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many randomized cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim uses a smaller count so
+        // the heavier training-loop properties keep the suite fast.
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` randomized cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one property test, seeded from the
+/// test's name (FNV-1a) so every run and every machine samples the same
+/// inputs.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}

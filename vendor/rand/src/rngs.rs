@@ -1,0 +1,56 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Unlike the real `rand` crate's ChaCha-based `StdRng` this is not
+/// cryptographically secure, but it is fast, passes the statistical checks
+/// the test-suite relies on, and produces an identical stream on every
+/// platform for a given seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference design).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // An all-zero state would lock xoshiro into the zero stream.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C909,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        Self { s }
+    }
+}
+
+/// Alias kept for API compatibility with `rand::rngs::SmallRng`.
+pub type SmallRng = StdRng;

@@ -1,0 +1,191 @@
+//! Order-preserving parallel iterators over eagerly materialized items.
+//!
+//! The shim keeps the shape of rayon's API (`into_par_iter().map(..).
+//! collect()`) but materializes the item list up front and executes the
+//! mapped closure over contiguous chunks on scoped threads. That trades
+//! rayon's work-stealing for simplicity while keeping the property the
+//! workspace depends on: output order equals input order regardless of the
+//! worker count.
+
+use std::ops::Range;
+
+/// Conversion into a parallel iterator (mirrors `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `par_iter()` on borrowed collections (mirrors
+/// `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Operations shared by the shim's parallel iterators.
+///
+/// A trait (rather than inherent methods alone) so `use rayon::prelude::*`
+/// brings the combinators into scope exactly like with real rayon.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Maps each element through `f` in parallel, preserving order.
+    fn map<U, F>(self, f: F) -> ParMap<Self::Item, U, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<U, F>(self, f: F) -> ParMap<T, U, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _output: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The result of [`ParallelIterator::map`]: items plus the mapping closure.
+pub struct ParMap<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _output: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<T, U, F> ParMap<T, U, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Executes the map across the current worker count and collects the
+    /// results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<U>,
+    {
+        run_ordered(self.items, self.f).into_iter().collect()
+    }
+
+    /// Sums the mapped results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<U>,
+    {
+        run_ordered(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// Maps `items` through `f` using the current worker count, returning the
+/// results in input order.
+fn run_ordered<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: F) -> Vec<U> {
+    let workers = crate::current_num_threads().max(1);
+    if workers == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Worker threads get an explicit share of this call's worker budget, so
+    // nested parallel iterators cannot oversubscribe the machine: a sweep
+    // that fans out over N points on W workers leaves each point ~W/N
+    // workers for its inner fault-map loop, keeping the total thread count
+    // around W (real rayon achieves the same through its shared pool).
+    // `ThreadPool::install` is respected transitively for the same reason.
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let child_budget = (workers / chunks.len()).max(1);
+    let f = &f;
+    let parts: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    crate::set_installed_num_threads(Some(child_budget));
+                    chunk.into_iter().map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}

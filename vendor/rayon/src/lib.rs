@@ -1,0 +1,179 @@
+//! Offline shim for the subset of the `rayon` API used by this workspace.
+//!
+//! Provides order-preserving data parallelism over `std::thread::scope`:
+//! `into_par_iter()` on ranges / vectors / slices, `map` + `collect`, and a
+//! minimal [`ThreadPoolBuilder`] whose `install` scopes the worker count
+//! (which is what the serial-vs-parallel determinism test drives).
+//!
+//! Work is split into one contiguous chunk per worker and results are
+//! reassembled in input order, so `collect::<Vec<_>>()` is always
+//! element-for-element identical to the sequential map — exactly the
+//! guarantee real rayon's indexed parallel iterators give.
+//!
+//! `RAYON_NUM_THREADS` is honoured like in real rayon; inside
+//! [`ThreadPool::install`] the pool's size wins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod iter;
+
+/// Re-exports of the traits needed to call `into_par_iter` / `par_iter`.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Sets this thread's worker-count override (used by worker threads to
+/// take their share of the spawning call's worker budget).
+pub(crate) fn set_installed_num_threads(n: Option<usize>) {
+    INSTALLED_THREADS.with(|c| c.set(n));
+}
+
+/// Returns the number of worker threads parallel iterators will use on this
+/// thread: the installed pool's size if inside [`ThreadPool::install`],
+/// otherwise `RAYON_NUM_THREADS`, otherwise the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim never fails to
+/// build, so this is uninhabited in practice but keeps the API shape.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` means "automatic".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped worker-count override mirroring `rayon::ThreadPool`.
+///
+/// The shim spawns scoped threads per parallel call rather than keeping
+/// persistent workers, so the pool only records how many workers its
+/// `install` scope should use.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count governing all parallel
+    /// iterators invoked (transitively, on this thread) inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        let guard = RestoreGuard(previous);
+        let result = op();
+        drop(guard);
+        result
+    }
+
+    /// Returns the worker count this pool installs.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads).max(1)
+    }
+}
+
+struct RestoreGuard(Option<usize>);
+
+impl Drop for RestoreGuard {
+    fn drop(&mut self) {
+        let previous = self.0;
+        INSTALLED_THREADS.with(|c| c.set(previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<usize> = (0..1000usize).map(|i| i * i).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn install_scopes_the_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 1));
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| ());
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn slices_support_par_iter() {
+        let data = vec![1u64, 2, 3, 4, 5];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn single_threaded_matches_parallel() {
+        let parallel: Vec<u64> = (0..256u64).into_par_iter().map(|i| i.wrapping_mul(i)).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let serial: Vec<u64> =
+            pool.install(|| (0..256u64).into_par_iter().map(|i| i.wrapping_mul(i)).collect());
+        assert_eq!(parallel, serial);
+    }
+}
