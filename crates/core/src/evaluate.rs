@@ -9,14 +9,14 @@
 //! produce the quality-of-flight rows of Table II / Fig. 5 / Fig. 7.
 
 use crate::error::CoreError;
-use crate::perturb::NetworkPerturber;
+use crate::perturb::{NetworkPerturber, PerturbContext};
 use crate::Result;
 use berry_faults::chip::ChipProfile;
 use berry_hw::accelerator::{Accelerator, ProcessingReport};
 use berry_hw::workload::NetworkWorkload;
 use berry_nn::network::Sequential;
 use berry_rl::env::Environment;
-use berry_rl::eval::{evaluate_policy, EvalStats};
+use berry_rl::eval::{evaluate_policy, evaluate_policy_with_scratch, EvalStats};
 use berry_uav::flight::{compute_power_w, FlightEnergyModel, QualityOfFlight};
 use berry_uav::physics::{FlightPhysics, PhysicsConfig};
 use berry_uav::platform::UavPlatform;
@@ -104,10 +104,10 @@ pub fn evaluate_error_free<E: Environment, R: Rng>(
 ) -> Result<EvalStats> {
     config.validate()?;
     let perturber = NetworkPerturber::new(config.quant_bits)?;
-    let mut quantized = perturber.quantized_copy(policy)?;
+    let quantized = perturber.quantized_copy(policy)?;
     let episodes = config.fault_maps * config.episodes_per_map;
     Ok(evaluate_policy(
-        &mut quantized,
+        &quantized,
         env,
         episodes,
         config.max_steps,
@@ -178,13 +178,15 @@ where
     E: Environment + Clone + Sync,
 {
     config.validate()?;
-    let perturber = NetworkPerturber::new(config.quant_bits)?;
+    // Quantize the clean policy exactly once; every worker below only pays
+    // a byte copy + flip injection + dequantize per fault map.
+    let context = NetworkPerturber::new(config.quant_bits)?.context(policy)?;
     let per_map: Vec<Result<EvalStats>> = (0..config.fault_maps)
         .into_par_iter()
         .map(|map_index| {
             let mut map_rng = StdRng::seed_from_u64(fault_map_seed(base_seed, map_index as u64));
             let mut map_env = env.clone();
-            evaluate_one_fault_map(policy, &mut map_env, chip, ber, config, &perturber, &mut map_rng)
+            evaluate_one_fault_map(&context, &mut map_env, chip, ber, config, &mut map_rng)
         })
         .collect();
     merge_in_order(per_map)
@@ -210,37 +212,47 @@ pub fn evaluate_under_faults_serial<E: Environment + Clone>(
     base_seed: u64,
 ) -> Result<EvalStats> {
     config.validate()?;
-    let perturber = NetworkPerturber::new(config.quant_bits)?;
+    let context = NetworkPerturber::new(config.quant_bits)?.context(policy)?;
     let per_map: Vec<Result<EvalStats>> = (0..config.fault_maps)
         .map(|map_index| {
             let mut map_rng = StdRng::seed_from_u64(fault_map_seed(base_seed, map_index as u64));
             let mut map_env = env.clone();
-            evaluate_one_fault_map(policy, &mut map_env, chip, ber, config, &perturber, &mut map_rng)
+            evaluate_one_fault_map(&context, &mut map_env, chip, ber, config, &mut map_rng)
         })
         .collect();
     merge_in_order(per_map)
 }
 
-/// Samples one fault map, perturbs the policy and rolls out the configured
-/// number of greedy episodes.
+/// Samples one fault map, injects it into a pooled copy of the quantized
+/// byte image and rolls out the configured number of greedy episodes over
+/// the dequantized scratch network.
+///
+/// The fault map's RNG stream and the resulting weights are bitwise
+/// identical to the pre-quantize-once path (sample, `perturb_with_map`,
+/// fresh network), so seeded statistics are unchanged — the golden
+/// snapshot test pins this.
 fn evaluate_one_fault_map<E: Environment>(
-    policy: &Sequential,
+    context: &PerturbContext,
     env: &mut E,
     chip: &ChipProfile,
     ber: f64,
     config: &FaultEvaluationConfig,
-    perturber: &NetworkPerturber,
     rng: &mut StdRng,
 ) -> Result<EvalStats> {
-    let map = perturber.sample_fault_map(policy, chip, ber, rng)?;
-    let mut perturbed = perturber.perturb_with_map(policy, &map)?;
-    Ok(evaluate_policy(
-        &mut perturbed,
+    let map = context.sample_fault_map(chip, ber, rng)?;
+    let mut scratch = context.checkout();
+    context.perturb_map_into(&map, &mut scratch)?;
+    let (network, infer) = scratch.network_and_infer();
+    let stats = evaluate_policy_with_scratch(
+        network,
         env,
         config.episodes_per_map,
         config.max_steps,
         rng,
-    ))
+        infer,
+    );
+    context.checkin(scratch);
+    Ok(stats)
 }
 
 /// Merges per-map statistics strictly in map order so the aggregate is

@@ -13,9 +13,10 @@ use crate::error::CoreError;
 use crate::Result;
 use berry_faults::chip::ChipProfile;
 use berry_faults::fault_map::FaultMap;
-use berry_nn::network::Sequential;
+use berry_nn::network::{InferScratch, Sequential};
 use berry_nn::quant::QuantizedNetwork;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Quantizes networks and injects bit-error fault maps into them.
 ///
@@ -107,21 +108,30 @@ impl NetworkPerturber {
     /// Returns a copy of `net` whose quantized parameters have the fault map
     /// applied (the perturbed parameters `˜θ` of Algorithm 1).
     ///
+    /// This is the one-shot reference path; evaluation loops that apply
+    /// many maps to the same network should build a [`PerturbContext`] and
+    /// pay the quantization once.
+    ///
     /// # Errors
     ///
     /// Returns an error if quantization fails.
     pub fn perturb_with_map(&self, net: &Sequential, map: &FaultMap) -> Result<Sequential> {
         let mut quantized = QuantizedNetwork::from_network(net, self.bits)?;
-        let mut bit_offset = 0usize;
-        for tensor in quantized.tensors_mut() {
-            let tensor_bits = tensor.len() * 8;
-            let window = map.window(bit_offset, tensor_bits);
-            window.apply(tensor.bytes_mut());
-            bit_offset += tensor_bits;
-        }
+        inject_map(&mut quantized, map);
         let mut perturbed = net.clone();
         quantized.write_to_network(&mut perturbed)?;
         Ok(perturbed)
+    }
+
+    /// Builds a quantize-once [`PerturbContext`] for `net`: the network is
+    /// quantized a single time and every subsequent fault map only pays a
+    /// byte copy + flip injection + dequantize into reusable scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if quantization fails.
+    pub fn context(&self, net: &Sequential) -> Result<PerturbContext> {
+        PerturbContext::new(net, self.bits)
     }
 
     /// Convenience: draw a fresh fault map at rate `ber` and apply it.
@@ -158,6 +168,208 @@ impl NetworkPerturber {
 impl Default for NetworkPerturber {
     fn default() -> Self {
         Self { bits: 8 }
+    }
+}
+
+/// Injects a whole-model fault map into a quantized byte image, walking the
+/// per-tensor segments with the allocation-free windowed apply.
+fn inject_map(quantized: &mut QuantizedNetwork, map: &FaultMap) {
+    let mut bit_offset = 0usize;
+    for tensor in quantized.tensors_mut() {
+        let tensor_bits = tensor.len() * 8;
+        map.apply_window(tensor.bytes_mut(), bit_offset);
+        bit_offset += tensor_bits;
+    }
+}
+
+/// The quantize-once perturbation pipeline.
+///
+/// The paper's evaluation protocol averages hundreds of independent fault
+/// maps per operating point, and each map perturbs the *same* clean policy.
+/// A `PerturbContext` quantizes that policy exactly once; each fault map
+/// then costs a byte-image copy, the map's bit flips, and a dequantize into
+/// a reusable per-worker scratch network — instead of a full re-quantization
+/// plus a fresh `Sequential` allocation per map.  The output weights are
+/// bitwise identical to [`NetworkPerturber::perturb_with_map`] (pinned by
+/// `tests/quantize_once_properties.rs`).
+///
+/// The context is `Sync`: rayon workers share it by reference and check
+/// scratches in and out of its internal pool.
+///
+/// # Examples
+///
+/// ```
+/// use berry_core::perturb::NetworkPerturber;
+/// use berry_faults::chip::ChipProfile;
+/// use berry_rl::policy::QNetworkSpec;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), berry_core::CoreError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = QNetworkSpec::mlp(vec![16]).build(&[4], 3, &mut rng)?;
+/// let perturber = NetworkPerturber::new(8)?;
+/// let context = perturber.context(&net)?; // quantizes once
+/// let chip = ChipProfile::generic();
+/// let map = context.sample_fault_map(&chip, 0.01, &mut rng)?;
+/// let mut scratch = context.checkout();
+/// context.perturb_map_into(&map, &mut scratch)?;
+/// assert_ne!(scratch.network().to_flat_weights(), net.to_flat_weights());
+/// context.checkin(scratch);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PerturbContext {
+    bits: u8,
+    clean: QuantizedNetwork,
+    template: Sequential,
+    memory_bits: usize,
+    pool: Mutex<Vec<PerturbScratch>>,
+}
+
+/// Reusable per-worker state of the quantize-once pipeline: a byte image to
+/// flip bits in, a network to dequantize into, and inference scratch for
+/// the rollouts that follow.
+#[derive(Debug)]
+pub struct PerturbScratch {
+    quantized: QuantizedNetwork,
+    network: Sequential,
+    infer: InferScratch,
+}
+
+impl PerturbScratch {
+    /// The perturbed network produced by the latest
+    /// [`PerturbContext::perturb_map_into`] call.
+    pub fn network(&self) -> &Sequential {
+        &self.network
+    }
+
+    /// Mutable access to the perturbed network (the robust trainer's
+    /// perturbed backward pass needs `&mut`).
+    pub fn network_mut(&mut self) -> &mut Sequential {
+        &mut self.network
+    }
+
+    /// Takes ownership of the perturbed network.
+    pub fn into_network(self) -> Sequential {
+        self.network
+    }
+
+    /// Splits the scratch into the perturbed network and the inference
+    /// scratch so rollouts can borrow both at once.
+    pub fn network_and_infer(&mut self) -> (&Sequential, &mut InferScratch) {
+        (&self.network, &mut self.infer)
+    }
+}
+
+impl PerturbContext {
+    /// Quantizes `net` once and prepares the reusable pipeline state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unsupported bit width, or
+    /// a quantization error.
+    pub fn new(net: &Sequential, bits: u8) -> Result<Self> {
+        let max = berry_nn::quant::MAX_BITS;
+        if bits == 0 || bits > max {
+            return Err(CoreError::InvalidConfig(format!(
+                "quantization width must be in 1..={max}, got {bits}"
+            )));
+        }
+        Ok(Self {
+            bits,
+            clean: QuantizedNetwork::from_network(net, bits)?,
+            template: net.clone(),
+            memory_bits: net.param_count() * 8,
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The quantization width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of SRAM bits the quantized parameters occupy (one byte per
+    /// parameter, matching [`NetworkPerturber::memory_bits`]).
+    pub fn memory_bits(&self) -> usize {
+        self.memory_bits
+    }
+
+    /// Re-quantizes a new set of clean weights into the context in place
+    /// (the per-step refresh of the robust trainer, whose weights change
+    /// between dual-pass updates), discarding nothing but the stale bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `net` does not structurally match the network
+    /// the context was built for.
+    pub fn refresh(&mut self, net: &Sequential) -> Result<()> {
+        self.clean.requantize_from(net)?;
+        Ok(())
+    }
+
+    /// Draws a fault map over the context's parameter memory at bit-error
+    /// rate `ber` using the chip's spatial pattern and flip bias.
+    ///
+    /// Consumes exactly the same RNG stream as
+    /// [`NetworkPerturber::sample_fault_map`] on the same network, so
+    /// seeded evaluations are unchanged by the quantize-once refactor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ber` is not a valid probability.
+    pub fn sample_fault_map<R: rand::Rng + ?Sized>(
+        &self,
+        chip: &ChipProfile,
+        ber: f64,
+        rng: &mut R,
+    ) -> Result<FaultMap> {
+        Ok(chip.fault_map_at_ber(rng, self.memory_bits, ber)?)
+    }
+
+    /// Checks a scratch out of the pool (allocating a fresh one only when
+    /// the pool is empty — steady state is one scratch per worker thread).
+    pub fn checkout(&self) -> PerturbScratch {
+        let pooled = self.pool.lock().expect("scratch pool poisoned").pop();
+        pooled.unwrap_or_else(|| PerturbScratch {
+            quantized: self.clean.clone(),
+            network: self.template.clone(),
+            infer: InferScratch::new(),
+        })
+    }
+
+    /// Returns a scratch to the pool for reuse by the next fault map.
+    pub fn checkin(&self, scratch: PerturbScratch) {
+        self.pool.lock().expect("scratch pool poisoned").push(scratch);
+    }
+
+    /// Resets the scratch's byte image to the clean quantized weights,
+    /// injects the fault map's flips, and dequantizes into the scratch
+    /// network — the whole per-map cost of the quantize-once pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scratch does not structurally match this
+    /// context (e.g. it was checked out of a different context).
+    pub fn perturb_map_into(&self, map: &FaultMap, scratch: &mut PerturbScratch) -> Result<()> {
+        scratch.quantized.copy_payload_from(&self.clean)?;
+        inject_map(&mut scratch.quantized, map);
+        scratch.quantized.write_to_network(&mut scratch.network)?;
+        Ok(())
+    }
+
+    /// One-shot convenience: perturb with `map` and return an owned network
+    /// (equivalent to [`NetworkPerturber::perturb_with_map`] but through the
+    /// quantize-once bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dequantize step fails.
+    pub fn perturbed(&self, map: &FaultMap) -> Result<Sequential> {
+        let mut scratch = self.checkout();
+        self.perturb_map_into(map, &mut scratch)?;
+        Ok(scratch.into_network())
     }
 }
 
@@ -264,6 +476,62 @@ mod tests {
         let y = perturbed.forward(&x);
         assert_eq!(y.shape(), &[1, 5]);
         assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn context_matches_perturb_with_map_bitwise() {
+        let net = test_net(30);
+        let p = NetworkPerturber::new(8).unwrap();
+        let chip = ChipProfile::generic();
+        let context = p.context(&net).unwrap();
+        assert_eq!(context.memory_bits(), p.memory_bits(&net));
+        assert_eq!(context.bits(), 8);
+        let mut r = rng(31);
+        let mut scratch = context.checkout();
+        for _ in 0..4 {
+            let map = p.sample_fault_map(&net, &chip, 0.03, &mut r).unwrap();
+            let reference = p.perturb_with_map(&net, &map).unwrap();
+            context.perturb_map_into(&map, &mut scratch).unwrap();
+            let ref_w = reference.to_flat_weights();
+            let ctx_w = scratch.network().to_flat_weights();
+            assert_eq!(ref_w.len(), ctx_w.len());
+            for (a, b) in ref_w.iter().zip(ctx_w.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // The owned convenience path agrees too.
+            let owned = context.perturbed(&map).unwrap();
+            assert_eq!(owned.to_flat_weights(), ctx_w);
+        }
+        context.checkin(scratch);
+    }
+
+    #[test]
+    fn context_pool_reuses_scratches() {
+        let net = test_net(32);
+        let context = NetworkPerturber::new(8).unwrap().context(&net).unwrap();
+        let a = context.checkout();
+        context.checkin(a);
+        let b = context.checkout();
+        // Pool was non-empty, so no second template clone was needed; the
+        // scratch still dequantizes correctly after arbitrary prior state.
+        let map = FaultMap::error_free(context.memory_bits());
+        let mut b = b;
+        context.perturb_map_into(&map, &mut b).unwrap();
+        let quantized = NetworkPerturber::new(8).unwrap().quantized_copy(&net).unwrap();
+        assert_eq!(b.network().to_flat_weights(), quantized.to_flat_weights());
+    }
+
+    #[test]
+    fn context_refresh_tracks_new_weights() {
+        let net_a = test_net(33);
+        let net_b = test_net(34);
+        let p = NetworkPerturber::new(8).unwrap();
+        let mut context = p.context(&net_a).unwrap();
+        context.refresh(&net_b).unwrap();
+        let map = FaultMap::error_free(context.memory_bits());
+        let refreshed = context.perturbed(&map).unwrap();
+        let direct = p.quantized_copy(&net_b).unwrap();
+        assert_eq!(refreshed.to_flat_weights(), direct.to_flat_weights());
     }
 
     #[test]

@@ -16,10 +16,11 @@
 //! is used for every step, specializing the policy to that chip.
 
 use crate::error::CoreError;
-use crate::perturb::NetworkPerturber;
+use crate::perturb::{NetworkPerturber, PerturbContext, PerturbScratch};
 use crate::Result;
 use berry_faults::chip::ChipProfile;
 use berry_faults::fault_map::FaultMap;
+use berry_nn::network::Sequential;
 use berry_rl::dqn::{accumulate_td_gradients, DqnAgent};
 use berry_rl::env::{Environment, Transition};
 use berry_rl::policy::QNetworkSpec;
@@ -151,10 +152,54 @@ pub struct BerryOutcome {
     pub robust_updates: u64,
 }
 
+/// Reusable quantize/perturb state for the dual-pass update: one
+/// quantize-once [`PerturbContext`] (plus its scratch network) per network
+/// being perturbed.
+///
+/// The trainer's weights change between optimizer steps, so each step still
+/// pays one re-quantization per network — but through
+/// [`PerturbContext::refresh`] the byte images, scratch `Sequential`s and
+/// activation buffers are all reused instead of being reallocated on every
+/// one of the run's thousands of updates.
+#[derive(Debug, Default)]
+pub struct DualPassScratch {
+    q: Option<(PerturbContext, PerturbScratch)>,
+    target: Option<(PerturbContext, PerturbScratch)>,
+}
+
+impl DualPassScratch {
+    /// Creates an empty scratch; contexts are built on the first update.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Refreshes one slot's context from the current clean weights and
+    /// injects the fault map into its scratch network.
+    fn perturb_slot(
+        slot: &mut Option<(PerturbContext, PerturbScratch)>,
+        net: &Sequential,
+        bits: u8,
+        map: &FaultMap,
+    ) -> Result<()> {
+        if let Some((context, scratch)) = slot {
+            context.refresh(net)?;
+            context.perturb_map_into(map, scratch)?;
+        } else {
+            let context = PerturbContext::new(net, bits)?;
+            let mut scratch = context.checkout();
+            context.perturb_map_into(map, &mut scratch)?;
+            *slot = Some((context, scratch));
+        }
+        Ok(())
+    }
+}
+
 /// One BERRY dual-pass gradient update on a replay mini-batch.
 ///
 /// Exposed so ablation studies can call it directly; regular users should
-/// prefer [`train_berry`].
+/// prefer [`train_berry`].  This convenience wrapper allocates its own
+/// [`DualPassScratch`]; the training loop reuses one across all updates via
+/// [`berry_update_step_with_scratch`].
 ///
 /// # Errors
 ///
@@ -165,13 +210,37 @@ pub fn berry_update_step(
     perturber: &NetworkPerturber,
     fault_map: &FaultMap,
 ) -> Result<(f32, f32)> {
+    let mut scratch = DualPassScratch::new();
+    berry_update_step_with_scratch(agent, batch, perturber, fault_map, &mut scratch)
+}
+
+/// [`berry_update_step`] with caller-owned quantize/perturb scratch, so the
+/// per-step perturbed copies `˜θ` and `˜θ⁻` reuse their byte images and
+/// networks across updates.
+///
+/// # Errors
+///
+/// Returns an error if the batch is malformed or perturbation fails.
+pub fn berry_update_step_with_scratch(
+    agent: &mut DqnAgent,
+    batch: &[Transition],
+    perturber: &NetworkPerturber,
+    fault_map: &FaultMap,
+    scratch: &mut DualPassScratch,
+) -> Result<(f32, f32)> {
     let observation_shape = agent.observation_shape().to_vec();
     let num_actions = agent.num_actions();
     let gamma = agent.config().gamma;
 
-    // Perturbed copies ˜θ and ˜θ⁻ (line 15).
-    let mut q_perturbed = perturber.perturb_with_map(agent.q_net(), fault_map)?;
-    let mut target_perturbed = perturber.perturb_with_map(agent.target_net(), fault_map)?;
+    // Perturbed copies ˜θ and ˜θ⁻ (line 15), through the quantize-once
+    // byte-image pipeline (refreshed because the weights moved last step).
+    DualPassScratch::perturb_slot(&mut scratch.q, agent.q_net(), perturber.bits(), fault_map)?;
+    DualPassScratch::perturb_slot(
+        &mut scratch.target,
+        agent.target_net(),
+        perturber.bits(),
+        fault_map,
+    )?;
 
     // Clean pass: accumulate ∆ in the agent's Q-network (lines 11-13).
     agent.q_net_mut().zero_grad();
@@ -181,10 +250,14 @@ pub fn berry_update_step(
     };
 
     // Perturbed pass: accumulate ˜∆ in the perturbed copy (lines 14-17).
+    let (_, q_scratch) = scratch.q.as_mut().expect("q slot prepared above");
+    let (_, target_scratch) = scratch.target.as_mut().expect("target slot prepared above");
+    let q_perturbed = q_scratch.network_mut();
+    let target_perturbed = target_scratch.network_mut();
     q_perturbed.zero_grad();
     let perturbed_loss = accumulate_td_gradients(
-        &mut q_perturbed,
-        &mut target_perturbed,
+        q_perturbed,
+        target_perturbed,
         batch,
         &observation_shape,
         num_actions,
@@ -194,7 +267,7 @@ pub fn berry_update_step(
     // θ ← θ − α(∆ + ˜∆) (line 19); target sync every C steps (line 21).
     agent
         .q_net_mut()
-        .add_gradients_from(&q_perturbed, 1.0)
+        .add_gradients_from(q_perturbed, 1.0)
         .map_err(CoreError::from)?;
     agent.apply_accumulated_gradients();
     Ok((clean_loss, perturbed_loss))
@@ -278,6 +351,7 @@ fn run_berry_loop<E: Environment, R: Rng>(
     };
 
     let mut buffer = ReplayBuffer::new(config.trainer.buffer_capacity)?;
+    let mut dual_scratch = DualPassScratch::new();
     let mut episode_returns = Vec::with_capacity(config.trainer.episodes);
     let mut episode_successes = Vec::with_capacity(config.trainer.episodes);
     let mut losses = Vec::new();
@@ -316,8 +390,13 @@ fn run_berry_loop<E: Environment, R: Rng>(
                     (LearningMode::OnDevice { .. }, Some(map)) => map.clone(),
                     (LearningMode::OnDevice { .. }, None) => unreachable!("map drawn above"),
                 };
-                let (clean_loss, perturbed_loss) =
-                    berry_update_step(agent, &batch, &perturber, &fault_map)?;
+                let (clean_loss, perturbed_loss) = berry_update_step_with_scratch(
+                    agent,
+                    &batch,
+                    &perturber,
+                    &fault_map,
+                    &mut dual_scratch,
+                )?;
                 losses.push(0.5 * (clean_loss + perturbed_loss));
             }
 
@@ -468,7 +547,7 @@ mod tests {
         assert!(outcome.robust_updates > 0);
         assert!(!outcome.report.losses.is_empty());
         // The greedy policy solves the corridor.
-        let mut agent = outcome.agent;
+        let agent = outcome.agent;
         let mut eval_env = Corridor::new(4);
         let mut obs = eval_env.reset(&mut rng);
         let mut reached = false;

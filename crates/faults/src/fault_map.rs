@@ -198,6 +198,37 @@ impl FaultMap {
         changed
     }
 
+    /// Applies the sub-map covering bit indices `[bit_offset, bit_offset +
+    /// memory.len() * 8)` to `memory`, re-based so the window's first bit
+    /// lands on `memory`'s bit 0.  Returns the number of bits changed.
+    ///
+    /// This is the allocation-free equivalent of
+    /// `self.window(bit_offset, memory.len() * 8).apply(memory)` — the form
+    /// the quantize-once perturbation pipeline uses to inject one
+    /// whole-model fault map into the per-tensor segments of a byte image
+    /// without materializing a `FaultMap` per segment per map.
+    pub fn apply_window(&self, memory: &mut [u8], bit_offset: usize) -> usize {
+        let memory_bits = memory.len() * 8;
+        let mut changed = 0usize;
+        for fault in &self.faults {
+            let Some(rebased) = fault.bit_index.checked_sub(bit_offset) else {
+                continue;
+            };
+            if rebased >= memory_bits {
+                continue;
+            }
+            let byte = rebased / 8;
+            let bit = rebased % 8;
+            let mask = 1u8 << bit;
+            let current = (memory[byte] >> bit) & 1;
+            if current != fault.stuck.as_bit() {
+                memory[byte] ^= mask;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
     /// Applies the fault map, requiring the memory to be exactly the size
     /// the map was drawn for.
     ///
@@ -370,6 +401,24 @@ mod tests {
         assert_eq!(w.len(), 1);
         assert_eq!(w.faults()[0].bit_index, 4);
         assert_eq!(w.total_bits(), 8);
+    }
+
+    #[test]
+    fn apply_window_equals_window_then_apply() {
+        let mut r = rng(6);
+        let map =
+            FaultMap::generate(&mut r, 8 * 96, 0.15, &ErrorPattern::UniformRandom, 0.4).unwrap();
+        // Split the 96-byte memory into three uneven segments and compare
+        // the allocation-free path against the window-materializing one.
+        for (offset_bytes, len_bytes) in [(0usize, 17usize), (17, 40), (57, 39)] {
+            let mut via_window: Vec<u8> = (0..len_bytes).map(|i| (i * 31) as u8).collect();
+            let mut via_offset = via_window.clone();
+            let w = map.window(offset_bytes * 8, len_bytes * 8);
+            let changed_window = w.apply(&mut via_window);
+            let changed_offset = map.apply_window(&mut via_offset, offset_bytes * 8);
+            assert_eq!(via_window, via_offset);
+            assert_eq!(changed_window, changed_offset);
+        }
     }
 
     #[test]

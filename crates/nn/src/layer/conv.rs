@@ -186,6 +186,96 @@ impl Layer for Conv2d {
         out
     }
 
+    fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.rank(), 4, "Conv2d expects [batch, c, h, w] input");
+        let (batch, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(c, self.in_channels, "Conv2d input channel mismatch");
+        let oh = self.output_size(h);
+        let ow = self.output_size(w);
+        out.reset(&[batch, self.out_channels, oh, ow]);
+        let in_data = input.data();
+        let out_data = out.data_mut();
+        let w_data = self.weight.data();
+        let k = self.kernel;
+        let s = self.stride;
+        let p = self.padding;
+        // Loop-reordered direct convolution: one weight tap is hoisted and
+        // swept across a whole output row.  Every output element still
+        // starts from the bias and receives its taps in (ic, kh, kw)
+        // ascending order — each (ic, kh, kw) iteration touches each
+        // accumulator at most once — so the per-element floating-point add
+        // sequence, and therefore the result bits, are identical to the
+        // index-per-tap training `forward`.  Out-of-bounds taps are
+        // range-clipped instead of `continue`d, skipping exactly the same
+        // terms.
+        for n in 0..batch {
+            for oc in 0..self.out_channels {
+                let bias = self.bias.data()[oc];
+                let out_base = ((n * self.out_channels + oc) * oh) * ow;
+                let out_block = &mut out_data[out_base..out_base + oh * ow];
+                out_block.fill(bias);
+                for ic in 0..self.in_channels {
+                    let plane_base = ((n * c + ic) * h) * w;
+                    let plane = &in_data[plane_base..plane_base + h * w];
+                    let w_base = ((oc * self.in_channels + ic) * k) * k;
+                    for kh in 0..k {
+                        for kw in 0..k {
+                            let wv = w_data[w_base + kh * k + kw];
+                            let kwp = kw as isize - p as isize;
+                            // Output columns whose input column ix = ox*s + kwp
+                            // lands inside [0, w).
+                            let ox_lo = if kwp >= 0 {
+                                0
+                            } else {
+                                ((-kwp) as usize).div_ceil(s)
+                            };
+                            let ox_hi = if (w as isize) > kwp {
+                                (((w as isize - 1 - kwp) / s as isize + 1) as usize).min(ow)
+                            } else {
+                                0
+                            };
+                            if ox_lo >= ox_hi {
+                                continue;
+                            }
+                            let span = ox_hi - ox_lo;
+                            for oy in 0..oh {
+                                let iy = (oy * s + kh) as isize - p as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let in_row =
+                                    &plane[iy as usize * w..iy as usize * w + w];
+                                let acc_row =
+                                    &mut out_block[oy * ow + ox_lo..oy * ow + ox_hi];
+                                let ix_lo = (ox_lo * s) as isize + kwp;
+                                if s == 1 {
+                                    let ix_lo = ix_lo as usize;
+                                    for (acc, &iv) in acc_row
+                                        .iter_mut()
+                                        .zip(in_row[ix_lo..ix_lo + span].iter())
+                                    {
+                                        *acc += iv * wv;
+                                    }
+                                } else {
+                                    let mut ix = ix_lo as usize;
+                                    for acc in acc_row.iter_mut() {
+                                        *acc += in_row[ix] * wv;
+                                        ix += s;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self
             .cached_input
@@ -329,6 +419,20 @@ mod tests {
         // 1*1 + 2*2 + 3*3 + 4*4 + 0.5 = 30.5
         assert_eq!(y.shape(), &[1, 1, 1, 1]);
         assert!((y.data()[0] - 30.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, &mut r);
+        let x = Tensor::rand_uniform(&[2, 2, 9, 9], -1.0, 1.0, &mut r);
+        let expected = conv.forward(&x);
+        let mut out = Tensor::default();
+        conv.infer(&x, &mut out);
+        assert_eq!(out.shape(), expected.shape());
+        for (a, b) in out.data().iter().zip(expected.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -129,6 +129,39 @@ impl Layer for Dense {
         out
     }
 
+    fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.rank(), 2, "Dense expects [batch, features] input");
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "Dense input feature mismatch"
+        );
+        let batch = input.shape()[0];
+        let (in_f, out_f) = (self.in_features, self.out_features);
+        out.reset(&[batch, out_f]);
+        let w = self.weight.data();
+        let b = self.bias.data();
+        let x = input.data();
+        let y = out.data_mut();
+        for n in 0..batch {
+            let row = &x[n * in_f..(n + 1) * in_f];
+            for o in 0..out_f {
+                let w_row = &w[o * in_f..(o + 1) * in_f];
+                // Accumulate over k ascending with the same zero-skip as
+                // `Tensor::matmul`, then add the bias last, so the result is
+                // bitwise identical to `forward`'s matmul-then-bias.
+                let mut acc = 0.0f32;
+                for (&xv, &wv) in row.iter().zip(w_row.iter()) {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    acc += xv * wv;
+                }
+                y[n * out_f + o] = acc + b[o];
+            }
+        }
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self
             .cached_input
@@ -217,6 +250,23 @@ mod tests {
         assert_eq!(layer.param_count(), 10 * 7 + 7);
         assert_eq!(layer.in_features(), 10);
         assert_eq!(layer.out_features(), 7);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut r = rng();
+        let mut layer = Dense::new(7, 5, &mut r);
+        let mut x = Tensor::rand_uniform(&[3, 7], -1.0, 1.0, &mut r);
+        // Include exact zeros so the matmul zero-skip is exercised.
+        x.data_mut()[0] = 0.0;
+        x.data_mut()[10] = 0.0;
+        let expected = layer.forward(&x);
+        let mut out = Tensor::default();
+        layer.infer(&x, &mut out);
+        assert_eq!(out.shape(), expected.shape());
+        for (a, b) in out.data().iter().zip(expected.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -28,6 +28,20 @@ pub trait Layer: Send + Sync {
     /// Runs the forward pass, caching anything needed by [`Layer::backward`].
     fn forward(&mut self, input: &Tensor) -> Tensor;
 
+    /// Runs an immutable, cache-free forward pass, writing the layer output
+    /// into the caller-owned `out` scratch tensor (resizing it in place).
+    ///
+    /// This is the deployment/evaluation inference path: it takes `&self`,
+    /// so one network can be shared by reference across data-parallel
+    /// fault-map workers, and it allocates nothing once `out` has reached
+    /// its steady-state capacity.  Implementations MUST produce outputs that
+    /// are **bitwise identical** to [`Layer::forward`] for the same input —
+    /// the floating-point operations and their order are part of the
+    /// contract (pinned by `tests/parallel_determinism.rs`), because the
+    /// evaluation harnesses mix the two paths and average hundreds of
+    /// fault maps whose statistics must not depend on which path ran.
+    fn infer(&self, input: &Tensor, out: &mut Tensor);
+
     /// Runs the backward pass for the most recent forward input, accumulating
     /// parameter gradients and returning the gradient with respect to the
     /// layer input.
@@ -108,6 +122,15 @@ impl Layer for Relu {
         out
     }
 
+    fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        out.reset(input.shape());
+        // Same mask-multiply arithmetic as `forward` (v * 0.0 keeps the sign
+        // of zero identical between the two paths).
+        for (o, &v) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = v * if v > 0.0 { 1.0 } else { 0.0 };
+        }
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mask = self
             .mask
@@ -179,6 +202,14 @@ impl Layer for LeakyRelu {
         out
     }
 
+    fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        let slope = self.slope;
+        out.reset(input.shape());
+        for (o, &v) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = v * if v > 0.0 { 1.0 } else { slope };
+        }
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mask = self
             .mask
@@ -234,6 +265,13 @@ impl Layer for Tanh {
         let out = input.map(f32::tanh);
         self.output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        out.reset(input.shape());
+        for (o, &v) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = v.tanh();
+        }
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -301,6 +339,18 @@ impl Layer for Flatten {
         input
             .reshape(&[batch, features])
             .expect("flatten preserves element count")
+    }
+
+    fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        let shape = input.shape();
+        assert!(
+            !shape.is_empty(),
+            "Flatten requires an input with at least one dimension"
+        );
+        let batch = shape[0];
+        let features: usize = shape[1..].iter().product();
+        out.reset(&[batch, features]);
+        out.data_mut().copy_from_slice(input.data());
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -398,6 +448,27 @@ mod tests {
         assert_eq!(tanh.param_count(), 0);
         let flat = Flatten::new();
         assert_eq!(flat.param_count(), 0);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise_for_parameter_free_layers() {
+        let x =
+            Tensor::from_vec(vec![2, 3], vec![-2.0, -0.0, 0.0, 0.5, 1.5, -0.25]).unwrap();
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Relu::new()),
+            Box::new(LeakyRelu::new(0.1)),
+            Box::new(Tanh::new()),
+            Box::new(Flatten::new()),
+        ];
+        for mut layer in layers {
+            let expected = layer.forward(&x);
+            let mut out = Tensor::default();
+            layer.infer(&x, &mut out);
+            assert_eq!(out.shape(), expected.shape(), "{}", layer.name());
+            for (a, b) in out.data().iter().zip(expected.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", layer.name());
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,28 @@ use crate::layer::Layer;
 use crate::tensor::Tensor;
 use crate::Result;
 
+/// Caller-owned scratch buffers for the immutable inference path.
+///
+/// [`Sequential::infer_into`] ping-pongs layer activations between two
+/// reusable tensors instead of allocating a fresh output per layer, and
+/// [`Sequential::infer_batch`] additionally reuses a stacking buffer for
+/// batched observations.  Keep one `InferScratch` per worker (or per
+/// evaluation loop) and the whole greedy-rollout hot path stops allocating
+/// once the buffers reach their steady-state capacity.
+#[derive(Debug, Clone, Default)]
+pub struct InferScratch {
+    input: Tensor,
+    ping: Tensor,
+    pong: Tensor,
+}
+
+impl InferScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A feed-forward network: an ordered stack of [`Layer`]s.
 ///
 /// `Sequential` is the model type used for both the Q-network and the target
@@ -66,6 +88,93 @@ impl Sequential {
             x = layer.forward(&x);
         }
         x
+    }
+
+    /// Runs an immutable, cache-free forward pass through every layer,
+    /// using the caller-owned scratch buffers, and returns a borrow of the
+    /// final activations living inside `scratch`.
+    ///
+    /// The output is **bitwise identical** to [`Sequential::forward`] on the
+    /// same input (each layer's [`Layer::infer`] pins that contract), but
+    /// the network is only borrowed — which is what lets hundreds of
+    /// data-parallel fault-map workers share one policy by reference — and
+    /// nothing is allocated once the scratch has warmed up.
+    pub fn infer_into<'s>(&self, input: &Tensor, scratch: &'s mut InferScratch) -> &'s Tensor {
+        let in_ping = self.infer_ping_pong(input, &mut scratch.ping, &mut scratch.pong);
+        if in_ping {
+            &scratch.ping
+        } else {
+            &scratch.pong
+        }
+    }
+
+    /// Convenience wrapper around [`Sequential::infer_into`] that owns its
+    /// scratch and returns an owned output tensor.
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        let mut scratch = InferScratch::new();
+        self.infer_into(input, &mut scratch).clone()
+    }
+
+    /// Stacks per-sample observations (all sharing one shape) into a single
+    /// `[n, ...]` batch inside the scratch's input buffer and runs one
+    /// immutable inference pass over the whole stack — the batched
+    /// dense/conv forward used by greedy rollouts over stacked
+    /// observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArgument`] if `observations` is empty or
+    /// the observations do not all share the same shape.
+    pub fn infer_batch<'s>(
+        &self,
+        observations: &[&Tensor],
+        scratch: &'s mut InferScratch,
+    ) -> Result<&'s Tensor> {
+        let first = observations.first().ok_or_else(|| {
+            NnError::InvalidArgument("infer_batch requires at least one observation".into())
+        })?;
+        let mut batched_shape = Vec::with_capacity(first.rank() + 1);
+        batched_shape.push(observations.len());
+        batched_shape.extend_from_slice(first.shape());
+        scratch.input.reset(&batched_shape);
+        let per_obs = first.len();
+        for (i, obs) in observations.iter().enumerate() {
+            if obs.shape() != first.shape() {
+                return Err(NnError::InvalidArgument(format!(
+                    "infer_batch: observation {i} has shape {:?}, expected {:?}",
+                    obs.shape(),
+                    first.shape()
+                )));
+            }
+            scratch.input.data_mut()[i * per_obs..(i + 1) * per_obs]
+                .copy_from_slice(obs.data());
+        }
+        let InferScratch { input, ping, pong } = scratch;
+        let in_ping = self.infer_ping_pong(input, ping, pong);
+        Ok(if in_ping { &*ping } else { &*pong })
+    }
+
+    /// Shared ping-pong driver: runs the layer stack, returning `true` when
+    /// the final activations ended up in `ping` and `false` for `pong`.
+    fn infer_ping_pong(&self, input: &Tensor, ping: &mut Tensor, pong: &mut Tensor) -> bool {
+        if self.layers.is_empty() {
+            ping.copy_from(input);
+            return true;
+        }
+        let mut in_ping = false;
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i == 0 {
+                layer.infer(input, ping);
+                in_ping = true;
+            } else if in_ping {
+                layer.infer(ping, pong);
+                in_ping = false;
+            } else {
+                layer.infer(pong, ping);
+                in_ping = true;
+            }
+        }
+        in_ping
     }
 
     /// Runs a backward pass, accumulating parameter gradients in every layer
@@ -284,6 +393,61 @@ mod tests {
         let x = Tensor::zeros(&[3, 2, 9, 9]);
         let y = net.forward(&x);
         assert_eq!(y.shape(), &[3, 25]);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise_through_conv_stack() {
+        let mut r = rng(30);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(2, 4, 3, 1, 1, &mut r));
+        net.push(Relu::new());
+        net.push(Conv2d::new(4, 8, 3, 2, 1, &mut r));
+        net.push(Relu::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(8 * 5 * 5, 16, &mut r));
+        net.push(Relu::new());
+        net.push(Dense::new(16, 25, &mut r));
+        let x = Tensor::rand_uniform(&[3, 2, 9, 9], -1.0, 1.0, &mut r);
+        let expected = net.forward(&x);
+        let mut scratch = InferScratch::new();
+        let got = net.infer_into(&x, &mut scratch);
+        assert_eq!(got.shape(), expected.shape());
+        for (a, b) in got.data().iter().zip(expected.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The owned-output convenience agrees too.
+        assert_eq!(net.infer(&x).data(), expected.data());
+    }
+
+    #[test]
+    fn infer_batch_stacks_observations() {
+        let mut r = rng(31);
+        let mut net = small_mlp(32);
+        let rows: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::rand_uniform(&[3], -1.0, 1.0, &mut r))
+            .collect();
+        let mut scratch = InferScratch::new();
+        let refs: Vec<&Tensor> = rows.iter().collect();
+        let batched = net.infer_batch(&refs, &mut scratch).unwrap().clone();
+        assert_eq!(batched.shape(), &[4, 2]);
+        // Row-by-row forward over a [1, 3] batch matches the stacked pass.
+        for (i, row) in rows.iter().enumerate() {
+            let single = net.forward(&row.reshape(&[1, 3]).unwrap());
+            for (a, b) in batched.row(i).data().iter().zip(single.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Empty and ragged stacks are rejected.
+        assert!(net.infer_batch(&[], &mut scratch).is_err());
+        let ragged = Tensor::zeros(&[5]);
+        assert!(net.infer_batch(&[&rows[0], &ragged], &mut scratch).is_err());
+    }
+
+    #[test]
+    fn infer_on_empty_network_is_identity() {
+        let net = Sequential::new();
+        let x = Tensor::from_vec(vec![2], vec![1.5, -2.5]).unwrap();
+        assert_eq!(net.infer(&x).data(), x.data());
     }
 
     #[test]

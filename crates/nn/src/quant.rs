@@ -80,6 +80,72 @@ impl QuantizedTensor {
             .expect("quantized tensor preserves element count")
     }
 
+    /// Dequantizes directly into a caller-owned slice (the allocation-free
+    /// variant used by the perturbation hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have exactly `self.len()` elements.
+    pub fn dequantize_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len(), "dequantize_into length mismatch");
+        for (o, &b) in out.iter_mut().zip(self.values.iter()) {
+            *o = (b as i8) as f32 * self.scale;
+        }
+    }
+
+    /// Re-quantizes `tensor` into this snapshot in place (fresh scale and
+    /// bytes, reusing the byte buffer), producing exactly the same state as
+    /// [`QuantizedTensor::quantize`] at the same width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `tensor`'s shape differs from
+    /// the snapshot's.
+    pub fn requantize_from(&mut self, tensor: &Tensor) -> Result<()> {
+        if tensor.shape() != self.shape.as_slice() {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: tensor.shape().to_vec(),
+            });
+        }
+        let qmax = ((1i32 << (self.bits - 1)) - 1) as f32;
+        let abs_max = tensor.abs_max();
+        let scale = if abs_max > 0.0 { abs_max / qmax } else { 0.0 };
+        self.scale = scale;
+        for (v, &w) in self.values.iter_mut().zip(tensor.data().iter()) {
+            *v = if scale == 0.0 {
+                0u8
+            } else {
+                (w / scale).round().clamp(-qmax, qmax) as i8 as u8
+            };
+        }
+        Ok(())
+    }
+
+    /// Copies another snapshot's payload (scale and bytes) into this one,
+    /// reusing this snapshot's allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the two snapshots differ in shape or bit width.
+    pub fn copy_payload_from(&mut self, other: &QuantizedTensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        if self.bits != other.bits {
+            return Err(NnError::InvalidArgument(format!(
+                "bit width mismatch: {} vs {}",
+                self.bits, other.bits
+            )));
+        }
+        self.scale = other.scale;
+        self.values.copy_from_slice(&other.values);
+        Ok(())
+    }
+
     /// The quantization scale (`f32` per integer step).
     pub fn scale(&self) -> f32 {
         self.scale
@@ -202,8 +268,51 @@ impl QuantizedNetwork {
                     right: q.shape().to_vec(),
                 });
             }
-            let deq = q.dequantize();
-            p.data_mut().copy_from_slice(deq.data());
+            q.dequantize_into(p.data_mut());
+        }
+        Ok(())
+    }
+
+    /// Re-quantizes every parameter tensor of `net` into this snapshot in
+    /// place, reusing all allocations — the state afterwards is identical to
+    /// a fresh [`QuantizedNetwork::from_network`] at the same width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `net` does not structurally match the snapshot.
+    pub fn requantize_from(&mut self, net: &Sequential) -> Result<()> {
+        let params = net.params();
+        if params.len() != self.tensors.len() {
+            return Err(NnError::InvalidArgument(format!(
+                "network has {} parameter tensors, snapshot has {}",
+                params.len(),
+                self.tensors.len()
+            )));
+        }
+        for (q, p) in self.tensors.iter_mut().zip(params) {
+            q.requantize_from(p)?;
+        }
+        Ok(())
+    }
+
+    /// Copies another snapshot's payload (per-tensor scales and bytes) into
+    /// this one, reusing this snapshot's allocations.  This is the cheap
+    /// "reset to clean bytes" step each fault-map worker performs before
+    /// injecting its flips.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the two snapshots are not structurally identical.
+    pub fn copy_payload_from(&mut self, other: &QuantizedNetwork) -> Result<()> {
+        if self.tensors.len() != other.tensors.len() {
+            return Err(NnError::InvalidArgument(format!(
+                "snapshot has {} tensors, source has {}",
+                self.tensors.len(),
+                other.tensors.len()
+            )));
+        }
+        for (d, s) in self.tensors.iter_mut().zip(other.tensors.iter()) {
+            d.copy_payload_from(s)?;
         }
         Ok(())
     }
@@ -323,6 +432,54 @@ mod tests {
         let after = q.dequantize();
         assert_ne!(before.data()[0], after.data()[0]);
         assert_eq!(before.data()[1], after.data()[1]);
+    }
+
+    #[test]
+    fn dequantize_into_matches_dequantize() {
+        let mut r = rng(10);
+        let t = Tensor::rand_uniform(&[33], -3.0, 3.0, &mut r);
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        let mut out = vec![0.0f32; 33];
+        q.dequantize_into(&mut out);
+        assert_eq!(out.as_slice(), q.dequantize().data());
+    }
+
+    #[test]
+    fn requantize_from_equals_fresh_quantization() {
+        let mut r = rng(11);
+        let a = Tensor::rand_uniform(&[40], -2.0, 2.0, &mut r);
+        let b = Tensor::rand_uniform(&[40], -5.0, 5.0, &mut r);
+        let mut q = QuantizedTensor::quantize(&a, 8).unwrap();
+        q.requantize_from(&b).unwrap();
+        let fresh = QuantizedTensor::quantize(&b, 8).unwrap();
+        assert_eq!(q, fresh);
+        // Shape mismatch is rejected.
+        let wrong = Tensor::zeros(&[7]);
+        assert!(q.requantize_from(&wrong).is_err());
+    }
+
+    #[test]
+    fn network_requantize_and_payload_copy() {
+        let net_a = small_net(12);
+        let net_b = small_net(13);
+        let mut snapshot = QuantizedNetwork::from_network(&net_a, 8).unwrap();
+        snapshot.requantize_from(&net_b).unwrap();
+        assert_eq!(snapshot, QuantizedNetwork::from_network(&net_b, 8).unwrap());
+
+        // Payload copy restores the clean bytes after a mutation.
+        let clean = snapshot.clone();
+        snapshot.tensors_mut()[0].bytes_mut()[0] ^= 0xFF;
+        assert_ne!(snapshot, clean);
+        snapshot.copy_payload_from(&clean).unwrap();
+        assert_eq!(snapshot, clean);
+
+        // Structural mismatches are rejected.
+        let mut r = rng(14);
+        let mut other = Sequential::new();
+        other.push(Dense::new(3, 3, &mut r));
+        let other_snapshot = QuantizedNetwork::from_network(&other, 8).unwrap();
+        assert!(snapshot.copy_payload_from(&other_snapshot).is_err());
+        assert!(snapshot.requantize_from(&other).is_err());
     }
 
     #[test]

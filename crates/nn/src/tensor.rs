@@ -261,6 +261,26 @@ impl Tensor {
         }
     }
 
+    /// Reshapes the tensor in place to `shape`, growing or shrinking the
+    /// backing buffer while reusing its allocation.
+    ///
+    /// Existing element values are unspecified afterwards; callers are
+    /// expected to overwrite every element (this is the resize primitive
+    /// behind the reusable inference scratch buffers).
+    pub fn reset(&mut self, shape: &[usize]) {
+        let len: usize = shape.iter().product();
+        self.data.resize(len, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Copies `other`'s shape and data into `self`, reusing `self`'s
+    /// allocations.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.reset(other.shape());
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Applies `f` element-wise, producing a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
         Tensor {
@@ -635,6 +655,17 @@ mod tests {
         assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
         let c = Tensor::zeros(&[2]);
         assert!(a.add_scaled(&c, 1.0).is_err());
+    }
+
+    #[test]
+    fn reset_and_copy_from_reuse_buffers() {
+        let mut t = Tensor::from_vec(vec![2, 3], vec![1.0; 6]).unwrap();
+        t.reset(&[4]);
+        assert_eq!(t.shape(), &[4]);
+        assert_eq!(t.len(), 4);
+        let src = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        t.copy_from(&src);
+        assert_eq!(t, src);
     }
 
     #[test]

@@ -282,11 +282,16 @@ impl DqnAgent {
 
     /// Q-values for a single observation, as a `[1, num_actions]` tensor.
     ///
+    /// Uses the immutable inference path ([`Sequential::infer`]), which is
+    /// bitwise identical to a `forward` pass but leaves the network's
+    /// training caches untouched, so action selection never needs `&mut`
+    /// access to the agent.
+    ///
     /// # Panics
     ///
     /// Panics if the observation's element count does not match the shape
     /// the agent was built for.
-    pub fn q_values(&mut self, observation: &Tensor) -> Tensor {
+    pub fn q_values(&self, observation: &Tensor) -> Tensor {
         let per_obs: usize = self.observation_shape.iter().product();
         assert_eq!(
             observation.len(),
@@ -301,11 +306,11 @@ impl DqnAgent {
         let batched = observation
             .reshape(&shape)
             .expect("element count already checked");
-        self.q_net.forward(&batched)
+        self.q_net.infer(&batched)
     }
 
     /// Greedy action for an observation.
-    pub fn act_greedy(&mut self, observation: &Tensor) -> usize {
+    pub fn act_greedy(&self, observation: &Tensor) -> usize {
         self.q_values(observation)
             .argmax()
             .expect("num_actions is positive")
@@ -313,7 +318,7 @@ impl DqnAgent {
 
     /// ε-greedy action for an observation (Algorithm 1 line 6).
     pub fn act_epsilon<R: Rng + ?Sized>(
-        &mut self,
+        &self,
         observation: &Tensor,
         epsilon: f32,
         rng: &mut R,
@@ -426,7 +431,7 @@ mod tests {
 
     #[test]
     fn greedy_action_matches_argmax_of_q_values() {
-        let mut agent = small_agent(1);
+        let agent = small_agent(1);
         let obs = Tensor::from_vec(vec![2], vec![0.3, -0.7]).unwrap();
         let q = agent.q_values(&obs);
         assert_eq!(q.shape(), &[1, 3]);
@@ -435,7 +440,7 @@ mod tests {
 
     #[test]
     fn epsilon_one_explores_uniformly() {
-        let mut agent = small_agent(2);
+        let agent = small_agent(2);
         let mut r = rng(3);
         let obs = Tensor::zeros(&[2]);
         let mut counts = [0usize; 3];
@@ -449,7 +454,7 @@ mod tests {
 
     #[test]
     fn epsilon_zero_is_greedy() {
-        let mut agent = small_agent(4);
+        let agent = small_agent(4);
         let mut r = rng(5);
         let obs = Tensor::from_vec(vec![2], vec![0.1, 0.9]).unwrap();
         let greedy = agent.act_greedy(&obs);

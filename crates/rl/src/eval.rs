@@ -7,7 +7,7 @@
 //! produces exactly those statistics.
 
 use crate::env::{Environment, TerminalKind};
-use berry_nn::network::Sequential;
+use berry_nn::network::{InferScratch, Sequential};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -81,23 +81,40 @@ impl EvalStats {
 /// Runs `episodes` greedy rollouts of `policy` on `env`.
 ///
 /// The policy network is used directly (rather than a [`crate::DqnAgent`])
-/// so that bit-error-perturbed copies of a network can be evaluated without
-/// touching the agent that owns the clean weights.
+/// and only *borrowed*: greedy action selection goes through the immutable
+/// [`Sequential::infer`] path, so bit-error-perturbed copies of a network —
+/// or the clean network itself, shared across data-parallel fault-map
+/// workers — can be evaluated without `&mut` access and without cloning.
+///
+/// This convenience wrapper owns its inference scratch; loops that evaluate
+/// many perturbed networks should hold one [`InferScratch`] and call
+/// [`evaluate_policy_with_scratch`] to keep the hot path allocation-free.
 pub fn evaluate_policy<E: Environment, R: Rng>(
-    policy: &mut Sequential,
+    policy: &Sequential,
     env: &mut E,
     episodes: usize,
     max_steps: usize,
     rng: &mut R,
+) -> EvalStats {
+    let mut scratch = InferScratch::new();
+    evaluate_policy_with_scratch(policy, env, episodes, max_steps, rng, &mut scratch)
+}
+
+/// [`evaluate_policy`] with a caller-owned inference scratch, so repeated
+/// evaluations reuse the same activation buffers.
+pub fn evaluate_policy_with_scratch<E: Environment, R: Rng>(
+    policy: &Sequential,
+    env: &mut E,
+    episodes: usize,
+    max_steps: usize,
+    rng: &mut R,
+    scratch: &mut InferScratch,
 ) -> EvalStats {
     if episodes == 0 {
         return EvalStats::empty();
     }
     let obs_shape = env.observation_shape();
     let per_obs: usize = obs_shape.iter().product();
-    let mut batched_shape = Vec::with_capacity(obs_shape.len() + 1);
-    batched_shape.push(1);
-    batched_shape.extend_from_slice(&obs_shape);
 
     let mut successes = 0usize;
     let mut collisions = 0usize;
@@ -113,10 +130,9 @@ pub fn evaluate_policy<E: Environment, R: Rng>(
         let mut terminal: Option<TerminalKind> = None;
         for _ in 0..max_steps {
             debug_assert_eq!(obs.len(), per_obs);
-            let batched = obs
-                .reshape(&batched_shape)
+            let q = policy
+                .infer_batch(&[&obs], scratch)
                 .expect("observation matches the environment shape");
-            let q = policy.forward(&batched);
             let action = q.argmax().expect("non-empty action space");
             let outcome = env.step(action, rng);
             total_return += outcome.reward as f64;
@@ -199,10 +215,10 @@ mod tests {
     #[test]
     fn evaluation_is_deterministic_for_a_deterministic_policy() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let mut policy = QNetworkSpec::mlp(vec![8]).build(&[2], 2, &mut rng).unwrap();
+        let policy = QNetworkSpec::mlp(vec![8]).build(&[2], 2, &mut rng).unwrap();
         let mut env = FirstActionMatters;
-        let stats1 = evaluate_policy(&mut policy, &mut env, 10, 5, &mut rng);
-        let stats2 = evaluate_policy(&mut policy, &mut env, 10, 5, &mut rng);
+        let stats1 = evaluate_policy(&policy, &mut env, 10, 5, &mut rng);
+        let stats2 = evaluate_policy(&policy, &mut env, 10, 5, &mut rng);
         assert_eq!(stats1.success_rate, stats2.success_rate);
         // Every episode terminates on the first step either way.
         assert_eq!(stats1.mean_steps, 1.0);
@@ -213,9 +229,9 @@ mod tests {
     #[test]
     fn zero_episodes_yields_empty_stats() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let mut policy = QNetworkSpec::mlp(vec![4]).build(&[2], 2, &mut rng).unwrap();
+        let policy = QNetworkSpec::mlp(vec![4]).build(&[2], 2, &mut rng).unwrap();
         let mut env = FirstActionMatters;
-        let stats = evaluate_policy(&mut policy, &mut env, 0, 5, &mut rng);
+        let stats = evaluate_policy(&policy, &mut env, 0, 5, &mut rng);
         assert_eq!(stats, EvalStats::empty());
     }
 

@@ -324,7 +324,7 @@ mod tests {
                 grad_clip: 1.0,
             },
         };
-        let (mut agent, report) =
+        let (agent, report) =
             train_classical(&mut env, &QNetworkSpec::mlp(vec![24]), &config, &mut rng).unwrap();
         // Exploration noise keeps the on-policy success rate below 100 %, but
         // the trend must be clearly upward by the end of training.

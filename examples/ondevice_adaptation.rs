@@ -76,9 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let perturber = NetworkPerturber::new(eval_cfg.quant_bits)?;
     let episodes = eval_cfg.fault_maps * eval_cfg.episodes_per_map;
     for (label, outcome) in [("on-device", &ondevice), ("offline", &offline)] {
-        let mut deployed = perturber.perturb_with_map(outcome.agent.q_net(), &chip_map)?;
+        let deployed = perturber.perturb_with_map(outcome.agent.q_net(), &chip_map)?;
         let mut env = NavigationEnv::new(env_cfg.clone())?;
-        let stats = evaluate_policy(&mut deployed, &mut env, episodes, eval_cfg.max_steps, &mut rng);
+        let stats = evaluate_policy(&deployed, &mut env, episodes, eval_cfg.max_steps, &mut rng);
         println!(
             "  {label:<10} success on this chip: {:>5.1} %  (mean path {:.1} m)",
             stats.success_rate * 100.0,

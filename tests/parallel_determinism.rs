@@ -112,3 +112,55 @@ fn fault_map_seeds_are_distinct_across_indices() {
         (0..1000).map(|i| fault_map_seed(BASE_SEED, i)).collect();
     assert_eq!(seeds.len(), 1000, "per-map seeds must not collide");
 }
+
+/// The immutable inference path must agree bitwise with the caching
+/// `forward` path for every layer type — the fault-map workers roll out
+/// episodes through `infer` while the training and legacy paths use
+/// `forward`, and the averaged statistics may not depend on which one ran.
+#[test]
+fn infer_path_matches_forward_path_bitwise_across_all_layer_types() {
+    use berry_nn::layer::{Conv2d, Dense, Flatten, LeakyRelu, Relu, Tanh};
+    use berry_nn::network::{InferScratch, Sequential};
+    use berry_nn::tensor::Tensor;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15C05EED);
+
+    // A stack exercising Conv2d, Relu, Flatten, Dense, LeakyRelu and Tanh.
+    let mut all_layers = Sequential::new();
+    all_layers.push(Conv2d::new(2, 4, 3, 1, 1, &mut rng));
+    all_layers.push(Relu::new());
+    all_layers.push(Conv2d::new(4, 8, 3, 2, 1, &mut rng));
+    all_layers.push(LeakyRelu::new(0.05));
+    all_layers.push(Flatten::new());
+    all_layers.push(Dense::new(8 * 5 * 5, 24, &mut rng));
+    all_layers.push(Tanh::new());
+    all_layers.push(Dense::new(24, 6, &mut rng));
+    let conv_input = Tensor::rand_uniform(&[3, 2, 9, 9], -1.0, 1.0, &mut rng);
+
+    // The paper's policies, as built by the policy factory.
+    let c3f2 = berry_rl::policy::QNetworkSpec::C3F2
+        .build(&[2, 9, 9], 25, &mut rng)
+        .unwrap();
+    let mlp = berry_rl::policy::QNetworkSpec::mlp(vec![32, 16])
+        .build(&[7], 4, &mut rng)
+        .unwrap();
+    let mlp_input = Tensor::rand_uniform(&[5, 7], -1.0, 1.0, &mut rng);
+
+    let mut scratch = InferScratch::new();
+    for (label, mut net, input) in [
+        ("all-layer-types", all_layers, conv_input.clone()),
+        ("C3F2", c3f2, conv_input),
+        ("MLP", mlp, mlp_input),
+    ] {
+        let expected = net.forward(&input);
+        let inferred = net.infer_into(&input, &mut scratch);
+        assert_eq!(inferred.shape(), expected.shape(), "{label}: shape");
+        for (i, (a, b)) in inferred.data().iter().zip(expected.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label}: element {i} differs ({a} vs {b})"
+            );
+        }
+    }
+}

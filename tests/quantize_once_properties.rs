@@ -1,0 +1,130 @@
+//! Property tests pinning the quantize-once perturbation seam.
+//!
+//! The evaluation hot path was restructured around [`PerturbContext`]:
+//! quantize the clean policy once, copy the byte image per fault map,
+//! inject the flips, and dequantize into reusable scratch.  These
+//! properties guarantee the seam is safe to optimize through:
+//!
+//! 1. the quantize→dequantize round trip moves every element by at most
+//!    half a quantization step,
+//! 2. a `BER = 0` perturbation is the identity on (quantized) weights, and
+//! 3. the context's output is bitwise identical to the one-shot
+//!    `perturb_with_map` reference path for random networks and maps.
+
+use berry_core::perturb::NetworkPerturber;
+use berry_faults::chip::ChipProfile;
+use berry_faults::fault_map::FaultMap;
+use berry_nn::network::Sequential;
+use berry_nn::quant::QuantizedTensor;
+use berry_nn::tensor::Tensor;
+use berry_rl::policy::QNetworkSpec;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Builds a random MLP policy whose size varies with the inputs.
+fn random_network(seed: u64, inputs: usize, hidden: usize, actions: usize) -> Sequential {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    QNetworkSpec::mlp(vec![hidden])
+        .build(&[inputs], actions, &mut rng)
+        .unwrap()
+}
+
+proptest! {
+    /// Property 1: per-element round-trip error of the quantization seam is
+    /// bounded by half a scale step at every supported bit width.
+    #[test]
+    fn prop_roundtrip_error_at_most_half_scale_per_element(
+        seed in 0u64..400,
+        len in 1usize..256,
+        bits in 2u8..=8,
+        range in 0.01f32..50.0,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tensor = Tensor::rand_uniform(&[len], -range, range, &mut rng);
+        let q = QuantizedTensor::quantize(&tensor, bits).unwrap();
+        let deq = q.dequantize();
+        let bound = 0.5 * q.scale() + 1e-5 * range;
+        for (original, restored) in tensor.data().iter().zip(deq.data().iter()) {
+            let err = (original - restored).abs();
+            prop_assert!(
+                err <= bound,
+                "element error {err} exceeds scale/2 = {bound} at {bits} bits"
+            );
+        }
+    }
+
+    /// Property 2: perturbing through the context with an error-free map
+    /// leaves the quantized weights untouched (bitwise equal to the plain
+    /// quantize→dequantize copy), and is idempotent.
+    #[test]
+    fn prop_zero_ber_perturbation_is_identity_on_weights(
+        seed in 0u64..400,
+        inputs in 1usize..12,
+        hidden in 1usize..24,
+        actions in 1usize..8,
+    ) {
+        let net = random_network(seed, inputs, hidden, actions);
+        let perturber = NetworkPerturber::new(8).unwrap();
+        let context = perturber.context(&net).unwrap();
+        let empty = FaultMap::error_free(context.memory_bits());
+
+        let quantized = perturber.quantized_copy(&net).unwrap();
+        let mut scratch = context.checkout();
+        context.perturb_map_into(&empty, &mut scratch).unwrap();
+        prop_assert_eq!(
+            scratch.network().to_flat_weights(),
+            quantized.to_flat_weights()
+        );
+        // Idempotence: perturbing the same scratch again changes nothing.
+        context.perturb_map_into(&empty, &mut scratch).unwrap();
+        prop_assert_eq!(
+            scratch.network().to_flat_weights(),
+            quantized.to_flat_weights()
+        );
+        context.checkin(scratch);
+    }
+
+    /// Property 3: for random networks and random fault maps, the
+    /// quantize-once context path produces weights bitwise identical to the
+    /// per-map `perturb_with_map` reference path — including when one
+    /// pooled scratch is reused across many maps.
+    #[test]
+    fn prop_context_output_bitwise_matches_perturb_with_map(
+        seed in 0u64..200,
+        inputs in 1usize..10,
+        hidden in 1usize..20,
+        actions in 1usize..6,
+        ber in 0.0f64..0.25,
+        column_chip in proptest::bool::ANY,
+    ) {
+        let net = random_network(seed, inputs, hidden, actions);
+        let perturber = NetworkPerturber::new(8).unwrap();
+        let context = perturber.context(&net).unwrap();
+        let chip = if column_chip {
+            ChipProfile::chip2_column_aligned()
+        } else {
+            ChipProfile::chip1_random()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut scratch = context.checkout();
+        for _ in 0..3 {
+            let map = perturber.sample_fault_map(&net, &chip, ber, &mut rng).unwrap();
+            let reference = perturber.perturb_with_map(&net, &map).unwrap();
+            context.perturb_map_into(&map, &mut scratch).unwrap();
+            let expected = reference.to_flat_weights();
+            let actual = scratch.network().to_flat_weights();
+            prop_assert_eq!(expected.len(), actual.len());
+            for (i, (a, b)) in expected.iter().zip(actual.iter()).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "weight {} differs: {} vs {}",
+                    i,
+                    a,
+                    b
+                );
+            }
+        }
+        context.checkin(scratch);
+    }
+}
