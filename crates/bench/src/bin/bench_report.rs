@@ -1,0 +1,216 @@
+//! Machine-readable performance report of the evaluation hot path.
+//!
+//! Writes `BENCH_PR3.json` (path overridable via `BERRY_BENCH_OUT`) with
+//! the three throughput figures the perf trajectory is tracked by:
+//!
+//! * **rollout throughput** — env-steps/sec of the batched lockstep engine
+//!   at 1 / 8 / 16 lanes on a perturbed C3F2 policy, plus the legacy PR 2
+//!   derivation (re-quantize per map, shared-RNG batch-1 `forward`
+//!   rollouts) as the baseline the speedup is measured against;
+//! * **per-map latency** — wall-clock per fault map of the full
+//!   `evaluate_under_faults` protocol (C3F2, 100 maps, serial-over-maps so
+//!   the number is core-count independent);
+//! * **GEMM GFLOP/s** — the shared inference core's arithmetic throughput
+//!   on the paper's policy shapes at batch 8.
+//!
+//! CI runs this binary on every push and uploads the JSON as an artifact,
+//! so regressions show up as a diffable number, not a feeling.
+
+use berry_bench::{print_header, rng_from_env, seed_from_env};
+use berry_core::evaluate::{
+    evaluate_under_faults_serial, fault_map_seed, FaultEvaluationConfig,
+};
+use berry_core::experiment::ExperimentScale;
+use berry_core::perturb::NetworkPerturber;
+use berry_faults::chip::ChipProfile;
+use berry_nn::gemm::{gemm_flops, GemmScratch};
+use berry_nn::layer::{Conv2d, Dense, Layer};
+use berry_nn::network::InferScratch;
+use berry_nn::tensor::Tensor;
+use berry_rl::eval::evaluate_policy_batched;
+use berry_rl::policy::QNetworkSpec;
+use berry_rl::Environment;
+use berry_uav::env::{NavigationConfig, NavigationEnv};
+use berry_uav::world::ObstacleDensity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BER: f64 = 0.005;
+const ROLLOUT_EPISODES: usize = 64;
+const ROLLOUT_MAX_STEPS: usize = 12;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print_header("BENCH_PR3.json perf report", ExperimentScale::Quick);
+    let mut rng = rng_from_env();
+    let env = NavigationEnv::new(NavigationConfig::with_density(ObstacleDensity::Sparse))?;
+    let policy = QNetworkSpec::C3F2.build(&env.observation_shape(), env.num_actions(), &mut rng)?;
+    let chip = ChipProfile::generic();
+    let perturber = NetworkPerturber::new(8)?;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(json, "  \"seed\": {},", seed_from_env());
+    let _ = writeln!(json, "  \"ber\": {BER},");
+
+    // --- Rollout throughput: lockstep lanes vs the legacy derivation. ---
+    let perturbed = perturber.perturb_random(&policy, &chip, BER, &mut rng)?;
+    let mut scratch = InferScratch::new();
+    let _ = writeln!(json, "  \"rollout\": {{");
+    let _ = writeln!(json, "    \"episodes\": {ROLLOUT_EPISODES},");
+    let _ = writeln!(json, "    \"max_steps\": {ROLLOUT_MAX_STEPS},");
+    let mut lane_rates: Vec<(usize, f64)> = Vec::new();
+    for lanes in [1usize, 8, 16] {
+        // Warm-up pass, then the timed passes.
+        let warm = evaluate_policy_batched(
+            &perturbed,
+            &env,
+            ROLLOUT_EPISODES,
+            ROLLOUT_MAX_STEPS,
+            lanes,
+            0xBE11C4,
+            &mut scratch,
+        );
+        let start = Instant::now();
+        let reps = 5;
+        let mut steps = 0.0f64;
+        for _ in 0..reps {
+            let stats = evaluate_policy_batched(
+                &perturbed,
+                &env,
+                ROLLOUT_EPISODES,
+                ROLLOUT_MAX_STEPS,
+                lanes,
+                0xBE11C4,
+                &mut scratch,
+            );
+            steps += stats.mean_steps * stats.episodes as f64;
+            assert_eq!(stats.mean_return.to_bits(), warm.mean_return.to_bits());
+        }
+        let rate = steps / start.elapsed().as_secs_f64();
+        lane_rates.push((lanes, rate));
+        println!("rollout  lanes={lanes:<2}  {:>10.0} env-steps/sec", rate);
+        let _ = writeln!(json, "    \"engine_steps_per_sec_lanes{lanes}\": {rate:.1},");
+    }
+    // Legacy PR 2 derivation: re-quantize per map, shared-RNG batch-1
+    // `forward` rollouts — the baseline the acceptance speedup is against.
+    let legacy_rate = {
+        let maps = ROLLOUT_EPISODES / 2;
+        let warmup_and_timed = |count: usize| -> (f64, f64) {
+            let start = Instant::now();
+            let mut steps = 0usize;
+            let mut batched_shape = vec![1usize];
+            batched_shape.extend_from_slice(&env.observation_shape());
+            for map_index in 0..count {
+                let mut map_rng =
+                    StdRng::seed_from_u64(fault_map_seed(0xBE11C4, map_index as u64));
+                let mut map_env = env.clone();
+                let map = perturber
+                    .sample_fault_map(&policy, &chip, BER, &mut map_rng)
+                    .unwrap();
+                let mut net = perturber.perturb_with_map(&policy, &map).unwrap();
+                for _ in 0..2 {
+                    let mut obs = map_env.reset(&mut map_rng);
+                    for _ in 0..ROLLOUT_MAX_STEPS {
+                        let batched = obs.reshape(&batched_shape).unwrap();
+                        let q = net.forward(&batched);
+                        let action = q.argmax().unwrap();
+                        let outcome = map_env.step(action, &mut map_rng);
+                        steps += 1;
+                        obs = outcome.observation;
+                        if outcome.terminal.is_some() {
+                            break;
+                        }
+                    }
+                }
+            }
+            (steps as f64, start.elapsed().as_secs_f64())
+        };
+        let _ = warmup_and_timed(3);
+        let (steps, secs) = warmup_and_timed(maps);
+        steps / secs
+    };
+    println!("rollout  legacy    {legacy_rate:>10.0} env-steps/sec (PR 2 derivation)");
+    let _ = writeln!(json, "    \"legacy_steps_per_sec\": {legacy_rate:.1},");
+    for (i, (lanes, rate)) in lane_rates.iter().enumerate() {
+        let comma = if i + 1 == lane_rates.len() { "" } else { "," };
+        let speedup = rate / legacy_rate.max(1e-9);
+        println!("rollout  lanes={lanes:<2}  speedup vs legacy: {speedup:.2}x");
+        let _ = writeln!(json, "    \"speedup_lanes{lanes}_vs_legacy\": {speedup:.2}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+
+    // --- Per-map latency of the full protocol (serial over maps). ---
+    let cfg = FaultEvaluationConfig {
+        fault_maps: 100,
+        episodes_per_map: 1,
+        max_steps: 10,
+        quant_bits: 8,
+        lanes: 8,
+    };
+    let _ = evaluate_under_faults_serial(&policy, &env, &chip, BER, &cfg, 0xBE11C4)?;
+    let start = Instant::now();
+    let _ = evaluate_under_faults_serial(&policy, &env, &chip, BER, &cfg, 0xBE11C4)?;
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let per_map_us = total_ms * 1e3 / cfg.fault_maps as f64;
+    println!(
+        "evaluate c3f2 100maps (serial): {total_ms:.1} ms total, {per_map_us:.0} µs/map"
+    );
+    let _ = writeln!(json, "  \"evaluate_c3f2_100maps\": {{");
+    let _ = writeln!(json, "    \"total_ms\": {total_ms:.2},");
+    let _ = writeln!(json, "    \"per_map_latency_us\": {per_map_us:.1}");
+    let _ = writeln!(json, "  }},");
+
+    // --- GEMM GFLOP/s at the policy shapes (batch 8). ---
+    let mut gemm_rows: Vec<(String, f64)> = Vec::new();
+    {
+        let mut r = StdRng::seed_from_u64(17);
+        let mut gemm = GemmScratch::new();
+        let mut out = Tensor::default();
+        // C3F2 conv2: 8→16, stride 2, 9×9 input → 5×5 output.
+        let conv = Conv2d::new(8, 16, 3, 2, 1, &mut r);
+        let x = Tensor::rand_uniform(&[8, 8, 9, 9], -1.0, 1.0, &mut r);
+        let flops = 8 * 2 * conv.macs_per_sample(9, 9) as u64;
+        gemm_rows.push((
+            "c3f2_conv2_b8".into(),
+            time_gflops(|| conv.infer_with(&x, &mut out, &mut gemm), flops),
+        ));
+        // C5F4 fc1: 600→128.
+        let dense = Dense::new(600, 128, &mut r);
+        let xd = Tensor::rand_uniform(&[8, 600], -1.0, 1.0, &mut r);
+        let flops = gemm_flops(8, 128, 600);
+        gemm_rows.push((
+            "c5f4_fc1_b8".into(),
+            time_gflops(|| dense.infer_with(&xd, &mut out, &mut gemm), flops),
+        ));
+    }
+    let _ = writeln!(json, "  \"gemm_gflops\": {{");
+    for (i, (name, gflops)) in gemm_rows.iter().enumerate() {
+        let comma = if i + 1 == gemm_rows.len() { "" } else { "," };
+        println!("gemm     {name:<16} {gflops:>6.2} GFLOP/s");
+        let _ = writeln!(json, "    \"{name}\": {gflops:.3}{comma}");
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let out_path =
+        std::env::var("BERRY_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    std::fs::write(&out_path, &json)?;
+    println!("\nwrote {out_path}");
+    Ok(())
+}
+
+/// Runs `f` repeatedly for ≥ ~0.2 s (after one warm-up call) and returns
+/// GFLOP/s given the per-call FLOP count.
+fn time_gflops<F: FnMut()>(mut f: F, flops_per_call: u64) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed().as_secs_f64() < 0.2 {
+        f();
+        calls += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (calls * flops_per_call) as f64 / secs / 1e9
+}

@@ -16,7 +16,7 @@ use berry_hw::accelerator::{Accelerator, ProcessingReport};
 use berry_hw::workload::NetworkWorkload;
 use berry_nn::network::Sequential;
 use berry_rl::env::Environment;
-use berry_rl::eval::{evaluate_policy, evaluate_policy_with_scratch, EvalStats};
+use berry_rl::eval::{evaluate_policy_batched, evaluate_policy_seeded_serial, EvalStats};
 use berry_uav::flight::{compute_power_w, FlightEnergyModel, QualityOfFlight};
 use berry_uav::physics::{FlightPhysics, PhysicsConfig};
 use berry_uav::platform::UavPlatform;
@@ -36,6 +36,10 @@ pub struct FaultEvaluationConfig {
     pub max_steps: usize,
     /// Quantization width for deployment (8 in the paper).
     pub quant_bits: u8,
+    /// Concurrent episode lanes of the batched lockstep rollout engine
+    /// (capped at the episode count; the statistics are bitwise identical
+    /// for any value, so this is purely a throughput knob).
+    pub lanes: usize,
 }
 
 impl Default for FaultEvaluationConfig {
@@ -45,6 +49,7 @@ impl Default for FaultEvaluationConfig {
             episodes_per_map: 5,
             max_steps: 60,
             quant_bits: 8,
+            lanes: 8,
         }
     }
 }
@@ -56,7 +61,7 @@ impl FaultEvaluationConfig {
             fault_maps: 3,
             episodes_per_map: 2,
             max_steps: 30,
-            quant_bits: 8,
+            ..Self::default()
         }
     }
 
@@ -66,7 +71,7 @@ impl FaultEvaluationConfig {
             fault_maps: 500,
             episodes_per_map: 2,
             max_steps: 60,
-            quant_bits: 8,
+            ..Self::default()
         }
     }
 
@@ -82,6 +87,11 @@ impl FaultEvaluationConfig {
                 "fault_maps, episodes_per_map and max_steps must be positive".into(),
             ));
         }
+        if self.lanes == 0 {
+            return Err(CoreError::InvalidConfig(
+                "lanes must be positive (1 = serial lockstep)".into(),
+            ));
+        }
         if self.quant_bits == 0 || self.quant_bits > 8 {
             return Err(CoreError::InvalidConfig(
                 "quant_bits must be in 1..=8".into(),
@@ -93,26 +103,44 @@ impl FaultEvaluationConfig {
 
 /// Evaluates a policy with *no* bit errors (quantization noise only).
 ///
+/// Runs through the same quantize-once [`PerturbContext`] + pooled-scratch
+/// pipeline as the fault-map paths (with an error-free map, so the scratch
+/// network is exactly the quantize→dequantize copy) and rolls the episodes
+/// out on the batched lockstep engine — the error-free row of a table costs
+/// the same machinery as every other row, not a private slow path.
+///
 /// # Errors
 ///
 /// Returns an error if the configuration is invalid or quantization fails.
-pub fn evaluate_error_free<E: Environment, R: Rng>(
+pub fn evaluate_error_free<E, R>(
     policy: &Sequential,
-    env: &mut E,
+    env: &E,
     config: &FaultEvaluationConfig,
     rng: &mut R,
-) -> Result<EvalStats> {
+) -> Result<EvalStats>
+where
+    E: Environment + Clone,
+    R: Rng,
+{
     config.validate()?;
-    let perturber = NetworkPerturber::new(config.quant_bits)?;
-    let quantized = perturber.quantized_copy(policy)?;
+    let context = NetworkPerturber::new(config.quant_bits)?.context(policy)?;
+    let map = berry_faults::fault_map::FaultMap::error_free(context.memory_bits());
+    let mut scratch = context.checkout();
+    context.perturb_map_into(&map, &mut scratch)?;
     let episodes = config.fault_maps * config.episodes_per_map;
-    Ok(evaluate_policy(
-        &quantized,
+    let episode_seed_base = rng.next_u64();
+    let (network, infer) = scratch.network_and_infer();
+    let stats = evaluate_policy_batched(
+        network,
         env,
         episodes,
         config.max_steps,
-        rng,
-    ))
+        config.lanes,
+        episode_seed_base,
+        infer,
+    );
+    context.checkin(scratch);
+    Ok(stats)
 }
 
 /// Derives the RNG seed of fault map `map_index` from an evaluation's base
@@ -184,21 +212,27 @@ where
     let per_map: Vec<Result<EvalStats>> = (0..config.fault_maps)
         .into_par_iter()
         .map(|map_index| {
-            let mut map_rng = StdRng::seed_from_u64(fault_map_seed(base_seed, map_index as u64));
-            let mut map_env = env.clone();
-            evaluate_one_fault_map(&context, &mut map_env, chip, ber, config, &mut map_rng)
+            let map_seed = fault_map_seed(base_seed, map_index as u64);
+            let mut map_rng = StdRng::seed_from_u64(map_seed);
+            evaluate_one_fault_map(&context, env, chip, ber, config, &mut map_rng, map_seed)
         })
         .collect();
     merge_in_order(per_map)
 }
 
 /// The serial reference implementation of the fault-map evaluation
-/// protocol.
+/// protocol: maps evaluated one at a time, episodes rolled out one at a
+/// time through the serial per-episode-seeded engine
+/// ([`evaluate_policy_seeded_serial`]) instead of the lockstep lanes.
 ///
-/// Uses the same per-map seeding ([`fault_map_seed`]) and the same in-order
-/// merge as [`evaluate_under_faults_seeded`], so for any base seed the two
-/// return bitwise-identical statistics; the determinism test in
-/// `tests/parallel_determinism.rs` pins that equivalence.
+/// Uses the same per-map seeding ([`fault_map_seed`]), the same per-episode
+/// seeding ([`berry_rl::vecenv::episode_seed`]) and the same in-order merge
+/// as [`evaluate_under_faults_seeded`], so for any base seed — and any lane
+/// count on the parallel side — the two return bitwise-identical
+/// statistics; the determinism tests in `tests/parallel_determinism.rs` pin
+/// that equivalence.  (The pre-PR-3 shared-RNG episode derivation survives
+/// as [`berry_rl::eval::evaluate_policy`], which the golden-snapshot legacy
+/// test still re-derives the original pinned statistics through.)
 ///
 /// # Errors
 ///
@@ -215,9 +249,22 @@ pub fn evaluate_under_faults_serial<E: Environment + Clone>(
     let context = NetworkPerturber::new(config.quant_bits)?.context(policy)?;
     let per_map: Vec<Result<EvalStats>> = (0..config.fault_maps)
         .map(|map_index| {
-            let mut map_rng = StdRng::seed_from_u64(fault_map_seed(base_seed, map_index as u64));
-            let mut map_env = env.clone();
-            evaluate_one_fault_map(&context, &mut map_env, chip, ber, config, &mut map_rng)
+            let map_seed = fault_map_seed(base_seed, map_index as u64);
+            let mut map_rng = StdRng::seed_from_u64(map_seed);
+            let map = context.sample_fault_map(chip, ber, &mut map_rng)?;
+            let mut scratch = context.checkout();
+            context.perturb_map_into(&map, &mut scratch)?;
+            let (network, infer) = scratch.network_and_infer();
+            let stats = evaluate_policy_seeded_serial(
+                network,
+                env,
+                config.episodes_per_map,
+                config.max_steps,
+                map_seed,
+                infer,
+            );
+            context.checkin(scratch);
+            Ok(stats)
         })
         .collect();
     merge_in_order(per_map)
@@ -225,30 +272,34 @@ pub fn evaluate_under_faults_serial<E: Environment + Clone>(
 
 /// Samples one fault map, injects it into a pooled copy of the quantized
 /// byte image and rolls out the configured number of greedy episodes over
-/// the dequantized scratch network.
+/// the dequantized scratch network on the **batched lockstep engine**.
 ///
 /// The fault map's RNG stream and the resulting weights are bitwise
 /// identical to the pre-quantize-once path (sample, `perturb_with_map`,
-/// fresh network), so seeded statistics are unchanged — the golden
-/// snapshot test pins this.
-fn evaluate_one_fault_map<E: Environment>(
+/// fresh network); the episodes draw their randomness from per-episode
+/// streams derived from `map_seed`, so the statistics are independent of
+/// the lane count — the golden snapshot test pins the whole composition.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_one_fault_map<E: Environment + Clone>(
     context: &PerturbContext,
-    env: &mut E,
+    env: &E,
     chip: &ChipProfile,
     ber: f64,
     config: &FaultEvaluationConfig,
     rng: &mut StdRng,
+    map_seed: u64,
 ) -> Result<EvalStats> {
     let map = context.sample_fault_map(chip, ber, rng)?;
     let mut scratch = context.checkout();
     context.perturb_map_into(&map, &mut scratch)?;
     let (network, infer) = scratch.network_and_infer();
-    let stats = evaluate_policy_with_scratch(
+    let stats = evaluate_policy_batched(
         network,
         env,
         config.episodes_per_map,
         config.max_steps,
-        rng,
+        config.lanes,
+        map_seed,
         infer,
     );
     context.checkin(scratch);
@@ -478,13 +529,15 @@ mod tests {
     fn aligned_policy(seed: u64) -> Sequential {
         // Train-free construction: search seeds until the fresh policy
         // already prefers action 0 on the fixed observation, so the
-        // error-free success rate is 1.0.
+        // error-free success rate is 1.0.  The probe loop reuses one
+        // inference scratch instead of the allocating `infer` wrapper.
+        let mut scratch = berry_nn::network::InferScratch::new();
+        let obs = Tensor::from_vec(vec![1, 4], vec![0.4, -0.2, 0.7, -0.5]).unwrap();
         let mut seed = seed;
         loop {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let mut net = QNetworkSpec::mlp(vec![16]).build(&[4], 4, &mut rng).unwrap();
-            let obs = Tensor::from_vec(vec![1, 4], vec![0.4, -0.2, 0.7, -0.5]).unwrap();
-            if net.forward(&obs).argmax() == Some(0) {
+            let net = QNetworkSpec::mlp(vec![16]).build(&[4], 4, &mut rng).unwrap();
+            if net.infer_into(&obs, &mut scratch).argmax() == Some(0) {
                 return net;
             }
             seed += 1;
@@ -512,16 +565,17 @@ mod tests {
     #[test]
     fn error_free_evaluation_of_aligned_policy_succeeds() {
         let policy = aligned_policy(0);
-        let mut env = ArgmaxEnv;
+        let env = ArgmaxEnv;
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let stats = evaluate_error_free(
             &policy,
-            &mut env,
+            &env,
             &FaultEvaluationConfig::smoke_test(),
             &mut rng,
         )
         .unwrap();
         assert_eq!(stats.success_rate, 1.0);
+        assert_eq!(stats.episodes, 6);
     }
 
     #[test]
@@ -533,7 +587,7 @@ mod tests {
             fault_maps: 30,
             episodes_per_map: 1,
             max_steps: 5,
-            quant_bits: 8,
+            ..FaultEvaluationConfig::default()
         };
         let chip = ChipProfile::generic();
         let low = evaluate_under_faults(&policy, &env, &chip, 1e-4, &cfg, &mut rng).unwrap();

@@ -194,8 +194,8 @@ pub fn gradient_ablation<R: Rng>(
                 train_berry(&mut env, &spec, &config, rng)?.agent.q_net().clone()
             }
         };
-        let mut env = NavigationEnv::new(env_cfg.clone())?;
-        let clean = evaluate_error_free(&policy, &mut env, &eval_cfg, rng)?;
+        let env = NavigationEnv::new(env_cfg.clone())?;
+        let clean = evaluate_error_free(&policy, &env, &eval_cfg, rng)?;
         let faulty = evaluate_under_faults(&policy, &env, &chip, eval_ber, &eval_cfg, rng)?;
         rows.push(AblationRow {
             mode: mode.label().to_string(),

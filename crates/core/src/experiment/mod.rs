@@ -132,7 +132,7 @@ impl ExperimentScale {
                 fault_maps: 25,
                 episodes_per_map: 2,
                 max_steps: 45,
-                quant_bits: 8,
+                ..FaultEvaluationConfig::default()
             },
             ExperimentScale::Paper => FaultEvaluationConfig::paper_scale(),
         }

@@ -51,8 +51,8 @@ pub fn table1_robustness<R: Rng>(
     let env_proto = NavigationEnv::new(pair.env_config.clone())?;
     let mut rows = Vec::with_capacity(2);
     for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
-        let mut env = env_proto.clone();
-        let error_free = evaluate_error_free(policy, &mut env, &eval_cfg, rng)?;
+        let env = env_proto.clone();
+        let error_free = evaluate_error_free(policy, &env, &eval_cfg, rng)?;
         let points: Vec<(f64, u64)> = TABLE1_BER_PERCENTS
             .iter()
             .map(|&ber_pct| (ber_pct, rng.next_u64()))

@@ -352,6 +352,9 @@ fn run_berry_loop<E: Environment, R: Rng>(
 
     let mut buffer = ReplayBuffer::new(config.trainer.buffer_capacity)?;
     let mut dual_scratch = DualPassScratch::new();
+    // One warm scratch for every ε-greedy action selection of the run; the
+    // dual-pass scratch already covers the perturbed training passes.
+    let mut infer_scratch = berry_nn::network::InferScratch::new();
     let mut episode_returns = Vec::with_capacity(config.trainer.episodes);
     let mut episode_successes = Vec::with_capacity(config.trainer.episodes);
     let mut losses = Vec::new();
@@ -363,7 +366,7 @@ fn run_berry_loop<E: Environment, R: Rng>(
         let mut success = false;
         for _ in 0..config.trainer.max_steps_per_episode {
             let epsilon = config.trainer.epsilon.value(env_steps);
-            let action = agent.act_epsilon(&obs, epsilon, rng);
+            let action = agent.act_epsilon_with_scratch(&obs, epsilon, rng, &mut infer_scratch);
             let outcome = env.step(action, rng);
             episode_return += outcome.reward;
             buffer.push(Transition {

@@ -1,0 +1,443 @@
+//! The shared im2col/GEMM inference core.
+//!
+//! Every inference-path matrix product in the crate — the batched dense
+//! layer and the im2col-lowered convolution — funnels through
+//! [`gemm_nt`]: a cache-friendly, register-tiled `C = A · Bᵀ` kernel over
+//! row-major operands whose rows share the contraction dimension.  One
+//! kernel serving every layer is what makes the batched lockstep rollout
+//! engine pay a *single* well-optimized forward pass per timestep for all
+//! concurrent episode lanes, instead of many tiny cache-unfriendly ones.
+//!
+//! # Bitwise contract
+//!
+//! The kernel is register-tiled over the *output* dimensions only: every
+//! output element still accumulates its `k` terms in strictly ascending
+//! order with separate multiply and add (no FMA contraction), so each
+//! element's floating-point sequence — and therefore its bits — is
+//! identical to the naive scalar reference regardless of the tile shape or
+//! the batch size.  Two consequences the evaluation protocol relies on:
+//!
+//! * **batch invariance** — row `i` of a batched product is bitwise equal
+//!   to the same row computed alone, which is what lets the lockstep
+//!   rollout engine retire and refill episode lanes without perturbing the
+//!   surviving lanes' Q-values;
+//! * **reference equality** — the GEMM path is bitwise identical to the
+//!   loop-reordered scalar kernels each layer keeps as its auditable
+//!   reference ([`crate::layer::Layer::infer`]), pinned by the
+//!   GEMM-vs-scalar layer tests.
+//!
+//! Zero-valued contraction terms (im2col padding cells, exact-zero
+//! activations skipped by [`crate::tensor::Tensor::matmul`]) contribute
+//! `±0.0` products; since accumulators start from `+0.0` (or a real-valued
+//! bias) and IEEE-754 round-to-nearest addition never turns such a sum into
+//! `-0.0`, including the terms is bitwise equivalent to skipping them.
+
+/// Rows of `A` (output rows) processed per register tile.
+const MR: usize = 4;
+/// Rows of `B` (output columns) processed per register tile.
+const NR: usize = 4;
+
+/// Where the bias enters the accumulation, mirroring the two layer
+/// conventions the training path established.
+#[derive(Debug, Clone, Copy)]
+pub enum BiasMode<'a> {
+    /// No bias: accumulators start from `+0.0`.
+    None,
+    /// One bias value per output **row** (`A` row), *initializing* the
+    /// accumulator — the convolution convention (`acc = bias; acc += taps`).
+    RowInit(&'a [f32]),
+    /// One bias value per output **column** (`B` row), added *after* the
+    /// accumulation — the dense convention (`y = x·Wᵀ + b`).
+    ColAfter(&'a [f32]),
+}
+
+impl BiasMode<'_> {
+    #[inline]
+    fn init(&self, row: usize) -> f32 {
+        match self {
+            BiasMode::RowInit(bias) => bias[row],
+            _ => 0.0,
+        }
+    }
+
+    #[inline]
+    fn finish(&self, col: usize, acc: f32) -> f32 {
+        match self {
+            BiasMode::ColAfter(bias) => acc + bias[col],
+            _ => acc,
+        }
+    }
+}
+
+/// `C[i][j] = bias ⊕ Σₚ A[i][p] · B[j][p]` over row-major `A` (`m×k`),
+/// row-major `B` (`n×k`) and row-major `C` (`m×n`).
+///
+/// Both operands are indexed by *rows sharing the contraction dimension*
+/// (`NT` layout: `A · Bᵀ`), which is exactly how the layers store their
+/// data — dense weights are `[out, in]`, im2col patches are
+/// `[pixels, taps]` — so no packing or transposition is ever needed.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a slice is shorter than its `m`/`n`/`k`
+/// extent implies.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: BiasMode, c: &mut [f32]) {
+    debug_assert!(a.len() >= m * k, "A is {} < {m}×{k}", a.len());
+    debug_assert!(b.len() >= n * k, "B is {} < {n}×{k}", b.len());
+    debug_assert!(c.len() >= m * n, "C is {} < {m}×{n}", c.len());
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = MR.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = NR.min(n - j0);
+            if mr == MR && nr == NR {
+                tile_4x4(i0, j0, n, k, a, b, &bias, c);
+            } else {
+                tile_edge(i0, mr, j0, nr, n, k, a, b, &bias, c);
+            }
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+}
+
+/// The full `MR×NR` register tile: sixteen scalar accumulators live in
+/// registers across the whole `k` sweep, and each `k` step reuses four
+/// loads of `A` and four of `B` for sixteen multiply-adds.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_4x4(i0: usize, j0: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: &BiasMode, c: &mut [f32]) {
+    let a0 = &a[i0 * k..(i0 + 1) * k];
+    let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+    let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+    let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+    let b0 = &b[j0 * k..(j0 + 1) * k];
+    let b1 = &b[(j0 + 1) * k..(j0 + 2) * k];
+    let b2 = &b[(j0 + 2) * k..(j0 + 3) * k];
+    let b3 = &b[(j0 + 3) * k..(j0 + 4) * k];
+
+    let mut acc = [[0.0f32; NR]; MR];
+    for (row, acc_row) in acc.iter_mut().enumerate() {
+        let init = bias.init(i0 + row);
+        *acc_row = [init; NR];
+    }
+    for p in 0..k {
+        let av = [a0[p], a1[p], a2[p], a3[p]];
+        let bv = [b0[p], b1[p], b2[p], b3[p]];
+        for (acc_row, &avi) in acc.iter_mut().zip(av.iter()) {
+            for (accv, &bvj) in acc_row.iter_mut().zip(bv.iter()) {
+                // Separate mul + add (not mul_add): the rounding sequence is
+                // part of the bitwise contract with the scalar reference.
+                *accv += avi * bvj;
+            }
+        }
+    }
+    for (row, acc_row) in acc.iter().enumerate() {
+        let c_row = &mut c[(i0 + row) * n + j0..(i0 + row) * n + j0 + NR];
+        for (col, (dst, &accv)) in c_row.iter_mut().zip(acc_row.iter()).enumerate() {
+            *dst = bias.finish(j0 + col, accv);
+        }
+    }
+}
+
+/// Scalar fringe tile for the `m % MR` / `n % NR` remainders — same
+/// ascending-`k` accumulation, so the bits match the fast tile exactly.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_edge(
+    i0: usize,
+    mr: usize,
+    j0: usize,
+    nr: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &BiasMode,
+    c: &mut [f32],
+) {
+    for i in i0..i0 + mr {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in j0..j0 + nr {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = bias.init(i);
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            c[i * n + j] = bias.finish(j, acc);
+        }
+    }
+}
+
+/// Reusable buffers of the im2col/GEMM inference core.
+///
+/// One `GemmScratch` lives inside every
+/// [`crate::network::InferScratch`], so the whole lockstep rollout hot
+/// path — im2col patch matrices included — stops allocating once the
+/// buffers reach steady-state capacity.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    col: Vec<f32>,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The im2col patch buffer, resized to at least `len` elements.
+    ///
+    /// Contents are unspecified; callers overwrite every element they read.
+    pub fn col_buffer(&mut self, len: usize) -> &mut [f32] {
+        if self.col.len() < len {
+            self.col.resize(len, 0.0);
+        }
+        &mut self.col[..len]
+    }
+}
+
+/// Geometry of one im2col lowering: a `[c, h, w]` input plane unrolled into
+/// a `[out_h·out_w, c·kernel·kernel]` row-major patch matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Im2colShape {
+    /// Input channels.
+    pub channels: usize,
+    /// Input spatial height.
+    pub height: usize,
+    /// Input spatial width.
+    pub width: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on each spatial border.
+    pub padding: usize,
+    /// Output spatial height.
+    pub out_h: usize,
+    /// Output spatial width.
+    pub out_w: usize,
+}
+
+impl Im2colShape {
+    /// Patch-matrix row count (one row per output pixel).
+    pub fn rows(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Patch-matrix column count (one column per kernel tap), i.e. the GEMM
+    /// contraction dimension.
+    pub fn cols(&self) -> usize {
+        self.channels * self.kernel * self.kernel
+    }
+}
+
+/// Unrolls one sample's `[c, h, w]` plane into the row-major patch matrix
+/// `col[p][(ic·kernel + kh)·kernel + kw] = input[ic][iy][ix]` with `+0.0`
+/// in padding cells.
+///
+/// Column order matches the `(ic, kh, kw)` tap order of the scalar
+/// convolution kernels, so a `k`-ascending GEMM over these rows replays the
+/// reference accumulation sequence exactly.
+pub fn im2col(input: &[f32], shape: &Im2colShape, col: &mut [f32]) {
+    let Im2colShape {
+        channels,
+        height,
+        width,
+        kernel,
+        stride,
+        padding,
+        out_h,
+        out_w,
+    } = *shape;
+    let cols = shape.cols();
+    debug_assert_eq!(input.len(), channels * height * width);
+    debug_assert!(col.len() >= shape.rows() * cols);
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = &mut col[(oy * out_w + ox) * cols..(oy * out_w + ox + 1) * cols];
+            let mut tap = 0usize;
+            for ic in 0..channels {
+                let plane = &input[ic * height * width..(ic + 1) * height * width];
+                for kh in 0..kernel {
+                    let iy = (oy * stride + kh) as isize - padding as isize;
+                    if iy < 0 || iy >= height as isize {
+                        row[tap..tap + kernel].fill(0.0);
+                        tap += kernel;
+                        continue;
+                    }
+                    let in_row = &plane[iy as usize * width..(iy as usize + 1) * width];
+                    for kw in 0..kernel {
+                        let ix = (ox * stride + kw) as isize - padding as isize;
+                        row[tap] = if ix < 0 || ix >= width as isize {
+                            0.0
+                        } else {
+                            in_row[ix as usize]
+                        };
+                        tap += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience used by tests and benches: the naive triple loop the tiled
+/// kernel must agree with bitwise.
+pub fn gemm_nt_reference(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: BiasMode,
+    c: &mut [f32],
+) {
+    tile_edge(0, m, 0, n, n, k, a, b, &bias, c);
+}
+
+/// FLOP count of one `gemm_nt` call (a multiply and an add per `(i, j, p)`
+/// triple), used by the throughput reports.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn rand_vec(len: usize, r: &mut rand::rngs::StdRng) -> Vec<f32> {
+        Tensor::rand_uniform(&[len.max(1)], -1.0, 1.0, r).data()[..len].to_vec()
+    }
+
+    #[test]
+    fn tiled_gemm_matches_reference_bitwise_across_shapes() {
+        let mut r = rng(0);
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (4, 4, 7),
+            (5, 9, 13),
+            (8, 3, 1),
+            (3, 17, 45),
+            (16, 25, 72),
+            (7, 81, 18),
+        ] {
+            let a = rand_vec(m * k, &mut r);
+            let b = rand_vec(n * k, &mut r);
+            let row_bias = rand_vec(m, &mut r);
+            let col_bias = rand_vec(n, &mut r);
+            for bias in [
+                BiasMode::None,
+                BiasMode::RowInit(&row_bias),
+                BiasMode::ColAfter(&col_bias),
+            ] {
+                let mut c_tiled = vec![0.0f32; m * n];
+                let mut c_ref = vec![0.0f32; m * n];
+                gemm_nt(m, n, k, &a, &b, bias, &mut c_tiled);
+                gemm_nt_reference(m, n, k, &a, &b, bias, &mut c_ref);
+                for (i, (x, y)) in c_tiled.iter().zip(c_ref.iter()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "({m},{n},{k}) {bias:?} element {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rows_are_batch_invariant() {
+        // Row i of a batched product equals the same row computed alone —
+        // the property that makes lane retirement bitwise-safe.
+        let (m, n, k) = (6usize, 10usize, 23usize);
+        let mut r = rng(1);
+        let a = rand_vec(m * k, &mut r);
+        let b = rand_vec(n * k, &mut r);
+        let bias = rand_vec(n, &mut r);
+        let mut full = vec![0.0f32; m * n];
+        gemm_nt(m, n, k, &a, &b, BiasMode::ColAfter(&bias), &mut full);
+        for i in 0..m {
+            let mut single = vec![0.0f32; n];
+            gemm_nt(
+                1,
+                n,
+                k,
+                &a[i * k..(i + 1) * k],
+                &b,
+                BiasMode::ColAfter(&bias),
+                &mut single,
+            );
+            for (j, (x, y)) in single.iter().zip(full[i * n..(i + 1) * n].iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_layout_matches_tap_order() {
+        // 1 channel, 3×3 input, 2×2 kernel, stride 1, no padding.
+        let input: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let shape = Im2colShape {
+            channels: 1,
+            height: 3,
+            width: 3,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+            out_h: 2,
+            out_w: 2,
+        };
+        let mut col = vec![0.0f32; shape.rows() * shape.cols()];
+        im2col(&input, &shape, &mut col);
+        // First output pixel sees the top-left 2×2 patch in (kh, kw) order.
+        assert_eq!(&col[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        // Last output pixel sees the bottom-right patch.
+        assert_eq!(&col[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_pads_with_positive_zero() {
+        let input = vec![-3.0f32];
+        let shape = Im2colShape {
+            channels: 1,
+            height: 1,
+            width: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            out_h: 1,
+            out_w: 1,
+        };
+        let mut col = vec![f32::NAN; 9];
+        im2col(&input, &shape, &mut col);
+        assert_eq!(col[4], -3.0);
+        for (i, v) in col.iter().enumerate() {
+            if i != 4 {
+                assert_eq!(v.to_bits(), 0.0f32.to_bits(), "padding cell {i} must be +0.0");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_buffer_grows_and_is_reused() {
+        let mut scratch = GemmScratch::new();
+        assert_eq!(scratch.col_buffer(16).len(), 16);
+        scratch.col_buffer(16)[3] = 7.0;
+        // Asking for less never shrinks; asking for more grows.
+        assert_eq!(scratch.col_buffer(8).len(), 8);
+        assert_eq!(scratch.col_buffer(64).len(), 64);
+    }
+
+    #[test]
+    fn flops_count_both_mul_and_add() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

@@ -1,6 +1,7 @@
 //! 2-D convolution layer (naïve direct implementation).
 
 use super::Layer;
+use crate::gemm::{gemm_nt, im2col, BiasMode, GemmScratch, Im2colShape};
 use crate::init;
 use crate::tensor::Tensor;
 
@@ -120,6 +121,20 @@ impl Conv2d {
         let oh = self.output_size(height);
         let ow = self.output_size(width);
         oh * ow * self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+
+    /// The im2col geometry of this layer over an `h×w` input plane.
+    fn im2col_shape(&self, height: usize, width: usize) -> Im2colShape {
+        Im2colShape {
+            channels: self.in_channels,
+            height,
+            width,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            out_h: self.output_size(height),
+            out_w: self.output_size(width),
+        }
     }
 
     #[inline]
@@ -273,6 +288,47 @@ impl Layer for Conv2d {
                     }
                 }
             }
+        }
+    }
+
+    fn infer_with(&self, input: &Tensor, out: &mut Tensor, gemm: &mut GemmScratch) {
+        assert_eq!(input.rank(), 4, "Conv2d expects [batch, c, h, w] input");
+        let (batch, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(c, self.in_channels, "Conv2d input channel mismatch");
+        let shape = self.im2col_shape(h, w);
+        let (oh, ow) = (shape.out_h, shape.out_w);
+        let (rows, taps) = (shape.rows(), shape.cols());
+        out.reset(&[batch, self.out_channels, oh, ow]);
+        let in_data = input.data();
+        let out_data = out.data_mut();
+        let w_data = self.weight.data();
+        let bias = self.bias.data();
+        let col = gemm.col_buffer(rows * taps);
+        // im2col + GEMM lowering: out[n][oc][p] = bias[oc] + w_row(oc)·col_row(p).
+        // Patch columns follow the (ic, kh, kw) tap order and the GEMM
+        // accumulates them ascending, so every output element replays the
+        // scalar reference kernel's floating-point sequence exactly
+        // (padding cells contribute +0.0 products, which never change a
+        // bias-initialized accumulator's bits).
+        for n in 0..batch {
+            let plane = &in_data[n * c * h * w..(n + 1) * c * h * w];
+            im2col(plane, &shape, col);
+            let out_block =
+                &mut out_data[n * self.out_channels * rows..(n + 1) * self.out_channels * rows];
+            gemm_nt(
+                self.out_channels,
+                rows,
+                taps,
+                w_data,
+                col,
+                BiasMode::RowInit(bias),
+                out_block,
+            );
         }
     }
 
@@ -432,6 +488,50 @@ mod tests {
         assert_eq!(out.shape(), expected.shape());
         for (a, b) in out.data().iter().zip(expected.data()) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn gemm_path_matches_scalar_reference_bitwise_across_shapes() {
+        let mut r = rng();
+        let mut gemm = GemmScratch::new();
+        // (in_c, out_c, kernel, stride, padding, h, w, batch) — odd sizes,
+        // stride 1/2/3, padding 0..=2, kernels larger than the input.
+        for &(ic, oc, k, s, p, h, w, batch) in &[
+            (1usize, 1usize, 1usize, 1usize, 0usize, 1usize, 1usize, 1usize),
+            (2, 3, 3, 1, 1, 9, 9, 2),
+            (3, 5, 3, 2, 1, 9, 7, 3),
+            (2, 4, 5, 3, 2, 11, 13, 1),
+            (4, 2, 3, 1, 0, 5, 5, 5),
+            (1, 7, 3, 2, 2, 4, 4, 2),
+            (2, 2, 5, 1, 2, 3, 3, 1),
+        ] {
+            let mut conv = Conv2d::new(ic, oc, k, s, p, &mut r);
+            let x = Tensor::rand_uniform(&[batch, ic, h, w], -1.0, 1.0, &mut r);
+            let expected = conv.forward(&x);
+            let mut scalar = Tensor::default();
+            conv.infer(&x, &mut scalar);
+            let mut gemmed = Tensor::default();
+            conv.infer_with(&x, &mut gemmed, &mut gemm);
+            assert_eq!(gemmed.shape(), expected.shape());
+            for (i, ((g, sc), f)) in gemmed
+                .data()
+                .iter()
+                .zip(scalar.data())
+                .zip(expected.data())
+                .enumerate()
+            {
+                assert_eq!(
+                    g.to_bits(),
+                    sc.to_bits(),
+                    "gemm vs scalar at ({ic},{oc},{k},{s},{p},{h},{w},{batch}) elem {i}"
+                );
+                assert_eq!(
+                    g.to_bits(),
+                    f.to_bits(),
+                    "gemm vs forward at ({ic},{oc},{k},{s},{p},{h},{w},{batch}) elem {i}"
+                );
+            }
         }
     }
 

@@ -1,6 +1,7 @@
 //! Fully-connected (dense) layer.
 
 use super::Layer;
+use crate::gemm::{gemm_nt, BiasMode, GemmScratch};
 use crate::init;
 use crate::tensor::Tensor;
 
@@ -162,6 +163,33 @@ impl Layer for Dense {
         }
     }
 
+    fn infer_with(&self, input: &Tensor, out: &mut Tensor, gemm: &mut GemmScratch) {
+        let _ = gemm;
+        assert_eq!(input.rank(), 2, "Dense expects [batch, features] input");
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "Dense input feature mismatch"
+        );
+        let batch = input.shape()[0];
+        out.reset(&[batch, self.out_features]);
+        // y = x · Wᵀ + b through the register-tiled GEMM: both operands are
+        // already stored as rows over the contraction dimension, each
+        // element accumulates k-ascending with the bias added last, so the
+        // bits match the scalar `infer` reference (exact-zero activations
+        // that the reference skips contribute ±0.0, which cannot change a
+        // +0.0-initialized accumulator).
+        gemm_nt(
+            batch,
+            self.out_features,
+            self.in_features,
+            input.data(),
+            self.weight.data(),
+            BiasMode::ColAfter(self.bias.data()),
+            out.data_mut(),
+        );
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self
             .cached_input
@@ -266,6 +294,53 @@ mod tests {
         assert_eq!(out.shape(), expected.shape());
         for (a, b) in out.data().iter().zip(expected.data()) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn gemm_path_matches_scalar_reference_bitwise_across_shapes() {
+        let mut r = rng();
+        let mut gemm = GemmScratch::new();
+        for &(in_f, out_f, batch) in &[
+            (1usize, 1usize, 1usize),
+            (7, 5, 3),
+            (13, 9, 8),
+            (64, 25, 6),
+            (200, 64, 11),
+            (3, 17, 4),
+        ] {
+            let mut layer = Dense::new(in_f, out_f, &mut r);
+            let mut x = Tensor::rand_uniform(&[batch, in_f], -1.0, 1.0, &mut r);
+            // Exact zeros (and a negative zero) exercise the reference
+            // path's zero-skip, which the GEMM must match bitwise anyway.
+            x.data_mut()[0] = 0.0;
+            if x.len() > 2 {
+                x.data_mut()[2] = -0.0;
+            }
+            let expected = layer.forward(&x);
+            let mut scalar = Tensor::default();
+            layer.infer(&x, &mut scalar);
+            let mut gemmed = Tensor::default();
+            layer.infer_with(&x, &mut gemmed, &mut gemm);
+            assert_eq!(gemmed.shape(), expected.shape());
+            for (i, ((g, sc), f)) in gemmed
+                .data()
+                .iter()
+                .zip(scalar.data())
+                .zip(expected.data())
+                .enumerate()
+            {
+                assert_eq!(
+                    g.to_bits(),
+                    sc.to_bits(),
+                    "gemm vs scalar at ({in_f},{out_f},{batch}) elem {i}"
+                );
+                assert_eq!(
+                    g.to_bits(),
+                    f.to_bits(),
+                    "gemm vs forward at ({in_f},{out_f},{batch}) elem {i}"
+                );
+            }
         }
     }
 

@@ -13,6 +13,7 @@ mod dense;
 pub use conv::Conv2d;
 pub use dense::Dense;
 
+use crate::gemm::GemmScratch;
 use crate::tensor::Tensor;
 
 /// A differentiable network layer.
@@ -41,6 +42,22 @@ pub trait Layer: Send + Sync {
     /// evaluation harnesses mix the two paths and average hundreds of
     /// fault maps whose statistics must not depend on which path ran.
     fn infer(&self, input: &Tensor, out: &mut Tensor);
+
+    /// [`Layer::infer`] through the shared im2col/GEMM inference core.
+    ///
+    /// This is the path [`crate::network::Sequential`] drives on its hot
+    /// loop: layers with a matrix-product forward (dense, convolution)
+    /// override it to route through [`crate::gemm::gemm_nt`] using the
+    /// caller-owned [`GemmScratch`] for im2col patch buffers, while
+    /// element-wise layers fall back to their scalar `infer`.  The output
+    /// is **bitwise identical** to [`Layer::infer`] (and therefore to
+    /// [`Layer::forward`]) — the GEMM kernel accumulates each output
+    /// element's terms in the same ascending order as the scalar
+    /// reference, and the GEMM-vs-scalar layer tests pin the equality.
+    fn infer_with(&self, input: &Tensor, out: &mut Tensor, gemm: &mut GemmScratch) {
+        let _ = gemm;
+        self.infer(input, out);
+    }
 
     /// Runs the backward pass for the most recent forward input, accumulating
     /// parameter gradients and returning the gradient with respect to the

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod gemm;
 pub mod init;
 pub mod layer;
 pub mod loss;

@@ -1,6 +1,7 @@
 //! Sequential composition of layers into a trainable network.
 
 use crate::error::NnError;
+use crate::gemm::GemmScratch;
 use crate::layer::Layer;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -18,6 +19,7 @@ pub struct InferScratch {
     input: Tensor,
     ping: Tensor,
     pong: Tensor,
+    gemm: GemmScratch,
 }
 
 impl InferScratch {
@@ -99,8 +101,10 @@ impl Sequential {
     /// the network is only borrowed — which is what lets hundreds of
     /// data-parallel fault-map workers share one policy by reference — and
     /// nothing is allocated once the scratch has warmed up.
+    #[must_use = "the output lives in the scratch; dropping it wastes the whole forward pass"]
     pub fn infer_into<'s>(&self, input: &Tensor, scratch: &'s mut InferScratch) -> &'s Tensor {
-        let in_ping = self.infer_ping_pong(input, &mut scratch.ping, &mut scratch.pong);
+        let in_ping =
+            self.infer_ping_pong(input, &mut scratch.ping, &mut scratch.pong, &mut scratch.gemm);
         if in_ping {
             &scratch.ping
         } else {
@@ -110,6 +114,13 @@ impl Sequential {
 
     /// Convenience wrapper around [`Sequential::infer_into`] that owns its
     /// scratch and returns an owned output tensor.
+    ///
+    /// This allocates a fresh [`InferScratch`] (activation buffers *and*
+    /// im2col patch buffers) and clones the output on **every call** — fine
+    /// for one-off probes and doctests, wasteful anywhere warm.  Hot loops
+    /// (rollouts, sweeps, per-step action selection) must hold one scratch
+    /// and call [`Sequential::infer_into`] or [`Sequential::infer_batch`]
+    /// instead, which is what every in-repo evaluation path does.
     pub fn infer(&self, input: &Tensor) -> Tensor {
         let mut scratch = InferScratch::new();
         self.infer_into(input, &mut scratch).clone()
@@ -125,6 +136,7 @@ impl Sequential {
     ///
     /// Returns [`NnError::InvalidArgument`] if `observations` is empty or
     /// the observations do not all share the same shape.
+    #[must_use = "the batched Q-values live in the scratch; dropping them wastes the forward pass"]
     pub fn infer_batch<'s>(
         &self,
         observations: &[&Tensor],
@@ -149,14 +161,26 @@ impl Sequential {
             scratch.input.data_mut()[i * per_obs..(i + 1) * per_obs]
                 .copy_from_slice(obs.data());
         }
-        let InferScratch { input, ping, pong } = scratch;
-        let in_ping = self.infer_ping_pong(input, ping, pong);
+        let InferScratch {
+            input,
+            ping,
+            pong,
+            gemm,
+        } = scratch;
+        let in_ping = self.infer_ping_pong(input, ping, pong, gemm);
         Ok(if in_ping { &*ping } else { &*pong })
     }
 
-    /// Shared ping-pong driver: runs the layer stack, returning `true` when
-    /// the final activations ended up in `ping` and `false` for `pong`.
-    fn infer_ping_pong(&self, input: &Tensor, ping: &mut Tensor, pong: &mut Tensor) -> bool {
+    /// Shared ping-pong driver: runs the layer stack through the shared
+    /// im2col/GEMM inference core, returning `true` when the final
+    /// activations ended up in `ping` and `false` for `pong`.
+    fn infer_ping_pong(
+        &self,
+        input: &Tensor,
+        ping: &mut Tensor,
+        pong: &mut Tensor,
+        gemm: &mut GemmScratch,
+    ) -> bool {
         if self.layers.is_empty() {
             ping.copy_from(input);
             return true;
@@ -164,13 +188,13 @@ impl Sequential {
         let mut in_ping = false;
         for (i, layer) in self.layers.iter().enumerate() {
             if i == 0 {
-                layer.infer(input, ping);
+                layer.infer_with(input, ping, gemm);
                 in_ping = true;
             } else if in_ping {
-                layer.infer(ping, pong);
+                layer.infer_with(ping, pong, gemm);
                 in_ping = false;
             } else {
-                layer.infer(pong, ping);
+                layer.infer_with(pong, ping, gemm);
                 in_ping = true;
             }
         }

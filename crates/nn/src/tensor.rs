@@ -418,18 +418,7 @@ impl Tensor {
     ///
     /// Returns `None` for an empty tensor.
     pub fn argmax(&self) -> Option<usize> {
-        if self.data.is_empty() {
-            return None;
-        }
-        let mut best = 0usize;
-        let mut best_v = self.data[0];
-        for (i, &v) in self.data.iter().enumerate().skip(1) {
-            if v > best_v {
-                best_v = v;
-                best = i;
-            }
-        }
-        Some(best)
+        argmax_slice(&self.data)
     }
 
     /// L2 norm of the tensor viewed as a flat vector.
@@ -485,6 +474,28 @@ impl Tensor {
         }
         Tensor::from_vec(vec![rows.len(), width], data)
     }
+}
+
+/// Index of the maximum element of a slice, with ties resolved toward the
+/// lower index; `None` for an empty slice.
+///
+/// This is the **single source** of the argmax scan and tie-break shared by
+/// [`Tensor::argmax`] and the batched rollout engine's per-row greedy
+/// action selection — the two must agree bitwise for the lane-count
+/// invariance contract to hold, so neither reimplements the loop.
+pub fn argmax_slice(data: &[f32]) -> Option<usize> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_v = data[0];
+    for (i, &v) in data.iter().enumerate().skip(1) {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    Some(best)
 }
 
 impl Default for Tensor {

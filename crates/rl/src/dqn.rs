@@ -13,7 +13,7 @@ use crate::error::RlError;
 use crate::policy::QNetworkSpec;
 use crate::Result;
 use berry_nn::loss::masked_mse_loss;
-use berry_nn::network::Sequential;
+use berry_nn::network::{InferScratch, Sequential};
 use berry_nn::optim::{Adam, Optimizer};
 use berry_nn::tensor::Tensor;
 use rand::Rng;
@@ -292,6 +292,24 @@ impl DqnAgent {
     /// Panics if the observation's element count does not match the shape
     /// the agent was built for.
     pub fn q_values(&self, observation: &Tensor) -> Tensor {
+        let mut scratch = InferScratch::new();
+        self.q_values_into(observation, &mut scratch).clone()
+    }
+
+    /// [`DqnAgent::q_values`] through a caller-owned inference scratch —
+    /// the allocation-free form every in-repo rollout loop uses; the
+    /// returned borrow lives inside `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation's element count does not match the shape
+    /// the agent was built for.
+    #[must_use = "the Q-values live in the scratch; dropping them wastes the forward pass"]
+    pub fn q_values_into<'s>(
+        &self,
+        observation: &Tensor,
+        scratch: &'s mut InferScratch,
+    ) -> &'s Tensor {
         let per_obs: usize = self.observation_shape.iter().product();
         assert_eq!(
             observation.len(),
@@ -306,27 +324,57 @@ impl DqnAgent {
         let batched = observation
             .reshape(&shape)
             .expect("element count already checked");
-        self.q_net.infer(&batched)
+        self.q_net.infer_into(&batched, scratch)
     }
 
     /// Greedy action for an observation.
+    ///
+    /// Allocates a fresh inference scratch per call; loops should prefer
+    /// [`DqnAgent::act_greedy_with_scratch`].
     pub fn act_greedy(&self, observation: &Tensor) -> usize {
-        self.q_values(observation)
+        let mut scratch = InferScratch::new();
+        self.act_greedy_with_scratch(observation, &mut scratch)
+    }
+
+    /// Greedy action through a caller-owned inference scratch.
+    pub fn act_greedy_with_scratch(
+        &self,
+        observation: &Tensor,
+        scratch: &mut InferScratch,
+    ) -> usize {
+        self.q_values_into(observation, scratch)
             .argmax()
             .expect("num_actions is positive")
     }
 
     /// ε-greedy action for an observation (Algorithm 1 line 6).
+    ///
+    /// Allocates a fresh inference scratch on greedy steps; training loops
+    /// should prefer [`DqnAgent::act_epsilon_with_scratch`].
     pub fn act_epsilon<R: Rng + ?Sized>(
         &self,
         observation: &Tensor,
         epsilon: f32,
         rng: &mut R,
     ) -> usize {
+        let mut scratch = InferScratch::new();
+        self.act_epsilon_with_scratch(observation, epsilon, rng, &mut scratch)
+    }
+
+    /// ε-greedy action through a caller-owned inference scratch, so the
+    /// exploitation branch's forward pass reuses warm buffers across the
+    /// whole training run.
+    pub fn act_epsilon_with_scratch<R: Rng + ?Sized>(
+        &self,
+        observation: &Tensor,
+        epsilon: f32,
+        rng: &mut R,
+        scratch: &mut InferScratch,
+    ) -> usize {
         if rng.gen::<f32>() < epsilon {
             rng.gen_range(0..self.num_actions)
         } else {
-            self.act_greedy(observation)
+            self.act_greedy_with_scratch(observation, scratch)
         }
     }
 

@@ -7,8 +7,10 @@
 //! produces exactly those statistics.
 
 use crate::env::{Environment, TerminalKind};
+use crate::vecenv::{episode_seed, EpisodeRecord, VecEnv};
 use berry_nn::network::{InferScratch, Sequential};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics of a batch of greedy evaluation episodes.
@@ -172,6 +174,176 @@ pub fn evaluate_policy_with_scratch<E: Environment, R: Rng>(
     }
 }
 
+/// Folds per-episode records — **in episode-index order** — into the
+/// aggregate statistics.
+///
+/// Both the batched lockstep engine and the serial per-episode reference
+/// reduce through this function with identically grouped floating-point
+/// sums (per-episode accumulation first, then an episode-ordered fold), so
+/// their outputs are bitwise identical.
+fn fold_episode_records<I: IntoIterator<Item = EpisodeRecord>>(
+    episodes: usize,
+    records: I,
+) -> EvalStats {
+    if episodes == 0 {
+        return EvalStats::empty();
+    }
+    let mut successes = 0usize;
+    let mut collisions = 0usize;
+    let mut timeouts = 0usize;
+    let mut total_return = 0.0f64;
+    let mut total_steps = 0usize;
+    let mut total_distance = 0.0f64;
+    let mut success_distance = 0.0f64;
+    for record in records {
+        total_return += record.ret;
+        total_steps += record.steps;
+        total_distance += record.distance;
+        match record.terminal {
+            Some(TerminalKind::Goal) => {
+                successes += 1;
+                success_distance += record.distance;
+            }
+            Some(TerminalKind::Collision) => collisions += 1,
+            _ => timeouts += 1,
+        }
+    }
+    let n = episodes as f64;
+    EvalStats {
+        episodes,
+        success_rate: successes as f64 / n,
+        collision_rate: collisions as f64 / n,
+        timeout_rate: timeouts as f64 / n,
+        mean_return: total_return / n,
+        mean_steps: total_steps as f64 / n,
+        mean_distance: total_distance / n,
+        mean_success_distance: if successes > 0 {
+            success_distance / successes as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Greedy action per row of a `[n, num_actions]` Q-value batch, through
+/// the same [`berry_nn::tensor::argmax_slice`] scan (and tie-break) that
+/// [`berry_nn::tensor::Tensor::argmax`] delegates to — one source of
+/// truth, so the batched and serial action selections cannot drift apart.
+fn greedy_actions_into(q: &berry_nn::tensor::Tensor, actions: &mut Vec<usize>) {
+    let rows = q.shape()[0];
+    let cols = q.shape()[1];
+    actions.clear();
+    let data = q.data();
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        actions.push(berry_nn::tensor::argmax_slice(row).expect("non-empty action space"));
+    }
+}
+
+/// Runs `episodes` greedy rollouts through the **batched lockstep engine**:
+/// up to `lanes` episodes advance concurrently, one stacked
+/// [`Sequential::infer_batch`] call per timestep serves all of them, and
+/// finished lanes are refilled until the episode budget is spent.
+///
+/// Episode `i` draws all of its randomness from an RNG seeded with
+/// [`episode_seed`]`(map_seed, i)`, so the result is **bitwise identical
+/// for any lane count** and to the serial reference
+/// [`evaluate_policy_seeded_serial`] (the GEMM inference core guarantees
+/// each batch row equals the same row computed alone).  The determinism
+/// tests pin both equalities.
+///
+/// # Panics
+///
+/// Panics if `lanes` or `max_steps` is zero, or if the policy's output
+/// shape does not match the environment's action space.
+pub fn evaluate_policy_batched<E: Environment + Clone>(
+    policy: &Sequential,
+    env: &E,
+    episodes: usize,
+    max_steps: usize,
+    lanes: usize,
+    map_seed: u64,
+    scratch: &mut InferScratch,
+) -> EvalStats {
+    if episodes == 0 {
+        return EvalStats::empty();
+    }
+    let mut vec_env = VecEnv::new(env, episodes, max_steps, lanes, map_seed);
+    let mut records: Vec<Option<EpisodeRecord>> = vec![None; episodes];
+    let mut actions: Vec<usize> = Vec::with_capacity(vec_env.active_lanes());
+    let mut finished: Vec<EpisodeRecord> = Vec::new();
+    let mut batch = berry_nn::tensor::Tensor::default();
+    while !vec_env.is_done() {
+        // Stack → one forward pass → per-row greedy actions; every buffer
+        // here (batch tensor, scratch, actions, finished) is reused, so
+        // the lockstep loop allocates nothing once warm.
+        vec_env.stack_observations(&mut batch);
+        let q = policy.infer_into(&batch, scratch);
+        greedy_actions_into(q, &mut actions);
+        vec_env.step(&actions, &mut finished);
+        for record in finished.drain(..) {
+            let slot = record.episode;
+            records[slot] = Some(record);
+        }
+    }
+    fold_episode_records(
+        episodes,
+        records
+            .into_iter()
+            .map(|r| r.expect("every scheduled episode produced a record")),
+    )
+}
+
+/// The serial reference implementation of the per-episode-seeded rollout
+/// protocol: one lane, one episode at a time, batch-1 inference — written
+/// independently of [`VecEnv`] so the lane-count-invariance tests compare
+/// two genuinely distinct code paths.
+pub fn evaluate_policy_seeded_serial<E: Environment + Clone>(
+    policy: &Sequential,
+    env: &E,
+    episodes: usize,
+    max_steps: usize,
+    map_seed: u64,
+    scratch: &mut InferScratch,
+) -> EvalStats {
+    if episodes == 0 {
+        return EvalStats::empty();
+    }
+    let mut records = Vec::with_capacity(episodes);
+    for episode in 0..episodes {
+        let mut episode_env = env.clone();
+        let mut rng = StdRng::seed_from_u64(episode_seed(map_seed, episode as u64));
+        let mut obs = episode_env.reset(&mut rng);
+        let mut steps = 0usize;
+        let mut ret = 0.0f64;
+        let mut distance = 0.0f64;
+        let mut terminal = None;
+        for _ in 0..max_steps {
+            let q = policy
+                .infer_batch(&[&obs], scratch)
+                .expect("observation matches the environment shape");
+            let action = q.argmax().expect("non-empty action space");
+            let outcome = episode_env.step(action, &mut rng);
+            ret += outcome.reward as f64;
+            distance += outcome.distance_travelled;
+            steps += 1;
+            obs = outcome.observation;
+            if outcome.terminal.is_some() {
+                terminal = outcome.terminal;
+                break;
+            }
+        }
+        records.push(EpisodeRecord {
+            episode,
+            steps,
+            ret,
+            distance,
+            terminal,
+        });
+    }
+    fold_episode_records(episodes, records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +405,134 @@ mod tests {
         let mut env = FirstActionMatters;
         let stats = evaluate_policy(&policy, &mut env, 0, 5, &mut rng);
         assert_eq!(stats, EvalStats::empty());
+    }
+
+    /// A stochastic environment: the observation is drawn from the episode
+    /// RNG each reset and every step consumes more randomness, so any
+    /// lane-scheduling dependence in RNG consumption shows up immediately.
+    #[derive(Clone)]
+    struct NoisyWalk {
+        position: f32,
+        horizon: usize,
+        steps: usize,
+    }
+
+    impl NoisyWalk {
+        fn new() -> Self {
+            Self {
+                position: 0.0,
+                horizon: 9,
+                steps: 0,
+            }
+        }
+    }
+
+    impl Environment for NoisyWalk {
+        fn reset(&mut self, rng: &mut dyn rand::RngCore) -> Tensor {
+            self.position = (rng.next_u32() % 1000) as f32 / 1000.0;
+            self.steps = 0;
+            Tensor::from_vec(vec![2], vec![self.position, 1.0 - self.position]).unwrap()
+        }
+
+        fn step(&mut self, action: usize, rng: &mut dyn rand::RngCore) -> StepOutcome {
+            let noise = (rng.next_u32() % 100) as f32 / 1000.0;
+            self.position += if action == 0 { 0.2 } else { -0.1 } + noise;
+            self.steps += 1;
+            let terminal = if self.position >= 1.0 {
+                Some(TerminalKind::Goal)
+            } else if self.position < -0.05 {
+                Some(TerminalKind::Collision)
+            } else if self.steps >= self.horizon {
+                Some(TerminalKind::Timeout)
+            } else {
+                None
+            };
+            StepOutcome {
+                observation: Tensor::from_vec(
+                    vec![2],
+                    vec![self.position, 1.0 - self.position],
+                )
+                .unwrap(),
+                reward: self.position,
+                terminal,
+                distance_travelled: 0.3 + noise as f64,
+            }
+        }
+
+        fn num_actions(&self) -> usize {
+            2
+        }
+
+        fn observation_shape(&self) -> Vec<usize> {
+            vec![2]
+        }
+    }
+
+    fn assert_stats_bitwise_eq(a: &EvalStats, b: &EvalStats, label: &str) {
+        assert_eq!(a.episodes, b.episodes, "{label}: episodes");
+        for (name, x, y) in [
+            ("success_rate", a.success_rate, b.success_rate),
+            ("collision_rate", a.collision_rate, b.collision_rate),
+            ("timeout_rate", a.timeout_rate, b.timeout_rate),
+            ("mean_return", a.mean_return, b.mean_return),
+            ("mean_steps", a.mean_steps, b.mean_steps),
+            ("mean_distance", a.mean_distance, b.mean_distance),
+            (
+                "mean_success_distance",
+                a.mean_success_distance,
+                b.mean_success_distance,
+            ),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: {name} ({x} vs {y})");
+        }
+    }
+
+    #[test]
+    fn batched_rollout_is_bitwise_identical_for_any_lane_count() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let policy = QNetworkSpec::mlp(vec![12]).build(&[2], 2, &mut rng).unwrap();
+        let env = NoisyWalk::new();
+        let mut scratch = InferScratch::new();
+        let serial =
+            evaluate_policy_seeded_serial(&policy, &env, 11, 9, 0xABCD, &mut scratch);
+        assert_eq!(serial.episodes, 11);
+        assert!(serial.mean_steps > 0.0);
+        for lanes in [1usize, 3, 8, 16] {
+            let batched = evaluate_policy_batched(
+                &policy,
+                &env,
+                11,
+                9,
+                lanes,
+                0xABCD,
+                &mut scratch,
+            );
+            assert_stats_bitwise_eq(&serial, &batched, &format!("{lanes} lanes"));
+        }
+    }
+
+    #[test]
+    fn batched_rollout_zero_episodes_is_empty() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let policy = QNetworkSpec::mlp(vec![4]).build(&[2], 2, &mut rng).unwrap();
+        let env = NoisyWalk::new();
+        let mut scratch = InferScratch::new();
+        let stats = evaluate_policy_batched(&policy, &env, 0, 5, 4, 1, &mut scratch);
+        assert_eq!(stats, EvalStats::empty());
+        let serial = evaluate_policy_seeded_serial(&policy, &env, 0, 5, 1, &mut scratch);
+        assert_eq!(serial, EvalStats::empty());
+    }
+
+    #[test]
+    fn batched_rollout_depends_on_the_map_seed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let policy = QNetworkSpec::mlp(vec![12]).build(&[2], 2, &mut rng).unwrap();
+        let env = NoisyWalk::new();
+        let mut scratch = InferScratch::new();
+        let a = evaluate_policy_batched(&policy, &env, 16, 9, 4, 11, &mut scratch);
+        let b = evaluate_policy_batched(&policy, &env, 16, 9, 4, 12, &mut scratch);
+        // Different seeds wander differently (stochastic env).
+        assert_ne!(a.mean_return.to_bits(), b.mean_return.to_bits());
     }
 
     #[test]

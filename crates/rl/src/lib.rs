@@ -49,6 +49,7 @@ pub mod policy;
 pub mod replay;
 pub mod schedule;
 pub mod trainer;
+pub mod vecenv;
 
 pub use dqn::{DqnAgent, DqnConfig};
 pub use env::{Environment, StepOutcome, TerminalKind, Transition};
@@ -57,6 +58,7 @@ pub use eval::EvalStats;
 pub use policy::QNetworkSpec;
 pub use replay::ReplayBuffer;
 pub use schedule::EpsilonSchedule;
+pub use vecenv::{episode_seed, EpisodeRecord, VecEnv};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, RlError>;

@@ -7,6 +7,7 @@ use crate::policy::QNetworkSpec;
 use crate::replay::ReplayBuffer;
 use crate::schedule::EpsilonSchedule;
 use crate::Result;
+use berry_nn::network::InferScratch;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +121,7 @@ impl TrainingReport {
 
 /// Runs one episode with ε-greedy exploration, pushing transitions into the
 /// replay buffer and training the agent.  Returns `(return, success, steps)`.
+#[allow(clippy::too_many_arguments)]
 fn run_training_episode<E: Environment, R: Rng>(
     env: &mut E,
     agent: &mut DqnAgent,
@@ -128,6 +130,7 @@ fn run_training_episode<E: Environment, R: Rng>(
     env_steps: &mut u64,
     losses: &mut Vec<f32>,
     rng: &mut R,
+    infer: &mut InferScratch,
 ) -> Result<(f32, bool, usize)> {
     let mut obs = env.reset(rng);
     let mut episode_return = 0.0f32;
@@ -135,7 +138,7 @@ fn run_training_episode<E: Environment, R: Rng>(
     let mut steps = 0usize;
     for _ in 0..config.max_steps_per_episode {
         let epsilon = config.epsilon.value(*env_steps);
-        let action = agent.act_epsilon(&obs, epsilon, rng);
+        let action = agent.act_epsilon_with_scratch(&obs, epsilon, rng, infer);
         let outcome = env.step(action, rng);
         episode_return += outcome.reward;
         buffer.push(Transition {
@@ -209,6 +212,10 @@ pub fn continue_training<E: Environment, R: Rng>(
     let mut episode_successes = Vec::with_capacity(config.episodes);
     let mut losses = Vec::new();
     let mut env_steps = 0u64;
+    // One warm inference scratch serves every ε-greedy action selection of
+    // the run — action selection goes through the shared GEMM inference
+    // core without per-step allocation.
+    let mut infer = InferScratch::new();
     for _ in 0..config.episodes {
         let (ret, success, _steps) = run_training_episode(
             env,
@@ -218,6 +225,7 @@ pub fn continue_training<E: Environment, R: Rng>(
             &mut env_steps,
             &mut losses,
             rng,
+            &mut infer,
         )?;
         episode_returns.push(ret);
         episode_successes.push(success);

@@ -1,0 +1,395 @@
+//! Lockstep episode lanes: many concurrent episodes, one forward pass.
+//!
+//! The paper's evaluation protocol runs hundreds of thousands of greedy
+//! environment steps per operating point (500 fault maps × episodes ×
+//! steps), and after the quantize-once pipeline the dominant cost is the
+//! batch-1 policy forward pass each step pays.  [`VecEnv`] amortizes it:
+//! `N` episode *lanes* advance in lockstep, their observations are stacked
+//! into one `[N, ...]` batch, a single [`berry_nn::network::Sequential`]
+//! inference serves every lane, and finished lanes retire and are refilled
+//! with the next pending episode until the budget is exhausted.
+//!
+//! # Determinism
+//!
+//! Every episode owns an RNG stream seeded by [`episode_seed`] from the
+//! evaluation's map seed and the episode's index — never from a shared
+//! generator whose consumption order would depend on lane scheduling.
+//! Combined with the batch invariance of the GEMM inference core (row `i`
+//! of a batched forward is bitwise equal to the same row alone), the
+//! aggregate statistics are **bitwise identical for any lane count**,
+//! including the serial one-lane reference; `tests/parallel_determinism.rs`
+//! and the batched-rollout property tests pin this.
+
+use crate::env::{Environment, TerminalKind};
+use berry_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives the RNG seed of episode `episode_index` within one fault map's
+/// evaluation from the map's seed (a SplitMix64-style mix, mirroring
+/// `fault_map_seed` with distinct constants so the two streams never
+/// collide).
+///
+/// Both the batched lockstep engine and the serial per-episode reference
+/// seed each episode's RNG with exactly this function, which is what makes
+/// their statistics bitwise identical for any lane count.
+#[must_use]
+pub fn episode_seed(map_seed: u64, episode_index: u64) -> u64 {
+    let mut z = map_seed
+        .wrapping_add(episode_index.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Everything one finished episode contributes to the aggregate
+/// statistics, tagged with its index so records can be folded in episode
+/// order no matter which lane finished first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeRecord {
+    /// Index of the episode within the evaluation (its seed index).
+    pub episode: usize,
+    /// Number of environment steps taken.
+    pub steps: usize,
+    /// Undiscounted return, accumulated in step order.
+    pub ret: f64,
+    /// Distance travelled, accumulated in step order.
+    pub distance: f64,
+    /// How the episode ended; `None` means it hit the step limit.
+    pub terminal: Option<TerminalKind>,
+}
+
+impl EpisodeRecord {
+    /// Whether the episode ended at the goal.
+    pub fn is_success(&self) -> bool {
+        matches!(self.terminal, Some(TerminalKind::Goal))
+    }
+}
+
+/// One in-flight episode: its environment clone, its private RNG stream and
+/// its running statistics.
+#[derive(Debug)]
+struct Lane<E> {
+    env: E,
+    rng: StdRng,
+    episode: usize,
+    obs: Tensor,
+    steps: usize,
+    ret: f64,
+    distance: f64,
+    /// Set when the episode just ended (terminal kind, or `None` for a
+    /// step-limit timeout) — the retire/refill pass consumes it.
+    finished: Option<Option<TerminalKind>>,
+}
+
+impl<E: Environment> Lane<E> {
+    fn start(template: &E, episode: usize, map_seed: u64) -> Self
+    where
+        E: Clone,
+    {
+        let mut env = template.clone();
+        let mut rng = StdRng::seed_from_u64(episode_seed(map_seed, episode as u64));
+        let obs = env.reset(&mut rng);
+        Self {
+            env,
+            rng,
+            episode,
+            obs,
+            steps: 0,
+            ret: 0.0,
+            distance: 0.0,
+            finished: None,
+        }
+    }
+}
+
+/// A fixed-width set of episode lanes stepped in lockstep.
+///
+/// `VecEnv` owns the episode schedule: it starts with up to `max_lanes`
+/// lanes, stacks the current lane observations into one batch tensor for a
+/// single forward pass, applies one action per lane, and refills lanes
+/// from the pending episode queue as they terminate.  The caller drives
+/// the loop with reused buffers — nothing in it allocates per step once
+/// warm:
+///
+/// ```text
+/// while !vec_env.is_done() {
+///     vec_env.stack_observations(&mut batch);
+///     let q = policy.infer_into(&batch, scratch);
+///     greedy_actions(q, &mut actions);
+///     vec_env.step(&actions, &mut finished);
+///     for record in finished.drain(..) { fold(record); }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct VecEnv<'a, E> {
+    template: &'a E,
+    map_seed: u64,
+    episodes: usize,
+    max_steps: usize,
+    next_episode: usize,
+    lanes: Vec<Lane<E>>,
+    /// Reused `[active_lanes, ...obs_shape]` shape buffer for
+    /// [`VecEnv::stack_observations`].
+    batched_shape: Vec<usize>,
+}
+
+impl<'a, E: Environment + Clone> VecEnv<'a, E> {
+    /// Creates the lane set: `min(max_lanes, episodes)` lanes are reset and
+    /// ready, the remaining episodes wait in the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lanes` or `max_steps` is zero.
+    pub fn new(template: &'a E, episodes: usize, max_steps: usize, max_lanes: usize, map_seed: u64) -> Self {
+        assert!(max_lanes > 0, "lane count must be positive");
+        assert!(max_steps > 0, "step limit must be positive");
+        let width = max_lanes.min(episodes);
+        let mut lanes = Vec::with_capacity(width);
+        for episode in 0..width {
+            lanes.push(Lane::start(template, episode, map_seed));
+        }
+        let mut batched_shape = Vec::with_capacity(1 + template.observation_shape().len());
+        batched_shape.push(width);
+        batched_shape.extend_from_slice(&template.observation_shape());
+        Self {
+            template,
+            map_seed,
+            episodes,
+            max_steps,
+            next_episode: width,
+            lanes,
+            batched_shape,
+        }
+    }
+
+    /// Whether every episode has finished.
+    pub fn is_done(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Number of currently active lanes.
+    pub fn active_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total number of episodes this engine will run.
+    pub fn episodes(&self) -> usize {
+        self.episodes
+    }
+
+    /// Stacks the active lanes' current observations, in lane order, into
+    /// `out` as one `[active_lanes, ...obs_shape]` batch tensor, reusing
+    /// `out`'s allocation (and an internal shape buffer) so the lockstep
+    /// hot loop performs no per-step allocation once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane observation's length does not match the
+    /// environment's observation shape.
+    pub fn stack_observations(&mut self, out: &mut Tensor) {
+        self.batched_shape[0] = self.lanes.len();
+        let per_obs: usize = self.batched_shape[1..].iter().product();
+        out.reset(&self.batched_shape);
+        let data = out.data_mut();
+        for (i, lane) in self.lanes.iter().enumerate() {
+            data[i * per_obs..(i + 1) * per_obs].copy_from_slice(lane.obs.data());
+        }
+    }
+
+    /// Advances every lane by one step with its action (`actions[i]` pairs
+    /// with batch row `i` of [`VecEnv::stack_observations`]), retiring
+    /// lanes whose episode terminated or hit the step limit and refilling
+    /// them from the pending queue.
+    ///
+    /// Records of the episodes that finished on this step are pushed onto
+    /// `finished` (the caller clears/drains it between steps, so the
+    /// buffer's allocation is reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions.len()` differs from the active lane count.
+    pub fn step(&mut self, actions: &[usize], finished: &mut Vec<EpisodeRecord>) {
+        assert_eq!(
+            actions.len(),
+            self.lanes.len(),
+            "one action per active lane"
+        );
+        // Pass 1: step every lane with the action computed for its current
+        // batch row.  No lane moves during this pass, so `actions[i]` always
+        // pairs with the lane that produced `observations()[i]`.
+        for (lane, &action) in self.lanes.iter_mut().zip(actions) {
+            let outcome = lane.env.step(action, &mut lane.rng);
+            lane.ret += outcome.reward as f64;
+            lane.distance += outcome.distance_travelled;
+            lane.steps += 1;
+            lane.obs = outcome.observation;
+            if outcome.terminal.is_some() || lane.steps >= self.max_steps {
+                lane.finished = Some(outcome.terminal);
+            }
+        }
+        // Pass 2: retire finished lanes in lane order, refilling from the
+        // pending queue while episodes remain and compacting (order
+        // preserved) once the queue is dry.
+        let mut i = 0usize;
+        while i < self.lanes.len() {
+            let Some(terminal) = self.lanes[i].finished else {
+                i += 1;
+                continue;
+            };
+            let lane = &self.lanes[i];
+            finished.push(EpisodeRecord {
+                episode: lane.episode,
+                steps: lane.steps,
+                ret: lane.ret,
+                distance: lane.distance,
+                terminal,
+            });
+            if self.next_episode < self.episodes {
+                self.lanes[i] = Lane::start(self.template, self.next_episode, self.map_seed);
+                self.next_episode += 1;
+                i += 1;
+            } else {
+                self.lanes.remove(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::StepOutcome;
+
+    /// Counts down `fuel` steps, then terminates at the goal; the reward is
+    /// the episode seed's low bits so records are distinguishable.
+    #[derive(Clone)]
+    struct Countdown {
+        fuel: usize,
+        remaining: usize,
+        tag: f32,
+    }
+
+    impl Countdown {
+        fn new(fuel: usize) -> Self {
+            Self {
+                fuel,
+                remaining: 0,
+                tag: 0.0,
+            }
+        }
+    }
+
+    impl Environment for Countdown {
+        fn reset(&mut self, rng: &mut dyn rand::RngCore) -> Tensor {
+            self.remaining = self.fuel;
+            self.tag = (rng.next_u32() % 8) as f32;
+            Tensor::from_vec(vec![1], vec![self.tag]).unwrap()
+        }
+
+        fn step(&mut self, _action: usize, _rng: &mut dyn rand::RngCore) -> StepOutcome {
+            self.remaining = self.remaining.saturating_sub(1);
+            let terminal = (self.remaining == 0).then_some(TerminalKind::Goal);
+            StepOutcome {
+                observation: Tensor::from_vec(vec![1], vec![self.tag]).unwrap(),
+                reward: self.tag,
+                terminal,
+                distance_travelled: 1.0,
+            }
+        }
+
+        fn num_actions(&self) -> usize {
+            2
+        }
+
+        fn observation_shape(&self) -> Vec<usize> {
+            vec![1]
+        }
+    }
+
+    #[test]
+    fn episode_seeds_are_distinct_and_differ_from_identity() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|i| episode_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(episode_seed(42, 0), 42);
+    }
+
+    #[test]
+    fn lanes_retire_and_refill_until_all_episodes_ran() {
+        let env = Countdown::new(3);
+        let mut vec_env = VecEnv::new(&env, 7, 10, 3, 99);
+        assert_eq!(vec_env.active_lanes(), 3);
+        assert_eq!(vec_env.episodes(), 7);
+        let mut records = Vec::new();
+        let mut finished = Vec::new();
+        let mut batch = Tensor::default();
+        let mut guard = 0;
+        while !vec_env.is_done() {
+            vec_env.stack_observations(&mut batch);
+            let n = batch.shape()[0];
+            assert_eq!(n, vec_env.active_lanes());
+            vec_env.step(&vec![0; n], &mut finished);
+            records.append(&mut finished);
+            guard += 1;
+            assert!(guard < 100, "lockstep loop failed to terminate");
+        }
+        assert_eq!(records.len(), 7);
+        let mut episodes: Vec<usize> = records.iter().map(|r| r.episode).collect();
+        episodes.sort_unstable();
+        assert_eq!(episodes, (0..7).collect::<Vec<_>>());
+        for r in &records {
+            assert_eq!(r.steps, 3);
+            assert!(r.is_success());
+            assert_eq!(r.distance, 3.0);
+        }
+    }
+
+    #[test]
+    fn step_limit_retires_lanes_without_terminal() {
+        let env = Countdown::new(100);
+        let mut vec_env = VecEnv::new(&env, 2, 4, 2, 1);
+        let mut records = Vec::new();
+        let mut finished = Vec::new();
+        while !vec_env.is_done() {
+            let n = vec_env.active_lanes();
+            vec_env.step(&vec![0; n], &mut finished);
+            records.append(&mut finished);
+        }
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.steps, 4);
+            assert_eq!(r.terminal, None);
+            assert!(!r.is_success());
+        }
+    }
+
+    #[test]
+    fn lane_width_never_exceeds_episode_budget() {
+        let env = Countdown::new(2);
+        let vec_env = VecEnv::new(&env, 2, 5, 16, 0);
+        assert_eq!(vec_env.active_lanes(), 2);
+    }
+
+    #[test]
+    fn record_stream_is_independent_of_lane_count() {
+        // Same seeds → same per-episode records, regardless of how many
+        // lanes interleaved them (the environment RNG is per-episode).
+        let env = Countdown::new(4);
+        let run = |lanes: usize| {
+            let mut vec_env = VecEnv::new(&env, 6, 10, lanes, 7);
+            let mut records = Vec::new();
+            let mut finished = Vec::new();
+            while !vec_env.is_done() {
+                let n = vec_env.active_lanes();
+                vec_env.step(&vec![1; n], &mut finished);
+                records.append(&mut finished);
+            }
+            records.sort_by_key(|r| r.episode);
+            records
+        };
+        assert_eq!(run(1), run(3));
+        assert_eq!(run(1), run(8));
+    }
+}

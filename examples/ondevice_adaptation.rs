@@ -15,10 +15,11 @@ use berry_core::evaluate::FaultEvaluationConfig;
 use berry_core::perturb::NetworkPerturber;
 use berry_core::robust::{train_berry_with_fault_map, BerryConfig, LearningMode};
 use berry_core::experiment::ExperimentScale;
-use berry_rl::eval::evaluate_policy;
+use berry_nn::network::InferScratch;
+use berry_rl::eval::evaluate_policy_batched;
 use berry_uav::env::NavigationEnv;
 use berry_uav::world::ObstacleDensity;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 fn scale_from_env() -> ExperimentScale {
     match std::env::var("BERRY_SCALE").unwrap_or_default().as_str() {
@@ -75,10 +76,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let perturber = NetworkPerturber::new(eval_cfg.quant_bits)?;
     let episodes = eval_cfg.fault_maps * eval_cfg.episodes_per_map;
+    // Both deployments roll out on the batched lockstep engine: one warm
+    // scratch, `lanes` concurrent missions per forward pass.
+    let mut infer = InferScratch::new();
     for (label, outcome) in [("on-device", &ondevice), ("offline", &offline)] {
         let deployed = perturber.perturb_with_map(outcome.agent.q_net(), &chip_map)?;
-        let mut env = NavigationEnv::new(env_cfg.clone())?;
-        let stats = evaluate_policy(&deployed, &mut env, episodes, eval_cfg.max_steps, &mut rng);
+        let env = NavigationEnv::new(env_cfg.clone())?;
+        let stats = evaluate_policy_batched(
+            &deployed,
+            &env,
+            episodes,
+            eval_cfg.max_steps,
+            eval_cfg.lanes,
+            rng.next_u64(),
+            &mut infer,
+        );
         println!(
             "  {label:<10} success on this chip: {:>5.1} %  (mean path {:.1} m)",
             stats.success_rate * 100.0,

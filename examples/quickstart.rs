@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eval_cfg = scale.evaluation_config();
     let chip = ChipProfile::generic();
     for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
-        let mut env = NavigationEnv::new(env_cfg.clone())?;
-        let clean = evaluate_error_free(policy, &mut env, &eval_cfg, &mut rng)?;
+        let env = NavigationEnv::new(env_cfg.clone())?;
+        let clean = evaluate_error_free(policy, &env, &eval_cfg, &mut rng)?;
         let faulty = evaluate_under_faults(policy, &env, &chip, 0.005, &eval_cfg, &mut rng)?;
         println!(
             "   {name:<10} error-free success {:>5.1} %   under faults {:>5.1} %",

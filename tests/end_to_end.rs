@@ -28,8 +28,8 @@ fn classical_and_berry_policies_train_and_evaluate_end_to_end() {
     let eval_cfg = FaultEvaluationConfig::smoke_test();
     let chip = ChipProfile::generic();
     for policy in [&pair.classical, &pair.berry] {
-        let mut env = NavigationEnv::new(env_cfg.clone()).unwrap();
-        let clean = evaluate_error_free(policy, &mut env, &eval_cfg, &mut rng).unwrap();
+        let env = NavigationEnv::new(env_cfg.clone()).unwrap();
+        let clean = evaluate_error_free(policy, &env, &eval_cfg, &mut rng).unwrap();
         let faulty =
             evaluate_under_faults(policy, &env, &chip, 0.01, &eval_cfg, &mut rng).unwrap();
         for stats in [&clean, &faulty] {

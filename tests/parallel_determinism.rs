@@ -35,6 +35,7 @@ fn eval_config() -> FaultEvaluationConfig {
         episodes_per_map: 2,
         max_steps: 25,
         quant_bits: 8,
+        lanes: 2,
     }
 }
 
@@ -111,6 +112,47 @@ fn fault_map_seeds_are_distinct_across_indices() {
     let seeds: std::collections::HashSet<u64> =
         (0..1000).map(|i| fault_map_seed(BASE_SEED, i)).collect();
     assert_eq!(seeds.len(), 1000, "per-map seeds must not collide");
+}
+
+/// The batched lockstep rollout engine must produce **bitwise identical**
+/// statistics for every lane count: episode `i` always consumes the RNG
+/// stream seeded by `episode_seed(map_seed, i)`, and the GEMM inference
+/// core guarantees each batch row equals the same row computed alone, so
+/// lane scheduling can never leak into the results.
+#[test]
+fn lane_count_never_changes_the_statistics() {
+    let (policy, env, chip) = fixture();
+    let base = eval_config();
+    let reference =
+        evaluate_under_faults_seeded(&policy, &env, &chip, 0.004, &base, BASE_SEED).unwrap();
+    for lanes in [1usize, 3, 8, 32] {
+        let cfg = FaultEvaluationConfig { lanes, ..base };
+        let stats =
+            evaluate_under_faults_seeded(&policy, &env, &chip, 0.004, &cfg, BASE_SEED).unwrap();
+        assert_bitwise_identical(&reference, &stats, &format!("{lanes} lanes vs 2 lanes"));
+    }
+    // ...and the serial per-episode reference engine lands on the same bits.
+    let serial =
+        evaluate_under_faults_serial(&policy, &env, &chip, 0.004, &base, BASE_SEED).unwrap();
+    assert_bitwise_identical(&reference, &serial, "batched vs serial reference engine");
+}
+
+/// `episode_seed` streams must be distinct across episodes and must not
+/// collide with the `fault_map_seed` stream they are derived from.
+#[test]
+fn episode_seeds_are_distinct_and_disjoint_from_map_seeds() {
+    use berry_rl::episode_seed;
+    let mut all = std::collections::HashSet::new();
+    for map in 0..50u64 {
+        let map_seed = fault_map_seed(BASE_SEED, map);
+        assert!(all.insert(map_seed), "map seed collision at {map}");
+        for episode in 0..20u64 {
+            assert!(
+                all.insert(episode_seed(map_seed, episode)),
+                "episode seed collision at map {map} episode {episode}"
+            );
+        }
+    }
 }
 
 /// The immutable inference path must agree bitwise with the caching
