@@ -1,0 +1,179 @@
+//! Executes the full scenario-grid campaign and streams its artifacts.
+//!
+//! For every cell of the grid selected by the scale (4-cell smoke grid,
+//! the paper's 72-cell grid at `quick`, or the 216-cell extended
+//! disturbance grid at `paper`), the campaign engine trains the
+//! Classical/BERRY policy pair, fault-evaluates both at the scenario's
+//! deployment voltage, and attaches the hardware energy and
+//! quality-of-flight numbers.  Scenarios shard across rayon workers with
+//! deterministic per-cell seeds, so re-running with the same `--seed`
+//! reproduces the artifacts bit for bit (and `--serial` provably lands on
+//! the same rows, one cell at a time).
+//!
+//! ```text
+//! campaign_runner [--scale smoke|quick|paper] [--seed N] [--serial]
+//!                 [--out rows.jsonl] [--summary summary.json]
+//! ```
+//!
+//! Defaults: scale/seed from `BERRY_SCALE` / `BERRY_SEED` (quick / 2023),
+//! rows to `CAMPAIGN.jsonl`, summary to `CAMPAIGN_SUMMARY.json`.  The
+//! process exits non-zero if **any** grid cell errors — a campaign with a
+//! failed cell is a failed campaign, which is what lets CI gate on it.
+
+use berry_bench::{parse_scale, print_header, scale_from_env, seed_from_env};
+use berry_core::campaign::{
+    run_campaign_serial, run_grid_streamed, CampaignConfig, CampaignSummary,
+};
+use berry_core::experiment::format_table;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Sharded cells per streaming chunk: finished chunks flush their
+/// JSON-lines rows to disk immediately, so a long campaign killed midway
+/// keeps every completed chunk's rows.  Seeds derive from global grid
+/// indices, so the chunk size never changes the results.
+const STREAM_CHUNK: usize = 8;
+
+const USAGE: &str = "usage: campaign_runner [--scale smoke|quick|paper] [--seed N] \
+                     [--serial] [--out rows.jsonl] [--summary summary.json]";
+
+struct Args {
+    config: CampaignConfig,
+    serial: bool,
+    out: String,
+    summary: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: CampaignConfig {
+            scale: scale_from_env(),
+            base_seed: seed_from_env(),
+        },
+        serial: false,
+        out: "CAMPAIGN.jsonl".to_string(),
+        summary: "CAMPAIGN_SUMMARY.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                let name = value(&mut i, "--scale")?;
+                args.config.scale = parse_scale(&name)
+                    .ok_or_else(|| format!("unknown scale `{name}` (smoke|quick|paper)"))?;
+            }
+            "--seed" => {
+                let raw = value(&mut i, "--seed")?;
+                args.config.base_seed = raw
+                    .parse()
+                    .map_err(|_| format!("--seed needs a u64, got `{raw}`"))?;
+            }
+            "--serial" => args.serial = true,
+            "--out" => args.out = value(&mut i, "--out")?,
+            "--summary" => args.summary = value(&mut i, "--summary")?,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    print_header("scenario-grid campaign", args.config.scale);
+    let grid = args.config.grid();
+    println!(
+        "grid:  {} scenarios, base seed {}, {} execution",
+        grid.len(),
+        args.config.base_seed,
+        if args.serial { "serial" } else { "sharded" }
+    );
+
+    let start = Instant::now();
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&args.out)?);
+    let rows = if args.serial {
+        // The serial reference path (one cell at a time, no fan-out);
+        // rows are written once the reference run completes.
+        let rows = run_campaign_serial(&args.config)?;
+        for row in &rows {
+            writeln!(out, "{}", row.to_json_line())?;
+        }
+        rows
+    } else {
+        // Sharded with streaming: every finished chunk's rows flush to
+        // disk in grid order, so a campaign killed midway keeps them — and
+        // a failing write (full disk) aborts the campaign at its chunk
+        // boundary instead of burning the remaining cells' compute.
+        run_grid_streamed(
+            &grid,
+            args.config.scale,
+            args.config.base_seed,
+            STREAM_CHUNK,
+            |row| {
+                writeln!(out, "{}", row.to_json_line())
+                    .and_then(|()| out.flush())
+                    .map_err(|e| {
+                        berry_core::CoreError::InvalidConfig(format!(
+                            "failed to stream campaign row {} to {}: {e}",
+                            row.index, args.out
+                        ))
+                    })
+            },
+        )?
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    out.flush()?;
+
+    let summary = CampaignSummary::from_rows(&rows);
+    std::fs::write(&args.summary, summary.to_json())?;
+
+    // Human-readable digest: one line per cell.
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                format!("{:.2}", r.voltage_norm),
+                format!("{:.1}", r.classical_nav.success_rate * 100.0),
+                format!("{:.1}", r.berry_nav.success_rate * 100.0),
+                format!("{:.2}x", r.processing.savings_vs_nominal),
+                format!("{:.1}", r.quality_of_flight.flight_energy_j),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Scenario",
+                "V/Vmin",
+                "Classical %",
+                "BERRY %",
+                "E-save",
+                "E_flight (J)",
+            ],
+            &body,
+        )
+    );
+    println!(
+        "campaign: {} cells in {elapsed:.1} s — mean success classical {:.1} % vs BERRY {:.1} %, \
+         BERRY >= classical in {:.0} % of cells",
+        summary.scenarios,
+        summary.mean_classical_success * 100.0,
+        summary.mean_berry_success * 100.0,
+        summary.berry_wins_or_ties * 100.0,
+    );
+    println!("wrote {} and {}", args.out, args.summary);
+    Ok(())
+}

@@ -23,17 +23,24 @@ use rand::SeedableRng;
 /// Default RNG seed for the harnesses.
 pub const DEFAULT_SEED: u64 = 2023;
 
+/// Parses an experiment-scale name (`smoke`, `quick`, `paper`/`full`,
+/// case-insensitive).  Returns `None` for anything else so callers can
+/// distinguish "not given" from "given but wrong".
+pub fn parse_scale(name: &str) -> Option<ExperimentScale> {
+    match name.to_lowercase().as_str() {
+        "smoke" => Some(ExperimentScale::Smoke),
+        "quick" => Some(ExperimentScale::Quick),
+        "paper" | "full" => Some(ExperimentScale::Paper),
+        _ => None,
+    }
+}
+
 /// Reads the experiment scale from `BERRY_SCALE` (default: `quick`).
 pub fn scale_from_env() -> ExperimentScale {
-    match std::env::var("BERRY_SCALE")
-        .unwrap_or_default()
-        .to_lowercase()
-        .as_str()
-    {
-        "smoke" => ExperimentScale::Smoke,
-        "paper" | "full" => ExperimentScale::Paper,
-        _ => ExperimentScale::Quick,
-    }
+    std::env::var("BERRY_SCALE")
+        .ok()
+        .and_then(|s| parse_scale(&s))
+        .unwrap_or(ExperimentScale::Quick)
 }
 
 /// Reads the RNG seed from `BERRY_SEED` (default: [`DEFAULT_SEED`]).
@@ -70,6 +77,15 @@ mod tests {
             scale,
             ExperimentScale::Quick | ExperimentScale::Smoke | ExperimentScale::Paper
         ));
+    }
+
+    #[test]
+    fn parse_scale_accepts_known_names_only() {
+        assert_eq!(parse_scale("smoke"), Some(ExperimentScale::Smoke));
+        assert_eq!(parse_scale("QUICK"), Some(ExperimentScale::Quick));
+        assert_eq!(parse_scale("paper"), Some(ExperimentScale::Paper));
+        assert_eq!(parse_scale("full"), Some(ExperimentScale::Paper));
+        assert_eq!(parse_scale("huge"), None);
     }
 
     #[test]

@@ -1,0 +1,637 @@
+//! The campaign engine: the whole scenario grid, end to end.
+//!
+//! The paper's headline claim is generalization across "72 UAV deployment
+//! scenarios" (Section V).  This module executes that claim as one
+//! deterministic pipeline: for every [`Scenario`] of a grid it trains the
+//! Classical/BERRY policy pair, runs fault-averaged navigation evaluation
+//! through the batched lockstep engine at the scenario's deployment
+//! voltage, attaches the `berry-hw` processing-energy and quality-of-flight
+//! numbers, and emits one [`CampaignRow`].
+//!
+//! # Sharding and determinism
+//!
+//! Scenarios fan out across rayon workers.  Each scenario's entire pipeline
+//! (training included) draws from a private `StdRng` seeded by
+//! [`scenario_seed`]`(base_seed, grid_index)` — a SplitMix64-style mix
+//! mirroring [`crate::evaluate::fault_map_seed`] and
+//! [`berry_rl::vecenv::episode_seed`] with distinct constants, so the three
+//! seed families never collide.  Rows are merged in grid order.  Because no
+//! state is shared between scenarios, the sharded run
+//! ([`run_campaign`]) is **bitwise identical** to the serial reference
+//! ([`run_campaign_serial`]) for any worker count; the golden-snapshot
+//! tests pin the row bits of the smoke campaign.
+//!
+//! # Scale
+//!
+//! [`ExperimentScale::Smoke`] runs the 4-cell [`Scenario::smoke_grid`] with
+//! tiny MLP policies (seconds, used by CI and the golden pins);
+//! `Quick` runs the paper's 72-cell grid; `Paper` runs the 216-cell
+//! [`Scenario::extended_grid`] that crosses the 72 cells with the wind-gust
+//! and sensor-dropout disturbance variants.
+
+use crate::evaluate::{evaluate_mission_seeded, evaluate_under_faults_serial, MissionContext};
+use crate::experiment::ExperimentScale;
+use crate::robust::{train_berry_with_fault_map, BerryConfig, LearningMode};
+use crate::scenario::{Scenario, ScenarioMode};
+use crate::Result;
+use berry_hw::accelerator::{Accelerator, ProcessingReport};
+use berry_rl::eval::EvalStats;
+use berry_rl::trainer::train_classical;
+use berry_uav::env::{NavigationConfig, NavigationEnv};
+use berry_uav::flight::QualityOfFlight;
+use berry_uav::physics::PhysicsConfig;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Derives the RNG seed of scenario `grid_index` from a campaign's base
+/// seed (a SplitMix64-style mix, so neighbouring grid cells draw unrelated
+/// streams).
+///
+/// The add-multiplier/offset pair is distinct from both
+/// [`crate::evaluate::fault_map_seed`] and
+/// [`berry_rl::vecenv::episode_seed`], keeping the three derivation
+/// families disjoint; `tests/parallel_determinism.rs` checks the
+/// no-collision property across all three.
+#[must_use]
+pub fn scenario_seed(base_seed: u64, grid_index: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(grid_index.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Configuration of one campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// How much compute each grid cell spends (training episodes, fault
+    /// maps, policy sizes) *and* which grid is executed — see
+    /// [`CampaignConfig::grid`].
+    pub scale: ExperimentScale,
+    /// Base seed every per-scenario stream is derived from.
+    pub base_seed: u64,
+}
+
+impl CampaignConfig {
+    /// A campaign at the given scale with the default base seed (2023, the
+    /// paper's year).
+    pub fn at_scale(scale: ExperimentScale) -> Self {
+        Self {
+            scale,
+            base_seed: 2023,
+        }
+    }
+
+    /// The CI micro-campaign: smoke grid, smoke training, default seed.
+    pub fn smoke_test() -> Self {
+        Self::at_scale(ExperimentScale::Smoke)
+    }
+
+    /// The scenario grid this campaign executes: the 4-cell smoke grid at
+    /// `Smoke`, the paper's 72-cell grid at `Quick`, and the 216-cell
+    /// extended (disturbance-variant) grid at `Paper`.
+    pub fn grid(&self) -> Vec<Scenario> {
+        match self.scale {
+            ExperimentScale::Smoke => Scenario::smoke_grid(),
+            ExperimentScale::Quick => Scenario::grid(),
+            ExperimentScale::Paper => Scenario::extended_grid(),
+        }
+    }
+}
+
+/// Everything the campaign reports about one grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRow {
+    /// Position of the scenario in the campaign grid.
+    pub index: usize,
+    /// The scenario's unique identifier ([`Scenario::id`]).
+    pub id: String,
+    /// The scenario itself.
+    pub scenario: Scenario,
+    /// The per-scenario RNG seed ([`scenario_seed`]).
+    pub seed: u64,
+    /// Deployment voltage in Vmin units ([`Scenario::deploy_voltage_norm`]).
+    pub voltage_norm: f64,
+    /// Bit error rate (fraction) at that voltage on the scenario's chip.
+    pub ber: f64,
+    /// Success rate of the classical baseline over its last 20 training
+    /// episodes (a cheap trained-at-all signal).
+    pub classical_train_success: f64,
+    /// Success rate of the BERRY policy over its last 20 training episodes.
+    pub berry_train_success: f64,
+    /// Number of BERRY dual-pass optimizer updates performed.
+    pub robust_updates: u64,
+    /// Fault-averaged navigation statistics of the classical baseline at
+    /// the deployment operating point.
+    pub classical_nav: EvalStats,
+    /// Fault-averaged navigation statistics of the BERRY policy at the same
+    /// operating point.
+    pub berry_nav: EvalStats,
+    /// Accelerator latency/energy/thermal figures at the deployment voltage
+    /// for the scenario's published workload (C3F2/C5F4).
+    pub processing: ProcessingReport,
+    /// Mission-level quality-of-flight metrics of the BERRY policy.
+    pub quality_of_flight: QualityOfFlight,
+}
+
+impl CampaignRow {
+    /// BERRY's success-rate advantage over the classical baseline at the
+    /// deployment operating point (fractional, positive = BERRY better).
+    pub fn success_gain(&self) -> f64 {
+        self.berry_nav.success_rate - self.classical_nav.success_rate
+    }
+
+    /// Serializes the row as one JSON-lines record.
+    ///
+    /// Hand-rolled (the workspace vendors a serde API shim without a JSON
+    /// backend); keys are stable and floats are emitted with full `{:?}`
+    /// round-trip precision so artifacts diff cleanly across runs.
+    pub fn to_json_line(&self) -> String {
+        let stats = |s: &EvalStats| {
+            format!(
+                "{{\"episodes\":{},\"success_rate\":{:?},\"collision_rate\":{:?},\
+                 \"timeout_rate\":{:?},\"mean_return\":{:?},\"mean_steps\":{:?},\
+                 \"mean_distance\":{:?},\"mean_success_distance\":{:?}}}",
+                s.episodes,
+                s.success_rate,
+                s.collision_rate,
+                s.timeout_rate,
+                s.mean_return,
+                s.mean_steps,
+                s.mean_distance,
+                s.mean_success_distance
+            )
+        };
+        format!(
+            "{{\"index\":{},\"id\":{},\"density\":{},\"platform\":{},\"policy\":{},\
+             \"mode\":{},\"chip\":{},\"variant\":{},\"seed\":{},\"voltage_norm\":{:?},\
+             \"ber\":{:?},\"classical_train_success\":{:?},\"berry_train_success\":{:?},\
+             \"robust_updates\":{},\"classical_nav\":{},\"berry_nav\":{},\
+             \"processing\":{{\"frequency_hz\":{:?},\"latency_s\":{:?},\
+             \"energy_per_inference_j\":{:?},\"compute_power_w\":{:?},\
+             \"savings_vs_nominal\":{:?},\"tdp_w\":{:?},\"heatsink_mass_g\":{:?}}},\
+             \"quality_of_flight\":{{\"flight_time_s\":{:?},\"flight_energy_j\":{:?},\
+             \"rotor_power_w\":{:?},\"compute_power_w\":{:?},\"num_missions\":{:?}}}}}",
+            self.index,
+            json_string(&self.id),
+            json_string(self.scenario.density.label()),
+            json_string(&self.scenario.platform),
+            json_string(&self.scenario.policy),
+            json_string(self.scenario.mode.label()),
+            json_string(&self.scenario.chip),
+            json_string(self.scenario.variant.label()),
+            self.seed,
+            self.voltage_norm,
+            self.ber,
+            self.classical_train_success,
+            self.berry_train_success,
+            self.robust_updates,
+            stats(&self.classical_nav),
+            stats(&self.berry_nav),
+            self.processing.frequency_hz,
+            self.processing.latency_s,
+            self.processing.energy_per_inference_j,
+            self.processing.compute_power_w,
+            self.processing.savings_vs_nominal,
+            self.processing.tdp_w,
+            self.processing.heatsink_mass_g,
+            self.quality_of_flight.flight_time_s,
+            self.quality_of_flight.flight_energy_j,
+            self.quality_of_flight.rotor_power_w,
+            self.quality_of_flight.compute_power_w,
+            self.quality_of_flight.num_missions,
+        )
+    }
+}
+
+/// Minimal JSON string quoting for the label/name values the rows carry.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Aggregate of a finished campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Number of grid cells executed.
+    pub scenarios: usize,
+    /// Total navigation episodes evaluated across all cells and policies.
+    pub episodes: usize,
+    /// Mean classical success rate across cells.
+    pub mean_classical_success: f64,
+    /// Mean BERRY success rate across cells.
+    pub mean_berry_success: f64,
+    /// Fraction of cells where BERRY's success rate is at least the
+    /// classical baseline's.
+    pub berry_wins_or_ties: f64,
+    /// Mean processing-energy saving factor vs nominal across cells.
+    pub mean_energy_savings: f64,
+    /// Identifier of the cell with the largest BERRY success gain.
+    pub best_cell: String,
+    /// Identifier of the cell with the smallest BERRY success gain.
+    pub worst_cell: String,
+}
+
+impl CampaignSummary {
+    /// Folds rows (in grid order) into the campaign summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty — a campaign always has at least one cell.
+    pub fn from_rows(rows: &[CampaignRow]) -> Self {
+        assert!(!rows.is_empty(), "campaign produced no rows");
+        let n = rows.len() as f64;
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.success_gain().total_cmp(&b.success_gain()))
+            .expect("non-empty");
+        let worst = rows
+            .iter()
+            .min_by(|a, b| a.success_gain().total_cmp(&b.success_gain()))
+            .expect("non-empty");
+        Self {
+            scenarios: rows.len(),
+            episodes: rows
+                .iter()
+                .map(|r| r.classical_nav.episodes + r.berry_nav.episodes)
+                .sum(),
+            mean_classical_success: rows
+                .iter()
+                .map(|r| r.classical_nav.success_rate)
+                .sum::<f64>()
+                / n,
+            mean_berry_success: rows.iter().map(|r| r.berry_nav.success_rate).sum::<f64>() / n,
+            berry_wins_or_ties: rows.iter().filter(|r| r.success_gain() >= 0.0).count() as f64
+                / n,
+            mean_energy_savings: rows
+                .iter()
+                .map(|r| r.processing.savings_vs_nominal)
+                .sum::<f64>()
+                / n,
+            best_cell: best.id.clone(),
+            worst_cell: worst.id.clone(),
+        }
+    }
+
+    /// Serializes the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"scenarios\": {},\n  \"episodes\": {},\n  \
+             \"mean_classical_success\": {:?},\n  \"mean_berry_success\": {:?},\n  \
+             \"berry_wins_or_ties\": {:?},\n  \"mean_energy_savings\": {:?},\n  \
+             \"best_cell\": {},\n  \"worst_cell\": {}\n}}\n",
+            self.scenarios,
+            self.episodes,
+            self.mean_classical_success,
+            self.mean_berry_success,
+            self.berry_wins_or_ties,
+            self.mean_energy_savings,
+            json_string(&self.best_cell),
+            json_string(&self.worst_cell),
+        )
+    }
+}
+
+/// Executes one grid cell: train the Classical/BERRY pair, fault-evaluate
+/// both at the scenario's deployment operating point, and attach the
+/// hardware and quality-of-flight numbers.
+///
+/// Everything — training rollouts, fault maps, evaluation episodes — is a
+/// pure function of `(scenario, scale, seed)`, which is what makes the
+/// sharded and serial campaign paths bitwise interchangeable.
+///
+/// # Errors
+///
+/// Returns an error if the scenario names cannot be resolved, or training
+/// or evaluation fails.
+pub fn run_scenario(
+    scenario: &Scenario,
+    index: usize,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Result<CampaignRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chip = scenario.chip_profile()?;
+    let platform = scenario.uav_platform()?;
+    let workload = scenario.workload()?;
+    let spec = scenario.policy_spec(scale)?;
+    let voltage_norm = scenario.deploy_voltage_norm();
+    let ber = chip.ber_at_voltage(voltage_norm)?;
+
+    let env_config = NavigationConfig {
+        variant: scenario.variant,
+        ..scale.navigation_config(scenario.density)
+    };
+    let trainer = scale.trainer_config();
+
+    // Classical baseline, then BERRY in the scenario's learning mode, off
+    // the same sequential per-scenario stream.
+    let mut env = NavigationEnv::new(env_config.clone())?;
+    let (classical_agent, classical_report) =
+        train_classical(&mut env, &spec, &trainer, &mut rng)?;
+    let mode = match scenario.mode {
+        ScenarioMode::Offline => LearningMode::offline(scale.train_ber()),
+        ScenarioMode::OnDevice => LearningMode::on_device(voltage_norm),
+    };
+    let berry_config = BerryConfig {
+        trainer,
+        mode,
+        chip: chip.clone(),
+        quant_bits: 8,
+    };
+    let mut env = NavigationEnv::new(env_config.clone())?;
+    let berry_outcome = train_berry_with_fault_map(&mut env, &spec, &berry_config, &mut rng)?;
+
+    // Deployment evaluation: fault-averaged navigation for both policies,
+    // then the mission-level chain for BERRY through the scenario's
+    // platform, chip and published workload.  The classical half runs the
+    // serial per-map path; the BERRY half goes through
+    // `evaluate_mission_seeded`, whose inner per-map fan-out nests under
+    // the cell-level sharding (rayon work-steals across both levels, and
+    // the two paths are pinned bitwise-identical, so this only affects
+    // scheduling, never results).
+    let eval_cfg = scale.evaluation_config();
+    let eval_env = NavigationEnv::new(env_config)?;
+    let classical_eval_seed = rng.next_u64();
+    let berry_eval_seed = rng.next_u64();
+    let classical_nav = evaluate_under_faults_serial(
+        classical_agent.q_net(),
+        &eval_env,
+        &chip,
+        ber,
+        &eval_cfg,
+        classical_eval_seed,
+    )?;
+    let context = MissionContext {
+        platform,
+        accelerator: Accelerator::default_edge_accelerator(),
+        workload,
+        chip,
+        physics: PhysicsConfig::default(),
+    };
+    let mission = evaluate_mission_seeded(
+        berry_outcome.agent.q_net(),
+        &eval_env,
+        &context,
+        voltage_norm,
+        &eval_cfg,
+        berry_eval_seed,
+    )?;
+
+    Ok(CampaignRow {
+        index,
+        id: scenario.id(),
+        scenario: scenario.clone(),
+        seed,
+        voltage_norm,
+        ber,
+        classical_train_success: classical_report.recent_success_rate(20),
+        berry_train_success: berry_outcome.report.recent_success_rate(20),
+        robust_updates: berry_outcome.robust_updates,
+        classical_nav,
+        berry_nav: mission.navigation,
+        processing: mission.processing,
+        quality_of_flight: mission.quality_of_flight,
+    })
+}
+
+/// Runs the campaign **sharded across rayon workers**, one task per grid
+/// cell, and merges the rows in grid order.
+///
+/// Bitwise identical to [`run_campaign_serial`] for any worker count (each
+/// cell's stream is derived from [`scenario_seed`], nothing is shared);
+/// the golden-snapshot and thread-count tests pin this.  The first failing
+/// cell's error is returned, tagged with its scenario id — a campaign with
+/// any errored cell is a failed campaign.
+///
+/// # Errors
+///
+/// Returns the first (in grid order) cell error.
+pub fn run_campaign(config: &CampaignConfig) -> Result<Vec<CampaignRow>> {
+    run_grid(&config.grid(), config.scale, config.base_seed)
+}
+
+/// The serial reference implementation: the same per-cell pipeline and the
+/// same [`scenario_seed`] derivation, executed one cell at a time in grid
+/// order.
+///
+/// # Errors
+///
+/// Returns the first cell error.
+pub fn run_campaign_serial(config: &CampaignConfig) -> Result<Vec<CampaignRow>> {
+    run_grid_serial(&config.grid(), config.scale, config.base_seed)
+}
+
+/// Runs an explicit scenario list as a sharded campaign (the engine under
+/// [`run_campaign`], exposed so tests and custom sweeps can campaign over
+/// a hand-picked sub-grid).
+///
+/// # Errors
+///
+/// Returns the first (in grid order) cell error.
+pub fn run_grid(
+    grid: &[Scenario],
+    scale: ExperimentScale,
+    base_seed: u64,
+) -> Result<Vec<CampaignRow>> {
+    run_grid_streamed(grid, scale, base_seed, grid.len().max(1), |_| Ok(()))
+}
+
+/// [`run_grid`] with **streaming**: the grid is fanned out in sharded
+/// chunks of `chunk` cells, and `sink` receives every finished row in
+/// grid order as its chunk completes — so a long campaign (72 or 216
+/// cells of real training) can persist rows incrementally instead of
+/// losing everything to a crash or timeout near the end.
+///
+/// Chunking never changes the results: each cell's seed is derived from
+/// its **global** grid index, so any chunk size (including
+/// `grid.len()`, which [`run_grid`] uses) produces bitwise-identical
+/// rows.
+///
+/// # Errors
+///
+/// Returns the first (in grid order) cell error, or the first error the
+/// sink reports — a failing sink (e.g. a full disk) aborts the campaign
+/// at its chunk boundary instead of burning the remaining cells' compute.
+/// Rows already handed to `sink` stay written.
+pub fn run_grid_streamed(
+    grid: &[Scenario],
+    scale: ExperimentScale,
+    base_seed: u64,
+    chunk: usize,
+    mut sink: impl FnMut(&CampaignRow) -> Result<()>,
+) -> Result<Vec<CampaignRow>> {
+    let chunk = chunk.max(1);
+    let mut rows = Vec::with_capacity(grid.len());
+    let mut start = 0;
+    while start < grid.len() {
+        let end = (start + chunk).min(grid.len());
+        let chunk_rows: Vec<Result<CampaignRow>> = (start..end)
+            .into_par_iter()
+            .map(|index| {
+                let scenario = &grid[index];
+                run_scenario(scenario, index, scale, scenario_seed(base_seed, index as u64))
+                    .map_err(|e| tag_cell_error(scenario, e))
+            })
+            .collect();
+        for row in chunk_rows {
+            let row = row?;
+            sink(&row)?;
+            rows.push(row);
+        }
+        start = end;
+    }
+    Ok(rows)
+}
+
+/// Runs an explicit scenario list serially, one cell at a time in grid
+/// order, with the identical per-cell seed derivation as [`run_grid`].
+///
+/// # Errors
+///
+/// Returns the first cell error.
+pub fn run_grid_serial(
+    grid: &[Scenario],
+    scale: ExperimentScale,
+    base_seed: u64,
+) -> Result<Vec<CampaignRow>> {
+    grid.iter()
+        .enumerate()
+        .map(|(index, scenario)| {
+            run_scenario(scenario, index, scale, scenario_seed(base_seed, index as u64))
+                .map_err(|e| tag_cell_error(scenario, e))
+        })
+        .collect()
+}
+
+fn tag_cell_error(scenario: &Scenario, e: crate::CoreError) -> crate::CoreError {
+    crate::CoreError::InvalidConfig(format!("campaign cell `{}` failed: {e}", scenario.id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_seeds_are_distinct_and_differ_from_identity() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|i| scenario_seed(2023, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(scenario_seed(2023, 0), 2023);
+        // Distinct base seeds shift the whole family.
+        assert_ne!(scenario_seed(1, 5), scenario_seed(2, 5));
+    }
+
+    #[test]
+    fn config_selects_the_grid_by_scale() {
+        assert_eq!(CampaignConfig::smoke_test().grid().len(), 4);
+        assert_eq!(
+            CampaignConfig::at_scale(ExperimentScale::Quick).grid().len(),
+            72
+        );
+        assert_eq!(
+            CampaignConfig::at_scale(ExperimentScale::Paper).grid().len(),
+            216
+        );
+        assert_eq!(CampaignConfig::smoke_test().base_seed, 2023);
+    }
+
+    #[test]
+    fn single_scenario_runs_end_to_end_and_serializes() {
+        let grid = Scenario::smoke_grid();
+        let row = run_scenario(&grid[0], 0, ExperimentScale::Smoke, 42).unwrap();
+        assert_eq!(row.index, 0);
+        assert_eq!(row.id, grid[0].id());
+        assert!(row.classical_nav.episodes > 0);
+        assert_eq!(row.classical_nav.episodes, row.berry_nav.episodes);
+        assert!(row.robust_updates > 0);
+        assert!(row.ber > 0.0);
+        assert!(row.processing.savings_vs_nominal > 1.0);
+        assert!(row.quality_of_flight.flight_energy_j > 0.0);
+        let line = row.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"classical_nav\""));
+        assert!(line.contains("\"savings_vs_nominal\""));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn rerunning_a_scenario_is_bitwise_reproducible() {
+        let grid = Scenario::smoke_grid();
+        let a = run_scenario(&grid[2], 2, ExperimentScale::Smoke, 7).unwrap();
+        let b = run_scenario(&grid[2], 2, ExperimentScale::Smoke, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_line(), b.to_json_line());
+        // A different seed produces a genuinely different row.
+        let c = run_scenario(&grid[2], 2, ExperimentScale::Smoke, 8).unwrap();
+        assert_ne!(a.berry_nav.mean_return.to_bits(), c.berry_nav.mean_return.to_bits());
+    }
+
+    #[test]
+    fn chunked_streaming_matches_the_serial_reference() {
+        let grid: Vec<Scenario> = Scenario::smoke_grid().into_iter().take(2).collect();
+        let serial = run_grid_serial(&grid, ExperimentScale::Smoke, 5).unwrap();
+        // Chunk of 1 exercises the chunk boundary on every cell; the sink
+        // must see the rows in grid order as chunks retire.
+        let mut streamed_ids = Vec::new();
+        let streamed = run_grid_streamed(&grid, ExperimentScale::Smoke, 5, 1, |row| {
+            streamed_ids.push(row.index);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(streamed, serial);
+        assert_eq!(streamed_ids, vec![0, 1]);
+        // A failing sink aborts the campaign at its chunk boundary.
+        let mut seen = 0;
+        let err = run_grid_streamed(&grid, ExperimentScale::Smoke, 5, 1, |_| {
+            seen += 1;
+            Err(crate::CoreError::InvalidConfig("sink full".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(seen, 1, "campaign must stop after the first sink error");
+    }
+
+    #[test]
+    fn summary_folds_rows_and_serializes() {
+        let grid = Scenario::smoke_grid();
+        let rows: Vec<CampaignRow> = grid
+            .iter()
+            .take(2)
+            .enumerate()
+            .map(|(i, s)| run_scenario(s, i, ExperimentScale::Smoke, scenario_seed(9, i as u64)))
+            .collect::<Result<_>>()
+            .unwrap();
+        let summary = CampaignSummary::from_rows(&rows);
+        assert_eq!(summary.scenarios, 2);
+        assert!(summary.episodes > 0);
+        assert!((0.0..=1.0).contains(&summary.berry_wins_or_ties));
+        assert!(summary.mean_energy_savings > 1.0);
+        assert!(!summary.best_cell.is_empty());
+        let json = summary.to_json();
+        assert!(json.contains("\"mean_berry_success\""));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("a\tb"), "\"a\\u0009b\"");
+    }
+}

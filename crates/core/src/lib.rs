@@ -24,7 +24,9 @@
 //! * [`evaluate`] — fault-map-averaged policy evaluation and the full
 //!   mission-level (quality-of-flight) evaluation pipeline,
 //! * [`scenario`] — the 72-scenario evaluation grid of the paper's
-//!   Section V,
+//!   Section V (plus the extended disturbance-variant grid),
+//! * [`campaign`] — the sharded, deterministically seeded engine that
+//!   trains and fault-evaluates the whole scenario grid end to end,
 //! * [`experiment`] — one module per table/figure of the paper's evaluation,
 //!   each regenerating its rows from scratch.
 //!
@@ -54,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod error;
 pub mod evaluate;
 pub mod experiment;
@@ -61,6 +64,10 @@ pub mod perturb;
 pub mod robust;
 pub mod scenario;
 
+pub use campaign::{
+    run_campaign, run_campaign_serial, run_grid, run_grid_serial, run_grid_streamed,
+    scenario_seed, CampaignConfig, CampaignRow, CampaignSummary,
+};
 pub use error::CoreError;
 pub use evaluate::{FaultEvaluationConfig, MissionEvaluation};
 pub use perturb::NetworkPerturber;

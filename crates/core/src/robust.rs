@@ -428,68 +428,15 @@ fn run_berry_loop<E: Environment, R: Rng>(
 mod tests {
     use super::*;
     use berry_nn::tensor::Tensor;
-    use berry_rl::env::{StepOutcome, TerminalKind};
     use berry_rl::schedule::EpsilonSchedule;
+    // The shared corridor fixture from `berry_rl::testenv` (this file's
+    // historical copy used a 30-step episode budget, preserved here so the
+    // training dynamics of these tests are unchanged).
+    use berry_rl::testenv::Corridor;
     use rand::SeedableRng;
 
-    /// The corridor toy environment (same as in `berry-rl`'s trainer tests).
-    struct Corridor {
-        length: i32,
-        position: i32,
-        steps: usize,
-    }
-
-    impl Corridor {
-        fn new(length: i32) -> Self {
-            Self {
-                length,
-                position: 0,
-                steps: 0,
-            }
-        }
-    }
-
-    impl Environment for Corridor {
-        fn reset(&mut self, _rng: &mut dyn rand::RngCore) -> Tensor {
-            self.position = 0;
-            self.steps = 0;
-            Tensor::from_vec(vec![1], vec![0.0]).unwrap()
-        }
-
-        fn step(&mut self, action: usize, _rng: &mut dyn rand::RngCore) -> StepOutcome {
-            self.steps += 1;
-            self.position += if action == 1 { 1 } else { -1 };
-            let obs =
-                Tensor::from_vec(vec![1], vec![self.position as f32 / self.length as f32]).unwrap();
-            let terminal = if self.position >= self.length {
-                Some(TerminalKind::Goal)
-            } else if self.position < 0 {
-                Some(TerminalKind::Collision)
-            } else if self.steps >= 30 {
-                Some(TerminalKind::Timeout)
-            } else {
-                None
-            };
-            let reward = match terminal {
-                Some(TerminalKind::Goal) => 1.0,
-                Some(TerminalKind::Collision) => -1.0,
-                _ => -0.01,
-            };
-            StepOutcome {
-                observation: obs,
-                reward,
-                terminal,
-                distance_travelled: 1.0,
-            }
-        }
-
-        fn num_actions(&self) -> usize {
-            2
-        }
-
-        fn observation_shape(&self) -> Vec<usize> {
-            vec![1]
-        }
+    fn corridor(length: i32) -> Corridor {
+        Corridor::with_timeout(length, 30)
     }
 
     fn small_config(mode: LearningMode, episodes: usize) -> BerryConfig {
@@ -542,7 +489,7 @@ mod tests {
 
     #[test]
     fn offline_berry_learns_the_corridor() {
-        let mut env = Corridor::new(4);
+        let mut env = corridor(4);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let config = small_config(LearningMode::offline(0.005), 120);
         let outcome =
@@ -551,7 +498,7 @@ mod tests {
         assert!(!outcome.report.losses.is_empty());
         // The greedy policy solves the corridor.
         let agent = outcome.agent;
-        let mut eval_env = Corridor::new(4);
+        let mut eval_env = corridor(4);
         let mut obs = eval_env.reset(&mut rng);
         let mut reached = false;
         for _ in 0..10 {
@@ -568,7 +515,7 @@ mod tests {
 
     #[test]
     fn ondevice_mode_returns_a_persistent_fault_map() {
-        let mut env = Corridor::new(3);
+        let mut env = corridor(3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let config = small_config(LearningMode::on_device(0.72), 40);
         let outcome = train_berry_with_fault_map(
@@ -588,7 +535,7 @@ mod tests {
 
     #[test]
     fn offline_mode_has_no_persistent_fault_map() {
-        let mut env = Corridor::new(3);
+        let mut env = corridor(3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let config = small_config(LearningMode::offline(0.01), 30);
         let outcome = train_berry_with_fault_map(

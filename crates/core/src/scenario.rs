@@ -1,15 +1,24 @@
-//! The 72-scenario evaluation grid of the paper's Section V.
+//! The 72-scenario evaluation grid of the paper's Section V, plus the
+//! extended disturbance grid the campaign engine executes.
 //!
 //! "We evaluate BERRY on 72 UAV deployment scenarios and show that BERRY
 //! generalizes across UAVs, environments, voltages, and bit error patterns."
 //! The grid enumerated here spans: 3 obstacle densities × 2 UAV platforms ×
 //! 2 policy architectures × 2 learning modes × 3 chip fault profiles = 72
-//! deployment scenarios.
+//! deployment scenarios.  [`Scenario::extended_grid`] multiplies that by the
+//! 3 environmental disturbance variants of [`berry_uav::world::WorldVariant`]
+//! (calm / wind-gust / sensor-dropout) for 216 cells, and
+//! [`Scenario::smoke_grid`] picks a 4-cell micro-grid that covers every axis
+//! kind so CI can execute the whole campaign pipeline in seconds.
 
+use crate::error::CoreError;
+use crate::experiment::ExperimentScale;
+use crate::Result;
 use berry_faults::chip::ChipProfile;
+use berry_hw::workload::NetworkWorkload;
 use berry_rl::policy::QNetworkSpec;
 use berry_uav::platform::UavPlatform;
-use berry_uav::world::ObstacleDensity;
+use berry_uav::world::{ObstacleDensity, WorldVariant};
 use serde::{Deserialize, Serialize};
 
 /// Which learning paradigm a scenario uses (offline vs on-device).
@@ -36,7 +45,7 @@ impl ScenarioMode {
     }
 }
 
-/// One deployment scenario of the 72-scenario grid.
+/// One deployment scenario of the evaluation grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Obstacle density of the navigation environment.
@@ -49,36 +58,55 @@ pub struct Scenario {
     pub mode: ScenarioMode,
     /// Name of the chip fault profile.
     pub chip: String,
+    /// Environmental disturbance variant ([`WorldVariant::Calm`] for every
+    /// cell of the paper's original 72-scenario grid).
+    pub variant: WorldVariant,
 }
 
 impl Scenario {
     /// A unique, filesystem-friendly identifier for the scenario.
     pub fn id(&self) -> String {
         format!(
-            "{}_{}_{}_{}_{}",
+            "{}_{}_{}_{}_{}_{}",
             self.density.label(),
             self.platform.to_lowercase().replace([' ', '.'], "-"),
             self.policy.to_lowercase(),
             self.mode.label(),
-            self.chip
+            self.chip,
+            self.variant.label()
         )
     }
 
-    /// The full 72-scenario grid.
+    /// The paper's full 72-scenario grid (all cells calm).
     pub fn grid() -> Vec<Scenario> {
-        let mut scenarios = Vec::with_capacity(72);
-        for density in ObstacleDensity::all() {
-            for platform in UavPlatform::all_builtin() {
-                for policy in [QNetworkSpec::C3F2, QNetworkSpec::C5F4] {
-                    for mode in ScenarioMode::all() {
-                        for chip in ChipProfile::all_builtin() {
-                            scenarios.push(Scenario {
-                                density,
-                                platform: platform.name().to_string(),
-                                policy: policy.name().to_string(),
-                                mode,
-                                chip: chip.name().to_string(),
-                            });
+        Self::grid_with_variants(&[WorldVariant::Calm])
+    }
+
+    /// The extended grid: the 72 paper cells crossed with every disturbance
+    /// variant (216 cells with the default calm / wind-gust /
+    /// sensor-dropout set).
+    pub fn extended_grid() -> Vec<Scenario> {
+        Self::grid_with_variants(&WorldVariant::all_default())
+    }
+
+    /// The grid crossed with an explicit set of disturbance variants.
+    pub fn grid_with_variants(variants: &[WorldVariant]) -> Vec<Scenario> {
+        let mut scenarios = Vec::with_capacity(72 * variants.len());
+        for &variant in variants {
+            for density in ObstacleDensity::all() {
+                for platform in UavPlatform::all_builtin() {
+                    for policy in [QNetworkSpec::C3F2, QNetworkSpec::C5F4] {
+                        for mode in ScenarioMode::all() {
+                            for chip in ChipProfile::all_builtin() {
+                                scenarios.push(Scenario {
+                                    density,
+                                    platform: platform.name().to_string(),
+                                    policy: policy.name().to_string(),
+                                    mode,
+                                    chip: chip.name().to_string(),
+                                    variant,
+                                });
+                            }
                         }
                     }
                 }
@@ -86,14 +114,155 @@ impl Scenario {
         }
         scenarios
     }
+
+    /// A 4-cell micro-grid covering every axis value except the dense
+    /// obstacle level (both platforms, both policies, both modes, all
+    /// three chips, all three variants, sparse + medium densities) —
+    /// small enough that the full campaign pipeline, training included,
+    /// finishes in seconds at [`ExperimentScale::Smoke`].
+    pub fn smoke_grid() -> Vec<Scenario> {
+        let mk = |density: ObstacleDensity,
+                  platform: UavPlatform,
+                  policy: QNetworkSpec,
+                  mode: ScenarioMode,
+                  chip: ChipProfile,
+                  variant: WorldVariant| Scenario {
+            density,
+            platform: platform.name().to_string(),
+            policy: policy.name().to_string(),
+            mode,
+            chip: chip.name().to_string(),
+            variant,
+        };
+        vec![
+            mk(
+                ObstacleDensity::Sparse,
+                UavPlatform::crazyflie(),
+                QNetworkSpec::C3F2,
+                ScenarioMode::Offline,
+                ChipProfile::generic(),
+                WorldVariant::Calm,
+            ),
+            mk(
+                ObstacleDensity::Medium,
+                UavPlatform::dji_tello(),
+                QNetworkSpec::C5F4,
+                ScenarioMode::Offline,
+                ChipProfile::chip2_column_aligned(),
+                WorldVariant::wind_gust_default(),
+            ),
+            mk(
+                ObstacleDensity::Sparse,
+                UavPlatform::crazyflie(),
+                QNetworkSpec::C3F2,
+                ScenarioMode::OnDevice,
+                ChipProfile::chip1_random(),
+                WorldVariant::sensor_dropout_default(),
+            ),
+            mk(
+                ObstacleDensity::Medium,
+                UavPlatform::dji_tello(),
+                QNetworkSpec::C5F4,
+                ScenarioMode::OnDevice,
+                ChipProfile::generic(),
+                WorldVariant::Calm,
+            ),
+        ]
+    }
+
+    /// Resolves the scenario's chip name to its built-in
+    /// [`ChipProfile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for chip names outside the
+    /// built-in set.
+    pub fn chip_profile(&self) -> Result<ChipProfile> {
+        ChipProfile::all_builtin()
+            .into_iter()
+            .find(|c| c.name() == self.chip)
+            .ok_or_else(|| {
+                CoreError::InvalidConfig(format!("unknown chip profile `{}`", self.chip))
+            })
+    }
+
+    /// Resolves the scenario's platform name to its built-in
+    /// [`UavPlatform`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for platform names outside the
+    /// built-in set.
+    pub fn uav_platform(&self) -> Result<UavPlatform> {
+        UavPlatform::all_builtin()
+            .into_iter()
+            .find(|p| p.name() == self.platform)
+            .ok_or_else(|| {
+                CoreError::InvalidConfig(format!("unknown UAV platform `{}`", self.platform))
+            })
+    }
+
+    /// The hardware workload whose energy the accelerator model charges for
+    /// this scenario's policy (always the published C3F2/C5F4 footprint,
+    /// even when [`Scenario::policy_spec`] substitutes a small MLP at smoke
+    /// scale — the energy model costs the *deployed* architecture).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for unknown policy names.
+    pub fn workload(&self) -> Result<NetworkWorkload> {
+        NetworkWorkload::by_name(&self.policy).map_err(CoreError::from)
+    }
+
+    /// The trainable Q-network architecture for this scenario at a given
+    /// experiment scale.  [`ExperimentScale::Smoke`] substitutes per-policy
+    /// MLPs (distinct widths, so the architecture axis still varies) to
+    /// keep CI campaigns under seconds; the other scales train the real
+    /// convolutional policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for unknown policy names.
+    pub fn policy_spec(&self, scale: ExperimentScale) -> Result<QNetworkSpec> {
+        match self.policy.to_ascii_uppercase().as_str() {
+            "C3F2" => Ok(match scale {
+                ExperimentScale::Smoke => QNetworkSpec::mlp(vec![32]),
+                _ => QNetworkSpec::C3F2,
+            }),
+            "C5F4" => Ok(match scale {
+                ExperimentScale::Smoke => QNetworkSpec::mlp(vec![48]),
+                _ => QNetworkSpec::C5F4,
+            }),
+            other => Err(CoreError::InvalidConfig(format!(
+                "unknown policy architecture `{other}`"
+            ))),
+        }
+    }
+
+    /// The deployment (and on-device learning) voltage of this scenario, in
+    /// Vmin units.  Denser environments need more robustness headroom, so
+    /// they deploy at a slightly higher voltage — the same operating points
+    /// the Fig. 5 study uses.
+    pub fn deploy_voltage_norm(&self) -> f64 {
+        match self.density {
+            ObstacleDensity::Sparse => 0.76,
+            ObstacleDensity::Medium => 0.77,
+            ObstacleDensity::Dense => 0.80,
+        }
+    }
 }
 
 impl std::fmt::Display for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} obstacles / {} / {} / {} learning / {}",
-            self.density, self.platform, self.policy, self.mode.label(), self.chip
+            "{} obstacles / {} / {} / {} learning / {} / {}",
+            self.density,
+            self.platform,
+            self.policy,
+            self.mode.label(),
+            self.chip,
+            self.variant.label()
         )
     }
 }
@@ -107,6 +276,21 @@ mod tests {
     fn grid_has_exactly_72_scenarios() {
         let grid = Scenario::grid();
         assert_eq!(grid.len(), 72);
+        assert!(grid.iter().all(|s| s.variant == WorldVariant::Calm));
+    }
+
+    #[test]
+    fn extended_grid_crosses_every_variant() {
+        let grid = Scenario::extended_grid();
+        assert_eq!(grid.len(), 216);
+        for variant in WorldVariant::all_default() {
+            assert_eq!(
+                grid.iter().filter(|s| s.variant.label() == variant.label()).count(),
+                72
+            );
+        }
+        let ids: HashSet<String> = grid.iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), grid.len());
     }
 
     #[test]
@@ -133,11 +317,88 @@ mod tests {
     }
 
     #[test]
+    fn smoke_grid_covers_axis_kinds_with_unique_ids() {
+        let grid = Scenario::smoke_grid();
+        assert_eq!(grid.len(), 4);
+        let ids: HashSet<String> = grid.iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), 4);
+        assert!(grid.iter().any(|s| s.mode == ScenarioMode::Offline));
+        assert!(grid.iter().any(|s| s.mode == ScenarioMode::OnDevice));
+        assert!(grid.iter().any(|s| s.policy == "C3F2"));
+        assert!(grid.iter().any(|s| s.policy == "C5F4"));
+        assert!(grid
+            .iter()
+            .any(|s| s.variant.label() == "wind-gust"));
+        assert!(grid
+            .iter()
+            .any(|s| s.variant.label() == "sensor-dropout"));
+        // Every smoke cell resolves its names to real models.
+        for s in &grid {
+            assert!(s.chip_profile().is_ok(), "{}", s.id());
+            assert!(s.uav_platform().is_ok(), "{}", s.id());
+            assert!(s.workload().is_ok(), "{}", s.id());
+            assert!(s.policy_spec(ExperimentScale::Smoke).is_ok());
+        }
+    }
+
+    #[test]
+    fn resolution_helpers_reject_unknown_names() {
+        let mut s = Scenario::grid()[0].clone();
+        s.chip = "no-such-chip".into();
+        assert!(s.chip_profile().is_err());
+        let mut s = Scenario::grid()[0].clone();
+        s.platform = "no-such-uav".into();
+        assert!(s.uav_platform().is_err());
+        let mut s = Scenario::grid()[0].clone();
+        s.policy = "MLP".into();
+        assert!(s.workload().is_err());
+        assert!(s.policy_spec(ExperimentScale::Smoke).is_err());
+    }
+
+    #[test]
+    fn policy_spec_downgrades_only_at_smoke_scale() {
+        let s = &Scenario::grid()[0];
+        assert_eq!(
+            s.policy_spec(ExperimentScale::Smoke).unwrap().name(),
+            "MLP"
+        );
+        assert_eq!(
+            s.policy_spec(ExperimentScale::Quick).unwrap().name(),
+            s.policy
+        );
+        // The two architectures stay distinct even as smoke MLPs.
+        let c3 = Scenario {
+            policy: "C3F2".into(),
+            ..s.clone()
+        };
+        let c5 = Scenario {
+            policy: "C5F4".into(),
+            ..s.clone()
+        };
+        assert_ne!(
+            c3.policy_spec(ExperimentScale::Smoke).unwrap(),
+            c5.policy_spec(ExperimentScale::Smoke).unwrap()
+        );
+    }
+
+    #[test]
+    fn deploy_voltage_rises_with_density() {
+        let v = |d| Scenario {
+            density: d,
+            ..Scenario::grid()[0].clone()
+        }
+        .deploy_voltage_norm();
+        assert!(v(ObstacleDensity::Sparse) < v(ObstacleDensity::Medium));
+        assert!(v(ObstacleDensity::Medium) < v(ObstacleDensity::Dense));
+    }
+
+    #[test]
     fn display_and_labels_are_informative() {
         let s = &Scenario::grid()[0];
         let text = s.to_string();
         assert!(text.contains("obstacles"));
         assert!(!s.id().contains(' '));
+        assert!(s.id().ends_with("calm"));
         assert_eq!(ScenarioMode::Offline.label(), "offline");
         assert_eq!(ScenarioMode::OnDevice.label(), "ondevice");
     }

@@ -150,6 +150,24 @@ impl NetworkWorkload {
         Self::new("C5F4", layers).expect("static layer list is non-empty")
     }
 
+    /// Looks up a built-in published workload by its short name
+    /// (case-insensitive `"C3F2"` / `"C5F4"`), the mapping the scenario
+    /// grid and the campaign engine use to attach hardware energy numbers
+    /// to a policy architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidWorkload`] for unknown names.
+    pub fn by_name(name: &str) -> Result<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "C3F2" => Ok(Self::c3f2()),
+            "C5F4" => Ok(Self::c5f4()),
+            other => Err(HwError::InvalidWorkload(format!(
+                "unknown workload `{other}`; built-ins are C3F2 and C5F4"
+            ))),
+        }
+    }
+
     /// Builds a workload for the compact simulator-scale policy used by the
     /// reproduction's RL experiments (2×9×9 perception input, 25 actions).
     ///
@@ -196,6 +214,17 @@ impl NetworkWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn by_name_resolves_builtins_case_insensitively() {
+        assert_eq!(NetworkWorkload::by_name("C3F2").unwrap().name(), "C3F2");
+        assert_eq!(NetworkWorkload::by_name("c5f4").unwrap().name(), "C5F4");
+        assert_eq!(
+            NetworkWorkload::by_name("C3F2").unwrap().total_macs(),
+            NetworkWorkload::c3f2().total_macs()
+        );
+        assert!(NetworkWorkload::by_name("MLP").is_err());
+    }
 
     #[test]
     fn c3f2_parameter_footprint_matches_paper() {

@@ -15,9 +15,11 @@
 //! * [`dqn::DqnAgent`] — the Q-network/target-network pair with the
 //!   Bellman-target machinery (Eq. 1 of the paper),
 //! * [`trainer`] — the classical (non-robust) training loop used as the
-//!   paper's baseline, and
+//!   paper's baseline,
 //! * [`eval`] — greedy policy evaluation returning success rate and path
-//!   statistics.
+//!   statistics, and
+//! * [`testenv`] — tiny deterministic MDPs shared by training-loop tests
+//!   across the workspace.
 //!
 //! ## Example
 //!
@@ -48,6 +50,7 @@ pub mod eval;
 pub mod policy;
 pub mod replay;
 pub mod schedule;
+pub mod testenv;
 pub mod trainer;
 pub mod vecenv;
 

@@ -1,0 +1,142 @@
+//! Tiny deterministic environments shared by tests across the workspace.
+//!
+//! Several crates exercise training loops against the same toy MDP; this
+//! module is the single definition (it used to be copy-pasted into
+//! `berry-rl`'s trainer tests and `berry-core`'s robust-trainer tests).
+//! It ships in the library (not behind `cfg(test)`) so downstream crates'
+//! unit tests can reuse it, but it is not part of the supported API
+//! surface.
+
+use crate::env::{Environment, StepOutcome, TerminalKind};
+use berry_nn::tensor::Tensor;
+
+/// A tiny deterministic corridor MDP: the agent starts at cell 0 and must
+/// walk right (action 1) to cell `length`; walking left of cell 0 is a
+/// "collision", and exceeding the step budget is a timeout.  The
+/// observation is the normalized position.
+///
+/// DQN learns this in a few hundred episodes, which makes it the standard
+/// fixture for "does this training loop learn at all?" tests.
+pub struct Corridor {
+    length: i32,
+    position: i32,
+    steps: usize,
+    timeout_steps: usize,
+}
+
+impl Corridor {
+    /// A corridor of `length` cells with the default 40-step episode
+    /// budget.
+    pub fn new(length: i32) -> Self {
+        Self::with_timeout(length, 40)
+    }
+
+    /// A corridor with an explicit per-episode step budget.
+    pub fn with_timeout(length: i32, timeout_steps: usize) -> Self {
+        Self {
+            length,
+            position: 0,
+            steps: 0,
+            timeout_steps,
+        }
+    }
+}
+
+impl Environment for Corridor {
+    fn reset(&mut self, _rng: &mut dyn rand::RngCore) -> Tensor {
+        self.position = 0;
+        self.steps = 0;
+        Tensor::from_vec(vec![1], vec![0.0]).expect("1-element observation")
+    }
+
+    fn step(&mut self, action: usize, _rng: &mut dyn rand::RngCore) -> StepOutcome {
+        self.steps += 1;
+        self.position += if action == 1 { 1 } else { -1 };
+        let obs = Tensor::from_vec(vec![1], vec![self.position as f32 / self.length as f32])
+            .expect("1-element observation");
+        let terminal = if self.position >= self.length {
+            Some(TerminalKind::Goal)
+        } else if self.position < 0 {
+            Some(TerminalKind::Collision)
+        } else if self.steps >= self.timeout_steps {
+            Some(TerminalKind::Timeout)
+        } else {
+            None
+        };
+        let reward = match terminal {
+            Some(TerminalKind::Goal) => 1.0,
+            Some(TerminalKind::Collision) => -1.0,
+            _ => -0.01,
+        };
+        StepOutcome {
+            observation: obs,
+            reward,
+            terminal,
+            distance_travelled: 1.0,
+        }
+    }
+
+    fn num_actions(&self) -> usize {
+        2
+    }
+
+    fn observation_shape(&self) -> Vec<usize> {
+        vec![1]
+    }
+
+    fn name(&self) -> String {
+        "corridor".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walking_right_reaches_the_goal() {
+        let mut env = Corridor::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        env.reset(&mut rng);
+        let mut last = None;
+        for _ in 0..3 {
+            last = env.step(1, &mut rng).terminal;
+        }
+        assert_eq!(last, Some(TerminalKind::Goal));
+    }
+
+    #[test]
+    fn walking_left_collides_immediately() {
+        let mut env = Corridor::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        env.reset(&mut rng);
+        assert_eq!(
+            env.step(0, &mut rng).terminal,
+            Some(TerminalKind::Collision)
+        );
+    }
+
+    #[test]
+    fn hovering_times_out_at_the_configured_budget() {
+        let mut env = Corridor::with_timeout(5, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        env.reset(&mut rng);
+        let mut last = None;
+        for _ in 0..4 {
+            // Alternate left/right so the position oscillates in-bounds.
+            last = env.step(1, &mut rng).terminal;
+            if last.is_some() {
+                break;
+            }
+            last = env.step(0, &mut rng).terminal;
+            if last.is_some() {
+                break;
+            }
+        }
+        assert_eq!(last, Some(TerminalKind::Timeout));
+        assert_eq!(env.name(), "corridor");
+        assert_eq!(env.num_actions(), 2);
+        assert_eq!(env.observation_shape(), vec![1]);
+    }
+}

@@ -242,76 +242,12 @@ pub fn continue_training<E: Environment, R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::env::{StepOutcome, TerminalKind};
-    use berry_nn::tensor::Tensor;
+    // The corridor fixture lives in `crate::testenv` so `berry-core`'s
+    // robust-trainer tests exercise the identical MDP (it used to be
+    // copy-pasted in both places).  `Corridor::new` keeps this file's
+    // historical 40-step episode budget.
+    use crate::testenv::Corridor;
     use rand::SeedableRng;
-
-    /// A tiny deterministic corridor: the agent starts at cell 0 and must
-    /// walk right (action 1) to cell `length`; walking left (action 0) at
-    /// cell 0 is a "collision".  Observation is the normalized position.
-    struct Corridor {
-        length: i32,
-        position: i32,
-        steps: usize,
-    }
-
-    impl Corridor {
-        fn new(length: i32) -> Self {
-            Self {
-                length,
-                position: 0,
-                steps: 0,
-            }
-        }
-    }
-
-    impl Environment for Corridor {
-        fn reset(&mut self, _rng: &mut dyn rand::RngCore) -> Tensor {
-            self.position = 0;
-            self.steps = 0;
-            Tensor::from_vec(vec![1], vec![0.0]).unwrap()
-        }
-
-        fn step(&mut self, action: usize, _rng: &mut dyn rand::RngCore) -> StepOutcome {
-            self.steps += 1;
-            let delta = if action == 1 { 1 } else { -1 };
-            self.position += delta;
-            let obs =
-                Tensor::from_vec(vec![1], vec![self.position as f32 / self.length as f32]).unwrap();
-            let terminal = if self.position >= self.length {
-                Some(TerminalKind::Goal)
-            } else if self.position < 0 {
-                Some(TerminalKind::Collision)
-            } else if self.steps >= 40 {
-                Some(TerminalKind::Timeout)
-            } else {
-                None
-            };
-            let reward = match terminal {
-                Some(TerminalKind::Goal) => 1.0,
-                Some(TerminalKind::Collision) => -1.0,
-                _ => -0.01,
-            };
-            StepOutcome {
-                observation: obs,
-                reward,
-                terminal,
-                distance_travelled: 1.0,
-            }
-        }
-
-        fn num_actions(&self) -> usize {
-            2
-        }
-
-        fn observation_shape(&self) -> Vec<usize> {
-            vec![1]
-        }
-
-        fn name(&self) -> String {
-            "corridor".into()
-        }
-    }
 
     #[test]
     fn classical_training_learns_the_corridor() {

@@ -59,7 +59,7 @@ pub use error::UavError;
 pub use flight::{FlightEnergyModel, QualityOfFlight};
 pub use physics::{FlightCondition, FlightPhysics};
 pub use platform::UavPlatform;
-pub use world::{ObstacleDensity, ObstacleWorld};
+pub use world::{ObstacleDensity, ObstacleWorld, WorldVariant};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, UavError>;

@@ -88,6 +88,114 @@ impl std::fmt::Display for ObstacleDensity {
     }
 }
 
+/// Environmental disturbance variants layered on top of the obstacle
+/// worlds — the scenario-diversity axis that extends the evaluation grid
+/// beyond the paper's 72 cells.
+///
+/// Every variant draws all of its randomness from the episode's RNG stream
+/// (never from a shared generator), so the batched lockstep engine stays
+/// bitwise lane-count invariant on disturbed environments too.  `Calm`
+/// consumes *no* extra randomness, which keeps the pre-variant golden
+/// snapshots valid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum WorldVariant {
+    /// The baseline environment of the paper: no disturbance.
+    #[default]
+    Calm,
+    /// Stochastic wind gusts: each step, with probability `gust_prob`, an
+    /// extra displacement of up to `gust_step_m` metres per axis is added
+    /// to the commanded motion.
+    WindGust {
+        /// Maximum extra displacement per axis per gust (metres).
+        gust_step_m: f64,
+        /// Per-step probability of a gust.
+        gust_prob: f64,
+    },
+    /// Sensor dropout: each occupancy cell of the observation independently
+    /// reads as free with probability `drop_prob` (the depth sensor missed
+    /// it), so the policy must act under degraded perception.
+    SensorDropout {
+        /// Per-cell probability that an occupancy reading is lost.
+        drop_prob: f64,
+    },
+}
+
+impl WorldVariant {
+    /// The default wind-gust variant used by the extended scenario grid.
+    pub fn wind_gust_default() -> Self {
+        WorldVariant::WindGust {
+            gust_step_m: 0.35,
+            gust_prob: 0.25,
+        }
+    }
+
+    /// The default sensor-dropout variant used by the extended scenario
+    /// grid.
+    pub fn sensor_dropout_default() -> Self {
+        WorldVariant::SensorDropout { drop_prob: 0.15 }
+    }
+
+    /// All variants at their default parameters, baseline first.
+    pub fn all_default() -> [WorldVariant; 3] {
+        [
+            WorldVariant::Calm,
+            WorldVariant::wind_gust_default(),
+            WorldVariant::sensor_dropout_default(),
+        ]
+    }
+
+    /// Short label used in scenario identifiers and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorldVariant::Calm => "calm",
+            WorldVariant::WindGust { .. } => "wind-gust",
+            WorldVariant::SensorDropout { .. } => "sensor-dropout",
+        }
+    }
+
+    /// Validates the variant's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UavError::InvalidConfig`] for non-finite or out-of-range
+    /// gust/dropout parameters.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            WorldVariant::Calm => Ok(()),
+            WorldVariant::WindGust {
+                gust_step_m,
+                gust_prob,
+            } => {
+                if gust_step_m <= 0.0 || !gust_step_m.is_finite() {
+                    return Err(UavError::InvalidConfig(format!(
+                        "gust step must be strictly positive, got {gust_step_m}"
+                    )));
+                }
+                if !(0.0..=1.0).contains(&gust_prob) || !gust_prob.is_finite() {
+                    return Err(UavError::InvalidConfig(format!(
+                        "gust probability must lie in [0, 1], got {gust_prob}"
+                    )));
+                }
+                Ok(())
+            }
+            WorldVariant::SensorDropout { drop_prob } => {
+                if !(0.0..=1.0).contains(&drop_prob) || !drop_prob.is_finite() {
+                    return Err(UavError::InvalidConfig(format!(
+                        "dropout probability must lie in [0, 1], got {drop_prob}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WorldVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// A square arena with circular obstacles, a start and a goal.
 ///
 /// # Examples
@@ -394,6 +502,47 @@ mod tests {
         let mut r = rng(5);
         assert!(ObstacleWorld::generate(2.0, ObstacleDensity::Sparse, &mut r).is_err());
         assert!(ObstacleWorld::generate(500.0, ObstacleDensity::Sparse, &mut r).is_err());
+    }
+
+    #[test]
+    fn world_variant_labels_and_defaults() {
+        assert_eq!(WorldVariant::default(), WorldVariant::Calm);
+        assert_eq!(WorldVariant::Calm.label(), "calm");
+        assert_eq!(WorldVariant::wind_gust_default().label(), "wind-gust");
+        assert_eq!(
+            WorldVariant::sensor_dropout_default().to_string(),
+            "sensor-dropout"
+        );
+        let labels: std::collections::HashSet<&str> = WorldVariant::all_default()
+            .iter()
+            .map(|v| v.label())
+            .collect();
+        assert_eq!(labels.len(), 3);
+        for v in WorldVariant::all_default() {
+            assert!(v.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn world_variant_validation_rejects_bad_parameters() {
+        assert!(WorldVariant::WindGust {
+            gust_step_m: 0.0,
+            gust_prob: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(WorldVariant::WindGust {
+            gust_step_m: 0.3,
+            gust_prob: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(WorldVariant::SensorDropout { drop_prob: -0.1 }
+            .validate()
+            .is_err());
+        assert!(WorldVariant::SensorDropout { drop_prob: 2.0 }
+            .validate()
+            .is_err());
     }
 
     #[test]

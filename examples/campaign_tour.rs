@@ -1,0 +1,78 @@
+//! Campaign tour: execute a miniature scenario-grid campaign and walk
+//! through what each row reports.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example campaign_tour
+//! ```
+//!
+//! The example runs the 4-cell smoke grid sharded across workers, then
+//! re-runs it serially and verifies the two are bitwise identical — the
+//! determinism contract the campaign engine is built around.  Set
+//! `BERRY_SCALE=quick` to campaign over the paper's full 72-scenario grid
+//! instead (expect many minutes of training), or `BERRY_SCALE=paper` for
+//! the 216-cell extended disturbance grid.
+
+use berry_core::campaign::{run_campaign, run_campaign_serial, CampaignConfig, CampaignSummary};
+use berry_core::experiment::ExperimentScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Same `BERRY_SCALE` parsing as the harness binaries (case-insensitive,
+    // `full` aliases `paper`) — except the example defaults to the smoke
+    // grid so a bare `cargo run --example campaign_tour` stays fast.
+    let scale = std::env::var("BERRY_SCALE")
+        .ok()
+        .and_then(|s| berry_bench::parse_scale(&s))
+        .unwrap_or(ExperimentScale::Smoke);
+    let config = CampaignConfig::at_scale(scale);
+    let grid = config.grid();
+    println!("BERRY campaign tour ({scale:?} scale)");
+    println!(
+        "1. campaigning over {} scenarios (sharded across workers)...",
+        grid.len()
+    );
+    let rows = run_campaign(&config)?;
+
+    println!("2. what one row carries (cell 0):");
+    let first = &rows[0];
+    println!("   scenario:  {}", first.scenario);
+    println!(
+        "   deploy:    {:.2} Vmin -> BER {:.4} %",
+        first.voltage_norm,
+        first.ber * 100.0
+    );
+    println!(
+        "   nav:       classical {:.1} % vs BERRY {:.1} % success",
+        first.classical_nav.success_rate * 100.0,
+        first.berry_nav.success_rate * 100.0
+    );
+    println!(
+        "   hardware:  {:.2}x energy saving, {:.1} µJ/inference",
+        first.processing.savings_vs_nominal,
+        first.processing.energy_per_inference_j * 1e6
+    );
+    println!(
+        "   mission:   {:.1} J per flight, {:.1} missions per charge",
+        first.quality_of_flight.flight_energy_j, first.quality_of_flight.num_missions
+    );
+
+    if matches!(scale, ExperimentScale::Smoke) {
+        println!("3. re-running serially and checking sharded == serial bitwise...");
+        let serial = run_campaign_serial(&config)?;
+        assert_eq!(rows, serial, "sharded and serial campaigns must agree");
+        println!("   identical — scenario seeding makes scheduling invisible.");
+    }
+
+    let summary = CampaignSummary::from_rows(&rows);
+    println!(
+        "summary: {} cells, mean success classical {:.1} % vs BERRY {:.1} %, \
+         mean energy saving {:.2}x",
+        summary.scenarios,
+        summary.mean_classical_success * 100.0,
+        summary.mean_berry_success * 100.0,
+        summary.mean_energy_savings
+    );
+    println!("         best cell {} / worst cell {}", summary.best_cell, summary.worst_cell);
+    Ok(())
+}

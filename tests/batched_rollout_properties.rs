@@ -19,7 +19,7 @@ use berry_rl::eval::{evaluate_policy_batched, evaluate_policy_seeded_serial, Eva
 use berry_rl::policy::QNetworkSpec;
 use berry_rl::Environment;
 use berry_uav::env::{NavigationConfig, NavigationEnv};
-use berry_uav::world::ObstacleDensity;
+use berry_uav::world::{ObstacleDensity, WorldVariant};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -78,6 +78,56 @@ proptest! {
                 &policy, &env, episodes, 15, lanes, map_seed, &mut scratch,
             );
             assert_stats_bitwise(&serial, &batched, &format!("{lanes} lanes"));
+        }
+    }
+
+    /// Property 1b: the disturbance variants keep both rollout-engine
+    /// guarantees the campaign engine builds on.  On wind-gust **and**
+    /// sensor-dropout environments (whose gusts and dropout masks draw
+    /// extra randomness from the episode streams), the same seed replays
+    /// the identical episode traces bit for bit, and the lockstep engine
+    /// at lane counts {1, 3, 8} still reproduces the serial reference.
+    #[test]
+    fn prop_world_variants_keep_seed_determinism_and_lane_invariance(
+        policy_seed in 0u64..1000,
+        map_seed in 0u64..u64::MAX,
+        episodes in 1usize..8,
+        hidden in 8usize..20,
+        variant_index in 0usize..2,
+    ) {
+        let variant = [
+            WorldVariant::wind_gust_default(),
+            WorldVariant::sensor_dropout_default(),
+        ][variant_index];
+        let env = NavigationEnv::new(NavigationConfig {
+            variant,
+            ..NavigationConfig::with_density(ObstacleDensity::Sparse)
+        })
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(policy_seed);
+        let policy = QNetworkSpec::mlp(vec![hidden])
+            .build(&env.observation_shape(), env.num_actions(), &mut rng)
+            .unwrap();
+        let mut scratch = InferScratch::new();
+        let serial = evaluate_policy_seeded_serial(
+            &policy, &env, episodes, 12, map_seed, &mut scratch,
+        );
+        prop_assert_eq!(serial.episodes, episodes);
+        // Same seed ⇒ identical traces (aggregates are bitwise equal).
+        let replay = evaluate_policy_seeded_serial(
+            &policy, &env, episodes, 12, map_seed, &mut scratch,
+        );
+        assert_stats_bitwise(&serial, &replay, &format!("{} replay", variant.label()));
+        // Lane-count invariance holds under disturbance randomness too.
+        for lanes in [1usize, 3, 8] {
+            let batched = evaluate_policy_batched(
+                &policy, &env, episodes, 12, lanes, map_seed, &mut scratch,
+            );
+            assert_stats_bitwise(
+                &serial,
+                &batched,
+                &format!("{} {lanes} lanes", variant.label()),
+            );
         }
     }
 

@@ -20,6 +20,94 @@ fn workspace_version_is_exposed() {
 #[test]
 fn scenario_grid_matches_the_papers_72_scenarios() {
     assert_eq!(Scenario::grid().len(), 72);
+    // The extended disturbance grid multiplies the 72 cells by the three
+    // world variants.
+    assert_eq!(berry_core::Scenario::extended_grid().len(), 216);
+}
+
+/// The campaign rows' energy accounting must be *exactly* the `berry-hw`
+/// models evaluated at the scenario's operating point — the campaign
+/// engine attaches hardware numbers, it never recomputes them through a
+/// second code path that could drift.
+#[test]
+fn campaign_energy_accounting_matches_the_hardware_models_bitwise() {
+    use berry_core::campaign::{run_scenario, scenario_seed};
+    use berry_core::experiment::ExperimentScale;
+
+    let scenario = Scenario::smoke_grid()[0].clone();
+    let row = run_scenario(
+        &scenario,
+        0,
+        ExperimentScale::Smoke,
+        scenario_seed(77, 0),
+    )
+    .unwrap();
+
+    // Voltage and BER come straight off the scenario and its chip curve.
+    assert_eq!(row.voltage_norm, scenario.deploy_voltage_norm());
+    let chip = scenario.chip_profile().unwrap();
+    assert_eq!(
+        row.ber.to_bits(),
+        chip.ber_at_voltage(row.voltage_norm).unwrap().to_bits()
+    );
+
+    // The processing report is the accelerator (dvfs + sram + thermal)
+    // model at the scenario's published workload and voltage, bit for bit.
+    let workload = scenario.workload().unwrap();
+    let direct = Accelerator::default_edge_accelerator()
+        .evaluate(&workload, row.voltage_norm)
+        .unwrap();
+    for (name, got, want) in [
+        ("frequency_hz", row.processing.frequency_hz, direct.frequency_hz),
+        ("latency_s", row.processing.latency_s, direct.latency_s),
+        (
+            "energy_per_inference_j",
+            row.processing.energy_per_inference_j,
+            direct.energy_per_inference_j,
+        ),
+        (
+            "compute_power_w",
+            row.processing.compute_power_w,
+            direct.compute_power_w,
+        ),
+        (
+            "savings_vs_nominal",
+            row.processing.savings_vs_nominal,
+            direct.savings_vs_nominal,
+        ),
+        ("tdp_w", row.processing.tdp_w, direct.tdp_w),
+        (
+            "heatsink_mass_g",
+            row.processing.heatsink_mass_g,
+            direct.heatsink_mass_g,
+        ),
+    ] {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "campaign processing.{name} drifted from the berry-hw model ({got} vs {want})"
+        );
+    }
+
+    // The flight-side compute power is the platform model fed with the
+    // workload's MAC ratio and the accelerator's savings factor.
+    let platform = scenario.uav_platform().unwrap();
+    let mac_ratio =
+        workload.total_macs() as f64 / NetworkWorkload::c3f2().total_macs() as f64;
+    let expected_compute =
+        compute_power_w(&platform, mac_ratio, direct.savings_vs_nominal).unwrap();
+    assert_eq!(
+        row.quality_of_flight.compute_power_w.to_bits(),
+        expected_compute.to_bits(),
+        "campaign compute power drifted from the platform model"
+    );
+
+    // And the navigation episode budget matches the smoke protocol.
+    let eval = ExperimentScale::Smoke.evaluation_config();
+    assert_eq!(
+        row.berry_nav.episodes,
+        eval.fault_maps * eval.episodes_per_map
+    );
 }
 
 #[test]

@@ -155,6 +155,46 @@ fn episode_seeds_are_distinct_and_disjoint_from_map_seeds() {
     }
 }
 
+/// The campaign engine's `scenario_seed` derivation joins the seed-family
+/// stack above `fault_map_seed` and `episode_seed`: one scenario stream per
+/// grid cell, each feeding per-map streams, each feeding per-episode
+/// streams.  The three families must be distinct within themselves *and*
+/// mutually disjoint, or a grid cell could replay another cell's fault
+/// maps or episodes.
+#[test]
+fn scenario_seeds_are_distinct_and_disjoint_from_map_and_episode_seeds() {
+    use berry_core::campaign::scenario_seed;
+    use berry_rl::episode_seed;
+    let mut all = std::collections::HashSet::new();
+    for cell in 0..216u64 {
+        let cell_seed = scenario_seed(BASE_SEED, cell);
+        assert!(all.insert(cell_seed), "scenario seed collision at {cell}");
+    }
+    // The downstream families derived from the first few cells never
+    // collide with any scenario seed or with each other.
+    for cell in 0..4u64 {
+        let cell_seed = scenario_seed(BASE_SEED, cell);
+        for map in 0..20u64 {
+            let map_seed = fault_map_seed(cell_seed, map);
+            assert!(
+                all.insert(map_seed),
+                "map seed collision at cell {cell} map {map}"
+            );
+            for episode in 0..10u64 {
+                assert!(
+                    all.insert(episode_seed(map_seed, episode)),
+                    "episode seed collision at cell {cell} map {map} episode {episode}"
+                );
+            }
+        }
+    }
+    // Identical cell indices under different base seeds stay unrelated.
+    assert_ne!(scenario_seed(1, 0), scenario_seed(2, 0));
+    // And the same (base, index) pair never aliases the other derivations.
+    assert_ne!(scenario_seed(BASE_SEED, 3), fault_map_seed(BASE_SEED, 3));
+    assert_ne!(scenario_seed(BASE_SEED, 3), episode_seed(BASE_SEED, 3));
+}
+
 /// The immutable inference path must agree bitwise with the caching
 /// `forward` path for every layer type — the fault-map workers roll out
 /// episodes through `infer` while the training and legacy paths use
