@@ -1,13 +1,15 @@
 //! Ablation bench: clean-only vs perturbed-only vs dual-pass gradients.
 
-use berry_bench::{print_header, rng_from_env, scale_from_env};
+use berry_bench::{print_header, print_store_stats, scale_from_env, seed_from_env, store_from_env};
 use berry_core::experiment::ablation::{format_ablation, gradient_ablation};
 
 fn main() {
     let scale = scale_from_env();
-    let mut rng = rng_from_env();
+    let seed = seed_from_env();
+    let store = store_from_env();
     print_header("Ablation — gradient composition of Algorithm 1 line 19", scale);
-    println!("training three policies ({scale:?} scale)...");
-    let rows = gradient_ablation(scale, 0.005, &mut rng).expect("ablation study");
+    println!("training three policies through the policy store ({scale:?} scale)...");
+    let rows = gradient_ablation(&store, scale, 0.005, seed).expect("ablation study");
     println!("{}", format_ablation(&rows));
+    print_store_stats(&store);
 }

@@ -12,19 +12,32 @@
 //!
 //! ```text
 //! campaign_runner [--scale smoke|quick|paper] [--seed N] [--serial]
-//!                 [--out rows.jsonl] [--summary summary.json]
+//!                 [--out rows.jsonl] [--summary summary.json] [--store DIR]
 //! ```
 //!
 //! Defaults: scale/seed from `BERRY_SCALE` / `BERRY_SEED` (quick / 2023),
-//! rows to `CAMPAIGN.jsonl`, summary to `CAMPAIGN_SUMMARY.json`.  The
-//! process exits non-zero if **any** grid cell errors — a campaign with a
-//! failed cell is a failed campaign, which is what lets CI gate on it.
+//! store from `BERRY_STORE` (in-memory when unset), rows to
+//! `CAMPAIGN.jsonl`, summary to `CAMPAIGN_SUMMARY.json`.  The process
+//! exits non-zero if **any** grid cell errors — a campaign with a failed
+//! cell is a failed campaign, which is what lets CI gate on it — and the
+//! summary is written on *both* paths: `"status": "ok"` with the campaign
+//! aggregates on success, `"status": "error"` with the failure and the
+//! number of completed rows otherwise (never missing, never stale).
+//!
+//! With `--store DIR`, trained Classical/BERRY pairs persist as
+//! content-addressed flat-weight records: a rerun of the same campaign (or
+//! any table runner sharing the seed and scale) retrains **zero** policies
+//! and reproduces its artifacts byte for byte — the CI cache-determinism
+//! job asserts exactly that.
 
-use berry_bench::{parse_scale, print_header, scale_from_env, seed_from_env};
+use berry_bench::{
+    parse_scale, print_header, print_store_stats, scale_from_env, seed_from_env, store_from_env,
+};
 use berry_core::campaign::{
-    run_campaign_serial, run_grid_streamed, CampaignConfig, CampaignSummary,
+    error_summary_json, run_grid_serial_in, run_grid_streamed_in, CampaignConfig, CampaignSummary,
 };
 use berry_core::experiment::format_table;
+use berry_core::{CampaignRow, PolicyStore};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -35,13 +48,14 @@ use std::time::Instant;
 const STREAM_CHUNK: usize = 8;
 
 const USAGE: &str = "usage: campaign_runner [--scale smoke|quick|paper] [--seed N] \
-                     [--serial] [--out rows.jsonl] [--summary summary.json]";
+                     [--serial] [--out rows.jsonl] [--summary summary.json] [--store DIR]";
 
 struct Args {
     config: CampaignConfig,
     serial: bool,
     out: String,
     summary: String,
+    store_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         serial: false,
         out: "CAMPAIGN.jsonl".to_string(),
         summary: "CAMPAIGN_SUMMARY.json".to_string(),
+        store_dir: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -78,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
             "--serial" => args.serial = true,
             "--out" => args.out = value(&mut i, "--out")?,
             "--summary" => args.summary = value(&mut i, "--summary")?,
+            "--store" => args.store_dir = Some(value(&mut i, "--store")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -89,9 +105,64 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Runs the campaign, streaming rows to `out` (sharded path) and counting
+/// every row that reached the sink.
+fn run(
+    args: &Args,
+    store: &PolicyStore,
+    out: &mut std::io::BufWriter<std::fs::File>,
+    rows_streamed: &mut usize,
+) -> berry_core::Result<Vec<CampaignRow>> {
+    let grid = args.config.grid();
+    if args.serial {
+        // The serial reference path (one cell at a time, no fan-out);
+        // rows are written once the reference run completes.
+        let rows = run_grid_serial_in(&grid, args.config.scale, args.config.base_seed, store)?;
+        for row in &rows {
+            writeln!(out, "{}", row.to_json_line()).map_err(|e| {
+                berry_core::CoreError::InvalidConfig(format!(
+                    "failed to write campaign row {} to {}: {e}",
+                    row.index, args.out
+                ))
+            })?;
+            *rows_streamed += 1;
+        }
+        Ok(rows)
+    } else {
+        // Sharded with streaming: every finished chunk's rows flush to
+        // disk in grid order, so a campaign killed midway keeps them — and
+        // a failing write (full disk) aborts the campaign at its chunk
+        // boundary instead of burning the remaining cells' compute.
+        run_grid_streamed_in(
+            &grid,
+            args.config.scale,
+            args.config.base_seed,
+            STREAM_CHUNK,
+            store,
+            &[],
+            |row| {
+                writeln!(out, "{}", row.to_json_line())
+                    .and_then(|()| out.flush())
+                    .map_err(|e| {
+                        berry_core::CoreError::InvalidConfig(format!(
+                            "failed to stream campaign row {} to {}: {e}",
+                            row.index, args.out
+                        ))
+                    })?;
+                *rows_streamed += 1;
+                Ok(())
+            },
+        )
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
     print_header("scenario-grid campaign", args.config.scale);
+    let store = match &args.store_dir {
+        Some(dir) => PolicyStore::with_dir(dir)?,
+        None => store_from_env(),
+    };
     let grid = args.config.grid();
     println!(
         "grid:  {} scenarios, base seed {}, {} execution",
@@ -102,35 +173,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let start = Instant::now();
     let mut out = std::io::BufWriter::new(std::fs::File::create(&args.out)?);
-    let rows = if args.serial {
-        // The serial reference path (one cell at a time, no fan-out);
-        // rows are written once the reference run completes.
-        let rows = run_campaign_serial(&args.config)?;
-        for row in &rows {
-            writeln!(out, "{}", row.to_json_line())?;
+    let mut rows_streamed = 0usize;
+    let rows = match run(&args, &store, &mut out, &mut rows_streamed) {
+        Ok(rows) => rows,
+        Err(e) => {
+            // A failed cell (or sink) must still leave a *fresh* summary
+            // whose status matches the non-zero exit — CI consumers never
+            // see streamed rows next to a missing or stale summary.  Both
+            // writes are best-effort: if the disk itself is what broke,
+            // the original cell/sink error must still reach the exit code
+            // and the diagnostics below, not be shadowed by a second
+            // write failure.
+            let _ = out.flush();
+            if let Err(write_err) = std::fs::write(
+                &args.summary,
+                error_summary_json(rows_streamed, grid.len(), &e.to_string()),
+            ) {
+                eprintln!("could not write error summary {}: {write_err}", args.summary);
+            }
+            print_store_stats(&store);
+            eprintln!(
+                "campaign failed after {rows_streamed}/{} rows: {e}",
+                grid.len()
+            );
+            return Err(e.into());
         }
-        rows
-    } else {
-        // Sharded with streaming: every finished chunk's rows flush to
-        // disk in grid order, so a campaign killed midway keeps them — and
-        // a failing write (full disk) aborts the campaign at its chunk
-        // boundary instead of burning the remaining cells' compute.
-        run_grid_streamed(
-            &grid,
-            args.config.scale,
-            args.config.base_seed,
-            STREAM_CHUNK,
-            |row| {
-                writeln!(out, "{}", row.to_json_line())
-                    .and_then(|()| out.flush())
-                    .map_err(|e| {
-                        berry_core::CoreError::InvalidConfig(format!(
-                            "failed to stream campaign row {} to {}: {e}",
-                            row.index, args.out
-                        ))
-                    })
-            },
-        )?
     };
     let elapsed = start.elapsed().as_secs_f64();
     out.flush()?;
@@ -174,6 +241,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         summary.mean_berry_success * 100.0,
         summary.berry_wins_or_ties * 100.0,
     );
+    print_store_stats(&store);
     println!("wrote {} and {}", args.out, args.summary);
     Ok(())
 }

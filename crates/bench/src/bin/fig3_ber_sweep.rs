@@ -1,19 +1,16 @@
 //! Regenerates Fig. 3: success rate and flight energy vs bit-error rate.
 
-use berry_bench::{print_header, rng_from_env, scale_from_env};
+use berry_bench::{print_header, print_store_stats, scale_from_env, seed_from_env, store_from_env};
 use berry_core::experiment::robustness::{fig3_ber_sweep, fig3_default_ber_percents, format_fig3};
-use berry_core::experiment::train_policy_pair;
-use berry_uav::world::ObstacleDensity;
 
 fn main() {
     let scale = scale_from_env();
-    let mut rng = rng_from_env();
+    let seed = seed_from_env();
+    let store = store_from_env();
     print_header("Fig. 3 — Robustness to bit errors and flight energy savings", scale);
-    let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
-    println!("training Classical and BERRY policies ({scale:?} scale)...");
-    let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng)
-        .expect("policy training");
-    let rows = fig3_ber_sweep(&pair, &fig3_default_ber_percents(), scale, &mut rng)
-        .expect("fig 3 sweep");
+    println!("campaigning the medium/Crazyflie/C3F2 cell ({scale:?} scale)...");
+    let rows = fig3_ber_sweep(&store, &fig3_default_ber_percents(), scale, seed)
+        .expect("fig 3 campaign");
     println!("{}", format_fig3(&rows));
+    print_store_stats(&store);
 }

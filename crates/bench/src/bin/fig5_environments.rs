@@ -1,13 +1,15 @@
 //! Regenerates Fig. 5: effectiveness across sparse/medium/dense environments.
 
-use berry_bench::{print_header, rng_from_env, scale_from_env};
+use berry_bench::{print_header, print_store_stats, scale_from_env, seed_from_env, store_from_env};
 use berry_core::experiment::generalization::{fig5_environment_study, format_fig5};
 
 fn main() {
     let scale = scale_from_env();
-    let mut rng = rng_from_env();
+    let seed = seed_from_env();
+    let store = store_from_env();
     print_header("Fig. 5 — Effectiveness across different environments", scale);
-    println!("training one Classical/BERRY pair per environment ({scale:?} scale)...");
-    let rows = fig5_environment_study(scale, &mut rng).expect("fig 5 study");
+    println!("campaigning one cell per environment ({scale:?} scale)...");
+    let rows = fig5_environment_study(&store, scale, seed).expect("fig 5 campaign");
     println!("{}", format_fig5(&rows));
+    print_store_stats(&store);
 }

@@ -1,13 +1,15 @@
 //! Regenerates Fig. 7: effectiveness across UAV platforms and policy models.
 
-use berry_bench::{print_header, rng_from_env, scale_from_env};
+use berry_bench::{print_header, print_store_stats, scale_from_env, seed_from_env, store_from_env};
 use berry_core::experiment::generalization::{fig7_platform_study, format_fig7};
 
 fn main() {
     let scale = scale_from_env();
-    let mut rng = rng_from_env();
+    let seed = seed_from_env();
+    let store = store_from_env();
     print_header("Fig. 7 — Effectiveness across different UAVs and models", scale);
-    println!("training policies for Crazyflie/C3F2, Tello/C3F2 and Tello/C5F4 ({scale:?} scale)...");
-    let rows = fig7_platform_study(scale, &mut rng).expect("fig 7 study");
+    println!("campaigning Crazyflie/C3F2, Tello/C3F2 and Tello/C5F4 cells ({scale:?} scale)...");
+    let rows = fig7_platform_study(&store, scale, seed).expect("fig 7 campaign");
     println!("{}", format_fig7(&rows));
+    print_store_stats(&store);
 }

@@ -1,18 +1,15 @@
 //! Regenerates Table I: success rate vs bit-error rate, Classical vs BERRY.
 
-use berry_bench::{print_header, rng_from_env, scale_from_env};
+use berry_bench::{print_header, print_store_stats, scale_from_env, seed_from_env, store_from_env};
 use berry_core::experiment::robustness::{format_table1, table1_robustness};
-use berry_core::experiment::train_policy_pair;
-use berry_uav::world::ObstacleDensity;
 
 fn main() {
     let scale = scale_from_env();
-    let mut rng = rng_from_env();
+    let seed = seed_from_env();
+    let store = store_from_env();
     print_header("Table I — Robustness improvement", scale);
-    let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
-    println!("training Classical and BERRY policies ({scale:?} scale)...");
-    let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng)
-        .expect("policy training");
-    let rows = table1_robustness(&pair, scale, &mut rng).expect("table 1 evaluation");
+    println!("campaigning the medium/Crazyflie/C3F2 cell ({scale:?} scale)...");
+    let rows = table1_robustness(&store, scale, seed).expect("table 1 campaign");
     println!("{}", format_table1(&rows));
+    print_store_stats(&store);
 }

@@ -1,29 +1,18 @@
 //! Regenerates Table II: operating and system efficiency across voltages.
 
-use berry_bench::{print_header, rng_from_env, scale_from_env};
-use berry_core::evaluate::MissionContext;
-use berry_core::experiment::train_policy_pair;
+use berry_bench::{print_header, print_store_stats, scale_from_env, seed_from_env, store_from_env};
 use berry_core::experiment::voltage::{
     format_table2, optimal_row, table2_default_voltages, table2_voltage_sweep,
 };
-use berry_uav::world::ObstacleDensity;
 
 fn main() {
     let scale = scale_from_env();
-    let mut rng = rng_from_env();
+    let seed = seed_from_env();
+    let store = store_from_env();
     print_header("Table II — Operating and system efficiency improvement", scale);
-    let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
-    println!("training BERRY policy ({scale:?} scale)...");
-    let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng)
-        .expect("policy training");
-    let rows = table2_voltage_sweep(
-        &pair,
-        &MissionContext::crazyflie_c3f2(),
-        &table2_default_voltages(),
-        scale,
-        &mut rng,
-    )
-    .expect("table 2 sweep");
+    println!("campaigning the medium/Crazyflie/C3F2 cell ({scale:?} scale)...");
+    let rows = table2_voltage_sweep(&store, &table2_default_voltages(), scale, seed)
+        .expect("table 2 campaign");
     println!("{}", format_table2(&rows));
     if let Some(best) = optimal_row(&rows) {
         println!(
@@ -34,4 +23,5 @@ fn main() {
             best.energy_savings
         );
     }
+    print_store_stats(&store);
 }

@@ -1,18 +1,15 @@
 //! Regenerates Table III: effectiveness across profiled bit-error chips.
 
-use berry_bench::{print_header, rng_from_env, scale_from_env};
+use berry_bench::{print_header, print_store_stats, scale_from_env, seed_from_env, store_from_env};
 use berry_core::experiment::generalization::{format_table3, table3_chip_study};
-use berry_core::experiment::train_policy_pair;
-use berry_uav::world::ObstacleDensity;
 
 fn main() {
     let scale = scale_from_env();
-    let mut rng = rng_from_env();
+    let seed = seed_from_env();
+    let store = store_from_env();
     print_header("Table III — Effectiveness across different profiled bit errors", scale);
-    let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
-    println!("training BERRY policy at p = 0.5% ({scale:?} scale)...");
-    let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng)
-        .expect("policy training");
-    let rows = table3_chip_study(&pair, scale, &mut rng).expect("table 3 study");
+    println!("campaigning the medium/Crazyflie/C3F2 cell against the profiled chips ({scale:?} scale)...");
+    let rows = table3_chip_study(&store, scale, seed).expect("table 3 campaign");
     println!("{}", format_table3(&rows));
+    print_store_stats(&store);
 }

@@ -1,6 +1,6 @@
 //! Regenerates Table IV: on-device error-aware robust learning.
 
-use berry_bench::{print_header, rng_from_env, scale_from_env};
+use berry_bench::{print_header, print_store_stats, scale_from_env, seed_from_env, store_from_env};
 use berry_core::experiment::ondevice::{
     format_table4, table4_ondevice_study, OndeviceStudyConfig,
 };
@@ -8,7 +8,8 @@ use berry_core::experiment::ExperimentScale;
 
 fn main() {
     let scale = scale_from_env();
-    let mut rng = rng_from_env();
+    let seed = seed_from_env();
+    let store = store_from_env();
     print_header("Table IV — On-device error-aware robust learning", scale);
     let study = match scale {
         ExperimentScale::Smoke => OndeviceStudyConfig {
@@ -22,7 +23,8 @@ fn main() {
         },
         ExperimentScale::Paper => OndeviceStudyConfig::default(),
     };
-    println!("running on-device and offline BERRY training ({scale:?} scale)...");
-    let rows = table4_ondevice_study(&study, scale, &mut rng).expect("table 4 study");
+    println!("running on-device and offline BERRY training through the policy store ({scale:?} scale)...");
+    let rows = table4_ondevice_study(&store, &study, scale, seed).expect("table 4 study");
     println!("{}", format_table4(&rows));
+    print_store_stats(&store);
 }

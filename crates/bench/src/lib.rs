@@ -1,22 +1,28 @@
 //! Shared plumbing for the table/figure harness binaries.
 //!
 //! Every binary in this crate regenerates one table or figure of the BERRY
-//! paper.  They all accept two environment variables:
+//! paper.  They all accept three environment variables:
 //!
 //! * `BERRY_SCALE` — `smoke`, `quick` (default) or `paper`, controlling how
 //!   much training and how many fault maps are used;
-//! * `BERRY_SEED` — the RNG seed (default 2023, the paper's year).
+//! * `BERRY_SEED` — the RNG seed (default 2023, the paper's year);
+//! * `BERRY_STORE` — optional directory for the on-disk trained-policy
+//!   store.  When set, every runner caches its Classical/BERRY pairs
+//!   there: reruns (and *other* runners sharing the same seed, scale and
+//!   training axes) retrain nothing and reproduce their rows bit for bit.
 //!
 //! Run, for example:
 //!
 //! ```text
-//! BERRY_SCALE=quick cargo run --release -p berry-bench --bin table1_robustness
+//! BERRY_SCALE=quick BERRY_STORE=.policy-store \
+//!     cargo run --release -p berry-bench --bin table1_robustness
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use berry_core::experiment::ExperimentScale;
+use berry_core::PolicyStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,6 +60,37 @@ pub fn seed_from_env() -> u64 {
 /// Builds the seeded RNG the harnesses use.
 pub fn rng_from_env() -> StdRng {
     StdRng::seed_from_u64(seed_from_env())
+}
+
+/// Builds the trained-policy store the harnesses pull their pairs from:
+/// on-disk at `BERRY_STORE` when set, in-memory otherwise.
+///
+/// # Panics
+///
+/// Panics if `BERRY_STORE` names a directory that cannot be created.
+pub fn store_from_env() -> PolicyStore {
+    match std::env::var("BERRY_STORE") {
+        Ok(dir) if !dir.is_empty() => {
+            PolicyStore::with_dir(&dir).expect("BERRY_STORE directory must be creatable")
+        }
+        _ => PolicyStore::in_memory(),
+    }
+}
+
+/// Prints the store's hit/miss counters in the fixed format the CI
+/// cache-determinism job greps for.
+pub fn print_store_stats(store: &PolicyStore) {
+    let stats = store.stats();
+    println!(
+        "store: trained {} policies, {} memory hits, {} disk hits{}",
+        stats.trained,
+        stats.memory_hits,
+        stats.disk_hits,
+        store
+            .dir()
+            .map(|d| format!(" ({})", d.display()))
+            .unwrap_or_default(),
+    );
 }
 
 /// Prints a standard harness header naming the artefact being regenerated.

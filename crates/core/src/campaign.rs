@@ -29,14 +29,20 @@
 //! [`Scenario::extended_grid`] that crosses the 72 cells with the wind-gust
 //! and sensor-dropout disturbance variants.
 
-use crate::evaluate::{evaluate_mission_seeded, evaluate_under_faults_serial, MissionContext};
+use crate::error::CoreError;
+use crate::evaluate::{
+    evaluate_error_free_seeded, evaluate_mission_seeded, evaluate_under_faults_seeded,
+    evaluate_under_faults_serial, FaultEvaluationConfig, MissionContext,
+};
 use crate::experiment::ExperimentScale;
-use crate::robust::{train_berry_with_fault_map, BerryConfig, LearningMode};
-use crate::scenario::{Scenario, ScenarioMode};
+use crate::robust::LearningMode;
+use crate::scenario::{Scenario, ScenarioMode, DEPLOY_VOLTAGE_FLOOR_NORM};
+use crate::store::{PairRequest, PolicyStore, TrainedPair};
 use crate::Result;
+use berry_faults::chip::ChipProfile;
 use berry_hw::accelerator::{Accelerator, ProcessingReport};
+use berry_nn::network::Sequential;
 use berry_rl::eval::EvalStats;
-use berry_rl::trainer::train_classical;
 use berry_uav::env::{NavigationConfig, NavigationEnv};
 use berry_uav::flight::QualityOfFlight;
 use berry_uav::physics::PhysicsConfig;
@@ -102,6 +108,138 @@ impl CampaignConfig {
     }
 }
 
+/// Which trained policy of a cell's Classical/BERRY pair an evaluation
+/// axis runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyRole {
+    /// The classically trained baseline.
+    Classical,
+    /// The BERRY error-aware policy.
+    Berry,
+}
+
+impl PolicyRole {
+    /// Scheme label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyRole::Classical => "Classical",
+            PolicyRole::Berry => "BERRY",
+        }
+    }
+}
+
+/// The operating point one evaluation axis probes.
+///
+/// Every "voltage matching this BER" lookup clamps to
+/// [`DEPLOY_VOLTAGE_FLOOR_NORM`] — the same floor the scenario grid's
+/// deployment voltages respect, defined once in `scenario.rs` so the two
+/// paths cannot drift.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OperatingPoint {
+    /// Quantization noise only (the error-free column of a table).
+    ErrorFree,
+    /// Navigation statistics under bit errors at an explicit rate
+    /// (fraction) on the scenario's chip.
+    Ber(f64),
+    /// Full mission-level evaluation at an explicit voltage (Vmin units)
+    /// on the scenario's chip.
+    MissionAtVoltage(f64),
+    /// Mission-level evaluation at the scenario's own deployment voltage
+    /// ([`Scenario::deploy_voltage_norm`], resolved per cell).
+    MissionAtDeployVoltage,
+    /// Mission-level evaluation at the lowest voltage whose BER reaches
+    /// the given rate (fraction) on the scenario's chip.
+    MissionAtBer(f64),
+    /// Mission-level evaluation on a *different* chip (by built-in name)
+    /// at the voltage matching the given BER (fraction) on that chip.
+    MissionOnChip {
+        /// Built-in chip profile name.
+        chip: String,
+        /// Bit error rate (fraction) selecting the operating voltage.
+        ber: f64,
+    },
+}
+
+/// One extra evaluation a grid cell performs beyond its standard
+/// deploy-point evaluation — the declarative unit the table/figure runners
+/// are built from (Table I is "one cell × twelve axes", Table II is "one
+/// cell × fourteen voltage axes", …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalAxis {
+    /// Free-form label identifying the axis in results.
+    pub label: String,
+    /// Which policy of the pair is evaluated.
+    pub role: PolicyRole,
+    /// The operating point probed.
+    pub point: OperatingPoint,
+}
+
+impl EvalAxis {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, role: PolicyRole, point: OperatingPoint) -> Self {
+        Self {
+            label: label.into(),
+            role,
+            point,
+        }
+    }
+}
+
+/// The outcome of one [`EvalAxis`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisResult {
+    /// The axis label, copied through.
+    pub label: String,
+    /// Scheme label of the evaluated policy ("Classical" / "BERRY").
+    pub scheme: String,
+    /// The resolved operating voltage, for mission-level axes.
+    pub voltage_norm: Option<f64>,
+    /// The bit-error rate the axis evaluated at (0 for error-free).
+    pub ber: f64,
+    /// Fault-averaged navigation statistics.
+    pub nav: EvalStats,
+    /// Accelerator figures (mission-level axes only).
+    pub processing: Option<ProcessingReport>,
+    /// Quality-of-flight metrics (mission-level axes only).
+    pub quality_of_flight: Option<QualityOfFlight>,
+}
+
+/// Builds the training request of a grid cell — the *only* place the
+/// campaign's training work is described.  The request deliberately omits
+/// every evaluation-side axis (platform, deploy voltage, grid index), so
+/// cells that train identically — e.g. the same policy on the same chip
+/// deployed on two different UAVs — resolve to the same fingerprint and
+/// share one cached pair.
+///
+/// # Errors
+///
+/// Returns an error if the scenario's names cannot be resolved.
+pub fn pair_request_for(
+    scenario: &Scenario,
+    scale: ExperimentScale,
+    base_seed: u64,
+) -> Result<PairRequest> {
+    let spec = scenario.policy_spec(scale)?;
+    let chip = scenario.chip_profile()?;
+    let env_config = NavigationConfig {
+        variant: scenario.variant,
+        ..scale.navigation_config(scenario.density)
+    };
+    let mode = match scenario.mode {
+        ScenarioMode::Offline => LearningMode::offline(scale.train_ber()),
+        ScenarioMode::OnDevice => LearningMode::on_device(scenario.deploy_voltage_norm()),
+    };
+    Ok(PairRequest::new(
+        spec,
+        env_config,
+        scale.trainer_config(),
+        mode,
+        chip,
+        8,
+        base_seed,
+    ))
+}
+
 /// Everything the campaign reports about one grid cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignRow {
@@ -135,6 +273,11 @@ pub struct CampaignRow {
     pub processing: ProcessingReport,
     /// Mission-level quality-of-flight metrics of the BERRY policy.
     pub quality_of_flight: QualityOfFlight,
+    /// Results of the cell's extra evaluation axes, in request order
+    /// (empty for a plain campaign; the table/figure runners read their
+    /// rows out of here).  Not part of the JSON-lines serialization — the
+    /// streamed campaign artifact stays the per-cell deploy-point record.
+    pub axis_results: Vec<AxisResult>,
 }
 
 impl CampaignRow {
@@ -287,10 +430,13 @@ impl CampaignSummary {
         }
     }
 
-    /// Serializes the summary as a JSON object.
+    /// Serializes the summary as a JSON object (`"status": "ok"`; the
+    /// failure path of a campaign run writes [`error_summary_json`]
+    /// instead, so a summary artifact always exists and always says which
+    /// of the two outcomes it describes).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"scenarios\": {},\n  \"episodes\": {},\n  \
+            "{{\n  \"status\": \"ok\",\n  \"scenarios\": {},\n  \"episodes\": {},\n  \
              \"mean_classical_success\": {:?},\n  \"mean_berry_success\": {:?},\n  \
              \"berry_wins_or_ties\": {:?},\n  \"mean_energy_savings\": {:?},\n  \
              \"best_cell\": {},\n  \"worst_cell\": {}\n}}\n",
@@ -306,13 +452,30 @@ impl CampaignSummary {
     }
 }
 
-/// Executes one grid cell: train the Classical/BERRY pair, fault-evaluate
-/// both at the scenario's deployment operating point, and attach the
-/// hardware and quality-of-flight numbers.
+/// The summary JSON a campaign run writes when a cell (or the row sink)
+/// fails: `"status": "error"` plus how far the run got and why it stopped.
 ///
-/// Everything — training rollouts, fault maps, evaluation episodes — is a
-/// pure function of `(scenario, scale, seed)`, which is what makes the
-/// sharded and serial campaign paths bitwise interchangeable.
+/// A failed campaign used to leave the summary file missing — or worse,
+/// stale from a previous run — while the streamed rows said otherwise; CI
+/// consumers now always find a fresh summary whose status matches the
+/// process exit code.
+pub fn error_summary_json(rows_completed: usize, grid_size: usize, error: &str) -> String {
+    format!(
+        "{{\n  \"status\": \"error\",\n  \"rows_completed\": {},\n  \
+         \"scenarios\": {},\n  \"error\": {}\n}}\n",
+        rows_completed,
+        grid_size,
+        json_string(error),
+    )
+}
+
+/// Executes one grid cell with a private in-memory store and no extra
+/// axes — the standalone-cell convenience over [`run_scenario_in`].
+///
+/// The cell `seed` doubles as the training base seed, so the row is a pure
+/// function of `(scenario, scale, seed)`; grid runs derive both from a
+/// campaign base seed instead (cell seed per index, one shared training
+/// base), which is what lets cells share cached pairs.
 ///
 /// # Errors
 ///
@@ -324,37 +487,36 @@ pub fn run_scenario(
     scale: ExperimentScale,
     seed: u64,
 ) -> Result<CampaignRow> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let chip = scenario.chip_profile()?;
-    let platform = scenario.uav_platform()?;
-    let workload = scenario.workload()?;
-    let spec = scenario.policy_spec(scale)?;
-    let voltage_norm = scenario.deploy_voltage_norm();
-    let ber = chip.ber_at_voltage(voltage_norm)?;
+    run_scenario_in(scenario, index, scale, seed, seed, &PolicyStore::in_memory(), &[])
+}
 
-    let env_config = NavigationConfig {
-        variant: scenario.variant,
-        ..scale.navigation_config(scenario.density)
-    };
-    let trainer = scale.trainer_config();
-
-    // Classical baseline, then BERRY in the scenario's learning mode, off
-    // the same sequential per-scenario stream.
-    let mut env = NavigationEnv::new(env_config.clone())?;
-    let (classical_agent, classical_report) =
-        train_classical(&mut env, &spec, &trainer, &mut rng)?;
-    let mode = match scenario.mode {
-        ScenarioMode::Offline => LearningMode::offline(scale.train_ber()),
-        ScenarioMode::OnDevice => LearningMode::on_device(voltage_norm),
-    };
-    let berry_config = BerryConfig {
-        trainer,
-        mode,
-        chip: chip.clone(),
-        quant_bits: 8,
-    };
-    let mut env = NavigationEnv::new(env_config.clone())?;
-    let berry_outcome = train_berry_with_fault_map(&mut env, &spec, &berry_config, &mut rng)?;
+/// Executes one grid cell: pull the Classical/BERRY pair from the policy
+/// store (training it on a cache miss), fault-evaluate both at the
+/// scenario's deployment operating point, attach the hardware and
+/// quality-of-flight numbers, and run any extra evaluation axes.
+///
+/// Every seed the cell consumes — the classical and BERRY deploy-point
+/// evaluation seeds and one seed per axis — is drawn up front from a
+/// stream seeded with `cell_seed`, and training is a pure function of the
+/// store request (derived from `train_base_seed`, *not* from the grid
+/// index).  The row is therefore bitwise identical whether the store was
+/// cold, warm in memory or warm on disk, and whether the cell ran serial
+/// or sharded.
+///
+/// # Errors
+///
+/// Returns an error if the scenario names cannot be resolved, or training
+/// or evaluation fails.
+pub fn run_scenario_in(
+    scenario: &Scenario,
+    index: usize,
+    scale: ExperimentScale,
+    cell_seed: u64,
+    train_base_seed: u64,
+    store: &PolicyStore,
+    axes: &[EvalAxis],
+) -> Result<CampaignRow> {
+    let cell = prepare_cell(scenario, scale, cell_seed, train_base_seed, store, axes.len())?;
 
     // Deployment evaluation: fault-averaged navigation for both policies,
     // then the mission-level chain for BERRY through the scenario's
@@ -364,18 +526,90 @@ pub fn run_scenario(
     // the cell-level sharding (rayon work-steals across both levels, and
     // the two paths are pinned bitwise-identical, so this only affects
     // scheduling, never results).
-    let eval_cfg = scale.evaluation_config();
-    let eval_env = NavigationEnv::new(env_config)?;
+    let classical_nav = evaluate_under_faults_serial(
+        &cell.pair.classical,
+        &cell.eval_env,
+        &cell.context.chip,
+        cell.ber,
+        &cell.eval_cfg,
+        cell.classical_eval_seed,
+    )?;
+    let mission = evaluate_mission_seeded(
+        &cell.pair.berry,
+        &cell.eval_env,
+        &cell.context,
+        cell.voltage_norm,
+        &cell.eval_cfg,
+        cell.berry_eval_seed,
+    )?;
+
+    let axis_results = cell.run_axes(scenario, axes)?;
+
+    Ok(CampaignRow {
+        index,
+        id: scenario.id(),
+        scenario: scenario.clone(),
+        seed: cell_seed,
+        voltage_norm: cell.voltage_norm,
+        ber: cell.ber,
+        classical_train_success: cell.pair.classical_train_success,
+        berry_train_success: cell.pair.berry_train_success,
+        robust_updates: cell.pair.robust_updates,
+        classical_nav,
+        berry_nav: mission.navigation,
+        processing: mission.processing,
+        quality_of_flight: mission.quality_of_flight,
+        axis_results,
+    })
+}
+
+/// The shared per-cell prologue of the campaign engine: every evaluation
+/// seed drawn up front in the fixed cell-stream order, the scenario's
+/// models resolved, and the policy pair fetched from the store.
+struct PreparedCell {
+    classical_eval_seed: u64,
+    berry_eval_seed: u64,
+    axis_seeds: Vec<u64>,
+    voltage_norm: f64,
+    ber: f64,
+    pair: std::sync::Arc<TrainedPair>,
+    eval_cfg: FaultEvaluationConfig,
+    eval_env: NavigationEnv,
+    context: MissionContext,
+}
+
+fn prepare_cell(
+    scenario: &Scenario,
+    scale: ExperimentScale,
+    cell_seed: u64,
+    train_base_seed: u64,
+    store: &PolicyStore,
+    axis_count: usize,
+) -> Result<PreparedCell> {
+    // Draw every evaluation seed before any work, in a fixed order: the
+    // seeds cannot depend on whether training was cached — and the two
+    // deploy-point seeds are always drawn, so axis seeds land on the same
+    // stream positions whether or not the deploy evaluation itself runs.
+    let mut rng = StdRng::seed_from_u64(cell_seed);
     let classical_eval_seed = rng.next_u64();
     let berry_eval_seed = rng.next_u64();
-    let classical_nav = evaluate_under_faults_serial(
-        classical_agent.q_net(),
-        &eval_env,
-        &chip,
-        ber,
-        &eval_cfg,
-        classical_eval_seed,
-    )?;
+    let axis_seeds: Vec<u64> = (0..axis_count).map(|_| rng.next_u64()).collect();
+
+    let chip = scenario.chip_profile()?;
+    let platform = scenario.uav_platform()?;
+    let workload = scenario.workload()?;
+    let voltage_norm = scenario.deploy_voltage_norm();
+    let ber = chip.ber_at_voltage(voltage_norm)?;
+
+    let request = pair_request_for(scenario, scale, train_base_seed)?;
+    let pair = store.get_or_train(&request)?;
+
+    let eval_cfg = scale.evaluation_config();
+    let env_config = NavigationConfig {
+        variant: scenario.variant,
+        ..scale.navigation_config(scenario.density)
+    };
+    let eval_env = NavigationEnv::new(env_config)?;
     let context = MissionContext {
         platform,
         accelerator: Accelerator::default_edge_accelerator(),
@@ -383,30 +617,188 @@ pub fn run_scenario(
         chip,
         physics: PhysicsConfig::default(),
     };
-    let mission = evaluate_mission_seeded(
-        berry_outcome.agent.q_net(),
-        &eval_env,
-        &context,
-        voltage_norm,
-        &eval_cfg,
+    Ok(PreparedCell {
+        classical_eval_seed,
         berry_eval_seed,
-    )?;
-
-    Ok(CampaignRow {
-        index,
-        id: scenario.id(),
-        scenario: scenario.clone(),
-        seed,
+        axis_seeds,
         voltage_norm,
         ber,
-        classical_train_success: classical_report.recent_success_rate(20),
-        berry_train_success: berry_outcome.report.recent_success_rate(20),
-        robust_updates: berry_outcome.robust_updates,
-        classical_nav,
-        berry_nav: mission.navigation,
-        processing: mission.processing,
-        quality_of_flight: mission.quality_of_flight,
+        pair,
+        eval_cfg,
+        eval_env,
+        context,
     })
+}
+
+impl PreparedCell {
+    fn run_axes(&self, scenario: &Scenario, axes: &[EvalAxis]) -> Result<Vec<AxisResult>> {
+        axes.iter()
+            .zip(&self.axis_seeds)
+            .map(|(axis, &axis_seed)| {
+                run_axis(
+                    axis,
+                    axis_seed,
+                    &self.pair,
+                    &self.eval_env,
+                    &self.context,
+                    scenario,
+                    &self.eval_cfg,
+                )
+            })
+            .collect()
+    }
+}
+
+/// A grid cell's identity plus its axis results — what an **axes-only**
+/// grid run ([`run_axes_grid_in`]) produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisCell {
+    /// Position of the scenario in the requested grid slice.
+    pub index: usize,
+    /// The scenario's unique identifier.
+    pub id: String,
+    /// The scenario itself.
+    pub scenario: Scenario,
+    /// The per-cell RNG seed ([`scenario_seed`]).
+    pub seed: u64,
+    /// Results of the cell's evaluation axes, in request order.
+    pub axis_results: Vec<AxisResult>,
+}
+
+/// Runs a grid slice evaluating **only** the requested axes per cell —
+/// the table/figure runners' entry point, which skips the standard
+/// deploy-point evaluation their tables never read (at paper scale that
+/// is two full 500-fault-map sweeps of saved wall-clock per cell).
+///
+/// The seed protocol is identical to [`run_grid_streamed_in`]: the two
+/// deploy-point seeds are still drawn (and discarded) before the axis
+/// seeds, so every axis result here is **bitwise identical** to the same
+/// axis evaluated by a full campaign cell.
+///
+/// # Errors
+///
+/// Returns the first (in grid order) cell error.
+pub fn run_axes_grid_in(
+    grid: &[Scenario],
+    scale: ExperimentScale,
+    base_seed: u64,
+    store: &PolicyStore,
+    axes: &[EvalAxis],
+) -> Result<Vec<AxisCell>> {
+    grid.iter()
+        .enumerate()
+        .map(|(index, scenario)| {
+            let cell_seed = scenario_seed(base_seed, index as u64);
+            let cell = prepare_cell(scenario, scale, cell_seed, base_seed, store, axes.len())
+                .map_err(|e| tag_cell_error(scenario, e))?;
+            let axis_results = cell
+                .run_axes(scenario, axes)
+                .map_err(|e| tag_cell_error(scenario, e))?;
+            Ok(AxisCell {
+                index,
+                id: scenario.id(),
+                scenario: scenario.clone(),
+                seed: cell_seed,
+                axis_results,
+            })
+        })
+        .collect()
+}
+
+fn resolve_builtin_chip(name: &str) -> Result<ChipProfile> {
+    ChipProfile::all_builtin()
+        .into_iter()
+        .find(|c| c.name() == name)
+        .ok_or_else(|| CoreError::InvalidConfig(format!("unknown chip profile `{name}`")))
+}
+
+/// The voltage an axis evaluates at for a requested BER: the lowest
+/// voltage whose error rate reaches it, clamped to the shared
+/// [`DEPLOY_VOLTAGE_FLOOR_NORM`] so very high rates stay inside the BER
+/// model's tabulated range.
+fn voltage_for_ber(chip: &ChipProfile, ber: f64) -> Result<f64> {
+    Ok(chip
+        .ber_model()
+        .min_voltage_for_ber(ber)?
+        .max(DEPLOY_VOLTAGE_FLOOR_NORM))
+}
+
+/// Executes one evaluation axis of a cell.
+fn run_axis(
+    axis: &EvalAxis,
+    seed: u64,
+    pair: &TrainedPair,
+    eval_env: &NavigationEnv,
+    base_context: &MissionContext,
+    scenario: &Scenario,
+    eval_cfg: &FaultEvaluationConfig,
+) -> Result<AxisResult> {
+    let policy: &Sequential = match axis.role {
+        PolicyRole::Classical => &pair.classical,
+        PolicyRole::Berry => &pair.berry,
+    };
+    let nav_only = |nav: EvalStats, ber: f64| AxisResult {
+        label: axis.label.clone(),
+        scheme: axis.role.label().to_string(),
+        voltage_norm: None,
+        ber,
+        nav,
+        processing: None,
+        quality_of_flight: None,
+    };
+    match &axis.point {
+        OperatingPoint::ErrorFree => {
+            let nav = evaluate_error_free_seeded(policy, eval_env, eval_cfg, seed)?;
+            Ok(nav_only(nav, 0.0))
+        }
+        OperatingPoint::Ber(ber) => {
+            let nav = evaluate_under_faults_seeded(
+                policy,
+                eval_env,
+                &base_context.chip,
+                *ber,
+                eval_cfg,
+                seed,
+            )?;
+            Ok(nav_only(nav, *ber))
+        }
+        mission_point => {
+            let (context, voltage) = match mission_point {
+                OperatingPoint::MissionAtVoltage(v) => (base_context.clone(), *v),
+                OperatingPoint::MissionAtDeployVoltage => {
+                    (base_context.clone(), scenario.deploy_voltage_norm())
+                }
+                OperatingPoint::MissionAtBer(ber) => {
+                    (base_context.clone(), voltage_for_ber(&base_context.chip, *ber)?)
+                }
+                OperatingPoint::MissionOnChip { chip, ber } => {
+                    let chip = resolve_builtin_chip(chip)?;
+                    let voltage = voltage_for_ber(&chip, *ber)?;
+                    (
+                        MissionContext {
+                            chip,
+                            ..base_context.clone()
+                        },
+                        voltage,
+                    )
+                }
+                OperatingPoint::ErrorFree | OperatingPoint::Ber(_) => {
+                    unreachable!("handled above")
+                }
+            };
+            let mission =
+                evaluate_mission_seeded(policy, eval_env, &context, voltage, eval_cfg, seed)?;
+            Ok(AxisResult {
+                label: axis.label.clone(),
+                scheme: axis.role.label().to_string(),
+                voltage_norm: Some(mission.voltage_norm),
+                ber: mission.ber,
+                nav: mission.navigation,
+                processing: Some(mission.processing),
+                quality_of_flight: Some(mission.quality_of_flight),
+            })
+        }
+    }
 }
 
 /// Runs the campaign **sharded across rayon workers**, one task per grid
@@ -423,6 +815,24 @@ pub fn run_scenario(
 /// Returns the first (in grid order) cell error.
 pub fn run_campaign(config: &CampaignConfig) -> Result<Vec<CampaignRow>> {
     run_grid(&config.grid(), config.scale, config.base_seed)
+}
+
+/// [`run_campaign`] against a caller-owned policy store — with an on-disk
+/// store, a rerun of the same campaign retrains nothing.
+///
+/// # Errors
+///
+/// Returns the first (in grid order) cell error.
+pub fn run_campaign_in(config: &CampaignConfig, store: &PolicyStore) -> Result<Vec<CampaignRow>> {
+    run_grid_streamed_in(
+        &config.grid(),
+        config.scale,
+        config.base_seed,
+        config.grid().len().max(1),
+        store,
+        &[],
+        |_| Ok(()),
+    )
 }
 
 /// The serial reference implementation: the same per-cell pipeline and the
@@ -473,6 +883,43 @@ pub fn run_grid_streamed(
     scale: ExperimentScale,
     base_seed: u64,
     chunk: usize,
+    sink: impl FnMut(&CampaignRow) -> Result<()>,
+) -> Result<Vec<CampaignRow>> {
+    run_grid_streamed_in(
+        grid,
+        scale,
+        base_seed,
+        chunk,
+        &PolicyStore::in_memory(),
+        &[],
+        sink,
+    )
+}
+
+/// The full campaign engine entry point: [`run_grid_streamed`] against a
+/// caller-owned [`PolicyStore`] and with per-cell evaluation [`EvalAxis`]
+/// requests — the execution path **every** table/figure runner is a
+/// declarative request to (a grid slice plus its evaluation axes).
+///
+/// Within one chunk, cells that resolve to the same training fingerprint
+/// share a single training run through the store (the second requester
+/// blocks instead of retraining); across chunks and across runner
+/// processes the store's memory/disk layers do the same.  None of this
+/// sharing is observable in the rows: training is a pure function of the
+/// request.
+///
+/// # Errors
+///
+/// Returns the first (in grid order) cell error, or the first error the
+/// sink reports.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid_streamed_in(
+    grid: &[Scenario],
+    scale: ExperimentScale,
+    base_seed: u64,
+    chunk: usize,
+    store: &PolicyStore,
+    axes: &[EvalAxis],
     mut sink: impl FnMut(&CampaignRow) -> Result<()>,
 ) -> Result<Vec<CampaignRow>> {
     let chunk = chunk.max(1);
@@ -484,8 +931,16 @@ pub fn run_grid_streamed(
             .into_par_iter()
             .map(|index| {
                 let scenario = &grid[index];
-                run_scenario(scenario, index, scale, scenario_seed(base_seed, index as u64))
-                    .map_err(|e| tag_cell_error(scenario, e))
+                run_scenario_in(
+                    scenario,
+                    index,
+                    scale,
+                    scenario_seed(base_seed, index as u64),
+                    base_seed,
+                    store,
+                    axes,
+                )
+                .map_err(|e| tag_cell_error(scenario, e))
             })
             .collect();
         for row in chunk_rows {
@@ -509,11 +964,33 @@ pub fn run_grid_serial(
     scale: ExperimentScale,
     base_seed: u64,
 ) -> Result<Vec<CampaignRow>> {
+    run_grid_serial_in(grid, scale, base_seed, &PolicyStore::in_memory())
+}
+
+/// [`run_grid_serial`] against a caller-owned policy store.
+///
+/// # Errors
+///
+/// Returns the first cell error.
+pub fn run_grid_serial_in(
+    grid: &[Scenario],
+    scale: ExperimentScale,
+    base_seed: u64,
+    store: &PolicyStore,
+) -> Result<Vec<CampaignRow>> {
     grid.iter()
         .enumerate()
         .map(|(index, scenario)| {
-            run_scenario(scenario, index, scale, scenario_seed(base_seed, index as u64))
-                .map_err(|e| tag_cell_error(scenario, e))
+            run_scenario_in(
+                scenario,
+                index,
+                scale,
+                scenario_seed(base_seed, index as u64),
+                base_seed,
+                store,
+                &[],
+            )
+            .map_err(|e| tag_cell_error(scenario, e))
         })
         .collect()
 }
@@ -624,6 +1101,141 @@ mod tests {
         let json = summary.to_json();
         assert!(json.contains("\"mean_berry_success\""));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn axes_extend_a_cell_without_disturbing_its_row() {
+        let grid = Scenario::smoke_grid();
+        let scenario = &grid[0];
+        let axes = vec![
+            EvalAxis::new("error-free", PolicyRole::Classical, OperatingPoint::ErrorFree),
+            EvalAxis::new("ber:0.005", PolicyRole::Berry, OperatingPoint::Ber(0.005)),
+            EvalAxis::new(
+                "deploy",
+                PolicyRole::Berry,
+                OperatingPoint::MissionAtDeployVoltage,
+            ),
+            EvalAxis::new(
+                "chip1",
+                PolicyRole::Berry,
+                OperatingPoint::MissionOnChip {
+                    chip: "chip1-random".into(),
+                    ber: 0.0016,
+                },
+            ),
+        ];
+        let store = PolicyStore::in_memory();
+        let with_axes =
+            run_scenario_in(scenario, 0, ExperimentScale::Smoke, 21, 21, &store, &axes).unwrap();
+        let plain = run_scenario(scenario, 0, ExperimentScale::Smoke, 21).unwrap();
+        // One training for base row + four axes.
+        assert_eq!(store.stats().trained, 1);
+        assert_eq!(with_axes.axis_results.len(), 4);
+        // The axes never leak into the standard deploy-point row.
+        let mut stripped = with_axes.clone();
+        stripped.axis_results.clear();
+        assert_eq!(stripped, plain);
+        let [ef, ber, deploy, chip1] = &with_axes.axis_results[..] else {
+            panic!("expected four axis results");
+        };
+        assert_eq!(ef.scheme, "Classical");
+        assert_eq!(ef.ber, 0.0);
+        assert!(ef.processing.is_none());
+        assert_eq!(ber.ber, 0.005);
+        assert_eq!(deploy.voltage_norm, Some(scenario.deploy_voltage_norm()));
+        assert!(deploy.quality_of_flight.is_some());
+        assert!(chip1.processing.is_some());
+        assert!(chip1.voltage_norm.unwrap() >= DEPLOY_VOLTAGE_FLOOR_NORM);
+        // Unknown chips are rejected, not silently substituted.
+        let bad = vec![EvalAxis::new(
+            "bad",
+            PolicyRole::Berry,
+            OperatingPoint::MissionOnChip {
+                chip: "no-such-chip".into(),
+                ber: 0.001,
+            },
+        )];
+        assert!(
+            run_scenario_in(scenario, 0, ExperimentScale::Smoke, 21, 21, &store, &bad).is_err()
+        );
+    }
+
+    #[test]
+    fn axes_only_grid_matches_full_cell_axis_results_bitwise() {
+        let grid: Vec<Scenario> = Scenario::smoke_grid().into_iter().take(1).collect();
+        let axes = vec![
+            EvalAxis::new("ef", PolicyRole::Berry, OperatingPoint::ErrorFree),
+            EvalAxis::new(
+                "deploy",
+                PolicyRole::Classical,
+                OperatingPoint::MissionAtDeployVoltage,
+            ),
+        ];
+        let store = PolicyStore::in_memory();
+        let full =
+            run_grid_streamed_in(&grid, ExperimentScale::Smoke, 31, 1, &store, &axes, |_| Ok(()))
+                .unwrap();
+        let axes_only = run_axes_grid_in(&grid, ExperimentScale::Smoke, 31, &store, &axes).unwrap();
+        assert_eq!(axes_only.len(), 1);
+        // Same seed protocol (deploy seeds drawn then discarded), same
+        // pair: the axis results must be bitwise identical even though the
+        // axes-only path never paid the deploy-point evaluation.
+        assert_eq!(axes_only[0].axis_results, full[0].axis_results);
+        assert_eq!(axes_only[0].seed, full[0].seed);
+        assert_eq!(axes_only[0].id, full[0].id);
+        // And the pair was shared, not retrained.
+        assert_eq!(store.stats().trained, 1);
+    }
+
+    #[test]
+    fn cells_differing_only_by_platform_share_one_cached_pair() {
+        let base = Scenario::smoke_grid()[0].clone();
+        assert!(base.platform.contains("Crazyflie"));
+        let other_platform = Scenario {
+            platform: berry_uav::platform::UavPlatform::dji_tello().name().to_string(),
+            ..base.clone()
+        };
+        let req_a = pair_request_for(&base, ExperimentScale::Smoke, 5).unwrap();
+        let req_b = pair_request_for(&other_platform, ExperimentScale::Smoke, 5).unwrap();
+        assert_eq!(
+            req_a.fingerprint(),
+            req_b.fingerprint(),
+            "platform is evaluation-side only and must not enter the training fingerprint"
+        );
+        let store = PolicyStore::in_memory();
+        let grid = vec![base, other_platform];
+        let rows =
+            run_grid_streamed_in(&grid, ExperimentScale::Smoke, 5, 1, &store, &[], |_| Ok(()))
+                .unwrap();
+        assert_eq!(rows.len(), 2);
+        let stats = store.stats();
+        assert_eq!(stats.trained, 1, "the two cells must share one training run");
+        assert_eq!(stats.memory_hits, 1);
+        // Same pair, different platforms: identical train metadata, but the
+        // platform-dependent mission numbers differ.
+        assert_eq!(
+            rows[0].berry_train_success.to_bits(),
+            rows[1].berry_train_success.to_bits()
+        );
+        assert_ne!(
+            rows[0].quality_of_flight.flight_energy_j.to_bits(),
+            rows[1].quality_of_flight.flight_energy_j.to_bits()
+        );
+    }
+
+    #[test]
+    fn error_summary_reports_status_and_progress() {
+        let json = error_summary_json(3, 72, "campaign cell `x` failed: boom \"quoted\"");
+        assert!(json.contains("\"status\": \"error\""));
+        assert!(json.contains("\"rows_completed\": 3"));
+        assert!(json.contains("\"scenarios\": 72"));
+        assert!(json.contains("boom \\\"quoted\\\""));
+        assert!(json.ends_with("}\n"));
+        // The success summary declares its status too.
+        let grid = Scenario::smoke_grid();
+        let rows =
+            vec![run_scenario(&grid[0], 0, ExperimentScale::Smoke, scenario_seed(9, 0)).unwrap()];
+        assert!(CampaignSummary::from_rows(&rows).to_json().contains("\"status\": \"ok\""));
     }
 
     #[test]

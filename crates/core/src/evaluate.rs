@@ -122,13 +122,32 @@ where
     E: Environment + Clone,
     R: Rng,
 {
+    let episode_seed_base = rng.next_u64();
+    evaluate_error_free_seeded(policy, env, config, episode_seed_base)
+}
+
+/// [`evaluate_error_free`] with an explicit episode-seed base, so sweep
+/// runners can fan error-free rows out across cores while every row keeps
+/// its own deterministic stream.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid or quantization fails.
+pub fn evaluate_error_free_seeded<E>(
+    policy: &Sequential,
+    env: &E,
+    config: &FaultEvaluationConfig,
+    episode_seed_base: u64,
+) -> Result<EvalStats>
+where
+    E: Environment + Clone,
+{
     config.validate()?;
     let context = NetworkPerturber::new(config.quant_bits)?.context(policy)?;
     let map = berry_faults::fault_map::FaultMap::error_free(context.memory_bits());
     let mut scratch = context.checkout();
     context.perturb_map_into(&map, &mut scratch)?;
     let episodes = config.fault_maps * config.episodes_per_map;
-    let episode_seed_base = rng.next_u64();
     let (network, infer) = scratch.network_and_infer();
     let stats = evaluate_policy_batched(
         network,

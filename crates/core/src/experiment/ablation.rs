@@ -12,20 +12,21 @@
 //! * **dual-pass (BERRY)** — the paper's choice, keeping error-free accuracy
 //!   while buying robustness.
 
-use crate::evaluate::{evaluate_error_free, evaluate_under_faults};
+use crate::evaluate::{evaluate_error_free_seeded, evaluate_under_faults_seeded};
 use crate::experiment::{format_table, ExperimentScale};
 use crate::perturb::NetworkPerturber;
-use crate::robust::{train_berry, BerryConfig, LearningMode};
+use crate::robust::{BerryConfig, LearningMode};
+use crate::store::{PairRequest, PolicyStore};
 use crate::Result;
 use berry_faults::chip::ChipProfile;
 use berry_nn::network::Sequential;
 use berry_rl::dqn::{accumulate_td_gradients, DqnAgent};
 use berry_rl::env::{Environment, Transition};
 use berry_rl::replay::ReplayBuffer;
-use berry_rl::trainer::train_classical;
 use berry_uav::env::NavigationEnv;
 use berry_uav::world::ObstacleDensity;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// The gradient-composition variants compared by the ablation.
@@ -150,13 +151,20 @@ fn train_perturbed_only<E: Environment, R: Rng>(
 /// Runs the gradient-composition ablation at a given evaluation bit-error
 /// rate (fraction).
 ///
+/// The clean-only and dual-pass variants *are* the Classical/BERRY pair of
+/// one store request (trained under identical hyper-parameters), so the
+/// ablation shares its training with every other artefact of the same base
+/// seed; only the perturbed-only middle variant — which no other
+/// experiment uses — trains its bespoke loop here.
+///
 /// # Errors
 ///
 /// Returns an error if training or evaluation fails.
-pub fn gradient_ablation<R: Rng>(
+pub fn gradient_ablation(
+    store: &PolicyStore,
     scale: ExperimentScale,
     eval_ber: f64,
-    rng: &mut R,
+    base_seed: u64,
 ) -> Result<Vec<AblationRow>> {
     let eval_cfg = scale.evaluation_config();
     let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
@@ -167,14 +175,29 @@ pub fn gradient_ablation<R: Rng>(
     // the three training runs cheap.
     let spec = berry_rl::policy::QNetworkSpec::mlp(vec![32]);
 
+    let request = PairRequest::new(
+        spec.clone(),
+        env_cfg.clone(),
+        trainer.clone(),
+        LearningMode::offline(scale.train_ber()),
+        chip.clone(),
+        8,
+        base_seed,
+    );
+    let pair = store.get_or_train(&request)?;
+
+    // Per-variant seeds, drawn up front in a fixed order.
+    let mut seed_rng = StdRng::seed_from_u64(base_seed);
+    let perturbed_train_seed = seed_rng.next_u64();
+    let eval_seeds: Vec<(u64, u64)> = GradientMode::all()
+        .iter()
+        .map(|_| (seed_rng.next_u64(), seed_rng.next_u64()))
+        .collect();
+
     let mut rows = Vec::new();
-    for mode in GradientMode::all() {
+    for (mode, (clean_seed, faulty_seed)) in GradientMode::all().into_iter().zip(eval_seeds) {
         let policy: Sequential = match mode {
-            GradientMode::CleanOnly => {
-                let mut env = NavigationEnv::new(env_cfg.clone())?;
-                let (agent, _) = train_classical(&mut env, &spec, &trainer, rng)?;
-                agent.q_net().clone()
-            }
+            GradientMode::CleanOnly => pair.classical.clone(),
             GradientMode::PerturbedOnly => {
                 let config = BerryConfig {
                     trainer: trainer.clone(),
@@ -182,21 +205,15 @@ pub fn gradient_ablation<R: Rng>(
                     ..BerryConfig::default()
                 };
                 let mut env = NavigationEnv::new(env_cfg.clone())?;
-                train_perturbed_only(&mut env, &config, scale.train_ber(), rng)?
+                let mut train_rng = StdRng::seed_from_u64(perturbed_train_seed);
+                train_perturbed_only(&mut env, &config, scale.train_ber(), &mut train_rng)?
             }
-            GradientMode::DualPass => {
-                let config = BerryConfig {
-                    trainer: trainer.clone(),
-                    mode: LearningMode::offline(scale.train_ber()),
-                    ..BerryConfig::default()
-                };
-                let mut env = NavigationEnv::new(env_cfg.clone())?;
-                train_berry(&mut env, &spec, &config, rng)?.agent.q_net().clone()
-            }
+            GradientMode::DualPass => pair.berry.clone(),
         };
         let env = NavigationEnv::new(env_cfg.clone())?;
-        let clean = evaluate_error_free(&policy, &env, &eval_cfg, rng)?;
-        let faulty = evaluate_under_faults(&policy, &env, &chip, eval_ber, &eval_cfg, rng)?;
+        let clean = evaluate_error_free_seeded(&policy, &env, &eval_cfg, clean_seed)?;
+        let faulty =
+            evaluate_under_faults_seeded(&policy, &env, &chip, eval_ber, &eval_cfg, faulty_seed)?;
         rows.push(AblationRow {
             mode: mode.label().to_string(),
             error_free_success_pct: clean.success_rate * 100.0,
@@ -224,12 +241,14 @@ pub fn format_ablation(rows: &[AblationRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn ablation_produces_all_three_modes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let rows = gradient_ablation(ExperimentScale::Smoke, 0.005, &mut rng).unwrap();
+        let store = PolicyStore::in_memory();
+        let rows = gradient_ablation(&store, ExperimentScale::Smoke, 0.005, 0).unwrap();
+        // Clean-only + dual-pass come from one cached pair; only the
+        // perturbed-only variant trains outside the store.
+        assert_eq!(store.stats().trained, 1);
         assert_eq!(rows.len(), 3);
         let labels: Vec<&str> = rows.iter().map(|r| r.mode.as_str()).collect();
         assert!(labels.contains(&"clean-only"));

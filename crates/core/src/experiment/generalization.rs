@@ -1,17 +1,19 @@
 //! Generalization experiments: paper Fig. 5 (environments), Fig. 7 (UAV
 //! platforms and policy architectures) and Table III (profiled chips).
+//!
+//! Each study is a declarative campaign request — a scenario grid slice
+//! (one cell per environment for Fig. 5, one per platform/architecture for
+//! Fig. 7) plus its evaluation axes — executed through the campaign
+//! engine's axes-only path ([`run_axes_grid_in`]) against a shared
+//! [`PolicyStore`].
 
-use crate::evaluate::{
-    evaluate_mission, evaluate_mission_seeded, evaluate_under_faults, MissionContext,
-};
-use crate::experiment::{format_table, train_policy_pair, ExperimentScale, PolicyPair};
+use crate::campaign::{run_axes_grid_in, EvalAxis, OperatingPoint, PolicyRole};
+use crate::experiment::{artifact_scenario, format_table, ExperimentScale};
+use crate::store::PolicyStore;
 use crate::Result;
-use berry_faults::chip::ChipProfile;
-use berry_rl::policy::QNetworkSpec;
-use berry_uav::env::NavigationEnv;
+use berry_hw::accelerator::Accelerator;
+use berry_uav::platform::UavPlatform;
 use berry_uav::world::ObstacleDensity;
-use rand::Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One (environment, scheme) row of the Fig. 5 study.
@@ -25,50 +27,67 @@ pub struct Fig5Row {
     pub success_pct_low_ber: f64,
     /// Success rate (percent) at p = 0.1 %.
     pub success_pct_high_ber: f64,
-    /// Single-mission flight energy (J) at the scheme's best low-voltage
-    /// operating point.
+    /// Single-mission flight energy (J) at the environment's deployment
+    /// voltage.
     pub flight_energy_j: f64,
     /// Missions per battery charge at that operating point.
     pub num_missions: f64,
 }
 
-/// Runs the Fig. 5 environment study: trains a Classical/BERRY pair per
-/// obstacle density and evaluates robustness and mission efficiency.
+/// Runs the Fig. 5 environment study: one campaign cell per obstacle
+/// density (the pair trains once per density), with robustness and
+/// mission-efficiency axes for both schemes.
+///
+/// The per-density deployment voltages are the scenarios' own
+/// [`crate::Scenario::deploy_voltage_norm`] operating points — the same
+/// ones the full campaign grid deploys at.
 ///
 /// # Errors
 ///
 /// Returns an error if training or evaluation fails.
-pub fn fig5_environment_study<R: Rng>(
+pub fn fig5_environment_study(
+    store: &PolicyStore,
     scale: ExperimentScale,
-    rng: &mut R,
+    base_seed: u64,
 ) -> Result<Vec<Fig5Row>> {
-    let eval_cfg = scale.evaluation_config();
-    let context = MissionContext::crazyflie_c3f2();
-    let mut rows = Vec::new();
-    for density in ObstacleDensity::all() {
-        let env_cfg = scale.navigation_config(density);
-        let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, rng)?;
-        // Operating points: the paper finds sparse environments tolerate a
-        // lower voltage (0.76 Vmin) than dense ones (0.80 Vmin).
-        let eval_voltage = match density {
-            ObstacleDensity::Sparse => 0.76,
-            ObstacleDensity::Medium => 0.77,
-            ObstacleDensity::Dense => 0.80,
-        };
-        for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
-            let env = NavigationEnv::new(env_cfg.clone())?;
-            let low = evaluate_under_faults(policy, &env, &context.chip, 1e-4, &eval_cfg, rng)?;
-            let high =
-                evaluate_under_faults(policy, &env, &context.chip, 1e-3, &eval_cfg, rng)?;
-            let mission =
-                evaluate_mission(policy, &env, &context, eval_voltage, &eval_cfg, rng)?;
+    let grid: Vec<_> = ObstacleDensity::all()
+        .into_iter()
+        .map(|density| artifact_scenario(density, &UavPlatform::crazyflie(), "C3F2"))
+        .collect();
+    let mut axes = Vec::new();
+    for role in [PolicyRole::Classical, PolicyRole::Berry] {
+        axes.push(EvalAxis::new(
+            format!("{}:ber=0.01%", role.label()),
+            role,
+            OperatingPoint::Ber(1e-4),
+        ));
+        axes.push(EvalAxis::new(
+            format!("{}:ber=0.1%", role.label()),
+            role,
+            OperatingPoint::Ber(1e-3),
+        ));
+        axes.push(EvalAxis::new(
+            format!("{}:deploy", role.label()),
+            role,
+            OperatingPoint::MissionAtDeployVoltage,
+        ));
+    }
+    let cells = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
+    let mut rows = Vec::with_capacity(cells.len() * 2);
+    for cell in &cells {
+        for (i, role) in [PolicyRole::Classical, PolicyRole::Berry].into_iter().enumerate() {
+            let chunk = &cell.axis_results[i * 3..(i + 1) * 3];
+            let qof = chunk[2]
+                .quality_of_flight
+                .as_ref()
+                .expect("mission axis carries quality of flight");
             rows.push(Fig5Row {
-                density: density.label().to_string(),
-                scheme: name.to_string(),
-                success_pct_low_ber: low.success_rate * 100.0,
-                success_pct_high_ber: high.success_rate * 100.0,
-                flight_energy_j: mission.quality_of_flight.flight_energy_j,
-                num_missions: mission.quality_of_flight.num_missions,
+                density: cell.scenario.density.label().to_string(),
+                scheme: role.label().to_string(),
+                success_pct_low_ber: chunk[0].nav.success_rate * 100.0,
+                success_pct_high_ber: chunk[1].nav.success_rate * 100.0,
+                flight_energy_j: qof.flight_energy_j,
+                num_missions: qof.num_missions,
             });
         }
     }
@@ -121,52 +140,65 @@ pub struct Fig7Row {
     pub missions_improvement_pct: f64,
 }
 
-/// Runs the Fig. 7 platform/architecture study.
+/// Runs the Fig. 7 platform/architecture study: one campaign cell per
+/// (platform, policy) case on the medium environment, each evaluated at
+/// nominal and low voltage.  The campaign engine resolves the mission
+/// context — platform, published workload, chip — from the scenario, so
+/// the Tello/C5F4 cell is automatically costed as a C5F4 workload.
 ///
 /// # Errors
 ///
 /// Returns an error if training or evaluation fails.
-pub fn fig7_platform_study<R: Rng>(scale: ExperimentScale, rng: &mut R) -> Result<Vec<Fig7Row>> {
-    let eval_cfg = scale.evaluation_config();
-    // (context, policy architecture used for *navigation training*)
-    let cases: Vec<(MissionContext, QNetworkSpec)> = vec![
-        (MissionContext::crazyflie_c3f2(), scale.default_policy()),
-        (MissionContext::tello_c3f2(), scale.default_policy()),
-        (
-            MissionContext::tello_c5f4(),
-            match scale {
-                ExperimentScale::Smoke => scale.default_policy(),
-                _ => QNetworkSpec::C5F4,
-            },
+pub fn fig7_platform_study(
+    store: &PolicyStore,
+    scale: ExperimentScale,
+    base_seed: u64,
+) -> Result<Vec<Fig7Row>> {
+    let grid = vec![
+        artifact_scenario(ObstacleDensity::Medium, &UavPlatform::crazyflie(), "C3F2"),
+        artifact_scenario(ObstacleDensity::Medium, &UavPlatform::dji_tello(), "C3F2"),
+        artifact_scenario(ObstacleDensity::Medium, &UavPlatform::dji_tello(), "C5F4"),
+    ];
+    let nominal_v = Accelerator::default_edge_accelerator()
+        .domain()
+        .nominal_voltage_norm();
+    let axes = vec![
+        EvalAxis::new(
+            "BERRY:nominal",
+            PolicyRole::Berry,
+            OperatingPoint::MissionAtVoltage(nominal_v),
+        ),
+        EvalAxis::new(
+            "BERRY:low",
+            PolicyRole::Berry,
+            OperatingPoint::MissionAtVoltage(0.77),
         ),
     ];
-    let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
-    let mut rows = Vec::new();
-    for (context, spec) in cases {
-        let pair = train_policy_pair(&env_cfg, &spec, scale, rng)?;
-        let nominal_v = context.accelerator.domain().nominal_voltage_norm();
-        let env = NavigationEnv::new(env_cfg.clone())?;
-        let nominal = evaluate_mission(&pair.berry, &env, &context, nominal_v, &eval_cfg, rng)?;
-        let low = evaluate_mission(&pair.berry, &env, &context, 0.77, &eval_cfg, rng)?;
-        let rotor_w = nominal.quality_of_flight.rotor_power_w;
-        let compute_w = nominal.quality_of_flight.compute_power_w;
-        let total = rotor_w + compute_w;
-        rows.push(Fig7Row {
-            platform: context.platform.name().to_string(),
-            policy: context.workload.name().to_string(),
-            rotor_power_pct: 100.0 * rotor_w / total,
-            compute_power_pct: 100.0 * compute_w / total,
-            flight_energy_saving_pct: -100.0
-                * low
-                    .quality_of_flight
-                    .flight_energy_change_vs(&nominal.quality_of_flight),
-            missions_improvement_pct: 100.0
-                * low
-                    .quality_of_flight
-                    .missions_change_vs(&nominal.quality_of_flight),
-        });
-    }
-    Ok(rows)
+    let cells = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
+    Ok(cells
+        .iter()
+        .map(|cell| {
+            let nominal = cell.axis_results[0]
+                .quality_of_flight
+                .as_ref()
+                .expect("mission axis carries quality of flight");
+            let low = cell.axis_results[1]
+                .quality_of_flight
+                .as_ref()
+                .expect("mission axis carries quality of flight");
+            let rotor_w = nominal.rotor_power_w;
+            let compute_w = nominal.compute_power_w;
+            let total = rotor_w + compute_w;
+            Fig7Row {
+                platform: cell.scenario.platform.clone(),
+                policy: cell.scenario.policy.clone(),
+                rotor_power_pct: 100.0 * rotor_w / total,
+                compute_power_pct: 100.0 * compute_w / total,
+                flight_energy_saving_pct: -100.0 * low.flight_energy_change_vs(nominal),
+                missions_improvement_pct: 100.0 * low.missions_change_vs(nominal),
+            }
+        })
+        .collect())
 }
 
 /// Formats the Fig. 7 table like the paper's inset table.
@@ -210,50 +242,61 @@ pub struct Table3Row {
     pub flight_energy_j: f64,
 }
 
-/// Runs the Table III chip-generalization study: a BERRY policy trained at
-/// p = 0.5 % on the generic chip is evaluated on other chips' fault
-/// patterns at rates both below and above the training rate.
+/// Runs the Table III chip-generalization study: the BERRY policy of the
+/// standard cell (trained at p = 0.5 % on the generic chip) is evaluated
+/// on the profiled chips' fault patterns via [`OperatingPoint::MissionOnChip`]
+/// axes, at rates both below and above the training rate.
 ///
 /// # Errors
 ///
-/// Returns an error if evaluation fails.
-pub fn table3_chip_study<R: Rng>(
-    pair: &PolicyPair,
+/// Returns an error if training or evaluation fails.
+pub fn table3_chip_study(
+    store: &PolicyStore,
     scale: ExperimentScale,
-    rng: &mut R,
+    base_seed: u64,
 ) -> Result<Vec<Table3Row>> {
-    let eval_cfg = scale.evaluation_config();
     // Paper Table III: chip 1 (random) at p = 0.16 % / 0.74 %, chip 2
     // (column-aligned) at p = 0.067 % / 0.32 %.
     let cases = [
-        (ChipProfile::chip1_random(), 0.16),
-        (ChipProfile::chip1_random(), 0.74),
-        (ChipProfile::chip2_column_aligned(), 0.067),
-        (ChipProfile::chip2_column_aligned(), 0.32),
+        ("chip1-random", 0.16),
+        ("chip1-random", 0.74),
+        ("chip2-column-aligned", 0.067),
+        ("chip2-column-aligned", 0.32),
     ];
-    let env_proto = NavigationEnv::new(pair.env_config.clone())?;
-    let seeded: Vec<((ChipProfile, f64), u64)> = cases
-        .into_iter()
-        .map(|case| (case, rng.next_u64()))
-        .collect();
-    seeded
-        .into_par_iter()
-        .map(|((chip, ber_pct), seed)| {
-            let context = MissionContext {
-                chip: chip.clone(),
-                ..MissionContext::crazyflie_c3f2()
-            };
-            let voltage = chip.ber_model().min_voltage_for_ber(ber_pct / 100.0)?.max(0.62);
-            let mission =
-                evaluate_mission_seeded(&pair.berry, &env_proto, &context, voltage, &eval_cfg, seed)?;
-            Ok(Table3Row {
-                chip: chip.name().to_string(),
-                ber_percent: ber_pct,
-                success_pct: mission.navigation.success_rate * 100.0,
-                flight_energy_j: mission.quality_of_flight.flight_energy_j,
-            })
+    let grid = vec![artifact_scenario(
+        ObstacleDensity::Medium,
+        &UavPlatform::crazyflie(),
+        "C3F2",
+    )];
+    let axes: Vec<EvalAxis> = cases
+        .iter()
+        .map(|(chip, ber_pct)| {
+            EvalAxis::new(
+                format!("BERRY:{chip}:ber={ber_pct}%"),
+                PolicyRole::Berry,
+                OperatingPoint::MissionOnChip {
+                    chip: (*chip).to_string(),
+                    ber: ber_pct / 100.0,
+                },
+            )
         })
-        .collect()
+        .collect();
+    let rows = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
+    Ok(rows[0]
+        .axis_results
+        .iter()
+        .zip(cases)
+        .map(|(result, (chip, ber_pct))| Table3Row {
+            chip: chip.to_string(),
+            ber_percent: ber_pct,
+            success_pct: result.nav.success_rate * 100.0,
+            flight_energy_j: result
+                .quality_of_flight
+                .as_ref()
+                .expect("mission axis carries quality of flight")
+                .flight_energy_j,
+        })
+        .collect())
 }
 
 /// Formats Table III.
@@ -275,13 +318,14 @@ pub fn format_table3(rows: &[Table3Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn fig5_covers_three_environments_and_two_schemes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let rows = fig5_environment_study(ExperimentScale::Smoke, &mut rng).unwrap();
+        let store = PolicyStore::in_memory();
+        let rows = fig5_environment_study(&store, ExperimentScale::Smoke, 0).unwrap();
         assert_eq!(rows.len(), 6);
+        // One pair trained per density.
+        assert_eq!(store.stats().trained, 3);
         for density in ["sparse", "medium", "dense"] {
             assert_eq!(rows.iter().filter(|r| r.density == density).count(), 2);
         }
@@ -292,12 +336,15 @@ mod tests {
 
     #[test]
     fn fig7_reports_power_shares_that_sum_to_100() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let rows = fig7_platform_study(ExperimentScale::Smoke, &mut rng).unwrap();
+        let store = PolicyStore::in_memory();
+        let rows = fig7_platform_study(&store, ExperimentScale::Smoke, 1).unwrap();
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert!((r.rotor_power_pct + r.compute_power_pct - 100.0).abs() < 1e-9);
         }
+        // The Crazyflie/C3F2 and Tello/C3F2 cells train the same policy;
+        // only the Tello/C5F4 cell adds a second architecture.
+        assert_eq!(store.stats().trained, 2);
         // The Tello's rotor share exceeds the Crazyflie's (paper Fig. 7).
         let cf = rows.iter().find(|r| r.platform.contains("Crazyflie")).unwrap();
         let tello = rows
@@ -311,11 +358,8 @@ mod tests {
 
     #[test]
     fn table3_evaluates_both_profiled_chips() {
-        let scale = ExperimentScale::Smoke;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
-        let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap();
-        let rows = table3_chip_study(&pair, scale, &mut rng).unwrap();
+        let store = PolicyStore::in_memory();
+        let rows = table3_chip_study(&store, ExperimentScale::Smoke, 2).unwrap();
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().any(|r| r.chip.contains("chip1")));
         assert!(rows.iter().any(|r| r.chip.contains("chip2")));

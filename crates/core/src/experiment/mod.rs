@@ -26,15 +26,19 @@ pub mod robustness;
 pub mod voltage;
 
 use crate::evaluate::FaultEvaluationConfig;
-use crate::robust::{train_berry, BerryConfig, LearningMode};
+use crate::robust::LearningMode;
+use crate::scenario::{Scenario, ScenarioMode};
+use crate::store::{PairRequest, PolicyStore};
 use crate::Result;
+use berry_faults::chip::ChipProfile;
 use berry_nn::network::Sequential;
 use berry_rl::dqn::DqnConfig;
 use berry_rl::policy::QNetworkSpec;
 use berry_rl::schedule::EpsilonSchedule;
-use berry_rl::trainer::{train_classical, TrainerConfig};
-use berry_uav::env::{NavigationConfig, NavigationEnv};
-use berry_uav::world::ObstacleDensity;
+use berry_rl::trainer::TrainerConfig;
+use berry_uav::env::NavigationConfig;
+use berry_uav::platform::UavPlatform;
+use berry_uav::world::{ObstacleDensity, WorldVariant};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -159,7 +163,13 @@ pub struct PolicyPair {
     pub env_config: NavigationConfig,
 }
 
-/// Trains the Classical / BERRY policy pair used by most experiments.
+/// Trains (or fetches) the Classical / BERRY policy pair used by the
+/// examples and integration tests.
+///
+/// Routes through a one-shot [`PolicyStore`], so this module contains no
+/// direct training call site — the store is the single place policies are
+/// trained.  Long-lived consumers (the table/figure runners) share a real
+/// store instead of using this convenience wrapper.
 ///
 /// # Errors
 ///
@@ -170,25 +180,44 @@ pub fn train_policy_pair<R: Rng>(
     scale: ExperimentScale,
     rng: &mut R,
 ) -> Result<PolicyPair> {
-    let trainer = scale.trainer_config();
-
-    let mut env = NavigationEnv::new(env_config.clone())?;
-    let (classical_agent, _report) = train_classical(&mut env, spec, &trainer, rng)?;
-
-    let berry_config = BerryConfig {
-        trainer,
-        mode: LearningMode::offline(scale.train_ber()),
-        ..BerryConfig::default()
-    };
-    let mut env = NavigationEnv::new(env_config.clone())?;
-    let berry_outcome = train_berry(&mut env, spec, &berry_config, rng)?;
-
+    let request = PairRequest::new(
+        spec.clone(),
+        env_config.clone(),
+        scale.trainer_config(),
+        LearningMode::offline(scale.train_ber()),
+        ChipProfile::generic(),
+        8,
+        rng.next_u64(),
+    );
+    let pair = PolicyStore::in_memory().get_or_train(&request)?;
     Ok(PolicyPair {
-        classical: classical_agent.q_net().clone(),
-        berry: berry_outcome.agent.q_net().clone(),
+        classical: pair.classical.clone(),
+        berry: pair.berry.clone(),
         spec: spec.clone(),
         env_config: env_config.clone(),
     })
+}
+
+/// The grid-slice cell most table/figure runners request: offline learning
+/// on the generic chip in a calm world, with the density, platform and
+/// policy architecture the artefact sweeps.
+///
+/// Expressed as a [`Scenario`] so every runner goes through the campaign
+/// engine's one train → perturb → evaluate pipeline (and shares its policy
+/// store) instead of hand-rolling a training loop.
+pub fn artifact_scenario(
+    density: ObstacleDensity,
+    platform: &UavPlatform,
+    policy: &str,
+) -> Scenario {
+    Scenario {
+        density,
+        platform: platform.name().to_string(),
+        policy: policy.to_string(),
+        mode: ScenarioMode::Offline,
+        chip: ChipProfile::generic().name().to_string(),
+        variant: WorldVariant::Calm,
+    }
 }
 
 /// Renders rows of `(label, values…)` as a fixed-width text table — the

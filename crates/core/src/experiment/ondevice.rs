@@ -4,15 +4,26 @@
 //! deployed chip at its operating voltage, which lets the UAV fly at an even
 //! lower voltage than the offline-trained policy tolerates — at the cost of
 //! the energy spent running the learning steps on board.
+//!
+//! Unlike the evaluation sweeps, Table IV's rows differ in *training*
+//! configuration (learning-step budgets and learning voltages), so the
+//! study is expressed directly as [`PairRequest`]s to the shared
+//! [`PolicyStore`] — each (steps, voltage) row is one content-addressed
+//! training fingerprint, trained at most once — with the deployment
+//! evaluations running through the same seeded mission pipeline the
+//! campaign engine uses.
 
-use crate::evaluate::{evaluate_mission, MissionContext};
+use crate::evaluate::{evaluate_mission_seeded, MissionContext};
 use crate::experiment::{format_table, ExperimentScale};
-use crate::robust::{train_berry_with_fault_map, BerryConfig, LearningMode};
+use crate::robust::LearningMode;
+use crate::store::{PairRequest, PolicyStore};
 use crate::Result;
+use berry_faults::chip::ChipProfile;
 use berry_rl::trainer::TrainerConfig;
 use berry_uav::env::NavigationEnv;
 use berry_uav::world::ObstacleDensity;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One row of Table IV.
@@ -63,28 +74,34 @@ impl Default for OndeviceStudyConfig {
 /// Runs the Table IV on-device study on the Tello/C3F2 context (as in the
 /// paper, which runs on-device learning on the Tello).
 ///
-/// For each (steps, voltage) combination a policy is trained on-device
-/// against a persistent chip fault map and then deployed on the same map;
-/// offline BERRY rows at the same voltages serve as the comparison.
+/// For each (steps, voltage) combination the store supplies a policy
+/// trained on-device against a persistent chip fault map, deployed on the
+/// same chip at the same voltage; offline BERRY rows at the same voltages
+/// serve as the comparison.  Per-row evaluation seeds are drawn up front
+/// from a stream seeded with `base_seed`, so the table is deterministic
+/// and cache-warm reruns reproduce it bit for bit.
 ///
 /// # Errors
 ///
 /// Returns an error if training or evaluation fails.
-pub fn table4_ondevice_study<R: Rng>(
+pub fn table4_ondevice_study(
+    store: &PolicyStore,
     study: &OndeviceStudyConfig,
     scale: ExperimentScale,
-    rng: &mut R,
+    base_seed: u64,
 ) -> Result<Vec<Table4Row>> {
     let eval_cfg = scale.evaluation_config();
     let context = MissionContext::tello_c3f2();
     let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
     let spec = scale.default_policy();
     let base_trainer = scale.trainer_config();
+    let mut seed_rng = StdRng::seed_from_u64(base_seed);
     let mut rows = Vec::new();
 
     // On-device rows.
     for &steps in &study.learning_steps {
         for &voltage in &study.voltages_norm {
+            let eval_seed = seed_rng.next_u64();
             // Scale the episode budget so the number of optimizer steps is
             // roughly the requested on-device step budget.
             let steps_per_episode = base_trainer.max_steps_per_episode as u64;
@@ -94,27 +111,30 @@ pub fn table4_ondevice_study<R: Rng>(
                 episodes,
                 ..base_trainer.clone()
             };
-            let config = BerryConfig {
+            let request = PairRequest::new(
+                spec.clone(),
+                env_cfg.clone(),
                 trainer,
-                mode: LearningMode::on_device(voltage),
-                ..BerryConfig::default()
-            };
-            let mut env = NavigationEnv::new(env_cfg.clone())?;
-            let outcome = train_berry_with_fault_map(&mut env, &spec, &config, rng)?;
+                LearningMode::on_device(voltage),
+                ChipProfile::generic(),
+                8,
+                base_seed,
+            );
+            let pair = store.get_or_train(&request)?;
             let env = NavigationEnv::new(env_cfg.clone())?;
-            let mission = evaluate_mission(
-                outcome.agent.q_net(),
+            let mission = evaluate_mission_seeded(
+                &pair.berry,
                 &env,
                 &context,
                 voltage,
                 &eval_cfg,
-                rng,
+                eval_seed,
             )?;
             rows.push(Table4Row {
                 mode: "on-device".to_string(),
-                learning_steps: outcome.robust_updates,
+                learning_steps: pair.robust_updates,
                 voltage_norm: voltage,
-                learning_energy_j: outcome.robust_updates as f64
+                learning_energy_j: pair.robust_updates as f64
                     * study.energy_per_learning_step_j,
                 energy_savings: mission.processing.savings_vs_nominal,
                 success_pct: mission.navigation.success_rate * 100.0,
@@ -124,23 +144,28 @@ pub fn table4_ondevice_study<R: Rng>(
         }
     }
 
-    // Offline BERRY comparison rows at the same voltages.
-    let offline_config = BerryConfig {
-        trainer: base_trainer,
-        mode: LearningMode::offline(scale.train_ber()),
-        ..BerryConfig::default()
-    };
-    let mut env = NavigationEnv::new(env_cfg.clone())?;
-    let offline = train_berry_with_fault_map(&mut env, &spec, &offline_config, rng)?;
+    // Offline BERRY comparison rows at the same voltages (one training,
+    // evaluated per voltage).
+    let offline_request = PairRequest::new(
+        spec,
+        env_cfg.clone(),
+        base_trainer,
+        LearningMode::offline(scale.train_ber()),
+        ChipProfile::generic(),
+        8,
+        base_seed,
+    );
+    let offline = store.get_or_train(&offline_request)?;
     for &voltage in &study.voltages_norm {
+        let eval_seed = seed_rng.next_u64();
         let env = NavigationEnv::new(env_cfg.clone())?;
-        let mission = evaluate_mission(
-            offline.agent.q_net(),
+        let mission = evaluate_mission_seeded(
+            &offline.berry,
             &env,
             &context,
             voltage,
             &eval_cfg,
-            rng,
+            eval_seed,
         )?;
         rows.push(Table4Row {
             mode: "offline".to_string(),
@@ -191,18 +216,20 @@ pub fn format_table4(rows: &[Table4Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn ondevice_study_produces_ondevice_and_offline_rows() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let store = PolicyStore::in_memory();
         let study = OndeviceStudyConfig {
             voltages_norm: vec![0.77],
             learning_steps: vec![200],
             energy_per_learning_step_j: 0.46,
         };
-        let rows = table4_ondevice_study(&study, ExperimentScale::Smoke, &mut rng).unwrap();
+        let rows =
+            table4_ondevice_study(&store, &study, ExperimentScale::Smoke, 0).unwrap();
         assert_eq!(rows.len(), 2);
+        // One on-device training plus the offline comparison pair.
+        assert_eq!(store.stats().trained, 2);
         let ondevice = rows.iter().find(|r| r.mode == "on-device").unwrap();
         let offline = rows.iter().find(|r| r.mode == "offline").unwrap();
         assert!(ondevice.learning_steps > 0);
@@ -211,6 +238,21 @@ mod tests {
         assert!(ondevice.energy_savings > 1.0);
         let text = format_table4(&rows);
         assert!(text.contains("Learn Steps"));
+    }
+
+    #[test]
+    fn rerunning_the_study_against_one_store_retrains_nothing() {
+        let store = PolicyStore::in_memory();
+        let study = OndeviceStudyConfig {
+            voltages_norm: vec![0.77],
+            learning_steps: vec![150],
+            energy_per_learning_step_j: 0.46,
+        };
+        let first = table4_ondevice_study(&store, &study, ExperimentScale::Smoke, 3).unwrap();
+        let trained_once = store.stats().trained;
+        let second = table4_ondevice_study(&store, &study, ExperimentScale::Smoke, 3).unwrap();
+        assert_eq!(store.stats().trained, trained_once, "warm rerun must not retrain");
+        assert_eq!(first, second, "warm rerun must reproduce the rows bit for bit");
     }
 
     #[test]

@@ -5,15 +5,20 @@
 //! same sweep with the mission-level flight energy, showing that robustness
 //! to higher error rates is what unlocks the energy-optimal low-voltage
 //! operating points.
+//!
+//! Both artefacts are **declarative campaign requests**: one grid cell
+//! (medium density, Crazyflie, C3F2, offline learning, generic chip) plus
+//! one [`EvalAxis`] per table column, executed through the campaign
+//! engine's axes-only path ([`run_axes_grid_in`]) against a shared
+//! [`PolicyStore`] — the policy pair is trained at most once no matter
+//! how many artefacts ask for it.
 
-use crate::evaluate::{
-    evaluate_error_free, evaluate_mission_seeded, evaluate_under_faults_seeded, MissionContext,
-};
-use crate::experiment::{format_table, ExperimentScale, PolicyPair};
+use crate::campaign::{run_axes_grid_in, EvalAxis, OperatingPoint, PolicyRole};
+use crate::experiment::{artifact_scenario, format_table, ExperimentScale};
+use crate::store::PolicyStore;
 use crate::Result;
-use berry_uav::env::NavigationEnv;
-use rand::Rng;
-use rayon::prelude::*;
+use berry_uav::platform::UavPlatform;
+use berry_uav::world::ObstacleDensity;
 use serde::{Deserialize, Serialize};
 
 /// The bit-error rates (in percent) of the paper's Table I columns.
@@ -30,54 +35,59 @@ pub struct Table1Row {
     pub success_pct_at_ber: Vec<f64>,
 }
 
-/// Runs the Table I robustness comparison for an already-trained policy
-/// pair.
+/// Runs the Table I robustness comparison through the campaign engine,
+/// pulling the policy pair from `store`.
 ///
-/// The per-BER columns of each scheme fan out across cores (and each
-/// column's fault-map averaging fans out further); per-column seeds are
-/// drawn from `rng` up front in a fixed order, so the table is identical
-/// for any worker count.
+/// Per-axis seeds derive from the cell's seed stream (the existing
+/// splitmix families), so the table is identical for any worker count and
+/// for a cold or warm store.
 ///
 /// # Errors
 ///
-/// Returns an error if evaluation fails.
-pub fn table1_robustness<R: Rng>(
-    pair: &PolicyPair,
+/// Returns an error if training or evaluation fails.
+pub fn table1_robustness(
+    store: &PolicyStore,
     scale: ExperimentScale,
-    rng: &mut R,
+    base_seed: u64,
 ) -> Result<Vec<Table1Row>> {
-    let eval_cfg = scale.evaluation_config();
-    let context = MissionContext::crazyflie_c3f2();
-    let env_proto = NavigationEnv::new(pair.env_config.clone())?;
-    let mut rows = Vec::with_capacity(2);
-    for (name, policy) in [("Classical", &pair.classical), ("BERRY", &pair.berry)] {
-        let env = env_proto.clone();
-        let error_free = evaluate_error_free(policy, &env, &eval_cfg, rng)?;
-        let points: Vec<(f64, u64)> = TABLE1_BER_PERCENTS
-            .iter()
-            .map(|&ber_pct| (ber_pct, rng.next_u64()))
-            .collect();
-        let success_pct_at_ber = points
-            .into_par_iter()
-            .map(|(ber_pct, seed)| {
-                evaluate_under_faults_seeded(
-                    policy,
-                    &env_proto,
-                    &context.chip,
-                    ber_pct / 100.0,
-                    &eval_cfg,
-                    seed,
-                )
-                .map(|stats| stats.success_rate * 100.0)
-            })
-            .collect::<Result<Vec<f64>>>()?;
-        rows.push(Table1Row {
-            scheme: name.to_string(),
-            error_free_success_pct: error_free.success_rate * 100.0,
-            success_pct_at_ber,
-        });
+    let grid = vec![artifact_scenario(
+        ObstacleDensity::Medium,
+        &UavPlatform::crazyflie(),
+        "C3F2",
+    )];
+    let mut axes = Vec::new();
+    for role in [PolicyRole::Classical, PolicyRole::Berry] {
+        axes.push(EvalAxis::new(
+            format!("{}:error-free", role.label()),
+            role,
+            OperatingPoint::ErrorFree,
+        ));
+        for &ber_pct in &TABLE1_BER_PERCENTS {
+            axes.push(EvalAxis::new(
+                format!("{}:ber={ber_pct}%", role.label()),
+                role,
+                OperatingPoint::Ber(ber_pct / 100.0),
+            ));
+        }
     }
-    Ok(rows)
+    let rows = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
+    let cell = &rows[0];
+    let per_scheme = TABLE1_BER_PERCENTS.len() + 1;
+    Ok([PolicyRole::Classical, PolicyRole::Berry]
+        .into_iter()
+        .enumerate()
+        .map(|(i, role)| {
+            let chunk = &cell.axis_results[i * per_scheme..(i + 1) * per_scheme];
+            Table1Row {
+                scheme: role.label().to_string(),
+                error_free_success_pct: chunk[0].nav.success_rate * 100.0,
+                success_pct_at_ber: chunk[1..]
+                    .iter()
+                    .map(|r| r.nav.success_rate * 100.0)
+                    .collect(),
+            }
+        })
+        .collect())
 }
 
 /// Formats Table I like the paper.
@@ -109,57 +119,60 @@ pub struct Fig3Row {
     /// Flight success rate in percent.
     pub success_pct: f64,
     /// Single-mission flight energy in joules (at the voltage whose BER
-    /// equals `ber_percent` on the evaluation chip, clamped to the model's
-    /// minimum supported voltage).
+    /// equals `ber_percent` on the evaluation chip, clamped to the shared
+    /// deployment-voltage floor).
     pub flight_energy_j: f64,
 }
 
-/// Runs the Fig. 3 sweep: success rate and flight energy vs bit-error rate.
-///
-/// All (scheme, BER) points fan out across cores; per-point seeds are drawn
-/// from `rng` up front in sweep order, so the series is identical for any
-/// worker count.
+/// Runs the Fig. 3 sweep — success rate and flight energy vs bit-error
+/// rate — as a campaign request: one cell, one mission-level axis per
+/// (scheme, BER) point.
 ///
 /// # Errors
 ///
-/// Returns an error if evaluation fails.
-pub fn fig3_ber_sweep<R: Rng>(
-    pair: &PolicyPair,
+/// Returns an error if training or evaluation fails.
+pub fn fig3_ber_sweep(
+    store: &PolicyStore,
     ber_percents: &[f64],
     scale: ExperimentScale,
-    rng: &mut R,
+    base_seed: u64,
 ) -> Result<Vec<Fig3Row>> {
-    let eval_cfg = scale.evaluation_config();
-    let context = MissionContext::crazyflie_c3f2();
-    let env_proto = NavigationEnv::new(pair.env_config.clone())?;
-    let points: Vec<(&str, &berry_nn::network::Sequential, f64, u64)> =
-        [("Classical", &pair.classical), ("BERRY", &pair.berry)]
-            .into_iter()
-            .flat_map(|(name, policy)| {
-                ber_percents.iter().map(move |&ber_pct| (name, policy, ber_pct))
-            })
-            .map(|(name, policy, ber_pct)| (name, policy, ber_pct, rng.next_u64()))
-            .collect();
-    points
-        .into_par_iter()
-        .map(|(name, policy, ber_pct, seed)| {
-            // Find the voltage whose BER matches this point, so that the
-            // mission model charges the right processing/heatsink cost.
-            let voltage = context
-                .chip
-                .ber_model()
-                .min_voltage_for_ber(ber_pct / 100.0)?
-                .max(0.62);
-            let mission =
-                evaluate_mission_seeded(policy, &env_proto, &context, voltage, &eval_cfg, seed)?;
-            Ok(Fig3Row {
-                scheme: name.to_string(),
-                ber_percent: ber_pct,
-                success_pct: mission.navigation.success_rate * 100.0,
-                flight_energy_j: mission.quality_of_flight.flight_energy_j,
-            })
+    let grid = vec![artifact_scenario(
+        ObstacleDensity::Medium,
+        &UavPlatform::crazyflie(),
+        "C3F2",
+    )];
+    let mut axes = Vec::new();
+    for role in [PolicyRole::Classical, PolicyRole::Berry] {
+        for &ber_pct in ber_percents {
+            axes.push(EvalAxis::new(
+                format!("{}:ber={ber_pct}%", role.label()),
+                role,
+                OperatingPoint::MissionAtBer(ber_pct / 100.0),
+            ));
+        }
+    }
+    let rows = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
+    let cell = &rows[0];
+    Ok(cell
+        .axis_results
+        .iter()
+        .zip(
+            [PolicyRole::Classical, PolicyRole::Berry]
+                .into_iter()
+                .flat_map(|role| ber_percents.iter().map(move |&p| (role, p))),
+        )
+        .map(|(result, (role, ber_pct))| Fig3Row {
+            scheme: role.label().to_string(),
+            ber_percent: ber_pct,
+            success_pct: result.nav.success_rate * 100.0,
+            flight_energy_j: result
+                .quality_of_flight
+                .as_ref()
+                .expect("mission axis carries quality of flight")
+                .flight_energy_j,
         })
-        .collect()
+        .collect())
 }
 
 /// The default bit-error-rate grid of Fig. 3 (10⁻³ % … 1 %).
@@ -189,23 +202,13 @@ pub fn format_fig3(rows: &[Fig3Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::train_policy_pair;
-    use berry_uav::world::ObstacleDensity;
-    use rand::SeedableRng;
-
-    fn smoke_pair(seed: u64) -> PolicyPair {
-        let scale = ExperimentScale::Smoke;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
-        train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap()
-    }
 
     #[test]
     fn table1_has_two_schemes_and_all_ber_columns() {
-        let pair = smoke_pair(1);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let rows = table1_robustness(&pair, ExperimentScale::Smoke, &mut rng).unwrap();
+        let store = PolicyStore::in_memory();
+        let rows = table1_robustness(&store, ExperimentScale::Smoke, 2).unwrap();
         assert_eq!(rows.len(), 2);
+        assert_eq!(store.stats().trained, 1);
         for row in &rows {
             assert_eq!(row.success_pct_at_ber.len(), TABLE1_BER_PERCENTS.len());
             for v in &row.success_pct_at_ber {
@@ -219,14 +222,26 @@ mod tests {
 
     #[test]
     fn fig3_rows_cover_both_schemes_and_all_points() {
-        let pair = smoke_pair(3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let store = PolicyStore::in_memory();
         let points = vec![0.01, 0.5];
-        let rows = fig3_ber_sweep(&pair, &points, ExperimentScale::Smoke, &mut rng).unwrap();
+        let rows = fig3_ber_sweep(&store, &points, ExperimentScale::Smoke, 4).unwrap();
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.flight_energy_j > 0.0));
+        assert_eq!(rows[0].scheme, "Classical");
+        assert_eq!(rows[3].scheme, "BERRY");
+        assert_eq!(rows[1].ber_percent, 0.5);
         let text = format_fig3(&rows);
         assert!(text.contains("Flight Energy"));
         assert_eq!(fig3_default_ber_percents().len(), 6);
+    }
+
+    #[test]
+    fn table1_and_fig3_share_one_trained_pair() {
+        let store = PolicyStore::in_memory();
+        table1_robustness(&store, ExperimentScale::Smoke, 6).unwrap();
+        fig3_ber_sweep(&store, &[0.01], ExperimentScale::Smoke, 6).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.trained, 1, "the two artefacts must share the pair");
+        assert_eq!(stats.memory_hits, 1);
     }
 }

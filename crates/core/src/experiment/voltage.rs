@@ -4,14 +4,16 @@
 //! energy savings, navigation success rate, flight distance, flight time,
 //! flight energy (with its saving vs 1 V) and the number of missions per
 //! battery charge (with its improvement vs 1 V).  This module regenerates
-//! that table for a trained BERRY policy.
+//! that table as a campaign request: one grid cell (medium density,
+//! Crazyflie, C3F2) with one mission-level [`EvalAxis`] per voltage row,
+//! pulling the BERRY policy from the shared [`PolicyStore`].
 
-use crate::evaluate::{evaluate_mission_seeded, MissionContext, MissionEvaluation};
-use crate::experiment::{format_table, ExperimentScale, PolicyPair};
+use crate::campaign::{run_axes_grid_in, AxisResult, EvalAxis, OperatingPoint, PolicyRole};
+use crate::experiment::{artifact_scenario, format_table, ExperimentScale};
+use crate::store::PolicyStore;
 use crate::Result;
-use berry_uav::env::NavigationEnv;
-use rand::Rng;
-use rayon::prelude::*;
+use berry_uav::platform::UavPlatform;
+use berry_uav::world::ObstacleDensity;
 use serde::{Deserialize, Serialize};
 
 /// The normalized voltages of the paper's Table II rows (plus the nominal
@@ -47,56 +49,73 @@ pub struct Table2Row {
     pub missions_change: f64,
 }
 
-/// Runs the Table II voltage sweep for the BERRY policy of `pair`.
+fn row_from_axis(result: &AxisResult, baseline: &AxisResult) -> Table2Row {
+    let qof = result
+        .quality_of_flight
+        .as_ref()
+        .expect("mission axis carries quality of flight");
+    let base_qof = baseline
+        .quality_of_flight
+        .as_ref()
+        .expect("mission axis carries quality of flight");
+    let processing = result
+        .processing
+        .as_ref()
+        .expect("mission axis carries processing report");
+    Table2Row {
+        voltage_norm: result.voltage_norm.expect("mission axis carries voltage"),
+        ber_percent: result.ber * 100.0,
+        energy_savings: processing.savings_vs_nominal,
+        success_pct: result.nav.success_rate * 100.0,
+        flight_distance_m: qof.flight_distance_m,
+        flight_time_s: qof.flight_time_s,
+        flight_energy_j: qof.flight_energy_j,
+        flight_energy_change: qof.flight_energy_change_vs(base_qof),
+        num_missions: qof.num_missions,
+        missions_change: qof.missions_change_vs(base_qof),
+    }
+}
+
+/// Runs the Table II voltage sweep for the BERRY policy of the standard
+/// medium/Crazyflie/C3F2 cell.
 ///
 /// The first voltage in `voltages_norm` is treated as the baseline row
 /// (nominal operation) against which the percentage changes are computed.
 ///
 /// # Errors
 ///
-/// Returns an error if evaluation fails or the voltage list is empty.
-pub fn table2_voltage_sweep<R: Rng>(
-    pair: &PolicyPair,
-    context: &MissionContext,
+/// Returns an error if training or evaluation fails or the voltage list is
+/// empty.
+pub fn table2_voltage_sweep(
+    store: &PolicyStore,
     voltages_norm: &[f64],
     scale: ExperimentScale,
-    rng: &mut R,
+    base_seed: u64,
 ) -> Result<Vec<Table2Row>> {
     if voltages_norm.is_empty() {
         return Err(crate::CoreError::InvalidConfig(
             "table 2 needs at least one voltage".into(),
         ));
     }
-    let eval_cfg = scale.evaluation_config();
-    let env_proto = NavigationEnv::new(pair.env_config.clone())?;
-    // One seed per voltage row, drawn in row order so the table is
-    // identical for any worker count.
-    let points: Vec<(f64, u64)> = voltages_norm
+    let grid = vec![artifact_scenario(
+        ObstacleDensity::Medium,
+        &UavPlatform::crazyflie(),
+        "C3F2",
+    )];
+    let axes: Vec<EvalAxis> = voltages_norm
         .iter()
-        .map(|&v| (v, rng.next_u64()))
+        .map(|&v| {
+            EvalAxis::new(
+                format!("BERRY:v={v}"),
+                PolicyRole::Berry,
+                OperatingPoint::MissionAtVoltage(v),
+            )
+        })
         .collect();
-    let missions: Vec<MissionEvaluation> = points
-        .into_par_iter()
-        .map(|(v, seed)| {
-            evaluate_mission_seeded(&pair.berry, &env_proto, context, v, &eval_cfg, seed)
-        })
-        .collect::<Result<Vec<MissionEvaluation>>>()?;
-    let baseline = missions[0].quality_of_flight;
-    Ok(missions
-        .into_iter()
-        .map(|m| Table2Row {
-            voltage_norm: m.voltage_norm,
-            ber_percent: m.ber * 100.0,
-            energy_savings: m.processing.savings_vs_nominal,
-            success_pct: m.navigation.success_rate * 100.0,
-            flight_distance_m: m.quality_of_flight.flight_distance_m,
-            flight_time_s: m.quality_of_flight.flight_time_s,
-            flight_energy_j: m.quality_of_flight.flight_energy_j,
-            flight_energy_change: m.quality_of_flight.flight_energy_change_vs(&baseline),
-            num_missions: m.quality_of_flight.num_missions,
-            missions_change: m.quality_of_flight.missions_change_vs(&baseline),
-        })
-        .collect())
+    let rows = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
+    let results = &rows[0].axis_results;
+    let baseline = &results[0];
+    Ok(results.iter().map(|r| row_from_axis(r, baseline)).collect())
 }
 
 /// Finds the row with the lowest flight energy — the "optimal voltage" the
@@ -148,26 +167,15 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::train_policy_pair;
-    use berry_uav::world::ObstacleDensity;
-    use rand::SeedableRng;
 
     #[test]
     fn voltage_sweep_produces_one_row_per_voltage() {
-        let scale = ExperimentScale::Smoke;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
-        let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap();
+        let store = PolicyStore::in_memory();
         let voltages = vec![1.4286, 0.80, 0.70];
-        let rows = table2_voltage_sweep(
-            &pair,
-            &MissionContext::crazyflie_c3f2(),
-            &voltages,
-            scale,
-            &mut rng,
-        )
-        .unwrap();
+        let rows =
+            table2_voltage_sweep(&store, &voltages, ExperimentScale::Smoke, 0).unwrap();
         assert_eq!(rows.len(), 3);
+        assert_eq!(store.stats().trained, 1);
         // The baseline row has zero change by definition.
         assert!(rows[0].flight_energy_change.abs() < 1e-12);
         assert!(rows[0].missions_change.abs() < 1e-12);
@@ -183,18 +191,10 @@ mod tests {
 
     #[test]
     fn empty_voltage_list_is_rejected() {
-        let scale = ExperimentScale::Smoke;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let env_cfg = scale.navigation_config(ObstacleDensity::Sparse);
-        let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng).unwrap();
-        assert!(table2_voltage_sweep(
-            &pair,
-            &MissionContext::crazyflie_c3f2(),
-            &[],
-            scale,
-            &mut rng
-        )
-        .is_err());
+        let store = PolicyStore::in_memory();
+        assert!(table2_voltage_sweep(&store, &[], ExperimentScale::Smoke, 1).is_err());
+        // The failed request never trained anything.
+        assert_eq!(store.stats().trained, 0);
         assert!(optimal_row(&[]).is_none());
     }
 

@@ -63,16 +63,20 @@ pub mod experiment;
 pub mod perturb;
 pub mod robust;
 pub mod scenario;
+pub mod store;
 
 pub use campaign::{
-    run_campaign, run_campaign_serial, run_grid, run_grid_serial, run_grid_streamed,
-    scenario_seed, CampaignConfig, CampaignRow, CampaignSummary,
+    pair_request_for, run_axes_grid_in, run_campaign, run_campaign_in, run_campaign_serial,
+    run_grid, run_grid_serial, run_grid_streamed, run_grid_streamed_in, scenario_seed, AxisCell,
+    AxisResult, CampaignConfig, CampaignRow, CampaignSummary, EvalAxis, OperatingPoint,
+    PolicyRole,
 };
 pub use error::CoreError;
 pub use evaluate::{FaultEvaluationConfig, MissionEvaluation};
 pub use perturb::NetworkPerturber;
 pub use robust::{train_berry, BerryConfig, BerryOutcome, LearningMode};
-pub use scenario::Scenario;
+pub use scenario::{Scenario, DEPLOY_VOLTAGE_FLOOR_NORM};
+pub use store::{PairRequest, PolicyStore, StoreStats, TrainedPair};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

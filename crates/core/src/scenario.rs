@@ -21,6 +21,17 @@ use berry_uav::platform::UavPlatform;
 use berry_uav::world::{ObstacleDensity, WorldVariant};
 use serde::{Deserialize, Serialize};
 
+/// Lowest deployment voltage (in Vmin units) any runner evaluates at.
+///
+/// The Table II BER curve is tabulated down to ≈ 0.62 Vmin; asking the
+/// model for the voltage that produces a very high bit-error rate can land
+/// below its supported range, so every "voltage matching this BER" lookup
+/// clamps to this floor.  It is deliberately defined **once**, next to
+/// [`Scenario::deploy_voltage_norm`], and imported by the campaign engine's
+/// operating-point resolution — the scenario grid and the evaluation axes
+/// cannot drift apart on what "as low as the model goes" means.
+pub const DEPLOY_VOLTAGE_FLOOR_NORM: f64 = 0.62;
+
 /// Which learning paradigm a scenario uses (offline vs on-device).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ScenarioMode {
@@ -379,6 +390,22 @@ mod tests {
             c3.policy_spec(ExperimentScale::Smoke).unwrap(),
             c5.policy_spec(ExperimentScale::Smoke).unwrap()
         );
+    }
+
+    #[test]
+    fn deploy_voltages_sit_above_the_shared_floor() {
+        for density in ObstacleDensity::all() {
+            let v = Scenario {
+                density,
+                ..Scenario::grid()[0].clone()
+            }
+            .deploy_voltage_norm();
+            assert!(v >= DEPLOY_VOLTAGE_FLOOR_NORM);
+        }
+        // The floor itself must be a voltage the BER model can answer for.
+        assert!(ChipProfile::generic()
+            .ber_at_voltage(DEPLOY_VOLTAGE_FLOOR_NORM)
+            .is_ok());
     }
 
     #[test]

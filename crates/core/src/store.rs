@@ -1,0 +1,687 @@
+//! The train-once policy store: a content-addressed cache of trained
+//! Classical/BERRY policy pairs.
+//!
+//! Every table and figure of the paper evaluates the *same* trained policy
+//! pairs under different fault conditions, yet each runner used to retrain
+//! its pairs from scratch.  [`PolicyStore`] amortizes that cost the way
+//! Stutz et al.'s bit-error robustness study amortizes one trained model
+//! across an entire voltage/BER sweep: training is keyed by a
+//! **fingerprint** of everything the trained weights are a function of —
+//! network spec, environment (density + disturbance variant), trainer
+//! hyper-parameters, learning mode, chip fault profile, quantization width
+//! and the derived training seed — and each fingerprint is trained at most
+//! once per store (and, with the on-disk layer, at most once per machine).
+//!
+//! # Determinism
+//!
+//! A [`PairRequest`]'s training seed is derived from the campaign base seed
+//! and the request's *seedless* fingerprint hash via [`pair_seed`] — a
+//! fourth SplitMix64-style family, disjoint from
+//! [`crate::evaluate::fault_map_seed`], `berry_rl::vecenv::episode_seed`
+//! and [`crate::campaign::scenario_seed`].  Training is a pure function of
+//! the request, so a cache hit (memory or disk) returns **bitwise** the
+//! weights a miss would have trained; downstream evaluation rows therefore
+//! cannot tell whether the store was warm.  Notably the seed does *not*
+//! depend on any grid index: two campaign cells (or two different runner
+//! binaries sharing one store and base seed) that need the same pair
+//! resolve to the same fingerprint and share one training run.
+//!
+//! # On-disk layer
+//!
+//! [`PolicyStore::with_dir`] adds a directory layer: each pair is stored as
+//! `<hash>.pair` (a little-endian binary record of the fingerprint string,
+//! training metadata and both flat-weight vectors — f32 bits are preserved
+//! exactly) plus a human-readable `<hash>.fingerprint.json` sidecar.  Loads
+//! verify the embedded fingerprint string against the request, so a hash
+//! collision or a stale file degrades to a retrain, never to wrong weights.
+
+use crate::error::CoreError;
+use crate::robust::{train_berry_with_fault_map, BerryConfig, LearningMode};
+use crate::Result;
+use berry_faults::chip::ChipProfile;
+use berry_nn::network::Sequential;
+use berry_rl::env::Environment;
+use berry_rl::policy::QNetworkSpec;
+use berry_rl::trainer::{train_classical, TrainerConfig};
+use berry_uav::env::{NavigationConfig, NavigationEnv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Episode window used for the cached train-success metadata (matches the
+/// campaign's "trained at all" signal).
+pub const TRAIN_SUCCESS_WINDOW: usize = 20;
+
+/// Magic prefix of the on-disk pair record (versioned: bump on layout
+/// change so stale caches degrade to retrains).
+const PAIR_MAGIC: &[u8; 8] = b"BERRYPS1";
+
+/// Derives a pair's training seed from a campaign base seed and the
+/// request's seedless fingerprint hash.
+///
+/// A SplitMix64-style mix whose add-multiplier/offset pair is distinct
+/// from the fault-map, episode and scenario families, keeping all four
+/// derivation families disjoint (`tests/parallel_determinism.rs` checks
+/// the no-collision property).
+#[must_use]
+pub fn pair_seed(base_seed: u64, fingerprint_hash: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(fingerprint_hash.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a 64-bit hash of a canonical fingerprint string.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything a Classical/BERRY pair training run is a function of.
+///
+/// The classical baseline and the BERRY policy train sequentially off one
+/// RNG stream seeded with [`PairRequest::seed`], exactly as the campaign
+/// engine always trained its cells — the pair is the cache unit because
+/// splitting it would change the BERRY policy's stream.
+#[derive(Debug, Clone)]
+pub struct PairRequest {
+    /// Q-network architecture to train.
+    pub spec: QNetworkSpec,
+    /// Navigation-environment configuration (density, arena, disturbance
+    /// variant, …) both policies train on.
+    pub env: NavigationConfig,
+    /// Episode-level training hyper-parameters shared by both policies.
+    pub trainer: TrainerConfig,
+    /// BERRY learning mode (offline train-BER or on-device voltage).
+    pub mode: LearningMode,
+    /// Chip profile supplying the spatial fault pattern during BERRY
+    /// training.
+    pub chip: ChipProfile,
+    /// Quantization width used for fault injection.
+    pub quant_bits: u8,
+    /// The derived training seed (see [`PairRequest::new`]).
+    pub seed: u64,
+}
+
+impl PairRequest {
+    /// Builds a request whose training seed is derived from `base_seed` and
+    /// the request's own (seedless) fingerprint via [`pair_seed`] — the
+    /// canonical constructor: every consumer that derives seeds this way
+    /// shares cache entries for identical training work.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        spec: QNetworkSpec,
+        env: NavigationConfig,
+        trainer: TrainerConfig,
+        mode: LearningMode,
+        chip: ChipProfile,
+        quant_bits: u8,
+        base_seed: u64,
+    ) -> Self {
+        let mut request = Self {
+            spec,
+            env,
+            trainer,
+            mode,
+            chip,
+            quant_bits,
+            seed: 0,
+        };
+        request.seed = pair_seed(base_seed, fnv1a64(&request.fingerprint_body()));
+        request
+    }
+
+    /// The canonical fingerprint text *without* the seed — what the seed
+    /// derivation hashes over.
+    fn fingerprint_body(&self) -> String {
+        format!(
+            "berry-pair-v1;spec={:?};env={:?};trainer={:?};mode={:?};chip={:?};quant_bits={}",
+            self.spec, self.env, self.trainer, self.mode, self.chip, self.quant_bits
+        )
+    }
+
+    /// The full canonical fingerprint (cache key) of this request.
+    pub fn fingerprint(&self) -> String {
+        format!("{};seed={}", self.fingerprint_body(), self.seed)
+    }
+
+    /// 64-bit content hash of the fingerprint (used for file names).
+    pub fn fingerprint_hash(&self) -> u64 {
+        fnv1a64(&self.fingerprint())
+    }
+}
+
+/// A cached Classical/BERRY policy pair plus the training metadata the
+/// campaign rows report.
+#[derive(Debug, Clone)]
+pub struct TrainedPair {
+    /// The architecture both policies share.
+    pub spec: QNetworkSpec,
+    /// Classically trained policy (no error injection).
+    pub classical: Sequential,
+    /// BERRY error-aware policy.
+    pub berry: Sequential,
+    /// Classical success rate over the last [`TRAIN_SUCCESS_WINDOW`]
+    /// training episodes.
+    pub classical_train_success: f64,
+    /// BERRY success rate over the last [`TRAIN_SUCCESS_WINDOW`] training
+    /// episodes.
+    pub berry_train_success: f64,
+    /// Number of BERRY dual-pass optimizer updates performed.
+    pub robust_updates: u64,
+}
+
+/// Hit/miss counters of a [`PolicyStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Pairs trained from scratch by this store instance.
+    pub trained: u64,
+    /// Requests served from the in-memory map.
+    pub memory_hits: u64,
+    /// Requests served from the on-disk layer.
+    pub disk_hits: u64,
+}
+
+type Slot = Arc<OnceLock<std::result::Result<Arc<TrainedPair>, CoreError>>>;
+
+/// A content-addressed cache of trained policy pairs: an in-memory map
+/// (always) plus an optional on-disk layer.
+///
+/// Thread-safe: campaign cells sharded across rayon workers can request
+/// pairs concurrently; two workers racing on the same fingerprint
+/// deduplicate onto one training run (the second blocks on the first's
+/// `OnceLock` instead of retraining).
+#[derive(Debug)]
+pub struct PolicyStore {
+    slots: Mutex<HashMap<String, Slot>>,
+    dir: Option<PathBuf>,
+    trained: AtomicU64,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl Default for PolicyStore {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl PolicyStore {
+    /// A purely in-memory store (the default for one-shot runs and tests).
+    pub fn in_memory() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            dir: None,
+            trained: AtomicU64::new(0),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A store backed by `dir`: misses consult (and populate) flat-weight
+    /// records on disk, so repeated runs — even across processes — retrain
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            CoreError::InvalidConfig(format!(
+                "cannot create policy-store directory {}: {e}",
+                dir.display()
+            ))
+        })?;
+        Ok(Self {
+            dir: Some(dir),
+            ..Self::in_memory()
+        })
+    }
+
+    /// The on-disk layer's directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            trained: self.trained.load(Ordering::Relaxed),
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the trained pair for `request`, training it (at most once
+    /// per fingerprint) on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training fails; the error is cached, so
+    /// concurrent requesters of the same broken fingerprint all observe it
+    /// without retraining.
+    pub fn get_or_train(&self, request: &PairRequest) -> Result<Arc<TrainedPair>> {
+        let key = request.fingerprint();
+        let slot = {
+            let mut slots = self.slots.lock().expect("policy-store lock poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut initialized = false;
+        let outcome = slot.get_or_init(|| {
+            initialized = true;
+            if let Some(pair) = self.load_from_disk(request) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::new(pair));
+            }
+            match train_pair(request) {
+                Ok(pair) => {
+                    self.trained.fetch_add(1, Ordering::Relaxed);
+                    let pair = Arc::new(pair);
+                    self.persist(request, &pair);
+                    Ok(pair)
+                }
+                Err(e) => Err(e),
+            }
+        });
+        if !initialized {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome.clone()
+    }
+
+    fn pair_path(&self, request: &PairRequest) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}.pair", request.fingerprint_hash())))
+    }
+
+    /// Writes the binary pair record and its JSON sidecar (best effort: a
+    /// full disk degrades the cache, it does not fail the run).
+    fn persist(&self, request: &PairRequest, pair: &TrainedPair) {
+        let Some(path) = self.pair_path(request) else {
+            return;
+        };
+        let bytes = encode_pair(&request.fingerprint(), pair);
+        if write_atomically(&path, &bytes).is_ok() {
+            let sidecar = path.with_extension("fingerprint.json");
+            let _ = write_atomically(&sidecar, fingerprint_json(request).as_bytes());
+        }
+    }
+
+    /// Attempts to load `request` from the on-disk layer.  Any mismatch —
+    /// missing file, bad magic, foreign fingerprint, truncated weights,
+    /// architecture drift — is treated as a miss.
+    fn load_from_disk(&self, request: &PairRequest) -> Option<TrainedPair> {
+        let path = self.pair_path(request)?;
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .ok()?
+            .read_to_end(&mut bytes)
+            .ok()?;
+        let record = decode_pair(&bytes)?;
+        if record.fingerprint != request.fingerprint() {
+            return None;
+        }
+        // Rebuild the networks through the spec → flat-weights round trip;
+        // the environment supplies the observation/action geometry.
+        let env = NavigationEnv::new(request.env.clone()).ok()?;
+        let shape = env.observation_shape();
+        let actions = env.num_actions();
+        let classical = request
+            .spec
+            .build_with_flat_weights(&shape, actions, &record.classical)
+            .ok()?;
+        let berry = request
+            .spec
+            .build_with_flat_weights(&shape, actions, &record.berry)
+            .ok()?;
+        Some(TrainedPair {
+            spec: request.spec.clone(),
+            classical,
+            berry,
+            classical_train_success: record.classical_train_success,
+            berry_train_success: record.berry_train_success,
+            robust_updates: record.robust_updates,
+        })
+    }
+}
+
+/// Trains the Classical/BERRY pair for a request — the single training
+/// call site every runner now funnels through.  Classical first, BERRY
+/// second, both off one stream seeded by the request (the structure the
+/// campaign engine has always used for its cells).
+fn train_pair(request: &PairRequest) -> Result<TrainedPair> {
+    let mut rng = StdRng::seed_from_u64(request.seed);
+    let mut env = NavigationEnv::new(request.env.clone())?;
+    let (classical_agent, classical_report) =
+        train_classical(&mut env, &request.spec, &request.trainer, &mut rng)?;
+    let berry_config = BerryConfig {
+        trainer: request.trainer.clone(),
+        mode: request.mode,
+        chip: request.chip.clone(),
+        quant_bits: request.quant_bits,
+    };
+    let mut env = NavigationEnv::new(request.env.clone())?;
+    let outcome = train_berry_with_fault_map(&mut env, &request.spec, &berry_config, &mut rng)?;
+    Ok(TrainedPair {
+        spec: request.spec.clone(),
+        classical: classical_agent.q_net().clone(),
+        berry: outcome.agent.q_net().clone(),
+        classical_train_success: classical_report.recent_success_rate(TRAIN_SUCCESS_WINDOW),
+        berry_train_success: outcome.report.recent_success_rate(TRAIN_SUCCESS_WINDOW),
+        robust_updates: outcome.robust_updates,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// On-disk record encoding (little-endian, exact f32/f64 bit preservation).
+// ---------------------------------------------------------------------------
+
+struct PairRecord {
+    fingerprint: String,
+    classical_train_success: f64,
+    berry_train_success: f64,
+    robust_updates: u64,
+    classical: Vec<f32>,
+    berry: Vec<f32>,
+}
+
+fn encode_pair(fingerprint: &str, pair: &TrainedPair) -> Vec<u8> {
+    let classical = pair.classical.to_flat_weights();
+    let berry = pair.berry.to_flat_weights();
+    let mut out = Vec::with_capacity(64 + fingerprint.len() + 4 * (classical.len() + berry.len()));
+    out.extend_from_slice(PAIR_MAGIC);
+    out.extend_from_slice(&(fingerprint.len() as u64).to_le_bytes());
+    out.extend_from_slice(fingerprint.as_bytes());
+    out.extend_from_slice(&pair.classical_train_success.to_bits().to_le_bytes());
+    out.extend_from_slice(&pair.berry_train_success.to_bits().to_le_bytes());
+    out.extend_from_slice(&pair.robust_updates.to_le_bytes());
+    for weights in [&classical, &berry] {
+        out.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+        for w in weights.iter() {
+            out.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_pair(bytes: &[u8]) -> Option<PairRecord> {
+    let mut cursor = 0usize;
+    let take = |cursor: &mut usize, n: usize| -> Option<&[u8]> {
+        let end = cursor.checked_add(n)?;
+        let slice = bytes.get(*cursor..end)?;
+        *cursor = end;
+        Some(slice)
+    };
+    let take_u64 = |cursor: &mut usize| -> Option<u64> {
+        Some(u64::from_le_bytes(take(cursor, 8)?.try_into().ok()?))
+    };
+    if take(&mut cursor, PAIR_MAGIC.len())? != PAIR_MAGIC {
+        return None;
+    }
+    let fp_len = usize::try_from(take_u64(&mut cursor)?).ok()?;
+    let fingerprint = std::str::from_utf8(take(&mut cursor, fp_len)?).ok()?.to_string();
+    let classical_train_success = f64::from_bits(take_u64(&mut cursor)?);
+    let berry_train_success = f64::from_bits(take_u64(&mut cursor)?);
+    let robust_updates = take_u64(&mut cursor)?;
+    let read_weights = |cursor: &mut usize| -> Option<Vec<f32>> {
+        let count = usize::try_from(take_u64(cursor)?).ok()?;
+        let raw = take(cursor, count.checked_mul(4)?)?;
+        Some(
+            raw.chunks_exact(4)
+                .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("chunk of 4"))))
+                .collect(),
+        )
+    };
+    let classical = read_weights(&mut cursor)?;
+    let berry = read_weights(&mut cursor)?;
+    if cursor != bytes.len() {
+        return None;
+    }
+    Some(PairRecord {
+        fingerprint,
+        classical_train_success,
+        berry_train_success,
+        robust_updates,
+        classical,
+        berry,
+    })
+}
+
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Minimal JSON escaping for the sidecar.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The human-readable fingerprint sidecar written next to each pair record.
+fn fingerprint_json(request: &PairRequest) -> String {
+    format!(
+        "{{\n  \"hash\": \"{:016x}\",\n  \"spec\": \"{}\",\n  \"density\": \"{}\",\n  \
+         \"variant\": \"{}\",\n  \"mode\": \"{}\",\n  \"chip\": \"{}\",\n  \
+         \"quant_bits\": {},\n  \"seed\": {},\n  \"fingerprint\": \"{}\"\n}}\n",
+        request.fingerprint_hash(),
+        request.spec.name(),
+        request.env.density.label(),
+        request.env.variant.label(),
+        request.mode.label(),
+        json_escape(request.chip.name()),
+        request.quant_bits,
+        request.seed,
+        json_escape(&request.fingerprint()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berry_uav::world::ObstacleDensity;
+
+    fn smoke_request(base_seed: u64) -> PairRequest {
+        let scale = crate::experiment::ExperimentScale::Smoke;
+        PairRequest::new(
+            QNetworkSpec::mlp(vec![16]),
+            scale.navigation_config(ObstacleDensity::Sparse),
+            TrainerConfig::smoke_test(),
+            LearningMode::offline(0.005),
+            ChipProfile::generic(),
+            8,
+            base_seed,
+        )
+    }
+
+    #[test]
+    fn fingerprints_are_canonical_and_seed_sensitive() {
+        let a = smoke_request(1);
+        let b = smoke_request(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.seed, b.seed);
+        let c = smoke_request(2);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.seed, c.seed);
+        // Any training-relevant field moves the fingerprint.
+        let mut d = smoke_request(1);
+        d.quant_bits = 4;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let e = PairRequest::new(
+            QNetworkSpec::mlp(vec![17]),
+            a.env.clone(),
+            a.trainer.clone(),
+            a.mode,
+            a.chip.clone(),
+            a.quant_bits,
+            1,
+        );
+        assert_ne!(a.fingerprint(), e.fingerprint());
+        assert_ne!(a.seed, e.seed, "spec must shift the derived seed");
+    }
+
+    #[test]
+    fn pair_seed_family_mixes_and_differs_from_identity() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|h| pair_seed(2023, h)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(pair_seed(2023, 0), 2023);
+        assert_ne!(pair_seed(1, 9), pair_seed(2, 9));
+    }
+
+    #[test]
+    fn memory_store_trains_once_and_serves_hits() {
+        let store = PolicyStore::in_memory();
+        let request = smoke_request(7);
+        let first = store.get_or_train(&request).unwrap();
+        let second = store.get_or_train(&request).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = store.stats();
+        assert_eq!(stats.trained, 1);
+        assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.disk_hits, 0);
+        // The cached pair is a real trained pair.
+        assert_eq!(first.classical.param_count(), first.berry.param_count());
+        assert_ne!(first.classical.to_flat_weights(), first.berry.to_flat_weights());
+        assert!(first.robust_updates > 0);
+    }
+
+    #[test]
+    fn training_is_a_pure_function_of_the_request() {
+        let request = smoke_request(11);
+        let a = PolicyStore::in_memory().get_or_train(&request).unwrap();
+        let b = PolicyStore::in_memory().get_or_train(&request).unwrap();
+        assert_eq!(a.classical.to_flat_weights(), b.classical.to_flat_weights());
+        assert_eq!(a.berry.to_flat_weights(), b.berry.to_flat_weights());
+        assert_eq!(a.classical_train_success.to_bits(), b.classical_train_success.to_bits());
+        assert_eq!(a.robust_updates, b.robust_updates);
+    }
+
+    #[test]
+    fn disk_layer_round_trips_bitwise_and_counts_disk_hits() {
+        let dir = std::env::temp_dir().join(format!(
+            "berry-policy-store-test-{}-{:x}",
+            std::process::id(),
+            pair_seed(0xD15C, 0)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let request = smoke_request(13);
+
+        let cold = PolicyStore::with_dir(&dir).unwrap();
+        let trained = cold.get_or_train(&request).unwrap();
+        assert_eq!(cold.stats().trained, 1);
+        // Both the record and its JSON sidecar exist.
+        let pair_file = dir.join(format!("{:016x}.pair", request.fingerprint_hash()));
+        assert!(pair_file.exists());
+        assert!(pair_file.with_extension("fingerprint.json").exists());
+        let sidecar =
+            std::fs::read_to_string(pair_file.with_extension("fingerprint.json")).unwrap();
+        assert!(sidecar.contains("\"spec\": \"MLP\""));
+        assert!(sidecar.contains("\"mode\": \"offline\""));
+
+        // A fresh store over the same directory loads instead of training.
+        let warm = PolicyStore::with_dir(&dir).unwrap();
+        let loaded = warm.get_or_train(&request).unwrap();
+        let stats = warm.stats();
+        assert_eq!(stats.trained, 0, "warm store must not retrain");
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(loaded.classical.to_flat_weights(), trained.classical.to_flat_weights());
+        assert_eq!(loaded.berry.to_flat_weights(), trained.berry.to_flat_weights());
+        assert_eq!(
+            loaded.classical_train_success.to_bits(),
+            trained.classical_train_success.to_bits()
+        );
+        assert_eq!(
+            loaded.berry_train_success.to_bits(),
+            trained.berry_train_success.to_bits()
+        );
+        assert_eq!(loaded.robust_updates, trained.robust_updates);
+
+        // A different request misses the stale file and trains its own pair.
+        let other = smoke_request(14);
+        warm.get_or_train(&other).unwrap();
+        assert_eq!(warm.stats().trained, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_records_degrade_to_retrains() {
+        let record = encode_pair("fp", &TrainedPair {
+            spec: QNetworkSpec::mlp(vec![4]),
+            classical: QNetworkSpec::mlp(vec![4])
+                .build(&[2], 2, &mut StdRng::seed_from_u64(0))
+                .unwrap(),
+            berry: QNetworkSpec::mlp(vec![4])
+                .build(&[2], 2, &mut StdRng::seed_from_u64(1))
+                .unwrap(),
+            classical_train_success: 0.5,
+            berry_train_success: 0.25,
+            robust_updates: 3,
+        });
+        assert!(decode_pair(&record).is_some());
+        // Truncation, trailing junk and a foreign magic are all rejected.
+        assert!(decode_pair(&record[..record.len() - 1]).is_none());
+        let mut long = record.clone();
+        long.push(0);
+        assert!(decode_pair(&long).is_none());
+        let mut bad_magic = record.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(decode_pair(&bad_magic).is_none());
+        assert!(decode_pair(b"").is_none());
+    }
+
+    #[test]
+    fn encode_decode_preserves_every_bit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = QNetworkSpec::mlp(vec![8, 4]);
+        let pair = TrainedPair {
+            spec: spec.clone(),
+            classical: spec.build(&[3], 5, &mut rng).unwrap(),
+            berry: spec.build(&[3], 5, &mut rng).unwrap(),
+            classical_train_success: 0.123_456_789,
+            berry_train_success: f64::from_bits(0x3FE5_5555_5555_5555),
+            robust_updates: 42,
+        };
+        let bytes = encode_pair("some fingerprint", &pair);
+        let record = decode_pair(&bytes).unwrap();
+        assert_eq!(record.fingerprint, "some fingerprint");
+        assert_eq!(record.classical, pair.classical.to_flat_weights());
+        assert_eq!(record.berry, pair.berry.to_flat_weights());
+        assert_eq!(
+            record.classical_train_success.to_bits(),
+            pair.classical_train_success.to_bits()
+        );
+        assert_eq!(
+            record.berry_train_success.to_bits(),
+            pair.berry_train_success.to_bits()
+        );
+        assert_eq!(record.robust_updates, 42);
+    }
+}

@@ -28,7 +28,9 @@ pub enum ErrorPattern {
     ColumnAligned {
         /// Number of bit columns the memory is (logically) arranged into.
         array_columns: usize,
-        /// Fraction of columns that are weak, in `(0, 1]`.
+        /// Fraction of columns that are weak, in `[0, 1]`.  A fraction of
+        /// exactly `0.0` means *no* column is weak, so no faults are drawn
+        /// at all (mirroring `ber == 0.0`).
         weak_column_fraction: f64,
     },
 }
@@ -61,7 +63,7 @@ impl ErrorPattern {
                         "array_columns must be positive".into(),
                     ));
                 }
-                if !(*weak_column_fraction > 0.0 && *weak_column_fraction <= 1.0) {
+                if !(*weak_column_fraction >= 0.0 && *weak_column_fraction <= 1.0) {
                     return Err(FaultError::InvalidProbability {
                         name: "weak_column_fraction",
                         value: *weak_column_fraction,
@@ -109,6 +111,13 @@ impl ErrorPattern {
                 array_columns,
                 weak_column_fraction,
             } => {
+                // No weak columns means no eligible cells: an empty map,
+                // exactly like `ber == 0.0`.  (Without this the `max(1)`
+                // clamp below would force one weak column and concentrate
+                // *all* faults in it.)
+                if *weak_column_fraction == 0.0 {
+                    return Ok(Vec::new());
+                }
                 let columns = (*array_columns).min(total_bits);
                 let weak_count = ((columns as f64 * weak_column_fraction).ceil() as usize)
                     .clamp(1, columns);
@@ -256,9 +265,40 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad2 = ErrorPattern::ColumnAligned {
             array_columns: 10,
-            weak_column_fraction: 0.0,
+            weak_column_fraction: -0.1,
         };
         assert!(bad2.validate().is_err());
+        let bad3 = ErrorPattern::ColumnAligned {
+            array_columns: 10,
+            weak_column_fraction: 1.5,
+        };
+        assert!(bad3.validate().is_err());
+        let bad4 = ErrorPattern::ColumnAligned {
+            array_columns: 10,
+            weak_column_fraction: f64::NAN,
+        };
+        assert!(bad4.validate().is_err());
+    }
+
+    /// Regression: a zero weak-column fraction used to be clamped up to one
+    /// forced weak column, which concentrated *all* requested faults in it.
+    /// Zero weak columns must mean zero faults, exactly like `ber == 0.0`.
+    #[test]
+    fn zero_weak_column_fraction_yields_no_faults() {
+        let pattern = ErrorPattern::ColumnAligned {
+            array_columns: 100,
+            weak_column_fraction: 0.0,
+        };
+        assert!(pattern.validate().is_ok());
+        for seed in 0..20 {
+            let mut r = rng(seed);
+            let indices = pattern.sample_fault_indices(&mut r, 50_000, 0.01).unwrap();
+            assert!(
+                indices.is_empty(),
+                "zero weak columns produced {} faults (seed {seed})",
+                indices.len()
+            );
+        }
     }
 
     #[test]

@@ -51,13 +51,22 @@ impl EvalStats {
     }
 
     /// Merges two statistics blocks, weighting by episode counts.
+    ///
+    /// Merging with [`EvalStats::empty`] (zero episodes) is a **bitwise
+    /// identity** — the non-empty side is returned unchanged instead of
+    /// being routed through the weighted average, whose `v * n / n`
+    /// round trip is not exact for every float.
     pub fn merge(&self, other: &EvalStats) -> EvalStats {
+        // Identity short-circuits keep empty merges exact and NaN-free.
+        if other.episodes == 0 {
+            return self.clone();
+        }
+        if self.episodes == 0 {
+            return other.clone();
+        }
         let n1 = self.episodes as f64;
         let n2 = other.episodes as f64;
         let n = n1 + n2;
-        if n == 0.0 {
-            return EvalStats::empty();
-        }
         let w = |a: f64, b: f64| (a * n1 + b * n2) / n;
         // Success-weighted distance needs success counts, not episode counts.
         let s1 = self.success_rate * n1;
@@ -565,5 +574,153 @@ mod tests {
         assert!((m.mean_success_distance - 10.0).abs() < 1e-12);
         let empty = EvalStats::empty().merge(&EvalStats::empty());
         assert_eq!(empty.episodes, 0);
+    }
+
+    mod merge_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds a consistent statistics block the way a real episode fold
+        /// would: outcome counts partition the episodes and every mean is a
+        /// finite total divided by the episode count.
+        #[allow(clippy::too_many_arguments)]
+        fn stats_from(
+            episodes: usize,
+            success_cut: usize,
+            collision_cut: usize,
+            total_return: f64,
+            total_steps: f64,
+            total_distance: f64,
+            success_distance: f64,
+        ) -> EvalStats {
+            if episodes == 0 {
+                return EvalStats::empty();
+            }
+            let successes = success_cut % (episodes + 1);
+            let collisions = collision_cut % (episodes - successes + 1);
+            let timeouts = episodes - successes - collisions;
+            let n = episodes as f64;
+            EvalStats {
+                episodes,
+                success_rate: successes as f64 / n,
+                collision_rate: collisions as f64 / n,
+                timeout_rate: timeouts as f64 / n,
+                mean_return: total_return / n,
+                mean_steps: total_steps / n,
+                mean_distance: total_distance / n,
+                mean_success_distance: if successes > 0 {
+                    success_distance / successes as f64
+                } else {
+                    0.0
+                },
+            }
+        }
+
+        fn field_bits(s: &EvalStats) -> [u64; 7] {
+            [
+                s.success_rate.to_bits(),
+                s.collision_rate.to_bits(),
+                s.timeout_rate.to_bits(),
+                s.mean_return.to_bits(),
+                s.mean_steps.to_bits(),
+                s.mean_distance.to_bits(),
+                s.mean_success_distance.to_bits(),
+            ]
+        }
+
+        fn fields(s: &EvalStats) -> [f64; 7] {
+            [
+                s.success_rate,
+                s.collision_rate,
+                s.timeout_rate,
+                s.mean_return,
+                s.mean_steps,
+                s.mean_distance,
+                s.mean_success_distance,
+            ]
+        }
+
+        /// Relative tolerance covering nothing more than f64 reassociation
+        /// of the weighted sums.
+        fn close(a: f64, b: f64) -> bool {
+            (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+        }
+
+        proptest! {
+            #[test]
+            fn prop_merge_with_empty_is_a_bitwise_identity(
+                episodes in 0usize..40,
+                success_cut in 0usize..100,
+                collision_cut in 0usize..100,
+                ret in -500.0f64..500.0,
+                steps in 0.0f64..2_000.0,
+                dist in 0.0f64..1_000.0,
+                sdist in 0.0f64..1_000.0,
+            ) {
+                let s = stats_from(
+                    episodes, success_cut, collision_cut, ret, steps, dist, sdist,
+                );
+                for merged in [s.merge(&EvalStats::empty()), EvalStats::empty().merge(&s)] {
+                    prop_assert_eq!(merged.episodes, s.episodes);
+                    prop_assert_eq!(field_bits(&merged), field_bits(&s));
+                }
+            }
+
+            #[test]
+            fn prop_merge_order_only_reassociates_the_weighted_means(
+                ep_a in 0usize..40,
+                ep_b in 0usize..40,
+                ep_c in 0usize..40,
+                success_cut in 0usize..100,
+                collision_cut in 0usize..100,
+                ret in -500.0f64..500.0,
+                steps in 0.0f64..2_000.0,
+                dist in 0.0f64..1_000.0,
+                sdist in 0.0f64..1_000.0,
+            ) {
+                let a = stats_from(ep_a, success_cut, collision_cut, ret, steps, dist, sdist);
+                let b = stats_from(
+                    ep_b, success_cut / 2, collision_cut / 3, ret * 0.5, steps * 0.25,
+                    dist * 0.75, sdist * 0.5,
+                );
+                let c = stats_from(
+                    ep_c, success_cut / 5, collision_cut / 2, -ret, steps * 2.0,
+                    dist * 0.1, sdist * 2.0,
+                );
+                // Commutativity.
+                let ab = a.merge(&b);
+                let ba = b.merge(&a);
+                prop_assert_eq!(ab.episodes, ba.episodes);
+                for (x, y) in fields(&ab).into_iter().zip(fields(&ba)) {
+                    prop_assert!(close(x, y), "merge commuted {x} vs {y}");
+                }
+                // Associativity (the merge order of a chunked reduce).
+                let left = a.merge(&b).merge(&c);
+                let right = a.merge(&b.merge(&c));
+                prop_assert_eq!(left.episodes, right.episodes);
+                for (x, y) in fields(&left).into_iter().zip(fields(&right)) {
+                    prop_assert!(close(x, y), "merge reassociated {x} vs {y}");
+                }
+            }
+
+            #[test]
+            fn prop_zero_success_merges_stay_nan_free(
+                ep_a in 0usize..40,
+                ep_b in 0usize..40,
+                ret in -500.0f64..500.0,
+                steps in 0.0f64..2_000.0,
+                dist in 0.0f64..1_000.0,
+            ) {
+                // No successes anywhere: the success-weighted distance must
+                // come out as an exact 0.0, never 0/0.
+                let a = stats_from(ep_a, 0, 7, ret, steps, dist, 0.0);
+                let b = stats_from(ep_b, 0, 2, -ret, steps * 0.5, dist * 2.0, 0.0);
+                let m = a.merge(&b);
+                prop_assert_eq!(m.mean_success_distance.to_bits(), 0.0f64.to_bits());
+                for v in fields(&m) {
+                    prop_assert!(v.is_finite(), "merge produced non-finite {v}");
+                }
+            }
+        }
     }
 }

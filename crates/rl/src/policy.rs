@@ -12,6 +12,7 @@ use crate::error::RlError;
 use crate::Result;
 use berry_nn::layer::{Conv2d, Dense, Flatten, Relu};
 use berry_nn::network::Sequential;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// A description of a Q-network architecture that can be instantiated for
@@ -133,6 +134,31 @@ impl QNetworkSpec {
         }
     }
 
+    /// Rebuilds a network of this architecture from a flat-weight snapshot
+    /// (the round trip used by the trained-policy cache: a stored policy is
+    /// its spec plus [`Sequential::to_flat_weights`]).
+    ///
+    /// The layer structure is instantiated from a fixed throwaway RNG and
+    /// every parameter is then overwritten from `weights`, so the result is
+    /// **bitwise identical** to the network the weights were read from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] if the spec cannot be built for
+    /// the shape, or a length-mismatch error if `weights` does not match
+    /// the architecture's parameter count.
+    pub fn build_with_flat_weights(
+        &self,
+        observation_shape: &[usize],
+        num_actions: usize,
+        weights: &[f32],
+    ) -> Result<Sequential> {
+        let mut init_rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = self.build(observation_shape, num_actions, &mut init_rng)?;
+        net.load_flat_weights(weights).map_err(RlError::from)?;
+        Ok(net)
+    }
+
     fn require_chw(shape: &[usize]) -> Result<(usize, usize, usize)> {
         if shape.len() != 3 {
             return Err(RlError::InvalidConfig(format!(
@@ -228,6 +254,28 @@ mod tests {
         assert_eq!(QNetworkSpec::C3F2.name(), "C3F2");
         assert_eq!(QNetworkSpec::C5F4.name(), "C5F4");
         assert_eq!(QNetworkSpec::mlp(vec![1]).name(), "MLP");
+    }
+
+    #[test]
+    fn flat_weight_round_trip_is_bitwise_exact() {
+        let mut r = rng(8);
+        for spec in [
+            QNetworkSpec::mlp(vec![16, 8]),
+            QNetworkSpec::C3F2,
+            QNetworkSpec::C5F4,
+        ] {
+            let original = spec.build(&[2, 9, 9], 25, &mut r).unwrap();
+            let weights = original.to_flat_weights();
+            let rebuilt = spec.build_with_flat_weights(&[2, 9, 9], 25, &weights).unwrap();
+            assert_eq!(rebuilt.to_flat_weights(), weights, "{} round trip", spec.name());
+        }
+        // A truncated snapshot is rejected, not silently padded.
+        let spec = QNetworkSpec::mlp(vec![4]);
+        let net = spec.build(&[3], 2, &mut r).unwrap();
+        let weights = net.to_flat_weights();
+        assert!(spec
+            .build_with_flat_weights(&[3], 2, &weights[..weights.len() - 1])
+            .is_err());
     }
 
     #[test]

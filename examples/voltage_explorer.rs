@@ -5,11 +5,10 @@
 //! cargo run --release --example voltage_explorer
 //! ```
 
-use berry_core::evaluate::MissionContext;
 use berry_core::experiment::voltage::{format_table2, optimal_row, table2_voltage_sweep};
-use berry_core::experiment::{train_policy_pair, ExperimentScale};
-use berry_uav::world::ObstacleDensity;
-use rand::SeedableRng;
+use berry_core::experiment::ExperimentScale;
+use berry_core::PolicyStore;
+use berry_hw::accelerator::Accelerator;
 
 fn scale_from_env() -> ExperimentScale {
     match std::env::var("BERRY_SCALE").unwrap_or_default().as_str() {
@@ -21,18 +20,17 @@ fn scale_from_env() -> ExperimentScale {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = scale_from_env();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let context = MissionContext::crazyflie_c3f2();
+    let store = PolicyStore::in_memory();
 
     println!("Voltage explorer ({scale:?} scale)");
-    let env_cfg = scale.navigation_config(ObstacleDensity::Medium);
-    println!("training BERRY policy...");
-    let pair = train_policy_pair(&env_cfg, &scale.default_policy(), scale, &mut rng)?;
+    println!("campaigning the medium/Crazyflie/C3F2 cell (the pair trains once, on first use)...");
 
     // Nominal point first (it becomes the baseline row), then a descent
     // toward the near-threshold region.
     let voltages = vec![
-        context.accelerator.domain().nominal_voltage_norm(),
+        Accelerator::default_edge_accelerator()
+            .domain()
+            .nominal_voltage_norm(),
         0.86,
         0.80,
         0.77,
@@ -40,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0.68,
         0.64,
     ];
-    let rows = table2_voltage_sweep(&pair, &context, &voltages, scale, &mut rng)?;
+    let rows = table2_voltage_sweep(&store, &voltages, scale, 11)?;
     println!("{}", format_table2(&rows));
     if let Some(best) = optimal_row(&rows) {
         println!(

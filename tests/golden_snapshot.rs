@@ -261,26 +261,37 @@ fn campaign_serial_rows() -> &'static [CampaignRow] {
 /// success rates are 1.0 — the fine-grained pins are the mean returns and
 /// distances, which move if *any* RNG consumption, float ordering or
 /// training step changes anywhere in the train → perturb → rollout chain.
+///
+/// Re-pinned **once** for the train-once policy store (PR 5): a cell's
+/// training seed now derives from `pair_seed(base_seed, fingerprint)` —
+/// independent of the grid index, so identically-training cells share one
+/// cached pair — and the two deploy-evaluation seeds are the first draws
+/// of the cell stream instead of following a training-length prefix.  The
+/// evaluation-protocol pins above ([`GOLDEN_BITS`] / [`LEGACY_GOLDEN_BITS`])
+/// involve no training and survive unchanged, proving the store swap
+/// touched only the training-seed derivation, not the evaluation pipeline.
+/// The determinism contract is unchanged and now also covers the cache:
+/// cold, memory-warm and disk-warm stores must all land on these bits.
 const CAMPAIGN_GOLDEN_BITS: [[u64; 8]; 2] = [
     [
         0x3ff0_0000_0000_0000, // classical success_rate (1.0)
-        0x402a_d200_3755_5555, // classical mean_return
-        0x4014_7b12_f36c_c9e2, // classical mean_distance
+        0x402a_f4a7_ee00_0000, // classical mean_return
+        0x4010_c7d2_a033_3c28, // classical mean_distance
         0x3ff0_0000_0000_0000, // berry success_rate (1.0)
-        0x402b_36d4_b02a_aaab, // berry mean_return
-        0x4015_3dd9_ac72_d559, // berry mean_distance
-        0x3f3c_ec75_c2df_6d9b, // energy_per_inference_j
-        0x402c_c362_a5b9_a3de, // flight_energy_j
+        0x402a_e2ef_6800_0000, // berry mean_return
+        0x4010_6934_62c9_5b68, // berry mean_distance
+        0x3f3c_ec75_c2df_6d9b, // energy_per_inference_j (unchanged: hw model)
+        0x4026_38d8_6037_43a9, // flight_energy_j
     ],
     [
         0x3ff0_0000_0000_0000, // classical success_rate (1.0)
-        0x402a_880d_a69a_aaab, // classical mean_return
-        0x4013_f2d5_4492_7c93, // classical mean_distance
+        0x402b_3e68_4380_0000, // classical mean_return
+        0x4015_9675_ad13_fecb, // classical mean_distance
         0x3ff0_0000_0000_0000, // berry success_rate (1.0)
-        0x402a_b0fa_0855_5555, // berry mean_return
-        0x400f_ace1_3e8e_994c, // berry mean_distance
-        0x3f4b_ad15_e0f7_5183, // energy_per_inference_j
-        0x4041_1d32_aa15_495f, // flight_energy_j
+        0x402a_73cb_f700_0000, // berry mean_return
+        0x400e_c13d_3007_2efb, // berry mean_distance
+        0x3f4b_ad15_e0f7_5183, // energy_per_inference_j (unchanged: hw model)
+        0x4040_9de1_cc7f_333e, // flight_energy_j
     ],
 ];
 

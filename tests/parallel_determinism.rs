@@ -195,6 +195,30 @@ fn scenario_seeds_are_distinct_and_disjoint_from_map_and_episode_seeds() {
     assert_ne!(scenario_seed(BASE_SEED, 3), episode_seed(BASE_SEED, 3));
 }
 
+/// The policy store's `pair_seed` is the fourth seed family (training
+/// streams, keyed by fingerprint hash rather than grid index).  It must be
+/// internally collision-free over many fingerprints and never alias the
+/// scenario / fault-map / episode families on the same inputs.
+#[test]
+fn pair_seeds_are_distinct_and_disjoint_from_the_other_families() {
+    use berry_core::campaign::scenario_seed;
+    use berry_core::store::pair_seed;
+    use berry_rl::episode_seed;
+    let mut all = std::collections::HashSet::new();
+    for hash in 0..1000u64 {
+        assert!(
+            all.insert(pair_seed(BASE_SEED, hash)),
+            "pair seed collision at hash {hash}"
+        );
+    }
+    for i in 0..64u64 {
+        assert_ne!(pair_seed(BASE_SEED, i), scenario_seed(BASE_SEED, i));
+        assert_ne!(pair_seed(BASE_SEED, i), fault_map_seed(BASE_SEED, i));
+        assert_ne!(pair_seed(BASE_SEED, i), episode_seed(BASE_SEED, i));
+    }
+    assert_ne!(pair_seed(1, 7), pair_seed(2, 7));
+}
+
 /// The immutable inference path must agree bitwise with the caching
 /// `forward` path for every layer type — the fault-map workers roll out
 /// episodes through `infer` while the training and legacy paths use

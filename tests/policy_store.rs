@@ -1,0 +1,107 @@
+//! Integration tests of the train-once policy store: cache-warm campaign
+//! reruns must retrain **zero** policies while reproducing every row bit
+//! for bit, across both the in-memory and the on-disk layer — and the
+//! table runners must share pairs with the campaign when they share a
+//! store.
+
+use berry_core::campaign::{run_grid_serial_in, run_grid_streamed_in};
+use berry_core::experiment::robustness::table1_robustness;
+use berry_core::experiment::ExperimentScale;
+use berry_core::store::pair_seed;
+use berry_core::{PolicyStore, Scenario};
+use std::path::PathBuf;
+
+const BASE_SEED: u64 = 0x5709_E5EE;
+
+fn smoke_slice() -> Vec<Scenario> {
+    Scenario::smoke_grid().into_iter().take(2).collect()
+}
+
+/// A unique scratch directory per test (the suite may run tests in
+/// parallel, and reruns must not inherit a previous process's cache).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "berry-store-it-{tag}-{}-{:x}",
+        std::process::id(),
+        pair_seed(0xD15C, tag.len() as u64)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn memory_warm_rerun_retrains_nothing_and_matches_row_bits() {
+    let grid = smoke_slice();
+    let store = PolicyStore::in_memory();
+    let cold =
+        run_grid_streamed_in(&grid, ExperimentScale::Smoke, BASE_SEED, 1, &store, &[], |_| {
+            Ok(())
+        })
+        .unwrap();
+    let trained_cold = store.stats().trained;
+    assert!(trained_cold > 0, "a cold store must train the grid's pairs");
+
+    let warm =
+        run_grid_streamed_in(&grid, ExperimentScale::Smoke, BASE_SEED, 1, &store, &[], |_| {
+            Ok(())
+        })
+        .unwrap();
+    let stats = store.stats();
+    assert_eq!(
+        stats.trained, trained_cold,
+        "the warm rerun must retrain zero policies"
+    );
+    assert!(stats.memory_hits >= grid.len() as u64);
+    assert_eq!(warm, cold, "warm rows must be bitwise identical to cold rows");
+    for (a, b) in warm.iter().zip(&cold) {
+        assert_eq!(a.to_json_line(), b.to_json_line());
+    }
+}
+
+#[test]
+fn disk_warm_rerun_across_store_instances_retrains_nothing() {
+    let dir = scratch_dir("campaign");
+    let grid = smoke_slice();
+
+    // Cold process: trains and persists.
+    let cold_store = PolicyStore::with_dir(&dir).unwrap();
+    let cold = run_grid_serial_in(&grid, ExperimentScale::Smoke, BASE_SEED, &cold_store).unwrap();
+    assert!(cold_store.stats().trained > 0);
+
+    // "Second process": a fresh store over the same directory.  Zero
+    // training, identical artifact bytes.
+    let warm_store = PolicyStore::with_dir(&dir).unwrap();
+    let warm = run_grid_serial_in(&grid, ExperimentScale::Smoke, BASE_SEED, &warm_store).unwrap();
+    let stats = warm_store.stats();
+    assert_eq!(stats.trained, 0, "disk-warm rerun must retrain zero policies");
+    assert_eq!(stats.disk_hits as usize, grid.len());
+    assert_eq!(warm, cold);
+    let cold_lines: Vec<String> = cold.iter().map(|r| r.to_json_line()).collect();
+    let warm_lines: Vec<String> = warm.iter().map(|r| r.to_json_line()).collect();
+    assert_eq!(warm_lines, cold_lines, "artifact bytes must match exactly");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cross-runner promise: a table runner sharing the campaign's store,
+/// base seed and scale reuses the campaign's trained pairs (here via the
+/// disk layer, as two runner processes would).
+#[test]
+fn table_runner_reuses_pairs_trained_by_the_campaign() {
+    let dir = scratch_dir("crossrunner");
+
+    // Table I first (one medium/Crazyflie/C3F2 pair)…
+    let store_a = PolicyStore::with_dir(&dir).unwrap();
+    let rows_a = table1_robustness(&store_a, ExperimentScale::Smoke, BASE_SEED).unwrap();
+    assert_eq!(store_a.stats().trained, 1);
+
+    // …then a second runner process: same artefact, warm disk.
+    let store_b = PolicyStore::with_dir(&dir).unwrap();
+    let rows_b = table1_robustness(&store_b, ExperimentScale::Smoke, BASE_SEED).unwrap();
+    let stats = store_b.stats();
+    assert_eq!(stats.trained, 0, "second runner must train nothing");
+    assert_eq!(stats.disk_hits, 1);
+    assert_eq!(rows_a, rows_b, "cache-warm table must match bit for bit");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
