@@ -1,7 +1,7 @@
 //! Machine-readable performance report of the evaluation hot path.
 //!
-//! Writes `BENCH_PR3.json` (path overridable via `BERRY_BENCH_OUT`) with
-//! the three throughput figures the perf trajectory is tracked by:
+//! Writes `BENCH_PR6.json` (path overridable via `BERRY_BENCH_OUT`) with
+//! the throughput figures the perf trajectory is tracked by:
 //!
 //! * **rollout throughput** — env-steps/sec of the batched lockstep engine
 //!   at 1 / 8 / 16 lanes on a perturbed C3F2 policy, plus the legacy PR 2
@@ -11,17 +11,25 @@
 //!   `evaluate_under_faults` protocol (C3F2, 100 maps, serial-over-maps so
 //!   the number is core-count independent);
 //! * **GEMM GFLOP/s** — the shared inference core's arithmetic throughput
-//!   on the paper's policy shapes at batch 8.
+//!   on the paper's policy shapes at batch 8;
+//! * **scheduler comparison** — wall-clock and worker-idle tail of the
+//!   smoke campaign grid under a deliberately skewed per-cell cost, run
+//!   once under the legacy contiguous partition and once under the
+//!   chunked work-stealing scheduler (both against a warm policy store,
+//!   so the difference is pure scheduling).  Both runs are asserted
+//!   bitwise-identical to the serial reference before timing is reported.
 //!
 //! CI runs this binary on every push and uploads the JSON as an artifact,
 //! so regressions show up as a diffable number, not a feeling.
 
 use berry_bench::{print_header, rng_from_env, seed_from_env};
+use berry_core::campaign::{run_grid_resumable_in, run_grid_serial_in, CompletedSet};
 use berry_core::evaluate::{
     evaluate_under_faults_serial, fault_map_seed, FaultEvaluationConfig,
 };
 use berry_core::experiment::ExperimentScale;
 use berry_core::perturb::NetworkPerturber;
+use berry_core::{CampaignRow, PolicyStore, Scenario};
 use berry_faults::chip::ChipProfile;
 use berry_nn::gemm::{gemm_flops, GemmScratch};
 use berry_nn::layer::{Conv2d, Dense, Layer};
@@ -41,8 +49,19 @@ const BER: f64 = 0.005;
 const ROLLOUT_EPISODES: usize = 64;
 const ROLLOUT_MAX_STEPS: usize = 12;
 
+/// Base seed of the scheduler-comparison campaign (any value works; fixed
+/// so the two modes and the serial reference share one policy cache).
+const SCHED_SEED: u64 = 0x5CED_0006;
+/// Injected per-cell skew (ms of sleep before each grid cell): the first
+/// cells are deliberately expensive so a contiguous partition strands one
+/// worker behind them while its peers idle.
+const SKEW_MS: [u64; 4] = [320, 160, 0, 0];
+/// Worker count of the scheduler comparison (explicit, so the numbers do
+/// not depend on the host's core count).
+const SCHED_WORKERS: usize = 3;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print_header("BENCH_PR3.json perf report", ExperimentScale::Quick);
+    print_header("BENCH_PR6.json perf report", ExperimentScale::Quick);
     let mut rng = rng_from_env();
     let env = NavigationEnv::new(NavigationConfig::with_density(ObstacleDensity::Sparse))?;
     let policy = QNetworkSpec::C3F2.build(&env.observation_shape(), env.num_actions(), &mut rng)?;
@@ -50,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let perturber = NetworkPerturber::new(8)?;
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(json, "  \"pr\": 6,");
     let _ = writeln!(json, "  \"seed\": {},", seed_from_env());
     let _ = writeln!(json, "  \"ber\": {BER},");
 
@@ -191,11 +210,100 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("gemm     {name:<16} {gflops:>6.2} GFLOP/s");
         let _ = writeln!(json, "    \"{name}\": {gflops:.3}{comma}");
     }
+    let _ = writeln!(json, "  }},");
+
+    // --- Scheduler: contiguous vs work-stealing on a skewed grid. ---
+    // One serial reference run trains every pair into a shared in-memory
+    // store; the timed runs then evaluate against the warm cache, so the
+    // contiguous/stealing gap is pure scheduling, not training noise.
+    let grid = Scenario::smoke_grid();
+    let store = PolicyStore::in_memory();
+    let reference = run_grid_serial_in(&grid, ExperimentScale::Smoke, SCHED_SEED, &store)?;
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(SCHED_WORKERS).build()?;
+    let pre_cell =
+        |index: usize| std::thread::sleep(std::time::Duration::from_millis(SKEW_MS[index]));
+    let mut measured: Vec<(&str, f64, rayon::RunStats)> = Vec::new();
+    for (name, sched) in [
+        ("contiguous", rayon::SchedulerMode::Contiguous),
+        ("work_stealing", rayon::SchedulerMode::WorkStealing),
+    ] {
+        // Best of two passes: the first also warms caches/page faults.
+        let mut best: Option<(f64, rayon::RunStats)> = None;
+        for _ in 0..2 {
+            let start = Instant::now();
+            let (rows, _) = rayon::with_scheduler_mode(sched, || {
+                pool.install(|| {
+                    run_grid_resumable_in(
+                        &grid,
+                        ExperimentScale::Smoke,
+                        SCHED_SEED,
+                        &store,
+                        &[],
+                        &CompletedSet::empty(),
+                        &pre_cell,
+                        |_: usize, _: &CampaignRow| -> berry_core::Result<()> { Ok(()) },
+                    )
+                })
+            })?;
+            let wall = start.elapsed().as_secs_f64();
+            // Both modes must reproduce the serial reference bitwise —
+            // the timing comparison is only meaningful if they do.
+            assert_eq!(rows.len(), reference.len());
+            for (row, reference_row) in rows.iter().zip(&reference) {
+                assert_eq!(
+                    row.to_json_line(),
+                    reference_row.to_json_line(),
+                    "{name} run diverged from the serial reference"
+                );
+            }
+            let stats = rayon::last_run_stats().expect("grid run records scheduler stats");
+            if best.as_ref().is_none_or(|(b, _)| wall < *b) {
+                best = Some((wall, stats));
+            }
+        }
+        let (wall, stats) = best.expect("two timed passes ran");
+        measured.push((name, wall, stats));
+    }
+    let _ = writeln!(json, "  \"scheduler_skewed_grid\": {{");
+    let _ = writeln!(json, "    \"cells\": {},", grid.len());
+    let _ = writeln!(json, "    \"workers\": {SCHED_WORKERS},");
+    let _ = writeln!(
+        json,
+        "    \"skew_ms\": [{}],",
+        SKEW_MS.map(|ms| ms.to_string()).join(", ")
+    );
+    for (name, wall, stats) in &measured {
+        // Idle tail: how long the slowest-finishing worker outlived the
+        // quickest — the stranded time a static partition cannot shed.
+        let min_busy = stats.per_worker_busy_s.iter().copied().fold(f64::INFINITY, f64::min);
+        let idle_tail = (wall - min_busy).max(0.0);
+        let busy = stats
+            .per_worker_busy_s
+            .iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "schedule {name:<14} {:>7.0} ms wall, {} steals, idle tail {:>6.0} ms",
+            wall * 1e3,
+            stats.steals,
+            idle_tail * 1e3
+        );
+        let _ = writeln!(json, "    \"{name}\": {{");
+        let _ = writeln!(json, "      \"wall_s\": {wall:.4},");
+        let _ = writeln!(json, "      \"steals\": {},", stats.steals);
+        let _ = writeln!(json, "      \"worker_busy_s\": [{busy}],");
+        let _ = writeln!(json, "      \"idle_tail_s\": {idle_tail:.4}");
+        let _ = writeln!(json, "    }},");
+    }
+    let speedup = measured[0].1 / measured[1].1.max(1e-9);
+    println!("schedule stealing speedup vs contiguous: {speedup:.2}x");
+    let _ = writeln!(json, "    \"stealing_speedup_vs_contiguous\": {speedup:.2}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
     let out_path =
-        std::env::var("BERRY_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+        std::env::var("BERRY_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     std::fs::write(&out_path, &json)?;
     println!("\nwrote {out_path}");
     Ok(())

@@ -291,7 +291,10 @@ impl CampaignRow {
     ///
     /// Hand-rolled (the workspace vendors a serde API shim without a JSON
     /// backend); keys are stable and floats are emitted with full `{:?}`
-    /// round-trip precision so artifacts diff cleanly across runs.
+    /// round-trip precision so artifacts diff cleanly across runs.  Every
+    /// scalar field of the row is serialized — [`crate::rows::ParsedRow`]
+    /// reconstructs the row bit-for-bit from this line, which is what makes
+    /// `--resume` artifacts byte-identical to one-shot runs.
     pub fn to_json_line(&self) -> String {
         let stats = |s: &EvalStats| {
             format!(
@@ -313,10 +316,12 @@ impl CampaignRow {
              \"mode\":{},\"chip\":{},\"variant\":{},\"seed\":{},\"voltage_norm\":{:?},\
              \"ber\":{:?},\"classical_train_success\":{:?},\"berry_train_success\":{:?},\
              \"robust_updates\":{},\"classical_nav\":{},\"berry_nav\":{},\
-             \"processing\":{{\"frequency_hz\":{:?},\"latency_s\":{:?},\
+             \"processing\":{{\"voltage_norm\":{:?},\"frequency_hz\":{:?},\"latency_s\":{:?},\
              \"energy_per_inference_j\":{:?},\"compute_power_w\":{:?},\
-             \"savings_vs_nominal\":{:?},\"tdp_w\":{:?},\"heatsink_mass_g\":{:?}}},\
-             \"quality_of_flight\":{{\"flight_time_s\":{:?},\"flight_energy_j\":{:?},\
+             \"savings_vs_nominal\":{:?},\"savings_vs_vmin\":{:?},\"tdp_w\":{:?},\
+             \"heatsink_mass_g\":{:?},\"utilization\":{:?}}},\
+             \"quality_of_flight\":{{\"success_rate\":{:?},\"flight_distance_m\":{:?},\
+             \"flight_time_s\":{:?},\"flight_energy_j\":{:?},\
              \"rotor_power_w\":{:?},\"compute_power_w\":{:?},\"num_missions\":{:?}}}}}",
             self.index,
             json_string(&self.id),
@@ -334,13 +339,18 @@ impl CampaignRow {
             self.robust_updates,
             stats(&self.classical_nav),
             stats(&self.berry_nav),
+            self.processing.voltage_norm,
             self.processing.frequency_hz,
             self.processing.latency_s,
             self.processing.energy_per_inference_j,
             self.processing.compute_power_w,
             self.processing.savings_vs_nominal,
+            self.processing.savings_vs_vmin,
             self.processing.tdp_w,
             self.processing.heatsink_mass_g,
+            self.processing.utilization,
+            self.quality_of_flight.success_rate,
+            self.quality_of_flight.flight_distance_m,
             self.quality_of_flight.flight_time_s,
             self.quality_of_flight.flight_energy_j,
             self.quality_of_flight.rotor_power_w,
@@ -387,6 +397,14 @@ pub struct CampaignSummary {
     pub best_cell: String,
     /// Identifier of the cell with the smallest BERRY success gain.
     pub worst_cell: String,
+    /// Scheduler and resume telemetry of the run that produced the rows
+    /// (`None` for summaries folded from rows alone, e.g. in tests).
+    ///
+    /// Serialized as a **single** `"scheduler"` line in [`Self::to_json`]:
+    /// worker/steal counts are timing-dependent, so byte-comparing two
+    /// summaries of the same campaign means filtering that one line
+    /// (`grep -v '"scheduler"'`), which is exactly what CI does.
+    pub scheduler: Option<SchedulerStats>,
 }
 
 impl CampaignSummary {
@@ -427,7 +445,16 @@ impl CampaignSummary {
                 / n,
             best_cell: best.id.clone(),
             worst_cell: worst.id.clone(),
+            scheduler: None,
         }
+    }
+
+    /// Attaches the scheduler/resume telemetry of the run that produced
+    /// the rows.
+    #[must_use]
+    pub fn with_scheduler(mut self, stats: SchedulerStats) -> Self {
+        self.scheduler = Some(stats);
+        self
     }
 
     /// Serializes the summary as a JSON object (`"status": "ok"`; the
@@ -435,17 +462,22 @@ impl CampaignSummary {
     /// instead, so a summary artifact always exists and always says which
     /// of the two outcomes it describes).
     pub fn to_json(&self) -> String {
+        let scheduler_line = match &self.scheduler {
+            Some(stats) => format!("  \"scheduler\": {},\n", stats.to_json()),
+            None => String::new(),
+        };
         format!(
             "{{\n  \"status\": \"ok\",\n  \"scenarios\": {},\n  \"episodes\": {},\n  \
              \"mean_classical_success\": {:?},\n  \"mean_berry_success\": {:?},\n  \
-             \"berry_wins_or_ties\": {:?},\n  \"mean_energy_savings\": {:?},\n  \
-             \"best_cell\": {},\n  \"worst_cell\": {}\n}}\n",
+             \"berry_wins_or_ties\": {:?},\n  \"mean_energy_savings\": {:?},\n\
+             {}  \"best_cell\": {},\n  \"worst_cell\": {}\n}}\n",
             self.scenarios,
             self.episodes,
             self.mean_classical_success,
             self.mean_berry_success,
             self.berry_wins_or_ties,
             self.mean_energy_savings,
+            scheduler_line,
             json_string(&self.best_cell),
             json_string(&self.worst_cell),
         )
@@ -467,6 +499,169 @@ pub fn error_summary_json(rows_completed: usize, grid_size: usize, error: &str) 
         grid_size,
         json_string(error),
     )
+}
+
+/// The summary JSON a deliberately stopped campaign writes (`--max-rows`
+/// in the runner): `"status": "interrupted"` plus how far it got — a
+/// partial run is not an error, and CI's interrupt-resume job relies on
+/// the distinction to keep the stopped half of the job green.
+pub fn interrupted_summary_json(rows_completed: usize, grid_size: usize) -> String {
+    format!(
+        "{{\n  \"status\": \"interrupted\",\n  \"rows_completed\": {},\n  \
+         \"scenarios\": {}\n}}\n",
+        rows_completed, grid_size,
+    )
+}
+
+/// Scheduler and resume telemetry of one campaign run — the campaign-level
+/// view of the rayon shim's [`rayon::RunStats`] plus the resume skip count.
+///
+/// Everything here is **observability, not results**: worker/steal counts
+/// depend on timing, so this struct is serialized on a single summary line
+/// that byte-comparisons filter out (see [`CampaignSummary::to_json`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Scheduling policy label: `"work-stealing"`, `"contiguous"`, or
+    /// `"idle"` when every cell was resumed and nothing ran.
+    pub mode: String,
+    /// Worker budget of the run (`rayon::current_num_threads`).
+    pub workers: usize,
+    /// Grid cells executed by each spawned worker (empty for idle or
+    /// single-threaded inline runs — the shim reports those as one slot).
+    pub per_worker_cells: Vec<usize>,
+    /// Index ranges claimed beyond each worker's first — work that
+    /// work-stealing moved off the critical path.
+    pub steals: usize,
+    /// Cells skipped because a resumed `rows.jsonl` already had their rows.
+    pub rows_skipped_resumed: usize,
+}
+
+impl SchedulerStats {
+    /// Telemetry of a run where nothing executed (fully resumed campaign).
+    pub fn idle(rows_skipped_resumed: usize) -> Self {
+        Self {
+            mode: "idle".to_string(),
+            workers: 0,
+            per_worker_cells: Vec::new(),
+            steals: 0,
+            rows_skipped_resumed,
+        }
+    }
+
+    /// Captures the rayon shim's stats of the parallel run that just
+    /// finished on this thread.  Falls back to [`Self::idle`] if no run
+    /// was recorded.
+    pub fn from_last_run(rows_skipped_resumed: usize) -> Self {
+        match rayon::last_run_stats() {
+            Some(stats) => Self {
+                mode: match stats.mode {
+                    rayon::SchedulerMode::WorkStealing => "work-stealing",
+                    rayon::SchedulerMode::Contiguous => "contiguous",
+                }
+                .to_string(),
+                workers: stats.workers,
+                per_worker_cells: stats.per_worker_items,
+                steals: stats.steals,
+                rows_skipped_resumed,
+            },
+            None => Self::idle(rows_skipped_resumed),
+        }
+    }
+
+    /// Serializes the stats as a **single-line** JSON object, so a summary
+    /// byte-comparison can drop exactly this telemetry with
+    /// `grep -v '"scheduler"'`.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.per_worker_cells.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"mode\":{},\"workers\":{},\"per_worker_cells\":[{}],\"steals\":{},\
+             \"rows_skipped_resumed\":{}}}",
+            json_string(&self.mode),
+            self.workers,
+            cells.join(","),
+            self.steals,
+            self.rows_skipped_resumed,
+        )
+    }
+}
+
+/// One grid cell's execution ticket: its position, scenario, and
+/// pre-drawn [`scenario_seed`].
+///
+/// The plan layer makes the campaign's seed protocol explicit: **all**
+/// seeds are derived from the base seed and the global grid index before
+/// any cell executes, so filtering the plan (resume) or reordering its
+/// execution (work-stealing) cannot shift any cell's stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPlan {
+    /// Position of the scenario in the campaign grid.
+    pub index: usize,
+    /// The scenario to execute.
+    pub scenario: Scenario,
+    /// The cell's private RNG seed, `scenario_seed(base_seed, index)`.
+    pub seed: u64,
+}
+
+/// Draws the full execution plan of a grid up front — one [`CellPlan`] per
+/// cell, seeds included.
+pub fn plan_cells(grid: &[Scenario], base_seed: u64) -> Vec<CellPlan> {
+    grid.iter()
+        .enumerate()
+        .map(|(index, scenario)| CellPlan {
+            index,
+            scenario: scenario.clone(),
+            seed: scenario_seed(base_seed, index as u64),
+        })
+        .collect()
+}
+
+/// The set of grid indices a campaign run already has rows for — the
+/// filter a resumed run applies to its [`CellPlan`] list.
+///
+/// Backed by a `BTreeSet` so iteration is in grid order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompletedSet {
+    indices: std::collections::BTreeSet<usize>,
+}
+
+impl CompletedSet {
+    /// The empty set — a fresh (non-resumed) run.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether the cell at `index` already has a row.
+    pub fn contains(&self, index: usize) -> bool {
+        self.indices.contains(&index)
+    }
+
+    /// Marks `index` complete; returns `false` if it already was.
+    pub fn insert(&mut self, index: usize) -> bool {
+        self.indices.insert(index)
+    }
+
+    /// Number of completed cells.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether no cell is complete.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Completed indices in grid order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.indices.iter().copied()
+    }
+}
+
+impl FromIterator<usize> for CompletedSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Self {
+            indices: iter.into_iter().collect(),
+        }
+    }
 }
 
 /// Executes one grid cell with a private in-memory store and no extra
@@ -824,15 +1019,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Vec<CampaignRow>> {
 ///
 /// Returns the first (in grid order) cell error.
 pub fn run_campaign_in(config: &CampaignConfig, store: &PolicyStore) -> Result<Vec<CampaignRow>> {
-    run_grid_streamed_in(
-        &config.grid(),
-        config.scale,
-        config.base_seed,
-        config.grid().len().max(1),
-        store,
-        &[],
-        |_| Ok(()),
-    )
+    run_grid_streamed_in(&config.grid(), config.scale, config.base_seed, store, &[], |_| Ok(()))
 }
 
 /// The serial reference implementation: the same per-cell pipeline and the
@@ -858,99 +1045,124 @@ pub fn run_grid(
     scale: ExperimentScale,
     base_seed: u64,
 ) -> Result<Vec<CampaignRow>> {
-    run_grid_streamed(grid, scale, base_seed, grid.len().max(1), |_| Ok(()))
+    run_grid_streamed(grid, scale, base_seed, |_| Ok(()))
 }
 
-/// [`run_grid`] with **streaming**: the grid is fanned out in sharded
-/// chunks of `chunk` cells, and `sink` receives every finished row in
-/// grid order as its chunk completes — so a long campaign (72 or 216
-/// cells of real training) can persist rows incrementally instead of
+/// [`run_grid`] with **per-row streaming**: cells fan out across the
+/// work-stealing scheduler and `sink` receives every finished row in grid
+/// order, as early as the in-order merge allows — so a long campaign (72
+/// or 216 cells of real training) persists rows incrementally instead of
 /// losing everything to a crash or timeout near the end.
 ///
-/// Chunking never changes the results: each cell's seed is derived from
-/// its **global** grid index, so any chunk size (including
-/// `grid.len()`, which [`run_grid`] uses) produces bitwise-identical
-/// rows.
+/// Scheduling never changes the results: each cell's seed is drawn up
+/// front from its **global** grid index (see [`plan_cells`]), so any
+/// worker count and any steal pattern produce bitwise-identical rows.
 ///
 /// # Errors
 ///
 /// Returns the first (in grid order) cell error, or the first error the
-/// sink reports — a failing sink (e.g. a full disk) aborts the campaign
-/// at its chunk boundary instead of burning the remaining cells' compute.
-/// Rows already handed to `sink` stay written.
+/// sink reports — a failing sink (e.g. a full disk) cancels the remaining
+/// cells instead of burning their compute.  Rows already handed to `sink`
+/// stay written.
 pub fn run_grid_streamed(
     grid: &[Scenario],
     scale: ExperimentScale,
     base_seed: u64,
-    chunk: usize,
     sink: impl FnMut(&CampaignRow) -> Result<()>,
 ) -> Result<Vec<CampaignRow>> {
-    run_grid_streamed_in(
-        grid,
-        scale,
-        base_seed,
-        chunk,
-        &PolicyStore::in_memory(),
-        &[],
-        sink,
-    )
+    run_grid_streamed_in(grid, scale, base_seed, &PolicyStore::in_memory(), &[], sink)
 }
 
-/// The full campaign engine entry point: [`run_grid_streamed`] against a
-/// caller-owned [`PolicyStore`] and with per-cell evaluation [`EvalAxis`]
-/// requests — the execution path **every** table/figure runner is a
-/// declarative request to (a grid slice plus its evaluation axes).
+/// [`run_grid_streamed`] against a caller-owned [`PolicyStore`] and with
+/// per-cell evaluation [`EvalAxis`] requests — the execution path
+/// **every** table/figure runner is a declarative request to (a grid
+/// slice plus its evaluation axes).
 ///
-/// Within one chunk, cells that resolve to the same training fingerprint
-/// share a single training run through the store (the second requester
-/// blocks instead of retraining); across chunks and across runner
-/// processes the store's memory/disk layers do the same.  None of this
-/// sharing is observable in the rows: training is a pure function of the
-/// request.
+/// Cells that resolve to the same training fingerprint share a single
+/// training run through the store (the second requester blocks instead of
+/// retraining); across runner processes the store's disk layer does the
+/// same.  None of this sharing is observable in the rows: training is a
+/// pure function of the request.
 ///
 /// # Errors
 ///
 /// Returns the first (in grid order) cell error, or the first error the
 /// sink reports.
-#[allow(clippy::too_many_arguments)]
 pub fn run_grid_streamed_in(
     grid: &[Scenario],
     scale: ExperimentScale,
     base_seed: u64,
-    chunk: usize,
     store: &PolicyStore,
     axes: &[EvalAxis],
     mut sink: impl FnMut(&CampaignRow) -> Result<()>,
 ) -> Result<Vec<CampaignRow>> {
-    let chunk = chunk.max(1);
-    let mut rows = Vec::with_capacity(grid.len());
-    let mut start = 0;
-    while start < grid.len() {
-        let end = (start + chunk).min(grid.len());
-        let chunk_rows: Vec<Result<CampaignRow>> = (start..end)
-            .into_par_iter()
-            .map(|index| {
-                let scenario = &grid[index];
-                run_scenario_in(
-                    scenario,
-                    index,
-                    scale,
-                    scenario_seed(base_seed, index as u64),
-                    base_seed,
-                    store,
-                    axes,
-                )
-                .map_err(|e| tag_cell_error(scenario, e))
-            })
-            .collect();
-        for row in chunk_rows {
-            let row = row?;
-            sink(&row)?;
-            rows.push(row);
-        }
-        start = end;
-    }
+    let (rows, _) = run_grid_resumable_in(
+        grid,
+        scale,
+        base_seed,
+        store,
+        axes,
+        &CompletedSet::empty(),
+        &|_| {},
+        |_, row| sink(row),
+    )?;
     Ok(rows)
+}
+
+/// The campaign engine's core: executes every cell of the plan **not** in
+/// `completed`, streaming `(cell_index, row)` to `sink` in grid order.
+///
+/// This is the four-layer determinism story in one signature:
+/// [`plan_cells`] draws all seeds before execution, the rayon shim's
+/// work-stealing scheduler runs the filtered plan in whatever order the
+/// workers reach it, and the shim's in-order merge hands rows to `sink`
+/// strictly by plan position — so execution order (worker count, steal
+/// pattern, per-cell skew) is unobservable in every artifact.  `pre_cell`
+/// runs on the worker before its cell starts; tests and the bench inject
+/// per-cell delays through it to prove exactly that.
+///
+/// Returns the freshly executed rows (in grid order; resumed cells are
+/// **not** re-materialized here — the caller holds their rows) plus the
+/// run's [`SchedulerStats`].
+///
+/// # Errors
+///
+/// Returns the first (in grid order) cell error, or the first error the
+/// sink reports; either cancels the cells still in flight.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid_resumable_in(
+    grid: &[Scenario],
+    scale: ExperimentScale,
+    base_seed: u64,
+    store: &PolicyStore,
+    axes: &[EvalAxis],
+    completed: &CompletedSet,
+    pre_cell: &(impl Fn(usize) + Sync),
+    mut sink: impl FnMut(usize, &CampaignRow) -> Result<()>,
+) -> Result<(Vec<CampaignRow>, SchedulerStats)> {
+    let pending: Vec<CellPlan> = plan_cells(grid, base_seed)
+        .into_iter()
+        .filter(|cell| !completed.contains(cell.index))
+        .collect();
+    let skipped = grid.len() - pending.len();
+    if pending.is_empty() {
+        return Ok((Vec::new(), SchedulerStats::idle(skipped)));
+    }
+    let mut rows: Vec<CampaignRow> = Vec::with_capacity(pending.len());
+    pending
+        .into_par_iter()
+        .map(|cell| {
+            pre_cell(cell.index);
+            run_scenario_in(&cell.scenario, cell.index, scale, cell.seed, base_seed, store, axes)
+                .map_err(|e| tag_cell_error(&cell.scenario, e))
+        })
+        .try_for_each_ordered(|_, row| -> Result<()> {
+            let row = row?;
+            sink(row.index, &row)?;
+            rows.push(row);
+            Ok(())
+        })?;
+    Ok((rows, SchedulerStats::from_last_run(skipped)))
 }
 
 /// Runs an explicit scenario list serially, one cell at a time in grid
@@ -1059,27 +1271,144 @@ mod tests {
     }
 
     #[test]
-    fn chunked_streaming_matches_the_serial_reference() {
+    fn streaming_matches_the_serial_reference() {
         let grid: Vec<Scenario> = Scenario::smoke_grid().into_iter().take(2).collect();
         let serial = run_grid_serial(&grid, ExperimentScale::Smoke, 5).unwrap();
-        // Chunk of 1 exercises the chunk boundary on every cell; the sink
-        // must see the rows in grid order as chunks retire.
+        // The sink must see the rows in grid order regardless of which
+        // worker finishes first.
         let mut streamed_ids = Vec::new();
-        let streamed = run_grid_streamed(&grid, ExperimentScale::Smoke, 5, 1, |row| {
+        let streamed = run_grid_streamed(&grid, ExperimentScale::Smoke, 5, |row| {
             streamed_ids.push(row.index);
             Ok(())
         })
         .unwrap();
         assert_eq!(streamed, serial);
         assert_eq!(streamed_ids, vec![0, 1]);
-        // A failing sink aborts the campaign at its chunk boundary.
+        // A failing sink cancels the campaign after the first row.
         let mut seen = 0;
-        let err = run_grid_streamed(&grid, ExperimentScale::Smoke, 5, 1, |_| {
+        let err = run_grid_streamed(&grid, ExperimentScale::Smoke, 5, |_| {
             seen += 1;
             Err(crate::CoreError::InvalidConfig("sink full".into()))
         });
         assert!(err.is_err());
         assert_eq!(seen, 1, "campaign must stop after the first sink error");
+    }
+
+    #[test]
+    fn plan_draws_all_seeds_up_front_in_grid_order() {
+        let grid = Scenario::smoke_grid();
+        let plan = plan_cells(&grid, 2023);
+        assert_eq!(plan.len(), grid.len());
+        for (i, cell) in plan.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.scenario, grid[i]);
+            assert_eq!(cell.seed, scenario_seed(2023, i as u64));
+        }
+    }
+
+    #[test]
+    fn completed_set_filters_and_iterates_in_order() {
+        let mut set = CompletedSet::empty();
+        assert!(set.is_empty());
+        assert!(set.insert(3));
+        assert!(set.insert(1));
+        assert!(!set.insert(3), "double insert reports false");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(1) && set.contains(3) && !set.contains(0));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![1, 3]);
+        let from_iter: CompletedSet = [1usize, 3].into_iter().collect();
+        assert_eq!(set, from_iter);
+    }
+
+    #[test]
+    fn resumable_run_skips_completed_cells_and_reports_stats() {
+        let grid: Vec<Scenario> = Scenario::smoke_grid().into_iter().take(2).collect();
+        let store = PolicyStore::in_memory();
+        let (all, stats) = run_grid_resumable_in(
+            &grid,
+            ExperimentScale::Smoke,
+            5,
+            &store,
+            &[],
+            &CompletedSet::empty(),
+            &|_| {},
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(stats.rows_skipped_resumed, 0);
+        assert!(stats.mode == "work-stealing" || stats.mode == "contiguous");
+        // Resume with cell 0 done: only cell 1 executes, bitwise equal to
+        // the fresh run's row, and the sink reports its grid index.
+        let completed: CompletedSet = [0usize].into_iter().collect();
+        let mut sunk = Vec::new();
+        let (fresh, stats) = run_grid_resumable_in(
+            &grid,
+            ExperimentScale::Smoke,
+            5,
+            &store,
+            &[],
+            &completed,
+            &|_| {},
+            |index, row| {
+                sunk.push((index, row.id.clone()));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0], all[1]);
+        assert_eq!(sunk, vec![(1, all[1].id.clone())]);
+        assert_eq!(stats.rows_skipped_resumed, 1);
+        // Everything resumed: nothing runs, the stats say idle.
+        let completed: CompletedSet = [0usize, 1].into_iter().collect();
+        let (none, stats) = run_grid_resumable_in(
+            &grid,
+            ExperimentScale::Smoke,
+            5,
+            &store,
+            &[],
+            &completed,
+            &|_| {},
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        assert!(none.is_empty());
+        assert_eq!(stats, SchedulerStats::idle(2));
+        assert_eq!(stats.mode, "idle");
+    }
+
+    #[test]
+    fn scheduler_stats_serialize_on_one_line() {
+        let stats = SchedulerStats {
+            mode: "work-stealing".to_string(),
+            workers: 3,
+            per_worker_cells: vec![2, 1, 1],
+            steals: 1,
+            rows_skipped_resumed: 4,
+        };
+        let json = stats.to_json();
+        assert!(!json.contains('\n'), "scheduler stats must stay on one line");
+        assert_eq!(
+            json,
+            "{\"mode\":\"work-stealing\",\"workers\":3,\"per_worker_cells\":[2,1,1],\
+             \"steals\":1,\"rows_skipped_resumed\":4}"
+        );
+        // Attached to a summary it occupies exactly one filterable line.
+        let grid = Scenario::smoke_grid();
+        let rows =
+            vec![run_scenario(&grid[0], 0, ExperimentScale::Smoke, scenario_seed(9, 0)).unwrap()];
+        let summary = CampaignSummary::from_rows(&rows).with_scheduler(stats);
+        let json = summary.to_json();
+        let scheduler_lines: Vec<&str> =
+            json.lines().filter(|l| l.contains("\"scheduler\"")).collect();
+        assert_eq!(scheduler_lines.len(), 1);
+        let filtered: String = json
+            .lines()
+            .filter(|l| !l.contains("\"scheduler\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(filtered, CampaignSummary::from_rows(&rows).to_json());
     }
 
     #[test]
@@ -1173,7 +1502,7 @@ mod tests {
         ];
         let store = PolicyStore::in_memory();
         let full =
-            run_grid_streamed_in(&grid, ExperimentScale::Smoke, 31, 1, &store, &axes, |_| Ok(()))
+            run_grid_streamed_in(&grid, ExperimentScale::Smoke, 31, &store, &axes, |_| Ok(()))
                 .unwrap();
         let axes_only = run_axes_grid_in(&grid, ExperimentScale::Smoke, 31, &store, &axes).unwrap();
         assert_eq!(axes_only.len(), 1);
@@ -1205,7 +1534,7 @@ mod tests {
         let store = PolicyStore::in_memory();
         let grid = vec![base, other_platform];
         let rows =
-            run_grid_streamed_in(&grid, ExperimentScale::Smoke, 5, 1, &store, &[], |_| Ok(()))
+            run_grid_streamed_in(&grid, ExperimentScale::Smoke, 5, &store, &[], |_| Ok(()))
                 .unwrap();
         assert_eq!(rows.len(), 2);
         let stats = store.stats();

@@ -62,15 +62,17 @@ pub mod evaluate;
 pub mod experiment;
 pub mod perturb;
 pub mod robust;
+pub mod rows;
 pub mod scenario;
 pub mod store;
 
 pub use campaign::{
-    pair_request_for, run_axes_grid_in, run_campaign, run_campaign_in, run_campaign_serial,
-    run_grid, run_grid_serial, run_grid_streamed, run_grid_streamed_in, scenario_seed, AxisCell,
-    AxisResult, CampaignConfig, CampaignRow, CampaignSummary, EvalAxis, OperatingPoint,
-    PolicyRole,
+    pair_request_for, plan_cells, run_axes_grid_in, run_campaign, run_campaign_in,
+    run_campaign_serial, run_grid, run_grid_resumable_in, run_grid_serial, run_grid_streamed,
+    run_grid_streamed_in, scenario_seed, AxisCell, AxisResult, CampaignConfig, CampaignRow,
+    CampaignSummary, CellPlan, CompletedSet, EvalAxis, OperatingPoint, PolicyRole, SchedulerStats,
 };
+pub use rows::{load_resume_state, ParsedRow, ResumeState};
 pub use error::CoreError;
 pub use evaluate::{FaultEvaluationConfig, MissionEvaluation};
 pub use perturb::NetworkPerturber;

@@ -1,0 +1,703 @@
+//! JSON-lines parsing of campaign row artifacts — the read side of
+//! [`crate::campaign::CampaignRow::to_json_line`], which is what makes
+//! `--resume` possible.
+//!
+//! The workspace vendors a serde API shim without a JSON backend, so this
+//! module carries a deliberately minimal hand-rolled JSON reader: just the
+//! grammar `to_json_line` emits (objects, strings, numbers, arrays),
+//! parsed exactly.  Floats round-trip bit-for-bit because the writer uses
+//! `{:?}` (shortest-repr) formatting and the reader uses
+//! `f64::from_str`, which inverts it — the round-trip tests in this
+//! module and `tests/campaign_resume.rs` pin that property, and the CI
+//! interrupt-resume job relies on it for byte-identical artifacts.
+//!
+//! [`load_resume_state`] layers the resume semantics on top: every line of
+//! an existing `rows.jsonl` is parsed and validated against the campaign's
+//! [`CellPlan`] list, duplicates keep their first occurrence, and a
+//! truncated **last** line (the signature of a killed run) is dropped so
+//! its cell simply re-runs.  Corruption anywhere else is a hard error —
+//! resuming a file that does not match the plan would silently stitch two
+//! different campaigns together.
+
+use crate::campaign::{CampaignRow, CellPlan, CompletedSet};
+use crate::error::CoreError;
+use crate::scenario::Scenario;
+use crate::Result;
+use berry_hw::accelerator::ProcessingReport;
+use berry_rl::eval::EvalStats;
+use berry_uav::flight::QualityOfFlight;
+use std::collections::BTreeMap;
+
+/// A minimal JSON value — only what campaign row lines contain.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    /// Key/value pairs in source order.
+    Object(Vec<(String, JsonValue)>),
+    /// Array elements in source order.
+    Array(Vec<JsonValue>),
+    /// A decoded string.
+    String(String),
+    /// A number kept as its raw token, parsed on access so integers stay
+    /// exact and floats round-trip.
+    Number(String),
+}
+
+impl JsonValue {
+    fn get<'a>(&'a self, key: &str) -> Result<&'a JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| parse_error(format!("missing key `{key}`"))),
+            _ => Err(parse_error(format!("expected object looking up `{key}`"))),
+        }
+    }
+
+    fn str_field(&self, key: &str) -> Result<String> {
+        match self.get(key)? {
+            JsonValue::String(s) => Ok(s.clone()),
+            _ => Err(parse_error(format!("key `{key}` is not a string"))),
+        }
+    }
+
+    fn f64_field(&self, key: &str) -> Result<f64> {
+        match self.get(key)? {
+            JsonValue::Number(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| parse_error(format!("key `{key}`: bad float `{raw}`"))),
+            _ => Err(parse_error(format!("key `{key}` is not a number"))),
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> Result<u64> {
+        match self.get(key)? {
+            JsonValue::Number(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| parse_error(format!("key `{key}`: bad integer `{raw}`"))),
+            _ => Err(parse_error(format!("key `{key}` is not a number"))),
+        }
+    }
+
+    fn usize_field(&self, key: &str) -> Result<usize> {
+        self.u64_field(key).map(|v| v as usize)
+    }
+}
+
+fn parse_error(detail: impl std::fmt::Display) -> CoreError {
+    CoreError::InvalidConfig(format!("campaign row parse error: {detail}"))
+}
+
+/// Recursive-descent reader over one line's bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(parse_error(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(_) => self.number(),
+            None => Err(parse_error("unexpected end of line")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(parse_error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(parse_error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(parse_error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| parse_error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| parse_error("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| parse_error("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| parse_error("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(parse_error(format!("unsupported escape `{other:?}`")))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Strings are valid UTF-8 by construction of the input
+                    // `&str`; copy whole code points.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| parse_error("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b',' | b'}' | b']' | b':') || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(parse_error(format!("expected a number at byte {start}")));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| parse_error("invalid UTF-8 in number"))?;
+        // Validate now so garbage fails at parse time, not on field access.
+        raw.parse::<f64>()
+            .map_err(|_| parse_error(format!("bad number token `{raw}`")))?;
+        Ok(JsonValue::Number(raw.to_string()))
+    }
+
+    fn finish(mut self, value: JsonValue) -> Result<JsonValue> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(value)
+        } else {
+            Err(parse_error(format!("trailing bytes at {}", self.pos)))
+        }
+    }
+}
+
+fn eval_stats(value: &JsonValue) -> Result<EvalStats> {
+    Ok(EvalStats {
+        episodes: value.usize_field("episodes")?,
+        success_rate: value.f64_field("success_rate")?,
+        collision_rate: value.f64_field("collision_rate")?,
+        timeout_rate: value.f64_field("timeout_rate")?,
+        mean_return: value.f64_field("mean_return")?,
+        mean_steps: value.f64_field("mean_steps")?,
+        mean_distance: value.f64_field("mean_distance")?,
+        mean_success_distance: value.f64_field("mean_success_distance")?,
+    })
+}
+
+fn processing_report(value: &JsonValue) -> Result<ProcessingReport> {
+    Ok(ProcessingReport {
+        voltage_norm: value.f64_field("voltage_norm")?,
+        frequency_hz: value.f64_field("frequency_hz")?,
+        latency_s: value.f64_field("latency_s")?,
+        energy_per_inference_j: value.f64_field("energy_per_inference_j")?,
+        compute_power_w: value.f64_field("compute_power_w")?,
+        savings_vs_nominal: value.f64_field("savings_vs_nominal")?,
+        savings_vs_vmin: value.f64_field("savings_vs_vmin")?,
+        tdp_w: value.f64_field("tdp_w")?,
+        heatsink_mass_g: value.f64_field("heatsink_mass_g")?,
+        utilization: value.f64_field("utilization")?,
+    })
+}
+
+fn quality_of_flight(value: &JsonValue) -> Result<QualityOfFlight> {
+    Ok(QualityOfFlight {
+        success_rate: value.f64_field("success_rate")?,
+        flight_distance_m: value.f64_field("flight_distance_m")?,
+        flight_time_s: value.f64_field("flight_time_s")?,
+        flight_energy_j: value.f64_field("flight_energy_j")?,
+        rotor_power_w: value.f64_field("rotor_power_w")?,
+        compute_power_w: value.f64_field("compute_power_w")?,
+        num_missions: value.f64_field("num_missions")?,
+    })
+}
+
+/// One campaign row decoded from its JSON line — everything
+/// [`CampaignRow::to_json_line`] wrote, minus the [`Scenario`] struct
+/// itself (the line carries the scenario's labels; the full struct comes
+/// from the [`CellPlan`] at [`ParsedRow::into_row`] time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRow {
+    /// Position of the scenario in the campaign grid.
+    pub index: usize,
+    /// The scenario identifier recorded on the line.
+    pub id: String,
+    /// Scenario label fields, in `to_json_line` order: density, platform,
+    /// policy, mode, chip, variant.
+    pub labels: [String; 6],
+    /// The per-scenario RNG seed recorded on the line.
+    pub seed: u64,
+    /// Deployment voltage in Vmin units.
+    pub voltage_norm: f64,
+    /// Bit error rate at that voltage.
+    pub ber: f64,
+    /// Classical trailing-window training success.
+    pub classical_train_success: f64,
+    /// BERRY trailing-window training success.
+    pub berry_train_success: f64,
+    /// Number of BERRY dual-pass optimizer updates.
+    pub robust_updates: u64,
+    /// Deploy-point navigation statistics of the classical baseline.
+    pub classical_nav: EvalStats,
+    /// Deploy-point navigation statistics of the BERRY policy.
+    pub berry_nav: EvalStats,
+    /// Accelerator processing figures.
+    pub processing: ProcessingReport,
+    /// Mission-level quality-of-flight metrics.
+    pub quality_of_flight: QualityOfFlight,
+}
+
+impl ParsedRow {
+    /// Parses one `rows.jsonl` line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the line is not a complete row record — a
+    /// truncated line fails here, which is how [`load_resume_state`]
+    /// detects a killed run's final partial write.
+    pub fn parse(line: &str) -> Result<Self> {
+        let mut reader = Reader::new(line);
+        let value = reader.value()?;
+        let value = reader.finish(value)?;
+        Ok(Self {
+            index: value.usize_field("index")?,
+            id: value.str_field("id")?,
+            labels: [
+                value.str_field("density")?,
+                value.str_field("platform")?,
+                value.str_field("policy")?,
+                value.str_field("mode")?,
+                value.str_field("chip")?,
+                value.str_field("variant")?,
+            ],
+            seed: value.u64_field("seed")?,
+            voltage_norm: value.f64_field("voltage_norm")?,
+            ber: value.f64_field("ber")?,
+            classical_train_success: value.f64_field("classical_train_success")?,
+            berry_train_success: value.f64_field("berry_train_success")?,
+            robust_updates: value.u64_field("robust_updates")?,
+            classical_nav: eval_stats(value.get("classical_nav")?)?,
+            berry_nav: eval_stats(value.get("berry_nav")?)?,
+            processing: processing_report(value.get("processing")?)?,
+            quality_of_flight: quality_of_flight(value.get("quality_of_flight")?)?,
+        })
+    }
+
+    /// Checks that this row belongs to `cell` of the current campaign
+    /// plan: same grid index, scenario id, labels, and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first mismatching field — resuming a
+    /// `rows.jsonl` from a different grid or base seed must fail loudly.
+    pub fn matches(&self, cell: &CellPlan) -> Result<()> {
+        let mismatch = |what: &str, got: &str, want: &str| {
+            Err(CoreError::InvalidConfig(format!(
+                "resume row {} does not match the campaign plan: {what} is `{got}`, \
+                 the plan says `{want}` (different grid or base seed?)",
+                self.index
+            )))
+        };
+        if self.index != cell.index {
+            return mismatch("index", &self.index.to_string(), &cell.index.to_string());
+        }
+        if self.id != cell.scenario.id() {
+            return mismatch("id", &self.id, &cell.scenario.id());
+        }
+        if self.seed != cell.seed {
+            return mismatch("seed", &self.seed.to_string(), &cell.seed.to_string());
+        }
+        let expected = [
+            cell.scenario.density.label().to_string(),
+            cell.scenario.platform.clone(),
+            cell.scenario.policy.clone(),
+            cell.scenario.mode.label().to_string(),
+            cell.scenario.chip.clone(),
+            cell.scenario.variant.label().to_string(),
+        ];
+        for ((name, got), want) in ["density", "platform", "policy", "mode", "chip", "variant"]
+            .iter()
+            .zip(&self.labels)
+            .zip(&expected)
+        {
+            if got != want {
+                return mismatch(name, got, want);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reassembles the full [`CampaignRow`], attaching the scenario struct
+    /// from the plan.  Campaign row lines never carry axis results, so the
+    /// reconstructed row has none — exactly like the row that wrote the
+    /// line.
+    #[must_use]
+    pub fn into_row(self, scenario: &Scenario) -> CampaignRow {
+        CampaignRow {
+            index: self.index,
+            id: self.id,
+            scenario: scenario.clone(),
+            seed: self.seed,
+            voltage_norm: self.voltage_norm,
+            ber: self.ber,
+            classical_train_success: self.classical_train_success,
+            berry_train_success: self.berry_train_success,
+            robust_updates: self.robust_updates,
+            classical_nav: self.classical_nav,
+            berry_nav: self.berry_nav,
+            processing: self.processing,
+            quality_of_flight: self.quality_of_flight,
+            axis_results: Vec::new(),
+        }
+    }
+}
+
+/// The validated contents of an existing `rows.jsonl`, ready to seed a
+/// resumed campaign run.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeState {
+    rows: BTreeMap<usize, (String, CampaignRow)>,
+    /// Whether the file's last line was dropped as truncated (the
+    /// signature of a killed run's final partial write) — its cell simply
+    /// re-runs.
+    pub dropped_truncated: bool,
+    /// Number of duplicate row lines ignored (first occurrence wins).
+    pub duplicates: usize,
+}
+
+impl ResumeState {
+    /// The empty state — resuming a missing or empty file is a fresh run.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Grid indices that already have rows, as the engine's filter.
+    pub fn completed(&self) -> CompletedSet {
+        self.rows.keys().copied().collect()
+    }
+
+    /// Number of resumed rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were resumed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The verbatim artifact line of a resumed cell — rewritten outputs
+    /// reuse these bytes rather than reserializing, so a resumed artifact
+    /// can only ever contain bytes some campaign run actually wrote.
+    pub fn line(&self, index: usize) -> Option<&str> {
+        self.rows.get(&index).map(|(line, _)| line.as_str())
+    }
+
+    /// The reconstructed row of a resumed cell.
+    pub fn row(&self, index: usize) -> Option<&CampaignRow> {
+        self.rows.get(&index).map(|(_, row)| row)
+    }
+
+    /// Resumed rows in grid order.
+    pub fn rows_in_order(&self) -> impl Iterator<Item = &CampaignRow> {
+        self.rows.values().map(|(_, row)| row)
+    }
+}
+
+/// Parses and validates an existing `rows.jsonl` against the campaign
+/// plan.
+///
+/// Semantics, in order of appearance:
+/// * blank lines are skipped,
+/// * every parsed row must [`ParsedRow::matches`] its plan cell,
+/// * duplicate indices keep the **first** occurrence (later duplicates
+///   must be byte-identical, else the file is corrupt),
+/// * a final line that fails to parse is dropped as the truncated tail of
+///   a killed run ([`ResumeState::dropped_truncated`]); a non-final parse
+///   failure is a hard error.
+///
+/// # Errors
+///
+/// Returns an error on mid-file corruption, rows whose index is outside
+/// the plan, plan mismatches, or conflicting duplicates.
+pub fn load_resume_state(text: &str, plan: &[CellPlan]) -> Result<ResumeState> {
+    let mut state = ResumeState::empty();
+    let lines: Vec<&str> = text.lines().collect();
+    let last_non_blank = lines.iter().rposition(|l| !l.trim().is_empty());
+    for (lineno, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match ParsedRow::parse(line) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                if Some(lineno) == last_non_blank {
+                    state.dropped_truncated = true;
+                    continue;
+                }
+                return Err(CoreError::InvalidConfig(format!(
+                    "rows file line {}: {e}",
+                    lineno + 1
+                )));
+            }
+        };
+        let cell = plan.get(parsed.index).ok_or_else(|| {
+            CoreError::InvalidConfig(format!(
+                "rows file line {}: row index {} is outside the {}-cell campaign plan",
+                lineno + 1,
+                parsed.index,
+                plan.len()
+            ))
+        })?;
+        parsed.matches(cell)?;
+        if let Some((first_line, _)) = state.rows.get(&parsed.index) {
+            if first_line != line {
+                return Err(CoreError::InvalidConfig(format!(
+                    "rows file line {}: conflicting duplicate of row {}",
+                    lineno + 1,
+                    parsed.index
+                )));
+            }
+            state.duplicates += 1;
+            continue;
+        }
+        let row = parsed.into_row(&cell.scenario);
+        state.rows.insert(row.index, (line.to_string(), row));
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{plan_cells, run_scenario_in, scenario_seed};
+    use crate::experiment::ExperimentScale;
+    use crate::store::PolicyStore;
+
+    fn smoke_plan() -> (Vec<Scenario>, Vec<CellPlan>) {
+        let grid: Vec<Scenario> = Scenario::smoke_grid().into_iter().take(2).collect();
+        let plan = plan_cells(&grid, 5);
+        (grid, plan)
+    }
+
+    fn smoke_row(plan: &[CellPlan], index: usize) -> CampaignRow {
+        run_scenario_in(
+            &plan[index].scenario,
+            index,
+            ExperimentScale::Smoke,
+            plan[index].seed,
+            5,
+            &PolicyStore::in_memory(),
+            &[],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn a_real_row_round_trips_bit_for_bit() {
+        let (_, plan) = smoke_plan();
+        let row = smoke_row(&plan, 0);
+        let line = row.to_json_line();
+        let parsed = ParsedRow::parse(&line).unwrap();
+        parsed.matches(&plan[0]).unwrap();
+        let rebuilt = parsed.into_row(&plan[0].scenario);
+        assert_eq!(rebuilt, row);
+        assert_eq!(rebuilt.to_json_line(), line, "byte-exact round trip");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_scientific_notation() {
+        let value = Reader::new(r#"{"a":"q\"uo\\te\nnl	tab","b":1.5e-7,"c":[1,2]}"#)
+            .value()
+            .unwrap();
+        assert_eq!(value.str_field("a").unwrap(), "q\"uo\\te\nnl\ttab");
+        assert_eq!(value.f64_field("b").unwrap(), 1.5e-7);
+        assert_eq!(
+            value.get("c").unwrap(),
+            &JsonValue::Array(vec![
+                JsonValue::Number("1".into()),
+                JsonValue::Number("2".into())
+            ])
+        );
+        // Exact integer fields stay exact at u64 range.
+        let value = Reader::new("{\"seed\":18446744073709551615}").value().unwrap();
+        assert_eq!(value.u64_field("seed").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn parse_rejects_truncated_and_trailing_garbage() {
+        let (_, plan) = smoke_plan();
+        let line = smoke_row(&plan, 0).to_json_line();
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(
+                ParsedRow::parse(&line[..cut]).is_err(),
+                "truncation at {cut} must not parse"
+            );
+        }
+        assert!(ParsedRow::parse(&format!("{line}garbage")).is_err());
+        assert!(ParsedRow::parse("{}").is_err(), "missing keys must not parse");
+    }
+
+    #[test]
+    fn matches_rejects_other_campaigns() {
+        let (_, plan) = smoke_plan();
+        let row = smoke_row(&plan, 0);
+        let parsed = ParsedRow::parse(&row.to_json_line()).unwrap();
+        // Same line against the other cell: index mismatch.
+        assert!(parsed.matches(&plan[1]).is_err());
+        // A different base seed changes the planned seed.
+        let other_seed_plan = plan_cells(&[plan[0].scenario.clone()], 6);
+        let err = parsed.matches(&other_seed_plan[0]).unwrap_err();
+        assert!(err.to_string().contains("seed"), "got: {err}");
+    }
+
+    #[test]
+    fn resume_state_drops_only_a_truncated_last_line() {
+        let (_, plan) = smoke_plan();
+        let line0 = smoke_row(&plan, 0).to_json_line();
+        let line1 = smoke_row(&plan, 1).to_json_line();
+
+        // Fresh-equivalent inputs.
+        for text in ["", "\n", "  \n\n"] {
+            let state = load_resume_state(text, &plan).unwrap();
+            assert!(state.is_empty());
+            assert!(!state.dropped_truncated);
+        }
+
+        // A killed run's partial final write: last line truncated.
+        let text = format!("{line0}\n{}", &line1[..line1.len() / 2]);
+        let state = load_resume_state(&text, &plan).unwrap();
+        assert_eq!(state.len(), 1);
+        assert!(state.dropped_truncated);
+        assert_eq!(state.completed().iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(state.line(0), Some(line0.as_str()));
+        assert_eq!(state.row(0).unwrap().index, 0);
+
+        // The same truncation mid-file is corruption, not a resume point.
+        let text = format!("{}\n{line1}", &line0[..line0.len() / 2]);
+        assert!(load_resume_state(&text, &plan).is_err());
+
+        // Duplicates: identical lines are counted and ignored...
+        let text = format!("{line0}\n{line0}\n{line1}");
+        let state = load_resume_state(&text, &plan).unwrap();
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.duplicates, 1);
+        assert_eq!(state.rows_in_order().map(|r| r.index).collect::<Vec<_>>(), vec![0, 1]);
+        // ...but conflicting duplicates are corruption.
+        let conflicting = line0.replace("\"index\":0,", "\"index\":0, ");
+        assert!(ParsedRow::parse(&conflicting).is_ok(), "still valid JSON");
+        let text = format!("{line0}\n{conflicting}");
+        assert!(load_resume_state(&text, &plan).is_err());
+
+        // Rows from outside the plan are rejected.
+        let state = load_resume_state(&line1, &plan[..1]).map(|_| ());
+        assert!(state.is_err());
+    }
+
+    #[test]
+    fn resume_rows_reproduce_the_seed_protocol() {
+        // A resumed row and a freshly computed row of the same cell are
+        // the same row — the parser is a pure inverse, not a re-run.
+        let (_, plan) = smoke_plan();
+        let row = smoke_row(&plan, 1);
+        let state = load_resume_state(&row.to_json_line(), &plan).unwrap();
+        assert_eq!(state.row(1).unwrap(), &row);
+        assert_eq!(state.row(1).unwrap().seed, scenario_seed(5, 1));
+    }
+}

@@ -1,0 +1,174 @@
+//! Interrupt-and-resume semantics of the campaign engine, end to end.
+//!
+//! The contract under test: a campaign interrupted partway and resumed
+//! from its `rows.jsonl` produces **byte-identical** artifacts to a
+//! one-shot run, while re-executing only the missing cells — and no
+//! execution-side accident (per-cell skew, truncated final lines,
+//! duplicate rows, worker scheduling) can leak into the merged bytes.
+//! The runner-level version of the same proof (actual `campaign_runner
+//! --max-rows` / `--resume` processes compared with `cmp`) lives in the
+//! CI interrupt-resume job; these tests pin the engine and parser layers
+//! in-process.
+
+use berry_core::campaign::{
+    plan_cells, run_grid_resumable_in, run_grid_serial_in, CompletedSet,
+};
+use berry_core::experiment::ExperimentScale;
+use berry_core::rows::load_resume_state;
+use berry_core::{CampaignRow, PolicyStore, Scenario};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const RESUME_SEED: u64 = 0x2E50_4E5E;
+
+fn smoke_grid() -> Vec<Scenario> {
+    Scenario::smoke_grid()
+}
+
+/// The one-shot reference rows plus a warm store, computed once per test
+/// binary: every test compares against these rows, and the shared store
+/// keeps the per-test cost at evaluation (not training) level.
+fn reference() -> (&'static Vec<CampaignRow>, &'static PolicyStore) {
+    static REF: OnceLock<(Vec<CampaignRow>, PolicyStore)> = OnceLock::new();
+    let (rows, store) = REF.get_or_init(|| {
+        let store = PolicyStore::in_memory();
+        let rows =
+            run_grid_serial_in(&smoke_grid(), ExperimentScale::Smoke, RESUME_SEED, &store)
+                .expect("smoke campaign must not error");
+        (rows, store)
+    });
+    (rows, store)
+}
+
+fn rows_file(rows: &[CampaignRow]) -> String {
+    rows.iter().map(|r| format!("{}\n", r.to_json_line())).collect()
+}
+
+/// Runs a resumed campaign against `text` (an existing rows file) and
+/// returns the merged rows in grid order.
+fn resume_from(text: &str) -> Vec<CampaignRow> {
+    let (_, store) = reference();
+    let grid = smoke_grid();
+    let plan = plan_cells(&grid, RESUME_SEED);
+    let state = load_resume_state(text, &plan).expect("resume state must load");
+    let trained_before = store.stats().trained;
+    let (fresh, stats) = run_grid_resumable_in(
+        &grid,
+        ExperimentScale::Smoke,
+        RESUME_SEED,
+        store,
+        &[],
+        &state.completed(),
+        &|_| {},
+        |_, _| Ok(()),
+    )
+    .unwrap();
+    assert_eq!(
+        store.stats().trained,
+        trained_before,
+        "a resume against a warm store must retrain zero policies"
+    );
+    assert_eq!(stats.rows_skipped_resumed, state.len());
+    let mut merged: Vec<CampaignRow> = state.rows_in_order().cloned().collect();
+    merged.extend(fresh);
+    merged.sort_by_key(|row| row.index);
+    merged
+}
+
+#[test]
+fn interrupted_then_resumed_rows_match_the_one_shot_bytes() {
+    let (reference_rows, _) = reference();
+    // Interrupt after two of four rows: the file holds a clean prefix.
+    let partial = rows_file(&reference_rows[..2]);
+    let merged = resume_from(&partial);
+    assert_eq!(&merged, reference_rows);
+    assert_eq!(rows_file(&merged), rows_file(reference_rows), "byte-identical artifact");
+}
+
+#[test]
+fn resume_from_empty_or_missing_file_is_a_fresh_run() {
+    let (reference_rows, _) = reference();
+    let merged = resume_from("");
+    assert_eq!(&merged, reference_rows);
+}
+
+#[test]
+fn truncated_final_line_reruns_exactly_that_cell() {
+    let (reference_rows, _) = reference();
+    // A killed run's final partial write: rows 0-1 complete, row 2 cut
+    // mid-line.  Resume drops the tail, re-runs cells 2 and 3, and the
+    // merged artifact is still byte-identical.
+    let line2 = reference_rows[2].to_json_line();
+    let text = format!("{}{}", rows_file(&reference_rows[..2]), &line2[..line2.len() / 3]);
+    let plan = plan_cells(&smoke_grid(), RESUME_SEED);
+    let state = load_resume_state(&text, &plan).unwrap();
+    assert!(state.dropped_truncated);
+    assert_eq!(state.completed().iter().collect::<Vec<_>>(), vec![0, 1]);
+    let merged = resume_from(&text);
+    assert_eq!(&merged, reference_rows);
+}
+
+#[test]
+fn duplicate_rows_resume_without_double_counting() {
+    let (reference_rows, _) = reference();
+    let text = format!(
+        "{}{}\n{}",
+        rows_file(&reference_rows[..2]),
+        reference_rows[0].to_json_line(),
+        reference_rows[3].to_json_line(),
+    );
+    let plan = plan_cells(&smoke_grid(), RESUME_SEED);
+    let state = load_resume_state(&text, &plan).unwrap();
+    assert_eq!(state.duplicates, 1);
+    assert_eq!(state.completed().iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+    let merged = resume_from(&text);
+    assert_eq!(&merged, reference_rows);
+}
+
+#[test]
+fn resume_out_of_order_rows_still_merges_in_grid_order() {
+    let (reference_rows, _) = reference();
+    // Rows 3 and 1 on file (in that order): the engine executes 0 and 2
+    // and the merge restores grid order.
+    let text = format!(
+        "{}\n{}\n",
+        reference_rows[3].to_json_line(),
+        reference_rows[1].to_json_line()
+    );
+    let merged = resume_from(&text);
+    assert_eq!(&merged, reference_rows);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// Random per-cell delays under the 3-worker work-stealing scheduler
+    /// never change the merged row bytes: completion order is scrambled
+    /// by the delays, merge order is pinned by the plan.
+    #[test]
+    fn random_cell_delays_never_change_merged_row_bytes(
+        delays in proptest::collection::vec(0u64..15, 4)
+    ) {
+        let (reference_rows, store) = reference();
+        let delays_ref = &delays;
+        let (rows, _) = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap()
+            .install(|| {
+                run_grid_resumable_in(
+                    &smoke_grid(),
+                    ExperimentScale::Smoke,
+                    RESUME_SEED,
+                    store,
+                    &[],
+                    &CompletedSet::empty(),
+                    &|index: usize| {
+                        std::thread::sleep(std::time::Duration::from_millis(delays_ref[index]))
+                    },
+                    |_, _| Ok(()),
+                )
+            })
+            .unwrap();
+        prop_assert_eq!(rows_file(&rows), rows_file(reference_rows));
+    }
+}

@@ -346,11 +346,12 @@ fn campaign_sharded_is_bitwise_identical_to_serial() {
     }
 }
 
-/// Explicit 1-worker and 3-worker pools must land on the same campaign
-/// rows: scenario scheduling can never leak into the results.
+/// Explicit 1-, 3- and 8-worker pools must land on the same campaign
+/// rows: scenario scheduling (including work-stealing) can never leak
+/// into the results.
 #[test]
 fn campaign_rows_are_stable_across_worker_counts() {
-    for workers in [1usize, 3] {
+    for workers in [1usize, 3, 8] {
         let rows = rayon::ThreadPoolBuilder::new()
             .num_threads(workers)
             .build()

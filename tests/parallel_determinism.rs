@@ -137,6 +137,63 @@ fn lane_count_never_changes_the_statistics() {
     assert_bitwise_identical(&reference, &serial, "batched vs serial reference engine");
 }
 
+/// The work-stealing campaign engine under **deliberately skewed** cell
+/// runtimes: per-cell delays reshuffle which worker executes which cell,
+/// but seeds are drawn up front from global grid indices and rows merge
+/// in grid order, so 1-, 3- and 8-worker pools must all land bitwise on
+/// the serial reference rows — and the streaming sink must still see the
+/// rows in grid order.
+#[test]
+fn skewed_campaign_rows_are_bitwise_identical_across_worker_counts() {
+    use berry_core::campaign::{run_grid_resumable_in, run_grid_serial_in, CompletedSet};
+    use berry_core::experiment::ExperimentScale;
+    use berry_core::{PolicyStore, Scenario};
+
+    let grid = Scenario::smoke_grid();
+    let store = PolicyStore::in_memory();
+    let serial = run_grid_serial_in(&grid, ExperimentScale::Smoke, BASE_SEED, &store).unwrap();
+    // Skew pattern chosen so the first-claimed cell finishes *last*: a
+    // scheduler that merged by completion order instead of grid order
+    // would emit 3,2,1,0 here.
+    let skew_ms = [40u64, 20, 10, 0];
+    for workers in [1usize, 3, 8] {
+        let mut sink_order = Vec::new();
+        let (rows, stats) = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .unwrap()
+            .install(|| {
+                run_grid_resumable_in(
+                    &grid,
+                    ExperimentScale::Smoke,
+                    BASE_SEED,
+                    &store,
+                    &[],
+                    &CompletedSet::empty(),
+                    &|index: usize| {
+                        std::thread::sleep(std::time::Duration::from_millis(skew_ms[index]))
+                    },
+                    |index, _| {
+                        sink_order.push(index);
+                        Ok(())
+                    },
+                )
+            })
+            .unwrap();
+        assert_eq!(
+            rows, serial,
+            "{workers}-worker skewed campaign diverged from the serial reference"
+        );
+        for (a, b) in rows.iter().zip(&serial) {
+            assert_eq!(a.to_json_line(), b.to_json_line(), "row bytes differ");
+        }
+        assert_eq!(sink_order, vec![0, 1, 2, 3], "sink must flush in grid order");
+        assert_eq!(stats.workers, workers);
+        assert_eq!(stats.mode, "work-stealing");
+        assert_eq!(stats.per_worker_cells.iter().sum::<usize>(), grid.len());
+    }
+}
+
 /// `episode_seed` streams must be distinct across episodes and must not
 /// collide with the `fault_map_seed` stream they are derived from.
 #[test]

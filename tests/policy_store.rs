@@ -34,7 +34,7 @@ fn memory_warm_rerun_retrains_nothing_and_matches_row_bits() {
     let grid = smoke_slice();
     let store = PolicyStore::in_memory();
     let cold =
-        run_grid_streamed_in(&grid, ExperimentScale::Smoke, BASE_SEED, 1, &store, &[], |_| {
+        run_grid_streamed_in(&grid, ExperimentScale::Smoke, BASE_SEED, &store, &[], |_| {
             Ok(())
         })
         .unwrap();
@@ -42,7 +42,7 @@ fn memory_warm_rerun_retrains_nothing_and_matches_row_bits() {
     assert!(trained_cold > 0, "a cold store must train the grid's pairs");
 
     let warm =
-        run_grid_streamed_in(&grid, ExperimentScale::Smoke, BASE_SEED, 1, &store, &[], |_| {
+        run_grid_streamed_in(&grid, ExperimentScale::Smoke, BASE_SEED, &store, &[], |_| {
             Ok(())
         })
         .unwrap();

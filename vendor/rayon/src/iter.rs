@@ -1,13 +1,37 @@
-//! Order-preserving parallel iterators over eagerly materialized items.
+//! Order-preserving parallel iterators over a shared-queue, chunked
+//! work-stealing scheduler.
 //!
 //! The shim keeps the shape of rayon's API (`into_par_iter().map(..).
-//! collect()`) but materializes the item list up front and executes the
-//! mapped closure over contiguous chunks on scoped threads. That trades
-//! rayon's work-stealing for simplicity while keeping the property the
-//! workspace depends on: output order equals input order regardless of the
-//! worker count.
+//! collect()`) but replaces rayon's per-thread deques with one shared
+//! queue of index ranges: items are parked in a shared slice of take-once
+//! slots, workers claim fixed-size index ranges off an atomic counter and
+//! ship their results back **index-tagged**, and the calling thread merges
+//! parts strictly in input-index order.  Scheduling is therefore dynamic —
+//! a worker that finishes a cheap range immediately claims (steals) the
+//! next one, so skewed workloads cannot leave cores idle behind a static
+//! partition — while the *output* is a pure function of the input: the
+//! property the workspace depends on is that order and value of the
+//! results never depend on the worker count or on which worker ran which
+//! range.  Determinism lives in the merge order, not the execution order.
+//!
+//! Beyond `collect`/`sum`, [`ParMap::try_for_each_ordered`] streams
+//! results to a sink on the calling thread *in input order as they become
+//! ready* — the campaign engine uses it to flush finished rows to disk
+//! without waiting for the whole grid, even though cells complete out of
+//! order under stealing.
 
+use std::collections::BTreeMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use crate::{RunStats, SchedulerMode};
+
+/// How many ranges each worker's fair share is split into under
+/// [`SchedulerMode::WorkStealing`]: more ranges per worker means finer
+/// rebalancing of skewed items at the cost of more (cheap) claims.
+const STEAL_RANGES_PER_WORKER: usize = 8;
 
 /// Conversion into a parallel iterator (mirrors `rayon::iter::IntoParallelIterator`).
 pub trait IntoParallelIterator {
@@ -135,57 +159,209 @@ where
     where
         C: FromIterator<U>,
     {
-        run_ordered(self.items, self.f).into_iter().collect()
+        let n = self.items.len();
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        run_scheduler(self.items, &self.f, |start, part| {
+            for (offset, value) in part.into_iter().enumerate() {
+                out[start + offset] = Some(value);
+            }
+            true
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("scheduler dropped an item"))
+            .collect()
     }
 
-    /// Sums the mapped results.
+    /// Sums the mapped results (in input order, so floating-point
+    /// accumulation is deterministic).
     pub fn sum<S>(self) -> S
     where
         S: std::iter::Sum<U>,
     {
-        run_ordered(self.items, self.f).into_iter().sum()
+        self.collect::<Vec<U>>().into_iter().sum()
+    }
+
+    /// Streams every result to `sink` on the calling thread **in input
+    /// order**, as results become ready: out-of-order completions are
+    /// buffered until their in-order turn, so the sink observes exactly
+    /// the sequence `(0, f(items[0])), (1, f(items[1])), …` no matter how
+    /// ranges were scheduled.  A sink error cancels the run — workers stop
+    /// claiming new ranges, in-flight ranges finish and are discarded —
+    /// and is returned to the caller.
+    ///
+    /// This is a shim extension over real rayon's API: the campaign
+    /// engine's resumable streaming path is built on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error the sink reports (in input order).
+    pub fn try_for_each_ordered<E>(
+        self,
+        mut sink: impl FnMut(usize, U) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut pending: BTreeMap<usize, Vec<U>> = BTreeMap::new();
+        let mut next = 0usize;
+        let mut result: Result<(), E> = Ok(());
+        run_scheduler(self.items, &self.f, |start, part| {
+            if result.is_err() {
+                return false;
+            }
+            pending.insert(start, part);
+            while let Some(part) = pending.remove(&next) {
+                for value in part {
+                    if let Err(e) = sink(next, value) {
+                        result = Err(e);
+                        return false;
+                    }
+                    next += 1;
+                }
+            }
+            true
+        });
+        result
     }
 }
 
-/// Maps `items` through `f` using the current worker count, returning the
-/// results in input order.
-fn run_ordered<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: F) -> Vec<U> {
+/// One index-tagged result range shipped from a worker to the merge loop.
+struct Part<U> {
+    start: usize,
+    values: Vec<U>,
+}
+
+/// The shared-queue scheduler: parks `items` in take-once slots, claims
+/// index ranges off an atomic counter from `workers` scoped threads, and
+/// hands each finished range to `on_part` on the calling thread (tagged
+/// with its starting input index, in completion order).  `on_part`
+/// returning `false` cancels the run: no further ranges are claimed, and
+/// remaining parts are drained without effect.
+///
+/// Records a [`RunStats`] for this call in the calling thread's
+/// `last_run_stats` slot before returning.
+fn run_scheduler<T, U, F, P>(items: Vec<T>, f: &F, mut on_part: P)
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+    P: FnMut(usize, Vec<U>) -> bool,
+{
+    let n = items.len();
     let workers = crate::current_num_threads().max(1);
-    if workers == 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+    let mode = crate::scheduler_mode();
+    if workers == 1 || n <= 1 {
+        let started = Instant::now();
+        let mut processed = 0usize;
+        for (index, item) in items.into_iter().enumerate() {
+            let keep_going = on_part(index, vec![f(item)]);
+            processed += 1;
+            if !keep_going {
+                break;
+            }
+        }
+        crate::record_run_stats(RunStats {
+            mode,
+            workers,
+            workers_spawned: 0,
+            range_len: n.max(1),
+            per_worker_items: vec![processed],
+            per_worker_ranges: vec![usize::from(processed > 0)],
+            per_worker_busy_s: vec![started.elapsed().as_secs_f64()],
+            steals: 0,
+        });
+        return;
     }
+
+    // Range length: contiguous mode reproduces the pre-stealing static
+    // partition (one range per worker); stealing mode splits each worker's
+    // fair share into STEAL_RANGES_PER_WORKER ranges so a worker stuck on
+    // an expensive range sheds the rest of its share to idle peers.
+    let range_len = match mode {
+        SchedulerMode::Contiguous => n.div_ceil(workers),
+        SchedulerMode::WorkStealing => (n / (workers * STEAL_RANGES_PER_WORKER)).max(1),
+    };
+    let num_ranges = n.div_ceil(range_len);
+    let spawned = workers.min(num_ranges);
     // Worker threads get an explicit share of this call's worker budget, so
     // nested parallel iterators cannot oversubscribe the machine: a sweep
     // that fans out over N points on W workers leaves each point ~W/N
     // workers for its inner fault-map loop, keeping the total thread count
     // around W (real rayon achieves the same through its shared pool).
     // `ThreadPool::install` is respected transitively for the same reason.
-    let chunk_len = items.len().div_ceil(workers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut items = items.into_iter();
-    loop {
-        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
+    let child_budget = (workers / spawned).max(1);
+
+    // The shared slice of take-once slots the ranges index into.  Each
+    // index is claimed by exactly one worker (ranges are disjoint), so
+    // every lock below is uncontended; the mutex exists to move `T` out of
+    // shared storage without `unsafe`.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next_range = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let worker_stats: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(vec![(0, 0, 0.0); spawned]);
+    let (tx, rx) = mpsc::channel::<Part<U>>();
+
+    std::thread::scope(|scope| {
+        for worker in 0..spawned {
+            let tx = tx.clone();
+            let slots = &slots;
+            let next_range = &next_range;
+            let cancelled = &cancelled;
+            let worker_stats = &worker_stats;
+            scope.spawn(move || {
+                crate::set_installed_num_threads(Some(child_budget));
+                let started = Instant::now();
+                let mut my_items = 0usize;
+                let mut my_ranges = 0usize;
+                loop {
+                    if cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let range = next_range.fetch_add(1, Ordering::Relaxed);
+                    if range >= num_ranges {
+                        break;
+                    }
+                    let start = range * range_len;
+                    let end = ((range + 1) * range_len).min(n);
+                    let mut values = Vec::with_capacity(end - start);
+                    for slot in &slots[start..end] {
+                        let item = slot
+                            .lock()
+                            .expect("input slot poisoned")
+                            .take()
+                            .expect("input index claimed twice");
+                        values.push(f(item));
+                    }
+                    my_items += end - start;
+                    my_ranges += 1;
+                    if tx.send(Part { start, values }).is_err() {
+                        break;
+                    }
+                }
+                let mut stats = worker_stats.lock().expect("worker stats poisoned");
+                stats[worker] = (my_items, my_ranges, started.elapsed().as_secs_f64());
+            });
         }
-        chunks.push(chunk);
-    }
-    let child_budget = (workers / chunks.len()).max(1);
-    let f = &f;
-    let parts: Vec<Vec<U>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    crate::set_installed_num_threads(Some(child_budget));
-                    chunk.into_iter().map(f).collect::<Vec<U>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
+        drop(tx);
+        // Merge loop: runs on the calling thread while workers execute.
+        // Keeps draining after a cancel so workers never block on send.
+        for part in rx {
+            if !on_part(part.start, part.values) {
+                cancelled.store(true, Ordering::Relaxed);
+            }
+        }
     });
-    parts.into_iter().flatten().collect()
+
+    let per_worker = worker_stats.into_inner().expect("worker stats poisoned");
+    crate::record_run_stats(RunStats {
+        mode,
+        workers,
+        workers_spawned: spawned,
+        range_len,
+        per_worker_items: per_worker.iter().map(|&(items, _, _)| items).collect(),
+        per_worker_ranges: per_worker.iter().map(|&(_, ranges, _)| ranges).collect(),
+        per_worker_busy_s: per_worker.iter().map(|&(_, _, busy)| busy).collect(),
+        steals: per_worker
+            .iter()
+            .map(|&(_, ranges, _)| ranges.saturating_sub(1))
+            .sum(),
+    });
 }

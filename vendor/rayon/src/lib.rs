@@ -5,10 +5,20 @@
 //! minimal [`ThreadPoolBuilder`] whose `install` scopes the worker count
 //! (which is what the serial-vs-parallel determinism test drives).
 //!
-//! Work is split into one contiguous chunk per worker and results are
-//! reassembled in input order, so `collect::<Vec<_>>()` is always
-//! element-for-element identical to the sequential map — exactly the
-//! guarantee real rayon's indexed parallel iterators give.
+//! Scheduling is a shared-queue, chunked work-stealing design: items sit
+//! in a shared slice of take-once slots, workers claim fixed-size index
+//! ranges off one atomic counter, and index-tagged results merge strictly
+//! in input order on the calling thread.  `collect::<Vec<_>>()` is
+//! therefore always element-for-element identical to the sequential map —
+//! exactly the guarantee real rayon's indexed parallel iterators give —
+//! while skewed workloads rebalance dynamically instead of idling behind
+//! a static per-worker partition.  The pre-stealing static partition
+//! survives as [`SchedulerMode::Contiguous`] so benchmarks can measure
+//! the stealing win; both modes produce bitwise-identical output.
+//!
+//! Each top-level parallel call records a [`RunStats`] (per-worker item
+//! counts, range claims, busy time, steal count) retrievable on the
+//! calling thread via [`last_run_stats`].
 //!
 //! `RAYON_NUM_THREADS` is honoured like in real rayon; inside
 //! [`ThreadPool::install`] the pool's size wins.
@@ -16,7 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 
 pub mod iter;
@@ -30,6 +40,93 @@ pub mod prelude {
 
 thread_local! {
     static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    static SCHEDULER_MODE: Cell<SchedulerMode> = const { Cell::new(SchedulerMode::WorkStealing) };
+    static LAST_RUN_STATS: RefCell<Option<RunStats>> = const { RefCell::new(None) };
+}
+
+/// How a parallel call partitions its items across workers.
+///
+/// Both modes merge index-tagged results in input order, so they produce
+/// **bitwise-identical** output; they differ only in wall-clock behaviour
+/// on skewed workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// The default: each worker's fair share is split into several index
+    /// ranges on one shared queue, and any idle worker claims (steals)
+    /// the next range — skewed items rebalance dynamically.
+    WorkStealing,
+    /// The legacy static partition: one contiguous range per worker.
+    /// Kept as the benchmark baseline the stealing win is measured
+    /// against.
+    Contiguous,
+}
+
+/// Execution statistics of the most recent top-level parallel call on a
+/// thread (see [`last_run_stats`]).  Purely observational: none of these
+/// numbers feed back into scheduling or results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Scheduler mode the call ran under.
+    pub mode: SchedulerMode,
+    /// Worker budget of the call ([`current_num_threads`] at entry).
+    pub workers: usize,
+    /// Worker threads actually spawned (0 for the inline serial path).
+    pub workers_spawned: usize,
+    /// Items per claimed index range.
+    pub range_len: usize,
+    /// Items executed by each worker (one entry for the serial path).
+    pub per_worker_items: Vec<usize>,
+    /// Index ranges claimed by each worker.
+    pub per_worker_ranges: Vec<usize>,
+    /// Wall-clock seconds each worker spent between spawn and exit.
+    pub per_worker_busy_s: Vec<f64>,
+    /// Ranges claimed beyond each worker's first — work that a static
+    /// contiguous partition would **not** have rebalanced.
+    pub steals: usize,
+}
+
+impl RunStats {
+    /// Total items executed across workers.
+    pub fn items(&self) -> usize {
+        self.per_worker_items.iter().sum()
+    }
+}
+
+/// Returns the [`RunStats`] of the most recent top-level parallel call
+/// made on this thread, if any.  Nested parallel calls record onto the
+/// worker threads that made them, so a caller always observes its own
+/// fan-out, not its children's.
+pub fn last_run_stats() -> Option<RunStats> {
+    LAST_RUN_STATS.with(|s| s.borrow().clone())
+}
+
+pub(crate) fn record_run_stats(stats: RunStats) {
+    LAST_RUN_STATS.with(|s| *s.borrow_mut() = Some(stats));
+}
+
+/// The scheduler mode parallel calls on this thread currently use.
+pub fn scheduler_mode() -> SchedulerMode {
+    SCHEDULER_MODE.with(Cell::get)
+}
+
+/// Runs `op` with parallel calls on this thread using `mode`, restoring
+/// the previous mode on exit (panic included).  Worker threads spawned by
+/// those calls run nested parallelism under the default mode.
+pub fn with_scheduler_mode<R>(mode: SchedulerMode, op: impl FnOnce() -> R) -> R {
+    let previous = SCHEDULER_MODE.with(|c| c.replace(mode));
+    let guard = ModeRestoreGuard(previous);
+    let result = op();
+    drop(guard);
+    result
+}
+
+struct ModeRestoreGuard(SchedulerMode);
+
+impl Drop for ModeRestoreGuard {
+    fn drop(&mut self) {
+        let previous = self.0;
+        SCHEDULER_MODE.with(|c| c.set(previous));
+    }
 }
 
 /// Sets this thread's worker-count override (used by worker threads to
@@ -175,5 +272,79 @@ mod tests {
         let serial: Vec<u64> =
             pool.install(|| (0..256u64).into_par_iter().map(|i| i.wrapping_mul(i)).collect());
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn contiguous_mode_matches_work_stealing_bitwise() {
+        let expected: Vec<u64> = (0..333u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        for mode in [SchedulerMode::WorkStealing, SchedulerMode::Contiguous] {
+            let got: Vec<u64> = with_scheduler_mode(mode, || {
+                (0..333u64).into_par_iter().map(|i| i.wrapping_mul(0x9E37)).collect()
+            });
+            assert_eq!(got, expected, "{mode:?} diverged from the sequential map");
+        }
+        // The mode override restores on exit.
+        assert_eq!(scheduler_mode(), SchedulerMode::WorkStealing);
+    }
+
+    #[test]
+    fn run_stats_account_for_every_item() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let _: Vec<usize> = pool.install(|| (0..100usize).into_par_iter().map(|i| i).collect());
+        let stats = last_run_stats().expect("parallel call must record stats");
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.items(), 100);
+        assert_eq!(stats.per_worker_items.len(), stats.workers_spawned);
+        assert_eq!(stats.per_worker_ranges.len(), stats.workers_spawned);
+        let expected_steals: usize = stats
+            .per_worker_ranges
+            .iter()
+            .map(|r| r.saturating_sub(1))
+            .sum();
+        assert_eq!(stats.steals, expected_steals);
+        // The serial path records stats too.
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let _: Vec<usize> = pool.install(|| (0..5usize).into_par_iter().map(|i| i).collect());
+        let stats = last_run_stats().unwrap();
+        assert_eq!(stats.workers_spawned, 0);
+        assert_eq!(stats.per_worker_items, vec![5]);
+    }
+
+    #[test]
+    fn try_for_each_ordered_streams_in_input_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        pool.install(|| {
+            (0..57u64)
+                .into_par_iter()
+                .map(|i| i * 3)
+                .try_for_each_ordered(|index, value| -> Result<(), ()> {
+                    seen.push((index, value));
+                    Ok(())
+                })
+        })
+        .unwrap();
+        let expected: Vec<(usize, u64)> = (0..57u64).map(|i| (i as usize, i * 3)).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn try_for_each_ordered_sink_error_cancels_and_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut emitted = 0usize;
+        let err = pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| i)
+                .try_for_each_ordered(|index, _| {
+                    if index == 3 {
+                        return Err("sink full");
+                    }
+                    emitted += 1;
+                    Ok(())
+                })
+        });
+        assert_eq!(err, Err("sink full"));
+        assert_eq!(emitted, 3, "exactly the in-order prefix reaches the sink");
     }
 }
