@@ -1,0 +1,158 @@
+//! Streams a campaign from a resident `campaign_runner --serve` server.
+//!
+//! Connects to the server, sends one request, and writes the streamed
+//! row lines verbatim (each re-validated as a complete campaign row
+//! before it is relayed), so the resulting `rows.jsonl` is byte-identical
+//! to a direct `campaign_runner` artifact — the CI service-smoke job
+//! `cmp`s the two.
+//!
+//! ```text
+//! campaign_client [--addr HOST:PORT] [--scale smoke|quick|paper] [--seed N]
+//!                 [--cells i,j,...] [--out rows.jsonl]
+//! campaign_client --metrics | --shutdown
+//! ```
+//!
+//! Defaults: addr `127.0.0.1:7878`, scale/seed from `BERRY_SCALE` /
+//! `BERRY_SEED` (quick / 2023), rows to stdout.  The first connection
+//! retries for up to ten seconds, so CI can launch the client right
+//! after backgrounding the server.  Exits non-zero if the server reports
+//! an error terminal line — a failed cell fails the client, like the
+//! runner.
+
+use berry_bench::{parse_scale, seed_from_env};
+use berry_serve::{client, Request};
+use std::io::Write as _;
+use std::time::Duration;
+
+const USAGE: &str = "usage: campaign_client [--addr HOST:PORT] \
+                     [--scale smoke|quick|paper] [--seed N] [--cells i,j,...] \
+                     [--out rows.jsonl] | --metrics | --shutdown";
+
+/// How long the client keeps retrying its connection before giving up.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+enum Mode {
+    Campaign,
+    Metrics,
+    Shutdown,
+}
+
+struct Args {
+    addr: String,
+    mode: Mode,
+    request: Request,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut scale = berry_bench::scale_from_env();
+    let mut base_seed = seed_from_env();
+    let mut cells: Option<Vec<usize>> = None;
+    let mut out = None;
+    let mut mode = Mode::Campaign;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = value(&mut i, "--addr")?,
+            "--scale" => {
+                let name = value(&mut i, "--scale")?;
+                scale = parse_scale(&name)
+                    .ok_or_else(|| format!("unknown scale `{name}` (smoke|quick|paper)"))?;
+            }
+            "--seed" => {
+                let raw = value(&mut i, "--seed")?;
+                base_seed = raw
+                    .parse()
+                    .map_err(|_| format!("--seed needs a u64, got `{raw}`"))?;
+            }
+            "--cells" => {
+                let raw = value(&mut i, "--cells")?;
+                let parsed: Result<Vec<usize>, String> = raw
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse()
+                            .map_err(|_| format!("--cells needs indices, got `{part}`"))
+                    })
+                    .collect();
+                cells = Some(parsed?);
+            }
+            "--out" => out = Some(value(&mut i, "--out")?),
+            "--metrics" => mode = Mode::Metrics,
+            "--shutdown" => mode = Mode::Shutdown,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        addr,
+        mode,
+        request: Request::Campaign {
+            scale,
+            base_seed,
+            cells,
+        },
+        out,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    match args.mode {
+        Mode::Metrics => {
+            let metrics = client::fetch_metrics(&args.addr)?;
+            let store = metrics.value.get("store")?;
+            println!(
+                "server: {} rows streamed over {} connections; store: trained {} policies, \
+                 {} memory hits, {} disk hits, {} in-flight joins",
+                metrics.value.u64_field("rows_streamed")?,
+                metrics.value.u64_field("connections")?,
+                store.u64_field("trained")?,
+                store.u64_field("memory_hits")?,
+                store.u64_field("disk_hits")?,
+                store.u64_field("inflight_joins")?,
+            );
+            return Ok(());
+        }
+        Mode::Shutdown => {
+            client::shutdown(&args.addr)?;
+            println!("server at {} acknowledged shutdown", args.addr);
+            return Ok(());
+        }
+        Mode::Campaign => {}
+    }
+    let stream = client::connect_with_retry(&args.addr, CONNECT_TIMEOUT)?;
+    let mut sink: Box<dyn std::io::Write> = match &args.out {
+        Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut rows = 0usize;
+    let terminal = client::stream_request(stream, &args.request, |line| {
+        writeln!(sink, "{line}").map_err(berry_serve::ServeError::Io)?;
+        rows += 1;
+        Ok(())
+    })?;
+    sink.flush()?;
+    drop(sink);
+    if terminal.status != "ok" {
+        let detail = terminal.error.unwrap_or_else(|| "unknown error".to_string());
+        eprintln!("server reported failure after {rows} rows: {detail}");
+        return Err(detail.into());
+    }
+    if let Some(path) = &args.out {
+        eprintln!("streamed {rows} rows from {} into {path}", args.addr);
+    }
+    Ok(())
+}

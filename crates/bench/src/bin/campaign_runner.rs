@@ -14,7 +14,7 @@
 //! ```text
 //! campaign_runner [--scale smoke|quick|paper] [--seed N] [--serial]
 //!                 [--out rows.jsonl] [--summary summary.json] [--store DIR]
-//!                 [--resume] [--max-rows N]
+//!                 [--resume] [--max-rows N] [--serve [--addr HOST:PORT]]
 //! ```
 //!
 //! Defaults: scale/seed from `BERRY_SCALE` / `BERRY_SEED` (quick / 2023),
@@ -37,6 +37,14 @@
 //! "interrupted"` summary) — CI uses it to interrupt a campaign
 //! deterministically and then prove `--resume` completes it.
 //!
+//! **Serve.** `--serve` turns the runner into the resident evaluation
+//! server from `berry-serve`: it binds `--addr` (default
+//! `127.0.0.1:7878`), keeps one policy store warm across requests, and
+//! streams campaign/axis rows to any number of `campaign_client`
+//! processes until a shutdown request arrives.  Served rows are
+//! byte-identical to this binary's own `--out` artifact — the CI
+//! service-smoke job `cmp`s exactly that.
+//!
 //! With `--store DIR`, trained Classical/BERRY pairs persist as
 //! content-addressed flat-weight records: a rerun of the same campaign (or
 //! any table runner sharing the seed and scale) retrains **zero** policies
@@ -58,7 +66,7 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: campaign_runner [--scale smoke|quick|paper] [--seed N] \
                      [--serial] [--out rows.jsonl] [--summary summary.json] [--store DIR] \
-                     [--resume] [--max-rows N]";
+                     [--resume] [--max-rows N] [--serve [--addr HOST:PORT]]";
 
 struct Args {
     config: CampaignConfig,
@@ -68,6 +76,8 @@ struct Args {
     store_dir: Option<String>,
     resume: bool,
     max_rows: Option<usize>,
+    serve: bool,
+    addr: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
         store_dir: None,
         resume: false,
         max_rows: None,
+        serve: false,
+        addr: "127.0.0.1:7878".to_string(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -119,6 +131,8 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.max_rows = Some(n);
             }
+            "--serve" => args.serve = true,
+            "--addr" => args.addr = value(&mut i, "--addr")?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -129,6 +143,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.serial && (args.resume || args.max_rows.is_some()) {
         return Err("--resume/--max-rows need the sharded engine (drop --serial)".to_string());
+    }
+    if args.serve && (args.serial || args.resume || args.max_rows.is_some()) {
+        return Err("--serve is a resident server; drop --serial/--resume/--max-rows".to_string());
     }
     Ok(args)
 }
@@ -261,6 +278,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(dir) => PolicyStore::with_dir(dir)?,
         None => store_from_env(),
     };
+    if args.serve {
+        // Resident service mode: the campaign flags above still pick the
+        // store, but scale/seed/grid come per request from each client.
+        let server = berry_serve::Server::bind(&args.addr, store)?;
+        println!("serving campaign requests on {}", server.local_addr()?);
+        server.run()?;
+        print_store_stats(server.store());
+        println!("server shut down");
+        return Ok(());
+    }
     let grid = args.config.grid();
     println!(
         "grid:  {} scenarios, base seed {}, {} execution",

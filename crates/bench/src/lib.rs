@@ -31,14 +31,11 @@ pub const DEFAULT_SEED: u64 = 2023;
 
 /// Parses an experiment-scale name (`smoke`, `quick`, `paper`/`full`,
 /// case-insensitive).  Returns `None` for anything else so callers can
-/// distinguish "not given" from "given but wrong".
+/// distinguish "not given" from "given but wrong".  Thin alias of
+/// [`ExperimentScale::parse`] — the CLI, the env var and the service wire
+/// protocol all share that one parser.
 pub fn parse_scale(name: &str) -> Option<ExperimentScale> {
-    match name.to_lowercase().as_str() {
-        "smoke" => Some(ExperimentScale::Smoke),
-        "quick" => Some(ExperimentScale::Quick),
-        "paper" | "full" => Some(ExperimentScale::Paper),
-        _ => None,
-    }
+    ExperimentScale::parse(name)
 }
 
 /// Reads the experiment scale from `BERRY_SCALE` (default: `quick`).
@@ -82,10 +79,11 @@ pub fn store_from_env() -> PolicyStore {
 pub fn print_store_stats(store: &PolicyStore) {
     let stats = store.stats();
     println!(
-        "store: trained {} policies, {} memory hits, {} disk hits{}",
+        "store: trained {} policies, {} memory hits, {} disk hits, {} in-flight joins{}",
         stats.trained,
         stats.memory_hits,
         stats.disk_hits,
+        stats.inflight_joins,
         store
             .dir()
             .map(|d| format!(" ({})", d.display()))

@@ -1,0 +1,101 @@
+//! Failure-path behavior of the `campaign_runner` binary.
+//!
+//! The contract: a campaign that fails mid-run exits non-zero with the
+//! *original* cell/sink error as the cause, writes an `"status":
+//! "error"` summary when it can — and when even that write fails (the
+//! disk is what broke in the first place), the secondary I/O failure is
+//! *logged* to stderr instead of silently swallowed or allowed to shadow
+//! the real error.
+
+use std::process::Command;
+
+fn runner() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_campaign_runner"))
+}
+
+/// `/dev/full` fails every write with ENOSPC — the cheapest way to make
+/// the row sink error deterministically on a real file descriptor.
+#[cfg(target_os = "linux")]
+#[test]
+fn failed_campaign_writes_error_summary_and_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("berry-runner-fail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let summary = dir.join("summary.json");
+    let output = runner()
+        .args([
+            "--scale",
+            "smoke",
+            "--seed",
+            "5",
+            "--out",
+            "/dev/full",
+            "--summary",
+            summary.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runner must spawn");
+    assert!(!output.status.success(), "a failed sink must fail the run");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("campaign failed"),
+        "stderr must name the failure: {stderr}"
+    );
+    assert!(
+        stderr.contains("failed to stream campaign row"),
+        "the sink error must be the reported cause: {stderr}"
+    );
+    // The summary still landed, and says "error".
+    let written = std::fs::read_to_string(&summary).unwrap();
+    assert!(written.contains("\"status\": \"error\""), "summary: {written}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// When the summary path itself is unwritable, the secondary failure is
+/// logged — but the exit cause stays the original campaign error.
+#[cfg(target_os = "linux")]
+#[test]
+fn unwritable_summary_is_logged_without_shadowing_the_cell_error() {
+    let output = runner()
+        .args([
+            "--scale",
+            "smoke",
+            "--seed",
+            "5",
+            "--out",
+            "/dev/full",
+            "--summary",
+            "/nonexistent-dir/summary.json",
+        ])
+        .output()
+        .expect("runner must spawn");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("could not write error summary /nonexistent-dir/summary.json"),
+        "the secondary I/O failure must be logged: {stderr}"
+    );
+    assert!(
+        stderr.contains("campaign failed") && stderr.contains("failed to stream campaign row"),
+        "the original sink error must stay the exit cause: {stderr}"
+    );
+}
+
+#[test]
+fn conflicting_flags_are_rejected_before_any_work() {
+    for args in [
+        vec!["--serial", "--resume"],
+        vec!["--serial", "--max-rows", "2"],
+        vec!["--serve", "--resume"],
+        vec!["--serve", "--serial"],
+        vec!["--serve", "--max-rows", "1"],
+        vec!["--max-rows", "0"],
+        vec!["--scale", "galactic"],
+    ] {
+        let output = runner().args(&args).output().expect("runner must spawn");
+        assert!(
+            !output.status.success(),
+            "`{args:?}` must be rejected at argument parsing"
+        );
+    }
+}

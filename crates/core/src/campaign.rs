@@ -36,6 +36,7 @@ use crate::evaluate::{
 };
 use crate::experiment::ExperimentScale;
 use crate::robust::LearningMode;
+use crate::rows::{encode_json_f64 as json_f64, encode_json_string as json_string};
 use crate::scenario::{Scenario, ScenarioMode, DEPLOY_VOLTAGE_FLOOR_NORM};
 use crate::store::{PairRequest, PolicyStore, TrainedPair};
 use crate::Result;
@@ -290,39 +291,23 @@ impl CampaignRow {
     /// Serializes the row as one JSON-lines record.
     ///
     /// Hand-rolled (the workspace vendors a serde API shim without a JSON
-    /// backend); keys are stable and floats are emitted with full `{:?}`
-    /// round-trip precision so artifacts diff cleanly across runs.  Every
-    /// scalar field of the row is serialized — [`crate::rows::ParsedRow`]
-    /// reconstructs the row bit-for-bit from this line, which is what makes
+    /// backend); keys are stable and finite floats are emitted with full
+    /// `{:?}` round-trip precision so artifacts diff cleanly across runs,
+    /// while non-finite floats are emitted as `null` (see
+    /// [`crate::rows::encode_json_f64`]) so every line is valid JSON even
+    /// for degenerate cells (e.g. a zero-success cell's NaN
+    /// `mean_success_distance`).  Every scalar field of the row is
+    /// serialized — [`crate::rows::ParsedRow`] reconstructs the row
+    /// bit-for-bit from this line (non-finite values come back as NaN,
+    /// which re-encodes as the same `null` bytes), which is what makes
     /// `--resume` artifacts byte-identical to one-shot runs.
     pub fn to_json_line(&self) -> String {
-        let stats = |s: &EvalStats| {
-            format!(
-                "{{\"episodes\":{},\"success_rate\":{:?},\"collision_rate\":{:?},\
-                 \"timeout_rate\":{:?},\"mean_return\":{:?},\"mean_steps\":{:?},\
-                 \"mean_distance\":{:?},\"mean_success_distance\":{:?}}}",
-                s.episodes,
-                s.success_rate,
-                s.collision_rate,
-                s.timeout_rate,
-                s.mean_return,
-                s.mean_steps,
-                s.mean_distance,
-                s.mean_success_distance
-            )
-        };
         format!(
             "{{\"index\":{},\"id\":{},\"density\":{},\"platform\":{},\"policy\":{},\
-             \"mode\":{},\"chip\":{},\"variant\":{},\"seed\":{},\"voltage_norm\":{:?},\
-             \"ber\":{:?},\"classical_train_success\":{:?},\"berry_train_success\":{:?},\
+             \"mode\":{},\"chip\":{},\"variant\":{},\"seed\":{},\"voltage_norm\":{},\
+             \"ber\":{},\"classical_train_success\":{},\"berry_train_success\":{},\
              \"robust_updates\":{},\"classical_nav\":{},\"berry_nav\":{},\
-             \"processing\":{{\"voltage_norm\":{:?},\"frequency_hz\":{:?},\"latency_s\":{:?},\
-             \"energy_per_inference_j\":{:?},\"compute_power_w\":{:?},\
-             \"savings_vs_nominal\":{:?},\"savings_vs_vmin\":{:?},\"tdp_w\":{:?},\
-             \"heatsink_mass_g\":{:?},\"utilization\":{:?}}},\
-             \"quality_of_flight\":{{\"success_rate\":{:?},\"flight_distance_m\":{:?},\
-             \"flight_time_s\":{:?},\"flight_energy_j\":{:?},\
-             \"rotor_power_w\":{:?},\"compute_power_w\":{:?},\"num_missions\":{:?}}}}}",
+             \"processing\":{},\"quality_of_flight\":{}}}",
             self.index,
             json_string(&self.id),
             json_string(self.scenario.density.label()),
@@ -332,50 +317,73 @@ impl CampaignRow {
             json_string(&self.scenario.chip),
             json_string(self.scenario.variant.label()),
             self.seed,
-            self.voltage_norm,
-            self.ber,
-            self.classical_train_success,
-            self.berry_train_success,
+            json_f64(self.voltage_norm),
+            json_f64(self.ber),
+            json_f64(self.classical_train_success),
+            json_f64(self.berry_train_success),
             self.robust_updates,
-            stats(&self.classical_nav),
-            stats(&self.berry_nav),
-            self.processing.voltage_norm,
-            self.processing.frequency_hz,
-            self.processing.latency_s,
-            self.processing.energy_per_inference_j,
-            self.processing.compute_power_w,
-            self.processing.savings_vs_nominal,
-            self.processing.savings_vs_vmin,
-            self.processing.tdp_w,
-            self.processing.heatsink_mass_g,
-            self.processing.utilization,
-            self.quality_of_flight.success_rate,
-            self.quality_of_flight.flight_distance_m,
-            self.quality_of_flight.flight_time_s,
-            self.quality_of_flight.flight_energy_j,
-            self.quality_of_flight.rotor_power_w,
-            self.quality_of_flight.compute_power_w,
-            self.quality_of_flight.num_missions,
+            eval_stats_json(&self.classical_nav),
+            eval_stats_json(&self.berry_nav),
+            processing_json(&self.processing),
+            quality_of_flight_json(&self.quality_of_flight),
         )
     }
 }
 
-/// Minimal JSON string quoting for the label/name values the rows carry.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+/// Serializes [`EvalStats`] as a JSON object (shared by campaign rows and
+/// the served axis-result lines).
+pub(crate) fn eval_stats_json(s: &EvalStats) -> String {
+    format!(
+        "{{\"episodes\":{},\"success_rate\":{},\"collision_rate\":{},\
+         \"timeout_rate\":{},\"mean_return\":{},\"mean_steps\":{},\
+         \"mean_distance\":{},\"mean_success_distance\":{}}}",
+        s.episodes,
+        json_f64(s.success_rate),
+        json_f64(s.collision_rate),
+        json_f64(s.timeout_rate),
+        json_f64(s.mean_return),
+        json_f64(s.mean_steps),
+        json_f64(s.mean_distance),
+        json_f64(s.mean_success_distance),
+    )
 }
+
+/// Serializes a [`ProcessingReport`] as a JSON object.
+pub(crate) fn processing_json(p: &ProcessingReport) -> String {
+    format!(
+        "{{\"voltage_norm\":{},\"frequency_hz\":{},\"latency_s\":{},\
+         \"energy_per_inference_j\":{},\"compute_power_w\":{},\
+         \"savings_vs_nominal\":{},\"savings_vs_vmin\":{},\"tdp_w\":{},\
+         \"heatsink_mass_g\":{},\"utilization\":{}}}",
+        json_f64(p.voltage_norm),
+        json_f64(p.frequency_hz),
+        json_f64(p.latency_s),
+        json_f64(p.energy_per_inference_j),
+        json_f64(p.compute_power_w),
+        json_f64(p.savings_vs_nominal),
+        json_f64(p.savings_vs_vmin),
+        json_f64(p.tdp_w),
+        json_f64(p.heatsink_mass_g),
+        json_f64(p.utilization),
+    )
+}
+
+/// Serializes [`QualityOfFlight`] as a JSON object.
+pub(crate) fn quality_of_flight_json(q: &QualityOfFlight) -> String {
+    format!(
+        "{{\"success_rate\":{},\"flight_distance_m\":{},\"flight_time_s\":{},\
+         \"flight_energy_j\":{},\"rotor_power_w\":{},\"compute_power_w\":{},\
+         \"num_missions\":{}}}",
+        json_f64(q.success_rate),
+        json_f64(q.flight_distance_m),
+        json_f64(q.flight_time_s),
+        json_f64(q.flight_energy_j),
+        json_f64(q.rotor_power_w),
+        json_f64(q.compute_power_w),
+        json_f64(q.num_missions),
+    )
+}
+
 
 /// Aggregate of a finished campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -468,15 +476,15 @@ impl CampaignSummary {
         };
         format!(
             "{{\n  \"status\": \"ok\",\n  \"scenarios\": {},\n  \"episodes\": {},\n  \
-             \"mean_classical_success\": {:?},\n  \"mean_berry_success\": {:?},\n  \
-             \"berry_wins_or_ties\": {:?},\n  \"mean_energy_savings\": {:?},\n\
+             \"mean_classical_success\": {},\n  \"mean_berry_success\": {},\n  \
+             \"berry_wins_or_ties\": {},\n  \"mean_energy_savings\": {},\n\
              {}  \"best_cell\": {},\n  \"worst_cell\": {}\n}}\n",
             self.scenarios,
             self.episodes,
-            self.mean_classical_success,
-            self.mean_berry_success,
-            self.berry_wins_or_ties,
-            self.mean_energy_savings,
+            json_f64(self.mean_classical_success),
+            json_f64(self.mean_berry_success),
+            json_f64(self.berry_wins_or_ties),
+            json_f64(self.mean_energy_savings),
             scheduler_line,
             json_string(&self.best_cell),
             json_string(&self.worst_cell),
@@ -858,6 +866,43 @@ pub struct AxisCell {
     pub seed: u64,
     /// Results of the cell's evaluation axes, in request order.
     pub axis_results: Vec<AxisResult>,
+}
+
+impl AxisCell {
+    /// Serializes the cell as JSON-lines records, **one line per axis
+    /// result** — the wire format `berry-serve` streams for axis requests.
+    ///
+    /// Optional fields (`voltage_norm`, `processing`, `quality_of_flight`
+    /// on navigation-only axes) are emitted as `null`; floats follow the
+    /// campaign-row convention (`{:?}` finite, `null` non-finite).
+    pub fn to_json_lines(&self) -> Vec<String> {
+        self.axis_results
+            .iter()
+            .enumerate()
+            .map(|(axis_index, r)| {
+                format!(
+                    "{{\"index\":{},\"id\":{},\"seed\":{},\"axis\":{},\"label\":{},\
+                     \"scheme\":{},\"voltage_norm\":{},\"ber\":{},\"nav\":{},\
+                     \"processing\":{},\"quality_of_flight\":{}}}",
+                    self.index,
+                    json_string(&self.id),
+                    self.seed,
+                    axis_index,
+                    json_string(&r.label),
+                    json_string(&r.scheme),
+                    r.voltage_norm.map_or_else(|| "null".to_string(), json_f64),
+                    json_f64(r.ber),
+                    eval_stats_json(&r.nav),
+                    r.processing
+                        .as_ref()
+                        .map_or_else(|| "null".to_string(), processing_json),
+                    r.quality_of_flight
+                        .as_ref()
+                        .map_or_else(|| "null".to_string(), quality_of_flight_json),
+                )
+            })
+            .collect()
+    }
 }
 
 /// Runs a grid slice evaluating **only** the requested axes per cell —

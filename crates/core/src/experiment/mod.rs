@@ -57,6 +57,29 @@ pub enum ExperimentScale {
 }
 
 impl ExperimentScale {
+    /// Parses a scale name (`smoke`, `quick`, `paper`/`full`,
+    /// case-insensitive).  Returns `None` for anything else so callers can
+    /// distinguish "not given" from "given but wrong" — the single parser
+    /// behind the harness `BERRY_SCALE` env var, the runner CLI flags and
+    /// the `berry-serve` wire protocol.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_lowercase().as_str() {
+            "smoke" => Some(ExperimentScale::Smoke),
+            "quick" => Some(ExperimentScale::Quick),
+            "paper" | "full" => Some(ExperimentScale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name [`ExperimentScale::parse`] inverts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentScale::Smoke => "smoke",
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Paper => "paper",
+        }
+    }
+
     /// Training configuration for this scale.
     pub fn trainer_config(self) -> TrainerConfig {
         match self {

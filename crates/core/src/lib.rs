@@ -68,11 +68,15 @@ pub mod store;
 
 pub use campaign::{
     pair_request_for, plan_cells, run_axes_grid_in, run_campaign, run_campaign_in,
-    run_campaign_serial, run_grid, run_grid_resumable_in, run_grid_serial, run_grid_streamed,
-    run_grid_streamed_in, scenario_seed, AxisCell, AxisResult, CampaignConfig, CampaignRow,
+    run_campaign_serial, run_grid, run_grid_resumable_in, run_grid_serial, run_grid_serial_in,
+    run_grid_streamed, run_grid_streamed_in, scenario_seed, AxisCell, AxisResult, CampaignConfig,
+    CampaignRow,
     CampaignSummary, CellPlan, CompletedSet, EvalAxis, OperatingPoint, PolicyRole, SchedulerStats,
 };
-pub use rows::{load_resume_state, ParsedRow, ResumeState};
+pub use rows::{
+    encode_json_f64, encode_json_string, load_resume_state, parse_json_line, JsonValue,
+    ParsedRow, ResumeState,
+};
 pub use error::CoreError;
 pub use evaluate::{FaultEvaluationConfig, MissionEvaluation};
 pub use perturb::NetworkPerturber;

@@ -4,12 +4,24 @@
 //!
 //! The workspace vendors a serde API shim without a JSON backend, so this
 //! module carries a deliberately minimal hand-rolled JSON reader: just the
-//! grammar `to_json_line` emits (objects, strings, numbers, arrays),
-//! parsed exactly.  Floats round-trip bit-for-bit because the writer uses
-//! `{:?}` (shortest-repr) formatting and the reader uses
-//! `f64::from_str`, which inverts it — the round-trip tests in this
-//! module and `tests/campaign_resume.rs` pin that property, and the CI
-//! interrupt-resume job relies on it for byte-identical artifacts.
+//! grammar `to_json_line` emits (objects, strings, numbers, arrays, and
+//! the `null`/`true`/`false` literals), parsed exactly.  Finite floats
+//! round-trip bit-for-bit because the writer uses `{:?}` (shortest-repr)
+//! formatting and the reader uses `f64::from_str`, which inverts it; a
+//! **non-finite** float is written as `null` (valid JSON, unlike the
+//! `NaN`/`inf` tokens `{:?}` would produce) and decodes back to
+//! `f64::NAN`, so artifacts stay parseable by external JSON consumers and
+//! the *line bytes* still round-trip exactly.  The round-trip tests in
+//! this module and `tests/campaign_resume.rs` pin those properties, and
+//! the CI interrupt-resume job relies on them for byte-identical
+//! artifacts.
+//!
+//! Number tokens are validated against the JSON number grammar at scan
+//! time — `inf`, `nan`, `+1.0`, `01` and friends are parse errors, not
+//! values that break downstream — and the reader is exposed as
+//! [`JsonValue`] / [`parse_json_line`] so other consumers (the
+//! `berry-serve` wire protocol, the service client's row re-validation)
+//! share one JSON reader instead of growing their own.
 //!
 //! [`load_resume_state`] layers the resume semantics on top: every line of
 //! an existing `rows.jsonl` is parsed and validated against the campaign's
@@ -28,9 +40,10 @@ use berry_rl::eval::EvalStats;
 use berry_uav::flight::QualityOfFlight;
 use std::collections::BTreeMap;
 
-/// A minimal JSON value — only what campaign row lines contain.
+/// A minimal JSON value — the grammar campaign artifacts and the
+/// `berry-serve` wire protocol are written in.
 #[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
+pub enum JsonValue {
     /// Key/value pairs in source order.
     Object(Vec<(String, JsonValue)>),
     /// Array elements in source order.
@@ -40,47 +53,180 @@ enum JsonValue {
     /// A number kept as its raw token, parsed on access so integers stay
     /// exact and floats round-trip.
     Number(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null` — how the row writer spells a non-finite float.
+    Null,
 }
 
 impl JsonValue {
-    fn get<'a>(&'a self, key: &str) -> Result<&'a JsonValue> {
+    /// Looks up `key` in an object, erroring if absent (or not an object).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an object or lacks `key`.
+    pub fn get<'a>(&'a self, key: &str) -> Result<&'a JsonValue> {
+        self.key(key)
+            .ok_or_else(|| parse_error(format!("missing key `{key}`")))
+    }
+
+    /// Looks up `key` in an object, returning `None` if absent — the
+    /// accessor for optional protocol fields.
+    pub fn key<'a>(&'a self, key: &str) -> Option<&'a JsonValue> {
         match self {
-            JsonValue::Object(pairs) => pairs
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| parse_error(format!("missing key `{key}`"))),
-            _ => Err(parse_error(format!("expected object looking up `{key}`"))),
+            JsonValue::Object(pairs) => {
+                pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
         }
     }
 
-    fn str_field(&self, key: &str) -> Result<String> {
-        match self.get(key)? {
-            JsonValue::String(s) => Ok(s.clone()),
-            _ => Err(parse_error(format!("key `{key}` is not a string"))),
+    /// Whether `self` is an object carrying `key` (used to sniff terminal
+    /// status lines out of a row stream).
+    pub fn has_key(&self, key: &str) -> bool {
+        self.key(key).is_some()
+    }
+
+    /// The value as a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not a string.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            _ => Err(parse_error("expected a string")),
         }
     }
 
-    fn f64_field(&self, key: &str) -> Result<f64> {
-        match self.get(key)? {
-            JsonValue::Number(raw) => raw
-                .parse::<f64>()
-                .map_err(|_| parse_error(format!("key `{key}`: bad float `{raw}`"))),
-            _ => Err(parse_error(format!("key `{key}` is not a number"))),
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not an array.
+    pub fn as_array(&self) -> Result<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            _ => Err(parse_error("expected an array")),
         }
     }
 
-    fn u64_field(&self, key: &str) -> Result<u64> {
-        match self.get(key)? {
+    /// The value as a `u64` (exact integer tokens only).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not an unsigned-integer number.
+    pub fn as_u64(&self) -> Result<u64> {
+        match self {
             JsonValue::Number(raw) => raw
                 .parse::<u64>()
-                .map_err(|_| parse_error(format!("key `{key}`: bad integer `{raw}`"))),
-            _ => Err(parse_error(format!("key `{key}` is not a number"))),
+                .map_err(|_| parse_error(format!("bad integer `{raw}`"))),
+            _ => Err(parse_error("expected a number")),
         }
     }
 
-    fn usize_field(&self, key: &str) -> Result<usize> {
+    /// The value as an `f64`; JSON `null` decodes to [`f64::NAN`] — the
+    /// read-side inverse of the writer emitting `null` for non-finite
+    /// floats.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not a number or `null`.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            JsonValue::Number(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| parse_error(format!("bad float `{raw}`"))),
+            JsonValue::Null => Ok(f64::NAN),
+            _ => Err(parse_error("expected a number or null")),
+        }
+    }
+
+    /// String field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `key` is absent or not a string.
+    pub fn str_field(&self, key: &str) -> Result<String> {
+        self.get(key)?
+            .as_str()
+            .map(str::to_string)
+            .map_err(|_| parse_error(format!("key `{key}` is not a string")))
+    }
+
+    /// Float field of an object (`null` → NaN, see [`JsonValue::as_f64`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `key` is absent or neither number nor `null`.
+    pub fn f64_field(&self, key: &str) -> Result<f64> {
+        self.get(key)?
+            .as_f64()
+            .map_err(|_| parse_error(format!("key `{key}` is not a number")))
+    }
+
+    /// Unsigned-integer field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `key` is absent or not an unsigned integer.
+    pub fn u64_field(&self, key: &str) -> Result<u64> {
+        self.get(key)?
+            .as_u64()
+            .map_err(|_| parse_error(format!("key `{key}` is not an integer")))
+    }
+
+    /// [`JsonValue::u64_field`] narrowed to `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `key` is absent or not an unsigned integer.
+    pub fn usize_field(&self, key: &str) -> Result<usize> {
         self.u64_field(key).map(|v| v as usize)
+    }
+}
+
+/// Parses one complete JSON line (value plus end-of-input check) — the
+/// shared entry point of every JSON-lines consumer in the workspace.
+///
+/// # Errors
+///
+/// Returns an error if the text is not exactly one JSON value.
+pub fn parse_json_line(text: &str) -> Result<JsonValue> {
+    let mut reader = Reader::new(text);
+    let value = reader.value()?;
+    reader.finish(value)
+}
+
+/// Serializes a string as a JSON string token (quotes, escapes) — the
+/// write-side twin of the reader's string decoding.
+#[must_use]
+pub fn encode_json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes an `f64` as a JSON number token: `{:?}` (shortest
+/// round-trip repr) for finite values, `null` for NaN/infinities — `{:?}`
+/// would emit the invalid tokens `NaN` / `inf` and silently corrupt the
+/// artifact for any standards-conforming consumer.
+#[must_use]
+pub fn encode_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -134,8 +280,23 @@ impl<'a> Reader<'a> {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(_) => self.number(),
             None => Err(parse_error("unexpected end of line")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(parse_error(format!(
+                "expected `{word}` at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -252,9 +413,13 @@ impl<'a> Reader<'a> {
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| parse_error("invalid UTF-8 in number"))?;
-        // Validate now so garbage fails at parse time, not on field access.
-        raw.parse::<f64>()
-            .map_err(|_| parse_error(format!("bad number token `{raw}`")))?;
+        // Validate against the JSON number grammar now, so garbage fails at
+        // parse time, not on field access.  A bare `f64::from_str` check
+        // would wave through `inf`, `nan`, `+1.0` and leading zeros — all
+        // invalid JSON that only breaks downstream consumers.
+        if !is_json_number(raw) {
+            return Err(parse_error(format!("bad number token `{raw}`")));
+        }
         Ok(JsonValue::Number(raw.to_string()))
     }
 
@@ -266,6 +431,53 @@ impl<'a> Reader<'a> {
             Err(parse_error(format!("trailing bytes at {}", self.pos)))
         }
     }
+}
+
+/// Whether `raw` matches the JSON number grammar:
+/// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
+///
+/// Strictly narrower than what `f64::from_str` accepts — no `inf`, `nan`,
+/// leading `+`, leading zeros, trailing dot or bare exponent.
+fn is_json_number(raw: &str) -> bool {
+    let b = raw.as_bytes();
+    let mut i = 0;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    // Integer part: `0` alone, or a nonzero digit followed by any digits.
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while b.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    // Optional fraction: `.` followed by at least one digit.
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        if !b.get(i).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+    }
+    // Optional exponent: `e`/`E`, optional sign, at least one digit.
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !b.get(i).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+    }
+    i == b.len()
 }
 
 fn eval_stats(value: &JsonValue) -> Result<EvalStats> {
@@ -352,9 +564,7 @@ impl ParsedRow {
     /// truncated line fails here, which is how [`load_resume_state`]
     /// detects a killed run's final partial write.
     pub fn parse(line: &str) -> Result<Self> {
-        let mut reader = Reader::new(line);
-        let value = reader.value()?;
-        let value = reader.finish(value)?;
+        let value = parse_json_line(line)?;
         Ok(Self {
             index: value.usize_field("index")?,
             id: value.str_field("id")?,
@@ -618,6 +828,88 @@ mod tests {
         // Exact integer fields stay exact at u64 range.
         let value = Reader::new("{\"seed\":18446744073709551615}").value().unwrap();
         assert_eq!(value.u64_field("seed").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn number_tokens_follow_the_json_grammar() {
+        for good in [
+            "0", "-0", "7", "-7", "10", "0.5", "-0.5", "3.25", "1e9", "1E9", "1e+9", "1e-9",
+            "-3.25e-7", "0.0001", "18446744073709551615",
+        ] {
+            assert!(is_json_number(good), "`{good}` must be accepted");
+            assert!(
+                Reader::new(good).value().is_ok(),
+                "`{good}` must scan as a number"
+            );
+        }
+        // Everything here parses under bare `f64::from_str` (the old
+        // validator) but is NOT a JSON number — it must fail at scan time.
+        for bad in [
+            "inf", "-inf", "infinity", "+1.0", "1.", ".5", "01", "-01", "00", "1e", "1e+", "5.",
+            "+5", "--1", "-", "1.2.3", "0x10",
+        ] {
+            assert!(!is_json_number(bad), "`{bad}` must be rejected");
+            let mut reader = Reader::new(bad);
+            let outcome = reader.value().and_then(|v| reader.finish(v));
+            assert!(outcome.is_err(), "`{bad}` must not parse as a value");
+        }
+        // `nan`/`NaN` now collide with the `null` literal path or the
+        // number scanner — either way they are parse errors, not values.
+        for bad in ["nan", "NaN", "-nan"] {
+            assert!(parse_json_line(bad).is_err(), "`{bad}` must not parse");
+        }
+        // Embedded in an object the rejection still happens at parse time.
+        assert!(parse_json_line("{\"x\":inf}").is_err());
+        assert!(parse_json_line("{\"x\":+1.0}").is_err());
+    }
+
+    #[test]
+    fn literals_parse_and_null_decodes_to_nan() {
+        let value = parse_json_line(r#"{"a":null,"b":true,"c":false}"#).unwrap();
+        assert_eq!(value.get("a").unwrap(), &JsonValue::Null);
+        assert_eq!(value.get("b").unwrap(), &JsonValue::Bool(true));
+        assert_eq!(value.get("c").unwrap(), &JsonValue::Bool(false));
+        assert!(value.f64_field("a").unwrap().is_nan());
+        // Truncated/misspelled literals are errors, not numbers.
+        for bad in ["nul", "nulll", "True", "fals"] {
+            assert!(parse_json_line(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn zero_success_rows_round_trip_through_null() {
+        // A cell where no evaluation episode succeeds has no defined mean
+        // success distance; force the NaN the aggregation would produce and
+        // pin the whole writer→parser round trip.  Before the fix the line
+        // contained the bare token `NaN` — invalid JSON that any external
+        // consumer (and this parser) rejects.
+        let (_, plan) = smoke_plan();
+        let mut row = smoke_row(&plan, 0);
+        row.classical_nav.mean_success_distance = f64::NAN;
+        row.quality_of_flight.flight_distance_m = f64::NEG_INFINITY;
+        let line = row.to_json_line();
+        // `{:?}` would print the tokens right after the key's colon (the
+        // bare substring "inf" also appears in "energy_per_inference_j").
+        assert!(
+            !line.contains(":NaN") && !line.contains(":inf") && !line.contains(":-inf"),
+            "non-finite floats must not leak raw {{:?}} tokens: {line}"
+        );
+        assert!(line.contains("\"mean_success_distance\":null"));
+        let parsed = ParsedRow::parse(&line).unwrap();
+        assert!(parsed.classical_nav.mean_success_distance.is_nan());
+        // Infinities also decode as NaN: `null` is deliberately lossy
+        // about *which* non-finite value was written.
+        assert!(parsed.quality_of_flight.flight_distance_m.is_nan());
+        // The artifact bytes still round-trip exactly (NaN re-encodes as
+        // null), which is what `--resume`'s verbatim rewrite relies on.
+        let rebuilt = parsed.into_row(&plan[0].scenario);
+        // flight_distance was -inf on the way in, NaN on the way out —
+        // both spell `null`, so the bytes must already match.
+        assert_eq!(rebuilt.to_json_line(), line, "byte-exact round trip through null");
+        // And the resume loader accepts the row.
+        let state = load_resume_state(&line, &plan).unwrap();
+        assert!(state.row(0).unwrap().classical_nav.mean_success_distance.is_nan());
+        assert_eq!(state.line(0), Some(line.as_str()));
     }
 
     #[test]

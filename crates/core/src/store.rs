@@ -186,10 +186,15 @@ pub struct TrainedPair {
 pub struct StoreStats {
     /// Pairs trained from scratch by this store instance.
     pub trained: u64,
-    /// Requests served from the in-memory map.
+    /// Requests served from the in-memory map (including in-flight joins).
     pub memory_hits: u64,
     /// Requests served from the on-disk layer.
     pub disk_hits: u64,
+    /// The subset of `memory_hits` that arrived while the pair was still
+    /// **being trained** and blocked on the in-flight run instead of
+    /// retraining — the dedup signal `berry-serve` reports when N
+    /// concurrent clients request the same cell.
+    pub inflight_joins: u64,
 }
 
 type Slot = Arc<OnceLock<std::result::Result<Arc<TrainedPair>, CoreError>>>;
@@ -208,6 +213,7 @@ pub struct PolicyStore {
     trained: AtomicU64,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
+    inflight_joins: AtomicU64,
 }
 
 impl Default for PolicyStore {
@@ -225,6 +231,7 @@ impl PolicyStore {
             trained: AtomicU64::new(0),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            inflight_joins: AtomicU64::new(0),
         }
     }
 
@@ -260,6 +267,7 @@ impl PolicyStore {
             trained: self.trained.load(Ordering::Relaxed),
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            inflight_joins: self.inflight_joins.load(Ordering::Relaxed),
         }
     }
 
@@ -277,6 +285,10 @@ impl PolicyStore {
             let mut slots = self.slots.lock().expect("policy-store lock poisoned");
             Arc::clone(slots.entry(key).or_default())
         };
+        // Distinguish a hit on a *finished* slot from joining a training
+        // still in flight: the join blocks inside `get_or_init` until the
+        // initializing thread finishes, sharing its single training run.
+        let was_complete = slot.get().is_some();
         let mut initialized = false;
         let outcome = slot.get_or_init(|| {
             initialized = true;
@@ -296,6 +308,9 @@ impl PolicyStore {
         });
         if !initialized {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            if !was_complete {
+                self.inflight_joins.fetch_add(1, Ordering::Relaxed);
+            }
         }
         outcome.clone()
     }
@@ -570,6 +585,34 @@ mod tests {
         assert_eq!(first.classical.param_count(), first.berry.param_count());
         assert_ne!(first.classical.to_flat_weights(), first.berry.to_flat_weights());
         assert!(first.robust_updates > 0);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_training_and_count_joins() {
+        let store = PolicyStore::in_memory();
+        let request = smoke_request(21);
+        const CLIENTS: usize = 4;
+        let pairs: Vec<Arc<TrainedPair>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| scope.spawn(|| store.get_or_train(&request).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in &pairs[1..] {
+            assert!(Arc::ptr_eq(&pairs[0], pair));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.trained, 1, "duplicates must share one training");
+        assert_eq!(stats.memory_hits as usize, CLIENTS - 1);
+        // Every non-training client either joined in flight or hit the
+        // finished slot; joins never exceed the hit count.
+        assert!(stats.inflight_joins <= stats.memory_hits);
+        // A request after completion is a plain hit, not a join.
+        let joins_before = stats.inflight_joins;
+        store.get_or_train(&request).unwrap();
+        let after = store.stats();
+        assert_eq!(after.memory_hits as usize, CLIENTS);
+        assert_eq!(after.inflight_joins, joins_before);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Client helpers: connect, send one request, stream the response.
+//!
+//! The client re-validates everything it relays: campaign row lines must
+//! parse as full [`ParsedRow`]s and axis lines as JSON before they are
+//! handed to the caller *verbatim* — so a client writing lines straight
+//! to a `rows.jsonl` file produces an artifact byte-identical to
+//! `campaign_runner`'s, already proven well-formed.
+
+use berry_core::{parse_json_line, ParsedRow};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::error::{protocol_error, Result, ServeError};
+use crate::protocol::{Request, Terminal};
+
+/// Connects to `addr`, retrying until `timeout` elapses — covers the CI
+/// race where the client starts before the server finishes binding.
+///
+/// # Errors
+///
+/// Returns the last connect error once the timeout is spent.
+pub fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() >= deadline => return Err(ServeError::Io(e)),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Sends `request` over `stream` and drains the response: every non-terminal
+/// line goes through `on_line` (raw, without the trailing newline), and the
+/// terminal line is returned parsed.
+///
+/// # Errors
+///
+/// Returns an error on socket failure, on a line that is not valid JSON,
+/// or if the stream ends without a terminal line.
+pub fn stream_request(
+    stream: TcpStream,
+    request: &Request,
+    mut on_line: impl FnMut(&str) -> Result<()>,
+) -> Result<Terminal> {
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    writeln!(writer, "{}", request.to_json_line())?;
+    writer.flush()?;
+    let validate_rows = matches!(request, Request::Campaign { .. });
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let value = parse_json_line(&line)
+            .map_err(|e| protocol_error(format!("bad response line: {e}")))?;
+        if Terminal::is_terminal(&value) {
+            return Terminal::from_value(value);
+        }
+        if validate_rows {
+            // Campaign rows must be complete, well-formed artifact lines
+            // before the caller writes them anywhere.
+            ParsedRow::parse(&line)
+                .map_err(|e| protocol_error(format!("bad campaign row from server: {e}")))?;
+        }
+        on_line(&line)?;
+    }
+    Err(protocol_error(
+        "response stream ended without a terminal status line",
+    ))
+}
+
+/// One-shot request against `addr` (no retry): connect, stream, return the
+/// terminal line.
+///
+/// # Errors
+///
+/// Propagates [`stream_request`] errors.
+pub fn request(
+    addr: &str,
+    request: &Request,
+    on_line: impl FnMut(&str) -> Result<()>,
+) -> Result<Terminal> {
+    stream_request(TcpStream::connect(addr)?, request, on_line)
+}
+
+/// Fetches the server's metrics line, parsed.
+///
+/// # Errors
+///
+/// Returns an error if the connection or the metrics response fails.
+pub fn fetch_metrics(addr: &str) -> Result<Terminal> {
+    let terminal = request(addr, &Request::Metrics, |_| Ok(()))?;
+    if terminal.status == "metrics" {
+        Ok(terminal)
+    } else {
+        Err(protocol_error(format!(
+            "expected a metrics line, got status `{}`",
+            terminal.status
+        )))
+    }
+}
+
+/// Asks the server to stop accepting connections.
+///
+/// # Errors
+///
+/// Returns an error if the connection fails or the server does not
+/// acknowledge.
+pub fn shutdown(addr: &str) -> Result<()> {
+    let terminal = request(addr, &Request::Shutdown, |_| Ok(()))?;
+    if terminal.status == "ok" {
+        Ok(())
+    } else {
+        Err(protocol_error(format!(
+            "shutdown not acknowledged: status `{}`",
+            terminal.status
+        )))
+    }
+}

@@ -1,0 +1,57 @@
+//! The service error type: socket failures, protocol violations, and
+//! engine errors, kept separate so callers can tell *whose* fault a
+//! failed request was.
+
+use berry_core::CoreError;
+
+/// Everything that can go wrong on one connection or request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (connect, read, write, bind).
+    Io(std::io::Error),
+    /// The peer spoke something that is not the wire protocol (bad JSON,
+    /// unknown request kind, out-of-range cell index).
+    Protocol(String),
+    /// The campaign engine rejected or failed the request.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Core(e) => write!(f, "campaign error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Protocol(_) => None,
+            ServeError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Convenience constructor mirroring `CoreError::InvalidConfig` usage.
+pub(crate) fn protocol_error(detail: impl std::fmt::Display) -> ServeError {
+    ServeError::Protocol(detail.to_string())
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

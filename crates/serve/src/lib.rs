@@ -1,0 +1,64 @@
+//! # berry-serve
+//!
+//! Campaign-as-a-service: a resident evaluation server over one shared
+//! [`berry_core::PolicyStore`].
+//!
+//! Large resilience characterizations are many-client sweep workloads —
+//! dozens of voltage/BER grid slices against the same trained policy
+//! pairs.  Instead of every client paying the training cost, a resident
+//! server keeps the store warm: requests arrive as single JSON lines over
+//! localhost TCP, execute through the deterministic campaign engine, and
+//! stream their rows back as JSON lines **byte-identical** to a direct
+//! `campaign_runner` artifact.  Concurrent requests for the same cell
+//! deduplicate onto one training run via the store's fingerprint slots.
+//!
+//! The crate is intentionally std-only (hand-rolled framing and JSON,
+//! matching the workspace's vendored-shim policy):
+//!
+//! * [`protocol`] — request/response wire format and its parser,
+//! * [`server`] — the thread-per-connection server with bounded-channel
+//!   backpressure,
+//! * [`client`] — connect/stream/validate helpers the `campaign_client`
+//!   binary and tests share,
+//! * [`metrics`] — serving counters surfaced by the `metrics` request.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use berry_core::experiment::ExperimentScale;
+//! use berry_core::PolicyStore;
+//! use berry_serve::{client, protocol::Request, server::Server};
+//!
+//! # fn main() -> Result<(), berry_serve::ServeError> {
+//! let server = Server::bind("127.0.0.1:0", PolicyStore::in_memory())?;
+//! let addr = server.local_addr()?.to_string();
+//! std::thread::spawn(move || server.run());
+//!
+//! let request = Request::Campaign {
+//!     scale: ExperimentScale::Smoke,
+//!     base_seed: 2023,
+//!     cells: None,
+//! };
+//! let terminal = client::request(&addr, &request, |row| {
+//!     println!("{row}");
+//!     Ok(())
+//! })?;
+//! assert_eq!(terminal.status, "ok");
+//! client::shutdown(&addr)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use error::{Result, ServeError};
+pub use metrics::ServeMetrics;
+pub use protocol::{Request, Terminal};
+pub use server::{Server, STREAM_QUEUE_CAPACITY};

@@ -1,0 +1,159 @@
+//! Serving counters — the `/metrics`-style observability of the server.
+//!
+//! Everything here is timing-dependent telemetry, never results: the
+//! counters live beside (not inside) the row streams, mirroring how
+//! `SchedulerStats` rides on the summary line a byte-comparison filters
+//! out.
+
+use berry_core::campaign::SchedulerStats;
+use berry_core::{encode_json_string, StoreStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cumulative counters of one server's lifetime plus the scheduler
+/// telemetry of its most recent campaign run.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted.
+    connections: AtomicU64,
+    /// Connections currently being served.
+    active_connections: AtomicU64,
+    /// Requests parsed successfully.
+    requests: AtomicU64,
+    /// Response row lines written to sockets.
+    rows_streamed: AtomicU64,
+    /// Rows sitting in bounded channels right now (enqueued by engine
+    /// threads, not yet written to a socket).
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth` — how hard backpressure worked.
+    max_queue_depth: AtomicU64,
+    /// Streams that died on a socket error (client gone mid-stream).
+    stream_errors: AtomicU64,
+    /// Scheduler telemetry of the most recent grid run.
+    last_scheduler: Mutex<Option<SchedulerStats>>,
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted connection; pair with [`Self::connection_done`].
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.active_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished connection.
+    pub fn connection_done(&self) {
+        self.active_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a successfully parsed request.
+    pub fn request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a row entering a bounded stream channel.
+    pub fn row_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a row leaving its channel (whether or not it reaches the
+    /// socket).
+    pub fn row_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` rows discarded with their channel when a stream died —
+    /// keeps `queue_depth` honest on the error path.
+    pub fn rows_dropped(&self, n: u64) {
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Records a row successfully written to a socket.
+    pub fn row_streamed(&self) {
+        self.rows_streamed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a stream dying on a socket write error.
+    pub fn stream_error(&self) {
+        self.stream_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Remembers the scheduler telemetry of the run that just finished.
+    pub fn record_run(&self, stats: SchedulerStats) {
+        *self.last_scheduler.lock().expect("metrics lock poisoned") = Some(stats);
+    }
+
+    /// Serializes the counters (plus the shared store's stats) as the
+    /// single-line metrics response.
+    #[must_use]
+    pub fn to_json(&self, store: &StoreStats) -> String {
+        let scheduler = self
+            .last_scheduler
+            .lock()
+            .expect("metrics lock poisoned")
+            .as_ref()
+            .map_or_else(|| "null".to_string(), SchedulerStats::to_json);
+        format!(
+            "{{\"status\":{},\"connections\":{},\"active_connections\":{},\
+             \"requests\":{},\"rows_streamed\":{},\"queue_depth\":{},\
+             \"max_queue_depth\":{},\"stream_errors\":{},\
+             \"store\":{{\"trained\":{},\"memory_hits\":{},\"disk_hits\":{},\
+             \"inflight_joins\":{}}},\"scheduler\":{}}}",
+            encode_json_string("metrics"),
+            self.connections.load(Ordering::Relaxed),
+            self.active_connections.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.rows_streamed.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
+            self.max_queue_depth.load(Ordering::Relaxed),
+            self.stream_errors.load(Ordering::Relaxed),
+            store.trained,
+            store.memory_hits,
+            store.disk_hits,
+            store.inflight_joins,
+            scheduler,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berry_core::parse_json_line;
+
+    #[test]
+    fn metrics_line_is_valid_json_and_tracks_queue_high_water() {
+        let metrics = ServeMetrics::new();
+        metrics.connection_opened();
+        metrics.request();
+        metrics.row_enqueued();
+        metrics.row_enqueued();
+        metrics.row_dequeued();
+        metrics.row_streamed();
+        metrics.connection_done();
+        let stats = StoreStats {
+            trained: 4,
+            memory_hits: 3,
+            disk_hits: 0,
+            inflight_joins: 2,
+        };
+        let line = metrics.to_json(&stats);
+        let value = parse_json_line(&line).unwrap();
+        assert_eq!(value.str_field("status").unwrap(), "metrics");
+        assert_eq!(value.u64_field("connections").unwrap(), 1);
+        assert_eq!(value.u64_field("active_connections").unwrap(), 0);
+        assert_eq!(value.u64_field("rows_streamed").unwrap(), 1);
+        assert_eq!(value.u64_field("queue_depth").unwrap(), 1);
+        assert_eq!(value.u64_field("max_queue_depth").unwrap(), 2);
+        let store = value.get("store").unwrap();
+        assert_eq!(store.u64_field("trained").unwrap(), 4);
+        assert_eq!(store.u64_field("inflight_joins").unwrap(), 2);
+        assert_eq!(value.get("scheduler").unwrap(), &berry_core::JsonValue::Null);
+    }
+}

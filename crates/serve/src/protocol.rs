@@ -1,0 +1,410 @@
+//! The wire protocol: JSON-lines over a localhost TCP connection.
+//!
+//! One connection carries **one request line** down and a stream of
+//! response lines back:
+//!
+//! ```text
+//! client → {"kind":"campaign","scale":"smoke","base_seed":2023}
+//! server → {"index":0,...}                         one CampaignRow line per cell,
+//! server → {"index":1,...}                         byte-identical to campaign_runner's
+//! server → {"status":"ok","rows":4,"scheduler":{...}}
+//! ```
+//!
+//! Row lines never carry a top-level `"status"` key, so the client
+//! detects the terminal line by exactly that key — no length prefixes,
+//! no sentinels inside the rows themselves.  Requests:
+//!
+//! * `{"kind":"campaign","scale":S,"base_seed":N}` — run the scale's full
+//!   scenario grid; optional `"cells":[i,...]` serves only those grid
+//!   indices (seeds still derive from the **global** grid position, so a
+//!   subset's rows are byte-identical to the same rows of a full run).
+//! * `{"kind":"axes","scale":S,"base_seed":N,"axes":[{"label":L,
+//!   "role":"classical"|"berry","point":{"kind":...}}]}` — evaluate the
+//!   listed axes over the full grid, one response line per (cell, axis).
+//! * `{"kind":"metrics"}` — one line of serving counters and store stats.
+//! * `{"kind":"shutdown"}` — acknowledge, then stop accepting connections.
+
+use berry_core::campaign::{EvalAxis, OperatingPoint, PolicyRole, SchedulerStats};
+use berry_core::experiment::ExperimentScale;
+use berry_core::{encode_json_f64, encode_json_string, parse_json_line, JsonValue};
+
+use crate::error::{protocol_error, Result};
+
+/// A parsed request line — everything a connection can ask for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (a slice of) the scenario grid of `scale` and stream its
+    /// [`berry_core::CampaignRow`] lines.
+    Campaign {
+        /// Which grid (and per-cell compute) to run.
+        scale: ExperimentScale,
+        /// Base seed of the campaign's deterministic seed families.
+        base_seed: u64,
+        /// Grid indices to serve; `None` means the whole grid.
+        cells: Option<Vec<usize>>,
+    },
+    /// Evaluate extra axes over the full grid of `scale`, one response
+    /// line per (cell, axis) result.
+    Axes {
+        /// Which grid (and per-cell compute) to run.
+        scale: ExperimentScale,
+        /// Base seed of the campaign's deterministic seed families.
+        base_seed: u64,
+        /// The axes every cell evaluates, in request order.
+        axes: Vec<EvalAxis>,
+    },
+    /// Report serving counters, store stats and the last run's scheduler
+    /// telemetry as a single line.
+    Metrics,
+    /// Acknowledge, then stop accepting new connections.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request as its one-line wire form.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Request::Campaign {
+                scale,
+                base_seed,
+                cells,
+            } => {
+                let cells = cells.as_ref().map_or(String::new(), |cells| {
+                    let items: Vec<String> = cells.iter().map(ToString::to_string).collect();
+                    format!(",\"cells\":[{}]", items.join(","))
+                });
+                format!(
+                    "{{\"kind\":\"campaign\",\"scale\":{},\"base_seed\":{base_seed}{cells}}}",
+                    encode_json_string(scale.name()),
+                )
+            }
+            Request::Axes {
+                scale,
+                base_seed,
+                axes,
+            } => {
+                let axes: Vec<String> = axes.iter().map(axis_to_json).collect();
+                format!(
+                    "{{\"kind\":\"axes\",\"scale\":{},\"base_seed\":{base_seed},\
+                     \"axes\":[{}]}}",
+                    encode_json_string(scale.name()),
+                    axes.join(","),
+                )
+            }
+            Request::Metrics => "{\"kind\":\"metrics\"}".to_string(),
+            Request::Shutdown => "{\"kind\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error if the line is not valid JSON or not a
+    /// known request shape.
+    pub fn parse(line: &str) -> Result<Request> {
+        let value = parse_json_line(line).map_err(protocol_error)?;
+        let kind = value.str_field("kind").map_err(protocol_error)?;
+        match kind.as_str() {
+            "campaign" => {
+                let (scale, base_seed) = scale_and_seed(&value)?;
+                let cells = match value.key("cells") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(list) => Some(
+                        list.as_array()
+                            .map_err(protocol_error)?
+                            .iter()
+                            .map(|v| v.as_u64().map(|i| i as usize).map_err(protocol_error))
+                            .collect::<Result<Vec<usize>>>()?,
+                    ),
+                };
+                Ok(Request::Campaign {
+                    scale,
+                    base_seed,
+                    cells,
+                })
+            }
+            "axes" => {
+                let (scale, base_seed) = scale_and_seed(&value)?;
+                let axes = value
+                    .get("axes")
+                    .and_then(JsonValue::as_array)
+                    .map_err(protocol_error)?
+                    .iter()
+                    .map(axis_from_json)
+                    .collect::<Result<Vec<EvalAxis>>>()?;
+                if axes.is_empty() {
+                    return Err(protocol_error("axes request needs at least one axis"));
+                }
+                Ok(Request::Axes {
+                    scale,
+                    base_seed,
+                    axes,
+                })
+            }
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(protocol_error(format!("unknown request kind `{other}`"))),
+        }
+    }
+}
+
+fn scale_and_seed(value: &JsonValue) -> Result<(ExperimentScale, u64)> {
+    let name = value.str_field("scale").map_err(protocol_error)?;
+    let scale = ExperimentScale::parse(&name)
+        .ok_or_else(|| protocol_error(format!("unknown scale `{name}` (smoke|quick|paper)")))?;
+    let base_seed = value.u64_field("base_seed").map_err(protocol_error)?;
+    Ok((scale, base_seed))
+}
+
+fn role_name(role: PolicyRole) -> &'static str {
+    match role {
+        PolicyRole::Classical => "classical",
+        PolicyRole::Berry => "berry",
+    }
+}
+
+fn role_from_name(name: &str) -> Result<PolicyRole> {
+    match name {
+        "classical" => Ok(PolicyRole::Classical),
+        "berry" => Ok(PolicyRole::Berry),
+        other => Err(protocol_error(format!(
+            "unknown policy role `{other}` (classical|berry)"
+        ))),
+    }
+}
+
+fn point_to_json(point: &OperatingPoint) -> String {
+    match point {
+        OperatingPoint::ErrorFree => "{\"kind\":\"error_free\"}".to_string(),
+        OperatingPoint::Ber(ber) => {
+            format!("{{\"kind\":\"ber\",\"ber\":{}}}", encode_json_f64(*ber))
+        }
+        OperatingPoint::MissionAtVoltage(v) => format!(
+            "{{\"kind\":\"mission_at_voltage\",\"voltage_norm\":{}}}",
+            encode_json_f64(*v)
+        ),
+        OperatingPoint::MissionAtDeployVoltage => {
+            "{\"kind\":\"mission_at_deploy_voltage\"}".to_string()
+        }
+        OperatingPoint::MissionAtBer(ber) => format!(
+            "{{\"kind\":\"mission_at_ber\",\"ber\":{}}}",
+            encode_json_f64(*ber)
+        ),
+        OperatingPoint::MissionOnChip { chip, ber } => format!(
+            "{{\"kind\":\"mission_on_chip\",\"chip\":{},\"ber\":{}}}",
+            encode_json_string(chip),
+            encode_json_f64(*ber),
+        ),
+    }
+}
+
+fn point_from_json(value: &JsonValue) -> Result<OperatingPoint> {
+    let kind = value.str_field("kind").map_err(protocol_error)?;
+    let finite = |key: &str| -> Result<f64> {
+        let v = value.f64_field(key).map_err(protocol_error)?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(protocol_error(format!("`{key}` must be finite")))
+        }
+    };
+    match kind.as_str() {
+        "error_free" => Ok(OperatingPoint::ErrorFree),
+        "ber" => Ok(OperatingPoint::Ber(finite("ber")?)),
+        "mission_at_voltage" => Ok(OperatingPoint::MissionAtVoltage(finite("voltage_norm")?)),
+        "mission_at_deploy_voltage" => Ok(OperatingPoint::MissionAtDeployVoltage),
+        "mission_at_ber" => Ok(OperatingPoint::MissionAtBer(finite("ber")?)),
+        "mission_on_chip" => Ok(OperatingPoint::MissionOnChip {
+            chip: value.str_field("chip").map_err(protocol_error)?,
+            ber: finite("ber")?,
+        }),
+        other => Err(protocol_error(format!(
+            "unknown operating-point kind `{other}`"
+        ))),
+    }
+}
+
+fn axis_to_json(axis: &EvalAxis) -> String {
+    format!(
+        "{{\"label\":{},\"role\":{},\"point\":{}}}",
+        encode_json_string(&axis.label),
+        encode_json_string(role_name(axis.role)),
+        point_to_json(&axis.point),
+    )
+}
+
+fn axis_from_json(value: &JsonValue) -> Result<EvalAxis> {
+    Ok(EvalAxis {
+        label: value.str_field("label").map_err(protocol_error)?,
+        role: role_from_name(&value.str_field("role").map_err(protocol_error)?)?,
+        point: point_from_json(value.get("point").map_err(protocol_error)?)?,
+    })
+}
+
+/// Builds the success terminal line of a row stream.
+#[must_use]
+pub fn ok_line(rows: usize, scheduler: &SchedulerStats) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"rows\":{rows},\"scheduler\":{}}}",
+        scheduler.to_json()
+    )
+}
+
+/// Builds the failure terminal line of a row stream.
+#[must_use]
+pub fn error_line(rows: usize, error: &str) -> String {
+    format!(
+        "{{\"status\":\"error\",\"rows\":{rows},\"error\":{}}}",
+        encode_json_string(error)
+    )
+}
+
+/// The terminal line of a response stream, parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Terminal {
+    /// `"ok"`, `"error"` or `"metrics"`.
+    pub status: String,
+    /// Rows streamed before this line (0 for metrics/shutdown).
+    pub rows: usize,
+    /// The failure, when `status == "error"`.
+    pub error: Option<String>,
+    /// The whole terminal object, for consumers that want the scheduler
+    /// telemetry or metrics counters.
+    pub value: JsonValue,
+}
+
+impl Terminal {
+    /// Whether a parsed response line is a terminal line rather than a
+    /// row (rows never carry a top-level `"status"` key).
+    #[must_use]
+    pub fn is_terminal(value: &JsonValue) -> bool {
+        value.has_key("status")
+    }
+
+    /// Interprets a parsed terminal line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error if required keys are missing.
+    pub fn from_value(value: JsonValue) -> Result<Terminal> {
+        let status = value.str_field("status").map_err(protocol_error)?;
+        let rows = match value.key("rows") {
+            Some(v) => v.as_u64().map_err(protocol_error)? as usize,
+            None => 0,
+        };
+        let error = match value.key("error") {
+            Some(v) => Some(v.as_str().map_err(protocol_error)?.to_string()),
+            None => None,
+        };
+        Ok(Terminal {
+            status,
+            rows,
+            error,
+            value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(request: &Request) {
+        let line = request.to_json_line();
+        let parsed = Request::parse(&line).unwrap();
+        assert_eq!(&parsed, request, "wire round trip of {line}");
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        round_trip(&Request::Campaign {
+            scale: ExperimentScale::Smoke,
+            base_seed: 2023,
+            cells: None,
+        });
+        round_trip(&Request::Campaign {
+            scale: ExperimentScale::Paper,
+            base_seed: 7,
+            cells: Some(vec![0, 2, 17]),
+        });
+        round_trip(&Request::Axes {
+            scale: ExperimentScale::Quick,
+            base_seed: 11,
+            axes: vec![
+                EvalAxis::new("error-free", PolicyRole::Classical, OperatingPoint::ErrorFree),
+                EvalAxis::new("p=1e-3", PolicyRole::Berry, OperatingPoint::Ber(0.001)),
+                EvalAxis::new(
+                    "mission@0.8",
+                    PolicyRole::Berry,
+                    OperatingPoint::MissionAtVoltage(0.8),
+                ),
+                EvalAxis::new(
+                    "deploy",
+                    PolicyRole::Classical,
+                    OperatingPoint::MissionAtDeployVoltage,
+                ),
+                EvalAxis::new(
+                    "mission@ber",
+                    PolicyRole::Berry,
+                    OperatingPoint::MissionAtBer(0.005),
+                ),
+                EvalAxis::new(
+                    "cross-chip",
+                    PolicyRole::Berry,
+                    OperatingPoint::MissionOnChip {
+                        chip: "chip-a-profiled".to_string(),
+                        ber: 0.001,
+                    },
+                ),
+            ],
+        });
+        round_trip(&Request::Metrics);
+        round_trip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"kind\":\"teapot\"}",
+            "{\"kind\":\"campaign\"}",
+            "{\"kind\":\"campaign\",\"scale\":\"huge\",\"base_seed\":1}",
+            "{\"kind\":\"campaign\",\"scale\":\"smoke\",\"base_seed\":-1}",
+            "{\"kind\":\"campaign\",\"scale\":\"smoke\",\"base_seed\":1,\"cells\":[-1]}",
+            "{\"kind\":\"axes\",\"scale\":\"smoke\",\"base_seed\":1,\"axes\":[]}",
+            "{\"kind\":\"axes\",\"scale\":\"smoke\",\"base_seed\":1,\
+             \"axes\":[{\"label\":\"x\",\"role\":\"quantum\",\
+             \"point\":{\"kind\":\"error_free\"}}]}",
+            "{\"kind\":\"axes\",\"scale\":\"smoke\",\"base_seed\":1,\
+             \"axes\":[{\"label\":\"x\",\"role\":\"berry\",\
+             \"point\":{\"kind\":\"ber\",\"ber\":null}}]}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn terminal_lines_parse_and_rows_are_not_terminal() {
+        let stats = SchedulerStats::idle(0);
+        let ok = parse_json_line(&ok_line(4, &stats)).unwrap();
+        assert!(Terminal::is_terminal(&ok));
+        let terminal = Terminal::from_value(ok).unwrap();
+        assert_eq!(terminal.status, "ok");
+        assert_eq!(terminal.rows, 4);
+        assert!(terminal.error.is_none());
+        assert!(terminal.value.key("scheduler").is_some());
+
+        let err = parse_json_line(&error_line(2, "cell `x` failed")).unwrap();
+        let terminal = Terminal::from_value(err).unwrap();
+        assert_eq!(terminal.status, "error");
+        assert_eq!(terminal.rows, 2);
+        assert_eq!(terminal.error.as_deref(), Some("cell `x` failed"));
+
+        let row_like = parse_json_line("{\"index\":0,\"id\":\"cell\"}").unwrap();
+        assert!(!Terminal::is_terminal(&row_like));
+    }
+}

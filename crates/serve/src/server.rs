@@ -1,0 +1,318 @@
+//! The resident evaluation server: thread-per-connection over localhost
+//! TCP, one shared [`PolicyStore`], bounded-channel backpressure.
+//!
+//! Every connection carries one request (see [`crate::protocol`]).  A
+//! campaign request runs the engine on a dedicated thread whose row sink
+//! feeds a bounded channel; the connection thread drains the channel onto
+//! the socket.  A slow client therefore fills the channel and *blocks the
+//! engine* (bounded memory, no unbounded buffering); a vanished client
+//! breaks the channel, which surfaces as a sink error and cancels the
+//! remaining cells instead of burning their compute.
+//!
+//! Concurrent requests share the one store: N clients asking for the same
+//! cell resolve to the same pair fingerprint, and the store's `OnceLock`
+//! slots make the second requester **join the in-flight training** rather
+//! than retrain (counted as `inflight_joins` in the metrics).  Row bytes
+//! are produced by the same `CampaignRow::to_json_line` the
+//! `campaign_runner` artifact writer uses, so served rows are
+//! byte-identical to a direct run.
+
+use berry_core::campaign::{run_axes_grid_in, run_grid_resumable_in, CampaignConfig, EvalAxis};
+use berry_core::experiment::ExperimentScale;
+use berry_core::{CompletedSet, CoreError, PolicyStore, SchedulerStats, StoreStats};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+
+use crate::error::{protocol_error, Result, ServeError};
+use crate::metrics::ServeMetrics;
+use crate::protocol::{error_line, ok_line, Request};
+
+/// Rows a stream may buffer between the engine and a slow socket before
+/// the engine blocks — the backpressure bound.
+pub const STREAM_QUEUE_CAPACITY: usize = 64;
+
+/// A bound listener plus the state every connection shares.
+pub struct Server {
+    listener: TcpListener,
+    store: PolicyStore,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Binds the server to `addr` (e.g. `127.0.0.1:7878`, or port `0` for
+    /// an ephemeral test port) over the given store.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn bind(addr: &str, store: PolicyStore) -> Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            store,
+            metrics: ServeMetrics::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (reports the real port after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the socket has no local address.
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The store every request trains/loads through.
+    pub fn store(&self) -> &PolicyStore {
+        &self.store
+    }
+
+    /// Accepts and serves connections until a shutdown request arrives,
+    /// then waits for in-flight connections to finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `accept` itself fails; per-connection errors
+    /// are answered on that connection (and logged) without stopping the
+    /// server.
+    pub fn run(&self) -> Result<()> {
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = stream?;
+                scope.spawn(move || {
+                    self.metrics.connection_opened();
+                    if let Err(e) = self.handle(&stream) {
+                        eprintln!("serve: connection failed: {e}");
+                    }
+                    self.metrics.connection_done();
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// Serves one connection: read the request line, stream the response.
+    fn handle(&self, stream: &TcpStream) -> Result<()> {
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        let mut out = BufWriter::new(stream);
+        let request = match Request::parse(line.trim_end()) {
+            Ok(request) => request,
+            Err(e) => {
+                // A malformed request still gets a terminal line, so the
+                // client sees *why* instead of an empty stream.
+                writeln!(out, "{}", error_line(0, &e.to_string()))?;
+                out.flush()?;
+                return Err(e);
+            }
+        };
+        self.metrics.request();
+        match request {
+            Request::Campaign {
+                scale,
+                base_seed,
+                cells,
+            } => self.serve_campaign(&mut out, scale, base_seed, cells.as_deref()),
+            Request::Axes {
+                scale,
+                base_seed,
+                axes,
+            } => self.serve_axes(&mut out, scale, base_seed, &axes),
+            Request::Metrics => {
+                writeln!(out, "{}", self.metrics.to_json(&self.store.stats()))?;
+                out.flush()?;
+                Ok(())
+            }
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                writeln!(out, "{}", ok_line(0, &SchedulerStats::idle(0)))?;
+                out.flush()?;
+                // `incoming()` is blocked in `accept`; a throwaway
+                // connection to ourselves wakes it so it can observe the
+                // flag and stop.
+                if let Ok(addr) = self.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs (a slice of) the scenario grid, streaming `CampaignRow` lines.
+    fn serve_campaign(
+        &self,
+        out: &mut BufWriter<&TcpStream>,
+        scale: ExperimentScale,
+        base_seed: u64,
+        cells: Option<&[usize]>,
+    ) -> Result<()> {
+        let grid = CampaignConfig { scale, base_seed }.grid();
+        // A cell subset is expressed through the resume path: marking every
+        // *other* index completed keeps each served cell at its global grid
+        // position, so its seeds — and therefore its row bytes — are
+        // identical to the same cell of a full run.
+        let completed: CompletedSet = match cells {
+            Some(cells) => {
+                if let Some(&bad) = cells.iter().find(|&&i| i >= grid.len()) {
+                    let e = protocol_error(format!(
+                        "cell index {bad} out of range for the {} {}-cell grid",
+                        scale.name(),
+                        grid.len(),
+                    ));
+                    writeln!(out, "{}", error_line(0, &e.to_string()))?;
+                    out.flush()?;
+                    return Err(e);
+                }
+                (0..grid.len()).filter(|i| !cells.contains(i)).collect()
+            }
+            None => CompletedSet::empty(),
+        };
+        let before = self.store.stats();
+        let mut rows_streamed = 0usize;
+        let outcome = self.stream_rows(out, &mut rows_streamed, |sink| {
+            run_grid_resumable_in(
+                &grid,
+                scale,
+                base_seed,
+                &self.store,
+                &[],
+                &completed,
+                &|_| {},
+                |_, row| sink(row.to_json_line()),
+            )
+            .map(|(_, stats)| stats)
+        })?;
+        if let Ok(stats) = &outcome {
+            self.metrics.record_run(stats.clone());
+        }
+        self.finish_stream(out, rows_streamed, outcome)?;
+        self.log_request("campaign", scale, rows_streamed, &before);
+        Ok(())
+    }
+
+    /// Evaluates the requested axes over the full grid, streaming one line
+    /// per (cell, axis) result.
+    fn serve_axes(
+        &self,
+        out: &mut BufWriter<&TcpStream>,
+        scale: ExperimentScale,
+        base_seed: u64,
+        axes: &[EvalAxis],
+    ) -> Result<()> {
+        let grid = CampaignConfig { scale, base_seed }.grid();
+        let before = self.store.stats();
+        let mut rows_streamed = 0usize;
+        let outcome = self.stream_rows(out, &mut rows_streamed, |sink| {
+            let cells = run_axes_grid_in(&grid, scale, base_seed, &self.store, axes)?;
+            for cell in &cells {
+                for line in cell.to_json_lines() {
+                    sink(line)?;
+                }
+            }
+            Ok(SchedulerStats::idle(0))
+        })?;
+        self.finish_stream(out, rows_streamed, outcome)?;
+        self.log_request("axes", scale, rows_streamed, &before);
+        Ok(())
+    }
+
+    /// The streaming core shared by both request kinds: runs `engine` on
+    /// its own thread with a sink feeding a bounded channel, drains the
+    /// channel onto the socket, and reports how the engine ended.
+    ///
+    /// The outer `Result` is the socket's health; the inner one is the
+    /// engine's.
+    #[allow(clippy::type_complexity)]
+    fn stream_rows(
+        &self,
+        out: &mut BufWriter<&TcpStream>,
+        rows_streamed: &mut usize,
+        engine: impl FnOnce(
+                &mut dyn FnMut(String) -> berry_core::Result<()>,
+            ) -> berry_core::Result<SchedulerStats>
+            + Send,
+    ) -> Result<std::result::Result<SchedulerStats, CoreError>> {
+        let (tx, rx) = sync_channel::<String>(STREAM_QUEUE_CAPACITY);
+        let enqueued = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let metrics = &self.metrics;
+            let enqueued = &enqueued;
+            let engine_thread = scope.spawn(move || {
+                let mut sink = |line: String| -> berry_core::Result<()> {
+                    metrics.row_enqueued();
+                    enqueued.fetch_add(1, Ordering::Relaxed);
+                    tx.send(line).map_err(|_| {
+                        CoreError::InvalidConfig(
+                            "client stream closed; cancelling remaining cells".to_string(),
+                        )
+                    })
+                };
+                engine(&mut sink)
+            });
+            let mut socket_error: Option<std::io::Error> = None;
+            let mut dequeued: u64 = 0;
+            for line in &rx {
+                self.metrics.row_dequeued();
+                dequeued += 1;
+                if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+                    self.metrics.stream_error();
+                    socket_error = Some(e);
+                    // Dropping the receiver breaks the channel so the
+                    // engine's next send errors and cancels the run.
+                    break;
+                }
+                self.metrics.row_streamed();
+                *rows_streamed += 1;
+            }
+            drop(rx);
+            let outcome = engine_thread.join().expect("engine thread panicked");
+            // The join synchronizes with the engine's last send: any rows
+            // it enqueued that we never drained died with the channel.
+            self.metrics
+                .rows_dropped(enqueued.load(Ordering::Relaxed) - dequeued);
+            match socket_error {
+                Some(e) => Err(ServeError::Io(e)),
+                None => Ok(outcome),
+            }
+        })
+    }
+
+    /// Writes the terminal line matching how the engine ended.
+    fn finish_stream(
+        &self,
+        out: &mut BufWriter<&TcpStream>,
+        rows_streamed: usize,
+        outcome: std::result::Result<SchedulerStats, CoreError>,
+    ) -> Result<()> {
+        let line = match &outcome {
+            Ok(stats) => ok_line(rows_streamed, stats),
+            Err(e) => error_line(rows_streamed, &e.to_string()),
+        };
+        writeln!(out, "{line}")?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// One stdout line per served request, with the store-stat *deltas*
+    /// this request caused — "trained 0 policies" here is what the CI
+    /// service-smoke job greps to prove a warm rerun retrains nothing.
+    fn log_request(&self, kind: &str, scale: ExperimentScale, rows: usize, before: &StoreStats) {
+        let after = self.store.stats();
+        println!(
+            "serve: {kind} {} -> {rows} rows; store: trained {} policies, \
+             {} memory hits, {} disk hits, {} in-flight joins",
+            scale.name(),
+            after.trained - before.trained,
+            after.memory_hits - before.memory_hits,
+            after.disk_hits - before.disk_hits,
+            after.inflight_joins - before.inflight_joins,
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end contracts of the `berry-serve` evaluation service.
+//!
+//! Under test: (1) rows streamed through the server are **byte-identical**
+//! to the engine's direct artifact lines, whether the client asks for the
+//! whole grid or a cell subset; (2) N concurrent clients requesting the
+//! same cell train its pair exactly once (the store's in-flight dedup,
+//! observed through the service's own metrics endpoint) and receive
+//! bitwise-identical responses; (3) axis requests stream one well-formed
+//! line per (cell, axis); (4) protocol violations are answered with an
+//! error terminal line, not a dropped connection.
+
+use berry_core::campaign::{EvalAxis, OperatingPoint, PolicyRole};
+use berry_core::experiment::ExperimentScale;
+use berry_core::{parse_json_line, run_grid_serial_in, PolicyStore, Scenario};
+use berry_serve::{client, Request, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+const SERVICE_SEED: u64 = 0x5E2F_1CE5;
+
+/// One server over an in-memory store, shared by the tests that only read
+/// through it (same seed everywhere, so all requests hit the same four
+/// smoke fingerprints and the grid trains once per test binary).
+fn shared_server() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let server = Server::bind("127.0.0.1:0", PolicyStore::in_memory()).expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || server.run().expect("server run"));
+        addr
+    })
+}
+
+/// The direct-engine reference: the smoke grid's rows as artifact lines.
+fn reference_lines() -> &'static Vec<String> {
+    static LINES: OnceLock<Vec<String>> = OnceLock::new();
+    LINES.get_or_init(|| {
+        let store = PolicyStore::in_memory();
+        run_grid_serial_in(
+            &Scenario::smoke_grid(),
+            ExperimentScale::Smoke,
+            SERVICE_SEED,
+            &store,
+        )
+        .expect("smoke campaign must not error")
+        .iter()
+        .map(|row| row.to_json_line())
+        .collect()
+    })
+}
+
+fn campaign_request(cells: Option<Vec<usize>>) -> Request {
+    Request::Campaign {
+        scale: ExperimentScale::Smoke,
+        base_seed: SERVICE_SEED,
+        cells,
+    }
+}
+
+fn collect(addr: &str, request: &Request) -> (Vec<String>, berry_serve::Terminal) {
+    let mut lines = Vec::new();
+    let terminal = client::request(addr, request, |line| {
+        lines.push(line.to_string());
+        Ok(())
+    })
+    .expect("request must stream");
+    (lines, terminal)
+}
+
+#[test]
+fn served_rows_are_byte_identical_to_the_direct_artifact() {
+    let addr = shared_server();
+    let (lines, terminal) = collect(addr, &campaign_request(None));
+    assert_eq!(terminal.status, "ok");
+    assert_eq!(terminal.rows, lines.len());
+    assert_eq!(&lines, reference_lines(), "served bytes must match the engine's");
+    // The terminal line carries the run's scheduler telemetry.
+    assert!(terminal.value.key("scheduler").is_some());
+}
+
+#[test]
+fn cell_subsets_keep_global_seeds_and_bytes() {
+    let addr = shared_server();
+    let (lines, terminal) = collect(addr, &campaign_request(Some(vec![1, 3])));
+    assert_eq!(terminal.status, "ok");
+    let reference = reference_lines();
+    assert_eq!(lines, vec![reference[1].clone(), reference[3].clone()]);
+    // An empty subset is a legal no-op request.
+    let (lines, terminal) = collect(addr, &campaign_request(Some(vec![])));
+    assert_eq!(terminal.status, "ok");
+    assert!(lines.is_empty());
+}
+
+#[test]
+fn concurrent_same_cell_requests_train_once_and_match_bitwise() {
+    // A private server so the store counters below are exact.
+    let server = Server::bind("127.0.0.1:0", PolicyStore::in_memory()).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    const CLIENTS: usize = 4;
+    let request = campaign_request(Some(vec![0]));
+    let responses: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                let request = request.clone();
+                scope.spawn(move || {
+                    let (lines, terminal) = collect(&addr, &request);
+                    assert_eq!(terminal.status, "ok");
+                    lines
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    for response in &responses[1..] {
+        assert_eq!(
+            response, &responses[0],
+            "every concurrent client must receive identical bytes"
+        );
+    }
+    assert_eq!(responses[0].len(), 1, "one cell requested, one row served");
+
+    // Exactly one training for the shared fingerprint, observed through
+    // the service's own metrics endpoint; the other clients hit memory,
+    // some as joins on the in-flight run.
+    let metrics = client::fetch_metrics(&addr).expect("metrics");
+    let store = metrics.value.get("store").expect("store stats");
+    assert_eq!(store.u64_field("trained").unwrap(), 1);
+    assert_eq!(store.u64_field("memory_hits").unwrap(), (CLIENTS - 1) as u64);
+    assert!(
+        store.u64_field("inflight_joins").unwrap() <= (CLIENTS - 1) as u64,
+        "joins are a subset of memory hits"
+    );
+    assert_eq!(metrics.value.u64_field("rows_streamed").unwrap(), CLIENTS as u64);
+
+    client::shutdown(&addr).expect("shutdown");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server must exit cleanly");
+}
+
+#[test]
+fn axis_requests_stream_one_line_per_cell_axis() {
+    let addr = shared_server();
+    let request = Request::Axes {
+        scale: ExperimentScale::Smoke,
+        base_seed: SERVICE_SEED,
+        axes: vec![EvalAxis::new(
+            "error-free",
+            PolicyRole::Classical,
+            OperatingPoint::ErrorFree,
+        )],
+    };
+    let (lines, terminal) = collect(addr, &request);
+    assert_eq!(terminal.status, "ok");
+    assert_eq!(lines.len(), Scenario::smoke_grid().len());
+    for (index, line) in lines.iter().enumerate() {
+        let value = parse_json_line(line).expect("axis lines must be valid JSON");
+        assert_eq!(value.usize_field("index").unwrap(), index);
+        assert_eq!(value.str_field("label").unwrap(), "error-free");
+        assert_eq!(value.str_field("scheme").unwrap(), "Classical");
+        assert_eq!(value.f64_field("ber").unwrap(), 0.0);
+        // Navigation-only axes have no mission-level report.
+        assert_eq!(value.get("processing").unwrap(), &berry_core::JsonValue::Null);
+        assert!(value.get("nav").unwrap().key("success_rate").is_some());
+    }
+}
+
+#[test]
+fn protocol_violations_get_an_error_terminal_line() {
+    let addr = shared_server();
+
+    // Out-of-range cell index: refused before any cell runs.
+    let (lines, terminal) = collect(addr, &campaign_request(Some(vec![999])));
+    assert!(lines.is_empty());
+    assert_eq!(terminal.status, "error");
+    assert!(terminal.error.unwrap().contains("out of range"));
+
+    // Raw garbage instead of a request line: answered, not dropped.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "this is not json").expect("write");
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line).expect("read");
+    let value = parse_json_line(line.trim_end()).expect("error line must be JSON");
+    assert_eq!(value.str_field("status").unwrap(), "error");
+    assert!(value.str_field("error").unwrap().contains("protocol error"));
+}
