@@ -8,28 +8,41 @@
 //!
 //! ```text
 //! campaign_client [--addr HOST:PORT] [--scale smoke|quick|paper] [--seed N]
-//!                 [--cells i,j,...] [--out rows.jsonl]
+//!                 [--cells i,j,...] [--out rows.jsonl] [--retries N]
+//!                 [--backoff-seed N] [--connect-timeout-ms N]
 //! campaign_client --metrics | --shutdown
 //! ```
 //!
 //! Defaults: addr `127.0.0.1:7878`, scale/seed from `BERRY_SCALE` /
 //! `BERRY_SEED` (quick / 2023), rows to stdout.  The first connection
 //! retries for up to ten seconds, so CI can launch the client right
-//! after backgrounding the server.  Exits non-zero if the server reports
-//! an error terminal line — a failed cell fails the client, like the
-//! runner.
+//! after backgrounding the server.
+//!
+//! With `--retries N` the stream **self-heals**: a mid-stream disconnect
+//! (or an `overloaded` shed) reconnects with jittered backoff and
+//! re-requests only the cells not yet received — the reassembled artifact
+//! is byte-identical to an uninterrupted run.
+//!
+//! Exit codes: `0` success, `2` usage error, `3` transient failure
+//! (connection refused/dropped, overloaded — a retry may succeed), `4`
+//! protocol or engine failure (a retry would fail the same way).
 
 use berry_bench::{parse_scale, seed_from_env};
-use berry_serve::{client, Request};
+use berry_core::experiment::ExperimentScale;
+use berry_serve::{client, ServeError};
 use std::io::Write as _;
 use std::time::Duration;
 
 const USAGE: &str = "usage: campaign_client [--addr HOST:PORT] \
                      [--scale smoke|quick|paper] [--seed N] [--cells i,j,...] \
-                     [--out rows.jsonl] | --metrics | --shutdown";
+                     [--out rows.jsonl] [--retries N] [--backoff-seed N] \
+                     [--connect-timeout-ms N] | --metrics | --shutdown";
 
-/// How long the client keeps retrying its connection before giving up.
+/// How long the client keeps retrying its first connection by default.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Exit code for usage errors.
+const EXIT_USAGE: i32 = 2;
 
 enum Mode {
     Campaign,
@@ -40,8 +53,13 @@ enum Mode {
 struct Args {
     addr: String,
     mode: Mode,
-    request: Request,
+    scale: ExperimentScale,
+    base_seed: u64,
+    cells: Option<Vec<usize>>,
     out: Option<String>,
+    retries: usize,
+    backoff_seed: u64,
+    connect_timeout: Duration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
     let mut cells: Option<Vec<usize>> = None;
     let mut out = None;
     let mut mode = Mode::Campaign;
+    let mut retries = 0usize;
+    let mut backoff_seed = 0x42u64;
+    let mut connect_timeout = CONNECT_TIMEOUT;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -86,6 +107,25 @@ fn parse_args() -> Result<Args, String> {
                 cells = Some(parsed?);
             }
             "--out" => out = Some(value(&mut i, "--out")?),
+            "--retries" => {
+                let raw = value(&mut i, "--retries")?;
+                retries = raw
+                    .parse()
+                    .map_err(|_| format!("--retries needs a count, got `{raw}`"))?;
+            }
+            "--backoff-seed" => {
+                let raw = value(&mut i, "--backoff-seed")?;
+                backoff_seed = raw
+                    .parse()
+                    .map_err(|_| format!("--backoff-seed needs a u64, got `{raw}`"))?;
+            }
+            "--connect-timeout-ms" => {
+                let raw = value(&mut i, "--connect-timeout-ms")?;
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--connect-timeout-ms needs milliseconds, got `{raw}`"))?;
+                connect_timeout = Duration::from_millis(ms);
+            }
             "--metrics" => mode = Mode::Metrics,
             "--shutdown" => mode = Mode::Shutdown,
             "--help" | "-h" => {
@@ -99,17 +139,17 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         addr,
         mode,
-        request: Request::Campaign {
-            scale,
-            base_seed,
-            cells,
-        },
+        scale,
+        base_seed,
+        cells,
         out,
+        retries,
+        backoff_seed,
+        connect_timeout,
     })
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+fn run(args: &Args) -> berry_serve::Result<()> {
     match args.mode {
         Mode::Metrics => {
             let metrics = client::fetch_metrics(&args.addr)?;
@@ -133,26 +173,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         Mode::Campaign => {}
     }
-    let stream = client::connect_with_retry(&args.addr, CONNECT_TIMEOUT)?;
     let mut sink: Box<dyn std::io::Write> = match &args.out {
-        Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(ServeError::Io)?,
+        )),
         None => Box::new(std::io::stdout().lock()),
     };
-    let mut rows = 0usize;
-    let terminal = client::stream_request(stream, &args.request, |line| {
-        writeln!(sink, "{line}").map_err(berry_serve::ServeError::Io)?;
-        rows += 1;
-        Ok(())
-    })?;
-    sink.flush()?;
+    let report = client::stream_campaign_resumable(
+        &args.addr,
+        args.scale,
+        args.base_seed,
+        args.cells.as_deref(),
+        args.retries,
+        args.backoff_seed,
+        args.connect_timeout,
+        |line| {
+            writeln!(sink, "{line}").map_err(ServeError::Io)?;
+            Ok(())
+        },
+    )?;
+    sink.flush().map_err(ServeError::Io)?;
     drop(sink);
-    if terminal.status != "ok" {
-        let detail = terminal.error.unwrap_or_else(|| "unknown error".to_string());
-        eprintln!("server reported failure after {rows} rows: {detail}");
-        return Err(detail.into());
+    if report.reconnects > 0 {
+        eprintln!(
+            "stream healed: {} reconnects, {} rows reassembled",
+            report.reconnects, report.rows
+        );
     }
     if let Some(path) = &args.out {
-        eprintln!("streamed {rows} rows from {} into {path}", args.addr);
+        eprintln!(
+            "streamed {} rows from {} into {path}",
+            report.rows, args.addr
+        );
     }
     Ok(())
+}
+
+fn main() {
+    if let Err(e) = berry_core::failpoint::arm_from_env() {
+        eprintln!("campaign_client: bad BERRY_FAILPOINTS: {e}");
+        std::process::exit(EXIT_USAGE);
+    }
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("campaign_client: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    if let Err(e) = run(&args) {
+        // Exit code 3: transient (retry may succeed).  4: protocol/fatal.
+        eprintln!("campaign_client: {e}");
+        std::process::exit(e.exit_code());
+    }
 }

@@ -14,7 +14,8 @@
 //! ```text
 //! campaign_runner [--scale smoke|quick|paper] [--seed N] [--serial]
 //!                 [--out rows.jsonl] [--summary summary.json] [--store DIR]
-//!                 [--resume] [--max-rows N] [--serve [--addr HOST:PORT]]
+//!                 [--resume] [--max-rows N]
+//!                 [--serve [--addr HOST:PORT] [--max-connections N]]
 //! ```
 //!
 //! Defaults: scale/seed from `BERRY_SCALE` / `BERRY_SEED` (quick / 2023),
@@ -66,7 +67,8 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: campaign_runner [--scale smoke|quick|paper] [--seed N] \
                      [--serial] [--out rows.jsonl] [--summary summary.json] [--store DIR] \
-                     [--resume] [--max-rows N] [--serve [--addr HOST:PORT]]";
+                     [--resume] [--max-rows N] \
+                     [--serve [--addr HOST:PORT] [--max-connections N]]";
 
 struct Args {
     config: CampaignConfig,
@@ -78,6 +80,7 @@ struct Args {
     max_rows: Option<usize>,
     serve: bool,
     addr: String,
+    max_connections: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -94,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
         max_rows: None,
         serve: false,
         addr: "127.0.0.1:7878".to_string(),
+        max_connections: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -133,6 +137,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--serve" => args.serve = true,
             "--addr" => args.addr = value(&mut i, "--addr")?,
+            "--max-connections" => {
+                let raw = value(&mut i, "--max-connections")?;
+                let n: usize = raw.parse().map_err(|_| {
+                    format!("--max-connections needs a positive integer, got `{raw}`")
+                })?;
+                if n == 0 {
+                    return Err("--max-connections needs a positive integer, got `0`".to_string());
+                }
+                args.max_connections = Some(n);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -146,6 +160,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.serve && (args.serial || args.resume || args.max_rows.is_some()) {
         return Err("--serve is a resident server; drop --serial/--resume/--max-rows".to_string());
+    }
+    if args.max_connections.is_some() && !args.serve {
+        return Err("--max-connections only applies to --serve".to_string());
     }
     Ok(args)
 }
@@ -196,7 +213,8 @@ impl<'a> RowWriter<'a> {
             row.index, self.next_index,
             "fresh rows must arrive in grid order with no holes"
         );
-        writeln!(self.out, "{}", row.to_json_line())
+        berry_core::failpoint::io_check("rows.write")
+            .and_then(|()| writeln!(self.out, "{}", row.to_json_line()))
             .and_then(|()| self.out.flush())
             .map_err(|e| self.io_error(row.index, e))?;
         self.next_index += 1;
@@ -272,7 +290,18 @@ fn run(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    if let Err(e) = berry_core::failpoint::arm_from_env() {
+        eprintln!("campaign_runner: bad BERRY_FAILPOINTS: {e}");
+        std::process::exit(2);
+    }
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("campaign_runner: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
     print_header("scenario-grid campaign", args.config.scale);
     let store = match &args.store_dir {
         Some(dir) => PolicyStore::with_dir(dir)?,
@@ -281,7 +310,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if args.serve {
         // Resident service mode: the campaign flags above still pick the
         // store, but scale/seed/grid come per request from each client.
-        let server = berry_serve::Server::bind(&args.addr, store)?;
+        let config = berry_serve::ServerConfig {
+            max_connections: args
+                .max_connections
+                .unwrap_or(berry_serve::ServerConfig::default().max_connections),
+            ..berry_serve::ServerConfig::default()
+        };
+        let server = berry_serve::Server::bind_with(&args.addr, store, config)?;
         println!("serving campaign requests on {}", server.local_addr()?);
         server.run()?;
         print_store_stats(server.store());

@@ -75,15 +75,29 @@ pub fn store_from_env() -> PolicyStore {
 }
 
 /// Prints the store's hit/miss counters in the fixed format the CI
-/// cache-determinism job greps for.
+/// cache-determinism job greps for.  Resilience counters (persist errors,
+/// quarantined records, caught training panics) are *appended*, and only
+/// when nonzero — existing greps stay anchored on the unchanged prefix
+/// and fault-free output is byte-identical to before.
 pub fn print_store_stats(store: &PolicyStore) {
     let stats = store.stats();
+    let mut degraded = String::new();
+    for (label, count) in [
+        ("persist errors", stats.persist_errors),
+        ("corrupt quarantined", stats.corrupt_quarantined),
+        ("training panics", stats.training_panics),
+    ] {
+        if count > 0 {
+            degraded.push_str(&format!(", {count} {label}"));
+        }
+    }
     println!(
-        "store: trained {} policies, {} memory hits, {} disk hits, {} in-flight joins{}",
+        "store: trained {} policies, {} memory hits, {} disk hits, {} in-flight joins{}{}",
         stats.trained,
         stats.memory_hits,
         stats.disk_hits,
         stats.inflight_joins,
+        degraded,
         store
             .dir()
             .map(|d| format!(" ({})", d.display()))

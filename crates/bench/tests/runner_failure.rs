@@ -1,4 +1,5 @@
-//! Failure-path behavior of the `campaign_runner` binary.
+//! Failure-path behavior of the `campaign_runner` / `campaign_client`
+//! binaries.
 //!
 //! The contract: a campaign that fails mid-run exits non-zero with the
 //! *original* cell/sink error as the cause, writes an `"status":
@@ -6,11 +7,20 @@
 //! disk is what broke in the first place), the secondary I/O failure is
 //! *logged* to stderr instead of silently swallowed or allowed to shadow
 //! the real error.
+//!
+//! Exit codes are part of that contract: `2` for usage errors, `3` for
+//! transient failures a retry may fix (connection refused/dropped,
+//! overload sheds), `4` for protocol/engine failures a retry would hit
+//! again.  Orchestrators key their retry loops off exactly this split.
 
 use std::process::Command;
 
 fn runner() -> Command {
     Command::new(env!("CARGO_BIN_EXE_campaign_runner"))
+}
+
+fn client() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_campaign_client"))
 }
 
 /// `/dev/full` fails every write with ENOSPC — the cheapest way to make
@@ -90,12 +100,154 @@ fn conflicting_flags_are_rejected_before_any_work() {
         vec!["--serve", "--serial"],
         vec!["--serve", "--max-rows", "1"],
         vec!["--max-rows", "0"],
+        vec!["--max-connections", "4"],
         vec!["--scale", "galactic"],
     ] {
         let output = runner().args(&args).output().expect("runner must spawn");
-        assert!(
-            !output.status.success(),
-            "`{args:?}` must be rejected at argument parsing"
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "`{args:?}` must be rejected at argument parsing with the usage exit code"
         );
     }
+}
+
+#[test]
+fn client_usage_errors_exit_2() {
+    for args in [
+        vec!["--scale", "galactic"],
+        vec!["--retries", "many"],
+        vec!["--cells", "1,frog"],
+        vec!["--no-such-flag"],
+    ] {
+        let output = client().args(&args).output().expect("client must spawn");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "`{args:?}` must be a usage error"
+        );
+    }
+}
+
+/// With the `failpoints` feature, an unparseable `BERRY_FAILPOINTS` is a
+/// usage error — a chaos run with a typo'd spec must not silently run
+/// fault-free.
+#[cfg(feature = "failpoints")]
+#[test]
+fn bad_failpoint_env_exits_2() {
+    for mut cmd in [runner(), client()] {
+        let output = cmd
+            .env("BERRY_FAILPOINTS", "store.persist=frobnicate")
+            .arg("--help")
+            .output()
+            .expect("binary must spawn");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "an unparseable BERRY_FAILPOINTS is a usage error"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("BERRY_FAILPOINTS"),
+            "stderr must name the bad env var: {stderr}"
+        );
+    }
+}
+
+/// Without the feature, a set `BERRY_FAILPOINTS` warns loudly on stderr
+/// instead of silently injecting nothing — a chaos job pointed at a
+/// non-chaos build should be obvious from its logs.
+#[cfg(not(feature = "failpoints"))]
+#[test]
+fn failpoint_env_warns_when_feature_is_compiled_out() {
+    // `--help` exits before any campaign work, keeping the probe cheap.
+    let output = runner()
+        .env("BERRY_FAILPOINTS", "store.persist=return")
+        .arg("--help")
+        .output()
+        .expect("runner must spawn");
+    assert_eq!(output.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("no `failpoints` feature"),
+        "stderr must warn that injection is compiled out: {stderr}"
+    );
+}
+
+/// Connection refused is the canonical *transient* failure: the server may
+/// simply not be up yet, so orchestrators should retry — exit code 3.
+#[test]
+fn client_connection_refused_exits_3() {
+    // Bind-then-drop reserves a port nothing is listening on.
+    let port = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().port()
+    };
+    let output = client()
+        .args([
+            "--addr",
+            &format!("127.0.0.1:{port}"),
+            "--scale",
+            "smoke",
+            "--connect-timeout-ms",
+            "300",
+        ])
+        .output()
+        .expect("client must spawn");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "connection refused must exit with the transient code; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+/// A request the server *rejects* (out-of-range cell index) is fatal — the
+/// same request would fail the same way forever — so the client exits 4.
+#[test]
+fn client_server_rejection_exits_4() {
+    let mut server = runner()
+        .args(["--serve", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("server must spawn");
+    let addr = {
+        use std::io::BufRead as _;
+        let stdout = server.stdout.take().expect("stdout is piped");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let mut found = None;
+        for line in &mut lines {
+            let line = line.expect("server stdout must stay readable");
+            if let Some(rest) = line.strip_prefix("serving campaign requests on ") {
+                found = Some(rest.trim().to_string());
+                break;
+            }
+        }
+        // Keep draining stdout in the background so the server never
+        // blocks on a full pipe while we talk to it.
+        std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+        found.expect("server must announce its address")
+    };
+
+    let output = client()
+        .args(["--addr", &addr, "--scale", "smoke", "--cells", "9999"])
+        .output()
+        .expect("client must spawn");
+
+    // Shut the server down before asserting, so a failure doesn't leak it.
+    let _ = client().args(["--addr", &addr, "--shutdown"]).output();
+    let _ = server.wait();
+
+    assert_eq!(
+        output.status.code(),
+        Some(4),
+        "a server-side rejection must exit with the fatal code; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("server failed the request"),
+        "stderr must carry the server's error: {stderr}"
+    );
 }

@@ -7,6 +7,12 @@ use std::fmt;
 pub enum CoreError {
     /// A configuration value was invalid.
     InvalidConfig(String),
+    /// An internal invariant failed at runtime — a panicking training run
+    /// caught at the store boundary, an injected failpoint error, a
+    /// panicked engine thread.  Cached and reported like any other error,
+    /// but distinguishable so callers can tell "you asked for something
+    /// impossible" from "the machinery itself broke".
+    Internal(String),
     /// An error from the neural-network substrate.
     Nn(berry_nn::NnError),
     /// An error from the bit-error fault models.
@@ -23,6 +29,7 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
             CoreError::Nn(e) => write!(f, "neural-network error: {e}"),
             CoreError::Faults(e) => write!(f, "fault-model error: {e}"),
             CoreError::Hw(e) => write!(f, "hardware-model error: {e}"),
@@ -72,6 +79,7 @@ mod tests {
     fn display_is_nonempty_for_all_variants() {
         let variants: Vec<CoreError> = vec![
             CoreError::InvalidConfig("x".into()),
+            CoreError::Internal("y".into()),
             berry_nn::NnError::InvalidArgument("a".into()).into(),
             berry_faults::FaultError::InvalidGeometry("b".into()).into(),
             berry_hw::HwError::InvalidParameter("c".into()).into(),

@@ -1,0 +1,470 @@
+//! Deterministic fault injection — named failpoint sites for chaos testing
+//! the store → campaign → serve → client pipeline.
+//!
+//! BERRY is a paper about policies that keep working when the hardware
+//! under them misbehaves; this module gives the *serving stack* the same
+//! treatment.  A **failpoint** is a named site threaded through an I/O or
+//! control path (`store.persist`, `serve.write_row`, `rows.write`, …)
+//! that production code consults before acting.  Unarmed — or in a build
+//! without the `failpoints` feature — a site is an inlined no-op, so the
+//! hot paths, golden pins and benchmarks are untouched.  Armed, it fires
+//! a deterministic [`Action`] on a schedule, letting tests and the CI
+//! chaos-smoke job inject persist failures, torn writes, delays and
+//! mid-stream disconnects *on purpose* and assert the system degrades
+//! and recovers exactly as designed.
+//!
+//! # Arming syntax
+//!
+//! Sites are armed programmatically with [`arm`] or from the
+//! `BERRY_FAILPOINTS` environment variable via [`arm_from_env`]:
+//!
+//! ```text
+//! BERRY_FAILPOINTS="store.persist=every(2)*return;serve.write_row=every(3)*times(1)*disconnect"
+//! ```
+//!
+//! Each entry is `site=spec`, `;`-separated.  A spec is zero or more
+//! trigger modifiers followed by one action:
+//!
+//! | action            | meaning at the site                                   |
+//! |-------------------|-------------------------------------------------------|
+//! | `return`          | fail with an injected error                           |
+//! | `return(msg)`     | fail with the given message                           |
+//! | `torn(K)`         | truncate the write to its first `K` bytes             |
+//! | `delay(MS)`       | sleep `MS` milliseconds, then proceed normally        |
+//! | `disconnect`      | sever the connection (socket sites)                   |
+//! | `panic`           | panic at the site (exercises panic isolation)         |
+//! | `off`             | disarm (same as [`disarm`])                           |
+//!
+//! | modifier          | fires when…                                           |
+//! |-------------------|-------------------------------------------------------|
+//! | `every(N)*`       | the hit count is a multiple of `N` (1-indexed)        |
+//! | `times(M)*`       | …and the site has fired fewer than `M` times          |
+//! | `prob(P,SEED)*`   | …and a SplitMix64 draw keyed by `(SEED, hit)` is < P  |
+//!
+//! Every trigger is a pure function of the site's hit counter (and, for
+//! `prob`, an explicit seed), so a chaos run is **reproducible**: the same
+//! arming string against the same workload fires at the same hits.
+//!
+//! # Build gating
+//!
+//! The registry is only compiled with the `failpoints` cargo feature
+//! (`cargo test --features failpoints`, `cargo build --features
+//! failpoints -p berry-bench`).  Without it, [`hit`] is a const `None`
+//! that the optimizer deletes, and [`arm`] returns an error — arming a
+//! no-op build is loud, not silent: [`arm_from_env`] warns on stderr if
+//! `BERRY_FAILPOINTS` is set in a build that cannot honor it.
+
+use std::time::Duration;
+
+/// What an armed failpoint does when its trigger fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Fail the operation with an injected error carrying this message.
+    ReturnError(String),
+    /// Truncate the write to its first `n` bytes (a torn on-disk record,
+    /// as a crash mid-write would leave).
+    TornWrite(usize),
+    /// Sleep for this long, then proceed normally.
+    Delay(Duration),
+    /// Sever the connection (socket write/read sites).
+    Disconnect,
+    /// Panic at the site (exercises `catch_unwind` isolation).
+    Panic,
+}
+
+/// Extracts a human-readable message from a captured panic payload.
+///
+/// Lives here (compiled regardless of the feature) because every consumer
+/// of panic isolation — the store's training guard, the server's
+/// per-connection guard — needs the same downcast dance.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Consults the site and maps a fired `ReturnError`/`Disconnect` to an
+/// `std::io::Error` (applying `Delay` inline) — the one-line form for
+/// plain I/O sites like `rows.write`.
+///
+/// # Errors
+///
+/// Returns the injected error when the site fires a failing action.
+pub fn io_check(site: &str) -> std::io::Result<()> {
+    match hit(site) {
+        None => Ok(()),
+        Some(Action::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(Action::ReturnError(msg)) => Err(std::io::Error::other(msg)),
+        Some(Action::Disconnect) => Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            format!("failpoint `{site}`: injected disconnect"),
+        )),
+        Some(Action::TornWrite(_)) => Err(std::io::Error::other(format!(
+            "failpoint `{site}`: torn write not supported at this site"
+        ))),
+        Some(Action::Panic) => panic!("failpoint `{site}`: injected panic"),
+    }
+}
+
+/// Consults the site and panics if it fires `panic` (other actions are
+/// ignored) — for sites that only exercise panic isolation.
+pub fn maybe_panic(site: &str) {
+    if let Some(Action::Panic) = hit(site) {
+        panic!("failpoint `{site}`: injected panic");
+    }
+}
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use super::Action;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    use std::time::Duration;
+
+    /// One armed site: its parsed spec plus deterministic counters.
+    struct SiteState {
+        every: u64,
+        times: Option<u64>,
+        prob: Option<(f64, u64)>,
+        action: Action,
+        hits: u64,
+        fired: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, SiteState>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// SplitMix64 — the `prob` trigger's deterministic per-hit draw.
+    fn splitmix(seed: u64) -> u64 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn parse_paren_arg<'a>(token: &'a str, name: &str) -> Option<&'a str> {
+        token
+            .strip_prefix(name)?
+            .strip_prefix('(')?
+            .strip_suffix(')')
+    }
+
+    fn parse_action(token: &str) -> Result<Action, String> {
+        match token {
+            "return" => Ok(Action::ReturnError("injected error".to_string())),
+            "disconnect" => Ok(Action::Disconnect),
+            "panic" => Ok(Action::Panic),
+            _ => {
+                if let Some(msg) = parse_paren_arg(token, "return") {
+                    return Ok(Action::ReturnError(msg.to_string()));
+                }
+                if let Some(arg) = parse_paren_arg(token, "torn") {
+                    let n: usize = arg
+                        .parse()
+                        .map_err(|_| format!("torn(K) needs a byte count, got `{arg}`"))?;
+                    return Ok(Action::TornWrite(n));
+                }
+                if let Some(arg) = parse_paren_arg(token, "delay") {
+                    let ms: u64 = arg
+                        .parse()
+                        .map_err(|_| format!("delay(MS) needs milliseconds, got `{arg}`"))?;
+                    return Ok(Action::Delay(Duration::from_millis(ms)));
+                }
+                Err(format!("unknown failpoint action `{token}`"))
+            }
+        }
+    }
+
+    fn parse_spec(spec: &str) -> Result<SiteState, String> {
+        let mut state = SiteState {
+            every: 1,
+            times: None,
+            prob: None,
+            action: Action::Panic, // replaced below
+            hits: 0,
+            fired: 0,
+        };
+        let tokens: Vec<&str> = spec.split('*').map(str::trim).collect();
+        let (action, modifiers) = tokens
+            .split_last()
+            .ok_or_else(|| "empty failpoint spec".to_string())?;
+        for modifier in modifiers {
+            if let Some(arg) = parse_paren_arg(modifier, "every") {
+                let n: u64 = arg
+                    .parse()
+                    .map_err(|_| format!("every(N) needs an integer, got `{arg}`"))?;
+                if n == 0 {
+                    return Err("every(N) needs N >= 1".to_string());
+                }
+                state.every = n;
+            } else if let Some(arg) = parse_paren_arg(modifier, "times") {
+                let m: u64 = arg
+                    .parse()
+                    .map_err(|_| format!("times(M) needs an integer, got `{arg}`"))?;
+                state.times = Some(m);
+            } else if let Some(arg) = parse_paren_arg(modifier, "prob") {
+                let (p, seed) = arg
+                    .split_once(',')
+                    .ok_or_else(|| format!("prob(P,SEED) needs two arguments, got `{arg}`"))?;
+                let p: f64 = p
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("prob needs a probability, got `{p}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("prob needs P in [0,1], got {p}"));
+                }
+                let seed: u64 = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("prob needs a u64 seed, got `{seed}`"))?;
+                state.prob = Some((p, seed));
+            } else {
+                return Err(format!("unknown failpoint modifier `{modifier}`"));
+            }
+        }
+        state.action = parse_action(action)?;
+        Ok(state)
+    }
+
+    pub fn arm(site: &str, spec: &str) -> Result<(), String> {
+        if site.is_empty() {
+            return Err("failpoint site name is empty".to_string());
+        }
+        let mut map = registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if spec.trim() == "off" {
+            map.remove(site);
+            return Ok(());
+        }
+        let state = parse_spec(spec).map_err(|e| format!("failpoint `{site}`: {e}"))?;
+        map.insert(site.to_string(), state);
+        Ok(())
+    }
+
+    /// Disarms `site` (a no-op if it was not armed).
+    pub fn disarm(site: &str) {
+        registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(site);
+    }
+
+    /// Disarms every site — test teardown between chaos scenarios.
+    pub fn disarm_all() {
+        registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    pub fn hit(site: &str) -> Option<Action> {
+        let mut map = registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let state = map.get_mut(site)?;
+        state.hits += 1;
+        if state.hits % state.every != 0 {
+            return None;
+        }
+        if let Some(m) = state.times {
+            if state.fired >= m {
+                return None;
+            }
+        }
+        if let Some((p, seed)) = state.prob {
+            let draw = splitmix(seed ^ state.hits) as f64 / u64::MAX as f64;
+            if draw >= p {
+                return None;
+            }
+        }
+        state.fired += 1;
+        Some(state.action.clone())
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::{disarm, disarm_all};
+
+/// Arms `site` with the given spec (see the module docs for the grammar).
+///
+/// # Errors
+///
+/// Returns a description of the malformed spec — or, in a build without
+/// the `failpoints` feature, an error stating injection is compiled out.
+#[cfg(feature = "failpoints")]
+pub fn arm(site: &str, spec: &str) -> std::result::Result<(), String> {
+    registry::arm(site, spec)
+}
+
+/// Consults `site`: increments its deterministic hit counter and returns
+/// the armed [`Action`] when the trigger fires, `None` otherwise (always
+/// `None` for unarmed sites and feature-off builds).
+#[cfg(feature = "failpoints")]
+#[must_use]
+pub fn hit(site: &str) -> Option<Action> {
+    registry::hit(site)
+}
+
+/// Arms every site listed in `BERRY_FAILPOINTS` (`site=spec;site=spec`).
+/// Returns the number of armed sites.
+///
+/// # Errors
+///
+/// Returns the first malformed entry's description.
+#[cfg(feature = "failpoints")]
+pub fn arm_from_env() -> std::result::Result<usize, String> {
+    let Ok(raw) = std::env::var("BERRY_FAILPOINTS") else {
+        return Ok(0);
+    };
+    let mut armed = 0;
+    for entry in raw.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let (site, spec) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry `{entry}` is not `site=spec`"))?;
+        arm(site.trim(), spec.trim())?;
+        armed += 1;
+    }
+    Ok(armed)
+}
+
+/// Feature-off stub: arming always fails so misconfigured chaos runs are
+/// loud instead of silently fault-free.
+#[cfg(not(feature = "failpoints"))]
+pub fn arm(_site: &str, _spec: &str) -> std::result::Result<(), String> {
+    Err("berry-core was built without the `failpoints` feature".to_string())
+}
+
+/// Feature-off stub: no site ever fires; the optimizer deletes the call.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+#[must_use]
+pub fn hit(_site: &str) -> Option<Action> {
+    None
+}
+
+/// Feature-off stub: warns (once per call) if `BERRY_FAILPOINTS` is set in
+/// a build that cannot honor it.
+#[cfg(not(feature = "failpoints"))]
+pub fn arm_from_env() -> std::result::Result<usize, String> {
+    if std::env::var("BERRY_FAILPOINTS").is_ok_and(|v| !v.is_empty()) {
+        eprintln!(
+            "warning: BERRY_FAILPOINTS is set but this build has no `failpoints` \
+             feature; no faults will be injected (rebuild with --features failpoints)"
+        );
+    }
+    Ok(0)
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        assert_eq!(hit("fp-test.unarmed"), None);
+        assert!(io_check("fp-test.unarmed").is_ok());
+    }
+
+    #[test]
+    fn every_n_fires_on_multiples_only() {
+        arm("fp-test.every", "every(3)*return(boom)").unwrap();
+        let fired: Vec<bool> = (1..=9).map(|_| hit("fp-test.every").is_some()).collect();
+        assert_eq!(
+            fired,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        disarm("fp-test.every");
+    }
+
+    #[test]
+    fn times_caps_total_fires() {
+        arm("fp-test.times", "every(2)*times(1)*disconnect").unwrap();
+        let fired: Vec<bool> = (1..=8).map(|_| hit("fp-test.times").is_some()).collect();
+        assert_eq!(fired.iter().filter(|f| **f).count(), 1);
+        assert!(fired[1], "the single fire lands on the 2nd hit");
+        disarm("fp-test.times");
+    }
+
+    #[test]
+    fn prob_is_deterministic_given_a_seed() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let site = format!("fp-test.prob-{seed}");
+            arm(&site, &format!("prob(0.5,{seed})*return")).unwrap();
+            let fired = (0..64).map(|_| hit(&site).is_some()).collect();
+            disarm(&site);
+            fired
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same schedule");
+        assert_ne!(schedule(7), schedule(8), "different seed, different schedule");
+        let fires = schedule(7).iter().filter(|f| **f).count();
+        assert!((8..=56).contains(&fires), "p=0.5 fires roughly half: {fires}");
+    }
+
+    #[test]
+    fn actions_parse_and_rearm_replaces() {
+        arm("fp-test.actions", "torn(12)").unwrap();
+        assert_eq!(hit("fp-test.actions"), Some(Action::TornWrite(12)));
+        arm("fp-test.actions", "delay(5)").unwrap();
+        assert_eq!(
+            hit("fp-test.actions"),
+            Some(Action::Delay(std::time::Duration::from_millis(5)))
+        );
+        arm("fp-test.actions", "return(custom message)").unwrap();
+        assert_eq!(
+            hit("fp-test.actions"),
+            Some(Action::ReturnError("custom message".to_string()))
+        );
+        arm("fp-test.actions", "off").unwrap();
+        assert_eq!(hit("fp-test.actions"), None);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "explode",
+            "every(0)*return",
+            "every(x)*return",
+            "times(-1)*return",
+            "prob(2.0,1)*return",
+            "prob(0.5)*return",
+            "torn(many)",
+            "delay(soon)",
+            "unknown(3)*return",
+        ] {
+            assert!(arm("fp-test.bad", bad).is_err(), "`{bad}` must be rejected");
+        }
+        assert_eq!(hit("fp-test.bad"), None, "a rejected spec must not arm");
+    }
+
+    #[test]
+    fn io_check_maps_actions_to_io_errors() {
+        arm("fp-test.io", "return(disk on fire)").unwrap();
+        let err = io_check("fp-test.io").unwrap_err();
+        assert!(err.to_string().contains("disk on fire"));
+        arm("fp-test.io", "disconnect").unwrap();
+        let err = io_check("fp-test.io").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        disarm("fp-test.io");
+        assert!(io_check("fp-test.io").is_ok());
+    }
+
+    #[test]
+    fn panic_payloads_render_messages() {
+        let p = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(&*p), "static str");
+        let p = std::panic::catch_unwind(|| panic!("{}", String::from("owned"))).unwrap_err();
+        assert_eq!(panic_message(&*p), "owned");
+    }
+}

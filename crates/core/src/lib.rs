@@ -28,7 +28,10 @@
 //! * [`campaign`] — the sharded, deterministically seeded engine that
 //!   trains and fault-evaluates the whole scenario grid end to end,
 //! * [`experiment`] — one module per table/figure of the paper's evaluation,
-//!   each regenerating its rows from scratch.
+//!   each regenerating its rows from scratch,
+//! * [`failpoint`] — deterministic fault injection (chaos testing) for the
+//!   store → campaign → serve → client pipeline, compiled to no-ops
+//!   unless the `failpoints` feature is on.
 //!
 //! ## Example: robust offline training on the navigation task
 //!
@@ -60,6 +63,7 @@ pub mod campaign;
 pub mod error;
 pub mod evaluate;
 pub mod experiment;
+pub mod failpoint;
 pub mod perturb;
 pub mod robust;
 pub mod rows;
@@ -78,6 +82,7 @@ pub use rows::{
     ParsedRow, ResumeState,
 };
 pub use error::CoreError;
+pub use failpoint::Action as FailpointAction;
 pub use evaluate::{FaultEvaluationConfig, MissionEvaluation};
 pub use perturb::NetworkPerturber;
 pub use robust::{train_berry, BerryConfig, BerryOutcome, LearningMode};

@@ -31,9 +31,36 @@
 //! [`PolicyStore::with_dir`] adds a directory layer: each pair is stored as
 //! `<hash>.pair` (a little-endian binary record of the fingerprint string,
 //! training metadata and both flat-weight vectors — f32 bits are preserved
-//! exactly) plus a human-readable `<hash>.fingerprint.json` sidecar.  Loads
-//! verify the embedded fingerprint string against the request, so a hash
-//! collision or a stale file degrades to a retrain, never to wrong weights.
+//! exactly — sealed by an FNV-1a checksum of every preceding byte) plus a
+//! human-readable `<hash>.fingerprint.json` sidecar.  Loads verify the
+//! checksum, the embedded fingerprint string and the sidecar against the
+//! request, so a hash collision, a stale file, a torn write or a flipped
+//! bit degrades to a retrain, never to wrong weights.
+//!
+//! # Crash safety
+//!
+//! The store is built to survive its own failures, not just serve hits:
+//!
+//! * **Persist errors are counted, never fatal.**  A full disk degrades
+//!   the cache (the pair stays served from memory); the first failure is
+//!   logged to stderr and every one is counted in
+//!   [`StoreStats::persist_errors`].
+//! * **Corrupt records are quarantined, not retrained over silently.**  A
+//!   `.pair` file that exists but fails to decode — truncated, bit-flipped,
+//!   undecodable, missing or garbled sidecar — is renamed to
+//!   `<hash>.pair.corrupt` (sidecar to `<hash>.fingerprint.json.corrupt`),
+//!   counted in [`StoreStats::corrupt_quarantined`], and the pair retrains;
+//!   the evidence stays on disk for a post-mortem.
+//! * **A panicking training marks only its own slot failed.**  The panic
+//!   is caught at the store boundary, cached as that fingerprint's error
+//!   ([`StoreStats::training_panics`]) and the slots mutex recovers from
+//!   poisoning — one broken cell can never brick every later request of a
+//!   resident server.
+//!
+//! Chaos tests drive these paths deterministically through the
+//! [`crate::failpoint`] sites `store.persist` (return/torn-write),
+//! `store.load` (treat a good record as corrupt) and `store.train`
+//! (panic/error mid-training).
 
 use crate::error::CoreError;
 use crate::robust::{train_berry_with_fault_map, BerryConfig, LearningMode};
@@ -57,8 +84,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub const TRAIN_SUCCESS_WINDOW: usize = 20;
 
 /// Magic prefix of the on-disk pair record (versioned: bump on layout
-/// change so stale caches degrade to retrains).
-const PAIR_MAGIC: &[u8; 8] = b"BERRYPS1";
+/// change so stale caches degrade to retrains; `PS2` added the trailing
+/// FNV-1a checksum that catches torn writes and flipped payload bits).
+const PAIR_MAGIC: &[u8; 8] = b"BERRYPS2";
 
 /// Derives a pair's training seed from a campaign base seed and the
 /// request's seedless fingerprint hash.
@@ -195,6 +223,17 @@ pub struct StoreStats {
     /// retraining — the dedup signal `berry-serve` reports when N
     /// concurrent clients request the same cell.
     pub inflight_joins: u64,
+    /// On-disk persists that failed (full disk, injected fault, torn
+    /// write).  The pair stays served from memory; only the cache layer
+    /// degraded.
+    pub persist_errors: u64,
+    /// Corrupt `.pair` records (truncated, bit-flipped, bad sidecar)
+    /// renamed to `<hash>.pair.corrupt` instead of silently retrained
+    /// over.
+    pub corrupt_quarantined: u64,
+    /// Training runs that panicked and were caught at the store boundary,
+    /// failing only their own fingerprint slot.
+    pub training_panics: u64,
 }
 
 type Slot = Arc<OnceLock<std::result::Result<Arc<TrainedPair>, CoreError>>>;
@@ -214,6 +253,13 @@ pub struct PolicyStore {
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     inflight_joins: AtomicU64,
+    persist_errors: AtomicU64,
+    corrupt_quarantined: AtomicU64,
+    training_panics: AtomicU64,
+    /// Whether the one-time persist-failure stderr notice has been
+    /// printed (later failures only count, so a dying disk cannot flood
+    /// the log at one line per trained pair).
+    persist_error_logged: std::sync::atomic::AtomicBool,
 }
 
 impl Default for PolicyStore {
@@ -232,6 +278,10 @@ impl PolicyStore {
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             inflight_joins: AtomicU64::new(0),
+            persist_errors: AtomicU64::new(0),
+            corrupt_quarantined: AtomicU64::new(0),
+            training_panics: AtomicU64::new(0),
+            persist_error_logged: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -268,6 +318,9 @@ impl PolicyStore {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             inflight_joins: self.inflight_joins.load(Ordering::Relaxed),
+            persist_errors: self.persist_errors.load(Ordering::Relaxed),
+            corrupt_quarantined: self.corrupt_quarantined.load(Ordering::Relaxed),
+            training_panics: self.training_panics.load(Ordering::Relaxed),
         }
     }
 
@@ -276,13 +329,22 @@ impl PolicyStore {
     ///
     /// # Errors
     ///
-    /// Returns an error if training fails; the error is cached, so
+    /// Returns an error if training fails *or panics* (the panic is caught
+    /// here, so it poisons nothing); either way the error is cached, so
     /// concurrent requesters of the same broken fingerprint all observe it
-    /// without retraining.
+    /// without retraining — and requests for other fingerprints are
+    /// entirely unaffected.
     pub fn get_or_train(&self, request: &PairRequest) -> Result<Arc<TrainedPair>> {
         let key = request.fingerprint();
         let slot = {
-            let mut slots = self.slots.lock().expect("policy-store lock poisoned");
+            // Recover the map from a poisoned lock: the map itself is
+            // only ever mutated by `entry().or_default()`, which cannot
+            // leave it half-written, so the inner value is always safe to
+            // take — a panicked requester must not brick the whole store.
+            let mut slots = self
+                .slots
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             Arc::clone(slots.entry(key).or_default())
         };
         // Distinguish a hit on a *finished* slot from joining a training
@@ -296,7 +358,7 @@ impl PolicyStore {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::new(pair));
             }
-            match train_pair(request) {
+            match self.train_pair_caught(request) {
                 Ok(pair) => {
                     self.trained.fetch_add(1, Ordering::Relaxed);
                     let pair = Arc::new(pair);
@@ -315,6 +377,47 @@ impl PolicyStore {
         outcome.clone()
     }
 
+    /// Runs the training behind a panic guard: a panicking trainer fails
+    /// only this fingerprint's slot (with a cached, descriptive error)
+    /// instead of unwinding through the `OnceLock` and every thread
+    /// blocked on it.
+    fn train_pair_caught(&self, request: &PairRequest) -> Result<TrainedPair> {
+        let guarded = || -> Result<TrainedPair> {
+            // The `store.train` site lives inside the guard on purpose:
+            // an injected panic exercises exactly the isolation path a
+            // real trainer panic would take.
+            if let Some(action) = crate::failpoint::hit("store.train") {
+                match action {
+                    crate::failpoint::Action::ReturnError(msg) => {
+                        return Err(CoreError::Internal(format!("failpoint store.train: {msg}")));
+                    }
+                    crate::failpoint::Action::Delay(d) => std::thread::sleep(d),
+                    crate::failpoint::Action::Panic => {
+                        panic!("failpoint `store.train`: injected panic")
+                    }
+                    _ => {}
+                }
+            }
+            train_pair(request)
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(guarded)) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                self.training_panics.fetch_add(1, Ordering::Relaxed);
+                let msg = crate::failpoint::panic_message(&*payload);
+                eprintln!(
+                    "store: training panicked for fingerprint {:016x} \
+                     (only this slot is marked failed): {msg}",
+                    request.fingerprint_hash()
+                );
+                Err(CoreError::Internal(format!(
+                    "training panicked for fingerprint {:016x}: {msg}",
+                    request.fingerprint_hash()
+                )))
+            }
+        }
+    }
+
     fn pair_path(&self, request: &PairRequest) -> Option<PathBuf> {
         self.dir
             .as_ref()
@@ -322,45 +425,151 @@ impl PolicyStore {
     }
 
     /// Writes the binary pair record and its JSON sidecar (best effort: a
-    /// full disk degrades the cache, it does not fail the run).
+    /// full disk degrades the cache, it does not fail the run — but the
+    /// failure is **counted** in [`StoreStats::persist_errors`] and the
+    /// first one is logged to stderr, never silently swallowed).
     fn persist(&self, request: &PairRequest, pair: &TrainedPair) {
         let Some(path) = self.pair_path(request) else {
             return;
         };
         let bytes = encode_pair(&request.fingerprint(), pair);
-        if write_atomically(&path, &bytes).is_ok() {
-            let sidecar = path.with_extension("fingerprint.json");
-            let _ = write_atomically(&sidecar, fingerprint_json(request).as_bytes());
+        if let Err(e) = self.persist_record(&path, &bytes, request) {
+            self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            if !self
+                .persist_error_logged
+                .swap(true, std::sync::atomic::Ordering::Relaxed)
+            {
+                eprintln!(
+                    "store: failed to persist {}: {e} (pair stays served from \
+                     memory; counting later persist errors silently)",
+                    path.display()
+                );
+            }
         }
     }
 
-    /// Attempts to load `request` from the on-disk layer.  Any mismatch —
-    /// missing file, bad magic, foreign fingerprint, truncated weights,
-    /// architecture drift — is treated as a miss.
+    /// The fallible body of [`Self::persist`], with the `store.persist`
+    /// failpoint threaded through: `return` fails the write outright,
+    /// `torn(K)` leaves a truncated record at the **final** path — exactly
+    /// the wreckage a crash mid-write leaves — for the next load to
+    /// quarantine.
+    fn persist_record(
+        &self,
+        path: &Path,
+        bytes: &[u8],
+        request: &PairRequest,
+    ) -> std::io::Result<()> {
+        match crate::failpoint::hit("store.persist") {
+            Some(crate::failpoint::Action::ReturnError(msg)) => {
+                return Err(std::io::Error::other(format!(
+                    "failpoint store.persist: {msg}"
+                )));
+            }
+            Some(crate::failpoint::Action::TornWrite(n)) => {
+                let n = n.min(bytes.len());
+                std::fs::write(path, &bytes[..n])?;
+                return Err(std::io::Error::other(format!(
+                    "failpoint store.persist: torn write ({n} of {} bytes)",
+                    bytes.len()
+                )));
+            }
+            Some(crate::failpoint::Action::Delay(d)) => std::thread::sleep(d),
+            _ => {}
+        }
+        write_atomically(path, bytes)?;
+        let sidecar = path.with_extension("fingerprint.json");
+        write_atomically(&sidecar, fingerprint_json(request).as_bytes())
+    }
+
+    /// Renames a corrupt on-disk record (and its sidecar) to `.corrupt`
+    /// siblings so the evidence survives the retrain that overwrites the
+    /// live paths.
+    fn quarantine(&self, path: &Path, why: &str) {
+        self.corrupt_quarantined.fetch_add(1, Ordering::Relaxed);
+        let dest = path.with_extension("pair.corrupt");
+        let renamed = std::fs::rename(path, &dest);
+        let sidecar = path.with_extension("fingerprint.json");
+        if sidecar.exists() {
+            let _ = std::fs::rename(&sidecar, path.with_extension("fingerprint.json.corrupt"));
+        }
+        eprintln!(
+            "store: corrupt pair record {} ({why}); {} — the pair will retrain",
+            path.display(),
+            match renamed {
+                Ok(()) => format!("quarantined to {}", dest.display()),
+                Err(e) => format!("quarantine rename failed: {e}"),
+            }
+        );
+    }
+
+    /// Attempts to load `request` from the on-disk layer.
+    ///
+    /// A *missing* file (or a valid record for a different fingerprint —
+    /// a hash collision) is a plain miss.  A file that **exists but is
+    /// broken** — truncated, checksum-failed, undecodable, inconsistent
+    /// with its sidecar, or weights that no longer fit the architecture —
+    /// is quarantined to `<hash>.pair.corrupt` and then missed, so the
+    /// retrain never silently papers over disk corruption.
     fn load_from_disk(&self, request: &PairRequest) -> Option<TrainedPair> {
         let path = self.pair_path(request)?;
         let mut bytes = Vec::new();
-        std::fs::File::open(path)
-            .ok()?
-            .read_to_end(&mut bytes)
-            .ok()?;
-        let record = decode_pair(&bytes)?;
-        if record.fingerprint != request.fingerprint() {
+        match std::fs::File::open(&path) {
+            Ok(mut file) => file.read_to_end(&mut bytes).ok()?,
+            Err(_) => return None,
+        };
+        if let Some(crate::failpoint::Action::ReturnError(msg)) =
+            crate::failpoint::hit("store.load")
+        {
+            self.quarantine(&path, &format!("failpoint store.load: {msg}"));
             return None;
+        }
+        let Some(record) = decode_pair(&bytes) else {
+            self.quarantine(&path, "record does not decode (truncated or bit-flipped)");
+            return None;
+        };
+        if record.fingerprint != request.fingerprint() {
+            // Self-consistent record for some other request: stale hash
+            // collision, not corruption.  Plain miss; the retrain
+            // overwrites it.
+            return None;
+        }
+        // The sidecar is part of the record's integrity story: a pair
+        // whose human-readable identity vanished or no longer matches is
+        // evidence of a half-destroyed cache directory.
+        let sidecar = path.with_extension("fingerprint.json");
+        let hash_line = format!("\"hash\": \"{:016x}\"", request.fingerprint_hash());
+        match std::fs::read_to_string(&sidecar) {
+            Ok(text) if text.contains(&hash_line) => {}
+            Ok(_) => {
+                self.quarantine(&path, "sidecar does not match the record");
+                return None;
+            }
+            Err(_) => {
+                self.quarantine(&path, "sidecar missing or unreadable");
+                return None;
+            }
         }
         // Rebuild the networks through the spec → flat-weights round trip;
         // the environment supplies the observation/action geometry.
         let env = NavigationEnv::new(request.env.clone()).ok()?;
         let shape = env.observation_shape();
         let actions = env.num_actions();
-        let classical = request
+        let built = request
             .spec
             .build_with_flat_weights(&shape, actions, &record.classical)
-            .ok()?;
-        let berry = request
-            .spec
-            .build_with_flat_weights(&shape, actions, &record.berry)
-            .ok()?;
+            .and_then(|classical| {
+                let berry = request
+                    .spec
+                    .build_with_flat_weights(&shape, actions, &record.berry)?;
+                Ok((classical, berry))
+            });
+        let (classical, berry) = match built {
+            Ok(pair) => pair,
+            Err(_) => {
+                self.quarantine(&path, "weights do not fit the requested architecture");
+                return None;
+            }
+        };
         Some(TrainedPair {
             spec: request.spec.clone(),
             classical,
@@ -412,10 +621,20 @@ struct PairRecord {
     berry: Vec<f32>,
 }
 
+/// FNV-1a 64-bit hash of raw bytes — the pair record's integrity seal.
+fn fnv1a64_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 fn encode_pair(fingerprint: &str, pair: &TrainedPair) -> Vec<u8> {
     let classical = pair.classical.to_flat_weights();
     let berry = pair.berry.to_flat_weights();
-    let mut out = Vec::with_capacity(64 + fingerprint.len() + 4 * (classical.len() + berry.len()));
+    let mut out = Vec::with_capacity(72 + fingerprint.len() + 4 * (classical.len() + berry.len()));
     out.extend_from_slice(PAIR_MAGIC);
     out.extend_from_slice(&(fingerprint.len() as u64).to_le_bytes());
     out.extend_from_slice(fingerprint.as_bytes());
@@ -428,10 +647,23 @@ fn encode_pair(fingerprint: &str, pair: &TrainedPair) -> Vec<u8> {
             out.extend_from_slice(&w.to_bits().to_le_bytes());
         }
     }
+    // Trailing checksum over every preceding byte: a torn write or a
+    // flipped payload bit is detected at load, not trained over.
+    let checksum = fnv1a64_bytes(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
     out
 }
 
 fn decode_pair(bytes: &[u8]) -> Option<PairRecord> {
+    // The checksum guards everything before it; verify first so decoding
+    // below never touches corrupted lengths.
+    let body_len = bytes.len().checked_sub(8)?;
+    let (body, seal) = bytes.split_at(body_len);
+    let stored = u64::from_le_bytes(seal.try_into().ok()?);
+    if fnv1a64_bytes(body) != stored {
+        return None;
+    }
+    let bytes = body;
     let mut cursor = 0usize;
     let take = |cursor: &mut usize, n: usize| -> Option<&[u8]> {
         let end = cursor.checked_add(n)?;
@@ -726,5 +958,200 @@ mod tests {
             pair.berry_train_success.to_bits()
         );
         assert_eq!(record.robust_updates, 42);
+    }
+
+    #[test]
+    fn checksum_catches_any_single_flipped_bit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = QNetworkSpec::mlp(vec![4]);
+        let pair = TrainedPair {
+            spec: spec.clone(),
+            classical: spec.build(&[2], 2, &mut rng).unwrap(),
+            berry: spec.build(&[2], 2, &mut rng).unwrap(),
+            classical_train_success: 0.5,
+            berry_train_success: 0.5,
+            robust_updates: 1,
+        };
+        let bytes = encode_pair("fp", &pair);
+        // Every byte position — header, fingerprint, floats, lengths,
+        // weights and the seal itself — must be covered.
+        for pos in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x40;
+            assert!(
+                decode_pair(&flipped).is_none(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    // -- crash-safety: the satellite corruption matrix ---------------------
+
+    /// Trains one pair into a fresh scratch directory and returns the
+    /// pieces the corruption matrix mutates.
+    fn seeded_disk_store(tag: u64) -> (PathBuf, PairRequest, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "berry-store-corrupt-{}-{:x}",
+            std::process::id(),
+            pair_seed(0xC0DE, tag)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let request = smoke_request(40 + tag);
+        let cold = PolicyStore::with_dir(&dir).unwrap();
+        cold.get_or_train(&request).unwrap();
+        assert_eq!(cold.stats().trained, 1);
+        let pair_file = dir.join(format!("{:016x}.pair", request.fingerprint_hash()));
+        assert!(pair_file.exists());
+        (dir, request, pair_file)
+    }
+
+    /// The common second half of every corruption-matrix test: a warm
+    /// store over the damaged directory quarantines the evidence,
+    /// retrains, and re-persists a record the *next* store hits cleanly.
+    fn assert_quarantined_and_retrained(dir: &Path, request: &PairRequest, pair_file: &Path) {
+        let warm = PolicyStore::with_dir(dir).unwrap();
+        warm.get_or_train(request).unwrap();
+        let stats = warm.stats();
+        assert_eq!(stats.corrupt_quarantined, 1, "must quarantine exactly once");
+        assert_eq!(stats.trained, 1, "a corrupt record must retrain");
+        assert_eq!(stats.disk_hits, 0);
+        assert!(
+            pair_file.with_extension("pair.corrupt").exists(),
+            "the corrupt record must survive as evidence"
+        );
+        let healed = PolicyStore::with_dir(dir).unwrap();
+        healed.get_or_train(request).unwrap();
+        let healed_stats = healed.stats();
+        assert_eq!(healed_stats.trained, 0, "the retrain must have re-persisted");
+        assert_eq!(healed_stats.disk_hits, 1);
+        assert_eq!(healed_stats.corrupt_quarantined, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncated_pair_record_is_quarantined_and_retrained() {
+        let (dir, request, pair_file) = seeded_disk_store(1);
+        let bytes = std::fs::read(&pair_file).unwrap();
+        std::fs::write(&pair_file, &bytes[..bytes.len() / 2]).unwrap();
+        assert_quarantined_and_retrained(&dir, &request, &pair_file);
+    }
+
+    #[test]
+    fn bit_flipped_pair_record_is_quarantined_and_retrained() {
+        let (dir, request, pair_file) = seeded_disk_store(2);
+        let mut bytes = std::fs::read(&pair_file).unwrap();
+        let target = bytes.len() * 3 / 4; // deep in the weight payload
+        bytes[target] ^= 0x01;
+        std::fs::write(&pair_file, &bytes).unwrap();
+        assert_quarantined_and_retrained(&dir, &request, &pair_file);
+    }
+
+    #[test]
+    fn missing_sidecar_is_quarantined_and_retrained() {
+        let (dir, request, pair_file) = seeded_disk_store(3);
+        std::fs::remove_file(pair_file.with_extension("fingerprint.json")).unwrap();
+        assert_quarantined_and_retrained(&dir, &request, &pair_file);
+    }
+
+    #[test]
+    fn garbled_sidecar_is_quarantined_and_retrained() {
+        let (dir, request, pair_file) = seeded_disk_store(4);
+        std::fs::write(
+            pair_file.with_extension("fingerprint.json"),
+            "{\"hash\": \"0000000000000000\"}\n",
+        )
+        .unwrap();
+        assert_quarantined_and_retrained(&dir, &request, &pair_file);
+    }
+
+    #[test]
+    fn poisoned_slots_mutex_recovers() {
+        let store = PolicyStore::in_memory();
+        let request = smoke_request(31);
+        store.get_or_train(&request).unwrap();
+        // Panic while holding the slots lock — the canonical way a mutex
+        // gets poisoned in production.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = store.slots.lock().unwrap();
+            panic!("poison the slots mutex");
+        }));
+        assert!(store.slots.is_poisoned());
+        // The store still serves hits and still trains new fingerprints.
+        store.get_or_train(&request).unwrap();
+        assert_eq!(store.stats().memory_hits, 1);
+        let other = smoke_request(32);
+        store.get_or_train(&other).unwrap();
+        assert_eq!(store.stats().trained, 2);
+    }
+
+    /// The failpoint-driven chaos pass: one sequential test (sites are
+    /// process-global, so splitting these into parallel tests would race
+    /// on the registry).
+    #[test]
+    #[cfg(feature = "failpoints")]
+    fn failpoints_drive_persist_torn_write_and_train_panic() {
+        use crate::failpoint;
+
+        let dir = std::env::temp_dir().join(format!(
+            "berry-store-chaos-{}-{:x}",
+            std::process::id(),
+            pair_seed(0xFA11, 0)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Phase 1: every persist fails outright.  The run still succeeds
+        // from memory; the error is counted and nothing lands on disk.
+        failpoint::arm("store.persist", "return(disk gone)").unwrap();
+        let store = PolicyStore::with_dir(&dir).unwrap();
+        let request = smoke_request(60);
+        store.get_or_train(&request).unwrap();
+        assert_eq!(store.stats().persist_errors, 1);
+        assert_eq!(store.stats().trained, 1);
+        let pair_file = dir.join(format!("{:016x}.pair", request.fingerprint_hash()));
+        assert!(!pair_file.exists(), "a failed persist must leave no record");
+
+        // Phase 2: a torn write leaves a truncated record at the final
+        // path; the next store quarantines it and retrains.
+        failpoint::arm("store.persist", "torn(24)").unwrap();
+        let torn = PolicyStore::with_dir(&dir).unwrap();
+        torn.get_or_train(&request).unwrap();
+        assert_eq!(torn.stats().persist_errors, 1);
+        assert_eq!(std::fs::read(&pair_file).unwrap().len(), 24);
+        failpoint::disarm("store.persist");
+        let recovering = PolicyStore::with_dir(&dir).unwrap();
+        recovering.get_or_train(&request).unwrap();
+        let stats = recovering.stats();
+        assert_eq!(stats.corrupt_quarantined, 1);
+        assert_eq!(stats.trained, 1);
+        assert!(pair_file.with_extension("pair.corrupt").exists());
+
+        // Phase 3: an injected training panic fails only its own slot and
+        // is cached; a different fingerprint trains fine afterwards.
+        failpoint::arm("store.train", "times(1)*panic").unwrap();
+        let isolated = PolicyStore::in_memory();
+        let doomed = smoke_request(61);
+        let err = isolated.get_or_train(&doomed).unwrap_err();
+        assert!(matches!(err, CoreError::Internal(_)), "got {err}");
+        assert!(err.to_string().contains("panicked"));
+        assert_eq!(isolated.stats().training_panics, 1);
+        // The cached error is returned without re-running training.
+        let again = isolated.get_or_train(&doomed).unwrap_err();
+        assert_eq!(err, again);
+        assert_eq!(isolated.stats().training_panics, 1);
+        // Other fingerprints are unaffected.
+        isolated.get_or_train(&smoke_request(62)).unwrap();
+        assert_eq!(isolated.stats().trained, 1);
+        failpoint::disarm("store.train");
+
+        // Phase 4: an injected load error quarantines a perfectly good
+        // record (the "reads are lying" scenario).
+        failpoint::arm("store.load", "return(read smeared)").unwrap();
+        let distrusting = PolicyStore::with_dir(&dir).unwrap();
+        distrusting.get_or_train(&request).unwrap();
+        assert_eq!(distrusting.stats().corrupt_quarantined, 1);
+        assert_eq!(distrusting.stats().trained, 1);
+        failpoint::disarm("store.load");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,12 +1,25 @@
-//! Client helpers: connect, send one request, stream the response.
+//! Client helpers: connect, send one request, stream the response —
+//! including the self-healing resumable stream.
 //!
 //! The client re-validates everything it relays: campaign row lines must
 //! parse as full [`ParsedRow`]s and axis lines as JSON before they are
 //! handed to the caller *verbatim* — so a client writing lines straight
 //! to a `rows.jsonl` file produces an artifact byte-identical to
 //! `campaign_runner`'s, already proven well-formed.
+//!
+//! # Self-healing streams
+//!
+//! [`stream_campaign_resumable`] survives mid-stream socket failures: it
+//! tracks which `cell_index`es it has already relayed, reconnects with a
+//! seeded jittered [`Backoff`], and re-requests **only the remaining
+//! cells**.  Because served cells keep their global grid position (and
+//! therefore their seeds), the reassembled artifact is byte-identical to
+//! an uninterrupted run — and against a warm store a resume retrains
+//! nothing.
 
-use berry_core::{parse_json_line, ParsedRow};
+use berry_core::campaign::CampaignConfig;
+use berry_core::experiment::ExperimentScale;
+use berry_core::{parse_json_line, CoreError, ParsedRow};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -14,19 +27,95 @@ use std::time::{Duration, Instant};
 use crate::error::{protocol_error, Result, ServeError};
 use crate::protocol::{Request, Terminal};
 
-/// Connects to `addr`, retrying until `timeout` elapses — covers the CI
-/// race where the client starts before the server finishes binding.
+/// Seeded, jittered exponential backoff between reconnection attempts.
+///
+/// Attempt `k` sleeps `base · 2^k` (capped at `cap`) scaled by a
+/// deterministic jitter fraction in `[0.5, 1.0)` drawn from a SplitMix64
+/// stream keyed by `(seed, k)`.  Deterministic given the seed — chaos
+/// tests can assert the exact schedule — while different seeds (one per
+/// client) still de-synchronize a thundering herd.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    seed: u64,
+    attempt: u32,
+    base: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// Default schedule: 25 ms base doubling to a 1 s cap.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self::with_limits(seed, Duration::from_millis(25), Duration::from_secs(1))
+    }
+
+    /// A schedule with explicit base delay and cap.
+    #[must_use]
+    pub fn with_limits(seed: u64, base: Duration, cap: Duration) -> Self {
+        Self {
+            seed,
+            attempt: 0,
+            base,
+            cap,
+        }
+    }
+
+    /// The next sleep in the schedule (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(20);
+        let raw = self
+            .base
+            .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let draw = splitmix(self.seed ^ u64::from(self.attempt));
+        self.attempt = self.attempt.saturating_add(1);
+        let fraction = 0.5 + (draw as f64 / u64::MAX as f64) * 0.5;
+        Duration::from_secs_f64(raw.as_secs_f64() * fraction)
+    }
+
+    /// Restarts the schedule — called after real progress, so one flaky
+    /// minute does not leave a healthy connection on 1 s delays.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// SplitMix64 — the backoff jitter's deterministic draw.
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Connects to `addr`, retrying on a jittered exponential backoff until
+/// `timeout` elapses — covers the CI race where the client starts before
+/// the server finishes binding.
 ///
 /// # Errors
 ///
 /// Returns the last connect error once the timeout is spent.
 pub fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream> {
+    connect_with_backoff(addr, timeout, &mut Backoff::new(0x42))
+}
+
+/// [`connect_with_retry`] with a caller-owned [`Backoff`], so resumable
+/// streams keep one schedule across reconnects.
+///
+/// # Errors
+///
+/// Returns the last connect error once the timeout is spent.
+pub fn connect_with_backoff(
+    addr: &str,
+    timeout: Duration,
+    backoff: &mut Backoff,
+) -> Result<TcpStream> {
     let deadline = Instant::now() + timeout;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
             Err(e) if Instant::now() >= deadline => return Err(ServeError::Io(e)),
-            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            Err(_) => std::thread::sleep(backoff.next_delay()),
         }
     }
 }
@@ -64,9 +153,129 @@ pub fn stream_request(
         }
         on_line(&line)?;
     }
-    Err(protocol_error(
+    // A stream that ends without a terminal line is the signature of a
+    // dropped connection (server crash, injected disconnect) — an I/O
+    // condition, and therefore *transient*: resumable clients retry it.
+    Err(ServeError::Io(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
         "response stream ended without a terminal status line",
-    ))
+    )))
+}
+
+/// What a finished [`stream_campaign_resumable`] run looked like.
+#[derive(Debug)]
+pub struct ResumeReport {
+    /// Rows relayed to the caller — every requested cell exactly once.
+    pub rows: usize,
+    /// Connections that failed mid-flight and were resumed.
+    pub reconnects: usize,
+    /// The terminal line of the final (successful) connection.
+    pub terminal: Terminal,
+}
+
+/// Streams a campaign request, surviving mid-stream failures: on a
+/// transient error (dropped socket, overload shed) it reconnects — with
+/// the jittered schedule of a [`Backoff`] seeded by `backoff_seed` — and
+/// re-requests **only the cells it has not yet relayed**, up to
+/// `max_retries` times.  Each relayed row's `cell_index` marks its cell
+/// complete; cells keep their global grid position on resume, so the
+/// reassembled stream is byte-identical to an uninterrupted one, and a
+/// warm store retrains nothing.
+///
+/// `cells: None` requests the whole grid of `scale`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Exhausted`] once `max_retries` transient
+/// failures are spent, or the first non-transient error (protocol
+/// violation, engine failure) immediately.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_campaign_resumable(
+    addr: &str,
+    scale: ExperimentScale,
+    base_seed: u64,
+    cells: Option<&[usize]>,
+    max_retries: usize,
+    backoff_seed: u64,
+    connect_timeout: Duration,
+    mut on_line: impl FnMut(&str) -> Result<()>,
+) -> Result<ResumeReport> {
+    let grid_len = CampaignConfig { scale, base_seed }.grid().len();
+    let wanted: Vec<usize> = match cells {
+        Some(cells) => cells.to_vec(),
+        None => (0..grid_len).collect(),
+    };
+    let mut done: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut rows = 0usize;
+    let mut failures = 0usize;
+    let mut backoff = Backoff::new(backoff_seed);
+    loop {
+        // Always re-request the explicit complement: the server keeps
+        // each cell at its global grid position, so a subset's rows are
+        // byte-identical to the same rows of a full run.
+        let remaining: Vec<usize> = wanted.iter().copied().filter(|i| !done.contains(i)).collect();
+        let request = Request::Campaign {
+            scale,
+            base_seed,
+            cells: Some(remaining),
+        };
+        let mut progressed = false;
+        let outcome = connect_with_backoff(addr, connect_timeout, &mut backoff)
+            .and_then(|stream| {
+                stream_request(stream, &request, |line| {
+                    let row = ParsedRow::parse(line)
+                        .map_err(|e| protocol_error(format!("bad campaign row: {e}")))?;
+                    if done.insert(row.index) {
+                        on_line(line)?;
+                        rows += 1;
+                        progressed = true;
+                    }
+                    Ok(())
+                })
+            })
+            .and_then(|terminal| match terminal.status.as_str() {
+                "ok" => Ok(terminal),
+                "overloaded" => Err(ServeError::Overloaded(
+                    terminal
+                        .error
+                        .unwrap_or_else(|| "server at capacity".to_string()),
+                )),
+                _ => Err(ServeError::Core(CoreError::Internal(format!(
+                    "server failed the request: {}",
+                    terminal.error.as_deref().unwrap_or("unknown error"),
+                )))),
+            });
+        match outcome {
+            Ok(terminal) => {
+                return Ok(ResumeReport {
+                    rows,
+                    reconnects: failures,
+                    terminal,
+                });
+            }
+            Err(e) if e.is_transient() && failures < max_retries => {
+                failures += 1;
+                if progressed {
+                    // Real rows flowed before the failure: the server is
+                    // alive, so restart the schedule from its base.
+                    backoff.reset();
+                }
+                eprintln!(
+                    "client: transient failure ({e}); reconnect {failures}/{max_retries} \
+                     with {} cells remaining",
+                    wanted.len() - done.len()
+                );
+                std::thread::sleep(backoff.next_delay());
+            }
+            Err(e) if e.is_transient() => {
+                return Err(ServeError::Exhausted {
+                    attempts: failures + 1,
+                    last: Box::new(e),
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// One-shot request against `addr` (no retry): connect, stream, return the
@@ -115,5 +324,63 @@ pub fn shutdown(addr: &str) -> Result<()> {
             "shutdown not acknowledged: status `{}`",
             terminal.status
         )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64, n: usize) -> Vec<Duration> {
+        let mut backoff = Backoff::new(seed);
+        (0..n).map(|_| backoff.next_delay()).collect()
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        assert_eq!(schedule(7, 12), schedule(7, 12), "same seed, same schedule");
+        assert_ne!(
+            schedule(7, 12),
+            schedule(8, 12),
+            "different seeds must de-synchronize"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter_and_caps() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(1);
+        for (k, delay) in schedule(3, 12).into_iter().enumerate() {
+            let raw = base
+                .saturating_mul(1u32 << k.min(20) as u32)
+                .min(cap);
+            // Jitter fraction is in [0.5, 1.0): the delay never exceeds
+            // the raw exponential value and never undershoots half of it.
+            assert!(delay >= raw / 2, "attempt {k}: {delay:?} < {:?}", raw / 2);
+            assert!(delay < raw + Duration::from_nanos(1), "attempt {k}: {delay:?} > {raw:?}");
+        }
+        // Deep attempts are capped at ~1s, never longer.
+        let mut backoff = Backoff::new(11);
+        let mut late = Duration::ZERO;
+        for _ in 0..32 {
+            late = backoff.next_delay();
+        }
+        assert!(late <= cap);
+        assert!(late >= cap / 2);
+    }
+
+    #[test]
+    fn backoff_reset_restarts_the_schedule() {
+        let mut backoff = Backoff::new(5);
+        let first = backoff.next_delay();
+        for _ in 0..6 {
+            backoff.next_delay();
+        }
+        backoff.reset();
+        assert_eq!(
+            backoff.next_delay(),
+            first,
+            "reset must replay attempt 0 exactly (same seed, same draw)"
+        );
     }
 }

@@ -14,6 +14,49 @@ pub enum ServeError {
     Protocol(String),
     /// The campaign engine rejected or failed the request.
     Core(CoreError),
+    /// The server shed this connection at its accept gate
+    /// (`"status":"overloaded"` terminal) — back off and retry.
+    Overloaded(String),
+    /// A retry budget ran out on transient failures: `attempts`
+    /// connections all ended in `last`-like errors.
+    Exhausted {
+        /// Total connection attempts made (initial + retries).
+        attempts: usize,
+        /// The failure the final attempt died on.
+        last: Box<ServeError>,
+    },
+}
+
+impl ServeError {
+    /// Whether retrying the same request against the same server can
+    /// plausibly succeed: socket failures and overload sheds are
+    /// transient; protocol violations and engine errors would only repeat.
+    ///
+    /// [`ServeError::Exhausted`] is classified by the failure class it
+    /// wraps (always transient in practice — only transient errors are
+    /// retried), so callers can still tell *why* the budget died.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServeError::Io(_) | ServeError::Overloaded(_) => true,
+            ServeError::Protocol(_) | ServeError::Core(_) => false,
+            ServeError::Exhausted { last, .. } => last.is_transient(),
+        }
+    }
+
+    /// The process exit code a CLI should die with on this error: `3` for
+    /// transient failures (exhausted retries included — rerunning the
+    /// command may succeed), `4` for protocol/engine errors (rerunning
+    /// will fail the same way).  `0`/`2` (success/usage) live in the
+    /// binaries.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        if self.is_transient() {
+            3
+        } else {
+            4
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -22,6 +65,10 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServeError::Core(e) => write!(f, "campaign error: {e}"),
+            ServeError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
+            ServeError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -30,8 +77,9 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Io(e) => Some(e),
-            ServeError::Protocol(_) => None,
+            ServeError::Protocol(_) | ServeError::Overloaded(_) => None,
             ServeError::Core(e) => Some(e),
+            ServeError::Exhausted { last, .. } => Some(last.as_ref()),
         }
     }
 }
@@ -55,3 +103,35 @@ pub(crate) fn protocol_error(detail: impl std::fmt::Display) -> ServeError {
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification_drives_exit_codes() {
+        let io = ServeError::Io(std::io::Error::other("gone"));
+        assert!(io.is_transient());
+        assert_eq!(io.exit_code(), 3);
+
+        let shed = ServeError::Overloaded("busy".to_string());
+        assert!(shed.is_transient());
+        assert_eq!(shed.exit_code(), 3);
+
+        let proto = protocol_error("bad line");
+        assert!(!proto.is_transient());
+        assert_eq!(proto.exit_code(), 4);
+
+        let core = ServeError::Core(CoreError::InvalidConfig("x".to_string()));
+        assert!(!core.is_transient());
+        assert_eq!(core.exit_code(), 4);
+
+        let exhausted = ServeError::Exhausted {
+            attempts: 5,
+            last: Box::new(ServeError::Io(std::io::Error::other("reset"))),
+        };
+        assert!(exhausted.is_transient());
+        assert_eq!(exhausted.exit_code(), 3);
+        assert!(exhausted.to_string().contains("after 5 attempts"));
+    }
+}

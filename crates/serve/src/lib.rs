@@ -58,7 +58,8 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
+pub use client::{Backoff, ResumeReport};
 pub use error::{Result, ServeError};
 pub use metrics::ServeMetrics;
 pub use protocol::{Request, Terminal};
-pub use server::{Server, STREAM_QUEUE_CAPACITY};
+pub use server::{Server, ServerConfig, STREAM_QUEUE_CAPACITY};

@@ -29,6 +29,14 @@ pub struct ServeMetrics {
     max_queue_depth: AtomicU64,
     /// Streams that died on a socket error (client gone mid-stream).
     stream_errors: AtomicU64,
+    /// Connections shed at the accept gate with an `overloaded` terminal
+    /// because `max_connections` were already active.
+    overload_sheds: AtomicU64,
+    /// Connection handlers that panicked and were caught (the connection
+    /// got an `error` terminal; the server kept serving).
+    panics: AtomicU64,
+    /// Connections dropped because a socket read or write timed out.
+    timeouts: AtomicU64,
     /// Scheduler telemetry of the most recent grid run.
     last_scheduler: Mutex<Option<SchedulerStats>>,
 }
@@ -84,6 +92,28 @@ impl ServeMetrics {
         self.stream_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Number of connections currently being served — the accept loop's
+    /// overload gate reads this against `max_connections`.
+    #[must_use]
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection shed at the accept gate.
+    pub fn overload_shed(&self) {
+        self.overload_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a caught connection-handler panic.
+    pub fn panic_caught(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection dropped by a socket timeout.
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Remembers the scheduler telemetry of the run that just finished.
     pub fn record_run(&self, stats: SchedulerStats) {
         *self.last_scheduler.lock().expect("metrics lock poisoned") = Some(stats);
@@ -102,9 +132,11 @@ impl ServeMetrics {
         format!(
             "{{\"status\":{},\"connections\":{},\"active_connections\":{},\
              \"requests\":{},\"rows_streamed\":{},\"queue_depth\":{},\
-             \"max_queue_depth\":{},\"stream_errors\":{},\
+             \"max_queue_depth\":{},\"stream_errors\":{},\"overload_sheds\":{},\
+             \"panics\":{},\"timeouts\":{},\
              \"store\":{{\"trained\":{},\"memory_hits\":{},\"disk_hits\":{},\
-             \"inflight_joins\":{}}},\"scheduler\":{}}}",
+             \"inflight_joins\":{},\"persist_errors\":{},\
+             \"corrupt_quarantined\":{},\"training_panics\":{}}},\"scheduler\":{}}}",
             encode_json_string("metrics"),
             self.connections.load(Ordering::Relaxed),
             self.active_connections.load(Ordering::Relaxed),
@@ -113,10 +145,16 @@ impl ServeMetrics {
             self.queue_depth.load(Ordering::Relaxed),
             self.max_queue_depth.load(Ordering::Relaxed),
             self.stream_errors.load(Ordering::Relaxed),
+            self.overload_sheds.load(Ordering::Relaxed),
+            self.panics.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
             store.trained,
             store.memory_hits,
             store.disk_hits,
             store.inflight_joins,
+            store.persist_errors,
+            store.corrupt_quarantined,
+            store.training_panics,
             scheduler,
         )
     }
@@ -137,11 +175,15 @@ mod tests {
         metrics.row_dequeued();
         metrics.row_streamed();
         metrics.connection_done();
+        metrics.overload_shed();
+        metrics.panic_caught();
         let stats = StoreStats {
             trained: 4,
             memory_hits: 3,
             disk_hits: 0,
             inflight_joins: 2,
+            persist_errors: 1,
+            ..StoreStats::default()
         };
         let line = metrics.to_json(&stats);
         let value = parse_json_line(&line).unwrap();
@@ -151,9 +193,15 @@ mod tests {
         assert_eq!(value.u64_field("rows_streamed").unwrap(), 1);
         assert_eq!(value.u64_field("queue_depth").unwrap(), 1);
         assert_eq!(value.u64_field("max_queue_depth").unwrap(), 2);
+        assert_eq!(value.u64_field("overload_sheds").unwrap(), 1);
+        assert_eq!(value.u64_field("panics").unwrap(), 1);
+        assert_eq!(value.u64_field("timeouts").unwrap(), 0);
         let store = value.get("store").unwrap();
         assert_eq!(store.u64_field("trained").unwrap(), 4);
         assert_eq!(store.u64_field("inflight_joins").unwrap(), 2);
+        assert_eq!(store.u64_field("persist_errors").unwrap(), 1);
+        assert_eq!(store.u64_field("corrupt_quarantined").unwrap(), 0);
+        assert_eq!(store.u64_field("training_panics").unwrap(), 0);
         assert_eq!(value.get("scheduler").unwrap(), &berry_core::JsonValue::Null);
     }
 }

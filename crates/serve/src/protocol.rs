@@ -261,10 +261,23 @@ pub fn error_line(rows: usize, error: &str) -> String {
     )
 }
 
+/// Builds the terminal line a connection shed at the accept gate receives
+/// when `max_connections` are already being served — transient by
+/// definition: the client should back off and retry.
+#[must_use]
+pub fn overloaded_line(active: u64, max: usize) -> String {
+    format!(
+        "{{\"status\":\"overloaded\",\"rows\":0,\"error\":{}}}",
+        encode_json_string(&format!(
+            "server at capacity ({active} active connections, limit {max}); retry with backoff"
+        ))
+    )
+}
+
 /// The terminal line of a response stream, parsed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Terminal {
-    /// `"ok"`, `"error"` or `"metrics"`.
+    /// `"ok"`, `"error"`, `"overloaded"` or `"metrics"`.
     pub status: String,
     /// Rows streamed before this line (0 for metrics/shutdown).
     pub rows: usize,
@@ -406,5 +419,12 @@ mod tests {
 
         let row_like = parse_json_line("{\"index\":0,\"id\":\"cell\"}").unwrap();
         assert!(!Terminal::is_terminal(&row_like));
+
+        let shed = parse_json_line(&overloaded_line(64, 64)).unwrap();
+        assert!(Terminal::is_terminal(&shed));
+        let terminal = Terminal::from_value(shed).unwrap();
+        assert_eq!(terminal.status, "overloaded");
+        assert_eq!(terminal.rows, 0);
+        assert!(terminal.error.unwrap().contains("retry with backoff"));
     }
 }

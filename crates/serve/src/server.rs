@@ -16,43 +16,106 @@
 //! are produced by the same `CampaignRow::to_json_line` the
 //! `campaign_runner` artifact writer uses, so served rows are
 //! byte-identical to a direct run.
+//!
+//! # Graceful degradation
+//!
+//! The server is built to degrade, not die, when clients misbehave
+//! ([`ServerConfig`] holds the knobs):
+//!
+//! * **Socket timeouts** — every accepted connection gets read/write
+//!   timeouts, so a client that connects and goes silent (or stops
+//!   draining its stream) is dropped with an `error` terminal instead of
+//!   pinning a thread forever (counted in the `timeouts` metric).
+//! * **Overload shedding** — when `max_connections` are already active,
+//!   new connections get a one-line `{"status":"overloaded"}` terminal
+//!   and are closed at the accept gate (`overload_sheds` metric); clients
+//!   treat it as transient and retry with backoff.
+//! * **Panic isolation** — a panicking connection handler (or engine
+//!   thread) is caught, answered with an `error` terminal, and counted
+//!   (`panics` metric); the server keeps serving every other connection.
+//! * **Draining shutdown** — a shutdown request stops the accept loop but
+//!   the connection scope still joins every in-flight stream, so no
+//!   client is cut off mid-row.
+//!
+//! Chaos tests drive these paths deterministically through the failpoint
+//! sites `serve.read_request`, `serve.write_row` and `serve.panic`
+//! (builds with the `failpoints` feature only).
 
 use berry_core::campaign::{run_axes_grid_in, run_grid_resumable_in, CampaignConfig, EvalAxis};
 use berry_core::experiment::ExperimentScale;
-use berry_core::{CompletedSet, CoreError, PolicyStore, SchedulerStats, StoreStats};
+use berry_core::{failpoint, CompletedSet, CoreError, PolicyStore, SchedulerStats, StoreStats};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::sync_channel;
+use std::time::Duration;
 
 use crate::error::{protocol_error, Result, ServeError};
 use crate::metrics::ServeMetrics;
-use crate::protocol::{error_line, ok_line, Request};
+use crate::protocol::{error_line, ok_line, overloaded_line, Request};
 
 /// Rows a stream may buffer between the engine and a slow socket before
 /// the engine blocks — the backpressure bound.
 pub const STREAM_QUEUE_CAPACITY: usize = 64;
+
+/// Degradation limits of a [`Server`] — how long it waits on a socket and
+/// how many connections it serves before shedding.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-connection socket read timeout (`None` waits forever).  Bounds
+    /// how long a silent client can hold a connection thread.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout (`None` waits forever).
+    /// Bounds how long a client that stops draining its stream can block
+    /// the engine through the bounded channel.
+    pub write_timeout: Option<Duration>,
+    /// Connections served concurrently before the accept gate sheds new
+    /// ones with an `overloaded` terminal.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_connections: 64,
+        }
+    }
+}
 
 /// A bound listener plus the state every connection shares.
 pub struct Server {
     listener: TcpListener,
     store: PolicyStore,
     metrics: ServeMetrics,
+    config: ServerConfig,
     shutdown: AtomicBool,
 }
 
 impl Server {
     /// Binds the server to `addr` (e.g. `127.0.0.1:7878`, or port `0` for
-    /// an ephemeral test port) over the given store.
+    /// an ephemeral test port) over the given store, with the default
+    /// [`ServerConfig`].
     ///
     /// # Errors
     ///
     /// Returns an error if the address cannot be bound.
     pub fn bind(addr: &str, store: PolicyStore) -> Result<Self> {
+        Self::bind_with(addr, store, ServerConfig::default())
+    }
+
+    /// [`Self::bind`] with explicit degradation limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn bind_with(addr: &str, store: PolicyStore, config: ServerConfig) -> Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             store,
             metrics: ServeMetrics::new(),
+            config,
             shutdown: AtomicBool::new(false),
         })
     }
@@ -72,13 +135,14 @@ impl Server {
     }
 
     /// Accepts and serves connections until a shutdown request arrives,
-    /// then waits for in-flight connections to finish.
+    /// then waits for in-flight connections to finish (the scope join is
+    /// the drain: shutdown never cuts a stream mid-row).
     ///
     /// # Errors
     ///
-    /// Returns an error if `accept` itself fails; per-connection errors
-    /// are answered on that connection (and logged) without stopping the
-    /// server.
+    /// Returns an error if `accept` itself fails; per-connection errors —
+    /// including handler panics — are answered on that connection (and
+    /// logged) without stopping the server.
     pub fn run(&self) -> Result<()> {
         std::thread::scope(|scope| {
             for stream in self.listener.incoming() {
@@ -86,11 +150,28 @@ impl Server {
                     break;
                 }
                 let stream = stream?;
+                let active = self.metrics.active_connections();
+                if active >= self.config.max_connections as u64 {
+                    // Shed at the gate: one terminal line telling the
+                    // client to back off, then the connection closes.
+                    // Cheaper than queueing it behind `max_connections`
+                    // streams it would time out waiting on anyway.
+                    self.metrics.overload_shed();
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let mut out = BufWriter::new(&stream);
+                    let _ = writeln!(
+                        out,
+                        "{}",
+                        overloaded_line(active, self.config.max_connections)
+                    );
+                    let _ = out.flush();
+                    continue;
+                }
+                let _ = stream.set_read_timeout(self.config.read_timeout);
+                let _ = stream.set_write_timeout(self.config.write_timeout);
                 scope.spawn(move || {
                     self.metrics.connection_opened();
-                    if let Err(e) = self.handle(&stream) {
-                        eprintln!("serve: connection failed: {e}");
-                    }
+                    self.handle_isolated(&stream);
                     self.metrics.connection_done();
                 });
             }
@@ -98,10 +179,53 @@ impl Server {
         })
     }
 
+    /// Runs [`Self::handle`] behind a panic guard: a panicking handler
+    /// answers *its own* connection with an `error` terminal and the
+    /// server keeps serving everyone else.
+    fn handle_isolated(&self, stream: &TcpStream) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(stream))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if let ServeError::Io(io) = &e {
+                    if matches!(
+                        io.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) {
+                        self.metrics.timeout();
+                    }
+                }
+                eprintln!("serve: connection failed: {e}");
+            }
+            Err(payload) => {
+                self.metrics.panic_caught();
+                let msg = failpoint::panic_message(&*payload);
+                eprintln!("serve: connection handler panicked (server keeps serving): {msg}");
+                let mut out = BufWriter::new(stream);
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    error_line(0, &format!("internal error: connection handler panicked: {msg}"))
+                );
+                let _ = out.flush();
+            }
+        }
+    }
+
     /// Serves one connection: read the request line, stream the response.
     fn handle(&self, stream: &TcpStream) -> Result<()> {
+        failpoint::maybe_panic("serve.panic");
         let mut line = String::new();
-        BufReader::new(stream).read_line(&mut line)?;
+        let read = failpoint::io_check("serve.read_request")
+            .and_then(|()| BufReader::new(stream).read_line(&mut line).map(|_| ()));
+        if let Err(e) = read {
+            // A terminal line on the way out, so a timed-out (or chaos-
+            // injected) read is visible to the client as an error, not as
+            // a silently dropped socket.
+            let mut out = BufWriter::new(stream);
+            let _ = writeln!(out, "{}", error_line(0, &format!("request read failed: {e}")));
+            let _ = out.flush();
+            return Err(ServeError::Io(e));
+        }
         let mut out = BufWriter::new(stream);
         let request = match Request::parse(line.trim_end()) {
             Ok(request) => request,
@@ -261,7 +385,33 @@ impl Server {
             for line in &rx {
                 self.metrics.row_dequeued();
                 dequeued += 1;
-                if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+                // The chaos hook for mid-stream failures: `disconnect`
+                // severs the socket at the TCP layer (the client sees a
+                // reset, exactly like a crashed server), `delay` stalls
+                // the writer (exercising client read timeouts), `return`
+                // fails the write without touching the socket.
+                let injected = match failpoint::hit("serve.write_row") {
+                    Some(failpoint::Action::Disconnect) => {
+                        let _ = out.get_ref().shutdown(std::net::Shutdown::Both);
+                        Some(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionReset,
+                            "failpoint serve.write_row: injected disconnect",
+                        ))
+                    }
+                    Some(failpoint::Action::ReturnError(msg)) => {
+                        Some(std::io::Error::other(format!("failpoint serve.write_row: {msg}")))
+                    }
+                    Some(failpoint::Action::Delay(d)) => {
+                        std::thread::sleep(d);
+                        None
+                    }
+                    _ => None,
+                };
+                let wrote = match injected {
+                    Some(e) => Err(e),
+                    None => writeln!(out, "{line}").and_then(|()| out.flush()),
+                };
+                if let Err(e) = wrote {
                     self.metrics.stream_error();
                     socket_error = Some(e);
                     // Dropping the receiver breaks the channel so the
@@ -272,7 +422,19 @@ impl Server {
                 *rows_streamed += 1;
             }
             drop(rx);
-            let outcome = engine_thread.join().expect("engine thread panicked");
+            let outcome = match engine_thread.join() {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    // A panicked engine fails this request with an error
+                    // terminal; the server (and the shared store) carry on.
+                    self.metrics.panic_caught();
+                    let msg = failpoint::panic_message(&*payload);
+                    eprintln!(
+                        "serve: engine thread panicked (connection gets an error terminal): {msg}"
+                    );
+                    Err(CoreError::Internal(format!("engine thread panicked: {msg}")))
+                }
+            };
             // The join synchronizes with the engine's last send: any rows
             // it enqueued that we never drained died with the channel.
             self.metrics
@@ -303,11 +465,30 @@ impl Server {
     /// One stdout line per served request, with the store-stat *deltas*
     /// this request caused — "trained 0 policies" here is what the CI
     /// service-smoke job greps to prove a warm rerun retrains nothing.
+    /// Resilience counters are appended (never inserted) so existing
+    /// greps stay anchored, and only when nonzero so fault-free logs are
+    /// unchanged byte-for-byte.
     fn log_request(&self, kind: &str, scale: ExperimentScale, rows: usize, before: &StoreStats) {
         let after = self.store.stats();
+        let mut degraded = String::new();
+        for (label, delta) in [
+            ("persist errors", after.persist_errors - before.persist_errors),
+            (
+                "corrupt quarantined",
+                after.corrupt_quarantined - before.corrupt_quarantined,
+            ),
+            (
+                "training panics",
+                after.training_panics - before.training_panics,
+            ),
+        ] {
+            if delta > 0 {
+                degraded.push_str(&format!(", {delta} {label}"));
+            }
+        }
         println!(
             "serve: {kind} {} -> {rows} rows; store: trained {} policies, \
-             {} memory hits, {} disk hits, {} in-flight joins",
+             {} memory hits, {} disk hits, {} in-flight joins{degraded}",
             scale.name(),
             after.trained - before.trained,
             after.memory_hits - before.memory_hits,

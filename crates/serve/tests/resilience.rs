@@ -1,0 +1,255 @@
+//! Resilience contracts of the evaluation service: the server degrades
+//! instead of dying, and the resumable client heals instead of failing.
+//!
+//! Feature-independent tests cover the always-on degradation paths
+//! (socket timeouts, overload shedding, transient classification).  The
+//! chaos test — gated on the `failpoints` feature — injects mid-stream
+//! disconnects and handler panics deterministically and proves the
+//! reassembled artifact is **byte-identical** to an uninterrupted run
+//! with **zero** extra policies trained.
+
+use berry_core::experiment::ExperimentScale;
+use berry_core::{parse_json_line, PolicyStore};
+use berry_serve::{client, Request, ServeError, Server, ServerConfig};
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const SEED: u64 = 0xBE11;
+const CONNECT: Duration = Duration::from_secs(5);
+
+fn campaign_request() -> Request {
+    Request::Campaign {
+        scale: ExperimentScale::Smoke,
+        base_seed: SEED,
+        cells: None,
+    }
+}
+
+/// The smoke grid's artifact lines straight from the engine — the byte
+/// reference the chaos test compares every served stream against.
+#[cfg(feature = "failpoints")]
+fn reference_lines() -> Vec<String> {
+    let store = PolicyStore::in_memory();
+    berry_core::run_grid_serial_in(
+        &berry_core::Scenario::smoke_grid(),
+        ExperimentScale::Smoke,
+        SEED,
+        &store,
+    )
+    .expect("smoke campaign must not error")
+    .iter()
+    .map(|row| row.to_json_line())
+    .collect()
+}
+
+/// A client that connects and never sends its request line is dropped by
+/// the read timeout — with an `error` terminal on the way out (so the
+/// client can tell a timeout from a crash) and a `timeouts` metric tick,
+/// while the server keeps serving.
+#[test]
+fn silent_clients_time_out_with_an_error_terminal() {
+    let config = ServerConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind_with("127.0.0.1:0", PolicyStore::in_memory(), config).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .expect("the timeout answer must arrive");
+    let value = parse_json_line(line.trim_end()).expect("terminal must be JSON");
+    assert_eq!(value.str_field("status").unwrap(), "error");
+    assert!(
+        value.str_field("error").unwrap().contains("request read failed"),
+        "the terminal must name the read failure: {line}"
+    );
+
+    // The server is still healthy: it answers metrics and counts the drop.
+    let metrics = client::fetch_metrics(&addr).expect("server must keep serving");
+    assert!(metrics.value.u64_field("timeouts").unwrap() >= 1);
+
+    client::shutdown(&addr).expect("shutdown");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server must exit cleanly");
+}
+
+/// At capacity the accept gate answers one `overloaded` terminal instead
+/// of queueing or dropping — and the client side classifies that as
+/// *transient*: the resumable client retries it and, once retries are
+/// spent, exits with the transient code.
+#[test]
+fn overload_sheds_are_answered_and_classified_transient() {
+    // `max_connections: 0` sheds every connection — the deterministic way
+    // to hold the gate closed without a fleet of stuck clients.
+    let config = ServerConfig {
+        max_connections: 0,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind_with("127.0.0.1:0", PolicyStore::in_memory(), config).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    // Every connection is shed, so no shutdown request can get through:
+    // the accept loop is intentionally leaked with the test process.
+    std::thread::spawn(move || server.run());
+
+    let terminal =
+        client::request(&addr, &campaign_request(), |_| Ok(())).expect("shed answers in-band");
+    assert_eq!(terminal.status, "overloaded");
+    assert_eq!(terminal.rows, 0);
+    assert!(
+        terminal.error.as_deref().unwrap_or("").contains("capacity"),
+        "the shed line must say why: {terminal:?}"
+    );
+
+    // The resumable client backs off, retries, and — against a gate that
+    // never opens — exhausts with the *transient* exit code so an
+    // orchestrator knows a later retry may still succeed.
+    let err = client::stream_campaign_resumable(
+        &addr,
+        ExperimentScale::Smoke,
+        SEED,
+        None,
+        1,
+        7,
+        CONNECT,
+        |_| Ok(()),
+    )
+    .expect_err("a closed gate must exhaust the retries");
+    assert!(err.is_transient());
+    assert_eq!(err.exit_code(), 3);
+    match err {
+        ServeError::Exhausted { attempts, last } => {
+            assert_eq!(attempts, 2, "one retry means two attempts");
+            assert!(matches!(*last, ServeError::Overloaded(_)));
+        }
+        other => panic!("expected Exhausted, got {other}"),
+    }
+}
+
+/// The full chaos scenario, driven by deterministic failpoints: a server
+/// that disconnects mid-stream twice and panics once still yields — via
+/// the self-healing client — a byte-identical artifact with zero extra
+/// policies trained, and isolates the panic to its own connection.
+///
+/// One sequential test (not several) because failpoint sites are
+/// process-global: parallel tests arming `serve.*` would race.
+#[cfg(feature = "failpoints")]
+#[test]
+fn chaos_disconnects_heal_byte_identically_and_panics_are_isolated() {
+    use berry_core::failpoint;
+
+    let reference = reference_lines();
+    let server = Server::bind("127.0.0.1:0", PolicyStore::in_memory()).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Warm pass, no faults armed: trains the 4 smoke pairs.
+    let mut warm = Vec::new();
+    let report = client::stream_campaign_resumable(
+        &addr,
+        ExperimentScale::Smoke,
+        SEED,
+        None,
+        0,
+        1,
+        CONNECT,
+        |line| {
+            warm.push(line.to_string());
+            Ok(())
+        },
+    )
+    .expect("fault-free stream");
+    assert_eq!(warm, reference);
+    assert_eq!(report.reconnects, 0);
+
+    // Phase 1 — mid-stream disconnects. every(2)*times(2) severs the
+    // socket at the 2nd and 4th row writes: connection 1 delivers row 0
+    // and dies, connection 2 delivers row 1 and dies, connection 3
+    // finishes.  The client reassembles across all three.
+    failpoint::arm("serve.write_row", "every(2)*times(2)*disconnect").expect("arm");
+    let mut healed = Vec::new();
+    let report = client::stream_campaign_resumable(
+        &addr,
+        ExperimentScale::Smoke,
+        SEED,
+        None,
+        4,
+        9,
+        CONNECT,
+        |line| {
+            healed.push(line.to_string());
+            Ok(())
+        },
+    )
+    .expect("the stream must heal within 4 retries");
+    failpoint::disarm("serve.write_row");
+    assert_eq!(
+        healed, reference,
+        "the reassembled artifact must be byte-identical to an uninterrupted run"
+    );
+    assert_eq!(report.rows, reference.len());
+    assert_eq!(report.reconnects, 2, "two injected disconnects, two heals");
+
+    // Healing re-requested only missing cells against a warm store: the
+    // chaos run trained nothing beyond the warm pass's 4 pairs.
+    let metrics = client::fetch_metrics(&addr).expect("metrics");
+    let store = metrics.value.get("store").expect("store stats");
+    assert_eq!(
+        store.u64_field("trained").unwrap(),
+        reference.len() as u64,
+        "chaos resume must retrain zero policies"
+    );
+
+    // Phase 2 — a handler panic is answered on its own connection...
+    failpoint::arm("serve.panic", "times(1)*panic").expect("arm");
+    let terminal =
+        client::request(&addr, &campaign_request(), |_| Ok(())).expect("answered in-band");
+    assert_eq!(terminal.status, "error");
+    assert!(
+        terminal.error.as_deref().unwrap_or("").contains("panicked"),
+        "the terminal must say the handler panicked: {terminal:?}"
+    );
+    // ...and the client classifies it fatal: deterministic failures must
+    // not trigger a retry storm.
+    failpoint::arm("serve.panic", "times(1)*panic").expect("arm");
+    let err = client::stream_campaign_resumable(
+        &addr,
+        ExperimentScale::Smoke,
+        SEED,
+        None,
+        3,
+        5,
+        CONNECT,
+        |_| Ok(()),
+    )
+    .expect_err("an error terminal is fatal, not retried");
+    assert!(!err.is_transient());
+    assert_eq!(err.exit_code(), 4);
+
+    // The server survived both panics and still serves clean requests.
+    let mut after = Vec::new();
+    let terminal = client::request(&addr, &campaign_request(), |line| {
+        after.push(line.to_string());
+        Ok(())
+    })
+    .expect("the server must keep serving after caught panics");
+    assert_eq!(terminal.status, "ok");
+    assert_eq!(after, reference);
+    let metrics = client::fetch_metrics(&addr).expect("metrics");
+    assert!(metrics.value.u64_field("panics").unwrap() >= 2);
+
+    failpoint::disarm_all();
+    client::shutdown(&addr).expect("shutdown");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server must exit cleanly");
+}
