@@ -14,6 +14,7 @@ use crate::Result;
 use berry_faults::chip::ChipProfile;
 use berry_hw::accelerator::{Accelerator, ProcessingReport};
 use berry_hw::workload::NetworkWorkload;
+use berry_nn::gemm::Precision;
 use berry_nn::network::Sequential;
 use berry_rl::env::Environment;
 use berry_rl::eval::{evaluate_policy_batched, evaluate_policy_seeded_serial, EvalStats};
@@ -40,6 +41,13 @@ pub struct FaultEvaluationConfig {
     /// (capped at the episode count; the statistics are bitwise identical
     /// for any value, so this is purely a throughput knob).
     pub lanes: usize,
+    /// GEMM precision tier every policy inference in this evaluation runs
+    /// at.  `Reference` (the default) reproduces all historical golden
+    /// bits; `Fast` routes through the SIMD microkernels.  Purely an
+    /// *evaluation-side* knob: it is deliberately not part of the training
+    /// fingerprint, so the PolicyStore stays tier-agnostic and both tiers
+    /// evaluate the very same stored policies.
+    pub precision: Precision,
 }
 
 impl Default for FaultEvaluationConfig {
@@ -50,6 +58,7 @@ impl Default for FaultEvaluationConfig {
             max_steps: 60,
             quant_bits: 8,
             lanes: 8,
+            precision: Precision::Reference,
         }
     }
 }
@@ -149,6 +158,7 @@ where
     context.perturb_map_into(&map, &mut scratch)?;
     let episodes = config.fault_maps * config.episodes_per_map;
     let (network, infer) = scratch.network_and_infer();
+    infer.set_precision(config.precision);
     let stats = evaluate_policy_batched(
         network,
         env,
@@ -274,6 +284,7 @@ pub fn evaluate_under_faults_serial<E: Environment + Clone>(
             let mut scratch = context.checkout();
             context.perturb_map_into(&map, &mut scratch)?;
             let (network, infer) = scratch.network_and_infer();
+            infer.set_precision(config.precision);
             let stats = evaluate_policy_seeded_serial(
                 network,
                 env,
@@ -312,6 +323,7 @@ fn evaluate_one_fault_map<E: Environment + Clone>(
     let mut scratch = context.checkout();
     context.perturb_map_into(&map, &mut scratch)?;
     let (network, infer) = scratch.network_and_infer();
+    infer.set_precision(config.precision);
     let stats = evaluate_policy_batched(
         network,
         env,

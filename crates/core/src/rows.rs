@@ -795,6 +795,7 @@ mod tests {
             5,
             &PolicyStore::in_memory(),
             &[],
+            berry_nn::gemm::Precision::Reference,
         )
         .unwrap()
     }

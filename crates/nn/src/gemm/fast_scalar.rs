@@ -1,0 +1,69 @@
+//! Portable scalar implementation of the Fast tier's eight-lane
+//! accumulation spec (see [`super::fast`]): the fallback on CPUs without
+//! AVX2/NEON and the arbiter CI pins the SIMD backends against.
+//!
+//! `f32::mul_add` lowers to a hardware FMA where one exists and to the
+//! correctly-rounded libm `fmaf` otherwise — either way a single rounding
+//! per term, exactly what the vector `fmadd` lanes compute.
+
+use super::fast::{KR, MR_F, NR_F};
+
+/// A strip of microtiles: `A` rows `[i_begin, i_end)` (a multiple of
+/// [`MR_F`] rows) against `B` rows `[j0, j0 + NR_F)`, raw spec dots
+/// written row-major into `out` (`NR_F` dots per `A` row).  One call per
+/// strip is the granularity all backends share, so the per-call cost of
+/// the SIMD entry points (bounds asserts, ISA detection) amortizes over
+/// the whole column of microtiles.
+pub(crate) fn strip(
+    kp: usize,
+    a: &[f32],
+    i_begin: usize,
+    i_end: usize,
+    b: &[f32],
+    j0: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!((i_end - i_begin) % MR_F, 0);
+    debug_assert_eq!(out.len(), (i_end - i_begin) * NR_F);
+    let mut i0 = i_begin;
+    while i0 < i_end {
+        let dots = microkernel(kp, &a[i0 * kp..], &b[j0 * kp..]);
+        for (r, dot_row) in dots.iter().enumerate() {
+            let base = (i0 - i_begin + r) * NR_F;
+            out[base..base + NR_F].copy_from_slice(dot_row);
+        }
+        i0 += MR_F;
+    }
+}
+
+/// One `MR_F`×`NR_F` microtile of raw spec dots over zero-padded packed
+/// rows: `a` holds `MR_F` consecutive `kp`-strided rows, `b` holds `NR_F`.
+pub(crate) fn microkernel(kp: usize, a: &[f32], b: &[f32]) -> [[f32; NR_F]; MR_F] {
+    debug_assert_eq!(kp % KR, 0);
+    let mut out = [[0.0f32; NR_F]; MR_F];
+    for (r, out_row) in out.iter_mut().enumerate() {
+        let a_row = &a[r * kp..(r + 1) * kp];
+        for (s, out_el) in out_row.iter_mut().enumerate() {
+            let b_row = &b[s * kp..(s + 1) * kp];
+            let mut lanes = [0.0f32; KR];
+            for (a_chunk, b_chunk) in a_row.chunks_exact(KR).zip(b_row.chunks_exact(KR)) {
+                for (t, lane) in lanes.iter_mut().enumerate() {
+                    *lane = a_chunk[t].mul_add(b_chunk[t], *lane);
+                }
+            }
+            *out_el = reduce8(&lanes);
+        }
+    }
+    out
+}
+
+/// The spec's fixed reduction tree, shared verbatim by every backend so
+/// the final sums round identically.
+#[inline]
+pub(crate) fn reduce8(l: &[f32; KR]) -> f32 {
+    let s0 = l[0] + l[4];
+    let s1 = l[1] + l[5];
+    let s2 = l[2] + l[6];
+    let s3 = l[3] + l[7];
+    (s0 + s2) + (s1 + s3)
+}

@@ -1,0 +1,1034 @@
+//! The shared im2col/GEMM inference core.
+//!
+//! Every inference-path matrix product in the crate — the batched dense
+//! layer and the im2col-lowered convolution — funnels through
+//! [`gemm_nt`]: a cache-friendly, register-tiled `C = A · Bᵀ` kernel over
+//! row-major operands whose rows share the contraction dimension.  One
+//! kernel serving every layer is what makes the batched lockstep rollout
+//! engine pay a *single* well-optimized forward pass per timestep for all
+//! concurrent episode lanes, instead of many tiny cache-unfriendly ones.
+//!
+//! # Bitwise contract
+//!
+//! The kernel is register-tiled over the *output* dimensions only: every
+//! output element still accumulates its `k` terms in strictly ascending
+//! order with separate multiply and add (no FMA contraction), so each
+//! element's floating-point sequence — and therefore its bits — is
+//! identical to the naive scalar reference regardless of the tile shape or
+//! the batch size.  Two consequences the evaluation protocol relies on:
+//!
+//! * **batch invariance** — row `i` of a batched product is bitwise equal
+//!   to the same row computed alone, which is what lets the lockstep
+//!   rollout engine retire and refill episode lanes without perturbing the
+//!   surviving lanes' Q-values;
+//! * **reference equality** — the GEMM path is bitwise identical to the
+//!   loop-reordered scalar kernels each layer keeps as its auditable
+//!   reference ([`crate::layer::Layer::infer`]), pinned by the
+//!   GEMM-vs-scalar layer tests.
+//!
+//! Zero-valued contraction terms (im2col padding cells, exact-zero
+//! activations skipped by [`crate::tensor::Tensor::matmul`]) contribute
+//! `±0.0` products; since accumulators start from `+0.0` (or a real-valued
+//! bias) and IEEE-754 round-to-nearest addition never turns such a sum into
+//! `-0.0`, including the terms is bitwise equivalent to skipping them.
+//!
+//! # Precision tiers
+//!
+//! The contract above — one strictly ascending accumulation chain per
+//! output element — is exactly what keeps a scalar kernel an order of
+//! magnitude below one core's FMA units: the next multiply-add cannot
+//! start until the previous one retires.  SIMD with multiple accumulators
+//! reassociates the sum and FMA skips an intermediate rounding, so a fast
+//! kernel *cannot* be bitwise-identical to the reference.  Rather than
+//! silently trade bits for speed, the crate names the trade:
+//!
+//! * [`Precision::Reference`] (the default) — the k-ascending separate
+//!   mul+add kernel above.  Bitwise identical to every scalar layer
+//!   reference and to all historical golden pins.
+//! * [`Precision::Fast`] — packed, cache-blocked microkernels
+//!   ([`fast`]) built on an **eight-lane mod-8 accumulation spec** with
+//!   fused multiply-adds and a fixed reduction tree.  The spec is defined
+//!   arithmetically, not by an instruction set, and every backend
+//!   (AVX2+FMA, NEON, and the scalar `f32::mul_add` fallback) implements
+//!   it exactly — so Fast-tier results are *themselves* deterministic and
+//!   bitwise-reproducible across machines, just along a different (and
+//!   more accurate) rounding path than Reference.
+//!
+//! Tier selection is carried by [`GemmScratch`] (and therefore by
+//! `InferScratch`), defaulting to `Reference` everywhere; the backend is
+//! picked once per process by [`detected_fast_backend`] and can be pinned
+//! to the scalar fallback with `BERRY_GEMM_FORCE_SCALAR=1`.
+
+mod fast;
+mod fast_scalar;
+#[cfg(target_arch = "x86_64")]
+mod simd_avx2;
+#[cfg(target_arch = "aarch64")]
+mod simd_neon;
+
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Rows of `A` (output rows) processed per register tile.
+const MR: usize = 4;
+/// Rows of `B` (output columns) processed per register tile.
+const NR: usize = 4;
+
+/// Where the bias enters the accumulation, mirroring the two layer
+/// conventions the training path established.
+#[derive(Debug, Clone, Copy)]
+pub enum BiasMode<'a> {
+    /// No bias: accumulators start from `+0.0`.
+    None,
+    /// One bias value per output **row** (`A` row), *initializing* the
+    /// accumulator — the convolution convention (`acc = bias; acc += taps`).
+    RowInit(&'a [f32]),
+    /// One bias value per output **column** (`B` row), added *after* the
+    /// accumulation — the dense convention (`y = x·Wᵀ + b`).
+    ColAfter(&'a [f32]),
+}
+
+impl BiasMode<'_> {
+    #[inline]
+    fn init(&self, row: usize) -> f32 {
+        match self {
+            BiasMode::RowInit(bias) => bias[row],
+            _ => 0.0,
+        }
+    }
+
+    #[inline]
+    fn finish(&self, col: usize, acc: f32) -> f32 {
+        match self {
+            BiasMode::ColAfter(bias) => acc + bias[col],
+            _ => acc,
+        }
+    }
+}
+
+/// `C[i][j] = bias ⊕ Σₚ A[i][p] · B[j][p]` over row-major `A` (`m×k`),
+/// row-major `B` (`n×k`) and row-major `C` (`m×n`).
+///
+/// Both operands are indexed by *rows sharing the contraction dimension*
+/// (`NT` layout: `A · Bᵀ`), which is exactly how the layers store their
+/// data — dense weights are `[out, in]`, im2col patches are
+/// `[pixels, taps]` — so no packing or transposition is ever needed.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its `m`/`n`/`k` extent implies.
+/// These are real (release-mode) asserts: they name the offending shape
+/// instead of letting the kernel die mid-tile on an opaque slice index,
+/// and they are the soundness precondition the unsafe SIMD microkernels
+/// of the Fast tier rely on.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: BiasMode, c: &mut [f32]) {
+    check_gemm_shapes(m, n, k, a, b, c);
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = MR.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = NR.min(n - j0);
+            if mr == MR && nr == NR {
+                tile_4x4(i0, j0, n, k, a, b, &bias, c);
+            } else {
+                tile_edge(i0, mr, j0, nr, n, k, a, b, &bias, c);
+            }
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+}
+
+/// Validates `A`/`B`/`C` slice lengths against the `m`/`n`/`k` extents at
+/// the API boundary, shared by both precision tiers.
+#[inline]
+pub(crate) fn check_gemm_shapes(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(
+        a.len() >= m * k,
+        "gemm_nt: A holds {} elements but m×k = {m}×{k} requires {}",
+        a.len(),
+        m * k
+    );
+    assert!(
+        b.len() >= n * k,
+        "gemm_nt: B holds {} elements but n×k = {n}×{k} requires {}",
+        b.len(),
+        n * k
+    );
+    assert!(
+        c.len() >= m * n,
+        "gemm_nt: C holds {} elements but m×n = {m}×{n} requires {}",
+        c.len(),
+        m * n
+    );
+}
+
+/// Which accumulation semantics a GEMM call uses — see the
+/// [module docs](self) for the full contract of each tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// k-ascending separate mul+add; bitwise identical to the scalar layer
+    /// references and to every historical golden pin.  The default.
+    #[default]
+    Reference,
+    /// Eight-lane mod-8 FMA accumulation with a fixed reduction tree;
+    /// bitwise-reproducible across AVX2/NEON/scalar backends but *not*
+    /// bitwise-equal to `Reference` (FMA skips a rounding and the lanes
+    /// reassociate the sum).
+    Fast,
+}
+
+impl Precision {
+    /// Parses a tier name (`reference`, `fast`, case-insensitive).
+    /// Returns `None` for anything else so callers can distinguish
+    /// "not given" from "given but wrong".
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_lowercase().as_str() {
+            "reference" | "ref" => Some(Precision::Reference),
+            "fast" => Some(Precision::Fast),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name [`Precision::parse`] inverts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Reference => "reference",
+            Precision::Fast => "fast",
+        }
+    }
+}
+
+/// The instruction-set backend executing the Fast tier's accumulation
+/// spec.  All three produce identical bits; the choice only affects speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastBackend {
+    /// 256-bit AVX2 + FMA microkernel (x86_64).
+    Avx2,
+    /// 128-bit NEON microkernel (aarch64; FMA is baseline there).
+    Neon,
+    /// Portable `f32::mul_add` fallback — correct on every target, and the
+    /// path the CI tier matrix forces with `BERRY_GEMM_FORCE_SCALAR=1` to
+    /// prove backend equivalence on SIMD-capable hosts.
+    Scalar,
+}
+
+impl FastBackend {
+    /// Lowercase backend name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FastBackend::Avx2 => "avx2",
+            FastBackend::Neon => "neon",
+            FastBackend::Scalar => "scalar",
+        }
+    }
+}
+
+/// The Fast-tier backend this process uses, decided once: the scalar
+/// fallback if `BERRY_GEMM_FORCE_SCALAR` is set to `1`/`true`, otherwise
+/// the widest SIMD extension the CPU reports at runtime.
+pub fn detected_fast_backend() -> FastBackend {
+    static BACKEND: OnceLock<FastBackend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        let forced = std::env::var("BERRY_GEMM_FORCE_SCALAR")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        if forced {
+            return FastBackend::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return FastBackend::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return FastBackend::Neon;
+            }
+        }
+        FastBackend::Scalar
+    })
+}
+
+/// [`gemm_nt`] with an explicit precision tier: `Reference` delegates to
+/// the bitwise kernel unchanged, `Fast` routes through the packed SIMD
+/// driver using the process-wide [`detected_fast_backend`].
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its `m`/`n`/`k` extent implies.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: BiasMode,
+    c: &mut [f32],
+    precision: Precision,
+    packs: &mut PackScratch,
+) {
+    match precision {
+        Precision::Reference => gemm_nt(m, n, k, a, b, bias, c),
+        Precision::Fast => fast::gemm_nt_fast(m, n, k, a, b, bias, c, packs, detected_fast_backend()),
+    }
+}
+
+/// Test/bench hook: the Fast tier on an explicitly chosen backend, so the
+/// cross-backend bitwise-equivalence guarantee can be asserted in-process.
+/// A backend the current CPU cannot execute is silently demoted to
+/// [`FastBackend::Scalar`] (which is bitwise-identical anyway).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_fast_with_backend(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: BiasMode,
+    c: &mut [f32],
+    packs: &mut PackScratch,
+    backend: FastBackend,
+) {
+    let backend = match backend {
+        #[cfg(target_arch = "x86_64")]
+        FastBackend::Avx2
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma") =>
+        {
+            FastBackend::Avx2
+        }
+        #[cfg(target_arch = "aarch64")]
+        FastBackend::Neon if std::arch::is_aarch64_feature_detected!("neon") => FastBackend::Neon,
+        _ => FastBackend::Scalar,
+    };
+    fast::gemm_nt_fast(m, n, k, a, b, bias, c, packs, backend);
+}
+
+/// The full `MR×NR` register tile: sixteen scalar accumulators live in
+/// registers across the whole `k` sweep, and each `k` step reuses four
+/// loads of `A` and four of `B` for sixteen multiply-adds.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_4x4(i0: usize, j0: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: &BiasMode, c: &mut [f32]) {
+    let a0 = &a[i0 * k..(i0 + 1) * k];
+    let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+    let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+    let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+    let b0 = &b[j0 * k..(j0 + 1) * k];
+    let b1 = &b[(j0 + 1) * k..(j0 + 2) * k];
+    let b2 = &b[(j0 + 2) * k..(j0 + 3) * k];
+    let b3 = &b[(j0 + 3) * k..(j0 + 4) * k];
+
+    let mut acc = [[0.0f32; NR]; MR];
+    for (row, acc_row) in acc.iter_mut().enumerate() {
+        let init = bias.init(i0 + row);
+        *acc_row = [init; NR];
+    }
+    for p in 0..k {
+        let av = [a0[p], a1[p], a2[p], a3[p]];
+        let bv = [b0[p], b1[p], b2[p], b3[p]];
+        for (acc_row, &avi) in acc.iter_mut().zip(av.iter()) {
+            for (accv, &bvj) in acc_row.iter_mut().zip(bv.iter()) {
+                // Separate mul + add (not mul_add): the rounding sequence is
+                // part of the bitwise contract with the scalar reference.
+                *accv += avi * bvj;
+            }
+        }
+    }
+    for (row, acc_row) in acc.iter().enumerate() {
+        let c_row = &mut c[(i0 + row) * n + j0..(i0 + row) * n + j0 + NR];
+        for (col, (dst, &accv)) in c_row.iter_mut().zip(acc_row.iter()).enumerate() {
+            *dst = bias.finish(j0 + col, accv);
+        }
+    }
+}
+
+/// Scalar fringe tile for the `m % MR` / `n % NR` remainders — same
+/// ascending-`k` accumulation, so the bits match the fast tile exactly.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_edge(
+    i0: usize,
+    mr: usize,
+    j0: usize,
+    nr: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &BiasMode,
+    c: &mut [f32],
+) {
+    for i in i0..i0 + mr {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in j0..j0 + nr {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = bias.init(i);
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            c[i * n + j] = bias.finish(j, acc);
+        }
+    }
+}
+
+/// Reusable zero-padded operand panels for the Fast tier's packed
+/// microkernels.  Owned by [`GemmScratch`]; a `Reference`-tier call never
+/// touches (or grows) these buffers.
+#[derive(Debug, Clone, Default)]
+pub struct PackScratch {
+    pack_a: Vec<f32>,
+    pack_b: Vec<f32>,
+}
+
+impl PackScratch {
+    /// Creates an empty scratch; panels grow on first Fast-tier use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Both packing panels, resized to at least the requested lengths.
+    /// Contents are unspecified; the packing routine overwrites every
+    /// element (including the zero padding) on each call.
+    pub(crate) fn panels(&mut self, a_len: usize, b_len: usize) -> (&mut [f32], &mut [f32]) {
+        if self.pack_a.len() < a_len {
+            self.pack_a.resize(a_len, 0.0);
+        }
+        if self.pack_b.len() < b_len {
+            self.pack_b.resize(b_len, 0.0);
+        }
+        (&mut self.pack_a[..a_len], &mut self.pack_b[..b_len])
+    }
+}
+
+/// Reusable buffers of the im2col/GEMM inference core.
+///
+/// One `GemmScratch` lives inside every
+/// [`crate::network::InferScratch`], so the whole lockstep rollout hot
+/// path — im2col patch matrices included — stops allocating once the
+/// buffers reach steady-state capacity.  The scratch also carries the
+/// [`Precision`] tier every layer routed through it uses, so tier choice
+/// travels with the inference state instead of with the (tier-agnostic)
+/// network weights.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    col: Vec<f32>,
+    packs: PackScratch,
+    precision: Precision,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch at the default [`Precision::Reference`];
+    /// buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty scratch pinned to the given precision tier.
+    pub fn with_precision(precision: Precision) -> Self {
+        Self {
+            precision,
+            ..Self::default()
+        }
+    }
+
+    /// The precision tier layers routed through this scratch will use.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Switches the precision tier; buffers are retained.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+    }
+
+    /// The im2col patch buffer, resized to at least `len` elements.
+    ///
+    /// Contents are unspecified; callers overwrite every element they read.
+    pub fn col_buffer(&mut self, len: usize) -> &mut [f32] {
+        if self.col.len() < len {
+            self.col.resize(len, 0.0);
+        }
+        &mut self.col[..len]
+    }
+
+    /// Splits the scratch into the im2col patch buffer (at least `len`
+    /// elements), the packing panels, and the tier — the disjoint borrows
+    /// the convolution path needs to im2col into `col` while handing the
+    /// panels to [`gemm_nt_with`].
+    pub fn col_packs_precision(&mut self, len: usize) -> (&mut [f32], &mut PackScratch, Precision) {
+        if self.col.len() < len {
+            self.col.resize(len, 0.0);
+        }
+        (&mut self.col[..len], &mut self.packs, self.precision)
+    }
+
+    /// The packing panels and tier without the patch buffer — what the
+    /// dense path (no im2col) hands to [`gemm_nt_with`].
+    pub fn packs_precision(&mut self) -> (&mut PackScratch, Precision) {
+        (&mut self.packs, self.precision)
+    }
+}
+
+/// Geometry of one im2col lowering: a `[c, h, w]` input plane unrolled into
+/// a `[out_h·out_w, c·kernel·kernel]` row-major patch matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Im2colShape {
+    /// Input channels.
+    pub channels: usize,
+    /// Input spatial height.
+    pub height: usize,
+    /// Input spatial width.
+    pub width: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on each spatial border.
+    pub padding: usize,
+    /// Output spatial height.
+    pub out_h: usize,
+    /// Output spatial width.
+    pub out_w: usize,
+}
+
+impl Im2colShape {
+    /// Patch-matrix row count (one row per output pixel).
+    pub fn rows(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Patch-matrix column count (one column per kernel tap), i.e. the GEMM
+    /// contraction dimension.
+    pub fn cols(&self) -> usize {
+        self.channels * self.kernel * self.kernel
+    }
+
+    /// Checks internal consistency: non-degenerate extents, a kernel that
+    /// fits the padded input, and — crucially — that the caller-supplied
+    /// `out_h`/`out_w` equal the geometry the convolution formula implies.
+    /// An inconsistent output extent would otherwise make [`im2col`]
+    /// silently unroll the wrong input rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArgument`] naming the first inconsistent
+    /// field.
+    pub fn validate(&self) -> crate::Result<()> {
+        let Im2colShape {
+            channels,
+            height,
+            width,
+            kernel,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        } = *self;
+        let invalid = |msg: String| Err(crate::NnError::InvalidArgument(msg));
+        if channels == 0 || height == 0 || width == 0 {
+            return invalid(format!(
+                "im2col input plane is degenerate: channels={channels}, height={height}, width={width}"
+            ));
+        }
+        if kernel == 0 || stride == 0 {
+            return invalid(format!(
+                "im2col kernel geometry is degenerate: kernel={kernel}, stride={stride}"
+            ));
+        }
+        if height + 2 * padding < kernel || width + 2 * padding < kernel {
+            return invalid(format!(
+                "im2col kernel {kernel}×{kernel} does not fit the padded {height}×{width} input (padding {padding})"
+            ));
+        }
+        let expect_h = (height + 2 * padding - kernel) / stride + 1;
+        let expect_w = (width + 2 * padding - kernel) / stride + 1;
+        if out_h != expect_h || out_w != expect_w {
+            return invalid(format!(
+                "im2col output extent {out_h}×{out_w} does not match the \
+                 {expect_h}×{expect_w} implied by input {height}×{width}, kernel {kernel}, \
+                 stride {stride}, padding {padding}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Unrolls one sample's `[c, h, w]` plane into the row-major patch matrix
+/// `col[p][(ic·kernel + kh)·kernel + kw] = input[ic][iy][ix]` with `+0.0`
+/// in padding cells.
+///
+/// Column order matches the `(ic, kh, kw)` tap order of the scalar
+/// convolution kernels, so a `k`-ascending GEMM over these rows replays the
+/// reference accumulation sequence exactly.
+///
+/// # Panics
+///
+/// Panics if `shape` fails [`Im2colShape::validate`], if `input` is not
+/// exactly one `[c, h, w]` plane, or if `col` cannot hold the patch
+/// matrix — an inconsistent shape must fail loudly rather than silently
+/// unroll the wrong input rows.
+pub fn im2col(input: &[f32], shape: &Im2colShape, col: &mut [f32]) {
+    if let Err(e) = shape.validate() {
+        panic!("im2col: {e}");
+    }
+    let Im2colShape {
+        channels,
+        height,
+        width,
+        kernel,
+        stride,
+        padding,
+        out_h,
+        out_w,
+    } = *shape;
+    let cols = shape.cols();
+    assert_eq!(
+        input.len(),
+        channels * height * width,
+        "im2col: input holds {} elements but [c, h, w] = [{channels}, {height}, {width}] requires {}",
+        input.len(),
+        channels * height * width
+    );
+    assert!(
+        col.len() >= shape.rows() * cols,
+        "im2col: col buffer holds {} elements but the {}×{} patch matrix requires {}",
+        col.len(),
+        shape.rows(),
+        cols,
+        shape.rows() * cols
+    );
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = &mut col[(oy * out_w + ox) * cols..(oy * out_w + ox + 1) * cols];
+            let mut tap = 0usize;
+            for ic in 0..channels {
+                let plane = &input[ic * height * width..(ic + 1) * height * width];
+                for kh in 0..kernel {
+                    let iy = (oy * stride + kh) as isize - padding as isize;
+                    if iy < 0 || iy >= height as isize {
+                        row[tap..tap + kernel].fill(0.0);
+                        tap += kernel;
+                        continue;
+                    }
+                    let in_row = &plane[iy as usize * width..(iy as usize + 1) * width];
+                    for kw in 0..kernel {
+                        let ix = (ox * stride + kw) as isize - padding as isize;
+                        row[tap] = if ix < 0 || ix >= width as isize {
+                            0.0
+                        } else {
+                            in_row[ix as usize]
+                        };
+                        tap += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience used by tests and benches: the naive triple loop the tiled
+/// kernel must agree with bitwise.
+pub fn gemm_nt_reference(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: BiasMode,
+    c: &mut [f32],
+) {
+    tile_edge(0, m, 0, n, n, k, a, b, &bias, c);
+}
+
+/// FLOP count of one `gemm_nt` call (a multiply and an add per `(i, j, p)`
+/// triple), used by the throughput reports.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn rand_vec(len: usize, r: &mut rand::rngs::StdRng) -> Vec<f32> {
+        Tensor::rand_uniform(&[len.max(1)], -1.0, 1.0, r).data()[..len].to_vec()
+    }
+
+    #[test]
+    fn tiled_gemm_matches_reference_bitwise_across_shapes() {
+        let mut r = rng(0);
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (4, 4, 7),
+            (5, 9, 13),
+            (8, 3, 1),
+            (3, 17, 45),
+            (16, 25, 72),
+            (7, 81, 18),
+        ] {
+            let a = rand_vec(m * k, &mut r);
+            let b = rand_vec(n * k, &mut r);
+            let row_bias = rand_vec(m, &mut r);
+            let col_bias = rand_vec(n, &mut r);
+            for bias in [
+                BiasMode::None,
+                BiasMode::RowInit(&row_bias),
+                BiasMode::ColAfter(&col_bias),
+            ] {
+                let mut c_tiled = vec![0.0f32; m * n];
+                let mut c_ref = vec![0.0f32; m * n];
+                gemm_nt(m, n, k, &a, &b, bias, &mut c_tiled);
+                gemm_nt_reference(m, n, k, &a, &b, bias, &mut c_ref);
+                for (i, (x, y)) in c_tiled.iter().zip(c_ref.iter()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "({m},{n},{k}) {bias:?} element {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rows_are_batch_invariant() {
+        // Row i of a batched product equals the same row computed alone —
+        // the property that makes lane retirement bitwise-safe.
+        let (m, n, k) = (6usize, 10usize, 23usize);
+        let mut r = rng(1);
+        let a = rand_vec(m * k, &mut r);
+        let b = rand_vec(n * k, &mut r);
+        let bias = rand_vec(n, &mut r);
+        let mut full = vec![0.0f32; m * n];
+        gemm_nt(m, n, k, &a, &b, BiasMode::ColAfter(&bias), &mut full);
+        for i in 0..m {
+            let mut single = vec![0.0f32; n];
+            gemm_nt(
+                1,
+                n,
+                k,
+                &a[i * k..(i + 1) * k],
+                &b,
+                BiasMode::ColAfter(&bias),
+                &mut single,
+            );
+            for (j, (x, y)) in single.iter().zip(full[i * n..(i + 1) * n].iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_layout_matches_tap_order() {
+        // 1 channel, 3×3 input, 2×2 kernel, stride 1, no padding.
+        let input: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let shape = Im2colShape {
+            channels: 1,
+            height: 3,
+            width: 3,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+            out_h: 2,
+            out_w: 2,
+        };
+        let mut col = vec![0.0f32; shape.rows() * shape.cols()];
+        im2col(&input, &shape, &mut col);
+        // First output pixel sees the top-left 2×2 patch in (kh, kw) order.
+        assert_eq!(&col[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        // Last output pixel sees the bottom-right patch.
+        assert_eq!(&col[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_pads_with_positive_zero() {
+        let input = vec![-3.0f32];
+        let shape = Im2colShape {
+            channels: 1,
+            height: 1,
+            width: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            out_h: 1,
+            out_w: 1,
+        };
+        let mut col = vec![f32::NAN; 9];
+        im2col(&input, &shape, &mut col);
+        assert_eq!(col[4], -3.0);
+        for (i, v) in col.iter().enumerate() {
+            if i != 4 {
+                assert_eq!(v.to_bits(), 0.0f32.to_bits(), "padding cell {i} must be +0.0");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_buffer_grows_and_is_reused() {
+        let mut scratch = GemmScratch::new();
+        assert_eq!(scratch.col_buffer(16).len(), 16);
+        scratch.col_buffer(16)[3] = 7.0;
+        // Asking for less never shrinks; asking for more grows.
+        assert_eq!(scratch.col_buffer(8).len(), 8);
+        assert_eq!(scratch.col_buffer(64).len(), 64);
+    }
+
+    #[test]
+    fn flops_count_both_mul_and_add() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+
+    /// The Fast tier's spec, written as directly as possible: the oracle
+    /// the packed/blocked/SIMD machinery must reproduce bit for bit.
+    fn fast_spec_dot(a_row: &[f32], b_row: &[f32]) -> f32 {
+        let mut lanes = [0.0f32; 8];
+        for (p, (&av, &bv)) in a_row.iter().zip(b_row.iter()).enumerate() {
+            lanes[p % 8] = av.mul_add(bv, lanes[p % 8]);
+        }
+        let s0 = lanes[0] + lanes[4];
+        let s1 = lanes[1] + lanes[5];
+        let s2 = lanes[2] + lanes[6];
+        let s3 = lanes[3] + lanes[7];
+        (s0 + s2) + (s1 + s3)
+    }
+
+    fn fast_spec_gemm(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        bias: BiasMode,
+        c: &mut [f32],
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let dot = fast_spec_dot(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                c[i * n + j] = match bias {
+                    BiasMode::None => dot,
+                    BiasMode::RowInit(bb) => bb[i] + dot,
+                    BiasMode::ColAfter(bb) => dot + bb[j],
+                };
+            }
+        }
+    }
+
+    const FAST_SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (2, 4, 8),
+        (4, 4, 7),
+        (5, 9, 13),
+        (8, 3, 1),
+        (3, 17, 45),
+        (16, 25, 72),
+        (7, 81, 18),
+        (70, 55, 19), // crosses both MC and NC block boundaries
+        (1, 130, 600),
+    ];
+
+    #[test]
+    fn fast_tier_matches_spec_oracle_bitwise_across_shapes_and_backends() {
+        // Packing, m/n blocking and every backend must reproduce the
+        // eight-lane spec exactly — this is what makes Fast-tier goldens
+        // portable across machines and force-scalar CI legs.
+        let mut r = rng(7);
+        let mut packs = PackScratch::new();
+        for &(m, n, k) in FAST_SHAPES {
+            let a = rand_vec(m * k, &mut r);
+            let b = rand_vec(n * k, &mut r);
+            let row_bias = rand_vec(m, &mut r);
+            let col_bias = rand_vec(n, &mut r);
+            for bias in [
+                BiasMode::None,
+                BiasMode::RowInit(&row_bias),
+                BiasMode::ColAfter(&col_bias),
+            ] {
+                let mut c_spec = vec![0.0f32; m * n];
+                fast_spec_gemm(m, n, k, &a, &b, bias, &mut c_spec);
+                for backend in [FastBackend::Scalar, FastBackend::Avx2, FastBackend::Neon] {
+                    let mut c_fast = vec![0.0f32; m * n];
+                    gemm_nt_fast_with_backend(
+                        m, n, k, &a, &b, bias, &mut c_fast, &mut packs, backend,
+                    );
+                    for (i, (x, y)) in c_fast.iter().zip(c_spec.iter()).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "({m},{n},{k}) {bias:?} {backend:?} element {i}: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_tier_is_close_to_reference() {
+        // Fast reassociates, so equality is tolerance-based: both tiers
+        // approximate the exact sum, and for these magnitudes and k
+        // extents a few ULP of the term-magnitude sum is a generous bound.
+        let mut r = rng(8);
+        let mut packs = PackScratch::new();
+        for &(m, n, k) in FAST_SHAPES {
+            let a = rand_vec(m * k, &mut r);
+            let b = rand_vec(n * k, &mut r);
+            let mut c_ref = vec![0.0f32; m * n];
+            let mut c_fast = vec![0.0f32; m * n];
+            gemm_nt(m, n, k, &a, &b, BiasMode::None, &mut c_ref);
+            gemm_nt_with(
+                m,
+                n,
+                k,
+                &a,
+                &b,
+                BiasMode::None,
+                &mut c_fast,
+                Precision::Fast,
+                &mut packs,
+            );
+            for i in 0..m {
+                for j in 0..n {
+                    let mag: f32 = a[i * k..(i + 1) * k]
+                        .iter()
+                        .zip(&b[j * k..(j + 1) * k])
+                        .map(|(x, y)| (x * y).abs())
+                        .sum();
+                    let bound = 2.0 * (k as f32) * f32::EPSILON * mag + 1e-30;
+                    let diff = (c_ref[i * n + j] - c_fast[i * n + j]).abs();
+                    assert!(
+                        diff <= bound,
+                        "({m},{n},{k}) element ({i},{j}): |{}-{}| = {diff} > {bound}",
+                        c_ref[i * n + j],
+                        c_fast[i * n + j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_precision_through_gemm_nt_with_is_bitwise_gemm_nt() {
+        let (m, n, k) = (6usize, 10usize, 23usize);
+        let mut r = rng(9);
+        let a = rand_vec(m * k, &mut r);
+        let b = rand_vec(n * k, &mut r);
+        let bias = rand_vec(n, &mut r);
+        let mut c_direct = vec![0.0f32; m * n];
+        let mut c_with = vec![0.0f32; m * n];
+        gemm_nt(m, n, k, &a, &b, BiasMode::ColAfter(&bias), &mut c_direct);
+        let mut packs = PackScratch::new();
+        gemm_nt_with(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            BiasMode::ColAfter(&bias),
+            &mut c_with,
+            Precision::Reference,
+            &mut packs,
+        );
+        assert_eq!(
+            c_direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            c_with.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scratch_carries_precision_and_splits_borrows() {
+        let mut scratch = GemmScratch::new();
+        assert_eq!(scratch.precision(), Precision::Reference);
+        scratch.set_precision(Precision::Fast);
+        assert_eq!(scratch.precision(), Precision::Fast);
+        let (col, _packs, precision) = scratch.col_packs_precision(12);
+        assert_eq!(col.len(), 12);
+        assert_eq!(precision, Precision::Fast);
+        let fast = GemmScratch::with_precision(Precision::Fast);
+        assert_eq!(fast.precision(), Precision::Fast);
+    }
+
+    #[test]
+    fn precision_parse_inverts_name() {
+        for p in [Precision::Reference, Precision::Fast] {
+            assert_eq!(Precision::parse(p.name()), Some(p));
+        }
+        assert_eq!(Precision::parse("REF"), Some(Precision::Reference));
+        assert_eq!(Precision::parse("bogus"), None);
+    }
+
+    #[test]
+    fn gemm_shape_asserts_fire_in_release_builds() {
+        let a = vec![0.0f32; 3];
+        let b = vec![0.0f32; 4];
+        let mut c = vec![0.0f32; 4];
+        let err = std::panic::catch_unwind(move || {
+            gemm_nt(2, 2, 2, &a, &b, BiasMode::None, &mut c);
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("m×k = 2×2"), "unexpected panic message: {msg}");
+    }
+
+    #[test]
+    fn im2col_shape_validate_rejects_mismatched_output_extent() {
+        // The regression shape: consistent input geometry, wrong out_h.
+        let shape = Im2colShape {
+            channels: 1,
+            height: 5,
+            width: 5,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            out_h: 4, // correct value is 3
+            out_w: 2, // correct value is 3
+        };
+        let err = shape.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("does not match"),
+            "unexpected error: {err}"
+        );
+        let mut good = shape;
+        good.out_h = 3;
+        good.out_w = 3;
+        good.validate().expect("consistent shape must validate");
+        // And im2col itself must refuse the bad shape loudly.
+        let input = vec![0.0f32; 25];
+        let mut col = vec![0.0f32; shape.rows() * shape.cols()];
+        let result = std::panic::catch_unwind(move || {
+            im2col(&input, &shape, &mut col);
+        });
+        assert!(result.is_err(), "im2col accepted an inconsistent shape");
+    }
+
+    #[test]
+    fn im2col_shape_validate_rejects_degenerate_geometry() {
+        let mut shape = Im2colShape {
+            channels: 1,
+            height: 3,
+            width: 3,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+            out_h: 2,
+            out_w: 2,
+        };
+        shape.kernel = 0;
+        assert!(shape.validate().is_err());
+        shape.kernel = 5;
+        assert!(shape.validate().is_err(), "kernel larger than padded input");
+    }
+}

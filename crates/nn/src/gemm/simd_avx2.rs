@@ -1,0 +1,139 @@
+//! AVX2+FMA implementation of the Fast tier's eight-lane accumulation
+//! spec (see [`super::fast`]): one 256-bit register *is* the spec's eight
+//! lanes, so each `vfmadd231ps` performs one spec step for all lanes of
+//! one output element at once.
+//!
+//! This module is the crate's only x86 unsafe surface (with its NEON
+//! twin); the crate root demotes `forbid(unsafe_code)` to `deny` solely
+//! so these two leaf modules can opt in.  All pointer arithmetic is
+//! bounds-justified by the panel invariants asserted in [`strip_at`].
+#![allow(unsafe_code)]
+
+use super::fast::{KR, MR_F, NR_F};
+use std::arch::x86_64::{
+    __m128, __m256, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_fmadd_ps,
+    _mm256_loadu_ps, _mm256_setzero_ps, _mm_add_ps, _mm_movehl_ps, _mm_movelh_ps, _mm_storeu_ps,
+    _mm_unpackhi_ps, _mm_unpacklo_ps,
+};
+
+/// Safe strip entry used by the [`super::fast`] driver: `A` rows
+/// `[i_begin, i_end)` (a multiple of [`MR_F`] rows) against `B` rows
+/// `[j0, j0 + NR_F)`, raw spec dots written row-major into `out`.  All
+/// unsafe preconditions are discharged here — panel bounds by assertion,
+/// ISA availability by (cached) runtime detection — and amortize over the
+/// strip's whole column of microtiles.
+pub(crate) fn strip_at(
+    kp: usize,
+    pa: &[f32],
+    i_begin: usize,
+    i_end: usize,
+    pb: &[f32],
+    j0: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(kp % KR, 0);
+    assert!(i_begin <= i_end && (i_end - i_begin).is_multiple_of(MR_F));
+    assert!(pa.len() >= i_end * kp);
+    assert!(pb.len() >= (j0 + NR_F) * kp);
+    assert_eq!(out.len(), (i_end - i_begin) * NR_F);
+    assert!(
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma"),
+        "AVX2 backend selected on a CPU without avx2+fma"
+    );
+    // SAFETY: the asserts above guarantee the strip's row-bounds contract
+    // and that the required target features are present.
+    unsafe {
+        strip(
+            kp,
+            pa.as_ptr().add(i_begin * kp),
+            i_end - i_begin,
+            pb.as_ptr().add(j0 * kp),
+            out.as_mut_ptr(),
+        );
+    }
+}
+
+/// Sweeps `rows / MR_F` microtiles down the strip, one uninterrupted
+/// spec-order accumulation per output element.
+///
+/// # Safety
+///
+/// The caller must guarantee AVX2 and FMA are available (runtime
+/// detection), `kp % 8 == 0`, `rows % MR_F == 0`, that `a` points at
+/// `rows` and `b` at `NR_F` consecutive `kp`-stride rows of readable
+/// `f32`s, and that `out` holds `rows * NR_F` writable `f32`s.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn strip(kp: usize, a: *const f32, rows: usize, b: *const f32, out: *mut f32) {
+    let mut i0 = 0;
+    while i0 < rows {
+        let mut acc = [[_mm256_setzero_ps(); NR_F]; MR_F];
+        let a0 = a.add(i0 * kp);
+        // One spec step: terms [p, p+KR) of all eight accumulators, each
+        // one fused multiply-add.  The two-step unroll below only trims
+        // loop overhead — each accumulator's FMA chain stays sequential
+        // in ascending p, so the unroll cannot change bits.
+        macro_rules! spec_step {
+            ($p:expr) => {{
+                let p = $p;
+                let va0 = _mm256_loadu_ps(a0.add(p));
+                let va1 = _mm256_loadu_ps(a0.add(kp + p));
+                let vb0 = _mm256_loadu_ps(b.add(p));
+                acc[0][0] = _mm256_fmadd_ps(va0, vb0, acc[0][0]);
+                acc[1][0] = _mm256_fmadd_ps(va1, vb0, acc[1][0]);
+                let vb1 = _mm256_loadu_ps(b.add(kp + p));
+                acc[0][1] = _mm256_fmadd_ps(va0, vb1, acc[0][1]);
+                acc[1][1] = _mm256_fmadd_ps(va1, vb1, acc[1][1]);
+                let vb2 = _mm256_loadu_ps(b.add(2 * kp + p));
+                acc[0][2] = _mm256_fmadd_ps(va0, vb2, acc[0][2]);
+                acc[1][2] = _mm256_fmadd_ps(va1, vb2, acc[1][2]);
+                let vb3 = _mm256_loadu_ps(b.add(3 * kp + p));
+                acc[0][3] = _mm256_fmadd_ps(va0, vb3, acc[0][3]);
+                acc[1][3] = _mm256_fmadd_ps(va1, vb3, acc[1][3]);
+            }};
+        }
+        let mut p = 0;
+        while p + 2 * KR <= kp {
+            spec_step!(p);
+            spec_step!(p + KR);
+            p += 2 * KR;
+        }
+        if p < kp {
+            spec_step!(p);
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let dots = reduce_row(acc_row);
+            _mm_storeu_ps(out.add((i0 + r) * NR_F), dots);
+        }
+        i0 += MR_F;
+    }
+}
+
+/// Applies the spec's fixed reduction tree to one microtile row's four
+/// accumulators **in registers**, yielding their four dots as one vector.
+///
+/// Per accumulator `j`, `lo + hi` performs `s0..s3 = l0+l4 .. l3+l7` as
+/// four parallel IEEE adds; the 4×4 transpose then lines the four
+/// accumulators' `s`-terms up lanewise, so `(p0+p2) + (p1+p3)` computes
+/// every dot's `(s0+s2) + (s1+s3)` — each spec add one distinct IEEE
+/// operation, bitwise identical to the other backends' reductions
+/// ([`super::fast_scalar::reduce8`]) at a fraction of the
+/// spill-and-rescan cost.
+#[inline]
+unsafe fn reduce_row(acc_row: &[__m256; NR_F]) -> __m128 {
+    let s: [__m128; NR_F] = [
+        _mm_add_ps(_mm256_castps256_ps128(acc_row[0]), _mm256_extractf128_ps::<1>(acc_row[0])),
+        _mm_add_ps(_mm256_castps256_ps128(acc_row[1]), _mm256_extractf128_ps::<1>(acc_row[1])),
+        _mm_add_ps(_mm256_castps256_ps128(acc_row[2]), _mm256_extractf128_ps::<1>(acc_row[2])),
+        _mm_add_ps(_mm256_castps256_ps128(acc_row[3]), _mm256_extractf128_ps::<1>(acc_row[3])),
+    ];
+    // 4×4 transpose: p_t[j] = s[j][t].
+    let t0 = _mm_unpacklo_ps(s[0], s[1]); // s00 s10 s01 s11
+    let t1 = _mm_unpackhi_ps(s[0], s[1]); // s02 s12 s03 s13
+    let t2 = _mm_unpacklo_ps(s[2], s[3]); // s20 s30 s21 s31
+    let t3 = _mm_unpackhi_ps(s[2], s[3]); // s22 s32 s23 s33
+    let p0 = _mm_movelh_ps(t0, t2); // s00 s10 s20 s30
+    let p1 = _mm_movehl_ps(t2, t0); // s01 s11 s21 s31
+    let p2 = _mm_movelh_ps(t1, t3); // s02 s12 s22 s32
+    let p3 = _mm_movehl_ps(t3, t1); // s03 s13 s23 s33
+    _mm_add_ps(_mm_add_ps(p0, p2), _mm_add_ps(p1, p3)) // (s0+s2)+(s1+s3), per j
+}

@@ -1,0 +1,101 @@
+//! NEON implementation of the Fast tier's eight-lane accumulation spec
+//! (see [`super::fast`]): the spec's eight lanes split across two 128-bit
+//! registers — `lo` holds lanes `p ≡ 0..4 (mod 8)`, `hi` lanes
+//! `p ≡ 4..8 (mod 8)` — and each `fmla` performs one fused spec step for
+//! four lanes.  NEON `fmla` is correctly-rounded fused like AVX2
+//! `vfmadd` and `f32::mul_add`, so the three backends agree bit for bit.
+#![allow(unsafe_code)]
+
+use super::fast::{KR, MR_F, NR_F};
+use std::arch::aarch64::{
+    float32x4_t, vadd_f32, vaddq_f32, vdupq_n_f32, vfmaq_f32, vget_high_f32, vget_lane_f32,
+    vget_low_f32, vld1q_f32,
+};
+
+/// Safe strip entry used by the [`super::fast`] driver: `A` rows
+/// `[i_begin, i_end)` (a multiple of [`MR_F`] rows) against `B` rows
+/// `[j0, j0 + NR_F)`, raw spec dots written row-major into `out`.  All
+/// unsafe preconditions are discharged here — panel bounds by assertion,
+/// ISA availability by (cached) runtime detection — and amortize over the
+/// strip's whole column of microtiles.
+pub(crate) fn strip_at(
+    kp: usize,
+    pa: &[f32],
+    i_begin: usize,
+    i_end: usize,
+    pb: &[f32],
+    j0: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(kp % KR, 0);
+    assert!(i_begin <= i_end && (i_end - i_begin).is_multiple_of(MR_F));
+    assert!(pa.len() >= i_end * kp);
+    assert!(pb.len() >= (j0 + NR_F) * kp);
+    assert_eq!(out.len(), (i_end - i_begin) * NR_F);
+    assert!(
+        std::arch::is_aarch64_feature_detected!("neon"),
+        "NEON backend selected on a CPU without neon"
+    );
+    // SAFETY: the asserts above guarantee the strip's row-bounds contract
+    // and that the required target features are present.
+    unsafe {
+        strip(
+            kp,
+            pa.as_ptr().add(i_begin * kp),
+            i_end - i_begin,
+            pb.as_ptr().add(j0 * kp),
+            out.as_mut_ptr(),
+        );
+    }
+}
+
+/// Sweeps `rows / MR_F` microtiles down the strip, one uninterrupted
+/// spec-order accumulation per output element.
+///
+/// # Safety
+///
+/// The caller must guarantee NEON is available (runtime detection),
+/// `kp % 8 == 0`, `rows % MR_F == 0`, that `a` points at `rows` and `b`
+/// at `NR_F` consecutive `kp`-stride rows of readable `f32`s, and that
+/// `out` holds `rows * NR_F` writable `f32`s.
+#[target_feature(enable = "neon")]
+unsafe fn strip(kp: usize, a: *const f32, rows: usize, b: *const f32, out: *mut f32) {
+    let zero = vdupq_n_f32(0.0);
+    let mut i0 = 0;
+    while i0 < rows {
+        let mut acc_lo = [[zero; NR_F]; MR_F];
+        let mut acc_hi = [[zero; NR_F]; MR_F];
+        let a0 = a.add(i0 * kp);
+        let mut p = 0;
+        while p < kp {
+            let va: [[float32x4_t; 2]; MR_F] = [
+                [vld1q_f32(a0.add(p)), vld1q_f32(a0.add(p + 4))],
+                [vld1q_f32(a0.add(kp + p)), vld1q_f32(a0.add(kp + p + 4))],
+            ];
+            for s in 0..NR_F {
+                let vb_lo = vld1q_f32(b.add(s * kp + p));
+                let vb_hi = vld1q_f32(b.add(s * kp + p + 4));
+                for r in 0..MR_F {
+                    acc_lo[r][s] = vfmaq_f32(acc_lo[r][s], va[r][0], vb_lo);
+                    acc_hi[r][s] = vfmaq_f32(acc_hi[r][s], va[r][1], vb_hi);
+                }
+            }
+            p += KR;
+        }
+        // The spec's fixed reduction tree, in registers: `lo + hi` is the
+        // four parallel adds `s0..s3 = l0+l4 .. l3+l7`, the half-width
+        // add performs `s0+s2` and `s1+s3`, and the final scalar add
+        // joins them.  Every spec add is one distinct IEEE operation, so
+        // the result is bitwise identical to
+        // [`super::fast_scalar::reduce8`].
+        for r in 0..MR_F {
+            for s in 0..NR_F {
+                let sums = vaddq_f32(acc_lo[r][s], acc_hi[r][s]); // s0 s1 s2 s3
+                let pair = vadd_f32(vget_low_f32(sums), vget_high_f32(sums)); // s0+s2, s1+s3
+                *out.add((i0 + r) * NR_F + s) =
+                    vget_lane_f32::<0>(pair) + vget_lane_f32::<1>(pair);
+            }
+        }
+        i0 += MR_F;
+    }
+}

@@ -1,7 +1,7 @@
 //! 2-D convolution layer (naïve direct implementation).
 
 use super::Layer;
-use crate::gemm::{gemm_nt, im2col, BiasMode, GemmScratch, Im2colShape};
+use crate::gemm::{gemm_nt_with, im2col, BiasMode, GemmScratch, Im2colShape};
 use crate::init;
 use crate::tensor::Tensor;
 
@@ -308,19 +308,21 @@ impl Layer for Conv2d {
         let out_data = out.data_mut();
         let w_data = self.weight.data();
         let bias = self.bias.data();
-        let col = gemm.col_buffer(rows * taps);
+        let (col, packs, precision) = gemm.col_packs_precision(rows * taps);
         // im2col + GEMM lowering: out[n][oc][p] = bias[oc] + w_row(oc)·col_row(p).
-        // Patch columns follow the (ic, kh, kw) tap order and the GEMM
-        // accumulates them ascending, so every output element replays the
-        // scalar reference kernel's floating-point sequence exactly
-        // (padding cells contribute +0.0 products, which never change a
-        // bias-initialized accumulator's bits).
+        // Patch columns follow the (ic, kh, kw) tap order.  At the default
+        // Reference tier the GEMM accumulates them ascending, so every
+        // output element replays the scalar reference kernel's
+        // floating-point sequence exactly (padding cells contribute +0.0
+        // products, which never change a bias-initialized accumulator's
+        // bits); the Fast tier follows the scratch's precision setting and
+        // trades that bitwise identity for SIMD throughput.
         for n in 0..batch {
             let plane = &in_data[n * c * h * w..(n + 1) * c * h * w];
             im2col(plane, &shape, col);
             let out_block =
                 &mut out_data[n * self.out_channels * rows..(n + 1) * self.out_channels * rows];
-            gemm_nt(
+            gemm_nt_with(
                 self.out_channels,
                 rows,
                 taps,
@@ -328,6 +330,8 @@ impl Layer for Conv2d {
                 col,
                 BiasMode::RowInit(bias),
                 out_block,
+                precision,
+                packs,
             );
         }
     }

@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer.
 
 use super::Layer;
-use crate::gemm::{gemm_nt, BiasMode, GemmScratch};
+use crate::gemm::{gemm_nt_with, BiasMode, GemmScratch};
 use crate::init;
 use crate::tensor::Tensor;
 
@@ -164,7 +164,6 @@ impl Layer for Dense {
     }
 
     fn infer_with(&self, input: &Tensor, out: &mut Tensor, gemm: &mut GemmScratch) {
-        let _ = gemm;
         assert_eq!(input.rank(), 2, "Dense expects [batch, features] input");
         assert_eq!(
             input.shape()[1],
@@ -173,13 +172,16 @@ impl Layer for Dense {
         );
         let batch = input.shape()[0];
         out.reset(&[batch, self.out_features]);
-        // y = x · Wᵀ + b through the register-tiled GEMM: both operands are
-        // already stored as rows over the contraction dimension, each
-        // element accumulates k-ascending with the bias added last, so the
-        // bits match the scalar `infer` reference (exact-zero activations
-        // that the reference skips contribute ±0.0, which cannot change a
-        // +0.0-initialized accumulator).
-        gemm_nt(
+        // y = x · Wᵀ + b through the tiered GEMM: both operands are
+        // already stored as rows over the contraction dimension.  At the
+        // default Reference tier each element accumulates k-ascending with
+        // the bias added last, so the bits match the scalar `infer`
+        // reference (exact-zero activations that the reference skips
+        // contribute ±0.0, which cannot change a +0.0-initialized
+        // accumulator); the Fast tier follows the scratch's precision
+        // setting instead.
+        let (packs, precision) = gemm.packs_precision();
+        gemm_nt_with(
             batch,
             self.out_features,
             self.in_features,
@@ -187,6 +189,8 @@ impl Layer for Dense {
             self.weight.data(),
             BiasMode::ColAfter(self.bias.data()),
             out.data_mut(),
+            precision,
+            packs,
         );
     }
 

@@ -17,10 +17,14 @@
 //!   integer representation into which low-voltage SRAM bit errors are
 //!   injected by the `berry-faults` crate.
 //!
-//! The implementation favours clarity and determinism over raw speed: every
+//! The implementation favours clarity and determinism: almost every
 //! operation is plain safe Rust over `Vec<f32>`, and all random
 //! initialization goes through a caller-supplied [`rand::Rng`] so that
-//! experiments are reproducible bit-for-bit.
+//! experiments are reproducible bit-for-bit.  The one deliberate
+//! exception is the [`gemm`] module's opt-in **Fast** precision tier,
+//! whose AVX2/NEON microkernels are the crate's only unsafe code — and
+//! even that tier is bitwise-reproducible across backends (see the
+//! [`gemm`] module docs for the two-tier contract).
 //!
 //! ## Example
 //!
@@ -54,7 +58,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the two SIMD leaf modules of `gemm`
+// (`simd_avx2`, `simd_neon`) opt back in with a scoped `allow` — every
+// other module in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

@@ -23,9 +23,33 @@ pub struct InferScratch {
 }
 
 impl InferScratch {
-    /// Creates an empty scratch; buffers grow on first use.
+    /// Creates an empty scratch; buffers grow on first use.  Inference
+    /// through it runs at the default
+    /// [`Precision::Reference`](crate::gemm::Precision::Reference) tier.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty scratch pinned to the given GEMM precision tier.
+    ///
+    /// The tier travels with the *inference state*, never with the network
+    /// weights: the same `Sequential` produces Reference bits through one
+    /// scratch and Fast bits through another.
+    pub fn with_precision(precision: crate::gemm::Precision) -> Self {
+        Self {
+            gemm: GemmScratch::with_precision(precision),
+            ..Self::default()
+        }
+    }
+
+    /// The GEMM precision tier this scratch routes layers through.
+    pub fn precision(&self) -> crate::gemm::Precision {
+        self.gemm.precision()
+    }
+
+    /// Switches the GEMM precision tier; buffers are retained.
+    pub fn set_precision(&mut self, precision: crate::gemm::Precision) {
+        self.gemm.set_precision(precision);
     }
 }
 

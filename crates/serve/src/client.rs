@@ -200,7 +200,7 @@ pub fn stream_campaign_resumable(
     connect_timeout: Duration,
     mut on_line: impl FnMut(&str) -> Result<()>,
 ) -> Result<ResumeReport> {
-    let grid_len = CampaignConfig { scale, base_seed }.grid().len();
+    let grid_len = CampaignConfig { base_seed, ..CampaignConfig::at_scale(scale) }.grid().len();
     let wanted: Vec<usize> = match cells {
         Some(cells) => cells.to_vec(),
         None => (0..grid_len).collect(),

@@ -277,7 +277,7 @@ impl Server {
         base_seed: u64,
         cells: Option<&[usize]>,
     ) -> Result<()> {
-        let grid = CampaignConfig { scale, base_seed }.grid();
+        let grid = CampaignConfig { base_seed, ..CampaignConfig::at_scale(scale) }.grid();
         // A cell subset is expressed through the resume path: marking every
         // *other* index completed keeps each served cell at its global grid
         // position, so its seeds — and therefore its row bytes — are
@@ -330,7 +330,7 @@ impl Server {
         base_seed: u64,
         axes: &[EvalAxis],
     ) -> Result<()> {
-        let grid = CampaignConfig { scale, base_seed }.grid();
+        let grid = CampaignConfig { base_seed, ..CampaignConfig::at_scale(scale) }.grid();
         let before = self.store.stats();
         let mut rows_streamed = 0usize;
         let outcome = self.stream_rows(out, &mut rows_streamed, |sink| {
