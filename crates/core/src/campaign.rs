@@ -29,6 +29,8 @@
 //! [`Scenario::extended_grid`] that crosses the 72 cells with the wind-gust
 //! and sensor-dropout disturbance variants.
 
+// lint: pinned-path — reductions here feed golden-pinned statistics; use berry_nn::reduce helpers
+
 use crate::error::CoreError;
 use crate::evaluate::{
     evaluate_error_free_seeded, evaluate_mission_seeded, evaluate_under_faults_seeded,
@@ -62,15 +64,7 @@ use serde::{Deserialize, Serialize};
 /// [`berry_rl::vecenv::episode_seed`], keeping the three derivation
 /// families disjoint; `tests/parallel_determinism.rs` checks the
 /// no-collision property across all three.
-#[must_use]
-pub fn scenario_seed(base_seed: u64, grid_index: u64) -> u64 {
-    let mut z = base_seed
-        .wrapping_add(grid_index.wrapping_mul(0x94D0_49BB_1331_11EB))
-        .wrapping_add(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+pub use crate::seed::scenario_seed;
 
 /// Configuration of one campaign run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -448,30 +442,28 @@ impl CampaignSummary {
         let best = rows
             .iter()
             .max_by(|a, b| a.success_gain().total_cmp(&b.success_gain()))
-            .expect("non-empty");
+            .unwrap_or(&rows[0]);
         let worst = rows
             .iter()
             .min_by(|a, b| a.success_gain().total_cmp(&b.success_gain()))
-            .expect("non-empty");
+            .unwrap_or(&rows[0]);
         Self {
             scenarios: rows.len(),
             episodes: rows
                 .iter()
                 .map(|r| r.classical_nav.episodes + r.berry_nav.episodes)
                 .sum(),
-            mean_classical_success: rows
-                .iter()
-                .map(|r| r.classical_nav.success_rate)
-                .sum::<f64>()
-                / n,
-            mean_berry_success: rows.iter().map(|r| r.berry_nav.success_rate).sum::<f64>() / n,
+            mean_classical_success: berry_nn::reduce::sum_f64_in_order(
+                rows.iter().map(|r| r.classical_nav.success_rate),
+            ) / n,
+            mean_berry_success: berry_nn::reduce::sum_f64_in_order(
+                rows.iter().map(|r| r.berry_nav.success_rate),
+            ) / n,
             berry_wins_or_ties: rows.iter().filter(|r| r.success_gain() >= 0.0).count() as f64
                 / n,
-            mean_energy_savings: rows
-                .iter()
-                .map(|r| r.processing.savings_vs_nominal)
-                .sum::<f64>()
-                / n,
+            mean_energy_savings: berry_nn::reduce::sum_f64_in_order(
+                rows.iter().map(|r| r.processing.savings_vs_nominal),
+            ) / n,
             best_cell: best.id.clone(),
             worst_cell: worst.id.clone(),
             scheduler: None,
@@ -1104,7 +1096,9 @@ fn run_axis(
                     )
                 }
                 OperatingPoint::ErrorFree | OperatingPoint::Ber(_) => {
-                    unreachable!("handled above")
+                    return Err(CoreError::Internal(
+                        "non-mission operating point reached the mission arm".to_string(),
+                    ))
                 }
             };
             let mission =

@@ -8,6 +8,8 @@
 //! the accelerator energy model and the cyber-physical flight model to
 //! produce the quality-of-flight rows of Table II / Fig. 5 / Fig. 7.
 
+// lint: pinned-path — reductions here feed golden-pinned statistics; use berry_nn::reduce helpers
+
 use crate::error::CoreError;
 use crate::perturb::{NetworkPerturber, PerturbContext};
 use crate::Result;
@@ -172,22 +174,10 @@ where
     Ok(stats)
 }
 
-/// Derives the RNG seed of fault map `map_index` from an evaluation's base
-/// seed (a SplitMix64-style mix, so neighbouring indices produce unrelated
-/// streams).
-///
-/// Both the parallel and the serial evaluation paths seed each per-map RNG
-/// with exactly this function, which is what makes their statistics
-/// bitwise identical for a given base seed.
-#[must_use]
-pub fn fault_map_seed(base_seed: u64, map_index: u64) -> u64 {
-    let mut z = base_seed
-        .wrapping_add(map_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The fault-map seed family lives in the central seed registry; the
+// historical path `evaluate::fault_map_seed` stays valid via this
+// re-export.
+pub use crate::seed::fault_map_seed;
 
 /// Evaluates a policy under bit errors at an explicit bit-error rate,
 /// averaging over `config.fault_maps` independent fault maps.

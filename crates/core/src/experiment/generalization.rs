@@ -77,10 +77,7 @@ pub fn fig5_environment_study(
     for cell in &cells {
         for (i, role) in [PolicyRole::Classical, PolicyRole::Berry].into_iter().enumerate() {
             let chunk = &cell.axis_results[i * 3..(i + 1) * 3];
-            let qof = chunk[2]
-                .quality_of_flight
-                .as_ref()
-                .expect("mission axis carries quality of flight");
+            let qof = super::qof_of(&chunk[2])?;
             rows.push(Fig5Row {
                 density: cell.scenario.density.label().to_string(),
                 scheme: role.label().to_string(),
@@ -175,30 +172,24 @@ pub fn fig7_platform_study(
         ),
     ];
     let cells = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
-    Ok(cells
+    cells
         .iter()
         .map(|cell| {
-            let nominal = cell.axis_results[0]
-                .quality_of_flight
-                .as_ref()
-                .expect("mission axis carries quality of flight");
-            let low = cell.axis_results[1]
-                .quality_of_flight
-                .as_ref()
-                .expect("mission axis carries quality of flight");
+            let nominal = super::qof_of(&cell.axis_results[0])?;
+            let low = super::qof_of(&cell.axis_results[1])?;
             let rotor_w = nominal.rotor_power_w;
             let compute_w = nominal.compute_power_w;
             let total = rotor_w + compute_w;
-            Fig7Row {
+            Ok(Fig7Row {
                 platform: cell.scenario.platform.clone(),
                 policy: cell.scenario.policy.clone(),
                 rotor_power_pct: 100.0 * rotor_w / total,
                 compute_power_pct: 100.0 * compute_w / total,
                 flight_energy_saving_pct: -100.0 * low.flight_energy_change_vs(nominal),
                 missions_improvement_pct: 100.0 * low.missions_change_vs(nominal),
-            }
+            })
         })
-        .collect())
+        .collect()
 }
 
 /// Formats the Fig. 7 table like the paper's inset table.
@@ -282,21 +273,19 @@ pub fn table3_chip_study(
         })
         .collect();
     let rows = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
-    Ok(rows[0]
+    rows[0]
         .axis_results
         .iter()
         .zip(cases)
-        .map(|(result, (chip, ber_pct))| Table3Row {
-            chip: chip.to_string(),
-            ber_percent: ber_pct,
-            success_pct: result.nav.success_rate * 100.0,
-            flight_energy_j: result
-                .quality_of_flight
-                .as_ref()
-                .expect("mission axis carries quality of flight")
-                .flight_energy_j,
+        .map(|(result, (chip, ber_pct))| {
+            Ok(Table3Row {
+                chip: chip.to_string(),
+                ber_percent: ber_pct,
+                success_pct: result.nav.success_rate * 100.0,
+                flight_energy_j: super::qof_of(result)?.flight_energy_j,
+            })
         })
-        .collect())
+        .collect()
 }
 
 /// Formats Table III.

@@ -25,6 +25,8 @@ pub mod ondevice;
 pub mod robustness;
 pub mod voltage;
 
+use crate::campaign::AxisResult;
+use crate::error::CoreError;
 use crate::evaluate::FaultEvaluationConfig;
 use crate::robust::LearningMode;
 use crate::scenario::{Scenario, ScenarioMode};
@@ -89,6 +91,7 @@ impl ExperimentScale {
                 buffer_capacity: 4_000,
                 learning_starts: 64,
                 train_every: 1,
+                // lint: allow(panic-in-lib) why: constant arguments are valid by inspection; schedule construction cannot fail
                 epsilon: EpsilonSchedule::new(1.0, 0.1, 500).expect("valid"),
                 dqn: DqnConfig {
                     batch_size: 16,
@@ -102,6 +105,7 @@ impl ExperimentScale {
                 buffer_capacity: 20_000,
                 learning_starts: 256,
                 train_every: 2,
+                // lint: allow(panic-in-lib) why: constant arguments are valid by inspection; schedule construction cannot fail
                 epsilon: EpsilonSchedule::new(1.0, 0.05, 3_000).expect("valid"),
                 dqn: DqnConfig {
                     batch_size: 32,
@@ -115,6 +119,7 @@ impl ExperimentScale {
                 buffer_capacity: 100_000,
                 learning_starts: 1_000,
                 train_every: 2,
+                // lint: allow(panic-in-lib) why: constant arguments are valid by inspection; schedule construction cannot fail
                 epsilon: EpsilonSchedule::new(1.0, 0.05, 20_000).expect("valid"),
                 dqn: DqnConfig {
                     batch_size: 32,
@@ -241,6 +246,19 @@ pub fn artifact_scenario(
         chip: ChipProfile::generic().name().to_string(),
         variant: WorldVariant::Calm,
     }
+}
+
+/// Extracts a mission axis's quality-of-flight block, which the campaign
+/// populates for every mission-level operating point; a missing block
+/// means the axis grid and the row builder disagree — a typed internal
+/// error, not a panic.
+pub(crate) fn qof_of(result: &AxisResult) -> Result<&berry_uav::flight::QualityOfFlight> {
+    result.quality_of_flight.as_ref().ok_or_else(|| {
+        CoreError::Internal(format!(
+            "axis `{}` carries no quality-of-flight block (not a mission axis?)",
+            result.label
+        ))
+    })
 }
 
 /// Renders rows of `(label, values…)` as a fixed-width text table — the

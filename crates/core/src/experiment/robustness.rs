@@ -154,25 +154,22 @@ pub fn fig3_ber_sweep(
     }
     let rows = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
     let cell = &rows[0];
-    Ok(cell
-        .axis_results
+    cell.axis_results
         .iter()
         .zip(
             [PolicyRole::Classical, PolicyRole::Berry]
                 .into_iter()
                 .flat_map(|role| ber_percents.iter().map(move |&p| (role, p))),
         )
-        .map(|(result, (role, ber_pct))| Fig3Row {
-            scheme: role.label().to_string(),
-            ber_percent: ber_pct,
-            success_pct: result.nav.success_rate * 100.0,
-            flight_energy_j: result
-                .quality_of_flight
-                .as_ref()
-                .expect("mission axis carries quality of flight")
-                .flight_energy_j,
+        .map(|(result, (role, ber_pct))| {
+            Ok(Fig3Row {
+                scheme: role.label().to_string(),
+                ber_percent: ber_pct,
+                success_pct: result.nav.success_rate * 100.0,
+                flight_energy_j: super::qof_of(result)?.flight_energy_j,
+            })
         })
-        .collect())
+        .collect()
 }
 
 /// The default bit-error-rate grid of Fig. 3 (10⁻³ % … 1 %).

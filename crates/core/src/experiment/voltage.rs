@@ -9,6 +9,7 @@
 //! pulling the BERRY policy from the shared [`PolicyStore`].
 
 use crate::campaign::{run_axes_grid_in, AxisResult, EvalAxis, OperatingPoint, PolicyRole};
+use crate::error::CoreError;
 use crate::experiment::{artifact_scenario, format_table, ExperimentScale};
 use crate::store::PolicyStore;
 use crate::Result;
@@ -49,21 +50,23 @@ pub struct Table2Row {
     pub missions_change: f64,
 }
 
-fn row_from_axis(result: &AxisResult, baseline: &AxisResult) -> Table2Row {
-    let qof = result
-        .quality_of_flight
-        .as_ref()
-        .expect("mission axis carries quality of flight");
-    let base_qof = baseline
-        .quality_of_flight
-        .as_ref()
-        .expect("mission axis carries quality of flight");
-    let processing = result
-        .processing
-        .as_ref()
-        .expect("mission axis carries processing report");
-    Table2Row {
-        voltage_norm: result.voltage_norm.expect("mission axis carries voltage"),
+fn row_from_axis(result: &AxisResult, baseline: &AxisResult) -> Result<Table2Row> {
+    let qof = super::qof_of(result)?;
+    let base_qof = super::qof_of(baseline)?;
+    let processing = result.processing.as_ref().ok_or_else(|| {
+        CoreError::Internal(format!(
+            "axis `{}` carries no processing report (not a mission axis?)",
+            result.label
+        ))
+    })?;
+    let voltage_norm = result.voltage_norm.ok_or_else(|| {
+        CoreError::Internal(format!(
+            "axis `{}` carries no resolved voltage (not a mission axis?)",
+            result.label
+        ))
+    })?;
+    Ok(Table2Row {
+        voltage_norm,
         ber_percent: result.ber * 100.0,
         energy_savings: processing.savings_vs_nominal,
         success_pct: result.nav.success_rate * 100.0,
@@ -73,7 +76,7 @@ fn row_from_axis(result: &AxisResult, baseline: &AxisResult) -> Table2Row {
         flight_energy_change: qof.flight_energy_change_vs(base_qof),
         num_missions: qof.num_missions,
         missions_change: qof.missions_change_vs(base_qof),
-    }
+    })
 }
 
 /// Runs the Table II voltage sweep for the BERRY policy of the standard
@@ -115,17 +118,16 @@ pub fn table2_voltage_sweep(
     let rows = run_axes_grid_in(&grid, scale, base_seed, store, &axes)?;
     let results = &rows[0].axis_results;
     let baseline = &results[0];
-    Ok(results.iter().map(|r| row_from_axis(r, baseline)).collect())
+    results.iter().map(|r| row_from_axis(r, baseline)).collect()
 }
 
 /// Finds the row with the lowest flight energy — the "optimal voltage" the
 /// paper highlights (0.77 Vmin for the Crazyflie / medium environment).
 pub fn optimal_row(rows: &[Table2Row]) -> Option<&Table2Row> {
-    rows.iter().min_by(|a, b| {
-        a.flight_energy_j
-            .partial_cmp(&b.flight_energy_j)
-            .expect("flight energies are finite")
-    })
+    // total_cmp agrees with partial_cmp on every finite value (flight
+    // energies are), and cannot panic.
+    rows.iter()
+        .min_by(|a, b| a.flight_energy_j.total_cmp(&b.flight_energy_j))
 }
 
 /// Formats Table II like the paper.

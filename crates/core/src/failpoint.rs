@@ -110,6 +110,7 @@ pub fn io_check(site: &str) -> std::io::Result<()> {
         Some(Action::TornWrite(_)) => Err(std::io::Error::other(format!(
             "failpoint `{site}`: torn write not supported at this site"
         ))),
+        // lint: allow(panic-in-lib) why: the Panic action's documented contract is to abort — callers isolate with catch_unwind
         Some(Action::Panic) => panic!("failpoint `{site}`: injected panic"),
     }
 }
@@ -118,6 +119,7 @@ pub fn io_check(site: &str) -> std::io::Result<()> {
 /// ignored) — for sites that only exercise panic isolation.
 pub fn maybe_panic(site: &str) {
     if let Some(Action::Panic) = hit(site) {
+        // lint: allow(panic-in-lib) why: maybe_panic exists to inject a panic — callers isolate with catch_unwind
         panic!("failpoint `{site}`: injected panic");
     }
 }
@@ -142,14 +144,6 @@ mod registry {
     fn registry() -> &'static Mutex<HashMap<String, SiteState>> {
         static REGISTRY: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
         REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
-    }
-
-    /// SplitMix64 — the `prob` trigger's deterministic per-hit draw.
-    fn splitmix(seed: u64) -> u64 {
-        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
     }
 
     fn parse_paren_arg<'a>(token: &'a str, name: &str) -> Option<&'a str> {
@@ -268,6 +262,20 @@ mod registry {
             .clear();
     }
 
+    /// The currently armed site names, **sorted** — the registry hashes
+    /// its keys, so any emitted ordering must be imposed here rather
+    /// than inherited from HashMap iteration order (house rule:
+    /// `hashmap-iteration`).
+    pub fn armed_sites() -> Vec<String> {
+        let map = registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // lint: allow(hashmap-iteration) why: the only registry traversal; the collected keys are sorted on the next line before anything observes them
+        let mut sites: Vec<String> = map.keys().cloned().collect();
+        sites.sort();
+        sites
+    }
+
     pub fn hit(site: &str) -> Option<Action> {
         let mut map = registry()
             .lock()
@@ -283,7 +291,9 @@ mod registry {
             }
         }
         if let Some((p, seed)) = state.prob {
-            let draw = splitmix(seed ^ state.hits) as f64 / u64::MAX as f64;
+            // SplitMix64 from the seed registry — the `prob` trigger's
+            // deterministic per-hit draw.
+            let draw = crate::seed::splitmix64(seed ^ state.hits) as f64 / u64::MAX as f64;
             if draw >= p {
                 return None;
             }
@@ -314,6 +324,21 @@ pub fn arm(site: &str, spec: &str) -> std::result::Result<(), String> {
 #[must_use]
 pub fn hit(site: &str) -> Option<Action> {
     registry::hit(site)
+}
+
+/// The currently armed site names in sorted (deterministic) order — for
+/// status lines and chaos-test assertions.
+#[cfg(feature = "failpoints")]
+#[must_use]
+pub fn armed_sites() -> Vec<String> {
+    registry::armed_sites()
+}
+
+/// Feature-off stub: nothing can be armed, so nothing is listed.
+#[cfg(not(feature = "failpoints"))]
+#[must_use]
+pub fn armed_sites() -> Vec<String> {
+    Vec::new()
 }
 
 /// Arms every site listed in `BERRY_FAILPOINTS` (`site=spec;site=spec`).
@@ -374,6 +399,37 @@ mod tests {
     fn unarmed_sites_never_fire() {
         assert_eq!(hit("fp-test.unarmed"), None);
         assert!(io_check("fp-test.unarmed").is_ok());
+    }
+
+    #[test]
+    fn armed_sites_listing_is_sorted_regardless_of_arm_order() {
+        // The registry is a HashMap; the listing must not leak its
+        // iteration order. Site names are prefixed so this test stays
+        // independent of others sharing the process-wide registry.
+        let sites = ["fp-sort.zebra", "fp-sort.alpha", "fp-sort.mid"];
+        for site in sites {
+            arm(site, "every(1)*return(x)").unwrap();
+        }
+        let listed: Vec<String> = armed_sites()
+            .into_iter()
+            .filter(|s| s.starts_with("fp-sort."))
+            .collect();
+        assert_eq!(listed, ["fp-sort.alpha", "fp-sort.mid", "fp-sort.zebra"]);
+        // Re-arm in the opposite order: identical listing.
+        for site in sites {
+            disarm(site);
+        }
+        for site in sites.iter().rev() {
+            arm(site, "every(1)*return(x)").unwrap();
+        }
+        let relisted: Vec<String> = armed_sites()
+            .into_iter()
+            .filter(|s| s.starts_with("fp-sort."))
+            .collect();
+        assert_eq!(relisted, listed);
+        for site in sites {
+            disarm(site);
+        }
     }
 
     #[test]

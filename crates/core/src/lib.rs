@@ -31,7 +31,10 @@
 //!   each regenerating its rows from scratch,
 //! * [`failpoint`] — deterministic fault injection (chaos testing) for the
 //!   store → campaign → serve → client pipeline, compiled to no-ops
-//!   unless the `failpoints` feature is on.
+//!   unless the `failpoints` feature is on,
+//! * [`seed`] — the central registry of every seed-derivation family
+//!   (SplitMix64 mixers, FNV-1a hashing); the `seed-registry` house lint
+//!   forbids these constants anywhere else.
 //!
 //! ## Example: robust offline training on the navigation task
 //!
@@ -68,6 +71,7 @@ pub mod perturb;
 pub mod robust;
 pub mod rows;
 pub mod scenario;
+pub mod seed;
 pub mod store;
 
 pub use campaign::{

@@ -16,7 +16,7 @@ use berry_faults::fault_map::FaultMap;
 use berry_nn::network::{InferScratch, Sequential};
 use berry_nn::quant::QuantizedNetwork;
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Quantizes networks and injects bit-error fault maps into them.
 ///
@@ -331,7 +331,9 @@ impl PerturbContext {
     /// Checks a scratch out of the pool (allocating a fresh one only when
     /// the pool is empty — steady state is one scratch per worker thread).
     pub fn checkout(&self) -> PerturbScratch {
-        let pooled = self.pool.lock().expect("scratch pool poisoned").pop();
+        // A panicked holder cannot corrupt the pool (push/pop of owned
+        // scratches), so recover the data instead of propagating poison.
+        let pooled = self.pool.lock().unwrap_or_else(PoisonError::into_inner).pop();
         pooled.unwrap_or_else(|| PerturbScratch {
             quantized: self.clean.clone(),
             network: self.template.clone(),
@@ -341,7 +343,7 @@ impl PerturbContext {
 
     /// Returns a scratch to the pool for reuse by the next fault map.
     pub fn checkin(&self, scratch: PerturbScratch) {
-        self.pool.lock().expect("scratch pool poisoned").push(scratch);
+        self.pool.lock().unwrap_or_else(PoisonError::into_inner).push(scratch);
     }
 
     /// Resets the scratch's byte image to the clean quantized weights,

@@ -250,8 +250,14 @@ pub fn berry_update_step_with_scratch(
     };
 
     // Perturbed pass: accumulate ˜∆ in the perturbed copy (lines 14-17).
-    let (_, q_scratch) = scratch.q.as_mut().expect("q slot prepared above");
-    let (_, target_scratch) = scratch.target.as_mut().expect("target slot prepared above");
+    let (_, q_scratch) = scratch
+        .q
+        .as_mut()
+        .ok_or_else(|| CoreError::Internal("q scratch slot not prepared".to_string()))?;
+    let (_, target_scratch) = scratch
+        .target
+        .as_mut()
+        .ok_or_else(|| CoreError::Internal("target scratch slot not prepared".to_string()))?;
     let q_perturbed = q_scratch.network_mut();
     let target_perturbed = target_scratch.network_mut();
     q_perturbed.zero_grad();
@@ -391,7 +397,12 @@ fn run_berry_loop<E: Environment, R: Rng>(
                         perturber.sample_fault_map(agent.q_net(), &config.chip, *train_ber, rng)?
                     }
                     (LearningMode::OnDevice { .. }, Some(map)) => map.clone(),
-                    (LearningMode::OnDevice { .. }, None) => unreachable!("map drawn above"),
+                    (LearningMode::OnDevice { .. }, None) => {
+                        return Err(CoreError::Internal(
+                            "on-device mode reached a train step with no persistent fault map"
+                                .to_string(),
+                        ))
+                    }
                 };
                 let (clean_loss, perturbed_loss) = berry_update_step_with_scratch(
                     agent,

@@ -31,6 +31,8 @@
 //! resuming a file that does not match the plan would silently stitch two
 //! different campaigns together.
 
+// lint: codec — wire/persist format: length and index conversions must be overflow-checked
+
 use crate::campaign::{CampaignRow, CellPlan, CompletedSet};
 use crate::error::CoreError;
 use crate::scenario::Scenario;
@@ -182,7 +184,8 @@ impl JsonValue {
     ///
     /// Returns an error if `key` is absent or not an unsigned integer.
     pub fn usize_field(&self, key: &str) -> Result<usize> {
-        self.u64_field(key).map(|v| v as usize)
+        let v = self.u64_field(key)?;
+        usize::try_from(v).map_err(|_| parse_error(format!("field `{key}` exceeds usize range")))
     }
 }
 
@@ -209,6 +212,7 @@ pub fn encode_json_string(s: &str) -> String {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
+            // lint: allow(unchecked-len-cast) why: char to u32 is lossless by definition, not a length narrowing
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }
@@ -262,7 +266,7 @@ impl<'a> Reader<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<()> {
+    fn expect_byte(&mut self, byte: u8) -> Result<()> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -301,7 +305,7 @@ impl<'a> Reader<'a> {
     }
 
     fn object(&mut self) -> Result<JsonValue> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -312,7 +316,7 @@ impl<'a> Reader<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             pairs.push((key, value));
             self.skip_ws();
@@ -328,7 +332,7 @@ impl<'a> Reader<'a> {
     }
 
     fn array(&mut self) -> Result<JsonValue> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -350,7 +354,7 @@ impl<'a> Reader<'a> {
     }
 
     fn string(&mut self) -> Result<String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -392,7 +396,10 @@ impl<'a> Reader<'a> {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| parse_error("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().expect("non-empty by peek");
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| parse_error("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -1,0 +1,168 @@
+//! The seed registry: every deterministic seed-derivation family in the
+//! workspace, in one audited module.
+//!
+//! All reproducibility guarantees flow through these mixers — parallel
+//! and serial evaluation paths agree bitwise *because* they derive each
+//! RNG seed with exactly one of these functions. The `seed-registry`
+//! lint (see `berry-lint`) forbids the mixing constants below from
+//! appearing anywhere else, so a new derivation family cannot be
+//! hand-rolled in a leaf crate and silently collide with an existing
+//! one.
+//!
+//! Four disjoint families are derived from the shared SplitMix64
+//! finalizer by giving each a distinct add-multiplier/offset pre-mix:
+//!
+//! | family             | function                         | pre-mix (`mult`, `offset`)        |
+//! |--------------------|----------------------------------|-----------------------------------|
+//! | fault-map          | [`fault_map_seed`]               | `GOLDEN_GAMMA`, `GOLDEN_GAMMA`    |
+//! | episode            | `berry_rl::vecenv::episode_seed` | `MIX1`, `MIX2`                    |
+//! | scenario           | [`scenario_seed`]                | `MIX2`, `MIX1`                    |
+//! | pair (store)       | [`pair_seed`]                    | `PAIR_MULT`, `PAIR_OFFSET`        |
+//!
+//! `episode_seed` lives in `berry-rl` because the dependency arrow
+//! points the other way (`berry-core` depends on `berry-rl`), but its
+//! constants are registered here and its site carries an audited
+//! `lint.toml` exception. `tests/parallel_determinism.rs` checks the
+//! cross-family no-collision property.
+
+/// SplitMix64 increment ("golden gamma"): `⌊2⁶⁴/φ⌋`, odd.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+/// First SplitMix64 finalizer multiplier (Stafford mix13).
+pub const MIX1: u64 = 0xBF58_476D_1CE4_E5B9;
+/// Second SplitMix64 finalizer multiplier (Stafford mix13).
+pub const MIX2: u64 = 0x94D0_49BB_1331_11EB;
+/// Pair-family pre-mix multiplier (distinct from every other family).
+pub const PAIR_MULT: u64 = 0xD6E8_FEB8_6659_FD93;
+/// Pair-family pre-mix offset.
+pub const PAIR_OFFSET: u64 = 0x2545_F491_4F6C_DD1D;
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// The SplitMix64 finalizer over `seed + GOLDEN_GAMMA` — the single
+/// generic mixer behind every family, and the deterministic draw used
+/// directly by failpoint probability triggers and client backoff jitter.
+#[must_use]
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(GOLDEN_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(MIX1);
+    z = (z ^ (z >> 27)).wrapping_mul(MIX2);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed of fault map `map_index` from an evaluation's
+/// base seed (a SplitMix64-style mix, so neighbouring indices produce
+/// unrelated streams).
+///
+/// Both the parallel and the serial evaluation paths seed each per-map
+/// RNG with exactly this function, which is what makes their statistics
+/// bitwise identical for a given base seed.
+#[must_use]
+pub fn fault_map_seed(base_seed: u64, map_index: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(map_index.wrapping_mul(GOLDEN_GAMMA))
+        .wrapping_add(GOLDEN_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(MIX1);
+    z = (z ^ (z >> 27)).wrapping_mul(MIX2);
+    z ^ (z >> 31)
+}
+
+/// Derives the base seed of campaign grid cell `grid_index` (one seed
+/// per scenario, so the grid can be evaluated in any order or resumed).
+///
+/// The add-multiplier/offset pair is distinct from both
+/// [`fault_map_seed`] and `berry_rl::vecenv::episode_seed`, keeping the
+/// derivation families disjoint.
+#[must_use]
+pub fn scenario_seed(base_seed: u64, grid_index: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(grid_index.wrapping_mul(MIX2))
+        .wrapping_add(MIX1);
+    z = (z ^ (z >> 30)).wrapping_mul(MIX1);
+    z = (z ^ (z >> 27)).wrapping_mul(MIX2);
+    z ^ (z >> 31)
+}
+
+/// Derives a pair's training seed from a campaign base seed and the
+/// request's seedless fingerprint hash.
+///
+/// A SplitMix64-style mix whose add-multiplier/offset pair is distinct
+/// from the fault-map, episode and scenario families, keeping all four
+/// derivation families disjoint (`tests/parallel_determinism.rs` checks
+/// the no-collision property).
+#[must_use]
+pub fn pair_seed(base_seed: u64, fingerprint_hash: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(fingerprint_hash.wrapping_mul(PAIR_MULT))
+        .wrapping_add(PAIR_OFFSET);
+    z = (z ^ (z >> 30)).wrapping_mul(MIX1);
+    z = (z ^ (z >> 27)).wrapping_mul(MIX2);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a 64-bit hash of a canonical fingerprint string.
+#[must_use]
+pub fn fnv1a64(s: &str) -> u64 {
+    fnv1a64_bytes(s.as_bytes())
+}
+
+/// FNV-1a 64-bit hash of raw bytes — the pair record's integrity seal.
+#[must_use]
+pub fn fnv1a64_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Known-answer pins: computed independently from the published
+    // SplitMix64/FNV-1a reference algorithms. A change to any value here
+    // re-seeds every derived RNG in the workspace and invalidates every
+    // golden snapshot — these must never move.
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(1), 0x910a_2dec_8902_5cc1);
+        assert_eq!(splitmix64(0xDEAD_BEEF), 0x4adf_b90f_68c9_eb9b);
+    }
+
+    #[test]
+    fn family_mixers_are_pinned() {
+        assert_eq!(fault_map_seed(0, 0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(fault_map_seed(2023, 41), 0x402d_fff1_198e_c205);
+        assert_eq!(scenario_seed(0, 0), 0xf2fe_a582_3ed3_a667);
+        assert_eq!(scenario_seed(2023, 41), 0xe3ee_da42_5605_a4b2);
+        assert_eq!(pair_seed(0, 0), 0x952f_14f1_e8dd_c491);
+        assert_eq!(pair_seed(2023, 0xDEAD_BEEF), 0x6857_877b_c11a_b51a);
+    }
+
+    #[test]
+    fn fnv1a64_is_pinned() {
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("berry"), 0xf89e_635e_9b69_b10f);
+        assert_eq!(fnv1a64_bytes(b"berry"), fnv1a64("berry"));
+    }
+
+    #[test]
+    fn index_zero_of_every_family_is_distinct() {
+        // The whole point of disjoint pre-mixes: the same (base, index)
+        // never produces the same seed across two families.
+        let base = 2023;
+        let a = fault_map_seed(base, 0);
+        let b = scenario_seed(base, 0);
+        let c = pair_seed(base, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // Not an accident, an identity: the fault-map family at index 0
+        // degenerates to the raw mixer (both finalize base + gamma).
+        assert_eq!(splitmix64(base), fault_map_seed(base, 0));
+    }
+}

@@ -62,6 +62,8 @@
 //! `store.load` (treat a good record as corrupt) and `store.train`
 //! (panic/error mid-training).
 
+// lint: codec — wire/persist format: length and index conversions must be overflow-checked
+
 use crate::error::CoreError;
 use crate::robust::{train_berry_with_fault_map, BerryConfig, LearningMode};
 use crate::Result;
@@ -88,32 +90,12 @@ pub const TRAIN_SUCCESS_WINDOW: usize = 20;
 /// FNV-1a checksum that catches torn writes and flipped payload bits).
 const PAIR_MAGIC: &[u8; 8] = b"BERRYPS2";
 
-/// Derives a pair's training seed from a campaign base seed and the
-/// request's seedless fingerprint hash.
-///
-/// A SplitMix64-style mix whose add-multiplier/offset pair is distinct
-/// from the fault-map, episode and scenario families, keeping all four
-/// derivation families disjoint (`tests/parallel_determinism.rs` checks
-/// the no-collision property).
-#[must_use]
-pub fn pair_seed(base_seed: u64, fingerprint_hash: u64) -> u64 {
-    let mut z = base_seed
-        .wrapping_add(fingerprint_hash.wrapping_mul(0xD6E8_FEB8_6659_FD93))
-        .wrapping_add(0x2545_F491_4F6C_DD1D);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The pair seed family and the fingerprint hash live in the central seed
+// registry; the historical path `store::pair_seed` stays valid via this
+// re-export.
+pub use crate::seed::pair_seed;
 
-/// FNV-1a 64-bit hash of a canonical fingerprint string.
-fn fnv1a64(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+use crate::seed::fnv1a64;
 
 /// Everything a Classical/BERRY pair training run is a function of.
 ///
@@ -324,6 +306,21 @@ impl PolicyStore {
         }
     }
 
+    /// The fingerprints of every resident slot, **sorted** — the slot map
+    /// hashes its keys, so any emitted ordering (status lines, debug
+    /// dumps) must be imposed here rather than inherited from HashMap
+    /// iteration order (house rule: `hashmap-iteration`).
+    pub fn cached_fingerprints(&self) -> Vec<String> {
+        let slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // lint: allow(hashmap-iteration) why: the only slot-map traversal; the collected keys are sorted on the next line before anything observes them
+        let mut keys: Vec<String> = slots.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
     /// Returns the trained pair for `request`, training it (at most once
     /// per fingerprint) on a miss.
     ///
@@ -393,6 +390,7 @@ impl PolicyStore {
                     }
                     crate::failpoint::Action::Delay(d) => std::thread::sleep(d),
                     crate::failpoint::Action::Panic => {
+                        // lint: allow(panic-in-lib) why: injected panic is the point — it exercises the catch_unwind isolation below
                         panic!("failpoint `store.train`: injected panic")
                     }
                     _ => {}
@@ -621,15 +619,9 @@ struct PairRecord {
     berry: Vec<f32>,
 }
 
-/// FNV-1a 64-bit hash of raw bytes — the pair record's integrity seal.
-fn fnv1a64_bytes(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+// The pair record's integrity seal — FNV-1a over raw bytes, from the
+// central seed registry.
+use crate::seed::fnv1a64_bytes;
 
 fn encode_pair(fingerprint: &str, pair: &TrainedPair) -> Vec<u8> {
     let classical = pair.classical.to_flat_weights();
@@ -687,7 +679,7 @@ fn decode_pair(bytes: &[u8]) -> Option<PairRecord> {
         let raw = take(cursor, count.checked_mul(4)?)?;
         Some(
             raw.chunks_exact(4)
-                .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("chunk of 4"))))
+                .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
                 .collect(),
         )
     };
@@ -724,6 +716,7 @@ fn json_escape(s: &str) -> String {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
+            // lint: allow(unchecked-len-cast) why: char to u32 is lossless by definition, not a length narrowing
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }
@@ -765,6 +758,24 @@ mod tests {
             8,
             base_seed,
         )
+    }
+
+    #[test]
+    fn cached_fingerprints_are_sorted_regardless_of_insertion_order() {
+        // The slot map is a HashMap; the listing must not leak its
+        // iteration order.
+        let keys = ["fp=charlie", "fp=alpha", "fp=bravo"];
+        let forward = PolicyStore::in_memory();
+        let reverse = PolicyStore::in_memory();
+        for key in keys {
+            forward.slots.lock().unwrap().entry(key.to_string()).or_default();
+        }
+        for key in keys.iter().rev() {
+            reverse.slots.lock().unwrap().entry(key.to_string()).or_default();
+        }
+        let listed = forward.cached_fingerprints();
+        assert_eq!(listed, ["fp=alpha", "fp=bravo", "fp=charlie"]);
+        assert_eq!(listed, reverse.cached_fingerprints());
     }
 
     #[test]

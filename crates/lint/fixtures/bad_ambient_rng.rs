@@ -1,0 +1,5 @@
+// Fixture: must trigger exactly `ambient-rng`.
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,4 @@
+// Fixture: must trigger exactly `feature-hygiene` (checked in a crate
+// that does not declare the `failpoints` feature).
+#[cfg(feature = "failpoints")]
+pub fn chaos_only() {}

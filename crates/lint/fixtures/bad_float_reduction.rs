@@ -1,0 +1,5 @@
+// lint: pinned-path
+// Fixture: must trigger exactly `bare-float-reduction`.
+pub fn total(v: &[f32]) -> f32 {
+    v.iter().copied().sum::<f32>()
+}

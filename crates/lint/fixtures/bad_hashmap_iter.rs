@@ -1,0 +1,6 @@
+// Fixture: must trigger exactly `hashmap-iteration`.
+use std::collections::HashMap;
+
+pub fn keys_in_map_order(m: &HashMap<String, u32>) -> Vec<String> {
+    m.keys().cloned().collect()
+}

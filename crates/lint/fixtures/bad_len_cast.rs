@@ -1,0 +1,5 @@
+// lint: codec
+// Fixture: must trigger exactly `unchecked-len-cast`.
+pub fn header_len(payload: &[u8]) -> u32 {
+    payload.len() as u32
+}

@@ -1,0 +1,4 @@
+// Fixture: must trigger exactly `panic-in-lib`.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,2 @@
+// Fixture: must trigger exactly `seed-registry`.
+pub const HOME_GROWN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;

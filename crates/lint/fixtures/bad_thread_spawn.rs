@@ -1,0 +1,4 @@
+// Fixture: must trigger exactly `thread-spawn`.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

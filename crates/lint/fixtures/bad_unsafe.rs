@@ -1,0 +1,4 @@
+// Fixture: must trigger exactly `unsafe-outside-simd`.
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+// Fixture: must trigger exactly `wallclock-time`.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

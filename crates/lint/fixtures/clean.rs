@@ -1,0 +1,24 @@
+// Fixture: a well-behaved library file — must trigger no lint at all.
+// Mentions of unsafe, panic!, Instant::now and 0x9E37_79B9_7F4A_7C15 in
+// comments and strings must not count.
+use std::collections::HashMap;
+
+/// Membership-only HashMap use is fine; only iteration is order-unstable.
+pub fn count_if_known(m: &HashMap<String, u32>, key: &str) -> u32 {
+    m.get(key).copied().unwrap_or(0)
+}
+
+pub fn describe() -> String {
+    "unsafe { panic!(Instant::now) }".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        Some(1u32).unwrap();
+        if false {
+            panic!("allowed in tests");
+        }
+    }
+}

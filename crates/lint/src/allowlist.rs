@@ -1,0 +1,215 @@
+//! `lint.toml` — the audited-exception file.
+//!
+//! The format is a small, hand-parsed subset of TOML (the workspace is
+//! offline, so no toml crate): a sequence of `[[allow]]` blocks, each
+//! with `lint = "<name>"` and `path = "<workspace-relative prefix>"`
+//! keys, and at least one `# why: …` comment line inside the block.
+//!
+//! ```toml
+//! # why: the SIMD leaf is the one audited unsafe module (PR 9)
+//! [[allow]]
+//! lint = "unsafe-outside-simd"
+//! path = "crates/nn/src/gemm/simd_avx2.rs"
+//! ```
+//!
+//! `path` is a prefix match so one entry can cover a whole crate's
+//! `src/` tree; entries without a `# why:` are hard errors (the CI guard
+//! also greps for this, but the tool enforces it first), and entries
+//! that suppress nothing produce an unused-allow warning so the file
+//! can only shrink over time.
+
+/// One `[[allow]]` entry from `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Lint name this entry suppresses.
+    pub lint: String,
+    /// Workspace-relative path prefix the suppression covers.
+    pub path: String,
+    /// `# why:` justification text (first line).
+    pub why: String,
+    /// 1-indexed line of the `[[allow]]` header (for diagnostics).
+    pub line: u32,
+}
+
+/// Parse failure with the offending line number.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-indexed line in `lint.toml`.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parses the allowlist file. Justifications (`# why:` lines) may appear
+/// immediately above the `[[allow]]` header or between its keys.
+/// In-flight `[[allow]]` block: (lint, path, why, header line).
+type PartialEntry = (Option<String>, Option<String>, Option<String>, u32);
+
+pub fn parse(source: &str) -> Result<Vec<AllowEntry>, ParseError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut pending_why: Option<String> = None;
+    let mut current: Option<PartialEntry> = None;
+
+    let flush = |current: &mut Option<PartialEntry>,
+                 entries: &mut Vec<AllowEntry>|
+     -> Result<(), ParseError> {
+        if let Some((lint, path, why, line)) = current.take() {
+            let lint = lint.ok_or(ParseError {
+                line,
+                message: "[[allow]] entry is missing a `lint = \"…\"` key".to_string(),
+            })?;
+            let path = path.ok_or(ParseError {
+                line,
+                message: "[[allow]] entry is missing a `path = \"…\"` key".to_string(),
+            })?;
+            let why = why.ok_or(ParseError {
+                line,
+                message: format!(
+                    "[[allow]] entry for `{lint}` at `{path}` has no `# why:` justification — \
+                     every audited exception must say why it is sound"
+                ),
+            })?;
+            entries.push(AllowEntry { lint, path, why, line });
+        }
+        Ok(())
+    };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(why) = rest.strip_prefix("why:") {
+                let why = why.trim().to_string();
+                match &mut current {
+                    Some((_, _, slot @ None, _)) => *slot = Some(why),
+                    // A complete, justified entry is behind us — this
+                    // `# why:` sits above the NEXT [[allow]] header.
+                    Some((Some(_), Some(_), Some(_), _)) => pending_why = Some(why),
+                    Some(_) => {} // mid-entry extra context; ignore
+                    None => pending_why = Some(why),
+                }
+            }
+            continue;
+        }
+        if line == "[[allow]]" {
+            flush(&mut current, &mut entries)?;
+            current = Some((None, None, pending_why.take(), lineno));
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            let Some(slot) = current.as_mut() else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("key `{}` outside an [[allow]] block", key.trim()),
+                });
+            };
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or(ParseError {
+                    line: lineno,
+                    message: "values must be double-quoted strings".to_string(),
+                })?
+                .to_string();
+            match key.trim() {
+                "lint" => slot.0 = Some(value),
+                "path" => slot.1 = Some(value),
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown key `{other}` (expected `lint` or `path`)"),
+                    })
+                }
+            }
+            continue;
+        }
+        return Err(ParseError {
+            line: lineno,
+            message: format!("unrecognized line: `{line}`"),
+        });
+    }
+    flush(&mut current, &mut entries)?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_why_above_or_inside() {
+        let src = "\
+# why: audited SIMD leaf (PR 9)
+[[allow]]
+lint = \"unsafe-outside-simd\"
+path = \"crates/nn/src/gemm/simd_avx2.rs\"
+
+[[allow]]
+lint = \"wallclock-time\"
+# why: bench timing is the product here
+path = \"crates/bench/src\"
+";
+        let entries = parse(src).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].lint, "unsafe-outside-simd");
+        assert_eq!(entries[0].why, "audited SIMD leaf (PR 9)");
+        assert_eq!(entries[1].path, "crates/bench/src");
+        assert_eq!(entries[1].why, "bench timing is the product here");
+    }
+
+    #[test]
+    fn consecutive_entries_may_each_put_why_above_their_header() {
+        // Regression: the why-above-header placement must work for every
+        // entry, not just the first — a justified, complete entry behind
+        // us must not swallow the next entry's justification.
+        let src = "\
+# why: first reason
+[[allow]]
+lint = \"unsafe-outside-simd\"
+path = \"a\"
+# why: second reason
+[[allow]]
+lint = \"panic-in-lib\"
+path = \"b\"
+# why: third reason
+[[allow]]
+lint = \"wallclock-time\"
+path = \"c\"
+";
+        let entries = parse(src).expect("parses");
+        let whys: Vec<&str> = entries.iter().map(|e| e.why.as_str()).collect();
+        assert_eq!(whys, ["first reason", "second reason", "third reason"]);
+    }
+
+    #[test]
+    fn entry_without_why_is_rejected() {
+        let src = "[[allow]]\nlint = \"panic-in-lib\"\npath = \"crates/x\"\n";
+        let err = parse(src).expect_err("must reject");
+        assert!(err.message.contains("why"), "{}", err.message);
+    }
+
+    #[test]
+    fn entry_missing_keys_is_rejected() {
+        let src = "# why: x\n[[allow]]\nlint = \"panic-in-lib\"\n";
+        let err = parse(src).expect_err("must reject");
+        assert!(err.message.contains("path"), "{}", err.message);
+    }
+
+    #[test]
+    fn stray_keys_and_unquoted_values_are_rejected() {
+        assert!(parse("lint = \"x\"\n").is_err());
+        assert!(parse("# why: x\n[[allow]]\nlint = bare\npath = \"p\"\n").is_err());
+        assert!(parse("# why: x\n[[allow]]\nseverity = \"high\"\n").is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! The lint driver: walks the workspace sources, derives each file's
+//! [`FileContext`], runs the lints, and applies suppression from
+//! `lint.toml` plus inline `// lint: allow(…)` markers.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::allowlist;
+use crate::lexer::lex;
+use crate::lints::{check_lexed, parse_markers, Diagnostic, FileContext, FileKind, LINTS};
+
+/// Outcome of a full workspace run.
+pub struct Report {
+    /// Findings that survived suppression, in path/line order.
+    pub findings: Vec<Diagnostic>,
+    /// Non-fatal issues with the run itself (unused allowlist entries,
+    /// inline allows without `why:`, unknown lint names).
+    pub warnings: Vec<String>,
+    /// Number of files checked.
+    pub files_checked: usize,
+}
+
+/// Runs the checker over a workspace root. Reads `lint.toml` at the root
+/// if present (its absence just means no exceptions are granted).
+pub fn run(root: &Path) -> Result<Report, String> {
+    let allow_path = root.join("lint.toml");
+    let entries = if allow_path.is_file() {
+        let text = fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        allowlist::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        Vec::new()
+    };
+
+    let known: Vec<&str> = LINTS.iter().map(|l| l.name).collect();
+    let mut warnings = Vec::new();
+    for entry in &entries {
+        if !known.contains(&entry.lint.as_str()) {
+            warnings.push(format!(
+                "lint.toml:{}: unknown lint name `{}` in [[allow]] entry",
+                entry.line, entry.lint
+            ));
+        }
+    }
+
+    let mut files = collect_files(root)?;
+    files.sort();
+
+    let mut used: Vec<bool> = vec![false; entries.len()];
+    let mut findings = Vec::new();
+    let mut files_checked = 0usize;
+
+    let mut cargo_cache: BTreeMap<PathBuf, CrateMeta> = BTreeMap::new();
+
+    for file in &files {
+        let rel = workspace_rel(root, file);
+        let source = fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let meta = crate_meta_for(root, file, &mut cargo_cache);
+        let ctx = FileContext {
+            path: rel.clone(),
+            crate_name: meta.name.clone(),
+            kind: file_kind(&rel),
+            has_failpoints_feature: meta.has_failpoints_feature,
+        };
+        let lexed = lex(&source);
+        let markers = parse_markers(&lexed.comments);
+        for (line, lint_name, has_why) in &markers.allows {
+            if !known.contains(&lint_name.as_str()) {
+                warnings.push(format!(
+                    "{rel}:{line}: inline allow names unknown lint `{lint_name}`"
+                ));
+            }
+            if !has_why {
+                warnings.push(format!(
+                    "{rel}:{line}: inline `// lint: allow({lint_name})` has no `why:` — every \
+                     audited exception must say why it is sound"
+                ));
+            }
+        }
+        files_checked += 1;
+        for diag in check_lexed(&lexed, &markers, &ctx) {
+            // Inline allow: a marker on the same line as the finding, or
+            // on the line directly above (the usual placement for a
+            // justification comment).
+            let inline = markers.allows.iter().any(|(line, name, _)| {
+                (*line == diag.line || *line + 1 == diag.line) && *name == diag.lint
+            });
+            if inline {
+                continue;
+            }
+            // Allowlist file: lint name + path prefix.
+            let mut suppressed = false;
+            for (idx, entry) in entries.iter().enumerate() {
+                if entry.lint == diag.lint && rel.starts_with(entry.path.as_str()) {
+                    used[idx] = true;
+                    suppressed = true;
+                }
+            }
+            if !suppressed {
+                findings.push(diag);
+            }
+        }
+    }
+
+    for (idx, entry) in entries.iter().enumerate() {
+        if !used[idx] && known.contains(&entry.lint.as_str()) {
+            warnings.push(format!(
+                "lint.toml:{}: unused [[allow]] entry ({} at `{}`) — suppresses nothing; \
+                 delete it so the exception list only shrinks",
+                entry.line, entry.lint, entry.path
+            ));
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.col.cmp(&b.col))
+    });
+    Ok(Report { findings, warnings, files_checked })
+}
+
+/// Everything the lints need from a crate's `Cargo.toml`.
+#[derive(Debug, Clone)]
+struct CrateMeta {
+    name: String,
+    has_failpoints_feature: bool,
+}
+
+/// Walks up from `file` to the nearest `Cargo.toml`, parsing (and
+/// caching) the package name and `failpoints` feature declaration.
+fn crate_meta_for(
+    root: &Path,
+    file: &Path,
+    cache: &mut BTreeMap<PathBuf, CrateMeta>,
+) -> CrateMeta {
+    let mut dir = file.parent();
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Some(meta) = cache.get(&manifest) {
+                return meta.clone();
+            }
+            let meta = parse_cargo_toml(&manifest);
+            cache.insert(manifest, meta.clone());
+            return meta;
+        }
+        if d == root {
+            break;
+        }
+        dir = d.parent();
+    }
+    CrateMeta { name: "unknown".to_string(), has_failpoints_feature: false }
+}
+
+/// Line-oriented extraction of `name = "…"` under `[package]` and a
+/// `failpoints` key under `[features]`. Good enough for this workspace's
+/// hand-written manifests; no toml dependency.
+fn parse_cargo_toml(path: &Path) -> CrateMeta {
+    let text = fs::read_to_string(path).unwrap_or_default();
+    let mut section = String::new();
+    let mut name = String::from("unknown");
+    let mut has_failpoints = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if section == "package" {
+            if let Some(value) = line.strip_prefix("name") {
+                if let Some(v) = value.trim().strip_prefix('=') {
+                    let v = v.trim().trim_matches('"');
+                    name = v.to_string();
+                }
+            }
+        }
+        if section == "features" {
+            if let Some(rest) = line.strip_prefix("failpoints") {
+                if rest.trim_start().starts_with('=') {
+                    has_failpoints = true;
+                }
+            }
+        }
+    }
+    CrateMeta { name, has_failpoints_feature: has_failpoints }
+}
+
+/// Library unless the file is a binary target (`src/bin/**` or a crate
+/// `main.rs`).
+fn file_kind(rel: &str) -> FileKind {
+    if rel.contains("/src/bin/") || rel.ends_with("/main.rs") || rel == "src/main.rs" {
+        FileKind::Binary
+    } else {
+        FileKind::Library
+    }
+}
+
+/// The `.rs` files the checker covers: `crates/*/src/**`, the root
+/// `src/**`, and `vendor/rayon/src/**`. Fixture corpora (anything under
+/// a `fixtures/` directory) are deliberately excluded — they are
+/// known-bad by design.
+fn collect_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut out)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk_rs(&root_src, &mut out)?;
+    }
+    let rayon_src = root.join("vendor").join("rayon").join("src");
+    if rayon_src.is_dir() {
+        walk_rs(&rayon_src, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Recursively gathers `.rs` files, skipping `fixtures/` subtrees.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `/`-separated path relative to the workspace root.
+fn workspace_rel(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_kind_classifies_binaries() {
+        assert_eq!(file_kind("crates/bench/src/bin/ber_sweep.rs"), FileKind::Binary);
+        assert_eq!(file_kind("crates/serve/src/main.rs"), FileKind::Binary);
+        assert_eq!(file_kind("crates/core/src/lib.rs"), FileKind::Library);
+        assert_eq!(file_kind("crates/core/src/store.rs"), FileKind::Library);
+    }
+
+    #[test]
+    fn cargo_toml_parse_reads_name_and_feature() {
+        let dir = std::env::temp_dir().join("berry-lint-test-manifest");
+        fs::create_dir_all(&dir).expect("tempdir");
+        let manifest = dir.join("Cargo.toml");
+        fs::write(
+            &manifest,
+            "[package]\nname = \"demo-crate\"\n\n[features]\nfailpoints = [\"x/failpoints\"]\n",
+        )
+        .expect("write");
+        let meta = parse_cargo_toml(&manifest);
+        assert_eq!(meta.name, "demo-crate");
+        assert!(meta.has_failpoints_feature);
+        let bare = dir.join("Bare.toml");
+        fs::write(&bare, "[package]\nname = \"bare\"\n").expect("write");
+        let meta = parse_cargo_toml(&bare);
+        assert!(!meta.has_failpoints_feature);
+    }
+}

@@ -1,0 +1,424 @@
+//! A small Rust lexer — just enough token structure for the house lints.
+//!
+//! The lexer understands exactly the parts of Rust's lexical grammar that
+//! would otherwise produce false positives in a grep-style checker:
+//!
+//! * line comments (`//`), doc comments and **nested** block comments,
+//! * string literals with escapes, byte strings, and raw (byte) strings
+//!   with arbitrary `#` fencing,
+//! * char literals vs lifetimes (`'a'` is a char, `<'a>` is a lifetime,
+//!   `'\''` is a char with an escape),
+//! * numeric literals (kept verbatim so mixing constants can be matched
+//!   structurally instead of textually).
+//!
+//! Comments are collected separately from the code token stream: lints
+//! match patterns over code tokens only, while the comment list carries
+//! the `// lint: …` marker grammar (file markers and inline allows).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `spawn`, `HashMap`, …).
+    Ident,
+    /// A numeric literal, text kept verbatim (`0x9E37_79B9_7F4A_7C15`).
+    Number,
+    /// Any string literal flavor; `text` holds the *contents* (unquoted).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'{'`).
+    Char,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// A single punctuation character (`.`:`(`:`{`:`#`, …).
+    Punct,
+}
+
+/// One code token with its source position (1-indexed line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Token text (contents for strings, verbatim otherwise).
+    pub text: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// 1-indexed source column of the token's first character.
+    pub col: u32,
+}
+
+/// One comment (line or block) with the line it starts on.  `text` is the
+/// comment body without the `//`/`/*` fencing, trimmed.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Trimmed comment body.
+    pub text: String,
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments excluded).
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into code tokens and comments.  Unknown bytes are
+/// skipped (the lints only need a faithful token *stream*, not a full
+/// grammar), so the lexer never fails.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            bytes: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line/column.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'r' | b'b' if self.raw_or_byte_string(line, col) => {}
+                b'"' => self.string_literal(line, col),
+                b'\'' => self.char_or_lifetime(line, col),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(line, col),
+                b'0'..=b'9' => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, (b as char).to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        let body = raw.trim_start_matches('/').trim_start_matches('!').trim();
+        self.out.comments.push(Comment { text: body.to_string(), line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        let body = raw
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim();
+        self.out.comments.push(Comment { text: body.to_string(), line });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` prefixes.
+    /// Returns false (consuming nothing) if the `r`/`b` starts a plain
+    /// identifier instead.
+    fn raw_or_byte_string(&mut self, line: u32, col: u32) -> bool {
+        let mut ahead = 1;
+        let first = self.peek(0);
+        // `br` / `rb` double prefix.
+        if (first == Some(b'b') && self.peek(1) == Some(b'r'))
+            || (first == Some(b'r') && self.peek(1) == Some(b'b'))
+        {
+            ahead = 2;
+        }
+        let raw = self.peek(0) == Some(b'r') || self.peek(1) == Some(b'r') && ahead == 2;
+        // Count `#` fencing (raw strings only).
+        let mut hashes = 0usize;
+        if raw {
+            while self.peek(ahead) == Some(b'#') {
+                hashes += 1;
+                ahead += 1;
+            }
+        }
+        match self.peek(ahead) {
+            Some(b'"') => {
+                for _ in 0..=ahead {
+                    self.bump();
+                }
+                let start = self.pos;
+                if raw {
+                    // Scan to `"` followed by `hashes` hashes; no escapes.
+                    'outer: while self.peek(0).is_some() {
+                        if self.peek(0) == Some(b'"') {
+                            for h in 0..hashes {
+                                if self.peek(1 + h) != Some(b'#') {
+                                    self.bump();
+                                    continue 'outer;
+                                }
+                            }
+                            break;
+                        }
+                        self.bump();
+                    }
+                } else {
+                    self.scan_quoted(b'"');
+                }
+                let content =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("").to_string();
+                // Consume the closing quote + fencing.
+                self.bump();
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.push(TokenKind::Str, content, line, col);
+                true
+            }
+            Some(b'\'') if first == Some(b'b') && ahead == 1 => {
+                // Byte char literal `b'x'`.
+                self.bump();
+                self.char_or_lifetime(line, col);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes the body of a quoted literal up to (not including) the
+    /// closing `quote`, honoring backslash escapes.
+    fn scan_quoted(&mut self, quote: u8) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump();
+                self.bump();
+            } else if b == quote {
+                break;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        self.scan_quoted(b'"');
+        let content = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("").to_string();
+        self.bump(); // closing quote
+        self.push(TokenKind::Str, content, line, col);
+    }
+
+    /// `'` starts either a char literal or a lifetime.  The rule: `'x'` is
+    /// a char (closing quote right after one char or escape); `'ident`
+    /// with no closing quote is a lifetime.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // the `'`
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal.
+                let start = self.pos;
+                self.scan_quoted(b'\'');
+                let content =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("").to_string();
+                self.bump(); // closing quote
+                self.push(TokenKind::Char, content, line, col);
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                // Could be 'a' (char) or 'a (lifetime): look for a closing
+                // quote after the identifier-ish run.
+                let mut ahead = 1;
+                while self
+                    .peek(ahead)
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'\'') && ahead == 1 {
+                    self.bump(); // the char
+                    self.bump(); // closing quote
+                    self.push(TokenKind::Char, (c as char).to_string(), line, col);
+                } else {
+                    let start = self.pos;
+                    for _ in 0..ahead {
+                        self.bump();
+                    }
+                    let name =
+                        std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("").to_string();
+                    self.push(TokenKind::Lifetime, name, line, col);
+                }
+            }
+            Some(c) => {
+                // Non-identifier char literal like '{' or '0'-digit start.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, (c as char).to_string(), line, col);
+            }
+            None => {}
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("").to_string();
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        // Numeric literal body: digits, hex/oct/bin prefixes, underscores,
+        // a fractional part, exponents and type suffixes all fall in the
+        // alphanumeric + `_` + `.` class.  A `.` is only part of the
+        // number when followed by a digit (so `x.len()` never glues).
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("").to_string();
+        self.push(TokenKind::Number, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let lexed = lex("let x = 1; // trailing panic!()\n/* block\nunsafe */ let y;");
+        assert!(lexed.tokens.iter().all(|t| t.text != "panic" && t.text != "unsafe"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lexed = lex("/* a /* b */ c */ unsafe");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "unsafe");
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_token_stream() {
+        let lexed = lex("let s = \"unsafe { panic!() }\"; let b = b\"spawn\";");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Ident || t.text != "panic"));
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Ident || t.text != "spawn"));
+        let strs: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_fencing() {
+        let src = "let s = r##\"has \"# inside and unsafe\"##; spawn";
+        let lexed = lex(src);
+        let strs: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("unsafe"));
+        assert_eq!(lexed.tokens.last().unwrap().text, "spawn");
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let e = '\\''; let b = b'{'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 3, "{toks:?}");
+    }
+
+    #[test]
+    fn numbers_keep_verbatim_text_and_do_not_eat_method_calls() {
+        let toks = kinds("let a = 0x9E37_79B9_7F4A_7C15; let b = 1.5e3; x.len()");
+        assert!(toks.contains(&(TokenKind::Number, "0x9E37_79B9_7F4A_7C15".to_string())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e3".to_string())));
+        assert!(toks.contains(&(TokenKind::Ident, "len".to_string())));
+    }
+
+    #[test]
+    fn positions_are_one_indexed() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,19 @@
+//! `berry-lint` — the workspace invariant checker.
+//!
+//! The BERRY reproduction's value rests on bit-exact determinism: golden
+//! pinned evaluation stats, four disjoint seed families, byte-identical
+//! resume artifacts. Those invariants used to live in convention and
+//! after-the-fact golden tests; this crate makes them machine-checked.
+//!
+//! Deliberately dependency-free (the workspace is offline/vendored, so
+//! no `syn`): a small hand-rolled lexer ([`lexer`]) feeds token-level
+//! lints ([`lints`]), a driver ([`driver`]) walks the workspace and
+//! applies the audited-exception allowlist ([`allowlist`]).
+
+pub mod allowlist;
+pub mod driver;
+pub mod lexer;
+pub mod lints;
+
+pub use driver::{run, Report};
+pub use lints::{Diagnostic, FileContext, FileKind, LINTS};

@@ -1,0 +1,746 @@
+//! The house lints: each one mechanizes an invariant the workspace
+//! previously enforced by convention and golden tests alone.
+//!
+//! Every lint is a pure function over a lexed token stream plus a
+//! [`FileContext`] describing where the file sits in the workspace.  The
+//! driver applies suppression (allowlist file + inline markers) *after*
+//! the lints run, so the lints themselves stay policy-free.
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+
+/// How a file participates in the build — binaries get a looser error
+/// discipline (a CLI `main` may abort; a library must return typed
+/// errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of a library target (`src/**` except `src/bin`).
+    Library,
+    /// A binary target (`src/bin/*`, `main.rs`).
+    Binary,
+}
+
+/// Where a source file sits in the workspace, as far as the lints care.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path, `/`-separated (used in diagnostics and
+    /// allowlist matching).
+    pub path: String,
+    /// The owning crate's package name (`berry-core`, `rayon`, …).
+    pub crate_name: String,
+    /// Library or binary target.
+    pub kind: FileKind,
+    /// Whether the owning crate declares/forwards the `failpoints`
+    /// cargo feature.
+    pub has_failpoints_feature: bool,
+}
+
+/// One diagnostic: a lint finding at a source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// 1-indexed column.
+    pub col: u32,
+    /// The lint's kebab-case name.
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in the `file:line:col` compiler style.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: warning[{}]: {}",
+            self.path, self.line, self.col, self.lint, self.message
+        )
+    }
+}
+
+/// Name/rule/rationale of one registered lint (drives `--list` and the
+/// DESIGN.md table).
+pub struct LintInfo {
+    /// Kebab-case lint name (the allowlist key).
+    pub name: &'static str,
+    /// One-line rule statement.
+    pub rule: &'static str,
+}
+
+/// Every lint the checker knows, in reporting order.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        name: "unsafe-outside-simd",
+        rule: "`unsafe` is confined to the audited SIMD leaf modules (allowlist)",
+    },
+    LintInfo {
+        name: "hashmap-iteration",
+        rule: "HashMap/HashSet values are never iterated (iteration order is nondeterministic)",
+    },
+    LintInfo {
+        name: "wallclock-time",
+        rule: "Instant::now/SystemTime stay out of output paths (bench/metrics allowlist)",
+    },
+    LintInfo {
+        name: "ambient-rng",
+        rule: "no ambient RNG construction (thread_rng/from_entropy); all seeds are derived",
+    },
+    LintInfo {
+        name: "seed-registry",
+        rule: "splitmix/FNV mixing constants live only in berry_core::seed",
+    },
+    LintInfo {
+        name: "panic-in-lib",
+        rule: "library code returns typed errors: no unwrap/expect/panic!/unreachable! outside tests",
+    },
+    LintInfo {
+        name: "bare-float-reduction",
+        rule: "`// lint: pinned-path` files use fixed-order reduction helpers, not bare .sum/.fold",
+    },
+    LintInfo {
+        name: "thread-spawn",
+        rule: "threads are spawned only by berry-serve and the vendored rayon scheduler",
+    },
+    LintInfo {
+        name: "unchecked-len-cast",
+        rule: "`// lint: codec` files use overflow-checked conversions, not `as` int casts",
+    },
+    LintInfo {
+        name: "feature-hygiene",
+        rule: "`failpoints` cfg only in crates that declare/forward the feature",
+    },
+];
+
+/// The SplitMix64/FNV mixing constants that may appear **only** in the
+/// `berry_core::seed` registry (normalized: lowercase hex, no `0x`, no
+/// underscores, no leading zeros).
+const SEED_CONSTANTS: &[&str] = &[
+    "9e3779b97f4a7c15", // SplitMix64 golden gamma
+    "bf58476d1ce4e5b9", // SplitMix64 finalizer multiplier 1
+    "94d049bb133111eb", // SplitMix64 finalizer multiplier 2
+    "d6e8feb86659fd93", // pair-seed family multiplier
+    "2545f4914f6cdd1d", // pair-seed family offset
+    "cbf29ce484222325", // FNV-1a 64 offset basis
+    "100000001b3",      // FNV-1a 64 prime
+];
+
+/// Crates allowed to create threads (lint `thread-spawn`).
+const SPAWN_CRATES: &[&str] = &["berry-serve", "rayon"];
+
+/// Iterator-like methods whose call on a hash collection is order-unstable.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Macros that abort instead of returning a typed error.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// File markers recognized in comments (`// lint: <marker>`).
+#[derive(Debug, Default)]
+pub struct FileMarkers {
+    /// `// lint: pinned-path` — file is on a bit-pinned numeric path.
+    pub pinned_path: bool,
+    /// `// lint: codec` — file is a wire/persist codec.
+    pub codec: bool,
+    /// Inline allows: (line, lint-name, has-why).
+    pub allows: Vec<(u32, String, bool)>,
+}
+
+/// Parses the `// lint: …` marker grammar out of a file's comments.
+#[must_use]
+pub fn parse_markers(comments: &[Comment]) -> FileMarkers {
+    let mut markers = FileMarkers::default();
+    for comment in comments {
+        let Some(rest) = comment.text.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "pinned-path" {
+            markers.pinned_path = true;
+        } else if rest == "codec" {
+            markers.codec = true;
+        } else if let Some(arg) = rest.strip_prefix("allow(") {
+            if let Some(end) = arg.find(')') {
+                let name = arg[..end].trim().to_string();
+                let has_why = arg[end + 1..].trim_start().starts_with("why:");
+                markers.allows.push((comment.line, name, has_why));
+            }
+        }
+    }
+    markers
+}
+
+/// Token-index ranges that belong to `#[cfg(test)]` (or
+/// `#[cfg(all(test, …))]`) items — exempt from most lints.
+#[must_use]
+pub fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].text == "#" && matches!(tokens.get(i + 1), Some(t) if t.text == "[")) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test_cfg) = scan_attribute(tokens, i + 1);
+        if !is_test_cfg {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes between the cfg and the item.
+        let mut j = attr_end;
+        while j < tokens.len()
+            && tokens[j].text == "#"
+            && matches!(tokens.get(j + 1), Some(t) if t.text == "[")
+        {
+            j = scan_attribute(tokens, j + 1).0;
+        }
+        // Find the item's body: the first `{` (match to its close) or a
+        // terminating `;` (no body to exempt).
+        while j < tokens.len() && tokens[j].text != "{" && tokens[j].text != ";" {
+            j += 1;
+        }
+        if j < tokens.len() && tokens[j].text == "{" {
+            let close = matching_brace(tokens, j);
+            regions.push((i, close));
+            i = close + 1;
+        } else {
+            i = j + 1;
+        }
+    }
+    regions
+}
+
+/// Scans an attribute starting at the `[` token index; returns the index
+/// one past the closing `]` and whether the attribute is a test cfg.
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let mut k = open;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (k + 1, has_cfg && has_test);
+                }
+            }
+            "cfg" => has_cfg = true,
+            "test" => has_test = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    (k, false)
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, token) in tokens.iter().enumerate().skip(open) {
+        match token.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Runs every lint over one file and returns raw (unsuppressed) findings.
+#[must_use]
+pub fn check_file(source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let markers = parse_markers(&lexed.comments);
+    check_lexed(&lexed, &markers, ctx)
+}
+
+/// [`check_file`] over an already-lexed file (the driver lexes once to
+/// share the work between lints and marker handling).
+#[must_use]
+pub fn check_lexed(lexed: &Lexed, markers: &FileMarkers, ctx: &FileContext) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let regions = test_regions(tokens);
+    let in_test = |idx: usize| regions.iter().any(|&(a, b)| idx >= a && idx <= b);
+    let is_seed_registry = ctx.path == "crates/core/src/seed.rs";
+    let mut out = Vec::new();
+    let mut diag = |token: &Token, lint: &'static str, message: String| {
+        out.push(Diagnostic {
+            path: ctx.path.clone(),
+            line: token.line,
+            col: token.col,
+            lint,
+            message,
+        });
+    };
+
+    let hash_names = hash_collection_names(tokens);
+
+    for (i, token) in tokens.iter().enumerate() {
+        let text = token.text.as_str();
+        let ident = token.kind == TokenKind::Ident;
+
+        // unsafe-outside-simd: every `unsafe` keyword outside tests; the
+        // audited SIMD leaf modules are allowlisted, not special-cased.
+        if ident && text == "unsafe" && !in_test(i) {
+            diag(
+                token,
+                "unsafe-outside-simd",
+                "`unsafe` outside the audited SIMD leaf modules — confine unsafe code to \
+                 allowlisted leaves with safe, assert-guarded entry points"
+                    .to_string(),
+            );
+        }
+
+        // hashmap-iteration: order-unstable traversal of a hash collection.
+        if ident && hash_names.contains(&token.text) && !in_test(i) {
+            // `name.iter()` / `.keys()` / … method chain.
+            if tokens.get(i + 1).is_some_and(|t| t.text == ".")
+                && tokens
+                    .get(i + 2)
+                    .is_some_and(|t| HASH_ITER_METHODS.contains(&t.text.as_str()))
+            {
+                diag(
+                    token,
+                    "hashmap-iteration",
+                    format!(
+                        "iterating hash collection `{}` — iteration order is nondeterministic; \
+                         collect-and-sort (or use a BTreeMap) before anything ordered",
+                        token.text
+                    ),
+                );
+            }
+            // `for pat in &name {` / `for pat in name {`.
+            let prev_non_ref = (0..i)
+                .rev()
+                .map(|k| &tokens[k])
+                .find(|t| t.text != "&" && t.text != "mut");
+            if prev_non_ref.is_some_and(|t| t.text == "in")
+                && tokens.get(i + 1).is_some_and(|t| t.text == "{")
+            {
+                diag(
+                    token,
+                    "hashmap-iteration",
+                    format!(
+                        "for-loop over hash collection `{}` — iteration order is \
+                         nondeterministic; sort keys first",
+                        token.text
+                    ),
+                );
+            }
+        }
+
+        // wallclock-time: Instant::now / SystemTime outside tests.
+        if ident && !in_test(i) {
+            let is_instant_now = text == "Instant"
+                && tokens.get(i + 1).is_some_and(|t| t.text == ":")
+                && tokens.get(i + 2).is_some_and(|t| t.text == ":")
+                && tokens.get(i + 3).is_some_and(|t| t.text == "now");
+            if is_instant_now || text == "SystemTime" {
+                diag(
+                    token,
+                    "wallclock-time",
+                    "wall-clock time source — forbidden outside the bench/metrics allowlist; \
+                     time must never feed a deterministic output path"
+                        .to_string(),
+                );
+            }
+        }
+
+        // ambient-rng: nondeterministically seeded RNG construction.
+        if ident && (text == "thread_rng" || text == "from_entropy") && !in_test(i) {
+            diag(
+                token,
+                "ambient-rng",
+                format!(
+                    "`{text}` constructs an ambiently seeded RNG — every RNG must be seeded \
+                     from one of the four registered splitmix families"
+                ),
+            );
+        }
+
+        // seed-registry: mixing constants / splitmix definitions outside
+        // berry_core::seed.
+        if !is_seed_registry && !in_test(i) {
+            if token.kind == TokenKind::Number && SEED_CONSTANTS.contains(&normalize_hex(text).as_str())
+            {
+                diag(
+                    token,
+                    "seed-registry",
+                    format!(
+                        "seed-mixing constant `{text}` outside `berry_core::seed` — derive \
+                         seeds through the central registry so families stay disjoint"
+                    ),
+                );
+            }
+            if ident
+                && text == "fn"
+                && tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.text.starts_with("splitmix"))
+            {
+                diag(
+                    &tokens[i + 1],
+                    "seed-registry",
+                    "hand-rolled splitmix definition outside `berry_core::seed` — use the \
+                     registry's `splitmix64`"
+                        .to_string(),
+                );
+            }
+        }
+
+        // panic-in-lib: abort paths in library (non-binary) code.
+        if ctx.kind == FileKind::Library && !in_test(i) {
+            let method_call = |name: &str| {
+                ident
+                    && text == name
+                    && i > 0
+                    && tokens[i - 1].text == "."
+                    && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+            };
+            if method_call("unwrap") && tokens.get(i + 2).is_some_and(|t| t.text == ")") {
+                diag(
+                    token,
+                    "panic-in-lib",
+                    "`.unwrap()` in library code — return a typed error (CoreError/ServeError) \
+                     or discharge the invariant without a panic path"
+                        .to_string(),
+                );
+            }
+            if method_call("expect") {
+                diag(
+                    token,
+                    "panic-in-lib",
+                    "`.expect(…)` in library code — return a typed error or prove the \
+                     invariant without a panic path"
+                        .to_string(),
+                );
+            }
+            if ident
+                && PANIC_MACROS.contains(&text)
+                && tokens.get(i + 1).is_some_and(|t| t.text == "!")
+            {
+                diag(
+                    token,
+                    "panic-in-lib",
+                    format!(
+                        "`{text}!` in library code — PR 8's exit-code discipline requires typed \
+                         transient/fatal errors, not aborts"
+                    ),
+                );
+            }
+        }
+
+        // bare-float-reduction: order-implicit float folds on pinned paths.
+        if markers.pinned_path && !in_test(i) && ident && i > 0 && tokens[i - 1].text == "." {
+            let sum_f = text == "sum"
+                && tokens.get(i + 1).is_some_and(|t| t.text == ":")
+                && tokens.get(i + 2).is_some_and(|t| t.text == ":")
+                && tokens.get(i + 3).is_some_and(|t| t.text == "<")
+                && tokens
+                    .get(i + 4)
+                    .is_some_and(|t| t.text == "f32" || t.text == "f64");
+            let float_fold = text == "fold"
+                && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+                && tokens.get(i + 2).is_some_and(|t| {
+                    t.kind == TokenKind::Number
+                        && (t.text.contains('.') || t.text.contains("f32") || t.text.contains("f64"))
+                });
+            if sum_f || float_fold {
+                diag(
+                    token,
+                    "bare-float-reduction",
+                    "bare float reduction in a `// lint: pinned-path` file — route through the \
+                     fixed-order helpers (berry_nn::reduce) so summation order is explicit"
+                        .to_string(),
+                );
+            }
+        }
+
+        // thread-spawn: thread creation outside berry-serve / rayon.
+        if ident
+            && text == "spawn"
+            && !SPAWN_CRATES.contains(&ctx.crate_name.as_str())
+            && !in_test(i)
+            && i > 0
+            && (tokens[i - 1].text == "." || tokens[i - 1].text == ":")
+            && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+        {
+            diag(
+                token,
+                "thread-spawn",
+                "thread spawn outside `berry-serve`/`vendor/rayon` — parallelism goes through \
+                 the deterministic scheduler so outputs stay worker-count invariant"
+                    .to_string(),
+            );
+        }
+
+        // unchecked-len-cast: `as` int casts in codec files.
+        if markers.codec && !in_test(i) && ident && text == "as" {
+            const NARROW: &[&str] =
+                &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "i64", "isize"];
+            if tokens
+                .get(i + 1)
+                .is_some_and(|t| NARROW.contains(&t.text.as_str()))
+            {
+                diag(
+                    token,
+                    "unchecked-len-cast",
+                    format!(
+                        "`as {}` in a `// lint: codec` file — use an overflow-checked \
+                         conversion (`usize::try_from`, `u32::try_from`) so corrupt or hostile \
+                         lengths degrade to errors, not truncation",
+                        tokens[i + 1].text
+                    ),
+                );
+            }
+        }
+
+        // feature-hygiene: failpoints cfg in a crate without the feature.
+        if !ctx.has_failpoints_feature
+            && token.kind == TokenKind::Str
+            && text == "failpoints"
+            && i >= 2
+            && tokens[i - 1].text == "="
+            && tokens[i - 2].text == "feature"
+        {
+            diag(
+                token,
+                "feature-hygiene",
+                format!(
+                    "crate `{}` uses the `failpoints` cfg but does not declare/forward the \
+                     feature in its Cargo.toml — the site would silently never compile in",
+                    ctx.crate_name
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` values in this file:
+/// type ascriptions (`name: Mutex<HashMap<…>>`) and let-bindings
+/// initialized from a constructor (`let name = HashMap::new()`).
+fn hash_collection_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident
+            || (token.text != "HashMap" && token.text != "HashSet")
+        {
+            continue;
+        }
+        // Walk backwards through type/path/constructor syntax to the
+        // binding: stop at `:` (ascription) or `=` then `let` (binding).
+        let mut k = i;
+        let mut hops = 0;
+        while k > 0 && hops < 14 {
+            k -= 1;
+            hops += 1;
+            match tokens[k].text.as_str() {
+                ":" => {
+                    // Skip a possible second `:` of a `::` path — a path
+                    // segment means we are inside the type, keep walking.
+                    if k > 0 && tokens[k - 1].text == ":" {
+                        k -= 1;
+                        continue;
+                    }
+                    if k > 0 && tokens[k - 1].kind == TokenKind::Ident {
+                        names.push(tokens[k - 1].text.clone());
+                    }
+                    break;
+                }
+                "=" => {
+                    // `let name = …HashMap::new()` / `let name: T = …`.
+                    let mut j = k;
+                    while j > 0 && hops < 14 {
+                        j -= 1;
+                        hops += 1;
+                        if tokens[j].text == "let" {
+                            if let Some(name) = tokens.get(j + 1) {
+                                if name.kind == TokenKind::Ident && name.text != "mut" {
+                                    names.push(name.text.clone());
+                                } else if let Some(n2) = tokens.get(j + 2) {
+                                    names.push(n2.text.clone());
+                                }
+                            }
+                            break;
+                        }
+                        if tokens[j].text == ";" || tokens[j].text == "{" {
+                            break;
+                        }
+                    }
+                    break;
+                }
+                ";" | "{" | "}" | "(" => break,
+                _ => {}
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Normalizes a numeric literal for mixing-constant matching: lowercase,
+/// underscores stripped, `0x` prefix and leading zeros removed.
+fn normalize_hex(text: &str) -> String {
+    let lower: String = text.to_ascii_lowercase().replace('_', "");
+    let body = lower.strip_prefix("0x").unwrap_or(&lower);
+    let trimmed = body.trim_start_matches('0');
+    if trimmed.is_empty() { "0".to_string() } else { trimmed.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str) -> FileContext {
+        FileContext {
+            path: path.to_string(),
+            crate_name: "berry-test".to_string(),
+            kind: FileKind::Library,
+            has_failpoints_feature: false,
+        }
+    }
+
+    fn lints_of(src: &str, context: &FileContext) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> =
+            check_file(src, context).into_iter().map(|d| d.lint).collect();
+        names.dedup();
+        names
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+                   Some(1).unwrap(); panic!(\"x\"); }\n}\n";
+        assert!(lints_of(src, &ctx("crates/x/src/lib.rs")).is_empty());
+    }
+
+    #[test]
+    fn cfg_all_test_regions_are_exempt() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod tests { fn t() { panic!(); } }";
+        let found = lints_of(src, &ctx("crates/x/src/lib.rs"));
+        assert!(!found.contains(&"panic-in-lib"), "{found:?}");
+    }
+
+    #[test]
+    fn binaries_may_abort_but_libraries_may_not() {
+        let src = "fn f() { Some(1).unwrap(); }";
+        let mut binary = ctx("crates/x/src/bin/tool.rs");
+        binary.kind = FileKind::Binary;
+        assert!(lints_of(src, &binary).is_empty());
+        assert_eq!(lints_of(src, &ctx("crates/x/src/lib.rs")), vec!["panic-in-lib"]);
+    }
+
+    #[test]
+    fn unwrap_or_and_named_expect_do_not_false_positive() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap_or(3) }\n\
+                   fn g(p: &mut P) { p.expect_byte(b'{'); }";
+        assert!(lints_of(src, &ctx("crates/x/src/lib.rs")).is_empty());
+    }
+
+    #[test]
+    fn seed_constants_allowed_only_in_registry() {
+        let src = "const G: u64 = 0x9E37_79B9_7F4A_7C15;";
+        assert_eq!(lints_of(src, &ctx("crates/x/src/lib.rs")), vec!["seed-registry"]);
+        assert!(lints_of(src, &ctx("crates/core/src/seed.rs")).is_empty());
+        // FNV prime with leading zeros normalizes correctly.
+        let fnv = "const P: u64 = 0x0000_0100_0000_01B3;";
+        assert_eq!(lints_of(fnv, &ctx("crates/x/src/lib.rs")), vec!["seed-registry"]);
+    }
+
+    #[test]
+    fn hash_iteration_detected_for_ascribed_and_let_bound_maps() {
+        let ascribed = "struct S { slots: Mutex<HashMap<String, u32>> }\n\
+                        fn f(s: &S) { for v in s.slots.lock().iter() {} }";
+        // `slots` is known to be a map; `.iter()` on it (via the lock
+        // chain the backward scan tolerates) is not what we assert here —
+        // the direct form is:
+        let direct = "fn f(m: HashMap<String, u32>) { for k in m.keys() { drop(k); } }";
+        assert_eq!(lints_of(direct, &ctx("crates/x/src/lib.rs")), vec!["hashmap-iteration"]);
+        let let_bound =
+            "fn f() { let mut seen = HashSet::new(); seen.insert(1); for x in &seen {} }";
+        assert_eq!(lints_of(let_bound, &ctx("crates/x/src/lib.rs")), vec!["hashmap-iteration"]);
+        // Membership-only use is fine.
+        let membership = "fn f() { let mut seen = HashSet::new(); seen.insert(1); \
+                          assert(seen.contains(&1)); }";
+        assert!(lints_of(membership, &ctx("crates/x/src/lib.rs")).is_empty());
+        let _ = ascribed;
+    }
+
+    #[test]
+    fn pinned_path_and_codec_markers_gate_their_lints() {
+        let sum = "fn f(v: &[f32]) -> f32 { v.iter().sum::<f32>() }";
+        assert!(lints_of(sum, &ctx("crates/x/src/lib.rs")).is_empty());
+        let pinned = format!("// lint: pinned-path\n{sum}");
+        assert_eq!(
+            lints_of(&pinned, &ctx("crates/x/src/lib.rs")),
+            vec!["bare-float-reduction"]
+        );
+        let cast = "fn f(v: &[u8]) -> u32 { v.len() as u32 }";
+        assert!(lints_of(cast, &ctx("crates/x/src/lib.rs")).is_empty());
+        let codec = format!("// lint: codec\n{cast}");
+        assert_eq!(lints_of(&codec, &ctx("crates/x/src/lib.rs")), vec!["unchecked-len-cast"]);
+    }
+
+    #[test]
+    fn spawn_allowed_only_in_serve_and_rayon() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(lints_of(src, &ctx("crates/x/src/lib.rs")), vec!["thread-spawn"]);
+        let mut serve = ctx("crates/serve/src/server.rs");
+        serve.crate_name = "berry-serve".to_string();
+        assert!(lints_of(src, &serve).is_empty());
+        let mut rayon = ctx("vendor/rayon/src/iter.rs");
+        rayon.crate_name = "rayon".to_string();
+        assert!(lints_of(src, &rayon).is_empty());
+    }
+
+    #[test]
+    fn feature_hygiene_needs_the_feature_declared() {
+        let src = "#[cfg(feature = \"failpoints\")]\nfn f() {}";
+        assert_eq!(lints_of(src, &ctx("crates/x/src/lib.rs")), vec!["feature-hygiene"]);
+        let mut with = ctx("crates/x/src/lib.rs");
+        with.has_failpoints_feature = true;
+        assert!(lints_of(src, &with).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_macros_do_not_false_positive() {
+        let src = "// unsafe panic!() thread_rng Instant::now\n\
+                   /* SystemTime 0x9E3779B97F4A7C15 */\n\
+                   fn f() -> String { \"unsafe { panic!() }\".to_string() }";
+        assert!(lints_of(src, &ctx("crates/x/src/lib.rs")).is_empty());
+    }
+
+    #[test]
+    fn marker_parsing_handles_allows() {
+        let lexed = crate::lexer::lex(
+            "// lint: codec\nfn f() {} // lint: allow(panic-in-lib) why: designed abort\n\
+             // lint: allow(wallclock-time)\n",
+        );
+        let markers = parse_markers(&lexed.comments);
+        assert!(markers.codec);
+        assert!(!markers.pinned_path);
+        assert_eq!(markers.allows.len(), 2);
+        assert_eq!(markers.allows[0], (2, "panic-in-lib".to_string(), true));
+        assert_eq!(markers.allows[1], (3, "wallclock-time".to_string(), false));
+    }
+}

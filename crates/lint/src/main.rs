@@ -1,0 +1,112 @@
+//! CLI entry point: `berry-lint [--root <dir>] [--deny-warnings] [--list]`.
+//!
+//! Exit codes: 0 clean (or findings without `--deny-warnings`), 1
+//! findings under `--deny-warnings`, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-warnings" => deny = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for lint in berry_lint::LINTS {
+            println!("{:22} {}", lint.name, lint.rule);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Default to the workspace root when invoked via `cargo run -p
+    // berry-lint` from anywhere inside the workspace: walk up from the
+    // current directory to the first dir holding a `crates/` folder.
+    if root.as_os_str() == "." {
+        if let Ok(cwd) = std::env::current_dir() {
+            let mut dir = cwd.as_path();
+            loop {
+                if dir.join("crates").is_dir() {
+                    root = dir.to_path_buf();
+                    break;
+                }
+                match dir.parent() {
+                    Some(parent) => dir = parent,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    let report = match berry_lint::run(&root) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for warning in &report.warnings {
+        eprintln!("warning[lint-config]: {warning}");
+    }
+    for finding in &report.findings {
+        println!("{}", finding.render());
+    }
+    let problems = report.findings.len() + report.warnings.len();
+    if problems == 0 {
+        eprintln!("berry-lint: {} files checked, 0 findings", report.files_checked);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "berry-lint: {} files checked, {} finding(s), {} config warning(s)",
+            report.files_checked,
+            report.findings.len(),
+            report.warnings.len()
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "berry-lint: workspace invariant checker for the BERRY reproduction
+
+USAGE:
+    berry-lint [--root <dir>] [--deny-warnings] [--list]
+
+OPTIONS:
+    --root <dir>       Workspace root (default: nearest ancestor with crates/)
+    --deny-warnings    Exit nonzero when findings or config warnings remain (CI)
+    --list             Print the registered lints and their rules
+    -h, --help         This help
+
+Audited exceptions live in lint.toml at the workspace root; every entry
+requires a `# why:` justification. Line-level exceptions use
+`// lint: allow(<name>) why: …` on, or directly above, the flagged line."
+    );
+}

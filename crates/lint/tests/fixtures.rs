@@ -1,0 +1,93 @@
+//! Fixture-corpus tests: every known-bad snippet under `fixtures/` must
+//! trigger exactly its intended lint, and the clean fixture must trigger
+//! nothing. This keeps each lint honest in both directions — it fires on
+//! the canonical violation and stays quiet on well-behaved code.
+
+use berry_lint::lints::check_file;
+use berry_lint::{FileContext, FileKind};
+
+/// (fixture file, the one lint it must trigger).
+const BAD_FIXTURES: &[(&str, &str)] = &[
+    ("bad_unsafe.rs", "unsafe-outside-simd"),
+    ("bad_hashmap_iter.rs", "hashmap-iteration"),
+    ("bad_wallclock.rs", "wallclock-time"),
+    ("bad_ambient_rng.rs", "ambient-rng"),
+    ("bad_seed_constant.rs", "seed-registry"),
+    ("bad_panic.rs", "panic-in-lib"),
+    ("bad_float_reduction.rs", "bare-float-reduction"),
+    ("bad_thread_spawn.rs", "thread-spawn"),
+    ("bad_len_cast.rs", "unchecked-len-cast"),
+    ("bad_feature_cfg.rs", "feature-hygiene"),
+];
+
+fn fixture_source(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("failed to read fixture {path}: {e}"))
+}
+
+/// Fixtures are checked as library code in an ordinary crate with no
+/// `failpoints` feature — the strictest context the lints support.
+fn fixture_context(name: &str) -> FileContext {
+    FileContext {
+        path: format!("crates/fixture/src/{name}"),
+        crate_name: "berry-fixture".to_string(),
+        kind: FileKind::Library,
+        has_failpoints_feature: false,
+    }
+}
+
+#[test]
+fn every_bad_fixture_triggers_exactly_its_lint() {
+    for (name, expected_lint) in BAD_FIXTURES {
+        let source = fixture_source(name);
+        let ctx = fixture_context(name);
+        let diags = check_file(&source, &ctx);
+        assert!(
+            !diags.is_empty(),
+            "{name}: expected a `{expected_lint}` finding, got none"
+        );
+        let lints: Vec<&str> = diags.iter().map(|d| d.lint).collect();
+        assert!(
+            lints.iter().all(|l| l == expected_lint),
+            "{name}: expected only `{expected_lint}`, got {lints:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_table_covers_every_lint() {
+    // Guards against adding a lint without a fixture: the corpus must
+    // exercise each entry of the lint table exactly once.
+    let mut covered: Vec<&str> = BAD_FIXTURES.iter().map(|(_, lint)| *lint).collect();
+    covered.sort_unstable();
+    let mut all: Vec<&str> = berry_lint::LINTS.iter().map(|l| l.name).collect();
+    all.sort_unstable();
+    assert_eq!(covered, all, "fixture corpus out of sync with lint table");
+}
+
+#[test]
+fn clean_fixture_triggers_nothing() {
+    let source = fixture_source("clean.rs");
+    let ctx = fixture_context("clean.rs");
+    let diags = check_file(&source, &ctx);
+    let rendered: Vec<String> = diags.iter().map(berry_lint::Diagnostic::render).collect();
+    assert!(
+        diags.is_empty(),
+        "clean fixture produced findings:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn diagnostics_carry_real_positions() {
+    // Spot-check one fixture's position: `bad_panic.rs` unwraps on its
+    // third line; line/col must be 1-indexed and point at the call.
+    let source = fixture_source("bad_panic.rs");
+    let ctx = fixture_context("bad_panic.rs");
+    let diags = check_file(&source, &ctx);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].col > 1);
+    assert!(diags[0].render().starts_with("crates/fixture/src/bad_panic.rs:3:"));
+}

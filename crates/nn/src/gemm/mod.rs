@@ -59,6 +59,8 @@
 //! picked once per process by [`detected_fast_backend`] and can be pinned
 //! to the scalar fallback with `BERRY_GEMM_FORCE_SCALAR=1`.
 
+// lint: pinned-path — reductions here feed golden-pinned statistics; use berry_nn::reduce helpers
+
 mod fast;
 mod fast_scalar;
 #[cfg(target_arch = "x86_64")]

@@ -72,6 +72,7 @@ pub mod loss;
 pub mod network;
 pub mod optim;
 pub mod quant;
+pub mod reduce;
 pub mod tensor;
 
 pub use error::NnError;

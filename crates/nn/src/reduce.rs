@@ -1,0 +1,67 @@
+//! Fixed-order floating-point reductions.
+//!
+//! Float addition is not associative, so a reduction's *order* is part of
+//! the workspace's bit-exactness contract: golden-pinned statistics stay
+//! byte-identical only if every sum on a pinned path folds its terms in
+//! one documented order. These helpers make that order explicit — a
+//! strictly sequential left fold over the input, independent of worker
+//! count, SIMD width or iterator adaptor internals. The
+//! `bare-float-reduction` house lint steers `// lint: pinned-path` files
+//! here instead of bare `.sum::<f32>()` calls.
+
+/// Sequential left-fold sum of `f32` terms, in iteration order.
+///
+/// Bitwise-equivalent to `iter.sum::<f32>()` on today's std (also a
+/// sequential left fold), but the order is *contractual* here rather
+/// than an implementation detail.
+pub fn sum_f32_in_order<I: IntoIterator<Item = f32>>(terms: I) -> f32 {
+    let mut acc = 0.0f32;
+    for term in terms {
+        acc += term;
+    }
+    acc
+}
+
+/// Sequential left-fold sum of `f64` terms, in iteration order.
+pub fn sum_f64_in_order<I: IntoIterator<Item = f64>>(terms: I) -> f64 {
+    let mut acc = 0.0f64;
+    for term in terms {
+        acc += term;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_std_sum_bitwise() {
+        let xs = [0.1f32, 1e8, -1e8, 0.2, 3.7, -0.05];
+        assert_eq!(
+            sum_f32_in_order(xs.iter().copied()).to_bits(),
+            xs.iter().copied().sum::<f32>().to_bits()
+        );
+        let ys = [0.1f64, 1e16, -1e16, 0.2, 3.7, -0.05];
+        assert_eq!(
+            sum_f64_in_order(ys.iter().copied()).to_bits(),
+            ys.iter().copied().sum::<f64>().to_bits()
+        );
+    }
+
+    #[test]
+    fn order_matters_and_is_preserved() {
+        // The catastrophic-cancellation triple: (0.1 + 1e16) - 1e16 ≠
+        // 0.1 + (1e16 - 1e16). The helper must fold left-to-right.
+        let forward = sum_f64_in_order([0.1, 1e16, -1e16]);
+        let reordered = sum_f64_in_order([1e16, -1e16, 0.1]);
+        assert_ne!(forward.to_bits(), reordered.to_bits());
+        assert_eq!(reordered, 0.1);
+    }
+
+    #[test]
+    fn empty_sum_is_positive_zero() {
+        assert_eq!(sum_f32_in_order(std::iter::empty()).to_bits(), 0.0f32.to_bits());
+        assert_eq!(sum_f64_in_order(std::iter::empty()).to_bits(), 0.0f64.to_bits());
+    }
+}

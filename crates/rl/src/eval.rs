@@ -6,6 +6,8 @@
 //! length feeds the flight-time / flight-energy models.  [`evaluate_policy`]
 //! produces exactly those statistics.
 
+// lint: pinned-path — reductions here feed golden-pinned statistics; use berry_nn::reduce helpers
+
 use crate::env::{Environment, TerminalKind};
 use crate::vecenv::{episode_seed, EpisodeRecord, VecEnv};
 use berry_nn::network::{InferScratch, Sequential};

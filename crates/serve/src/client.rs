@@ -67,7 +67,9 @@ impl Backoff {
             .base
             .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX))
             .min(self.cap);
-        let draw = splitmix(self.seed ^ u64::from(self.attempt));
+        // SplitMix64 from the central seed registry — the backoff
+        // jitter's deterministic draw.
+        let draw = berry_core::seed::splitmix64(self.seed ^ u64::from(self.attempt));
         self.attempt = self.attempt.saturating_add(1);
         let fraction = 0.5 + (draw as f64 / u64::MAX as f64) * 0.5;
         Duration::from_secs_f64(raw.as_secs_f64() * fraction)
@@ -78,14 +80,6 @@ impl Backoff {
     pub fn reset(&mut self) {
         self.attempt = 0;
     }
-}
-
-/// SplitMix64 — the backoff jitter's deterministic draw.
-fn splitmix(seed: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Connects to `addr`, retrying on a jittered exponential backoff until

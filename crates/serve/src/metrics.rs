@@ -8,7 +8,7 @@
 use berry_core::campaign::SchedulerStats;
 use berry_core::{encode_json_string, StoreStats};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Cumulative counters of one server's lifetime plus the scheduler
 /// telemetry of its most recent campaign run.
@@ -116,7 +116,9 @@ impl ServeMetrics {
 
     /// Remembers the scheduler telemetry of the run that just finished.
     pub fn record_run(&self, stats: SchedulerStats) {
-        *self.last_scheduler.lock().expect("metrics lock poisoned") = Some(stats);
+        // Telemetry only — a panicked writer cannot corrupt an
+        // `Option<SchedulerStats>` overwrite, so recover from poison.
+        *self.last_scheduler.lock().unwrap_or_else(PoisonError::into_inner) = Some(stats);
     }
 
     /// Serializes the counters (plus the shared store's stats) as the
@@ -126,7 +128,7 @@ impl ServeMetrics {
         let scheduler = self
             .last_scheduler
             .lock()
-            .expect("metrics lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .as_ref()
             .map_or_else(|| "null".to_string(), SchedulerStats::to_json);
         format!(

@@ -24,6 +24,8 @@
 //! * `{"kind":"metrics"}` — one line of serving counters and store stats.
 //! * `{"kind":"shutdown"}` — acknowledge, then stop accepting connections.
 
+// lint: codec — wire/persist format: length and index conversions must be overflow-checked
+
 use berry_core::campaign::{EvalAxis, OperatingPoint, PolicyRole, SchedulerStats};
 use berry_core::experiment::ExperimentScale;
 use berry_core::{encode_json_f64, encode_json_string, parse_json_line, JsonValue};
@@ -115,7 +117,12 @@ impl Request {
                         list.as_array()
                             .map_err(protocol_error)?
                             .iter()
-                            .map(|v| v.as_u64().map(|i| i as usize).map_err(protocol_error))
+                            .map(|v| {
+                                let i = v.as_u64().map_err(protocol_error)?;
+                                usize::try_from(i).map_err(|_| {
+                                    protocol_error("cell index exceeds usize range")
+                                })
+                            })
                             .collect::<Result<Vec<usize>>>()?,
                     ),
                 };
@@ -304,7 +311,10 @@ impl Terminal {
     pub fn from_value(value: JsonValue) -> Result<Terminal> {
         let status = value.str_field("status").map_err(protocol_error)?;
         let rows = match value.key("rows") {
-            Some(v) => v.as_u64().map_err(protocol_error)? as usize,
+            Some(v) => {
+                let n = v.as_u64().map_err(protocol_error)?;
+                usize::try_from(n).map_err(|_| protocol_error("row count exceeds usize range"))?
+            }
             None => 0,
         };
         let error = match value.key("error") {
